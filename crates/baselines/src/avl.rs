@@ -1,0 +1,316 @@
+//! An AVL tree of free chunk ranges, keyed `(length, start)`.
+//!
+//! PMDK's `libpmemobj` indexes large free blocks in a global AVL tree
+//! guarded by one lock; the paper identifies exactly this structure as the
+//! large-allocation scalability bottleneck (§3.3). To reproduce the
+//! baseline faithfully we implement the same structure from scratch: a
+//! self-balancing AVL tree supporting insert, exact remove, and best-fit
+//! extraction (smallest range with `length >= want`, ties broken by lowest
+//! start).
+
+/// A free range of `len` units beginning at `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Range {
+    /// Range length (major sort key — enables best-fit search).
+    pub len: u64,
+    /// Range start (minor sort key).
+    pub start: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    key: Range,
+    height: i32,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+impl Node {
+    fn new(key: Range) -> Box<Node> {
+        Box::new(Node { key, height: 1, left: None, right: None })
+    }
+}
+
+/// An AVL tree of [`Range`]s ordered by `(len, start)`.
+#[derive(Debug, Default)]
+pub struct AvlTree {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+fn height(node: &Option<Box<Node>>) -> i32 {
+    node.as_ref().map_or(0, |n| n.height)
+}
+
+fn update(node: &mut Box<Node>) {
+    node.height = 1 + height(&node.left).max(height(&node.right));
+}
+
+fn balance_factor(node: &Box<Node>) -> i32 {
+    height(&node.left) - height(&node.right)
+}
+
+fn rotate_right(mut node: Box<Node>) -> Box<Node> {
+    let mut new_root = node.left.take().expect("rotate_right requires a left child");
+    node.left = new_root.right.take();
+    update(&mut node);
+    new_root.right = Some(node);
+    update(&mut new_root);
+    new_root
+}
+
+fn rotate_left(mut node: Box<Node>) -> Box<Node> {
+    let mut new_root = node.right.take().expect("rotate_left requires a right child");
+    node.right = new_root.left.take();
+    update(&mut node);
+    new_root.left = Some(node);
+    update(&mut new_root);
+    new_root
+}
+
+fn rebalance(mut node: Box<Node>) -> Box<Node> {
+    update(&mut node);
+    let bf = balance_factor(&node);
+    if bf > 1 {
+        if balance_factor(node.left.as_ref().expect("bf > 1 implies left")) < 0 {
+            node.left = Some(rotate_left(node.left.take().expect("checked")));
+        }
+        return rotate_right(node);
+    }
+    if bf < -1 {
+        if balance_factor(node.right.as_ref().expect("bf < -1 implies right")) > 0 {
+            node.right = Some(rotate_right(node.right.take().expect("checked")));
+        }
+        return rotate_left(node);
+    }
+    node
+}
+
+fn insert_node(node: Option<Box<Node>>, key: Range) -> Box<Node> {
+    match node {
+        None => Node::new(key),
+        Some(mut n) => {
+            if key < n.key {
+                n.left = Some(insert_node(n.left.take(), key));
+            } else {
+                n.right = Some(insert_node(n.right.take(), key));
+            }
+            rebalance(n)
+        }
+    }
+}
+
+fn take_min(mut node: Box<Node>) -> (Option<Box<Node>>, Box<Node>) {
+    if node.left.is_none() {
+        let right = node.right.take();
+        return (right, node);
+    }
+    let (new_left, min) = take_min(node.left.take().expect("checked"));
+    node.left = new_left;
+    (Some(rebalance(node)), min)
+}
+
+fn remove_node(node: Option<Box<Node>>, key: Range) -> (Option<Box<Node>>, bool) {
+    let Some(mut n) = node else { return (None, false) };
+    let (result, removed) = if key < n.key {
+        let (left, removed) = remove_node(n.left.take(), key);
+        n.left = left;
+        (Some(rebalance(n)), removed)
+    } else if key > n.key {
+        let (right, removed) = remove_node(n.right.take(), key);
+        n.right = right;
+        (Some(rebalance(n)), removed)
+    } else {
+        match (n.left.take(), n.right.take()) {
+            (None, right) => (right, true),
+            (left, None) => (left, true),
+            (left, Some(right)) => {
+                let (new_right, mut successor) = take_min(right);
+                successor.left = left;
+                successor.right = new_right;
+                (Some(rebalance(successor)), true)
+            }
+        }
+    };
+    (result, removed)
+}
+
+impl AvlTree {
+    /// Creates an empty tree.
+    pub fn new() -> AvlTree {
+        AvlTree::default()
+    }
+
+    /// Number of ranges stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a range (duplicates allowed only by `(len, start)`
+    /// distinctness; inserting an exact duplicate is a caller bug but kept
+    /// tolerant like the original C).
+    pub fn insert(&mut self, range: Range) {
+        self.root = Some(insert_node(self.root.take(), range));
+        self.len += 1;
+    }
+
+    /// Removes the exact range; returns whether it was present.
+    pub fn remove(&mut self, range: Range) -> bool {
+        let (root, removed) = remove_node(self.root.take(), range);
+        self.root = root;
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Finds the best-fit range (`len >= want`, smallest len, then lowest
+    /// start) without removing it.
+    pub fn best_fit(&self, want: u64) -> Option<Range> {
+        let mut best: Option<Range> = None;
+        let mut cursor = self.root.as_deref();
+        while let Some(n) = cursor {
+            if n.key.len >= want {
+                best = Some(match best {
+                    Some(b) if b <= n.key => b,
+                    _ => n.key,
+                });
+                cursor = n.left.as_deref();
+            } else {
+                cursor = n.right.as_deref();
+            }
+        }
+        best
+    }
+
+    /// Removes and returns the best-fit range for `want`.
+    pub fn take_best_fit(&mut self, want: u64) -> Option<Range> {
+        let found = self.best_fit(want)?;
+        self.remove(found);
+        Some(found)
+    }
+
+    /// In-order iteration snapshot (ascending `(len, start)`).
+    pub fn to_vec(&self) -> Vec<Range> {
+        fn walk(node: Option<&Node>, out: &mut Vec<Range>) {
+            if let Some(n) = node {
+                walk(n.left.as_deref(), out);
+                out.push(n.key);
+                walk(n.right.as_deref(), out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        walk(self.root.as_deref(), &mut out);
+        out
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn check(node: Option<&Node>) -> i32 {
+            let Some(n) = node else { return 0 };
+            let lh = check(n.left.as_deref());
+            let rh = check(n.right.as_deref());
+            assert!((lh - rh).abs() <= 1, "unbalanced at {:?}", n.key);
+            assert_eq!(n.height, 1 + lh.max(rh));
+            if let Some(l) = n.left.as_deref() {
+                assert!(l.key < n.key);
+            }
+            if let Some(r) = n.right.as_deref() {
+                assert!(r.key > n.key);
+            }
+            1 + lh.max(rh)
+        }
+        check(self.root.as_deref());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_and_balance() {
+        let mut tree = AvlTree::new();
+        for i in 0..1000u64 {
+            tree.insert(Range { len: i % 37, start: i });
+            tree.check_invariants();
+        }
+        assert_eq!(tree.len(), 1000);
+        for i in (0..1000u64).rev().step_by(3) {
+            assert!(tree.remove(Range { len: i % 37, start: i }));
+            tree.check_invariants();
+        }
+        assert!(!tree.remove(Range { len: 999, start: 999 }));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_then_lowest_start() {
+        let mut tree = AvlTree::new();
+        tree.insert(Range { len: 8, start: 100 });
+        tree.insert(Range { len: 4, start: 300 });
+        tree.insert(Range { len: 4, start: 200 });
+        tree.insert(Range { len: 2, start: 400 });
+        assert_eq!(tree.best_fit(3), Some(Range { len: 4, start: 200 }));
+        assert_eq!(tree.best_fit(5), Some(Range { len: 8, start: 100 }));
+        assert_eq!(tree.best_fit(9), None);
+        assert_eq!(tree.best_fit(1), Some(Range { len: 2, start: 400 }));
+    }
+
+    #[test]
+    fn take_best_fit_removes() {
+        let mut tree = AvlTree::new();
+        tree.insert(Range { len: 4, start: 0 });
+        tree.insert(Range { len: 4, start: 4 });
+        assert_eq!(tree.take_best_fit(4), Some(Range { len: 4, start: 0 }));
+        assert_eq!(tree.take_best_fit(4), Some(Range { len: 4, start: 4 }));
+        assert_eq!(tree.take_best_fit(4), None);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn in_order_is_sorted() {
+        let mut tree = AvlTree::new();
+        for i in [5u64, 3, 9, 1, 7, 2, 8] {
+            tree.insert(Range { len: i, start: 0 });
+        }
+        let v = tree.to_vec();
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(v, sorted);
+    }
+
+    #[test]
+    fn sequential_and_random_heavy_mix() {
+        let mut tree = AvlTree::new();
+        let mut shadow = std::collections::BTreeSet::new();
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..5000 {
+            let r = Range { len: rand() % 64, start: rand() % 10000 };
+            if shadow.insert((r.len, r.start)) {
+                tree.insert(r);
+            }
+            if rand() % 3 == 0 {
+                if let Some(&(l, s)) = shadow.iter().next() {
+                    shadow.remove(&(l, s));
+                    assert!(tree.remove(Range { len: l, start: s }));
+                }
+            }
+        }
+        tree.check_invariants();
+        assert_eq!(tree.len(), shadow.len());
+        let want = 32;
+        let expect = shadow.iter().find(|&&(l, _)| l >= want).copied();
+        assert_eq!(tree.best_fit(want), expect.map(|(len, start)| Range { len, start }));
+    }
+}

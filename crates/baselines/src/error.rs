@@ -1,0 +1,73 @@
+//! Error type shared by the baseline allocators.
+
+use pmem::PmemError;
+
+/// Errors returned by the baseline allocators.
+///
+/// Deliberately sparse: unlike Poseidon, neither PMDK `libpmemobj` nor
+/// Makalu validates `free` arguments against an authoritative block table,
+/// so there are no `InvalidFree`/`DoubleFree` variants — a bad free
+/// *succeeds* and corrupts the heap, which is exactly the behaviour the
+/// paper's Figure 3 demonstrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The pool cannot satisfy the allocation.
+    OutOfMemory {
+        /// Requested size in bytes.
+        requested: u64,
+    },
+    /// The request exceeds what the pool can ever serve.
+    TooLarge {
+        /// Requested size in bytes.
+        requested: u64,
+    },
+    /// A zero-byte allocation was requested.
+    ZeroSize,
+    /// The pool image is structurally broken in a way even the baseline
+    /// notices (e.g. a free-range bookkeeping mismatch).
+    Corrupted(&'static str),
+    /// An underlying device error.
+    Device(PmemError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::OutOfMemory { requested } => write!(f, "out of memory for {requested}-byte allocation"),
+            BaselineError::TooLarge { requested } => write!(f, "{requested}-byte allocation exceeds pool limits"),
+            BaselineError::ZeroSize => f.write_str("zero-byte allocation"),
+            BaselineError::Corrupted(why) => write!(f, "corrupt pool: {why}"),
+            BaselineError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmemError> for BaselineError {
+    fn from(err: PmemError) -> Self {
+        BaselineError::Device(err)
+    }
+}
+
+/// Shorthand result type for baseline operations.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: BaselineError = PmemError::Crashed.into();
+        assert!(e.to_string().contains("device error"));
+        assert!(BaselineError::OutOfMemory { requested: 64 }.to_string().contains("64"));
+    }
+}

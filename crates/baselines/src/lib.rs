@@ -1,0 +1,29 @@
+//! Baseline persistent-memory allocators for the Poseidon reproduction.
+//!
+//! The Poseidon paper (Middleware '20) evaluates against two systems with
+//! no reusable open-source Rust equivalents, so this crate implements
+//! structural models of both, faithful to the designs the paper analyses:
+//!
+//! * [`PmdkSim`] — PMDK `libpmemobj`: in-place object headers, bitmap
+//!   runs, 12 arenas, a global AVL tree of free chunks, DRAM caches
+//!   rebuilt by rescanning NVMM, and a global action log. Vulnerable by
+//!   construction to the paper's Figure 3 attacks.
+//! * [`MakaluSim`] — Makalu: thread-local free lists below 400 B with a
+//!   global reclaim list, a globally locked chunk list above 400 B, and
+//!   mark-and-sweep GC recovery that corrupted pointers silently defeat.
+//! * [`avl`] — the AVL tree substrate PMDK's large-object path needs.
+//!
+//! Both allocators run on the same [`pmem`] device as Poseidon, so the
+//! benchmark harness can swap them interchangeably. Neither protects its
+//! metadata — that is the point of comparison.
+
+#![warn(missing_docs)]
+
+pub mod avl;
+mod error;
+pub mod makalu_sim;
+pub mod pmdk_sim;
+
+pub use error::{BaselineError, Result};
+pub use makalu_sim::MakaluSim;
+pub use pmdk_sim::PmdkSim;

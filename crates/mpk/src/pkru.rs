@@ -1,0 +1,227 @@
+//! The per-thread `PKRU` register model.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Simulated cost of one `wrpkru` instruction, in CPU cycles.
+///
+/// The Poseidon paper (§4.3, citing libmpk) reports "around 23 CPU cycles";
+/// the domain statistics charge this per permission change so that cost
+/// models can account for protection overhead.
+pub const WRPKRU_CYCLES: u64 = 23;
+
+/// The kind of memory access being checked against a thread's [`Pkru`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load from the protected region.
+    Read,
+    /// A store to the protected region.
+    Write,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A value of the `PKRU` register: two bits per protection key.
+///
+/// Bit `2k` is the *access-disable* (AD) bit of key `k` — when set, both
+/// loads and stores fault. Bit `2k + 1` is the *write-disable* (WD) bit —
+/// when set, stores fault. This matches the Intel SDM layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pkru(pub u32);
+
+impl Pkru {
+    /// The register value granting full access to every key.
+    pub const ALL_ACCESS: Pkru = Pkru(0);
+
+    /// Returns the access-disable bit mask of `key`.
+    #[inline]
+    pub fn ad_bit(key: u8) -> u32 {
+        1u32 << (2 * key as u32)
+    }
+
+    /// Returns the write-disable bit mask of `key`.
+    #[inline]
+    pub fn wd_bit(key: u8) -> u32 {
+        1u32 << (2 * key as u32 + 1)
+    }
+
+    /// Returns whether this register value permits `kind` accesses under `key`.
+    #[inline]
+    pub fn allows(self, key: u8, kind: AccessKind) -> bool {
+        if self.0 & Self::ad_bit(key) != 0 {
+            return false;
+        }
+        match kind {
+            AccessKind::Read => true,
+            AccessKind::Write => self.0 & Self::wd_bit(key) == 0,
+        }
+    }
+
+    /// Returns a copy of this value with both disable bits of `key` cleared
+    /// (full access to `key`).
+    #[inline]
+    pub fn with_key_writable(self, key: u8) -> Pkru {
+        Pkru(self.0 & !(Self::ad_bit(key) | Self::wd_bit(key)))
+    }
+
+    /// Returns a copy of this value with the write-disable bit of `key` set
+    /// and the access-disable bit cleared (read-only access to `key`).
+    #[inline]
+    pub fn with_key_read_only(self, key: u8) -> Pkru {
+        Pkru((self.0 & !Self::ad_bit(key)) | Self::wd_bit(key))
+    }
+
+    /// Returns a copy of this value with the access-disable bit of `key` set
+    /// (no access to `key`).
+    #[inline]
+    pub fn with_key_no_access(self, key: u8) -> Pkru {
+        Pkru(self.0 | Self::ad_bit(key))
+    }
+}
+
+/// Per-thread register file: one `PKRU` value per [`MpkDomain`]
+/// (identified by the domain id), with a one-entry fast-path cache because
+/// virtually all programs use a single domain.
+///
+/// [`MpkDomain`]: crate::MpkDomain
+struct PkruTls {
+    last_domain: u64,
+    last_value: u32,
+    others: HashMap<u64, u32>,
+}
+
+thread_local! {
+    static PKRU_TLS: RefCell<Option<PkruTls>> = const { RefCell::new(None) };
+}
+
+/// Reads the current thread's `PKRU` for domain `domain_id`, initialising it
+/// to `default` on first use (the simulated analogue of a new thread
+/// inheriting the process default).
+pub(crate) fn read_tls(domain_id: u64, default: u32) -> u32 {
+    PKRU_TLS.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            Some(tls) if tls.last_domain == domain_id => tls.last_value,
+            Some(tls) => {
+                let value = *tls.others.entry(domain_id).or_insert(default);
+                // Swap the fast-path cache to the domain just used.
+                tls.others.insert(tls.last_domain, tls.last_value);
+                tls.last_domain = domain_id;
+                tls.last_value = value;
+                value
+            }
+            None => {
+                *slot = Some(PkruTls {
+                    last_domain: domain_id,
+                    last_value: default,
+                    others: HashMap::new(),
+                });
+                default
+            }
+        }
+    })
+}
+
+/// Writes the current thread's `PKRU` for domain `domain_id`.
+pub(crate) fn write_tls(domain_id: u64, value: u32) {
+    PKRU_TLS.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            Some(tls) if tls.last_domain == domain_id => tls.last_value = value,
+            Some(tls) => {
+                tls.others.insert(tls.last_domain, tls.last_value);
+                tls.last_domain = domain_id;
+                tls.last_value = value;
+            }
+            None => {
+                *slot = Some(PkruTls {
+                    last_domain: domain_id,
+                    last_value: value,
+                    others: HashMap::new(),
+                });
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_access_allows_everything() {
+        for key in 0..16 {
+            assert!(Pkru::ALL_ACCESS.allows(key, AccessKind::Read));
+            assert!(Pkru::ALL_ACCESS.allows(key, AccessKind::Write));
+        }
+    }
+
+    #[test]
+    fn write_disable_blocks_only_writes() {
+        let pkru = Pkru::ALL_ACCESS.with_key_read_only(3);
+        assert!(pkru.allows(3, AccessKind::Read));
+        assert!(!pkru.allows(3, AccessKind::Write));
+        // Other keys are unaffected.
+        assert!(pkru.allows(2, AccessKind::Write));
+        assert!(pkru.allows(4, AccessKind::Write));
+    }
+
+    #[test]
+    fn access_disable_blocks_reads_and_writes() {
+        let pkru = Pkru::ALL_ACCESS.with_key_no_access(15);
+        assert!(!pkru.allows(15, AccessKind::Read));
+        assert!(!pkru.allows(15, AccessKind::Write));
+    }
+
+    #[test]
+    fn writable_clears_both_bits() {
+        let pkru = Pkru::ALL_ACCESS
+            .with_key_no_access(7)
+            .with_key_read_only(7)
+            .with_key_writable(7);
+        assert!(pkru.allows(7, AccessKind::Read));
+        assert!(pkru.allows(7, AccessKind::Write));
+    }
+
+    #[test]
+    fn bit_layout_matches_sdm() {
+        assert_eq!(Pkru::ad_bit(0), 0b01);
+        assert_eq!(Pkru::wd_bit(0), 0b10);
+        assert_eq!(Pkru::ad_bit(1), 0b0100);
+        assert_eq!(Pkru::wd_bit(1), 0b1000);
+    }
+
+    #[test]
+    fn tls_initialises_from_default_and_remembers_writes() {
+        // Use unlikely domain ids to avoid interference from other tests on
+        // this thread.
+        let d1 = u64::MAX - 1;
+        let d2 = u64::MAX - 2;
+        assert_eq!(read_tls(d1, 0xAAAA), 0xAAAA);
+        write_tls(d1, 0x1234);
+        assert_eq!(read_tls(d1, 0xAAAA), 0x1234);
+        // A second domain has an independent register.
+        assert_eq!(read_tls(d2, 0x5555), 0x5555);
+        assert_eq!(read_tls(d1, 0xAAAA), 0x1234);
+    }
+
+    #[test]
+    fn tls_is_per_thread() {
+        let d = u64::MAX - 3;
+        write_tls(d, 0x42);
+        std::thread::spawn(move || {
+            // The spawned thread starts from the default, not the parent's value.
+            assert_eq!(read_tls(d, 0x77), 0x77);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(read_tls(d, 0x77), 0x42);
+    }
+}

@@ -1,0 +1,50 @@
+//! # pds — persistent data structures over Poseidon transactions
+//!
+//! The layer a downstream application actually programs against:
+//! crash-consistent containers whose every mutation is a [`ptx`]
+//! transaction, so any power failure leaves them exactly at the last
+//! committed operation.
+//!
+//! * [`PVec`] — a growable persistent vector of [`Pod`](pmem::Pod)
+//!   elements (amortised-O(1) push with transactional doubling).
+//! * [`PList`] — a persistent singly-linked stack (push/pop front).
+//! * [`PMap`] — a persistent chained hash map keyed by `u64`.
+//!
+//! Containers hold no volatile state: a handle is just a persistent
+//! pointer to the container's header block, so reopening after a restart
+//! is `PVec::open(ptr)`. Anchor the pointer of your outermost container
+//! at the pool root ([`ptx::Ptx::set_root`]).
+//!
+//! # Example
+//!
+//! ```
+//! use pds::PVec;
+//! use pmem::{DeviceConfig, PmemDevice};
+//! use poseidon::{HeapConfig, PoseidonHeap};
+//! use ptx::PtxPool;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), ptx::PtxError> {
+//! let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+//! let heap = Arc::new(PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(2))?);
+//! let pool = PtxPool::create(heap)?;
+//!
+//! let vec: PVec<u64> = PVec::create(&pool)?;
+//! vec.push(&pool, 1)?;
+//! vec.push(&pool, 2)?;
+//! assert_eq!(vec.get(&pool, 0)?, Some(1));
+//! assert_eq!(vec.pop(&pool)?, Some(2));
+//! assert_eq!(vec.len(&pool)?, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod list;
+mod map;
+mod vec;
+
+pub use list::PList;
+pub use map::PMap;
+pub use vec::PVec;

@@ -1,0 +1,149 @@
+//! A persistent singly-linked stack.
+
+use std::marker::PhantomData;
+
+use pmem::{pod_struct, Pod};
+use poseidon::NvmPtr;
+use ptx::{PtxError, PtxPool};
+
+pod_struct! {
+    /// Persistent header of a [`PList`].
+    pub struct ListHeader {
+        /// First node (null when empty).
+        pub head: NvmPtr,
+        /// Element count.
+        pub len: u64,
+        /// Reserved.
+        pub _pad: u64,
+    }
+}
+
+/// A crash-consistent singly-linked stack of [`Pod`] elements
+/// (push/pop at the front). Each mutation is one transaction; each node
+/// is one heap allocation holding `{next: NvmPtr, value: T}`.
+#[derive(Debug, Clone, Copy)]
+pub struct PList<T> {
+    header: NvmPtr,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Pod> PList<T> {
+    const NODE_BYTES: u64 = 16 + std::mem::size_of::<T>() as u64;
+
+    /// Allocates an empty list in its own transaction.
+    ///
+    /// # Errors
+    ///
+    /// Transaction/allocator errors.
+    pub fn create(pool: &PtxPool) -> Result<PList<T>, PtxError> {
+        let header = pool.run(|tx| {
+            let header = tx.alloc(std::mem::size_of::<ListHeader>() as u64)?;
+            tx.write_pod(header, 0, &ListHeader { head: NvmPtr::NULL, len: 0, _pad: 0 })?;
+            Ok(header)
+        })?;
+        Ok(PList { header, _marker: PhantomData })
+    }
+
+    /// Reattaches to the list whose header block is at `header`.
+    pub fn open(header: NvmPtr) -> PList<T> {
+        PList { header, _marker: PhantomData }
+    }
+
+    /// The header block's persistent pointer (anchor this).
+    pub fn handle(&self) -> NvmPtr {
+        self.header
+    }
+
+    fn read_header(&self, pool: &PtxPool) -> Result<ListHeader, PtxError> {
+        Ok(pool.heap().device().read_pod(pool.heap().raw_offset(self.header)?)?)
+    }
+
+    /// Element count.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn len(&self, pool: &PtxPool) -> Result<u64, PtxError> {
+        Ok(self.read_header(pool)?.len)
+    }
+
+    /// Whether the list is empty.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn is_empty(&self, pool: &PtxPool) -> Result<bool, PtxError> {
+        Ok(self.len(pool)? == 0)
+    }
+
+    /// Pushes `value` at the front, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Transaction/allocator errors.
+    pub fn push(&self, pool: &PtxPool, value: T) -> Result<(), PtxError> {
+        pool.run(|tx| {
+            let header: ListHeader = tx.read_pod(self.header, 0)?;
+            let node = tx.alloc(Self::NODE_BYTES)?;
+            tx.write_pod(node, 0, &header.head)?;
+            tx.write_pod(node, 16, &value)?;
+            tx.write_pod(self.header, 0, &ListHeader { head: node, len: header.len + 1, _pad: 0 })?;
+            Ok(())
+        })
+    }
+
+    /// Pops the front element, atomically (`None` when empty). The node's
+    /// memory is freed in the same transaction (deferred to its commit).
+    ///
+    /// # Errors
+    ///
+    /// Transaction/allocator errors.
+    pub fn pop(&self, pool: &PtxPool) -> Result<Option<T>, PtxError> {
+        pool.run(|tx| {
+            let header: ListHeader = tx.read_pod(self.header, 0)?;
+            if header.head.is_null() {
+                return Ok(None);
+            }
+            let next: NvmPtr = tx.read_pod(header.head, 0)?;
+            let value: T = tx.read_pod(header.head, 16)?;
+            tx.free(header.head)?;
+            tx.write_pod(self.header, 0, &ListHeader { head: next, len: header.len - 1, _pad: 0 })?;
+            Ok(Some(value))
+        })
+    }
+
+    /// Reads the front element without removing it.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn front(&self, pool: &PtxPool) -> Result<Option<T>, PtxError> {
+        let header = self.read_header(pool)?;
+        if header.head.is_null() {
+            return Ok(None);
+        }
+        let node = pool.heap().raw_offset(header.head)?;
+        Ok(Some(pool.heap().device().read_pod(node + 16)?))
+    }
+
+    /// Copies the whole list (front to back) into a volatile `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Device errors, or [`PtxError::Aborted`] on a cyclic/corrupt chain.
+    pub fn to_vec(&self, pool: &PtxPool) -> Result<Vec<T>, PtxError> {
+        let header = self.read_header(pool)?;
+        let dev = pool.heap().device();
+        let mut out = Vec::with_capacity(header.len as usize);
+        let mut cursor = header.head;
+        while !cursor.is_null() {
+            if out.len() as u64 > header.len {
+                return Err(PtxError::Aborted("list chain longer than its length (corrupt)".into()));
+            }
+            let node = pool.heap().raw_offset(cursor)?;
+            out.push(dev.read_pod(node + 16)?);
+            cursor = dev.read_pod(node)?;
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,198 @@
+//! A growable persistent vector.
+
+use std::marker::PhantomData;
+
+use pmem::{pod_struct, Pod};
+use poseidon::NvmPtr;
+use ptx::{Ptx, PtxError, PtxPool};
+
+pod_struct! {
+    /// Persistent header of a [`PVec`].
+    pub struct VecHeader {
+        /// Element count.
+        pub len: u64,
+        /// Element capacity of the data block.
+        pub cap: u64,
+        /// Pointer to the data block (null while empty).
+        pub data: NvmPtr,
+    }
+}
+
+/// A growable, crash-consistent vector of [`Pod`] elements.
+///
+/// The handle is just the header block's persistent pointer: store it (or
+/// a container holding it) at the pool root to find the vector after a
+/// restart. Every mutating method is one transaction — a crash leaves the
+/// vector exactly as of the last committed call.
+///
+/// The element type is not recorded persistently; reopening with a
+/// different `T` of the same size reinterprets the bytes (as in any
+/// `Pod`-based persistent layout).
+#[derive(Debug, Clone, Copy)]
+pub struct PVec<T> {
+    header: NvmPtr,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Pod> PVec<T> {
+    /// Allocates an empty vector in its own transaction.
+    ///
+    /// # Errors
+    ///
+    /// Transaction/allocator errors.
+    pub fn create(pool: &PtxPool) -> Result<PVec<T>, PtxError> {
+        let header = pool.run(|tx| {
+            let header = tx.alloc(std::mem::size_of::<VecHeader>() as u64)?;
+            tx.write_pod(header, 0, &VecHeader { len: 0, cap: 0, data: NvmPtr::NULL })?;
+            Ok(header)
+        })?;
+        Ok(PVec { header, _marker: PhantomData })
+    }
+
+    /// Reattaches to the vector whose header block is at `header`.
+    pub fn open(header: NvmPtr) -> PVec<T> {
+        PVec { header, _marker: PhantomData }
+    }
+
+    /// The header block's persistent pointer (anchor this).
+    pub fn handle(&self) -> NvmPtr {
+        self.header
+    }
+
+    fn read_header(&self, pool: &PtxPool) -> Result<VecHeader, PtxError> {
+        Ok(pool.heap().device().read_pod(pool.heap().raw_offset(self.header)?)?)
+    }
+
+    const ELEM: u64 = std::mem::size_of::<T>() as u64;
+
+    /// Number of elements.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn len(&self, pool: &PtxPool) -> Result<u64, PtxError> {
+        Ok(self.read_header(pool)?.len)
+    }
+
+    /// Whether the vector is empty.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn is_empty(&self, pool: &PtxPool) -> Result<bool, PtxError> {
+        Ok(self.len(pool)? == 0)
+    }
+
+    /// Appends `value`, growing the data block (doubling) when full — the
+    /// growth (fresh block, copy, header swap, old block freed) commits
+    /// atomically with the push.
+    ///
+    /// # Errors
+    ///
+    /// Transaction/allocator errors.
+    pub fn push(&self, pool: &PtxPool, value: T) -> Result<(), PtxError> {
+        pool.run(|tx| {
+            let header: VecHeader = tx.read_pod(self.header, 0)?;
+            let header = if header.len == header.cap {
+                self.grow(tx, header)?
+            } else {
+                header
+            };
+            tx.write_pod(header.data, header.len * Self::ELEM, &value)?;
+            tx.write_pod(
+                self.header,
+                0,
+                &VecHeader { len: header.len + 1, ..header },
+            )?;
+            Ok(())
+        })
+    }
+
+    fn grow(&self, tx: &mut Ptx<'_>, header: VecHeader) -> Result<VecHeader, PtxError> {
+        let new_cap = (header.cap * 2).max(4);
+        let new_data = tx.alloc(new_cap * Self::ELEM)?;
+        if header.len > 0 {
+            // Bulk-copy into the unpublished block: no undo journaling
+            // needed — if the transaction aborts, the allocation journal
+            // discards the new block wholesale.
+            let dev = tx.heap().device().clone();
+            let from = tx.heap().raw_offset(header.data)?;
+            let to = tx.heap().raw_offset(new_data)?;
+            let mut buf = vec![0u8; (header.len * Self::ELEM) as usize];
+            dev.read(from, &mut buf)?;
+            dev.write(to, &buf)?;
+            dev.persist(to, buf.len() as u64)?;
+            // The old block is released when this transaction commits.
+            tx.free(header.data)?;
+        }
+        Ok(VecHeader { data: new_data, cap: new_cap, ..header })
+    }
+
+    /// Removes and returns the last element (`None` when empty).
+    ///
+    /// # Errors
+    ///
+    /// Transaction/allocator errors.
+    pub fn pop(&self, pool: &PtxPool) -> Result<Option<T>, PtxError> {
+        pool.run(|tx| {
+            let header: VecHeader = tx.read_pod(self.header, 0)?;
+            if header.len == 0 {
+                return Ok(None);
+            }
+            let value: T = tx.read_pod(header.data, (header.len - 1) * Self::ELEM)?;
+            tx.write_pod(self.header, 0, &VecHeader { len: header.len - 1, ..header })?;
+            Ok(Some(value))
+        })
+    }
+
+    /// Reads the element at `index` (`None` out of range).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn get(&self, pool: &PtxPool, index: u64) -> Result<Option<T>, PtxError> {
+        let header = self.read_header(pool)?;
+        if index >= header.len {
+            return Ok(None);
+        }
+        let data = pool.heap().raw_offset(header.data)?;
+        Ok(Some(pool.heap().device().read_pod(data + index * Self::ELEM)?))
+    }
+
+    /// Overwrites the element at `index` transactionally.
+    ///
+    /// # Errors
+    ///
+    /// [`PtxError::WriteOutOfBlock`]-style bounds error if out of range,
+    /// or transaction errors.
+    pub fn set(&self, pool: &PtxPool, index: u64, value: T) -> Result<(), PtxError> {
+        pool.run(|tx| {
+            let header: VecHeader = tx.read_pod(self.header, 0)?;
+            if index >= header.len {
+                return Err(PtxError::WriteOutOfBlock {
+                    offset: index * Self::ELEM,
+                    len: Self::ELEM,
+                    block: header.len * Self::ELEM,
+                });
+            }
+            tx.write_pod(header.data, index * Self::ELEM, &value)
+        })
+    }
+
+    /// Copies the whole vector into a volatile `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn to_vec(&self, pool: &PtxPool) -> Result<Vec<T>, PtxError> {
+        let header = self.read_header(pool)?;
+        let mut out = Vec::with_capacity(header.len as usize);
+        if header.len > 0 {
+            let data = pool.heap().raw_offset(header.data)?;
+            for i in 0..header.len {
+                out.push(pool.heap().device().read_pod(data + i * Self::ELEM)?);
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,198 @@
+//! Model-based and crash tests for the persistent data structures.
+
+use std::sync::Arc;
+
+use pds::{PList, PMap, PVec};
+use pmem::{CrashMode, DeviceConfig, PmemDevice};
+use poseidon::{HeapConfig, PoseidonHeap};
+use proptest::prelude::*;
+use ptx::PtxPool;
+
+fn pool() -> (Arc<PmemDevice>, PtxPool) {
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+    let heap = Arc::new(PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap());
+    (dev, PtxPool::create(heap).unwrap())
+}
+
+#[test]
+fn vec_grows_and_survives_reopen() {
+    let (dev, pool) = pool();
+    let vec: PVec<u64> = PVec::create(&pool).unwrap();
+    for i in 0..200u64 {
+        vec.push(&pool, i * 3).unwrap();
+    }
+    // Anchor and "restart".
+    pool.run(|tx| tx.set_root(vec.handle())).unwrap();
+    drop(pool);
+    dev.simulate_crash(CrashMode::Strict, 1);
+    let heap = Arc::new(PoseidonHeap::load(dev, HeapConfig::new()).unwrap());
+    let pool = PtxPool::open(heap).unwrap();
+    let vec: PVec<u64> = PVec::open(pool.root().unwrap());
+    assert_eq!(vec.len(&pool).unwrap(), 200);
+    for i in 0..200u64 {
+        assert_eq!(vec.get(&pool, i).unwrap(), Some(i * 3));
+    }
+    assert_eq!(vec.pop(&pool).unwrap(), Some(199 * 3));
+}
+
+#[test]
+fn list_is_lifo_and_frees_nodes() {
+    let (_dev, pool) = pool();
+    let list: PList<u64> = PList::create(&pool).unwrap();
+    for i in 0..50u64 {
+        list.push(&pool, i).unwrap();
+    }
+    assert_eq!(list.front(&pool).unwrap(), Some(49));
+    assert_eq!(list.to_vec(&pool).unwrap(), (0..50u64).rev().collect::<Vec<_>>());
+    for i in (0..50u64).rev() {
+        assert_eq!(list.pop(&pool).unwrap(), Some(i));
+    }
+    assert_eq!(list.pop(&pool).unwrap(), None);
+    assert!(list.is_empty(&pool).unwrap());
+    // All nodes returned to the heap: only descriptor + headers live.
+    let allocated: u64 = pool.heap().audit().unwrap().iter().map(|(_, a)| a.alloc_blocks).sum();
+    assert!(allocated <= 3, "leaked list nodes: {allocated} blocks live");
+}
+
+#[test]
+fn map_against_std_hashmap() {
+    let (_dev, pool) = pool();
+    let map: PMap<u64> = PMap::create(&pool, 16).unwrap();
+    let mut model = std::collections::HashMap::new();
+    let mut state = 0xDEADu64;
+    for _ in 0..600 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let key = state % 100;
+        match state % 3 {
+            0 => {
+                let old = map.insert(&pool, key, state).unwrap();
+                assert_eq!(old, model.insert(key, state));
+            }
+            1 => assert_eq!(map.get(&pool, key).unwrap(), model.get(&key).copied()),
+            _ => assert_eq!(map.remove(&pool, key).unwrap(), model.remove(&key)),
+        }
+        assert_eq!(map.len(&pool).unwrap(), model.len() as u64);
+    }
+    for (k, v) in model {
+        assert_eq!(map.get(&pool, k).unwrap(), Some(v));
+    }
+}
+
+#[test]
+fn crash_mid_push_never_tears_the_vector() {
+    for crash_at in (5..150).step_by(5) {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let heap = Arc::new(PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(1)).unwrap());
+        let pool = PtxPool::create(heap).unwrap();
+        let vec: PVec<u64> = PVec::create(&pool).unwrap();
+        pool.run(|tx| tx.set_root(vec.handle())).unwrap();
+        for i in 0..6u64 {
+            vec.push(&pool, i).unwrap();
+        }
+        dev.arm_crash_after(crash_at);
+        let _ = vec.push(&pool, 999); // may crash mid-transaction (or mid-growth)
+        dev.disarm_crash();
+        drop(pool);
+        dev.simulate_crash(CrashMode::Strict, crash_at);
+
+        let heap = Arc::new(PoseidonHeap::load(dev, HeapConfig::new()).unwrap());
+        let pool = PtxPool::open(heap).unwrap();
+        let vec: PVec<u64> = PVec::open(pool.root().unwrap());
+        let len = vec.len(&pool).unwrap();
+        assert!(len == 6 || len == 7, "crash_at {crash_at}: torn length {len}");
+        for i in 0..6u64 {
+            assert_eq!(vec.get(&pool, i).unwrap(), Some(i), "crash_at {crash_at}: element {i} torn");
+        }
+        if len == 7 {
+            assert_eq!(vec.get(&pool, 6).unwrap(), Some(999));
+        }
+        pool.heap().audit().unwrap();
+    }
+}
+
+#[test]
+fn crash_mid_map_ops_preserves_entries() {
+    for crash_at in (10..120).step_by(7) {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let heap = Arc::new(PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(1)).unwrap());
+        let pool = PtxPool::create(heap).unwrap();
+        let map: PMap<u64> = PMap::create(&pool, 8).unwrap();
+        pool.run(|tx| tx.set_root(map.handle())).unwrap();
+        for k in 0..10u64 {
+            map.insert(&pool, k, k + 100).unwrap();
+        }
+        dev.arm_crash_after(crash_at);
+        let _ = map.insert(&pool, 42, 4242);
+        let _ = map.remove(&pool, 3);
+        dev.disarm_crash();
+        drop(pool);
+        dev.simulate_crash(CrashMode::Strict, crash_at as u64);
+
+        let heap = Arc::new(PoseidonHeap::load(dev, HeapConfig::new()).unwrap());
+        let pool = PtxPool::open(heap).unwrap();
+        let map: PMap<u64> = PMap::open(pool.root().unwrap());
+        // Untouched keys are always intact.
+        for k in 0..10u64 {
+            if k == 3 {
+                let v = map.get(&pool, 3).unwrap();
+                assert!(v.is_none() || v == Some(103), "crash_at {crash_at}: key 3 torn");
+            } else {
+                assert_eq!(map.get(&pool, k).unwrap(), Some(k + 100), "crash_at {crash_at}: key {k}");
+            }
+        }
+        // Key 42 is all-or-nothing.
+        let v = map.get(&pool, 42).unwrap();
+        assert!(v.is_none() || v == Some(4242), "crash_at {crash_at}: key 42 torn");
+        pool.heap().audit().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pvec_matches_std_vec(ops in proptest::collection::vec((any::<u64>(), 0u8..4), 1..120)) {
+        let (_dev, pool) = pool();
+        let vec: PVec<u64> = PVec::create(&pool).unwrap();
+        let mut model: Vec<u64> = Vec::new();
+        for (value, op) in ops {
+            match op {
+                0 | 1 => {
+                    vec.push(&pool, value).unwrap();
+                    model.push(value);
+                }
+                2 => {
+                    prop_assert_eq!(vec.pop(&pool).unwrap(), model.pop());
+                }
+                _ => {
+                    if !model.is_empty() {
+                        let index = value % model.len() as u64;
+                        vec.set(&pool, index, value).unwrap();
+                        model[index as usize] = value;
+                    }
+                }
+            }
+            prop_assert_eq!(vec.len(&pool).unwrap(), model.len() as u64);
+        }
+        prop_assert_eq!(vec.to_vec(&pool).unwrap(), model);
+    }
+
+    #[test]
+    fn plist_matches_std_vecdeque(ops in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..100)) {
+        let (_dev, pool) = pool();
+        let list: PList<u64> = PList::create(&pool).unwrap();
+        let mut model: Vec<u64> = Vec::new();
+        for (value, push) in ops {
+            if push {
+                list.push(&pool, value).unwrap();
+                model.push(value);
+            } else {
+                prop_assert_eq!(list.pop(&pool).unwrap(), model.pop());
+            }
+            prop_assert_eq!(list.len(&pool).unwrap(), model.len() as u64);
+            prop_assert_eq!(list.front(&pool).unwrap(), model.last().copied());
+        }
+    }
+}

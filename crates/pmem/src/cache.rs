@@ -1,0 +1,321 @@
+//! The modelled CPU cache: which stores have actually reached media?
+//!
+//! On real hardware with write-back caching, a store becomes durable only
+//! once its cache line is flushed (`clwb`) and the flush is ordered
+//! (`sfence`) — or when the cache spontaneously evicts the line, at a time
+//! the program cannot control. This module tracks exactly that:
+//!
+//! * a **dirty** line has been stored to since it last reached media; the
+//!   tracker remembers the line's *media image* (its content as of the last
+//!   persist),
+//! * `clwb` marks a dirty line **flush-pending**,
+//! * `sfence` commits every flush-pending line (its current content becomes
+//!   the media image and the line is clean again),
+//! * a crash reverts dirty lines to their media image — all of them in
+//!   [`CrashMode::Strict`], or an arbitrary pseudo-random subset in
+//!   [`CrashMode::Adversarial`], which models lines that happened to be
+//!   evicted (and therefore persisted) before the power failed.
+//!
+//! A recovery protocol is only correct if it works under *both* modes.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Size of a CPU cache line in bytes.
+pub const CACHE_LINE_SIZE: u64 = 64;
+
+const SHARDS: usize = 64;
+
+/// How [`PmemDevice::simulate_crash`](crate::PmemDevice::simulate_crash)
+/// treats lines that were dirty (or flush-pending but unfenced) at the
+/// moment of the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Every unpersisted line is lost: media reverts to the last persisted
+    /// image. The deterministic worst case for "I forgot to flush".
+    Strict,
+    /// Each unpersisted line independently either persists (as if evicted
+    /// just in time) or reverts, chosen pseudo-randomly from the seed.
+    /// Models real write-back caches, where unflushed stores *may* land.
+    Adversarial,
+}
+
+struct LineState {
+    /// Content of the line as of the last time it was persisted.
+    media: Box<[u8]>,
+    /// Set by `clwb`; cleared (with the entry) by `sfence`.
+    flush_pending: bool,
+}
+
+/// Tracks dirty cache lines for one device.
+pub(crate) struct CacheModel {
+    shards: Box<[Mutex<HashMap<u64, LineState>>]>,
+    /// Line numbers that have been `clwb`-ed since the last `sfence`.
+    pending_queue: Mutex<Vec<u64>>,
+}
+
+impl CacheModel {
+    pub(crate) fn new() -> CacheModel {
+        CacheModel {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            pending_queue: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, line: u64) -> &Mutex<HashMap<u64, LineState>> {
+        &self.shards[(line as usize) % SHARDS]
+    }
+
+    /// Records that the line containing `[offset, offset+len)` is about to
+    /// be overwritten; `read_media` must read the line's *current* content
+    /// (which, for a clean line, is by definition the media content).
+    ///
+    /// Must be called *before* the store is applied to the backing store,
+    /// while holding off concurrent `sfence` — the shard lock provides the
+    /// required atomicity for first-touch capture.
+    pub(crate) fn before_write(&self, offset: u64, len: u64, read_media: impl Fn(u64, &mut [u8])) {
+        let first = offset / CACHE_LINE_SIZE;
+        let last = (offset + len - 1) / CACHE_LINE_SIZE;
+        for line in first..=last {
+            let mut shard = self.shard(line).lock();
+            match shard.entry(line) {
+                Entry::Vacant(slot) => {
+                    let mut media = vec![0u8; CACHE_LINE_SIZE as usize].into_boxed_slice();
+                    read_media(line * CACHE_LINE_SIZE, &mut media);
+                    slot.insert(LineState { media, flush_pending: false });
+                }
+                Entry::Occupied(mut slot) => {
+                    // A store to a flush-pending line re-dirties it: the
+                    // pending clwb no longer guarantees anything about the
+                    // line's final content, so we pessimistically require a
+                    // fresh clwb (real hardware may persist either image).
+                    slot.get_mut().flush_pending = false;
+                }
+            }
+        }
+    }
+
+    /// Marks the lines covering `[offset, offset+len)` flush-pending
+    /// (`clwb`). Clean lines are a no-op. Returns the number of lines
+    /// touched (for stats).
+    pub(crate) fn clwb(&self, offset: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = offset / CACHE_LINE_SIZE;
+        let last = (offset + len - 1) / CACHE_LINE_SIZE;
+        let mut pending = Vec::new();
+        for line in first..=last {
+            let mut shard = self.shard(line).lock();
+            if let Some(state) = shard.get_mut(&line) {
+                if !state.flush_pending {
+                    state.flush_pending = true;
+                    pending.push(line);
+                }
+            }
+        }
+        let count = (last - first) + 1;
+        if !pending.is_empty() {
+            self.pending_queue.lock().extend(pending);
+        }
+        count
+    }
+
+    /// Commits every flush-pending line (`sfence`): the line's current
+    /// content becomes its media image.
+    pub(crate) fn sfence(&self) {
+        let drained: Vec<u64> = std::mem::take(&mut *self.pending_queue.lock());
+        for line in drained {
+            let mut shard = self.shard(line).lock();
+            if let Some(state) = shard.get(&line) {
+                if state.flush_pending {
+                    shard.remove(&line);
+                }
+            }
+        }
+    }
+
+    /// Drops tracking state for the lines covering `[offset, offset+len)`
+    /// without reverting them: used when a range becomes durable by other
+    /// means (hole punching).
+    pub(crate) fn forget_range(&self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / CACHE_LINE_SIZE;
+        let last = (offset + len - 1) / CACHE_LINE_SIZE;
+        for line in first..=last {
+            self.shard(line).lock().remove(&line);
+        }
+    }
+
+    /// Returns the number of lines that are not yet durable.
+    pub(crate) fn unpersisted_lines(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Applies a crash: reverts unpersisted lines to their media image via
+    /// `write_media`, according to `mode`, then forgets all tracking state.
+    pub(crate) fn crash(&self, mode: CrashMode, seed: u64, write_media: impl Fn(u64, &[u8])) {
+        self.pending_queue.lock().clear();
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            for (line, state) in shard.drain() {
+                let survives = match mode {
+                    CrashMode::Strict => false,
+                    CrashMode::Adversarial => splitmix64(seed ^ line.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & 1 == 1,
+                };
+                if !survives {
+                    write_media(line * CACHE_LINE_SIZE, &state.media);
+                }
+            }
+        }
+    }
+}
+
+/// SplitMix64 — a tiny, high-quality mixing function for deterministic
+/// per-line crash decisions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// A 1 KiB toy media for exercising the tracker directly.
+    struct ToyMedia(StdMutex<Vec<u8>>);
+
+    impl ToyMedia {
+        fn new() -> ToyMedia {
+            ToyMedia(StdMutex::new(vec![0; 1024]))
+        }
+        fn read(&self, off: u64, buf: &mut [u8]) {
+            let data = self.0.lock().unwrap();
+            buf.copy_from_slice(&data[off as usize..off as usize + buf.len()]);
+        }
+        fn write(&self, off: u64, buf: &[u8]) {
+            let mut data = self.0.lock().unwrap();
+            data[off as usize..off as usize + buf.len()].copy_from_slice(buf);
+        }
+    }
+
+    fn store(media: &ToyMedia, cache: &CacheModel, off: u64, bytes: &[u8]) {
+        cache.before_write(off, bytes.len() as u64, |o, b| media.read(o, b));
+        media.write(off, bytes);
+    }
+
+    #[test]
+    fn unflushed_store_reverts_on_strict_crash() {
+        let media = ToyMedia::new();
+        let cache = CacheModel::new();
+        store(&media, &cache, 0, &[7; 8]);
+        assert_eq!(cache.unpersisted_lines(), 1);
+        cache.crash(CrashMode::Strict, 0, |o, b| media.write(o, b));
+        let mut buf = [9u8; 8];
+        media.read(0, &mut buf);
+        assert_eq!(buf, [0; 8]);
+        assert_eq!(cache.unpersisted_lines(), 0);
+    }
+
+    #[test]
+    fn clwb_alone_is_not_durable() {
+        let media = ToyMedia::new();
+        let cache = CacheModel::new();
+        store(&media, &cache, 0, &[7; 8]);
+        cache.clwb(0, 8);
+        // No sfence: still revertible.
+        cache.crash(CrashMode::Strict, 0, |o, b| media.write(o, b));
+        let mut buf = [9u8; 8];
+        media.read(0, &mut buf);
+        assert_eq!(buf, [0; 8]);
+    }
+
+    #[test]
+    fn clwb_plus_sfence_is_durable() {
+        let media = ToyMedia::new();
+        let cache = CacheModel::new();
+        store(&media, &cache, 0, &[7; 8]);
+        cache.clwb(0, 8);
+        cache.sfence();
+        assert_eq!(cache.unpersisted_lines(), 0);
+        cache.crash(CrashMode::Strict, 0, |o, b| media.write(o, b));
+        let mut buf = [0u8; 8];
+        media.read(0, &mut buf);
+        assert_eq!(buf, [7; 8]);
+    }
+
+    #[test]
+    fn rewrite_after_persist_reverts_to_persisted_image() {
+        let media = ToyMedia::new();
+        let cache = CacheModel::new();
+        store(&media, &cache, 0, &[1; 8]);
+        cache.clwb(0, 8);
+        cache.sfence();
+        store(&media, &cache, 0, &[2; 8]);
+        cache.crash(CrashMode::Strict, 0, |o, b| media.write(o, b));
+        let mut buf = [0u8; 8];
+        media.read(0, &mut buf);
+        assert_eq!(buf, [1; 8]); // back to the persisted value, not zero
+    }
+
+    #[test]
+    fn partial_line_revert_restores_whole_line() {
+        let media = ToyMedia::new();
+        let cache = CacheModel::new();
+        store(&media, &cache, 0, &[1; 64]);
+        cache.clwb(0, 64);
+        cache.sfence();
+        // Dirty two bytes of the persisted line.
+        store(&media, &cache, 10, &[9, 9]);
+        cache.crash(CrashMode::Strict, 0, |o, b| media.write(o, b));
+        let mut buf = [0u8; 64];
+        media.read(0, &mut buf);
+        assert_eq!(buf, [1; 64]);
+    }
+
+    #[test]
+    fn adversarial_mode_is_deterministic_per_seed() {
+        // With many lines, both outcomes should occur for some line, and the
+        // same seed must give the same result twice.
+        let outcome = |seed: u64| -> Vec<u8> {
+            let media = ToyMedia::new();
+            let cache = CacheModel::new();
+            for line in 0..16u64 {
+                store(&media, &cache, line * 64, &[1; 64]);
+            }
+            cache.crash(CrashMode::Adversarial, seed, |o, b| media.write(o, b));
+            let mut buf = vec![0u8; 1024];
+            media.read(0, &mut buf);
+            buf
+        };
+        let a = outcome(42);
+        let b = outcome(42);
+        assert_eq!(a, b);
+        let survivors = a.chunks(64).filter(|c| c[0] == 1).count();
+        assert!(survivors > 0 && survivors < 16, "expected a mixed outcome, got {survivors}/16");
+    }
+
+    #[test]
+    fn sfence_only_commits_clwbed_lines() {
+        let media = ToyMedia::new();
+        let cache = CacheModel::new();
+        store(&media, &cache, 0, &[1; 8]);
+        store(&media, &cache, 128, &[2; 8]);
+        cache.clwb(0, 8);
+        cache.sfence();
+        cache.crash(CrashMode::Strict, 0, |o, b| media.write(o, b));
+        let mut buf = [0u8; 8];
+        media.read(0, &mut buf);
+        assert_eq!(buf, [1; 8]);
+        media.read(128, &mut buf);
+        assert_eq!(buf, [0; 8]);
+    }
+}

@@ -1,0 +1,728 @@
+//! The simulated persistent-memory device.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use mpk::{AccessKind, MpkDomain, ProtectionKey};
+
+use crate::cache::{CacheModel, CrashMode, CACHE_LINE_SIZE};
+use crate::cost::CostModel;
+use crate::error::PmemError;
+use crate::numa::{current_cpu, NumaTopology};
+use crate::pod::Pod;
+use crate::stats::{DeviceStats, StatsSnapshot};
+use crate::store::ChunkStore;
+
+/// Size of a protection/NUMA page (4 KiB, matching x86 and MPK granularity).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Configuration of a [`PmemDevice`].
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceConfig {
+    /// Virtual capacity in bytes (backing memory is materialised lazily).
+    pub capacity: u64,
+    /// Track dirty cache lines for crash simulation. Disable for pure
+    /// throughput benchmarks; [`PmemDevice::simulate_crash`] then has
+    /// nothing to revert.
+    pub crash_tracking: bool,
+    /// Enforce MPK page protection on every access. Disabling it is the
+    /// "no protection" ablation.
+    pub enforce_protection: bool,
+    /// Socket/CPU model used for locality accounting.
+    pub topology: NumaTopology,
+    /// Event prices used by [`StatsSnapshot::media_time_ns`].
+    pub cost_model: CostModel,
+}
+
+impl DeviceConfig {
+    /// A full-featured config with the given capacity, host topology and
+    /// DCPMM costs.
+    pub fn new(capacity: u64) -> DeviceConfig {
+        DeviceConfig {
+            capacity,
+            crash_tracking: true,
+            enforce_protection: true,
+            topology: NumaTopology::host(),
+            cost_model: CostModel::dcpmm(),
+        }
+    }
+
+    /// A small (16 MiB) device for unit tests and doc examples.
+    pub fn small_test() -> DeviceConfig {
+        DeviceConfig::new(16 << 20)
+    }
+
+    /// A benchmark config: crash tracking off (no per-write bookkeeping),
+    /// protection on (Poseidon always pays for its safety).
+    pub fn bench(capacity: u64) -> DeviceConfig {
+        DeviceConfig { crash_tracking: false, ..DeviceConfig::new(capacity) }
+    }
+
+    /// Returns a copy with crash tracking set to `enabled`.
+    pub fn with_crash_tracking(mut self, enabled: bool) -> DeviceConfig {
+        self.crash_tracking = enabled;
+        self
+    }
+
+    /// Returns a copy with protection enforcement set to `enabled`.
+    pub fn with_protection(mut self, enabled: bool) -> DeviceConfig {
+        self.enforce_protection = enabled;
+        self
+    }
+
+    /// Returns a copy with the given topology.
+    pub fn with_topology(mut self, topology: NumaTopology) -> DeviceConfig {
+        self.topology = topology;
+        self
+    }
+}
+
+/// A simulated NVMM device. See the [crate docs](crate) for the model.
+///
+/// All methods take `&self`; the device is meant to be shared across
+/// threads in an `Arc`. Like real memory it provides no inter-thread
+/// ordering of its own — allocators built on it synchronise with their own
+/// locks — but unlike raw memory every access is bounds-checked,
+/// MPK-checked, and free of undefined behaviour even under data races
+/// (racing byte-writes land atomically).
+pub struct PmemDevice {
+    config: DeviceConfig,
+    store: ChunkStore,
+    cache: Option<CacheModel>,
+    page_keys: Box<[AtomicU8]>,
+    page_nodes: Box<[AtomicU8]>,
+    domain: Arc<MpkDomain>,
+    stats: DeviceStats,
+    crashed: AtomicBool,
+    /// Remaining mutation events before an injected crash; negative =
+    /// disarmed.
+    crash_countdown: AtomicI64,
+}
+
+impl std::fmt::Debug for PmemDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemDevice")
+            .field("capacity", &self.config.capacity)
+            .field("resident_bytes", &self.store.resident_bytes())
+            .field("crashed", &self.crashed.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl PmemDevice {
+    /// Creates a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> PmemDevice {
+        let pages = config.capacity.div_ceil(PAGE_SIZE) as usize;
+        PmemDevice {
+            store: ChunkStore::new(config.capacity),
+            cache: config.crash_tracking.then(CacheModel::new),
+            page_keys: (0..pages).map(|_| AtomicU8::new(0)).collect(),
+            page_nodes: (0..pages).map(|_| AtomicU8::new(0)).collect(),
+            domain: Arc::new(MpkDomain::new()),
+            stats: DeviceStats::new(),
+            crashed: AtomicBool::new(false),
+            crash_countdown: AtomicI64::new(-1),
+            config,
+        }
+    }
+
+    /// Device capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.config.capacity
+    }
+
+    /// The device's configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// The MPK domain guarding this device's pages.
+    pub fn mpk(&self) -> &Arc<MpkDomain> {
+        &self.domain
+    }
+
+    /// The NUMA topology used for locality accounting.
+    pub fn topology(&self) -> NumaTopology {
+        self.config.topology
+    }
+
+    /// Bytes of backing memory currently materialised.
+    pub fn resident_bytes(&self) -> u64 {
+        self.store.resident_bytes()
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resets the traffic counters to zero.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    #[inline]
+    fn check_range(&self, offset: u64, len: u64) -> Result<(), PmemError> {
+        if offset.checked_add(len).is_none_or(|end| end > self.config.capacity) {
+            return Err(PmemError::OutOfBounds { offset, len, capacity: self.config.capacity });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn check_protection(&self, offset: u64, len: u64, kind: AccessKind) -> Result<(), PmemError> {
+        if !self.config.enforce_protection || len == 0 {
+            return Ok(());
+        }
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            let key = self.page_keys[page as usize].load(Ordering::Relaxed);
+            if key != 0 {
+                let pkey = ProtectionKey::from_index(key).expect("stored keys are valid");
+                if !self.domain.access_allowed(pkey, kind) {
+                    self.stats.record_protection_fault();
+                    return Err(PmemError::ProtectionFault { offset: page * PAGE_SIZE, key, kind });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn is_remote(&self, offset: u64) -> bool {
+        let node = self.page_nodes[(offset / PAGE_SIZE) as usize].load(Ordering::Relaxed) as usize;
+        self.config.topology.node_of_cpu(current_cpu()) != node
+    }
+
+    #[inline]
+    fn lines(offset: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        (offset + len - 1) / CACHE_LINE_SIZE - offset / CACHE_LINE_SIZE + 1
+    }
+
+    /// Counts one mutation event against an armed crash countdown.
+    /// Returns `Err(Crashed)` if the device is (or just became) crashed.
+    #[inline]
+    fn mutation_event(&self) -> Result<(), PmemError> {
+        if self.crashed.load(Ordering::Relaxed) {
+            return Err(PmemError::Crashed);
+        }
+        if self.crash_countdown.load(Ordering::Relaxed) >= 0
+            && self.crash_countdown.fetch_sub(1, Ordering::Relaxed) == 0
+        {
+            self.crashed.store(true, Ordering::Relaxed);
+            return Err(PmemError::Crashed);
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`] or [`PmemError::ProtectionFault`] (reads
+    /// are allowed on a crashed device, as recovery code must inspect it).
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<(), PmemError> {
+        self.check_range(offset, buf.len() as u64)?;
+        self.check_protection(offset, buf.len() as u64, AccessKind::Read)?;
+        self.store.read(offset, buf);
+        self.stats
+            .record_read(buf.len() as u64, Self::lines(offset, buf.len() as u64), self.is_remote(offset));
+        Ok(())
+    }
+
+    /// Writes `buf` at `offset`. The store lands in the modelled CPU cache;
+    /// call [`persist`](Self::persist) (or `clwb` + `sfence`) to make it
+    /// durable.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`], [`PmemError::ProtectionFault`], or
+    /// [`PmemError::Crashed`].
+    pub fn write(&self, offset: u64, buf: &[u8]) -> Result<(), PmemError> {
+        self.check_range(offset, buf.len() as u64)?;
+        self.check_protection(offset, buf.len() as u64, AccessKind::Write)?;
+        self.mutation_event()?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        if let Some(cache) = &self.cache {
+            cache.before_write(offset, buf.len() as u64, |line_off, line_buf| {
+                // Clamp to capacity: the last line of an unaligned capacity
+                // may extend past it; the out-of-range tail stays zero.
+                let end = (line_off + line_buf.len() as u64).min(self.config.capacity);
+                if line_off < end {
+                    self.store.read(line_off, &mut line_buf[..(end - line_off) as usize]);
+                }
+            });
+        }
+        self.store.write(offset, buf);
+        self.stats
+            .record_write(buf.len() as u64, Self::lines(offset, buf.len() as u64), self.is_remote(offset));
+        Ok(())
+    }
+
+    /// Reads a [`Pod`] value at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read`](Self::read).
+    pub fn read_pod<T: Pod>(&self, offset: u64) -> Result<T, PmemError> {
+        let mut value = T::zeroed();
+        self.read(offset, value.as_bytes_mut())?;
+        Ok(value)
+    }
+
+    /// Writes a [`Pod`] value at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`write`](Self::write).
+    pub fn write_pod<T: Pod>(&self, offset: u64, value: &T) -> Result<(), PmemError> {
+        self.write(offset, value.as_bytes())
+    }
+
+    /// Atomically ORs `mask` into the 8-byte-aligned u64 at `offset`,
+    /// returning the previous value — the simulated equivalent of a
+    /// `lock or` on persistent memory. Subject to the same protection and
+    /// crash-tracking rules as [`write`](Self::write).
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::Misaligned`], plus everything [`write`](Self::write)
+    /// can return.
+    pub fn fetch_or_u64(&self, offset: u64, mask: u64) -> Result<u64, PmemError> {
+        self.fetch_update_u64(offset, |w| w | mask)
+    }
+
+    /// Atomically ANDs `mask` into the 8-byte-aligned u64 at `offset`,
+    /// returning the previous value.
+    ///
+    /// # Errors
+    ///
+    /// As for [`fetch_or_u64`](Self::fetch_or_u64).
+    pub fn fetch_and_u64(&self, offset: u64, mask: u64) -> Result<u64, PmemError> {
+        self.fetch_update_u64(offset, |w| w & mask)
+    }
+
+    fn fetch_update_u64(&self, offset: u64, f: impl Fn(u64) -> u64) -> Result<u64, PmemError> {
+        if offset % 8 != 0 {
+            return Err(PmemError::Misaligned { value: offset, required: 8 });
+        }
+        self.check_range(offset, 8)?;
+        self.check_protection(offset, 8, AccessKind::Write)?;
+        self.mutation_event()?;
+        if let Some(cache) = &self.cache {
+            cache.before_write(offset, 8, |line_off, line_buf| {
+                let end = (line_off + line_buf.len() as u64).min(self.config.capacity);
+                if line_off < end {
+                    self.store.read(line_off, &mut line_buf[..(end - line_off) as usize]);
+                }
+            });
+        }
+        let previous = self.store.fetch_update_u64(offset, f);
+        self.stats.record_write(8, 1, self.is_remote(offset));
+        Ok(previous)
+    }
+
+    /// Flushes the cache lines covering `[offset, offset + len)` (`clwb`).
+    /// Not durable until the next [`sfence`](Self::sfence).
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`] or [`PmemError::Crashed`].
+    pub fn clwb(&self, offset: u64, len: u64) -> Result<(), PmemError> {
+        self.check_range(offset, len)?;
+        self.mutation_event()?;
+        let lines = match &self.cache {
+            Some(cache) => {
+                cache.clwb(offset, len);
+                Self::lines(offset, len)
+            }
+            None => Self::lines(offset, len),
+        };
+        self.stats.record_clwb(lines);
+        Ok(())
+    }
+
+    /// Commits all pending flushes (`sfence`); flushed lines are durable
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::Crashed`].
+    pub fn sfence(&self) -> Result<(), PmemError> {
+        self.mutation_event()?;
+        if let Some(cache) = &self.cache {
+            cache.sfence();
+        }
+        self.stats.record_sfence();
+        Ok(())
+    }
+
+    /// `clwb` + `sfence`: makes `[offset, offset + len)` durable.
+    ///
+    /// # Errors
+    ///
+    /// As for [`clwb`](Self::clwb) and [`sfence`](Self::sfence).
+    pub fn persist(&self, offset: u64, len: u64) -> Result<(), PmemError> {
+        self.clwb(offset, len)?;
+        self.sfence()
+    }
+
+    /// Number of cache lines with stores that are not yet durable
+    /// (always 0 when crash tracking is disabled).
+    pub fn unpersisted_lines(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.unpersisted_lines())
+    }
+
+    /// Tags the pages covering `[offset, offset + len)` with `key`.
+    /// This models updating page-table entries and is not itself subject to
+    /// protection checks.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`].
+    pub fn set_page_key(&self, offset: u64, len: u64, key: ProtectionKey) -> Result<(), PmemError> {
+        self.check_range(offset, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            self.page_keys[page as usize].store(key.index(), Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Returns the protection key of the page containing `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`].
+    pub fn page_key(&self, offset: u64) -> Result<ProtectionKey, PmemError> {
+        self.check_range(offset, 1)?;
+        let key = self.page_keys[(offset / PAGE_SIZE) as usize].load(Ordering::Relaxed);
+        Ok(ProtectionKey::from_index(key).expect("stored keys are valid"))
+    }
+
+    /// Assigns the pages covering `[offset, offset + len)` to NUMA node
+    /// `node` for locality accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`].
+    pub fn set_page_node(&self, offset: u64, len: u64, node: u8) -> Result<(), PmemError> {
+        self.check_range(offset, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            self.page_nodes[page as usize].store(node, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Returns the pages covering `[offset, offset + len)` to the sparse
+    /// store (the `fallocate` hole-punch analogue): fully covered 2 MiB
+    /// backing chunks are dematerialised and the rest is zeroed. The hole
+    /// is durable immediately, like the syscall. Returns released bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`], [`PmemError::ProtectionFault`] (punching
+    /// is a write), or [`PmemError::Crashed`].
+    pub fn punch_hole(&self, offset: u64, len: u64) -> Result<u64, PmemError> {
+        self.check_range(offset, len)?;
+        self.check_protection(offset, len, AccessKind::Write)?;
+        self.mutation_event()?;
+        let released = self.store.punch(offset, len);
+        if let Some(cache) = &self.cache {
+            // The hole (and the zeroed edges) are durable immediately;
+            // whatever was dirty in the range no longer needs reverting.
+            cache.forget_range(offset, len);
+        }
+        Ok(released)
+    }
+
+    /// Arms crash injection: the device fails (and every subsequent
+    /// mutation returns [`PmemError::Crashed`]) on the `events`-th mutation
+    /// event (writes, `clwb`s, `sfence`s and hole punches each count one).
+    /// `events = 0` crashes on the next event.
+    pub fn arm_crash_after(&self, events: u64) {
+        self.crash_countdown.store(events.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+    }
+
+    /// Disarms crash injection.
+    pub fn disarm_crash(&self) {
+        self.crash_countdown.store(-1, Ordering::Relaxed);
+    }
+
+    /// Whether the device is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Applies a power failure: every store that was not durable is
+    /// reverted per `mode` (see [`CrashMode`]), tracking state is cleared,
+    /// and the device is usable again (as if power returned). `seed` makes
+    /// [`CrashMode::Adversarial`] deterministic.
+    ///
+    /// A no-op revert when crash tracking is disabled (the device still
+    /// un-crashes).
+    pub fn simulate_crash(&self, mode: CrashMode, seed: u64) {
+        if let Some(cache) = &self.cache {
+            cache.crash(mode, seed, |line_off, line_buf| {
+                let end = (line_off + line_buf.len() as u64).min(self.config.capacity);
+                if line_off < end {
+                    self.store.write(line_off, &line_buf[..(end - line_off) as usize]);
+                }
+            });
+        }
+        self.crash_countdown.store(-1, Ordering::Relaxed);
+        self.crashed.store(false, Ordering::Relaxed);
+    }
+
+    /// Clears the crashed flag without touching memory (for tests that
+    /// inject a crash but want to inspect the raw post-crash state before
+    /// reverting).
+    pub fn clear_crash(&self) {
+        self.crash_countdown.store(-1, Ordering::Relaxed);
+        self.crashed.store(false, Ordering::Relaxed);
+    }
+
+    /// Saves the device's media image to `path`.
+    ///
+    /// The device must be clean (no unpersisted lines): a snapshot is the
+    /// durable state, and saving a dirty device would silently promote
+    /// volatile stores.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::BadSnapshot`] if dirty, [`PmemError::Io`] on I/O
+    /// failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PmemError> {
+        use std::io::Write as _;
+        if self.unpersisted_lines() > 0 {
+            return Err(PmemError::BadSnapshot("device has unpersisted lines; persist or crash first"));
+        }
+        let file = std::fs::File::create(path)?;
+        let mut out = std::io::BufWriter::new(file);
+        out.write_all(SNAPSHOT_MAGIC)?;
+        out.write_all(&self.config.capacity.to_le_bytes())?;
+        let mut count: u64 = 0;
+        self.store.for_each_resident(|_, _| count += 1);
+        out.write_all(&count.to_le_bytes())?;
+        let mut result = Ok(());
+        self.store.for_each_resident(|index, bytes| {
+            if result.is_ok() {
+                result = out
+                    .write_all(&(index as u64).to_le_bytes())
+                    .and_then(|_| out.write_all(bytes));
+            }
+        });
+        result?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Loads a device image previously written by [`save`](Self::save),
+    /// applying `config` for everything except capacity (taken from the
+    /// snapshot).
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::BadSnapshot`] on format mismatch, [`PmemError::Io`] on
+    /// I/O failure.
+    pub fn load(path: impl AsRef<Path>, config: DeviceConfig) -> Result<PmemDevice, PmemError> {
+        use std::io::Read as _;
+        let file = std::fs::File::open(path)?;
+        let mut input = std::io::BufReader::new(file);
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(PmemError::BadSnapshot("bad magic"));
+        }
+        let mut word = [0u8; 8];
+        input.read_exact(&mut word)?;
+        let capacity = u64::from_le_bytes(word);
+        input.read_exact(&mut word)?;
+        let count = u64::from_le_bytes(word);
+        let device = PmemDevice::new(DeviceConfig { capacity, ..config });
+        let mut chunk = vec![0u8; crate::store::CHUNK_SIZE as usize];
+        for _ in 0..count {
+            input.read_exact(&mut word)?;
+            let index = u64::from_le_bytes(word);
+            let in_range = index
+                .checked_mul(crate::store::CHUNK_SIZE)
+                .is_some_and(|off| off < capacity.next_multiple_of(crate::store::CHUNK_SIZE));
+            if !in_range {
+                return Err(PmemError::BadSnapshot("chunk index out of range"));
+            }
+            input.read_exact(&mut chunk)?;
+            device.store.write(index * crate::store::CHUNK_SIZE, &chunk);
+        }
+        Ok(device)
+    }
+}
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"PMEMSNP1";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numa::CpuPinGuard;
+    use mpk::AccessRights;
+
+    fn device() -> PmemDevice {
+        PmemDevice::new(DeviceConfig::small_test())
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let dev = device();
+        let cap = dev.capacity();
+        assert!(matches!(dev.write(cap - 1, &[0, 0]), Err(PmemError::OutOfBounds { .. })));
+        assert!(matches!(dev.read(cap, &mut [0]), Err(PmemError::OutOfBounds { .. })));
+        assert!(dev.write(cap - 1, &[0]).is_ok());
+        // Overflow-proof.
+        assert!(matches!(dev.clwb(u64::MAX, 2), Err(PmemError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn pod_roundtrip() {
+        let dev = device();
+        dev.write_pod(128, &0xDEAD_BEEFu64).unwrap();
+        assert_eq!(dev.read_pod::<u64>(128).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn protection_fault_on_tagged_page() {
+        let dev = device();
+        let key = dev.mpk().pkey_alloc(AccessRights::ReadOnly).unwrap();
+        dev.set_page_key(0, PAGE_SIZE, key).unwrap();
+        dev.write(PAGE_SIZE, &[1]).unwrap(); // untagged page: fine
+        let err = dev.write(100, &[1]).unwrap_err();
+        assert!(matches!(err, PmemError::ProtectionFault { key: k, .. } if k == key.index()));
+        // Reads still allowed.
+        assert!(dev.read(100, &mut [0]).is_ok());
+        // With a grant, the write succeeds.
+        let _g = dev.mpk().grant_write(key);
+        assert!(dev.write(100, &[1]).is_ok());
+        assert_eq!(dev.stats().protection_faults, 1);
+    }
+
+    #[test]
+    fn protection_check_covers_spanning_access() {
+        let dev = device();
+        let key = dev.mpk().pkey_alloc(AccessRights::ReadOnly).unwrap();
+        dev.set_page_key(PAGE_SIZE, PAGE_SIZE, key).unwrap();
+        // Write starting on an untagged page but spilling into the tagged
+        // one must fault — this is the heap-overflow scenario.
+        let err = dev.write(PAGE_SIZE - 8, &[7; 16]).unwrap_err();
+        assert!(matches!(err, PmemError::ProtectionFault { .. }));
+    }
+
+    #[test]
+    fn crash_reverts_unpersisted_writes() {
+        let dev = device();
+        dev.write(0, &[1; 64]).unwrap();
+        dev.persist(0, 64).unwrap();
+        dev.write(64, &[2; 64]).unwrap();
+        assert_eq!(dev.unpersisted_lines(), 1);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        assert_eq!(dev.read_pod::<u8>(0).unwrap(), 1);
+        assert_eq!(dev.read_pod::<u8>(64).unwrap(), 0);
+    }
+
+    #[test]
+    fn armed_crash_fails_the_nth_event_and_sticks() {
+        let dev = device();
+        dev.arm_crash_after(2);
+        dev.write(0, &[1]).unwrap(); // event 0
+        dev.write(8, &[2]).unwrap(); // event 1
+        assert_eq!(dev.write(16, &[3]), Err(PmemError::Crashed)); // event 2: boom
+        assert!(dev.is_crashed());
+        assert_eq!(dev.sfence(), Err(PmemError::Crashed));
+        // Reads still work for post-mortem inspection.
+        assert_eq!(dev.read_pod::<u8>(0).unwrap(), 1);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        assert!(!dev.is_crashed());
+        // Unpersisted pre-crash writes were reverted.
+        assert_eq!(dev.read_pod::<u8>(0).unwrap(), 0);
+        assert!(dev.write(0, &[9]).is_ok());
+    }
+
+    #[test]
+    fn punch_hole_releases_and_zeroes_durably() {
+        let dev = PmemDevice::new(DeviceConfig::new(8 * crate::store::CHUNK_SIZE));
+        let len = 3 * crate::store::CHUNK_SIZE;
+        dev.write(0, &vec![1; len as usize]).unwrap();
+        dev.persist(0, len).unwrap();
+        let released = dev.punch_hole(0, len).unwrap();
+        assert_eq!(released, 3 * crate::store::CHUNK_SIZE);
+        assert_eq!(dev.read_pod::<u8>(crate::store::CHUNK_SIZE).unwrap(), 0);
+        // The hole survives a crash (it is durable like fallocate).
+        dev.simulate_crash(CrashMode::Strict, 0);
+        assert_eq!(dev.read_pod::<u8>(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn numa_accounting_distinguishes_local_and_remote() {
+        let config = DeviceConfig::small_test().with_topology(NumaTopology::new(2, 8));
+        let dev = PmemDevice::new(config);
+        dev.set_page_node(0, PAGE_SIZE, 1).unwrap();
+        {
+            let _pin = CpuPinGuard::pin(0); // node 0 -> remote
+            dev.write(0, &[1; 64]).unwrap();
+        }
+        {
+            let _pin = CpuPinGuard::pin(7); // node 1 -> local
+            dev.write(0, &[1; 64]).unwrap();
+        }
+        let s = dev.stats();
+        assert_eq!(s.write_lines_remote, 1);
+        assert_eq!(s.write_lines_local, 1);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pmem-snap-{}", std::process::id()));
+        let dev = device();
+        dev.write(123, b"persist me").unwrap();
+        dev.persist(123, 10).unwrap();
+        dev.save(&dir).unwrap();
+        let loaded = PmemDevice::load(&dir, DeviceConfig::small_test()).unwrap();
+        let mut buf = [0u8; 10];
+        loaded.read(123, &mut buf).unwrap();
+        assert_eq!(&buf, b"persist me");
+        assert_eq!(loaded.capacity(), dev.capacity());
+        std::fs::remove_file(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_rejects_dirty_device() {
+        let dev = device();
+        dev.write(0, &[1]).unwrap();
+        let err = dev.save(std::env::temp_dir().join("never-created")).unwrap_err();
+        assert!(matches!(err, PmemError::BadSnapshot(_)));
+    }
+
+    #[test]
+    fn bench_config_disables_tracking_only() {
+        let dev = PmemDevice::new(DeviceConfig::bench(1 << 20));
+        dev.write(0, &[1; 64]).unwrap();
+        assert_eq!(dev.unpersisted_lines(), 0);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        // Nothing reverted: tracking was off.
+        assert_eq!(dev.read_pod::<u8>(0).unwrap(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for device operations.
+
+use mpk::AccessKind;
+
+/// Errors returned by [`PmemDevice`](crate::PmemDevice) operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmemError {
+    /// The access `[offset, offset + len)` falls outside the device.
+    OutOfBounds {
+        /// Start offset of the attempted access.
+        offset: u64,
+        /// Length of the attempted access in bytes.
+        len: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// The executing thread's `PKRU` does not permit this access to a
+    /// protected page — the simulated equivalent of a SIGSEGV raised by MPK.
+    ProtectionFault {
+        /// Offset of the faulting access.
+        offset: u64,
+        /// Protection key tagged on the faulting page.
+        key: u8,
+        /// Whether the faulting access was a read or a write.
+        kind: AccessKind,
+    },
+    /// The device has crashed (see
+    /// [`arm_crash_after`](crate::PmemDevice::arm_crash_after)); all
+    /// mutations fail until [`clear_crash`](crate::PmemDevice::clear_crash).
+    Crashed,
+    /// An offset or length is not aligned as the operation requires.
+    Misaligned {
+        /// The misaligned value.
+        value: u64,
+        /// The required alignment in bytes.
+        required: u64,
+    },
+    /// A snapshot file is malformed or does not match the device geometry.
+    BadSnapshot(&'static str),
+    /// An I/O error occurred while saving or loading a snapshot.
+    ///
+    /// The inner value is the `std::io::ErrorKind` of the underlying error,
+    /// kept `Copy` so that `PmemError` stays cheap to pass around.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for PmemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmemError::OutOfBounds { offset, len, capacity } => write!(
+                f,
+                "access [{offset:#x}, {:#x}) out of bounds for device of {capacity:#x} bytes",
+                offset.saturating_add(*len)
+            ),
+            PmemError::ProtectionFault { offset, key, kind } => {
+                write!(f, "protection fault: {kind} at {offset:#x} denied by pkey{key}")
+            }
+            PmemError::Crashed => f.write_str("device has crashed; mutations rejected until recovery"),
+            PmemError::Misaligned { value, required } => {
+                write!(f, "value {value:#x} not aligned to {required} bytes")
+            }
+            PmemError::BadSnapshot(why) => write!(f, "bad device snapshot: {why}"),
+            PmemError::Io(kind) => write!(f, "snapshot i/o error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for PmemError {}
+
+impl From<std::io::Error> for PmemError {
+    fn from(err: std::io::Error) -> Self {
+        PmemError::Io(err.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PmemError::OutOfBounds { offset: 0x10, len: 0x20, capacity: 0x18 };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = PmemError::ProtectionFault { offset: 4096, key: 3, kind: AccessKind::Write };
+        assert!(e.to_string().contains("pkey3"));
+        assert!(e.to_string().contains("write"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "x");
+        assert_eq!(PmemError::from(io), PmemError::Io(std::io::ErrorKind::NotFound));
+    }
+}

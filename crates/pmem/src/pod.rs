@@ -1,0 +1,181 @@
+//! Plain-old-data access to persistent memory.
+//!
+//! Persistent structures live at device offsets, not behind Rust
+//! references, so they are read and written as raw bytes. The [`Pod`]
+//! trait marks types for which that is sound, and the
+//! [`pod_struct!`](crate::pod_struct) macro declares padding-free
+//! `#[repr(C)]` records with a compile-time layout check.
+
+/// Marker for types that can be safely round-tripped through raw bytes.
+///
+/// # Safety
+///
+/// Implementors must guarantee:
+///
+/// * every bit pattern of `size_of::<Self>()` bytes is a valid value
+///   (rules out `bool`, `char`, enums, and types with niches),
+/// * the type contains no padding bytes,
+/// * the type contains no pointers or references.
+pub unsafe trait Pod: Copy + 'static {
+    /// Returns the all-zero value of this type.
+    fn zeroed() -> Self {
+        // SAFETY: `Pod` guarantees all bit patterns are valid.
+        unsafe { std::mem::zeroed() }
+    }
+
+    /// Views the value as raw bytes.
+    fn as_bytes(&self) -> &[u8] {
+        // SAFETY: `Pod` guarantees no padding, so every byte is initialised.
+        unsafe { std::slice::from_raw_parts(self as *const Self as *const u8, std::mem::size_of::<Self>()) }
+    }
+
+    /// Views the value as mutable raw bytes.
+    fn as_bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: `Pod` guarantees every bit pattern is valid, so arbitrary
+        // byte writes cannot produce an invalid value.
+        unsafe { std::slice::from_raw_parts_mut(self as *mut Self as *mut u8, std::mem::size_of::<Self>()) }
+    }
+
+    /// Builds a value from raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != size_of::<Self>()`.
+    fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), std::mem::size_of::<Self>(), "byte length mismatch for Pod read");
+        let mut value = Self::zeroed();
+        value.as_bytes_mut().copy_from_slice(bytes);
+        value
+    }
+}
+
+// SAFETY: primitive integers have no padding, no niches, no pointers.
+unsafe impl Pod for u8 {}
+// SAFETY: as above.
+unsafe impl Pod for u16 {}
+// SAFETY: as above.
+unsafe impl Pod for u32 {}
+// SAFETY: as above.
+unsafe impl Pod for u64 {}
+// SAFETY: as above.
+unsafe impl Pod for u128 {}
+// SAFETY: as above.
+unsafe impl Pod for i8 {}
+// SAFETY: as above.
+unsafe impl Pod for i16 {}
+// SAFETY: as above.
+unsafe impl Pod for i32 {}
+// SAFETY: as above.
+unsafe impl Pod for i64 {}
+// SAFETY: as above.
+unsafe impl Pod for usize {}
+
+// SAFETY: arrays of Pod are Pod (no padding between elements).
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// Declares a `#[repr(C)]` plain-old-data struct with a compile-time check
+/// that it contains no padding, and implements [`Pod`] for it.
+///
+/// All field types must themselves be [`Pod`]. Lay fields out largest-first
+/// (or insert explicit `_pad` fields) so the no-padding assertion holds.
+///
+/// # Examples
+///
+/// ```
+/// pmem::pod_struct! {
+///     /// A persistent record.
+///     pub struct Record {
+///         pub offset: u64,
+///         pub size: u64,
+///         pub state: u32,
+///         pub _pad: u32,
+///     }
+/// }
+/// assert_eq!(std::mem::size_of::<Record>(), 24);
+/// ```
+#[macro_export]
+macro_rules! pod_struct {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident {
+            $(
+                $(#[$fmeta:meta])*
+                pub $field:ident : $ftype:ty
+            ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[repr(C)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name {
+            $(
+                $(#[$fmeta])*
+                pub $field: $ftype,
+            )+
+        }
+
+        impl Default for $name {
+            /// The all-zero value (large array fields preclude deriving).
+            fn default() -> Self {
+                <Self as $crate::Pod>::zeroed()
+            }
+        }
+
+        // SAFETY: `#[repr(C)]` with the no-padding assertion below, and all
+        // field types are themselves `Pod` (checked by `assert_field_pod`).
+        unsafe impl $crate::Pod for $name {}
+
+        const _: () = {
+            // No padding: the struct size must equal the sum of field sizes.
+            const FIELDS: usize = $(std::mem::size_of::<$ftype>() + )+ 0;
+            assert!(
+                std::mem::size_of::<$name>() == FIELDS,
+                concat!("pod_struct ", stringify!($name), " contains padding; reorder fields or add explicit _pad")
+            );
+            const fn assert_field_pod<T: $crate::Pod>() {}
+            $( let _ = assert_field_pod::<$ftype>; )+
+        };
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pod_struct! {
+        /// Test record.
+        pub struct TestRec {
+            pub a: u64,
+            pub b: u32,
+            pub c: u32,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let rec = TestRec { a: 0xDEAD_BEEF_0BAD_F00D, b: 42, c: 7 };
+        let bytes = rec.as_bytes().to_vec();
+        assert_eq!(bytes.len(), 16);
+        let back = TestRec::from_bytes(&bytes);
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn zeroed_is_all_zero_bytes() {
+        let z = TestRec::zeroed();
+        assert!(z.as_bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn arrays_are_pod() {
+        let a: [u64; 4] = [1, 2, 3, 4];
+        let back = <[u64; 4]>::from_bytes(a.as_bytes());
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte length mismatch")]
+    fn from_bytes_rejects_wrong_length() {
+        let _ = u64::from_bytes(&[0u8; 4]);
+    }
+}

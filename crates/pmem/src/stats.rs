@@ -1,0 +1,243 @@
+//! Striped traffic counters.
+//!
+//! Counters are updated on every device access, so a single set of shared
+//! atomics would itself become a scalability bottleneck and distort the
+//! very experiments this workspace exists to run. Counts are therefore
+//! striped over cache-line-padded slots indexed by a per-thread stripe id,
+//! and summed on [`DeviceStats::snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+use crate::cost::CostModel;
+
+const STRIPES: usize = 64;
+
+#[derive(Debug, Default)]
+struct Stripe {
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    read_lines_local: AtomicU64,
+    read_lines_remote: AtomicU64,
+    write_lines_local: AtomicU64,
+    write_lines_remote: AtomicU64,
+    clwb_count: AtomicU64,
+    sfence_count: AtomicU64,
+    protection_faults: AtomicU64,
+}
+
+/// Concurrent device counters; cheap to update from many threads.
+#[derive(Debug)]
+pub struct DeviceStats {
+    stripes: Box<[CachePadded<Stripe>]>,
+}
+
+thread_local! {
+    static STRIPE_ID: usize = {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut hasher);
+        (hasher.finish() as usize) % STRIPES
+    };
+}
+
+macro_rules! bump {
+    ($self:ident, $field:ident, $by:expr) => {
+        STRIPE_ID.with(|&id| $self.stripes[id].$field.fetch_add($by, Ordering::Relaxed))
+    };
+}
+
+impl DeviceStats {
+    pub(crate) fn new() -> DeviceStats {
+        DeviceStats {
+            stripes: (0..STRIPES).map(|_| CachePadded::new(Stripe::default())).collect(),
+        }
+    }
+
+    pub(crate) fn record_read(&self, bytes: u64, lines: u64, remote: bool) {
+        bump!(self, read_ops, 1);
+        bump!(self, bytes_read, bytes);
+        if remote {
+            bump!(self, read_lines_remote, lines);
+        } else {
+            bump!(self, read_lines_local, lines);
+        }
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64, lines: u64, remote: bool) {
+        bump!(self, write_ops, 1);
+        bump!(self, bytes_written, bytes);
+        if remote {
+            bump!(self, write_lines_remote, lines);
+        } else {
+            bump!(self, write_lines_local, lines);
+        }
+    }
+
+    pub(crate) fn record_clwb(&self, lines: u64) {
+        bump!(self, clwb_count, lines);
+    }
+
+    pub(crate) fn record_sfence(&self) {
+        bump!(self, sfence_count, 1);
+    }
+
+    pub(crate) fn record_protection_fault(&self) {
+        bump!(self, protection_faults, 1);
+    }
+
+    /// Sums all stripes into a consistent-enough snapshot (individual
+    /// counters are relaxed; totals may be skewed by in-flight updates).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut s = StatsSnapshot::default();
+        for stripe in self.stripes.iter() {
+            s.read_ops += stripe.read_ops.load(Ordering::Relaxed);
+            s.write_ops += stripe.write_ops.load(Ordering::Relaxed);
+            s.bytes_read += stripe.bytes_read.load(Ordering::Relaxed);
+            s.bytes_written += stripe.bytes_written.load(Ordering::Relaxed);
+            s.read_lines_local += stripe.read_lines_local.load(Ordering::Relaxed);
+            s.read_lines_remote += stripe.read_lines_remote.load(Ordering::Relaxed);
+            s.write_lines_local += stripe.write_lines_local.load(Ordering::Relaxed);
+            s.write_lines_remote += stripe.write_lines_remote.load(Ordering::Relaxed);
+            s.clwb_count += stripe.clwb_count.load(Ordering::Relaxed);
+            s.sfence_count += stripe.sfence_count.load(Ordering::Relaxed);
+            s.protection_faults += stripe.protection_faults.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for stripe in self.stripes.iter() {
+            stripe.read_ops.store(0, Ordering::Relaxed);
+            stripe.write_ops.store(0, Ordering::Relaxed);
+            stripe.bytes_read.store(0, Ordering::Relaxed);
+            stripe.bytes_written.store(0, Ordering::Relaxed);
+            stripe.read_lines_local.store(0, Ordering::Relaxed);
+            stripe.read_lines_remote.store(0, Ordering::Relaxed);
+            stripe.write_lines_local.store(0, Ordering::Relaxed);
+            stripe.write_lines_remote.store(0, Ordering::Relaxed);
+            stripe.clwb_count.store(0, Ordering::Relaxed);
+            stripe.sfence_count.store(0, Ordering::Relaxed);
+            stripe.protection_faults.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time summary of device traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Number of read calls.
+    pub read_ops: u64,
+    /// Number of write calls.
+    pub write_ops: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// 64 B lines read from the issuing CPU's own NUMA node.
+    pub read_lines_local: u64,
+    /// 64 B lines read across the socket interconnect.
+    pub read_lines_remote: u64,
+    /// 64 B lines written to the issuing CPU's own NUMA node.
+    pub write_lines_local: u64,
+    /// 64 B lines written across the socket interconnect.
+    pub write_lines_remote: u64,
+    /// `clwb` line-flushes issued.
+    pub clwb_count: u64,
+    /// `sfence` barriers issued.
+    pub sfence_count: u64,
+    /// Accesses denied by MPK.
+    pub protection_faults: u64,
+}
+
+impl StatsSnapshot {
+    /// Prices this traffic with `model`, returning simulated media
+    /// nanoseconds.
+    pub fn media_time_ns(&self, model: &CostModel) -> u64 {
+        model.media_time_ns(
+            self.read_lines_local,
+            self.read_lines_remote,
+            self.write_lines_local,
+            self.write_lines_remote,
+            self.clwb_count,
+            self.sfence_count,
+        )
+    }
+
+    /// Fraction of line traffic that crossed the socket interconnect
+    /// (0.0 when there was no traffic).
+    pub fn remote_fraction(&self) -> f64 {
+        let remote = self.read_lines_remote + self.write_lines_remote;
+        let total = remote + self.read_lines_local + self.write_lines_local;
+        if total == 0 {
+            0.0
+        } else {
+            remote as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_sums_updates() {
+        let stats = DeviceStats::new();
+        stats.record_read(128, 2, false);
+        stats.record_write(64, 1, true);
+        stats.record_clwb(3);
+        stats.record_sfence();
+        stats.record_protection_fault();
+        let s = stats.snapshot();
+        assert_eq!(s.read_ops, 1);
+        assert_eq!(s.bytes_read, 128);
+        assert_eq!(s.read_lines_local, 2);
+        assert_eq!(s.write_lines_remote, 1);
+        assert_eq!(s.clwb_count, 3);
+        assert_eq!(s.sfence_count, 1);
+        assert_eq!(s.protection_faults, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let stats = DeviceStats::new();
+        stats.record_read(64, 1, false);
+        stats.reset();
+        assert_eq!(stats.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let stats = std::sync::Arc::new(DeviceStats::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let stats = stats.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        stats.record_write(8, 1, false);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(stats.snapshot().write_ops, 8000);
+    }
+
+    #[test]
+    fn remote_fraction_and_media_time() {
+        let s = StatsSnapshot {
+            read_lines_local: 50,
+            read_lines_remote: 50,
+            ..Default::default()
+        };
+        assert!((s.remote_fraction() - 0.5).abs() < 1e-9);
+        assert!(s.media_time_ns(&CostModel::dcpmm()) > 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the device substrate: the sparse store must behave
+//! exactly like flat memory, and crash simulation must never lose
+//! persisted bytes nor keep strict-mode unpersisted ones.
+
+use pmem::{CrashMode, DeviceConfig, PmemDevice};
+use proptest::prelude::*;
+
+const CAP: u64 = 8 << 20;
+
+#[derive(Debug, Clone)]
+enum Access {
+    Write { offset: u64, len: usize, fill: u8 },
+    Read { offset: u64, len: usize },
+    Persist { offset: u64, len: u64 },
+    FetchOr { word: u64, mask: u64 },
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    prop_oneof![
+        4 => (0u64..CAP - 4096, 1usize..2048, any::<u8>())
+            .prop_map(|(offset, len, fill)| Access::Write { offset, len, fill }),
+        2 => (0u64..CAP - 4096, 1usize..2048).prop_map(|(offset, len)| Access::Read { offset, len }),
+        2 => (0u64..CAP - 4096, 1u64..2048).prop_map(|(offset, len)| Access::Persist { offset, len }),
+        1 => (0u64..(CAP - 8) / 8, any::<u64>()).prop_map(|(w, mask)| Access::FetchOr { word: w * 8, mask }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn device_matches_flat_memory(accesses in proptest::collection::vec(access_strategy(), 1..80)) {
+        let dev = PmemDevice::new(DeviceConfig::new(CAP));
+        let mut shadow = vec![0u8; CAP as usize];
+        for access in &accesses {
+            match access {
+                Access::Write { offset, len, fill } => {
+                    let buf = vec![*fill; *len];
+                    dev.write(*offset, &buf).unwrap();
+                    shadow[*offset as usize..*offset as usize + len].fill(*fill);
+                }
+                Access::Read { offset, len } => {
+                    let mut buf = vec![0u8; *len];
+                    dev.read(*offset, &mut buf).unwrap();
+                    prop_assert_eq!(&buf[..], &shadow[*offset as usize..*offset as usize + len]);
+                }
+                Access::Persist { offset, len } => {
+                    dev.persist(*offset, *len).unwrap();
+                }
+                Access::FetchOr { word, mask } => {
+                    let prev = dev.fetch_or_u64(*word, *mask).unwrap();
+                    let shadow_prev = u64::from_le_bytes(
+                        shadow[*word as usize..*word as usize + 8].try_into().unwrap(),
+                    );
+                    prop_assert_eq!(prev, shadow_prev);
+                    shadow[*word as usize..*word as usize + 8]
+                        .copy_from_slice(&(shadow_prev | mask).to_le_bytes());
+                }
+            }
+        }
+        // Full sweep equality over the touched prefix.
+        let mut buf = vec![0u8; 1 << 16];
+        dev.read(0, &mut buf).unwrap();
+        prop_assert_eq!(&buf[..], &shadow[..1 << 16]);
+    }
+
+    #[test]
+    fn strict_crash_keeps_exactly_the_persisted_state(
+        accesses in proptest::collection::vec(access_strategy(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let dev = PmemDevice::new(DeviceConfig::new(CAP));
+        // Persisted shadow: reflects media after each explicit persist.
+        let mut volatile = vec![0u8; CAP as usize];
+        let mut persisted = vec![0u8; CAP as usize];
+        // Track dirty ranges so persist can promote them (line granularity).
+        for access in &accesses {
+            match access {
+                Access::Write { offset, len, fill } => {
+                    let buf = vec![*fill; *len];
+                    dev.write(*offset, &buf).unwrap();
+                    volatile[*offset as usize..*offset as usize + len].fill(*fill);
+                }
+                Access::FetchOr { word, mask } => {
+                    dev.fetch_or_u64(*word, *mask).unwrap();
+                    let prev = u64::from_le_bytes(
+                        volatile[*word as usize..*word as usize + 8].try_into().unwrap(),
+                    );
+                    volatile[*word as usize..*word as usize + 8]
+                        .copy_from_slice(&(prev | mask).to_le_bytes());
+                }
+                Access::Persist { offset, len } => {
+                    dev.persist(*offset, *len).unwrap();
+                    // Promote whole cache lines covering the range.
+                    let first = (*offset / 64 * 64) as usize;
+                    let last = (((*offset + len - 1) / 64 + 1) * 64).min(CAP) as usize;
+                    persisted[first..last].copy_from_slice(&volatile[first..last]);
+                }
+                Access::Read { .. } => {}
+            }
+        }
+        dev.simulate_crash(CrashMode::Strict, seed);
+        let mut buf = vec![0u8; 1 << 16];
+        dev.read(0, &mut buf).unwrap();
+        prop_assert_eq!(&buf[..], &persisted[..1 << 16]);
+    }
+
+    #[test]
+    fn adversarial_crash_is_linewise_old_or_new(
+        accesses in proptest::collection::vec(access_strategy(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let dev = PmemDevice::new(DeviceConfig::new(CAP));
+        let mut volatile = vec![0u8; 1 << 16];
+        let mut persisted = vec![0u8; 1 << 16];
+        for access in &accesses {
+            match access {
+                Access::Write { offset, len, fill } if (*offset as usize + len) < (1 << 16) => {
+                    dev.write(*offset, &vec![*fill; *len]).unwrap();
+                    volatile[*offset as usize..*offset as usize + len].fill(*fill);
+                }
+                Access::Persist { offset, len } if (*offset + len) < (1 << 16) => {
+                    dev.persist(*offset, *len).unwrap();
+                    let first = (*offset / 64 * 64) as usize;
+                    let last = (((*offset + len - 1) / 64 + 1) * 64) as usize;
+                    persisted[first..last].copy_from_slice(&volatile[first..last]);
+                }
+                _ => {}
+            }
+        }
+        dev.simulate_crash(CrashMode::Adversarial, seed);
+        let mut buf = vec![0u8; 1 << 16];
+        dev.read(0, &mut buf).unwrap();
+        // Every 64-byte line is either the fully-volatile or the
+        // fully-persisted image — never a byte-level mash.
+        for line in 0..(1 << 16) / 64 {
+            let range = line * 64..(line + 1) * 64;
+            let got = &buf[range.clone()];
+            prop_assert!(
+                got == &volatile[range.clone()] || got == &persisted[range.clone()],
+                "line {line} is a byte-level mash"
+            );
+        }
+    }
+}

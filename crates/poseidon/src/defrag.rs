@@ -1,0 +1,216 @@
+//! Local defragmentation (§5.4).
+//!
+//! Poseidon defragments a *single sub-heap*, never globally, in two
+//! situations:
+//!
+//! 1. **No free block of the requested class** — free blocks in smaller
+//!    classes are merged with their buddies, cascading upward, until the
+//!    request can be served ([`merge_all_below`]).
+//! 2. **A hash-table probe window is full** — the free blocks within the
+//!    window are merged; every merge tombstones one record, freeing a
+//!    slot ([`compact_windows`]).
+//!
+//! Blocks are classic binary buddies: a block of size `s` at sub-heap
+//! offset `o` (always `s`-aligned) merges with the block at `o ^ s` iff
+//! that block exists, is free, and has the same size. Each merge runs in
+//! its own undo session, so the heap is consistent between merges and a
+//! crash mid-defragmentation loses nothing.
+
+use crate::error::Result;
+use crate::hashtable;
+use crate::layout::class_for_size;
+use crate::persist::{state, SubCtx};
+use crate::undo::UndoSession;
+use crate::buddy;
+
+/// Merges the FREE block recorded at `rec_off` with its buddy, cascading
+/// to larger classes while possible. Returns the number of merges.
+pub(crate) fn merge_cascade(ctx: &SubCtx<'_>, mut rec_off: u64) -> Result<u64> {
+    let mut merged = 0;
+    loop {
+        let rec = ctx.entry(rec_off)?;
+        if rec.state != state::FREE {
+            return Ok(merged);
+        }
+        let buddy_key = rec.offset ^ rec.size;
+        let Some((buddy_off, buddy_rec)) = hashtable::lookup(ctx, buddy_key)? else {
+            return Ok(merged);
+        };
+        if buddy_rec.state != state::FREE || buddy_rec.size != rec.size {
+            return Ok(merged);
+        }
+
+        // Survivor is the lower half; the upper half's record is deleted.
+        let (surv_off, mut surv, loser_off, loser) = if rec.offset < buddy_rec.offset {
+            (rec_off, rec, buddy_off, buddy_rec)
+        } else {
+            (buddy_off, buddy_rec, rec_off, rec)
+        };
+
+        let mut session = UndoSession::begin(ctx.dev, ctx.undo_area())?;
+        buddy::unlink(ctx, &mut session, surv_off, &surv)?;
+        // Unlinking the survivor may have rewritten the loser's links
+        // (they can be neighbours in the same class list): reload it.
+        let loser_now = ctx.entry(loser_off)?;
+        debug_assert_eq!(loser_now.offset, loser.offset);
+        buddy::unlink(ctx, &mut session, loser_off, &loser_now)?;
+        hashtable::delete(ctx, &mut session, loser_off)?;
+        surv.size *= 2;
+        surv.state = state::FREE;
+        buddy::push_tail(ctx, &mut session, surv_off, &mut surv)?;
+        session.commit()?;
+
+        merged += 1;
+        rec_off = surv_off;
+    }
+}
+
+/// Trigger 1 (§5.4): merges buddies in every class **below** `class`,
+/// hoping to assemble a block large enough. Returns the number of merges.
+pub(crate) fn merge_all_below(ctx: &SubCtx<'_>, class: usize) -> Result<u64> {
+    let mut merged = 0;
+    for k in 0..class {
+        // Snapshot, then re-validate each record: earlier merges may have
+        // consumed or grown entries from this list.
+        for rec_off in buddy::collect(ctx, k)? {
+            let rec = ctx.entry(rec_off)?;
+            if rec.state == state::FREE && class_for_size(rec.size)?.0 == k {
+                merged += merge_cascade(ctx, rec_off)?;
+            }
+        }
+    }
+    Ok(merged)
+}
+
+/// Trigger 2 (§5.4): merges the free blocks found in `key`'s probe
+/// windows so an insert of `key` can find a slot. Returns the number of
+/// merges.
+pub(crate) fn compact_windows(ctx: &SubCtx<'_>, key: u64) -> Result<u64> {
+    let mut merged = 0;
+    for (rec_off, rec) in hashtable::free_in_windows(ctx, key)? {
+        let now = ctx.entry(rec_off)?;
+        if now.state == state::FREE && now.offset == rec.offset {
+            merged += merge_cascade(ctx, rec_off)?;
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::HeapLayout;
+    use crate::persist::HashEntry;
+    use pmem::{DeviceConfig, PmemDevice};
+
+    fn setup() -> (PmemDevice, HeapLayout) {
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        let dev = PmemDevice::new(DeviceConfig::new(64 << 20));
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        dev.write_pod(ctx.active_levels_off(), &1u64).unwrap();
+        (dev, layout)
+    }
+
+    fn add(ctx: &SubCtx<'_>, off: u64, size: u64, st: u32) -> u64 {
+        let mut s = UndoSession::begin(ctx.dev, ctx.undo_area()).unwrap();
+        let mut rec = HashEntry { offset: off, size, state: st, ..Default::default() };
+        let rec_off = hashtable::insert(ctx, &mut s, rec, false).unwrap();
+        if st == state::FREE {
+            buddy::push_tail(ctx, &mut s, rec_off, &mut rec).unwrap();
+        }
+        s.commit().unwrap();
+        rec_off
+    }
+
+    #[test]
+    fn two_free_buddies_merge() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let a = add(&ctx, 0, 64, state::FREE);
+        add(&ctx, 64, 64, state::FREE);
+        assert!(merge_cascade(&ctx, a).unwrap() > 0);
+        let (_, merged) = hashtable::lookup(&ctx, 0).unwrap().unwrap();
+        assert_eq!(merged.size, 128);
+        assert_eq!(merged.state, state::FREE);
+        assert!(hashtable::lookup(&ctx, 64).unwrap().is_none());
+        // It sits in the 128-byte list now.
+        let (c128, _) = class_for_size(128).unwrap();
+        assert_eq!(buddy::collect(&ctx, c128).unwrap().len(), 1);
+        let (c64, _) = class_for_size(64).unwrap();
+        assert!(buddy::collect(&ctx, c64).unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_cascades_upward() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        // Four free 64 B blocks covering [0, 256): cascade to one 256 B.
+        let a = add(&ctx, 0, 64, state::FREE);
+        add(&ctx, 64, 64, state::FREE);
+        add(&ctx, 128, 64, state::FREE);
+        add(&ctx, 192, 64, state::FREE);
+        // First cascade: 0+64 -> 128-size block at 0; buddy at 128 is only
+        // 64 bytes, so the cascade pauses there.
+        merge_cascade(&ctx, a).unwrap();
+        // Merge the right pair too, then cascade again.
+        let (right_off, _) = hashtable::lookup(&ctx, 128).unwrap().unwrap();
+        merge_cascade(&ctx, right_off).unwrap();
+        let (_, merged) = hashtable::lookup(&ctx, 0).unwrap().unwrap();
+        assert_eq!(merged.size, 256);
+    }
+
+    #[test]
+    fn allocated_or_mismatched_buddies_do_not_merge() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let a = add(&ctx, 0, 64, state::FREE);
+        add(&ctx, 64, 64, state::ALLOC);
+        assert_eq!(merge_cascade(&ctx, a).unwrap(), 0);
+        // Different size: 128 at offset 128 is not the buddy of 64 at 0.
+        let b = add(&ctx, 256, 64, state::FREE);
+        add(&ctx, 320, 128, state::FREE); // overlapping nonsense aside, sizes differ
+        assert_eq!(merge_cascade(&ctx, b).unwrap(), 0);
+    }
+
+    #[test]
+    fn merge_all_below_assembles_larger_blocks() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        for i in 0..8 {
+            add(&ctx, i * 64, 64, state::FREE);
+        }
+        let (c512, _) = class_for_size(512).unwrap();
+        assert!(buddy::head(&ctx, c512).unwrap() == 0);
+        assert!(merge_all_below(&ctx, c512).unwrap() > 0);
+        let (_, big) = hashtable::lookup(&ctx, 0).unwrap().unwrap();
+        assert_eq!(big.size, 512);
+        assert_ne!(buddy::head(&ctx, c512).unwrap(), 0);
+    }
+
+    #[test]
+    fn compact_windows_merges_only_window_blocks() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let _ = add(&ctx, 0, 64, state::FREE);
+        add(&ctx, 64, 64, state::FREE);
+        // Compacting around key 0 must at least merge the [0,128) pair if
+        // it sits in the window.
+        compact_windows(&ctx, 0).unwrap();
+        let (_, e) = hashtable::lookup(&ctx, 0).unwrap().unwrap();
+        assert_eq!(e.size, 128);
+    }
+
+    #[test]
+    fn adjacent_same_class_list_neighbours_merge_safely() {
+        // The survivor and loser are adjacent in the same free list — the
+        // reload-after-unlink path must handle their link updates.
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let a = add(&ctx, 0, 64, state::FREE);
+        let b = add(&ctx, 64, 64, state::FREE);
+        let (c64, _) = class_for_size(64).unwrap();
+        assert_eq!(buddy::collect(&ctx, c64).unwrap(), vec![a, b]);
+        assert!(merge_cascade(&ctx, a).unwrap() > 0);
+        assert!(buddy::collect(&ctx, c64).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Error types of the Poseidon allocator.
+
+use pmem::PmemError;
+
+/// Errors returned by [`PoseidonHeap`](crate::PoseidonHeap) operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoseidonError {
+    /// The sub-heap cannot satisfy the request, even after
+    /// defragmentation.
+    NoSpace {
+        /// The requested size in bytes.
+        requested: u64,
+    },
+    /// The request exceeds what a single sub-heap can ever hold.
+    TooLarge {
+        /// The requested size in bytes.
+        requested: u64,
+        /// The largest size a sub-heap can serve.
+        max: u64,
+    },
+    /// A zero-byte allocation was requested.
+    ZeroSize,
+    /// The pointer passed to `free` does not name any block this heap ever
+    /// allocated (§4.7: *invalid free* — the request is rejected before it
+    /// can corrupt metadata).
+    InvalidFree {
+        /// The offending pointer's sub-heap-relative offset.
+        offset: u64,
+    },
+    /// The pointer passed to `free` names a block that is already free
+    /// (§4.7: *double free* — rejected).
+    DoubleFree {
+        /// The offending pointer's sub-heap-relative offset.
+        offset: u64,
+    },
+    /// The pointer belongs to a different heap (its heap id does not match).
+    WrongHeap {
+        /// Heap id embedded in the pointer.
+        pointer_heap: u64,
+        /// Heap id of the heap the call was made on.
+        this_heap: u64,
+    },
+    /// The pointer's sub-heap id is out of range for this heap.
+    BadSubheap {
+        /// Sub-heap id embedded in the pointer.
+        subheap: u16,
+    },
+    /// The multi-level hash table is full at every level; the heap holds
+    /// more live blocks than its metadata geometry supports.
+    TableFull,
+    /// A transactional allocation would overflow its micro-log slot;
+    /// commit (`is_end = true`) more often.
+    TxTooLarge {
+        /// Maximum number of allocations per transaction.
+        max: usize,
+    },
+    /// Every micro-log slot of the sub-heap is claimed by an open
+    /// transaction; commit or abort one first.
+    TxSlotsExhausted {
+        /// Number of concurrent transactions a sub-heap supports.
+        max: usize,
+    },
+    /// The transaction already spans a different sub-heap; a single
+    /// transaction must stay on the CPU it started on.
+    TxCrossesSubheaps {
+        /// Sub-heap the transaction started on.
+        started_on: u16,
+        /// Sub-heap the current call would use.
+        current: u16,
+    },
+    /// Persistent state failed a validation check; the heap image is
+    /// corrupt or not a Poseidon heap.
+    Corrupted(&'static str),
+    /// The device geometry cannot host a heap (too small, or more
+    /// sub-heaps than space).
+    BadGeometry(&'static str),
+    /// An underlying device error (out-of-bounds, protection fault, or an
+    /// injected crash).
+    Device(PmemError),
+}
+
+impl std::fmt::Display for PoseidonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoseidonError::NoSpace { requested } => {
+                write!(f, "no space for {requested}-byte allocation after defragmentation")
+            }
+            PoseidonError::TooLarge { requested, max } => {
+                write!(f, "{requested}-byte allocation exceeds sub-heap maximum of {max} bytes")
+            }
+            PoseidonError::ZeroSize => f.write_str("zero-byte allocation"),
+            PoseidonError::InvalidFree { offset } => {
+                write!(f, "invalid free: no block at sub-heap offset {offset:#x}")
+            }
+            PoseidonError::DoubleFree { offset } => {
+                write!(f, "double free: block at sub-heap offset {offset:#x} is already free")
+            }
+            PoseidonError::WrongHeap { pointer_heap, this_heap } => {
+                write!(f, "pointer belongs to heap {pointer_heap:#x}, not {this_heap:#x}")
+            }
+            PoseidonError::BadSubheap { subheap } => write!(f, "sub-heap id {subheap} out of range"),
+            PoseidonError::TableFull => f.write_str("memory-block hash table is full at every level"),
+            PoseidonError::TxTooLarge { max } => {
+                write!(f, "transaction exceeds micro-log capacity of {max} allocations")
+            }
+            PoseidonError::TxSlotsExhausted { max } => {
+                write!(f, "all {max} concurrent-transaction slots of the sub-heap are in use")
+            }
+            PoseidonError::TxCrossesSubheaps { started_on, current } => write!(
+                f,
+                "transaction started on sub-heap {started_on} but this allocation would use sub-heap {current}"
+            ),
+            PoseidonError::Corrupted(why) => write!(f, "corrupt heap image: {why}"),
+            PoseidonError::BadGeometry(why) => write!(f, "bad heap geometry: {why}"),
+            PoseidonError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoseidonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoseidonError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmemError> for PoseidonError {
+    fn from(err: PmemError) -> Self {
+        PoseidonError::Device(err)
+    }
+}
+
+/// Shorthand result type for heap operations.
+pub type Result<T> = std::result::Result<T, PoseidonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_errors_convert_and_chain() {
+        let e: PoseidonError = PmemError::Crashed.into();
+        assert!(matches!(e, PoseidonError::Device(PmemError::Crashed)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_mentions_the_problem() {
+        assert!(PoseidonError::DoubleFree { offset: 64 }.to_string().contains("double free"));
+        assert!(PoseidonError::InvalidFree { offset: 64 }.to_string().contains("invalid free"));
+        assert!(PoseidonError::TableFull.to_string().contains("hash table"));
+    }
+}

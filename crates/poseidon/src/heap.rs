@@ -1,0 +1,874 @@
+//! The public Poseidon heap API (§4.6, Figure 5).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mpk::{AccessRights, PkruGuard, ProtectionKey};
+use pmem::contention::{LockProfile, TrackedMutex};
+use pmem::{numa, PmemDevice};
+
+use crate::error::{PoseidonError, Result};
+use crate::layout::{class_for_size, HeapLayout};
+use crate::nvmptr::NvmPtr;
+use crate::persist::{DirEntry, SubCtx, SUPERBLOCK_MAGIC};
+use crate::recovery::{self, RecoveryReport};
+use crate::subheap::{self, SubheapAudit};
+use crate::superblock;
+use crate::hashtable;
+
+/// Configuration for creating or opening a heap.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeapConfig {
+    /// Number of per-CPU sub-heaps. Defaults to the device topology's CPU
+    /// count. Ignored when opening an existing heap (geometry is stored in
+    /// the superblock).
+    pub num_subheaps: Option<u16>,
+    /// Protect metadata with MPK (default `true`). Turning this off is the
+    /// "no protection" ablation: no key is allocated, no `wrpkru` pair per
+    /// operation, and metadata pages stay writable to everyone.
+    pub unprotected: bool,
+}
+
+impl HeapConfig {
+    /// Default configuration.
+    pub fn new() -> HeapConfig {
+        HeapConfig::default()
+    }
+
+    /// Sets the number of sub-heaps.
+    pub fn with_subheaps(mut self, n: u16) -> HeapConfig {
+        self.num_subheaps = Some(n);
+        self
+    }
+
+    /// Disables MPK metadata protection (ablation only).
+    pub fn without_protection(mut self) -> HeapConfig {
+        self.unprotected = true;
+        self
+    }
+}
+
+struct SubSlot {
+    lock: TrackedMutex<()>,
+    created: AtomicBool,
+    /// Bitmap of micro-log slots claimed by open transactions.
+    tx_slots: std::sync::atomic::AtomicU32,
+}
+
+/// Cumulative operation counters of a heap (volatile; reset on open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapOpStats {
+    /// Successful allocations (including transactional ones).
+    pub allocs: u64,
+    /// Successful frees.
+    pub frees: u64,
+    /// Frees rejected as invalid or double (§4.7 protection working).
+    pub rejected_frees: u64,
+    /// Committed transactions.
+    pub tx_commits: u64,
+    /// Explicitly aborted transactions.
+    pub tx_aborts: u64,
+    /// Buddy merges performed by explicit defragmentation calls.
+    pub defrag_merges: u64,
+}
+
+#[derive(Debug, Default)]
+struct OpCounters {
+    allocs: std::sync::atomic::AtomicU64,
+    frees: std::sync::atomic::AtomicU64,
+    rejected_frees: std::sync::atomic::AtomicU64,
+    tx_commits: std::sync::atomic::AtomicU64,
+    tx_aborts: std::sync::atomic::AtomicU64,
+    defrag_merges: std::sync::atomic::AtomicU64,
+}
+
+/// A Poseidon persistent heap: per-CPU sub-heaps, fully segregated
+/// MPK-protected metadata, undo/micro logging, and O(1) block tracking.
+///
+/// The heap is `Send + Sync`; share it across threads with [`Arc`].
+/// Threads should register their logical CPU with
+/// [`pmem::numa::set_current_cpu`] so allocations stay CPU- and NUMA-local
+/// (unregistered threads use CPU 0).
+///
+/// # Examples
+///
+/// ```
+/// use poseidon::{HeapConfig, PoseidonHeap};
+/// use pmem::{DeviceConfig, PmemDevice};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), poseidon::PoseidonError> {
+/// let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+/// let heap = PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(2))?;
+///
+/// let ptr = heap.alloc(256)?;
+/// let raw = heap.raw_offset(ptr)?;
+/// heap.device().write(raw, b"hello persistent world")?;
+/// heap.device().persist(raw, 22)?;
+/// heap.set_root(ptr)?;
+/// heap.free(ptr)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct PoseidonHeap {
+    dev: Arc<PmemDevice>,
+    pkey: Option<ProtectionKey>,
+    heap_id: u64,
+    layout: HeapLayout,
+    slots: Box<[SubSlot]>,
+    sb_lock: TrackedMutex<()>,
+    recovery: RecoveryReport,
+    ops: OpCounters,
+}
+
+impl std::fmt::Debug for PoseidonHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoseidonHeap")
+            .field("heap_id", &self.heap_id)
+            .field("num_subheaps", &self.layout.num_subheaps)
+            .field("user_size_per_subheap", &self.layout.user_size)
+            .field("protected", &self.pkey.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+thread_local! {
+    /// (sub-heap, micro-log slot) pinned by the calling thread's open
+    /// transaction, per heap id (§5.3: a transaction's allocations all go
+    /// to one sub-heap and one slot, so its commit — one micro-log
+    /// truncation — is atomic and independent of other transactions).
+    static TX_SUBHEAP: RefCell<HashMap<u64, (u16, usize)>> = RefCell::new(HashMap::new());
+}
+
+impl PoseidonHeap {
+    /// Loads the heap on `dev` if one exists, otherwise creates one —
+    /// the paper's `poseidon_init`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates creation or load errors.
+    pub fn open(dev: Arc<PmemDevice>, config: HeapConfig) -> Result<PoseidonHeap> {
+        let magic: u64 = dev.read_pod(0)?;
+        if magic == SUPERBLOCK_MAGIC {
+            Self::load(dev, config)
+        } else {
+            Self::create(dev, config)
+        }
+    }
+
+    /// Creates a fresh heap on `dev`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::BadGeometry`] if the device cannot host the
+    /// requested sub-heap count, [`PoseidonError::Corrupted`] if a heap is
+    /// already present, or device/MPK errors.
+    pub fn create(dev: Arc<PmemDevice>, config: HeapConfig) -> Result<PoseidonHeap> {
+        let magic: u64 = dev.read_pod(0)?;
+        if magic == SUPERBLOCK_MAGIC {
+            return Err(PoseidonError::Corrupted("device already holds a Poseidon heap"));
+        }
+        let n = config
+            .num_subheaps
+            .unwrap_or_else(|| dev.topology().cpus().min(u16::MAX as usize) as u16);
+        let layout = HeapLayout::compute(dev.capacity(), n)?;
+        let heap_id = random_heap_id();
+        superblock::create(&dev, &layout, heap_id)?;
+        let pkey = Self::protect(&dev, &layout, config)?;
+        Ok(Self::assemble(dev, pkey, heap_id, layout, RecoveryReport::default()))
+    }
+
+    /// Loads an existing heap from `dev`, running crash recovery (§5.1):
+    /// replay the superblock undo log, protect metadata with MPK, then
+    /// replay each sub-heap's undo and micro logs.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::Corrupted`] if no valid heap is present.
+    pub fn load(dev: Arc<PmemDevice>, config: HeapConfig) -> Result<PoseidonHeap> {
+        let (header, layout) = superblock::load(&dev)?;
+        let pkey = Self::protect(&dev, &layout, config)?;
+        let report = {
+            let _guard = pkey.map(|k| dev.mpk().grant_write(k));
+            recovery::recover(&dev, &layout)?
+        };
+        let heap = Self::assemble(dev, pkey, header.heap_id, layout, report);
+        // Mark already-created sub-heaps from the directory.
+        for sub in 0..heap.layout.num_subheaps {
+            if superblock::dir_entry(&heap.dev, sub)?.state == 1 {
+                heap.slots[sub as usize].created.store(true, Ordering::Release);
+            }
+        }
+        Ok(heap)
+    }
+
+    fn protect(dev: &Arc<PmemDevice>, layout: &HeapLayout, config: HeapConfig) -> Result<Option<ProtectionKey>> {
+        if config.unprotected {
+            return Ok(None);
+        }
+        let pkey = dev.mpk().pkey_alloc(AccessRights::ReadOnly).map_err(|_| {
+            PoseidonError::Corrupted("no free MPK protection keys (too many heaps open on this device)")
+        })?;
+        dev.set_page_key(0, layout.meta_end(), pkey)?;
+        Ok(Some(pkey))
+    }
+
+    fn assemble(
+        dev: Arc<PmemDevice>,
+        pkey: Option<ProtectionKey>,
+        heap_id: u64,
+        layout: HeapLayout,
+        recovery: RecoveryReport,
+    ) -> PoseidonHeap {
+        let slots = (0..layout.num_subheaps)
+            .map(|_| SubSlot { lock: TrackedMutex::new(()), created: AtomicBool::new(false), tx_slots: std::sync::atomic::AtomicU32::new(0) })
+            .collect();
+        PoseidonHeap { dev, pkey, heap_id, layout, slots, sb_lock: TrackedMutex::new(()), recovery, ops: OpCounters::default() }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.dev
+    }
+
+    /// This heap's random identity (embedded in every pointer).
+    pub fn heap_id(&self) -> u64 {
+        self.heap_id
+    }
+
+    /// The heap geometry.
+    pub fn layout(&self) -> &HeapLayout {
+        &self.layout
+    }
+
+    /// What the load-time recovery pass found (all-default for a freshly
+    /// created heap).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Grants the calling thread metadata write access for the duration of
+    /// the returned guard (no-op when protection is disabled).
+    fn write_guard(&self) -> Option<PkruGuard<'_>> {
+        self.pkey.map(|k| self.dev.mpk().grant_write(k))
+    }
+
+    fn ensure_subheap(&self, sub: u16) -> Result<()> {
+        if self.slots[sub as usize].created.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let _sb = self.sb_lock.lock();
+        if self.slots[sub as usize].created.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let node = self.dev.topology().node_of_cpu(numa::current_cpu()) as u32;
+        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
+        subheap::create(&ctx, node)?;
+        superblock::publish_subheap(&self.dev, sub, DirEntry { state: 1, node })?;
+        self.slots[sub as usize].created.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Allocates `size` bytes from the calling CPU's sub-heap — the
+    /// paper's `poseidon_alloc`. The usable size is `size` rounded up to
+    /// its power-of-two buddy class.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::ZeroSize`], [`PoseidonError::TooLarge`],
+    /// [`PoseidonError::NoSpace`], [`PoseidonError::TableFull`], or device
+    /// errors.
+    pub fn alloc(&self, size: u64) -> Result<NvmPtr> {
+        let sub = self.layout.subheap_for_cpu(numa::current_cpu());
+        self.alloc_on(sub, size, None)
+    }
+
+    fn claim_tx_slot(&self, sub: u16) -> Result<usize> {
+        let bitmap = &self.slots[sub as usize].tx_slots;
+        loop {
+            let current = bitmap.load(Ordering::Acquire);
+            let free = (!current).trailing_zeros() as usize;
+            if free >= crate::layout::MICRO_SLOTS.min(32) {
+                return Err(PoseidonError::TxSlotsExhausted { max: crate::layout::MICRO_SLOTS });
+            }
+            if bitmap
+                .compare_exchange(current, current | (1 << free), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok(free);
+            }
+        }
+    }
+
+    fn release_tx_slot(&self, sub: u16, slot: usize) {
+        self.slots[sub as usize].tx_slots.fetch_and(!(1u32 << slot), Ordering::AcqRel);
+    }
+
+    fn alloc_on(&self, sub: u16, size: u64, micro: Option<(u64, usize)>) -> Result<NvmPtr> {
+        let (class, rounded) = class_for_size(size)?;
+        if rounded > self.layout.max_alloc() {
+            return Err(PoseidonError::TooLarge { requested: size, max: self.layout.max_alloc() });
+        }
+        let _guard = self.write_guard();
+        self.ensure_subheap(sub)?;
+        let _lock = self.slots[sub as usize].lock.lock();
+        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
+        let offset = subheap::alloc_block(&ctx, class, micro)?;
+        hashtable::shrink(&ctx)?;
+        self.ops.allocs.fetch_add(1, Ordering::Relaxed);
+        Ok(NvmPtr::new(self.heap_id, sub, offset))
+    }
+
+    /// Transactionally allocates `size` bytes — the paper's
+    /// `poseidon_tx_alloc`. The allocation is recorded in the sub-heap's
+    /// micro log; if the process crashes before the transaction commits
+    /// (`is_end = true`), recovery frees every allocation of the
+    /// transaction, preventing persistent leaks (§5.3).
+    ///
+    /// All allocations of one transaction go to the sub-heap the
+    /// transaction started on, so the commit (one atomic micro-log
+    /// truncation) covers them all.
+    ///
+    /// # Errors
+    ///
+    /// As for [`alloc`](Self::alloc), plus [`PoseidonError::TxTooLarge`]
+    /// if the transaction exceeds the micro-log capacity.
+    pub fn tx_alloc(&self, size: u64, is_end: bool) -> Result<NvmPtr> {
+        let open = TX_SUBHEAP.with(|tx| tx.borrow().get(&self.heap_id).copied());
+        let (sub, slot, fresh) = match open {
+            Some((sub, slot)) => (sub, slot, false),
+            None => {
+                let sub = self.layout.subheap_for_cpu(numa::current_cpu());
+                (sub, self.claim_tx_slot(sub)?, true)
+            }
+        };
+        let ptr = match self.alloc_on(sub, size, Some((self.heap_id, slot))) {
+            Ok(ptr) => ptr,
+            Err(e) => {
+                if fresh {
+                    self.release_tx_slot(sub, slot);
+                }
+                return Err(e);
+            }
+        };
+        if is_end {
+            // Commit: truncate this transaction's micro-log slot
+            // atomically.
+            let _guard = self.write_guard();
+            let _lock = self.slots[sub as usize].lock.lock();
+            let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
+            crate::microlog::truncate(&ctx, slot)?;
+            self.ops.tx_commits.fetch_add(1, Ordering::Relaxed);
+            TX_SUBHEAP.with(|tx| tx.borrow_mut().remove(&self.heap_id));
+            self.release_tx_slot(sub, slot);
+        } else if fresh {
+            TX_SUBHEAP.with(|tx| tx.borrow_mut().insert(self.heap_id, (sub, slot)));
+        }
+        Ok(ptr)
+    }
+
+    /// Commits the calling thread's open transaction without allocating
+    /// (equivalent to passing `is_end = true` on the last `tx_alloc`, but
+    /// usable when the commit decision comes after the final allocation).
+    /// A no-op if no transaction is open.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn tx_commit(&self) -> Result<()> {
+        let Some((sub, slot)) = TX_SUBHEAP.with(|tx| tx.borrow_mut().remove(&self.heap_id)) else {
+            return Ok(());
+        };
+        let _guard = self.write_guard();
+        let _lock = self.slots[sub as usize].lock.lock();
+        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
+        crate::microlog::truncate(&ctx, slot)?;
+        self.ops.tx_commits.fetch_add(1, Ordering::Relaxed);
+        self.release_tx_slot(sub, slot);
+        Ok(())
+    }
+
+    /// Aborts the calling thread's open transaction, freeing every
+    /// allocation it made (exactly what recovery would do after a crash).
+    /// A no-op if no transaction is open.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn tx_abort(&self) -> Result<()> {
+        let Some((sub, slot)) = TX_SUBHEAP.with(|tx| tx.borrow_mut().remove(&self.heap_id)) else {
+            return Ok(());
+        };
+        let _guard = self.write_guard();
+        let _lock = self.slots[sub as usize].lock.lock();
+        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
+        for ptr in crate::microlog::entries(&ctx, slot)? {
+            match subheap::free_block(&ctx, ptr.offset()) {
+                Ok(_) | Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.ops.tx_aborts.fetch_add(1, Ordering::Relaxed);
+        crate::microlog::truncate(&ctx, slot)?;
+        self.release_tx_slot(sub, slot);
+        Ok(())
+    }
+
+    /// Frees the block at `ptr` — the paper's `poseidon_free`. The request
+    /// is validated against the block table first: invalid frees and
+    /// double frees are rejected without touching metadata (§4.7).
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::WrongHeap`], [`PoseidonError::BadSubheap`],
+    /// [`PoseidonError::InvalidFree`], [`PoseidonError::DoubleFree`], or
+    /// device errors.
+    pub fn free(&self, ptr: NvmPtr) -> Result<()> {
+        self.check_ptr(ptr)?;
+        let sub = ptr.subheap();
+        if !self.slots[sub as usize].created.load(Ordering::Acquire) {
+            return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
+        }
+        let _guard = self.write_guard();
+        let _lock = self.slots[sub as usize].lock.lock();
+        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
+        match subheap::free_block(&ctx, ptr.offset()) {
+            Ok(_) => {
+                self.ops.frees.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e @ (PoseidonError::InvalidFree { .. } | PoseidonError::DoubleFree { .. })) => {
+                self.ops.rejected_frees.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn check_ptr(&self, ptr: NvmPtr) -> Result<()> {
+        if ptr.is_null() {
+            return Err(PoseidonError::InvalidFree { offset: 0 });
+        }
+        if ptr.heap_id != self.heap_id {
+            return Err(PoseidonError::WrongHeap { pointer_heap: ptr.heap_id, this_heap: self.heap_id });
+        }
+        if ptr.subheap() >= self.layout.num_subheaps {
+            return Err(PoseidonError::BadSubheap { subheap: ptr.subheap() });
+        }
+        Ok(())
+    }
+
+    /// Converts a persistent pointer to its device offset — the paper's
+    /// `poseidon_get_rawptr`. Write user data through
+    /// [`device()`](Self::device) at this offset.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::WrongHeap`], [`PoseidonError::BadSubheap`], or an
+    /// offset beyond the sub-heap's user region.
+    pub fn raw_offset(&self, ptr: NvmPtr) -> Result<u64> {
+        self.check_ptr(ptr)?;
+        if ptr.offset() >= self.layout.user_size {
+            return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
+        }
+        Ok(self.layout.user_base(ptr.subheap()) + ptr.offset())
+    }
+
+    /// Converts a device offset back to a persistent pointer — the
+    /// paper's `poseidon_get_nvmptr`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::InvalidFree`] if the offset is not inside any
+    /// sub-heap's user region.
+    pub fn nvmptr_of(&self, device_offset: u64) -> Result<NvmPtr> {
+        let user_start = self.layout.meta_end();
+        if device_offset < user_start {
+            return Err(PoseidonError::InvalidFree { offset: device_offset });
+        }
+        let rel = device_offset - user_start;
+        let sub = rel / self.layout.user_size;
+        if sub >= self.layout.num_subheaps as u64 {
+            return Err(PoseidonError::InvalidFree { offset: device_offset });
+        }
+        Ok(NvmPtr::new(self.heap_id, sub as u16, rel % self.layout.user_size))
+    }
+
+    /// Reads the heap's root pointer — the paper's `poseidon_get_root`.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn root(&self) -> Result<NvmPtr> {
+        superblock::root(&self.dev)
+    }
+
+    /// Sets the heap's root pointer — the paper's `poseidon_set_root`.
+    /// Crash-atomic via the superblock undo log.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::WrongHeap`] for a non-null pointer from another
+    /// heap, or device errors.
+    pub fn set_root(&self, ptr: NvmPtr) -> Result<()> {
+        if !ptr.is_null() {
+            self.check_ptr(ptr)?;
+        }
+        let _guard = self.write_guard();
+        let _sb = self.sb_lock.lock();
+        superblock::set_root(&self.dev, ptr)
+    }
+
+    /// Returns the reserved size (the rounded power-of-two class size) of
+    /// the live block at `ptr` — useful for bounds-checking writes into
+    /// an allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::InvalidFree`] if `ptr` does not name a live
+    /// allocated block, plus the usual pointer-validation errors.
+    pub fn block_size(&self, ptr: NvmPtr) -> Result<u64> {
+        self.check_ptr(ptr)?;
+        let sub = ptr.subheap();
+        if !self.slots[sub as usize].created.load(Ordering::Acquire) {
+            return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
+        }
+        let _lock = self.slots[sub as usize].lock.lock();
+        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
+        match crate::hashtable::lookup(&ctx, ptr.offset())? {
+            Some((_, record)) if record.state == crate::persist::state::ALLOC => Ok(record.size),
+            _ => Err(PoseidonError::InvalidFree { offset: ptr.offset() }),
+        }
+    }
+
+    /// Runs a full structural audit of every created sub-heap (block
+    /// alignment, non-overlap, free-list/table agreement, level counts).
+    /// Intended for tests and debugging.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::Corrupted`] naming the first violated invariant.
+    pub fn audit(&self) -> Result<Vec<(u16, SubheapAudit)>> {
+        let mut out = Vec::new();
+        for sub in 0..self.layout.num_subheaps {
+            if !self.slots[sub as usize].created.load(Ordering::Acquire) {
+                continue;
+            }
+            let _lock = self.slots[sub as usize].lock.lock();
+            let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
+            out.push((sub, subheap::audit(&ctx)?));
+        }
+        Ok(out)
+    }
+
+    /// Per-lock serial-time profile (sub-heap locks and the superblock
+    /// lock), for scalability projection. Per-CPU sub-heap locks are
+    /// *parallel* resources — the projection takes the max across them,
+    /// which is exactly the paper's point about per-CPU sub-heaps.
+    pub fn contention_profile(&self) -> Vec<LockProfile> {
+        let mut profile: Vec<LockProfile> = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| slot.lock.profile(format!("subheap[{i}]")))
+            .collect();
+        profile.push(self.sb_lock.profile("superblock"));
+        profile
+    }
+
+    /// Zeroes the lock counters (between benchmark phases).
+    pub fn reset_contention(&self) {
+        for slot in self.slots.iter() {
+            slot.lock.reset();
+        }
+        self.sb_lock.reset();
+    }
+
+    /// Explicitly defragments every created sub-heap: merges all buddy
+    /// pairs in every class and hole-punches emptied hash-table levels
+    /// (§5.4's machinery, invoked proactively rather than on demand).
+    /// Returns the number of merges performed.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn defragment(&self) -> Result<u64> {
+        let _guard = self.write_guard();
+        let mut merged = 0;
+        for sub in 0..self.layout.num_subheaps {
+            if !self.slots[sub as usize].created.load(Ordering::Acquire) {
+                continue;
+            }
+            let _lock = self.slots[sub as usize].lock.lock();
+            let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
+            merged += crate::defrag::merge_all_below(&ctx, crate::layout::NUM_CLASSES)?;
+            hashtable::shrink(&ctx)?;
+        }
+        self.ops.defrag_merges.fetch_add(merged, Ordering::Relaxed);
+        Ok(merged)
+    }
+
+    /// Snapshot of this heap's operation counters.
+    pub fn op_stats(&self) -> HeapOpStats {
+        HeapOpStats {
+            allocs: self.ops.allocs.load(Ordering::Relaxed),
+            frees: self.ops.frees.load(Ordering::Relaxed),
+            rejected_frees: self.ops.rejected_frees.load(Ordering::Relaxed),
+            tx_commits: self.ops.tx_commits.load(Ordering::Relaxed),
+            tx_aborts: self.ops.tx_aborts.load(Ordering::Relaxed),
+            defrag_merges: self.ops.defrag_merges.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Deinitialises the heap — the paper's `poseidon_finish`. Releases
+    /// the MPK key and removes the page tags (the heap data itself stays
+    /// on the device, ready to be loaded again).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn close(mut self) -> Result<()> {
+        self.release_protection()?;
+        Ok(())
+    }
+
+    fn release_protection(&mut self) -> Result<()> {
+        if let Some(pkey) = self.pkey.take() {
+            self.dev.set_page_key(0, self.layout.meta_end(), ProtectionKey::DEFAULT)?;
+            let _ = self.dev.mpk().pkey_free(pkey);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PoseidonHeap {
+    fn drop(&mut self) {
+        let _ = self.release_protection();
+    }
+}
+
+fn random_heap_id() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    loop {
+        let id = std::collections::hash_map::RandomState::new().build_hasher().finish();
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{CrashMode, DeviceConfig};
+
+    fn heap() -> PoseidonHeap {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(2)).unwrap()
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let h = heap();
+        let p = h.alloc(100).unwrap();
+        assert_eq!(p.heap_id, h.heap_id());
+        let raw = h.raw_offset(p).unwrap();
+        h.device().write(raw, &[7u8; 100]).unwrap();
+        h.device().persist(raw, 100).unwrap();
+        h.free(p).unwrap();
+        assert!(matches!(h.free(p), Err(PoseidonError::DoubleFree { .. })));
+    }
+
+    #[test]
+    fn pointer_conversions_roundtrip() {
+        let h = heap();
+        let p = h.alloc(64).unwrap();
+        let raw = h.raw_offset(p).unwrap();
+        let back = h.nvmptr_of(raw).unwrap();
+        assert_eq!(back, p);
+        assert!(h.nvmptr_of(0).is_err()); // metadata is not user space
+    }
+
+    #[test]
+    fn foreign_pointers_are_rejected() {
+        let h1 = heap();
+        let h2 = heap();
+        let p = h1.alloc(64).unwrap();
+        assert!(matches!(h2.free(p), Err(PoseidonError::WrongHeap { .. })));
+        assert!(matches!(h2.raw_offset(p), Err(PoseidonError::WrongHeap { .. })));
+    }
+
+    #[test]
+    fn user_writes_cannot_touch_metadata() {
+        let h = heap();
+        let _p = h.alloc(64).unwrap();
+        // Direct store into the metadata prefix must fault.
+        let err = h.device().write(4096, &[0xFF; 8]).unwrap_err();
+        assert!(matches!(err, pmem::PmemError::ProtectionFault { .. }));
+        // And a "heap overflow" running off the end of user data into the
+        // next region is caught at the metadata boundary too (user regions
+        // are the device tail, so overflow upward from the last block
+        // would leave the device; overflow downward hits metadata).
+        let first_user = h.layout().user_base(0);
+        let err = h.device().write(first_user - 8, &[0xFF; 16]).unwrap_err();
+        assert!(matches!(err, pmem::PmemError::ProtectionFault { .. }));
+    }
+
+    #[test]
+    fn root_pointer_survives_reload() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let heap_id;
+        {
+            let h = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+            heap_id = h.heap_id();
+            let p = h.alloc(128).unwrap();
+            h.set_root(p).unwrap();
+            h.close().unwrap();
+        }
+        let h = PoseidonHeap::load(dev, HeapConfig::new()).unwrap();
+        assert_eq!(h.heap_id(), heap_id);
+        let root = h.root().unwrap();
+        assert!(!root.is_null());
+        assert_eq!(root.heap_id, heap_id);
+        // The root block is still allocated: freeing succeeds exactly once.
+        h.free(root).unwrap();
+        assert!(matches!(h.free(root), Err(PoseidonError::DoubleFree { .. })));
+    }
+
+    #[test]
+    fn create_refuses_existing_heap_and_load_refuses_blank() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let h = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+        drop(h);
+        assert!(matches!(
+            PoseidonHeap::create(dev.clone(), HeapConfig::new()),
+            Err(PoseidonError::Corrupted(_))
+        ));
+        let blank = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        assert!(matches!(
+            PoseidonHeap::load(blank, HeapConfig::new()),
+            Err(PoseidonError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn per_cpu_subheaps_isolate_allocations() {
+        let h = Arc::new(heap());
+        let h1 = h.clone();
+        let p0 = {
+            let _pin = pmem::numa::CpuPinGuard::pin(0);
+            h.alloc(64).unwrap()
+        };
+        let p1 = std::thread::spawn(move || {
+            pmem::numa::set_current_cpu(1);
+            h1.alloc(64).unwrap()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(p0.subheap(), 0);
+        assert_eq!(p1.subheap(), 1);
+        // Cross-thread free works (§5.7).
+        h.free(p1).unwrap();
+        h.free(p0).unwrap();
+    }
+
+    #[test]
+    fn tx_alloc_commit_keeps_blocks() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let h = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+        let a = h.tx_alloc(64, false).unwrap();
+        let b = h.tx_alloc(64, true).unwrap(); // commit
+        drop(h);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        let h = PoseidonHeap::load(dev, HeapConfig::new()).unwrap();
+        assert_eq!(h.recovery_report().tx_allocations_reverted, 0);
+        // Both blocks survived: they can each be freed exactly once.
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_tx_is_reverted_on_recovery() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let h = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+        let a = h.tx_alloc(64, false).unwrap();
+        let b = h.tx_alloc(64, false).unwrap(); // never committed
+        drop(h);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        let h = PoseidonHeap::load(dev, HeapConfig::new()).unwrap();
+        assert_eq!(h.recovery_report().tx_allocations_reverted, 2);
+        // The blocks were freed by recovery: freeing them again is a
+        // double free.
+        assert!(matches!(h.free(a), Err(PoseidonError::DoubleFree { .. })));
+        assert!(matches!(h.free(b), Err(PoseidonError::DoubleFree { .. })));
+        h.audit().unwrap();
+    }
+
+    #[test]
+    fn tx_commit_without_alloc() {
+        let h = heap();
+        let a = h.tx_alloc(64, false).unwrap();
+        let b = h.tx_alloc(64, false).unwrap();
+        h.tx_commit().unwrap();
+        // Committed: the blocks are live and freeable exactly once.
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        // Idempotent without an open transaction.
+        h.tx_commit().unwrap();
+        assert_eq!(h.op_stats().tx_commits, 1);
+    }
+
+    #[test]
+    fn tx_abort_frees_allocations() {
+        let h = heap();
+        let a = h.tx_alloc(64, false).unwrap();
+        h.tx_abort().unwrap();
+        assert!(matches!(h.free(a), Err(PoseidonError::DoubleFree { .. })));
+        // Abort with no open tx is a no-op.
+        h.tx_abort().unwrap();
+    }
+
+    #[test]
+    fn unprotected_heap_skips_mpk() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let before = dev.mpk().stats().wrpkru_count;
+        let h = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2).without_protection())
+            .unwrap();
+        let p = h.alloc(64).unwrap();
+        h.free(p).unwrap();
+        assert_eq!(dev.mpk().stats().wrpkru_count, before);
+        // Metadata is writable by anyone — that's the point of the ablation.
+        dev.write(4096, &[1]).unwrap();
+    }
+
+    #[test]
+    fn audit_passes_after_mixed_workload() {
+        let h = heap();
+        let mut live = Vec::new();
+        for i in 0..200u64 {
+            live.push(h.alloc(32 + (i % 500)).unwrap());
+            if i % 3 == 0 {
+                let p = live.swap_remove((i as usize * 7) % live.len());
+                h.free(p).unwrap();
+            }
+        }
+        let audits = h.audit().unwrap();
+        assert!(!audits.is_empty());
+        for p in live {
+            h.free(p).unwrap();
+        }
+        h.audit().unwrap();
+    }
+
+    #[test]
+    fn too_large_and_zero_requests_fail_cleanly() {
+        let h = heap();
+        assert!(matches!(h.alloc(0), Err(PoseidonError::ZeroSize)));
+        assert!(matches!(
+            h.alloc(h.layout().user_size * 2),
+            Err(PoseidonError::TooLarge { .. })
+        ));
+    }
+}

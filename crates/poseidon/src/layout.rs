@@ -1,0 +1,280 @@
+//! Heap geometry: where everything lives on the device.
+//!
+//! A Poseidon heap is laid out as a superblock followed by `N` contiguous
+//! per-CPU sub-heap **metadata** regions and then `N` **user-data** regions
+//! (§4.2 — fully segregated metadata):
+//!
+//! ```text
+//! ┌────────────┬────────┬────────┬───┬────────┬────────┬───┐
+//! │ superblock │ meta 0 │ meta 1 │ … │ user 0 │ user 1 │ … │
+//! └────────────┴────────┴────────┴───┴────────┴────────┴───┘
+//! └──────── MPK-protected ─────────┘ └──── unprotected ────┘
+//! ```
+//!
+//! The whole metadata prefix `[0, meta_end)` is tagged with one MPK key at
+//! load time; user regions are never tagged. Every boundary is page-aligned
+//! so protection has exactly the granularity the paper requires.
+//!
+//! Each sub-heap's metadata region contains, at fixed offsets: a small
+//! header, the buddy-list head/tail arrays, per-level entry counts, the
+//! undo-log area, the micro-log area, and finally the multi-level hash
+//! table, whose levels double in capacity and are materialised lazily
+//! (unused levels cost nothing thanks to the device's sparse store, and
+//! emptied levels are hole-punched back, §5.6).
+
+use pmem::PAGE_SIZE;
+
+use crate::error::{PoseidonError, Result};
+
+/// Bytes reserved for the superblock region (header + sub-heap directory +
+/// superblock undo log).
+pub const SB_REGION_SIZE: u64 = 64 * 1024;
+/// Offset of the sub-heap directory (one u64 entry per sub-heap).
+pub const SB_DIR_OFF: u64 = PAGE_SIZE;
+/// Offset of the superblock undo-log area.
+pub const SB_UNDO_OFF: u64 = 2 * PAGE_SIZE;
+/// Size of the superblock undo-log area.
+pub const SB_UNDO_SIZE: u64 = 4 * PAGE_SIZE;
+
+/// log2 of the smallest block size (32 B).
+pub const MIN_BLOCK_SHIFT: u32 = 5;
+/// Smallest allocatable block size.
+pub const MIN_BLOCK: u64 = 1 << MIN_BLOCK_SHIFT;
+/// Number of buddy size classes (class `k` holds blocks of `32 << k`
+/// bytes); 48 classes cover every representable block.
+pub const NUM_CLASSES: usize = 48;
+/// Number of hash-table levels (level `l` holds `c0 << l` entries).
+pub const MAX_LEVELS: usize = 10;
+/// Linear-probing window per level, in slots.
+pub const PROBE_WINDOW: u64 = 32;
+/// Size of one hash-table entry (one cache line).
+pub const ENTRY_SIZE: u64 = 64;
+
+/// Offset of the buddy-list head array (`[u64; NUM_CLASSES]`).
+pub const SH_BUDDY_HEADS_OFF: u64 = 0x100;
+/// Offset of the buddy-list tail array (`[u64; NUM_CLASSES]`).
+pub const SH_BUDDY_TAILS_OFF: u64 = SH_BUDDY_HEADS_OFF + (NUM_CLASSES as u64) * 8;
+/// Offset of the per-level live-entry count array (`[u64; MAX_LEVELS]`).
+pub const SH_LEVEL_COUNTS_OFF: u64 = 0x400;
+/// Offset of the sub-heap undo-log area.
+pub const SH_UNDO_OFF: u64 = 0x1000;
+/// Size of the sub-heap undo-log area.
+pub const SH_UNDO_SIZE: u64 = 0x10000;
+/// Offset of the sub-heap micro-log area.
+pub const SH_MICRO_OFF: u64 = SH_UNDO_OFF + SH_UNDO_SIZE;
+/// The micro log is *per-transaction* (the paper's "per-thread micro
+/// log"): the area is divided into slots, one claimed per open
+/// transaction, so concurrent transactions sharing a sub-heap commit and
+/// abort independently.
+pub const MICRO_SLOTS: usize = 32;
+/// Bytes per micro-log slot (a count word + padding + the pointers).
+pub const MICRO_SLOT_BYTES: u64 = 512;
+/// Maximum number of allocations a single transaction can micro-log.
+pub const MICRO_LOG_CAPACITY: usize = ((MICRO_SLOT_BYTES - 16) / 16) as usize;
+/// Size of the sub-heap micro-log area.
+pub const SH_MICRO_SIZE: u64 = MICRO_SLOTS as u64 * MICRO_SLOT_BYTES;
+/// Offset of the multi-level hash table.
+pub const SH_TABLE_OFF: u64 = SH_MICRO_OFF + SH_MICRO_SIZE;
+
+/// Computed geometry of a heap on a particular device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapLayout {
+    /// Device capacity the layout was computed for.
+    pub capacity: u64,
+    /// Number of per-CPU sub-heaps.
+    pub num_subheaps: u16,
+    /// Bytes of metadata region per sub-heap (page-aligned).
+    pub meta_size: u64,
+    /// Bytes of user region per sub-heap (page-aligned).
+    pub user_size: u64,
+    /// Entries in hash-table level 0 (power of two).
+    pub c0: u64,
+}
+
+impl HeapLayout {
+    /// Computes the layout for a device of `capacity` bytes hosting
+    /// `num_subheaps` sub-heaps.
+    ///
+    /// The hash table is sized so that the sum of all levels holds one
+    /// entry per 256 B of user region (tombstone reuse and defragmentation
+    /// cover denser small-block populations).
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::BadGeometry`] if the device is too small.
+    pub fn compute(capacity: u64, num_subheaps: u16) -> Result<HeapLayout> {
+        if num_subheaps == 0 {
+            return Err(PoseidonError::BadGeometry("need at least one sub-heap"));
+        }
+        let n = num_subheaps as u64;
+        if capacity <= SB_REGION_SIZE {
+            return Err(PoseidonError::BadGeometry("device smaller than the superblock region"));
+        }
+        let per_sub = (capacity - SB_REGION_SIZE) / n;
+        let levels_factor = (1u64 << MAX_LEVELS) - 1;
+        let total_entries = (per_sub / 256).max(4096);
+        let c0 = total_entries.div_ceil(levels_factor).next_power_of_two().max(64);
+        let table_bytes = c0 * ENTRY_SIZE * levels_factor;
+        let meta_size = (SH_TABLE_OFF + table_bytes).next_multiple_of(PAGE_SIZE);
+        if per_sub < meta_size + PAGE_SIZE {
+            return Err(PoseidonError::BadGeometry(
+                "device too small for the requested sub-heap count (no room for user regions)",
+            ));
+        }
+        let user_size = (per_sub - meta_size) / PAGE_SIZE * PAGE_SIZE;
+        Ok(HeapLayout { capacity, num_subheaps, meta_size, user_size, c0 })
+    }
+
+    /// Device offset of sub-heap `sub`'s metadata region.
+    #[inline]
+    pub fn meta_base(&self, sub: u16) -> u64 {
+        debug_assert!(sub < self.num_subheaps);
+        SB_REGION_SIZE + sub as u64 * self.meta_size
+    }
+
+    /// End of the metadata prefix — everything below this is MPK-protected.
+    #[inline]
+    pub fn meta_end(&self) -> u64 {
+        SB_REGION_SIZE + self.num_subheaps as u64 * self.meta_size
+    }
+
+    /// Device offset of sub-heap `sub`'s user region.
+    #[inline]
+    pub fn user_base(&self, sub: u16) -> u64 {
+        debug_assert!(sub < self.num_subheaps);
+        self.meta_end() + sub as u64 * self.user_size
+    }
+
+    /// Number of entries in hash-table level `level`.
+    #[inline]
+    pub fn level_capacity(&self, level: usize) -> u64 {
+        debug_assert!(level < MAX_LEVELS);
+        self.c0 << level
+    }
+
+    /// Device offset of hash-table level `level` of sub-heap `sub`.
+    #[inline]
+    pub fn level_base(&self, sub: u16, level: usize) -> u64 {
+        debug_assert!(level < MAX_LEVELS);
+        // Levels 0..level hold c0 * (2^level - 1) entries in total.
+        self.meta_base(sub) + SH_TABLE_OFF + self.c0 * ((1 << level) - 1) * ENTRY_SIZE
+    }
+
+    /// The sub-heap serving a logical CPU (§4.1: one sub-heap per CPU; CPU
+    /// ids beyond the sub-heap count wrap).
+    #[inline]
+    pub fn subheap_for_cpu(&self, cpu: usize) -> u16 {
+        (cpu % self.num_subheaps as usize) as u16
+    }
+
+    /// Largest single allocation a sub-heap can ever serve: the biggest
+    /// power of two that fits in the user region.
+    #[inline]
+    pub fn max_alloc(&self) -> u64 {
+        if self.user_size == 0 {
+            0
+        } else {
+            let max_pow = 63 - self.user_size.leading_zeros();
+            1u64 << max_pow
+        }
+    }
+}
+
+/// Rounds `size` up to its buddy class; returns `(class, class_size)`.
+///
+/// # Errors
+///
+/// [`PoseidonError::ZeroSize`] for `size == 0`.
+pub fn class_for_size(size: u64) -> Result<(usize, u64)> {
+    if size == 0 {
+        return Err(PoseidonError::ZeroSize);
+    }
+    let rounded = size.max(MIN_BLOCK).next_power_of_two();
+    let class = (rounded.trailing_zeros() - MIN_BLOCK_SHIFT) as usize;
+    debug_assert!(class < NUM_CLASSES);
+    Ok((class, rounded))
+}
+
+/// The size of blocks in buddy class `class`.
+#[inline]
+pub fn class_size(class: usize) -> u64 {
+    MIN_BLOCK << class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_page_aligned_and_in_bounds() {
+        let layout = HeapLayout::compute(256 << 20, 8).unwrap();
+        assert_eq!(layout.meta_size % PAGE_SIZE, 0);
+        assert_eq!(layout.user_size % PAGE_SIZE, 0);
+        for sub in 0..8u16 {
+            assert_eq!(layout.meta_base(sub), SB_REGION_SIZE + sub as u64 * layout.meta_size);
+            assert!(layout.meta_base(sub) + layout.meta_size <= layout.meta_end());
+            assert!(layout.user_base(sub) >= layout.meta_end());
+            assert!(layout.user_base(sub) + layout.user_size <= layout.capacity);
+        }
+        // User regions do not overlap.
+        assert_eq!(layout.user_base(1) - layout.user_base(0), layout.user_size);
+    }
+
+    #[test]
+    fn table_levels_double_and_fit_in_meta() {
+        let layout = HeapLayout::compute(256 << 20, 4).unwrap();
+        for level in 0..MAX_LEVELS {
+            assert_eq!(layout.level_capacity(level), layout.c0 << level);
+        }
+        let last = MAX_LEVELS - 1;
+        let table_end =
+            layout.level_base(0, last) + layout.level_capacity(last) * ENTRY_SIZE - layout.meta_base(0);
+        assert!(table_end <= layout.meta_size);
+    }
+
+    #[test]
+    fn table_holds_an_entry_per_256_bytes_of_user_region() {
+        let layout = HeapLayout::compute(1 << 30, 4).unwrap();
+        let total_entries: u64 = (0..MAX_LEVELS).map(|l| layout.level_capacity(l)).sum();
+        assert!(total_entries >= layout.user_size / 256);
+    }
+
+    #[test]
+    fn too_small_devices_are_rejected() {
+        assert!(matches!(
+            HeapLayout::compute(SB_REGION_SIZE, 1),
+            Err(PoseidonError::BadGeometry(_))
+        ));
+        assert!(matches!(
+            HeapLayout::compute(1 << 20, 64),
+            Err(PoseidonError::BadGeometry(_))
+        ));
+        assert!(matches!(HeapLayout::compute(1 << 30, 0), Err(PoseidonError::BadGeometry(_))));
+    }
+
+    #[test]
+    fn cpu_mapping_wraps() {
+        let layout = HeapLayout::compute(256 << 20, 4).unwrap();
+        assert_eq!(layout.subheap_for_cpu(0), 0);
+        assert_eq!(layout.subheap_for_cpu(5), 1);
+    }
+
+    #[test]
+    fn class_rounding() {
+        assert_eq!(class_for_size(1).unwrap(), (0, 32));
+        assert_eq!(class_for_size(32).unwrap(), (0, 32));
+        assert_eq!(class_for_size(33).unwrap(), (1, 64));
+        assert_eq!(class_for_size(4096).unwrap(), (7, 4096));
+        assert!(matches!(class_for_size(0), Err(PoseidonError::ZeroSize)));
+        assert_eq!(class_size(7), 4096);
+    }
+
+    #[test]
+    fn max_alloc_is_a_power_of_two_within_user_region() {
+        let layout = HeapLayout::compute(256 << 20, 4).unwrap();
+        let max = layout.max_alloc();
+        assert!(max.is_power_of_two());
+        assert!(max <= layout.user_size);
+        assert!(max * 2 > layout.user_size);
+    }
+}

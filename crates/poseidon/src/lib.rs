@@ -1,0 +1,80 @@
+//! # Poseidon — a safe, fast and scalable persistent memory allocator
+//!
+//! Reproduction of *Poseidon* (Demeri et al., Middleware '20): a
+//! persistent memory allocator that is the first to guarantee **complete
+//! heap-metadata protection** while remaining fast and manycore-scalable.
+//! Its three pillars, all implemented here:
+//!
+//! * **Per-CPU sub-heaps** (§4.1) — each CPU allocates from its own
+//!   sub-heap with its own lock, logs, buddy lists and block table, placed
+//!   on the CPU's NUMA node. No global structures on the hot path.
+//! * **Fully segregated, MPK-protected metadata** (§4.2–§4.3) — metadata
+//!   lives in its own page-aligned region, tagged with an Intel MPK
+//!   protection key and writable only between the `wrpkru` pair that
+//!   brackets each allocator operation, and only for the executing
+//!   thread. Heap overflows, wild stores, and cross-thread bugs get a
+//!   protection fault instead of silently corrupting allocation state.
+//! * **O(1) block tracking** (§4.4) — a multi-level hash table records
+//!   every allocated *and* free block, validating each `free` (rejecting
+//!   double/invalid frees) and backing the buddy free lists, in constant
+//!   time regardless of heap size.
+//!
+//! Crash consistency comes from **undo logging** for every operation and
+//! **micro logging** for transactional allocation (§4.5), both replayed
+//! idempotently on load (§5.8).
+//!
+//! This implementation runs on the [`pmem`] simulated-NVMM substrate and
+//! the [`mpk`] simulated protection keys (see those crates and `DESIGN.md`
+//! for the substitution rationale); the allocator logic itself is exactly
+//! the paper's design.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use poseidon::{HeapConfig, PoseidonHeap};
+//! use pmem::{DeviceConfig, PmemDevice};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), poseidon::PoseidonError> {
+//! let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+//! let heap = PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(2))?;
+//!
+//! // Allocate, write through the device, persist, and anchor at the root.
+//! let ptr = heap.alloc(1024)?;
+//! let raw = heap.raw_offset(ptr)?;
+//! heap.device().write(raw, b"durable bytes")?;
+//! heap.device().persist(raw, 13)?;
+//! heap.set_root(ptr)?;
+//!
+//! // Transactional allocation: all-or-nothing across a crash.
+//! let a = heap.tx_alloc(64, false)?;
+//! let b = heap.tx_alloc(64, true)?; // is_end = true commits
+//!
+//! heap.free(a)?;
+//! heap.free(b)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod buddy;
+mod defrag;
+mod error;
+mod hashtable;
+mod heap;
+mod layout;
+mod microlog;
+mod nvmptr;
+mod persist;
+mod recovery;
+mod subheap;
+mod superblock;
+mod undo;
+
+pub use error::{PoseidonError, Result};
+pub use heap::{HeapConfig, HeapOpStats, PoseidonHeap};
+pub use layout::{class_for_size, class_size, HeapLayout, MIN_BLOCK, NUM_CLASSES};
+pub use nvmptr::{NvmPtr, MAX_OFFSET};
+pub use recovery::RecoveryReport;
+pub use subheap::SubheapAudit;

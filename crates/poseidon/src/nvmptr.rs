@@ -1,0 +1,118 @@
+//! The 16-byte persistent pointer.
+//!
+//! A raw 8-byte pointer (or device offset) is meaningless across restarts:
+//! the pool may be mapped elsewhere. Poseidon's persistent pointer (§4.6)
+//! therefore stores an **8-byte heap id**, a **2-byte sub-heap id**, and a
+//! **6-byte offset** within that sub-heap's user region, and is converted
+//! to/from a raw location on use.
+
+use pmem::pod_struct;
+
+/// Maximum offset representable in the 6-byte offset field.
+pub const MAX_OFFSET: u64 = (1 << 48) - 1;
+
+pod_struct! {
+    /// A Poseidon persistent pointer: heap id, sub-heap id, and sub-heap
+    /// offset packed into 16 bytes (§4.6).
+    ///
+    /// The all-zero value is *null* only if `heap_id == 0`; heap ids are
+    /// drawn non-zero at heap creation, so [`NvmPtr::NULL`] never aliases a
+    /// real pointer.
+    pub struct NvmPtr {
+        /// Random, non-zero id of the owning heap.
+        pub heap_id: u64,
+        /// `(subheap << 48) | offset` — 2-byte sub-heap id, 6-byte offset.
+        pub packed: u64,
+    }
+}
+
+impl NvmPtr {
+    /// The null persistent pointer.
+    pub const NULL: NvmPtr = NvmPtr { heap_id: 0, packed: 0 };
+
+    /// Builds a pointer from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds [`MAX_OFFSET`] (6 bytes).
+    pub fn new(heap_id: u64, subheap: u16, offset: u64) -> NvmPtr {
+        assert!(offset <= MAX_OFFSET, "offset {offset:#x} exceeds the 6-byte pointer field");
+        NvmPtr { heap_id, packed: ((subheap as u64) << 48) | offset }
+    }
+
+    /// Whether this is the null pointer.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.heap_id == 0
+    }
+
+    /// The sub-heap id.
+    #[inline]
+    pub fn subheap(&self) -> u16 {
+        (self.packed >> 48) as u16
+    }
+
+    /// The offset within the sub-heap's user region.
+    #[inline]
+    pub fn offset(&self) -> u64 {
+        self.packed & MAX_OFFSET
+    }
+}
+
+impl std::fmt::Display for NvmPtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            f.write_str("nvmptr(null)")
+        } else {
+            write!(f, "nvmptr({:#x}:{}:{:#x})", self.heap_id, self.subheap(), self.offset())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::Pod;
+
+    #[test]
+    fn parts_roundtrip() {
+        let p = NvmPtr::new(0xFEED, 7, 0x1234_5678_9ABC);
+        assert_eq!(p.heap_id, 0xFEED);
+        assert_eq!(p.subheap(), 7);
+        assert_eq!(p.offset(), 0x1234_5678_9ABC);
+        assert!(!p.is_null());
+    }
+
+    #[test]
+    fn is_16_bytes_and_pod() {
+        assert_eq!(std::mem::size_of::<NvmPtr>(), 16);
+        let p = NvmPtr::new(1, 2, 3);
+        assert_eq!(NvmPtr::from_bytes(p.as_bytes()), p);
+    }
+
+    #[test]
+    fn null_is_all_zero() {
+        assert!(NvmPtr::NULL.is_null());
+        assert!(NvmPtr::NULL.as_bytes().iter().all(|&b| b == 0));
+        assert_eq!(NvmPtr::default(), NvmPtr::NULL);
+    }
+
+    #[test]
+    fn max_offset_fits() {
+        let p = NvmPtr::new(1, u16::MAX, MAX_OFFSET);
+        assert_eq!(p.subheap(), u16::MAX);
+        assert_eq!(p.offset(), MAX_OFFSET);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 6-byte pointer field")]
+    fn oversized_offset_panics() {
+        let _ = NvmPtr::new(1, 0, MAX_OFFSET + 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NvmPtr::NULL.to_string(), "nvmptr(null)");
+        assert!(NvmPtr::new(0xAB, 3, 0x40).to_string().contains(":3:"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Heap recovery (§5.1, §5.8).
+//!
+//! On load, every log is checked: a non-empty undo log means an operation
+//! was interrupted and is rolled back; a non-empty micro log means a
+//! transaction never committed and its allocations are freed. Both
+//! replays are idempotent, so a crash *during* recovery simply replays
+//! again — undo restoration rewrites the same old bytes, and micro-log
+//! frees of already-freed blocks are rejected as double frees and
+//! skipped.
+
+use pmem::PmemDevice;
+
+use crate::error::{PoseidonError, Result};
+use crate::layout::HeapLayout;
+use crate::microlog;
+use crate::persist::SubCtx;
+use crate::subheap;
+use crate::superblock;
+use crate::undo;
+
+/// What recovery found and repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Whether the superblock undo log was replayed.
+    pub superblock_undo_replayed: bool,
+    /// Number of sub-heap undo logs replayed.
+    pub subheap_undos_replayed: u32,
+    /// Allocations freed from uncommitted transactions (micro logs).
+    pub tx_allocations_reverted: u32,
+}
+
+impl RecoveryReport {
+    /// Whether the previous session ended in a crash mid-operation.
+    pub fn crash_detected(&self) -> bool {
+        self.superblock_undo_replayed
+            || self.subheap_undos_replayed > 0
+            || self.tx_allocations_reverted > 0
+    }
+}
+
+/// Runs full recovery. The caller holds the MPK write guard (§5.1 grants
+/// write access to metadata for the duration of recovery).
+pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+    report.superblock_undo_replayed = undo::replay(dev, superblock::undo_area())?;
+    for sub in 0..layout.num_subheaps {
+        if superblock::dir_entry(dev, sub)?.state != 1 {
+            continue;
+        }
+        let ctx = SubCtx { dev, layout, sub };
+        if undo::replay(dev, ctx.undo_area())? {
+            report.subheap_undos_replayed += 1;
+        }
+        // Free every address an uncommitted transaction logged (§4.5) —
+        // any non-empty slot belongs to a transaction that never
+        // committed.
+        for slot in microlog::all_slots() {
+            let pending = microlog::entries(&ctx, slot)?;
+            if pending.is_empty() {
+                continue;
+            }
+            for ptr in pending {
+                if ptr.subheap() != sub {
+                    return Err(PoseidonError::Corrupted("micro-log entry for a foreign sub-heap"));
+                }
+                match subheap::free_block(&ctx, ptr.offset()) {
+                    Ok(_) => report.tx_allocations_reverted += 1,
+                    // Replay idempotence: a crash during a previous
+                    // recovery may have freed this one already.
+                    Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            microlog::truncate(&ctx, slot)?;
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,192 @@
+//! Superblock creation, validation, and the root pointer (§2.2, §4.6).
+
+use pmem::PmemDevice;
+
+use crate::error::{PoseidonError, Result};
+use crate::layout::{HeapLayout, SB_DIR_OFF, SB_UNDO_OFF, SB_UNDO_SIZE};
+use crate::nvmptr::NvmPtr;
+use crate::persist::{DirEntry, SuperblockHeader, FORMAT_VERSION, SUPERBLOCK_MAGIC};
+use crate::undo::{self, UndoArea};
+
+/// Device offset of the superblock's `undo_gen` field.
+fn undo_gen_off() -> u64 {
+    std::mem::offset_of!(SuperblockHeader, undo_gen) as u64
+}
+
+/// Device offset of the superblock's `root` field.
+fn root_off() -> u64 {
+    std::mem::offset_of!(SuperblockHeader, root) as u64
+}
+
+/// The superblock's undo-log area.
+pub(crate) fn undo_area() -> UndoArea {
+    UndoArea { base: SB_UNDO_OFF, size: SB_UNDO_SIZE, gen_field: undo_gen_off() }
+}
+
+/// Device offset of sub-heap `sub`'s directory entry.
+pub(crate) fn dir_entry_off(sub: u16) -> u64 {
+    SB_DIR_OFF + sub as u64 * 8
+}
+
+/// Reads sub-heap `sub`'s directory entry.
+pub(crate) fn dir_entry(dev: &PmemDevice, sub: u16) -> Result<DirEntry> {
+    Ok(dev.read_pod(dir_entry_off(sub))?)
+}
+
+/// Publishes sub-heap `sub` as created (8-byte atomic persisted store —
+/// the commit point of sub-heap creation).
+pub(crate) fn publish_subheap(dev: &PmemDevice, sub: u16, entry: DirEntry) -> Result<()> {
+    dev.write_pod(dir_entry_off(sub), &entry)?;
+    dev.persist(dir_entry_off(sub), 8)?;
+    Ok(())
+}
+
+/// Writes a fresh superblock for `layout` with identity `heap_id`.
+///
+/// The magic is written *last*, after everything else (directory zeroed,
+/// header persisted), so a crash mid-creation leaves a device that does
+/// not claim to be a Poseidon heap and is simply re-created next time.
+pub(crate) fn create(dev: &PmemDevice, layout: &HeapLayout, heap_id: u64) -> Result<()> {
+    let header = SuperblockHeader {
+        magic: 0, // published below
+        version: FORMAT_VERSION,
+        heap_id,
+        capacity: layout.capacity,
+        num_subheaps: layout.num_subheaps as u32,
+        meta_size: layout.meta_size,
+        user_size: layout.user_size,
+        c0: layout.c0,
+        undo_gen: 0,
+        root: NvmPtr::NULL,
+        _pad0: 0,
+        _pad1: 0,
+    };
+    dev.write_pod(0, &header)?;
+    // Zero the directory.
+    dev.write(SB_DIR_OFF, &vec![0u8; layout.num_subheaps as usize * 8])?;
+    dev.persist(0, SB_DIR_OFF + layout.num_subheaps as u64 * 8)?;
+    dev.write_pod(0, &SUPERBLOCK_MAGIC)?;
+    dev.persist(0, 8)?;
+    Ok(())
+}
+
+/// Loads and validates an existing superblock, reconstructing the heap
+/// geometry it was created with.
+///
+/// # Errors
+///
+/// [`PoseidonError::Corrupted`] if the header is missing, from a
+/// different format version, or inconsistent with the device.
+pub(crate) fn load(dev: &PmemDevice) -> Result<(SuperblockHeader, HeapLayout)> {
+    let header: SuperblockHeader = dev.read_pod(0)?;
+    if header.magic != SUPERBLOCK_MAGIC {
+        return Err(PoseidonError::Corrupted("no Poseidon superblock on this device"));
+    }
+    if header.version != FORMAT_VERSION {
+        return Err(PoseidonError::Corrupted("unsupported format version"));
+    }
+    if header.capacity > dev.capacity() {
+        return Err(PoseidonError::Corrupted("heap larger than the device holding it"));
+    }
+    if header.heap_id == 0 || header.num_subheaps == 0 || header.num_subheaps > u16::MAX as u32 {
+        return Err(PoseidonError::Corrupted("implausible superblock identity"));
+    }
+    let layout = HeapLayout {
+        capacity: header.capacity,
+        num_subheaps: header.num_subheaps as u16,
+        meta_size: header.meta_size,
+        user_size: header.user_size,
+        c0: header.c0,
+    };
+    // Geometry must be self-consistent.
+    let recomputed = HeapLayout::compute(header.capacity, layout.num_subheaps)?;
+    if recomputed != layout {
+        return Err(PoseidonError::Corrupted("superblock geometry does not match this build"));
+    }
+    Ok((header, layout))
+}
+
+/// Reads the root pointer.
+pub(crate) fn root(dev: &PmemDevice) -> Result<NvmPtr> {
+    Ok(dev.read_pod(root_off())?)
+}
+
+/// Sets the root pointer through the superblock undo log (a 16-byte
+/// value cannot be stored atomically, §5.8 machinery covers it).
+/// Caller holds the superblock lock and the MPK write guard.
+pub(crate) fn set_root(dev: &PmemDevice, ptr: NvmPtr) -> Result<()> {
+    let mut session = undo::UndoSession::begin(dev, undo_area())?;
+    session.log_and_write_pod(root_off(), &ptr)?;
+    session.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{CrashMode, DeviceConfig};
+
+    fn setup() -> (PmemDevice, HeapLayout) {
+        let dev = PmemDevice::new(DeviceConfig::new(64 << 20));
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        (dev, layout)
+    }
+
+    #[test]
+    fn create_then_load_roundtrips_geometry() {
+        let (dev, layout) = setup();
+        create(&dev, &layout, 0xABCD).unwrap();
+        let (header, loaded) = load(&dev).unwrap();
+        assert_eq!(header.heap_id, 0xABCD);
+        assert_eq!(loaded, layout);
+    }
+
+    #[test]
+    fn load_rejects_blank_device() {
+        let (dev, _) = setup();
+        assert!(matches!(load(&dev), Err(PoseidonError::Corrupted(_))));
+    }
+
+    #[test]
+    fn crash_during_creation_leaves_no_heap() {
+        let (dev, layout) = setup();
+        // Crash before the magic is persisted.
+        dev.arm_crash_after(3);
+        let _ = create(&dev, &layout, 0xABCD);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        assert!(matches!(load(&dev), Err(PoseidonError::Corrupted(_))));
+        // Re-creation succeeds.
+        create(&dev, &layout, 0xABCD).unwrap();
+        load(&dev).unwrap();
+    }
+
+    #[test]
+    fn root_set_is_crash_atomic() {
+        let (dev, layout) = setup();
+        create(&dev, &layout, 0xABCD).unwrap();
+        set_root(&dev, NvmPtr::new(0xABCD, 1, 64)).unwrap();
+        assert_eq!(root(&dev).unwrap().offset(), 64);
+
+        // Interrupt a second update mid-way; replay must restore the old
+        // value, never expose a half-written pointer.
+        dev.arm_crash_after(4);
+        let _ = set_root(&dev, NvmPtr::new(0xABCD, 0, 128));
+        dev.simulate_crash(CrashMode::Strict, 0);
+        undo::replay(&dev, undo_area()).unwrap();
+        let r = root(&dev).unwrap();
+        assert!(
+            (r.subheap() == 1 && r.offset() == 64) || (r.subheap() == 0 && r.offset() == 128),
+            "torn root pointer: {r}"
+        );
+    }
+
+    #[test]
+    fn publish_subheap_is_visible() {
+        let (dev, layout) = setup();
+        create(&dev, &layout, 0xABCD).unwrap();
+        assert_eq!(dir_entry(&dev, 1).unwrap().state, 0);
+        publish_subheap(&dev, 1, DirEntry { state: 1, node: 1 }).unwrap();
+        let e = dir_entry(&dev, 1).unwrap();
+        assert_eq!(e.state, 1);
+        assert_eq!(e.node, 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! Undo logging (§4.5, §5.2).
+//!
+//! Every allocator operation mutates metadata inside an *undo session*:
+//! before a range is overwritten, its original bytes are appended to the
+//! undo-log area and persisted, and only then is the new value written.
+//! Committing persists all modified ranges and invalidates the log; a
+//! crash at any point leaves either a committed operation or a log whose
+//! replay restores the exact pre-op state. Replay is idempotent —
+//! replaying twice (e.g. after a crash *during* recovery, §5.8) writes
+//! the same old bytes again.
+//!
+//! The log is invalidated in O(1) by bumping a persistent **generation
+//! counter** rather than rewinding a tail: each entry is stamped with the
+//! generation it belongs to and carries a checksum, so recovery scans
+//! entries from the start of the area and stops at the first entry that
+//! fails validation (stale generation, bad checksum, or torn write).
+//! Entries are persisted *before* their target is modified and are
+//! written in order with a fence between, so a torn or missing entry
+//! implies its target — and every later entry's target — was never
+//! touched.
+//!
+//! Entry layout (all fields little-endian, entries 8-byte aligned):
+//!
+//! ```text
+//! ┌──────────┬─────────────┬──────────┬───────────────┬───────────────┐
+//! │ gen: u64 │ target: u64 │ len: u64 │ checksum: u64 │ old bytes…pad │
+//! └──────────┴─────────────┴──────────┴───────────────┴───────────────┘
+//! ```
+
+use pmem::PmemDevice;
+
+use crate::error::{PoseidonError, Result};
+
+/// Location of one undo-log area and its persistent generation field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndoArea {
+    /// Device offset of the log area.
+    pub base: u64,
+    /// Size of the log area in bytes.
+    pub size: u64,
+    /// Device offset of the `u64` generation field. Entries stamped with
+    /// the current generation are live; a bump invalidates them all.
+    pub gen_field: u64,
+}
+
+const ENTRY_HEADER: u64 = 32;
+
+fn checksum(gen: u64, target: u64, len: u64, old: &[u8]) -> u64 {
+    let mut hash = 0x9E37_79B9_7F4A_7C15u64 ^ gen;
+    hash = hash.wrapping_mul(0x100_0000_01B3).rotate_left(17) ^ target;
+    hash = hash.wrapping_mul(0x100_0000_01B3).rotate_left(17) ^ len;
+    for chunk in old.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        hash = hash.wrapping_mul(0x100_0000_01B3).rotate_left(17) ^ u64::from_le_bytes(word);
+    }
+    // Never 0, so an all-zero (never-written) slot always fails.
+    hash | 1
+}
+
+/// An open undo session. Obtain with [`UndoSession::begin`]; every
+/// metadata mutation goes through [`log_and_write`](Self::log_and_write);
+/// finish with [`commit`](Self::commit) or [`abort`](Self::abort).
+///
+/// Exactly one session may be open per area at a time — the caller's
+/// sub-heap (or superblock) lock guarantees this. Dropping a session
+/// without committing rolls back immediately (an early `?` return leaves
+/// the heap untouched); a crash instead leaves live entries for
+/// [`replay`] to roll back on recovery.
+#[derive(Debug)]
+pub struct UndoSession<'a> {
+    dev: &'a PmemDevice,
+    area: UndoArea,
+    gen: u64,
+    /// Bytes of the log area used so far this session.
+    tail: u64,
+    /// Target ranges written this session, persisted on commit.
+    dirty: Vec<(u64, u64)>,
+    finished: bool,
+    /// Reusable entry buffer (header + old bytes).
+    buffer: Vec<u8>,
+}
+
+impl<'a> UndoSession<'a> {
+    /// Opens a session on `area`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::Corrupted`] if live entries from a crashed
+    /// operation are present (recovery must run first), or a device
+    /// error.
+    pub fn begin(dev: &'a PmemDevice, area: UndoArea) -> Result<UndoSession<'a>> {
+        let gen: u64 = dev.read_pod(area.gen_field)?;
+        if read_entry(dev, area, gen, 0)?.is_some() {
+            return Err(PoseidonError::Corrupted("undo log non-empty at operation start"));
+        }
+        Ok(UndoSession { dev, area, gen, tail: 0, dirty: Vec::new(), finished: false, buffer: Vec::new() })
+    }
+
+    /// Logs the current content of `[target, target + new.len())`, then
+    /// writes `new` there. The new bytes become durable at
+    /// [`commit`](Self::commit).
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::Corrupted`] if the log area overflows (operations
+    /// are designed to fit comfortably; overflow means a bug), or a
+    /// device error.
+    pub fn log_and_write(&mut self, target: u64, new: &[u8]) -> Result<()> {
+        let len = new.len() as u64;
+        let entry_len = ENTRY_HEADER + len.next_multiple_of(8);
+        if self.tail + entry_len > self.area.size {
+            return Err(PoseidonError::Corrupted("undo log overflow"));
+        }
+        // Build the whole entry (header + old image) in one buffer so it
+        // costs a single device write and a single persist.
+        self.buffer.clear();
+        self.buffer.resize(entry_len as usize, 0);
+        self.dev.read(target, &mut self.buffer[ENTRY_HEADER as usize..ENTRY_HEADER as usize + new.len()])?;
+        let sum = checksum(self.gen, target, len, &self.buffer[ENTRY_HEADER as usize..]);
+        self.buffer[0..8].copy_from_slice(&self.gen.to_le_bytes());
+        self.buffer[8..16].copy_from_slice(&target.to_le_bytes());
+        self.buffer[16..24].copy_from_slice(&len.to_le_bytes());
+        self.buffer[24..32].copy_from_slice(&sum.to_le_bytes());
+        let entry_off = self.area.base + self.tail;
+        self.dev.write(entry_off, &self.buffer)?;
+        self.dev.persist(entry_off, entry_len)?;
+        self.tail += entry_len;
+        // Now the mutation itself (persisted at commit).
+        self.dev.write(target, new)?;
+        self.dirty.push((target, len));
+        Ok(())
+    }
+
+    /// Convenience: [`log_and_write`](Self::log_and_write) of a
+    /// [`Pod`](pmem::Pod) value.
+    ///
+    /// # Errors
+    ///
+    /// As for [`log_and_write`](Self::log_and_write).
+    pub fn log_and_write_pod<T: pmem::Pod>(&mut self, target: u64, value: &T) -> Result<()> {
+        self.log_and_write(target, value.as_bytes())
+    }
+
+    /// Persists every range written this session, then invalidates the
+    /// log by bumping the generation — the operation's commit point (one
+    /// 8-byte persisted store).
+    ///
+    /// # Errors
+    ///
+    /// Device errors only.
+    pub fn commit(mut self) -> Result<()> {
+        for &(off, len) in &self.dirty {
+            self.dev.clwb(off, len)?;
+        }
+        self.dev.sfence()?;
+        if self.tail > 0 {
+            bump_generation(self.dev, self.area, self.gen)?;
+        }
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Rolls the session back: restores every logged range to its
+    /// original bytes (newest first) and invalidates the log. The heap is
+    /// exactly as it was before [`begin`](Self::begin).
+    ///
+    /// # Errors
+    ///
+    /// Device errors only.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn abort(mut self) -> Result<()> {
+        self.finished = true;
+        if self.tail > 0 {
+            apply_undo(self.dev, self.area, self.gen)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for UndoSession<'_> {
+    fn drop(&mut self) {
+        // A dropped-without-commit session (e.g. an early `?` return) must
+        // not leave half-applied metadata behind: roll back best-effort.
+        // If the device has crashed, rollback fails harmlessly here and
+        // recovery replays the log instead.
+        if !self.finished && self.tail != 0 {
+            let _ = apply_undo(self.dev, self.area, self.gen);
+        }
+    }
+}
+
+/// Reads and validates the entry at byte position `pos` for generation
+/// `gen`. Returns `(target, len, old_bytes, entry_len)` or `None` when
+/// the slot does not hold a live entry (end of log).
+fn read_entry(
+    dev: &PmemDevice,
+    area: UndoArea,
+    gen: u64,
+    pos: u64,
+) -> Result<Option<(u64, u64, Vec<u8>, u64)>> {
+    if pos + ENTRY_HEADER > area.size {
+        return Ok(None);
+    }
+    let entry_gen: u64 = dev.read_pod(area.base + pos)?;
+    if entry_gen != gen {
+        return Ok(None);
+    }
+    let target: u64 = dev.read_pod(area.base + pos + 8)?;
+    let len: u64 = dev.read_pod(area.base + pos + 16)?;
+    let stored_sum: u64 = dev.read_pod(area.base + pos + 24)?;
+    if len > area.size || pos + ENTRY_HEADER + len.next_multiple_of(8) > area.size {
+        return Ok(None); // torn header
+    }
+    let mut old = vec![0u8; len.next_multiple_of(8) as usize];
+    dev.read(area.base + pos + ENTRY_HEADER, &mut old)?;
+    if checksum(gen, target, len, &old) != stored_sum {
+        return Ok(None); // torn entry
+    }
+    old.truncate(len as usize);
+    Ok(Some((target, len, old, ENTRY_HEADER + len.next_multiple_of(8))))
+}
+
+/// Restores all live entries of generation `gen` (newest first), persists
+/// the restorations, and invalidates the log.
+fn apply_undo(dev: &PmemDevice, area: UndoArea, gen: u64) -> Result<()> {
+    let mut entries = Vec::new();
+    let mut pos = 0u64;
+    while let Some((target, len, old, entry_len)) = read_entry(dev, area, gen, pos)? {
+        entries.push((target, len, old));
+        pos += entry_len;
+    }
+    for (target, len, old) in entries.iter().rev() {
+        dev.write(*target, old)?;
+        dev.clwb(*target, *len)?;
+    }
+    dev.sfence()?;
+    bump_generation(dev, area, gen)?;
+    Ok(())
+}
+
+fn bump_generation(dev: &PmemDevice, area: UndoArea, gen: u64) -> Result<()> {
+    dev.write_pod(area.gen_field, &(gen + 1))?;
+    dev.persist(area.gen_field, 8)?;
+    Ok(())
+}
+
+/// Recovery entry point: if the area holds live entries, rolls the
+/// interrupted operation back. Returns whether anything was replayed.
+///
+/// Idempotent: crashing during replay and replaying again is safe (§5.8).
+///
+/// # Errors
+///
+/// Device errors.
+pub fn replay(dev: &PmemDevice, area: UndoArea) -> Result<bool> {
+    let gen: u64 = dev.read_pod(area.gen_field)?;
+    if read_entry(dev, area, gen, 0)?.is_none() {
+        return Ok(false);
+    }
+    apply_undo(dev, area, gen)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{CrashMode, DeviceConfig};
+
+    fn setup() -> (PmemDevice, UndoArea) {
+        let dev = PmemDevice::new(DeviceConfig::small_test());
+        // Generation field at 0, log area at 4096.
+        let area = UndoArea { base: 4096, size: 8192, gen_field: 0 };
+        (dev, area)
+    }
+
+    #[test]
+    fn commit_makes_writes_durable() {
+        let (dev, area) = setup();
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(64 * 1024, &0xAAu64).unwrap();
+        s.log_and_write_pod(64 * 1024 + 8, &0xBBu64).unwrap();
+        s.commit().unwrap();
+        dev.simulate_crash(CrashMode::Strict, 0);
+        assert_eq!(dev.read_pod::<u64>(64 * 1024).unwrap(), 0xAA);
+        assert_eq!(dev.read_pod::<u64>(64 * 1024 + 8).unwrap(), 0xBB);
+        // Log is invalid after commit.
+        assert!(!replay(&dev, area).unwrap());
+    }
+
+    #[test]
+    fn crash_before_commit_replays_to_old_state() {
+        let (dev, area) = setup();
+        let target = 64 * 1024;
+        dev.write_pod(target, &1u64).unwrap();
+        dev.persist(target, 8).unwrap();
+
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &2u64).unwrap();
+        std::mem::forget(s); // simulate losing the session in a crash
+        dev.simulate_crash(CrashMode::Strict, 7);
+
+        assert!(replay(&dev, area).unwrap());
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 1);
+        // Idempotent: nothing left to replay.
+        assert!(!replay(&dev, area).unwrap());
+    }
+
+    #[test]
+    fn replay_restores_in_reverse_order() {
+        let (dev, area) = setup();
+        let target = 64 * 1024;
+        dev.write_pod(target, &1u64).unwrap();
+        dev.persist(target, 8).unwrap();
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &2u64).unwrap();
+        s.log_and_write_pod(target, &3u64).unwrap(); // same target twice
+        std::mem::forget(s);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        replay(&dev, area).unwrap();
+        // Reverse application ends on the *first* entry's old value.
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 1);
+    }
+
+    #[test]
+    fn abort_rolls_back_immediately() {
+        let (dev, area) = setup();
+        let target = 64 * 1024;
+        dev.write_pod(target, &7u64).unwrap();
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &8u64).unwrap();
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 8);
+        s.abort().unwrap();
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 7);
+        assert!(!replay(&dev, area).unwrap());
+    }
+
+    #[test]
+    fn drop_without_commit_rolls_back() {
+        let (dev, area) = setup();
+        let target = 64 * 1024;
+        dev.write_pod(target, &7u64).unwrap();
+        {
+            let mut s = UndoSession::begin(&dev, area).unwrap();
+            s.log_and_write_pod(target, &8u64).unwrap();
+            // dropped here without commit
+        }
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 7);
+        // A fresh session can begin.
+        UndoSession::begin(&dev, area).unwrap().commit().unwrap();
+    }
+
+    #[test]
+    fn begin_rejects_unrecovered_log() {
+        let (dev, area) = setup();
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(64 * 1024, &1u64).unwrap();
+        std::mem::forget(s);
+        assert!(matches!(UndoSession::begin(&dev, area), Err(PoseidonError::Corrupted(_))));
+        replay(&dev, area).unwrap();
+        UndoSession::begin(&dev, area).unwrap().commit().unwrap();
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let (dev, area) = setup();
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        let big = vec![0u8; 4096];
+        s.log_and_write(64 * 1024, &big).unwrap();
+        let r = s.log_and_write(80 * 1024, &big);
+        assert!(matches!(r, Err(PoseidonError::Corrupted("undo log overflow"))));
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn replay_survives_crash_during_replay() {
+        let (dev, area) = setup();
+        let target = 64 * 1024;
+        dev.write_pod(target, &1u64).unwrap();
+        dev.persist(target, 8).unwrap();
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &2u64).unwrap();
+        s.log_and_write_pod(target + 8, &9u64).unwrap();
+        std::mem::forget(s);
+        dev.simulate_crash(CrashMode::Strict, 0);
+
+        // Crash partway through the replay itself.
+        dev.arm_crash_after(1);
+        assert!(replay(&dev, area).is_err());
+        dev.simulate_crash(CrashMode::Strict, 1);
+
+        // Second replay completes.
+        assert!(replay(&dev, area).unwrap());
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 1);
+        assert_eq!(dev.read_pod::<u64>(target + 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn adversarial_crash_still_recovers() {
+        // Whatever subset of unflushed lines survives, replay must restore
+        // the pre-op state for targets whose entries were persisted.
+        for seed in 0..32u64 {
+            let (dev, area) = setup();
+            let target = 64 * 1024;
+            dev.write_pod(target, &1u64).unwrap();
+            dev.persist(target, 8).unwrap();
+            let mut s = UndoSession::begin(&dev, area).unwrap();
+            s.log_and_write_pod(target, &2u64).unwrap();
+            std::mem::forget(s);
+            dev.simulate_crash(CrashMode::Adversarial, seed);
+            let gen: u64 = dev.read_pod(area.gen_field).unwrap();
+            let had_entry = read_entry(&dev, area, gen, 0).unwrap().is_some();
+            replay(&dev, area).unwrap();
+            let value = dev.read_pod::<u64>(target).unwrap();
+            if had_entry {
+                assert_eq!(value, 1, "seed {seed}: logged op must roll back");
+            } else {
+                // The entry did not survive, so (by the fence protocol)
+                // the target write had not begun when the crash hit —
+                // unless the adversary persisted the target line itself.
+                assert!(value == 1 || value == 2);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_bump_invalidates_stale_entries() {
+        let (dev, area) = setup();
+        let target = 64 * 1024;
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &5u64).unwrap();
+        s.commit().unwrap();
+        // The old entry bytes still sit in the log area but belong to a
+        // dead generation: a new session starts clean and replay is a
+        // no-op.
+        assert!(!replay(&dev, area).unwrap());
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &6u64).unwrap();
+        s.commit().unwrap();
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 6);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for Poseidon's core structures: model-based checks of
+//! the heap against a shadow allocator, including buddy conservation and
+//! size-class correctness.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmem::{DeviceConfig, PmemDevice};
+use poseidon::{class_for_size, HeapConfig, NvmPtr, PoseidonError, PoseidonHeap, MIN_BLOCK};
+use proptest::prelude::*;
+
+fn heap() -> PoseidonHeap {
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(48 << 20)));
+    PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(1)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn blocks_are_class_sized_and_aligned(sizes in proptest::collection::vec(1u64..100_000, 1..60)) {
+        let heap = heap();
+        let mut live: Vec<(NvmPtr, u64)> = Vec::new();
+        for size in sizes {
+            match heap.alloc(size) {
+                Ok(p) => {
+                    let (_, rounded) = class_for_size(size).unwrap();
+                    prop_assert_eq!(p.offset() % rounded, 0, "block not aligned to its class");
+                    live.push((p, rounded));
+                }
+                Err(PoseidonError::NoSpace { .. }) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            }
+        }
+        // Distinct, non-overlapping (sorted by offset).
+        live.sort_by_key(|(p, _)| p.offset());
+        for pair in live.windows(2) {
+            prop_assert!(pair[0].0.offset() + pair[0].1 <= pair[1].0.offset());
+        }
+        for (p, _) in live {
+            heap.free(p).unwrap();
+        }
+        heap.audit().unwrap();
+    }
+
+    #[test]
+    fn free_bytes_are_conserved(ops in proptest::collection::vec((1u64..16_384, any::<bool>()), 1..80)) {
+        let heap = heap();
+        // Prime the sub-heap, then capture the baseline.
+        let warm = heap.alloc(32).unwrap();
+        heap.free(warm).unwrap();
+        let baseline: u64 = heap.audit().unwrap().iter().map(|(_, a)| a.free_bytes + a.alloc_bytes).sum();
+
+        let mut live: Vec<NvmPtr> = Vec::new();
+        let mut rng_index = 0usize;
+        for (size, do_free) in ops {
+            if do_free && !live.is_empty() {
+                rng_index = (rng_index * 31 + 7) % live.len();
+                let p = live.swap_remove(rng_index);
+                heap.free(p).unwrap();
+            } else if let Ok(p) = heap.alloc(size) {
+                live.push(p);
+            }
+            // Invariant after *every* operation: total tracked bytes never
+            // change (blocks only split and merge).
+            let audits = heap.audit().unwrap();
+            let total: u64 = audits.iter().map(|(_, a)| a.free_bytes + a.alloc_bytes).sum();
+            prop_assert_eq!(total, baseline, "byte conservation violated");
+        }
+        for p in live {
+            heap.free(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn shadow_model_agreement(
+        plan in proptest::collection::vec((1u64..8_192, 0usize..8), 1..100)
+    ) {
+        // A shadow allocator that only tracks {ptr -> size}: Poseidon must
+        // agree on every outcome (alloc succeeds while space remains;
+        // freeing live succeeds once; freeing again fails).
+        let heap = heap();
+        let mut shadow: HashMap<u64, u64> = HashMap::new();
+        for (size, action) in plan {
+            if action < 5 {
+                if let Ok(p) = heap.alloc(size) {
+                    let prev = shadow.insert(p.offset(), size);
+                    prop_assert!(prev.is_none(), "allocator returned a live offset");
+                }
+            } else if let Some(&offset) = shadow.keys().next() {
+                shadow.remove(&offset);
+                let ptr = NvmPtr::new(heap.heap_id(), 0, offset);
+                heap.free(ptr).unwrap();
+                // Second free must be rejected.
+                let double = matches!(heap.free(ptr), Err(PoseidonError::DoubleFree { .. }));
+                prop_assert!(double, "second free not rejected");
+            }
+        }
+        heap.audit().unwrap();
+    }
+
+    #[test]
+    fn min_block_rounding_is_tight(size in 1u64..1_000_000) {
+        let (_class, rounded) = class_for_size(size).unwrap();
+        prop_assert!(rounded >= size);
+        prop_assert!(rounded >= MIN_BLOCK);
+        prop_assert!(rounded.is_power_of_two());
+        // Tight: half of it would not fit (unless clamped at MIN_BLOCK).
+        prop_assert!(rounded == MIN_BLOCK || rounded / 2 < size);
+    }
+
+    #[test]
+    fn tx_commit_and_abort_are_exact(batches in proptest::collection::vec((1u64..512, any::<bool>()), 1..20)) {
+        let heap = heap();
+        let mut committed: Vec<NvmPtr> = Vec::new();
+        for (size, commit) in batches {
+            let a = heap.tx_alloc(size, false).unwrap();
+            let b = heap.tx_alloc(size, commit).unwrap();
+            if commit {
+                committed.push(a);
+                committed.push(b);
+            } else {
+                heap.tx_abort().unwrap();
+                // Aborted allocations are gone: freeing them is rejected.
+                let gone_a = matches!(heap.free(a), Err(PoseidonError::DoubleFree { .. }));
+                let gone_b = matches!(heap.free(b), Err(PoseidonError::DoubleFree { .. }));
+                prop_assert!(gone_a && gone_b, "aborted tx allocations still live");
+            }
+        }
+        for p in committed {
+            heap.free(p).unwrap();
+        }
+        let audits = heap.audit().unwrap();
+        for (_, a) in audits {
+            prop_assert_eq!(a.alloc_bytes, 0);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for persistent transactions.
+
+use poseidon::PoseidonError;
+
+/// Errors returned by [`PtxPool`](crate::PtxPool) and
+/// [`Ptx`](crate::Ptx) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PtxError {
+    /// An underlying allocator error.
+    Heap(PoseidonError),
+    /// The transaction's user-data undo journal is full; split the work
+    /// into smaller transactions.
+    UndoFull {
+        /// Journal capacity in bytes.
+        capacity: u64,
+    },
+    /// The transaction's allocation or free journal is full.
+    JournalFull {
+        /// Maximum allocations/frees per transaction.
+        max: usize,
+    },
+    /// A write would run past the end of its target block.
+    WriteOutOfBlock {
+        /// Offset within the block where the write starts.
+        offset: u64,
+        /// Length of the write.
+        len: u64,
+        /// The block's reserved size.
+        block: u64,
+    },
+    /// The heap's root pointer does not lead to a ptx descriptor (the
+    /// pool was never created, or the root was overwritten).
+    NoDescriptor,
+    /// The heap already carries a root pointer; refusing to overwrite it
+    /// with a fresh descriptor.
+    RootOccupied,
+    /// The transaction closure signalled failure; the transaction was
+    /// rolled back. Carries the application's message.
+    Aborted(String),
+}
+
+impl std::fmt::Display for PtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PtxError::Heap(e) => write!(f, "allocator error: {e}"),
+            PtxError::UndoFull { capacity } => {
+                write!(f, "transaction undo journal full ({capacity} bytes)")
+            }
+            PtxError::JournalFull { max } => {
+                write!(f, "transaction journal full ({max} allocations/frees)")
+            }
+            PtxError::WriteOutOfBlock { offset, len, block } => write!(
+                f,
+                "write [{offset}, {}) runs past the {block}-byte block",
+                offset + len
+            ),
+            PtxError::NoDescriptor => f.write_str("heap root does not lead to a ptx descriptor"),
+            PtxError::RootOccupied => {
+                f.write_str("heap root already set; open the pool instead of creating it")
+            }
+            PtxError::Aborted(why) => write!(f, "transaction aborted: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PtxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PtxError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PoseidonError> for PtxError {
+    fn from(err: PoseidonError) -> Self {
+        PtxError::Heap(err)
+    }
+}
+
+impl From<pmem::PmemError> for PtxError {
+    fn from(err: pmem::PmemError) -> Self {
+        PtxError::Heap(PoseidonError::Device(err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        let e = PtxError::from(PoseidonError::ZeroSize);
+        assert!(e.to_string().contains("allocator"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(PtxError::WriteOutOfBlock { offset: 8, len: 16, block: 16 }
+            .to_string()
+            .contains("runs past"));
+    }
+}

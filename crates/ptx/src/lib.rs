@@ -1,0 +1,64 @@
+//! # ptx — durable persistent transactions over Poseidon
+//!
+//! The Poseidon paper motivates *transactional allocation* with the
+//! persistent-transaction programming model (§2.2, citing Romulus,
+//! DudeTM, TimeStone, Mnemosyne): inside a persistent transaction, every
+//! NVMM write — allocations, user data, frees — must reach persistence
+//! all-or-nothing. The allocator contributes its micro log; this crate
+//! builds the rest of the model on top of it:
+//!
+//! * **Transactional allocation** — [`Ptx::alloc`] uses the heap's micro
+//!   log *and* the pool's own allocation journal, so allocations of an
+//!   uncommitted transaction are reclaimed whatever instant the crash
+//!   hits.
+//! * **Undo-logged user writes** — [`Ptx::write`] journals the
+//!   overwritten bytes before mutating them; an abort or crash restores
+//!   them exactly.
+//! * **Deferred frees** — [`Ptx::free`] only records an intent; the block
+//!   is released after the commit point, so an aborted transaction never
+//!   loses data it still references.
+//! * **A transactional root pointer** — [`Ptx::set_root`] participates in
+//!   the same all-or-nothing scope.
+//!
+//! The pool's persistent descriptor lives in a block allocated from the
+//! heap itself and anchored at the heap's root pointer; it holds
+//! [`TX_CONTEXTS`] independent transaction contexts (state word +
+//! journals each), so that many transactions run concurrently — like
+//! PMDK's per-thread transactions. Applications store *their* root
+//! through [`PtxPool::root`]. Recovery ([`PtxPool::open`]) is
+//! idempotent: every context crash-interrupted before its commit point
+//! rolls back, after it rolls forward.
+//!
+//! # Example
+//!
+//! ```
+//! use pmem::{DeviceConfig, PmemDevice};
+//! use poseidon::{HeapConfig, PoseidonHeap};
+//! use ptx::PtxPool;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), ptx::PtxError> {
+//! let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+//! let heap = Arc::new(PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(2))?);
+//! let pool = PtxPool::create(heap)?;
+//!
+//! // Allocate a node and publish it at the root, atomically.
+//! let node = pool.run(|tx| {
+//!     let node = tx.alloc(64)?;
+//!     tx.write_pod(node, 0, &42u64)?;
+//!     tx.set_root(node)?;
+//!     Ok(node)
+//! })?;
+//!
+//! assert_eq!(pool.root()?, node);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod pool;
+
+pub use error::PtxError;
+pub use pool::{Ptx, PtxPool, PtxRecovery, TX_CONTEXTS};

@@ -1,0 +1,117 @@
+//! The Ackermann benchmark (§7.4): allocate a large cache region, fill it
+//! with memoised Ackermann results, free it, repeat. The paper uses a
+//! 1 GiB region and A(4, 5) repeated 100,000 times; the defaults here are
+//! scaled down but configurable up to paper scale.
+
+use crate::alloc_api::PersistentAllocator;
+use crate::driver::{run_threads, RunResult};
+
+/// Parameters of an Ackermann run.
+#[derive(Debug, Clone, Copy)]
+pub struct AckermannConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Allocate/compute/free iterations per thread.
+    pub iterations: u64,
+    /// Size of the memo-cache allocation (paper: 1 GiB).
+    pub cache_bytes: u64,
+    /// Ackermann `m` (kept ≤ 3; the memoised table bounds recursion).
+    pub m: u64,
+    /// Ackermann `n`.
+    pub n: u64,
+}
+
+impl AckermannConfig {
+    /// Scaled defaults: A(3, n) over a `cache_bytes` region.
+    pub fn new(threads: usize, iterations: u64, cache_bytes: u64) -> AckermannConfig {
+        AckermannConfig { threads, iterations, cache_bytes, m: 3, n: 6 }
+    }
+}
+
+/// Memo-table width per `m` row (values of `n` that fit).
+const N_COLUMNS: u64 = 256;
+
+/// Computes A(m, n) memoised in the device-resident table at `base`
+/// (slots hold `value + 1`; 0 = unknown).
+fn ackermann(dev: &pmem::PmemDevice, base: u64, m: u64, n: u64) -> u64 {
+    if m == 0 {
+        return n + 1;
+    }
+    if n < N_COLUMNS {
+        let slot = base + (m * N_COLUMNS + n) * 8;
+        let cached: u64 = dev.read_pod(slot).expect("memo read");
+        if cached != 0 {
+            return cached - 1;
+        }
+        let value = if n == 0 {
+            ackermann(dev, base, m - 1, 1)
+        } else {
+            let inner = ackermann(dev, base, m, n - 1);
+            ackermann(dev, base, m - 1, inner)
+        };
+        dev.write_pod(slot, &(value + 1)).expect("memo write");
+        return value;
+    }
+    // Outside the memo table: recurse unmemoised (m ≤ 3 keeps this sane).
+    if n == 0 {
+        ackermann(dev, base, m - 1, 1)
+    } else {
+        let inner = ackermann(dev, base, m, n - 1);
+        ackermann(dev, base, m - 1, inner)
+    }
+}
+
+/// Runs the benchmark. Operations counted = allocator calls (one alloc +
+/// one free per iteration), matching the figure's allocator-throughput
+/// framing.
+///
+/// # Panics
+///
+/// Panics on allocator failure or `m > 3` (unmemoisable blowup).
+pub fn run<A: PersistentAllocator + ?Sized>(alloc: &A, config: AckermannConfig) -> RunResult {
+    assert!(config.m <= 3, "A(m>3, _) does not terminate in benchmark time");
+    assert!(config.cache_bytes >= 4 * N_COLUMNS * 8, "cache must hold the memo table");
+    run_threads(config.threads, |_| {
+        let mut ops = 0u64;
+        let mut checksum = 0u64;
+        for _ in 0..config.iterations {
+            let base = alloc
+                .alloc(config.cache_bytes)
+                .unwrap_or_else(|e| panic!("{}: ackermann alloc failed: {e}", alloc.name()));
+            checksum ^= ackermann(alloc.device(), base, config.m, config.n);
+            alloc.device().persist(base, 4 * N_COLUMNS * 8).expect("persist memo");
+            alloc.free(base).unwrap_or_else(|e| panic!("{}: ackermann free failed: {e}", alloc.name()));
+            ops += 2;
+        }
+        // A(3, 6) = 509; keep the computation observable.
+        assert_ne!(checksum, u64::MAX);
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_api::AllocatorKind;
+    use pmem::{DeviceConfig, PmemDevice};
+    use std::sync::Arc;
+
+    #[test]
+    fn ackermann_values_are_correct() {
+        let dev = PmemDevice::new(DeviceConfig::bench(16 << 20));
+        assert_eq!(ackermann(&dev, 0, 0, 5), 6);
+        assert_eq!(ackermann(&dev, 65536, 1, 5), 7);
+        assert_eq!(ackermann(&dev, 131072, 2, 5), 13);
+        assert_eq!(ackermann(&dev, 262144, 3, 5), 253);
+    }
+
+    #[test]
+    fn all_allocators_run_the_loop() {
+        for kind in AllocatorKind::ALL {
+            let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(64 << 20)));
+            let alloc = kind.build(dev);
+            let result = run(&*alloc, AckermannConfig::new(2, 3, 64 * 1024));
+            assert_eq!(result.total_ops, 2 * 3 * 2, "{}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The allocator interface every benchmark drives.
+//!
+//! All three allocators (Poseidon, PMDK-sim, Makalu-sim) run on the same
+//! simulated device; this trait lets each workload swap them without
+//! caring which is underneath. Implementations derive the executing CPU
+//! from [`pmem::numa::current_cpu`], which the [`driver`](crate::driver)
+//! pins per worker thread.
+
+use std::sync::Arc;
+
+use baselines::{BaselineError, MakaluSim, PmdkSim};
+use pmem::contention::LockProfile;
+use pmem::{numa, PmemDevice};
+use poseidon::{PoseidonError, PoseidonHeap};
+
+/// Why an allocation or free could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The pool is out of memory for this request.
+    OutOfMemory,
+    /// The allocator rejected the request (e.g. Poseidon detecting a
+    /// double free) — baselines never produce this; that asymmetry *is*
+    /// the paper's safety result.
+    Rejected(String),
+    /// Any other failure (device fault, corruption, ...).
+    Other(String),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory => f.write_str("out of memory"),
+            AllocError::Rejected(why) => write!(f, "request rejected: {why}"),
+            AllocError::Other(why) => write!(f, "allocator failure: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl From<PoseidonError> for AllocError {
+    fn from(err: PoseidonError) -> Self {
+        match err {
+            PoseidonError::NoSpace { .. } | PoseidonError::TooLarge { .. } => AllocError::OutOfMemory,
+            PoseidonError::InvalidFree { .. } | PoseidonError::DoubleFree { .. } => {
+                AllocError::Rejected(err.to_string())
+            }
+            other => AllocError::Other(other.to_string()),
+        }
+    }
+}
+
+impl From<BaselineError> for AllocError {
+    fn from(err: BaselineError) -> Self {
+        match err {
+            BaselineError::OutOfMemory { .. } | BaselineError::TooLarge { .. } => AllocError::OutOfMemory,
+            other => AllocError::Other(other.to_string()),
+        }
+    }
+}
+
+/// A persistent allocator under benchmark: allocations return device
+/// offsets of usable payload, accessed through [`device`](Self::device).
+pub trait PersistentAllocator: Send + Sync {
+    /// Allocates `size` bytes for the calling thread (whose CPU comes
+    /// from [`numa::current_cpu`]), returning the payload's device
+    /// offset.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError`] on failure.
+    fn alloc(&self, size: u64) -> Result<u64, AllocError>;
+
+    /// Frees the allocation whose payload starts at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError`] on failure (for allocators that validate at all).
+    fn free(&self, offset: u64) -> Result<(), AllocError>;
+
+    /// The device this allocator manages.
+    fn device(&self) -> &Arc<PmemDevice>;
+
+    /// Short display name ("poseidon", "pmdk", "makalu").
+    fn name(&self) -> &'static str;
+
+    /// Serial-time profile of the allocator's locks (for scalability
+    /// projection); empty when the allocator is lock-free.
+    fn contention_profile(&self) -> Vec<LockProfile> {
+        Vec::new()
+    }
+
+    /// Zeroes the lock counters (between benchmark phases).
+    fn reset_contention(&self) {}
+}
+
+impl PersistentAllocator for PoseidonHeap {
+    fn alloc(&self, size: u64) -> Result<u64, AllocError> {
+        let ptr = PoseidonHeap::alloc(self, size)?;
+        Ok(self.raw_offset(ptr)?)
+    }
+
+    fn free(&self, offset: u64) -> Result<(), AllocError> {
+        let ptr = self.nvmptr_of(offset)?;
+        PoseidonHeap::free(self, ptr)?;
+        Ok(())
+    }
+
+    fn device(&self) -> &Arc<PmemDevice> {
+        PoseidonHeap::device(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "poseidon"
+    }
+
+    fn contention_profile(&self) -> Vec<LockProfile> {
+        PoseidonHeap::contention_profile(self)
+    }
+
+    fn reset_contention(&self) {
+        PoseidonHeap::reset_contention(self)
+    }
+}
+
+impl PersistentAllocator for PmdkSim {
+    fn alloc(&self, size: u64) -> Result<u64, AllocError> {
+        Ok(PmdkSim::alloc(self, numa::current_cpu(), size)?)
+    }
+
+    fn free(&self, offset: u64) -> Result<(), AllocError> {
+        Ok(PmdkSim::free(self, numa::current_cpu(), offset)?)
+    }
+
+    fn device(&self) -> &Arc<PmemDevice> {
+        PmdkSim::device(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "pmdk"
+    }
+
+    fn contention_profile(&self) -> Vec<LockProfile> {
+        PmdkSim::contention_profile(self)
+    }
+
+    fn reset_contention(&self) {
+        PmdkSim::reset_contention(self)
+    }
+}
+
+impl PersistentAllocator for MakaluSim {
+    fn alloc(&self, size: u64) -> Result<u64, AllocError> {
+        Ok(MakaluSim::alloc(self, numa::current_cpu(), size)?)
+    }
+
+    fn free(&self, offset: u64) -> Result<(), AllocError> {
+        Ok(MakaluSim::free(self, numa::current_cpu(), offset)?)
+    }
+
+    fn device(&self) -> &Arc<PmemDevice> {
+        MakaluSim::device(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "makalu"
+    }
+
+    fn contention_profile(&self) -> Vec<LockProfile> {
+        MakaluSim::contention_profile(self)
+    }
+
+    fn reset_contention(&self) {
+        MakaluSim::reset_contention(self)
+    }
+}
+
+/// The three allocators under test, as trait objects over a shared
+/// factory — convenience for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocatorKind {
+    /// The paper's contribution.
+    Poseidon,
+    /// PMDK `libpmemobj` model.
+    Pmdk,
+    /// Makalu model.
+    Makalu,
+}
+
+impl AllocatorKind {
+    /// All three, in the paper's presentation order.
+    pub const ALL: [AllocatorKind; 3] = [AllocatorKind::Poseidon, AllocatorKind::Pmdk, AllocatorKind::Makalu];
+
+    /// Instantiates this allocator on a fresh pool over `dev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pool creation fails (benchmark setup is infallible by
+    /// construction).
+    pub fn build(self, dev: Arc<PmemDevice>) -> Arc<dyn PersistentAllocator> {
+        match self {
+            AllocatorKind::Poseidon => Arc::new(
+                PoseidonHeap::create(dev, poseidon::HeapConfig::new()).expect("poseidon heap creation"),
+            ),
+            AllocatorKind::Pmdk => Arc::new(PmdkSim::new(dev).expect("pmdk pool creation")),
+            AllocatorKind::Makalu => Arc::new(MakaluSim::new(dev).expect("makalu pool creation")),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::Poseidon => "poseidon",
+            AllocatorKind::Pmdk => "pmdk",
+            AllocatorKind::Makalu => "makalu",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::DeviceConfig;
+
+    #[test]
+    fn all_three_allocate_through_the_trait() {
+        for kind in AllocatorKind::ALL {
+            let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(64 << 20)));
+            let alloc = kind.build(dev);
+            let a = alloc.alloc(128).unwrap();
+            let b = alloc.alloc(128).unwrap();
+            assert_ne!(a, b, "{}", kind.name());
+            alloc.device().write(a, &[1u8; 128]).unwrap();
+            alloc.free(a).unwrap();
+            alloc.free(b).unwrap();
+        }
+    }
+
+    #[test]
+    fn poseidon_rejections_map_to_rejected() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(64 << 20)));
+        let alloc = AllocatorKind::Poseidon.build(dev);
+        let a = alloc.alloc(64).unwrap();
+        alloc.free(a).unwrap();
+        assert!(matches!(alloc.free(a), Err(AllocError::Rejected(_))));
+    }
+
+    #[test]
+    fn oom_maps_to_out_of_memory() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(2 << 20)));
+        let alloc = AllocatorKind::Pmdk.build(dev);
+        let mut last = Ok(0);
+        for _ in 0..64 {
+            last = alloc.alloc(200 * 1024);
+            if last.is_err() {
+                break;
+            }
+        }
+        assert_eq!(last.unwrap_err(), AllocError::OutOfMemory);
+    }
+}

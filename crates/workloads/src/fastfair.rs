@@ -1,0 +1,526 @@
+//! A FAST-FAIR-style persistent B+-tree (Hwang et al., FAST '18), the
+//! index §7.5 layers YCSB on.
+//!
+//! Nodes are persistent (allocated from the allocator under test, written
+//! through the device); in-leaf insertion follows FAST-FAIR's discipline —
+//! shift entries with ordered persisted stores, bump the entry count last
+//! as the commit point. Concurrency: lookups and in-leaf writes share a
+//! tree-level read lock plus a per-leaf lock; structural changes (splits,
+//! root growth) take the tree write lock. That keeps the allocator — not
+//! the index — as the contended resource, which is what Figure 9
+//! measures.
+//!
+//! The root offset is volatile here (benchmarks never reload mid-run);
+//! persistence-aware applications anchor it via their allocator's root
+//! pointer, as `examples/kv_store.rs` demonstrates with Poseidon.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use pmem::pod_struct;
+
+use crate::alloc_api::{AllocError, PersistentAllocator};
+
+/// Keys per node.
+pub const FANOUT: usize = 14;
+/// Node footprint in bytes.
+pub const NODE_BYTES: u64 = 248;
+
+const LEAF_LOCKS: usize = 1024;
+
+pod_struct! {
+    /// One B+-tree node: header, sorted keys, and values (leaf) or
+    /// children (internal; `ptrs[count]` is the rightmost child).
+    pub struct Node {
+        /// 1 for leaves.
+        pub is_leaf: u32,
+        /// Number of keys in use.
+        pub count: u32,
+        /// Right sibling (leaves only; 0 = none).
+        pub next: u64,
+        /// Sorted keys.
+        pub keys: [u64; 14],
+        /// Values (leaf) or children (internal, `count + 1` of them).
+        pub ptrs: [u64; 15],
+    }
+}
+
+const _: () = assert!(std::mem::size_of::<Node>() as u64 == NODE_BYTES);
+
+/// A concurrent persistent B+-tree over any [`PersistentAllocator`].
+pub struct FastFair<A: PersistentAllocator + ?Sized> {
+    alloc: Arc<A>,
+    root: AtomicU64,
+    tree_lock: RwLock<()>,
+    leaf_locks: Box<[Mutex<()>]>,
+}
+
+impl<A: PersistentAllocator + ?Sized> std::fmt::Debug for FastFair<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastFair").field("root", &self.root.load(Ordering::Relaxed)).finish_non_exhaustive()
+    }
+}
+
+impl<A: PersistentAllocator + ?Sized> FastFair<A> {
+    /// Creates an empty tree whose nodes come from `alloc`.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError`] if the root leaf cannot be allocated.
+    pub fn new(alloc: Arc<A>) -> Result<FastFair<A>, AllocError> {
+        let root = Self::alloc_node(&alloc, true)?;
+        Ok(FastFair {
+            alloc,
+            root: AtomicU64::new(root),
+            tree_lock: RwLock::new(()),
+            leaf_locks: (0..LEAF_LOCKS).map(|_| Mutex::new(())).collect(),
+        })
+    }
+
+    /// Device offset of the root node (for anchoring in a root pointer).
+    pub fn root_offset(&self) -> u64 {
+        self.root.load(Ordering::Acquire)
+    }
+
+    /// The allocator backing this tree's nodes.
+    pub fn allocator(&self) -> &A {
+        &self.alloc
+    }
+
+    fn alloc_node(alloc: &Arc<A>, is_leaf: bool) -> Result<u64, AllocError> {
+        let off = alloc.alloc(NODE_BYTES)?;
+        let node = Node { is_leaf: is_leaf as u32, ..Default::default() };
+        let dev = alloc.device();
+        dev.write_pod(off, &node).map_err(|e| AllocError::Other(e.to_string()))?;
+        dev.persist(off, NODE_BYTES).map_err(|e| AllocError::Other(e.to_string()))?;
+        Ok(off)
+    }
+
+    fn read_node(&self, off: u64) -> Node {
+        self.alloc.device().read_pod(off).expect("node read")
+    }
+
+    fn write_range(&self, off: u64, node: &Node, from_byte: u64, len: u64) {
+        use pmem::Pod;
+        let bytes = node.as_bytes();
+        let dev = self.alloc.device();
+        dev.write(off + from_byte, &bytes[from_byte as usize..(from_byte + len) as usize])
+            .expect("node write");
+        dev.persist(off + from_byte, len).expect("node persist");
+    }
+
+    fn write_node(&self, off: u64, node: &Node) {
+        self.write_range(off, node, 0, NODE_BYTES);
+    }
+
+    /// Walks to the leaf that owns `key` (under a held tree lock).
+    fn find_leaf(&self, key: u64) -> u64 {
+        let mut off = self.root.load(Ordering::Acquire);
+        loop {
+            let node = self.read_node(off);
+            if node.is_leaf == 1 {
+                return off;
+            }
+            off = node.ptrs[child_index(&node, key)];
+        }
+    }
+
+    fn leaf_lock(&self, leaf: u64) -> &Mutex<()> {
+        &self.leaf_locks[(leaf as usize / 64) % LEAF_LOCKS]
+    }
+
+    /// Looks up `key`, returning its value.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let _tree = self.tree_lock.read();
+        let leaf_off = self.find_leaf(key);
+        let _leaf = self.leaf_lock(leaf_off).lock();
+        let leaf = self.read_node(leaf_off);
+        leaf_search(&leaf, key).map(|i| leaf.ptrs[i])
+    }
+
+    /// Replaces `key`'s value, returning the old one (None = absent,
+    /// nothing written).
+    pub fn update(&self, key: u64, value: u64) -> Option<u64> {
+        let _tree = self.tree_lock.read();
+        let leaf_off = self.find_leaf(key);
+        let _leaf = self.leaf_lock(leaf_off).lock();
+        let mut leaf = self.read_node(leaf_off);
+        let index = leaf_search(&leaf, key)?;
+        let old = leaf.ptrs[index];
+        leaf.ptrs[index] = value;
+        self.write_range(leaf_off, &leaf, ptr_byte(index), 8);
+        Some(old)
+    }
+
+    /// Inserts `key -> value`. An existing key is overwritten (returns
+    /// the old value like [`update`](Self::update)).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError`] if a split cannot allocate a node.
+    pub fn insert(&self, key: u64, value: u64) -> Result<Option<u64>, AllocError> {
+        // Fast path: in-leaf insertion under the shared lock.
+        {
+            let _tree = self.tree_lock.read();
+            let leaf_off = self.find_leaf(key);
+            let _leaf = self.leaf_lock(leaf_off).lock();
+            let mut leaf = self.read_node(leaf_off);
+            if let Some(index) = leaf_search(&leaf, key) {
+                let old = leaf.ptrs[index];
+                leaf.ptrs[index] = value;
+                self.write_range(leaf_off, &leaf, ptr_byte(index), 8);
+                return Ok(Some(old));
+            }
+            if (leaf.count as usize) < FANOUT {
+                self.leaf_insert_fastfair(leaf_off, &mut leaf, key, value);
+                return Ok(None);
+            }
+        }
+        // Slow path: structural change under the exclusive lock.
+        let _tree = self.tree_lock.write();
+        let root = self.root.load(Ordering::Acquire);
+        if let Some((promoted, right)) = self.insert_rec(root, key, value)? {
+            let new_root_off = Self::alloc_node(&self.alloc, false)?;
+            let mut new_root = Node { is_leaf: 0, count: 1, ..Default::default() };
+            new_root.keys[0] = promoted;
+            new_root.ptrs[0] = root;
+            new_root.ptrs[1] = right;
+            self.write_node(new_root_off, &new_root);
+            self.root.store(new_root_off, Ordering::Release);
+        }
+        Ok(None)
+    }
+
+    /// FAST-FAIR in-leaf insertion: shift entries right with persisted
+    /// stores (highest first), store the new entry, then bump `count`
+    /// last — the 8-byte commit point.
+    fn leaf_insert_fastfair(&self, leaf_off: u64, leaf: &mut Node, key: u64, value: u64) {
+        let count = leaf.count as usize;
+        let pos = leaf.keys[..count].partition_point(|&k| k < key);
+        let mut i = count;
+        while i > pos {
+            leaf.keys[i] = leaf.keys[i - 1];
+            leaf.ptrs[i] = leaf.ptrs[i - 1];
+            self.write_range(leaf_off, leaf, key_byte(i), 8);
+            self.write_range(leaf_off, leaf, ptr_byte(i), 8);
+            i -= 1;
+        }
+        leaf.keys[pos] = key;
+        leaf.ptrs[pos] = value;
+        self.write_range(leaf_off, leaf, key_byte(pos), 8);
+        self.write_range(leaf_off, leaf, ptr_byte(pos), 8);
+        leaf.count += 1;
+        self.write_range(leaf_off, leaf, 0, 8); // header (count) last
+    }
+
+    fn insert_rec(&self, node_off: u64, key: u64, value: u64) -> Result<Option<(u64, u64)>, AllocError> {
+        let mut node = self.read_node(node_off);
+        if node.is_leaf == 1 {
+            if let Some(index) = leaf_search(&node, key) {
+                node.ptrs[index] = value;
+                self.write_range(node_off, &node, ptr_byte(index), 8);
+                return Ok(None);
+            }
+            if (node.count as usize) < FANOUT {
+                self.leaf_insert_fastfair(node_off, &mut node, key, value);
+                return Ok(None);
+            }
+            // Split the leaf.
+            let right_off = Self::alloc_node(&self.alloc, true)?;
+            let mid = FANOUT / 2;
+            let mut right = Node { is_leaf: 1, count: (FANOUT - mid) as u32, next: node.next, ..Default::default() };
+            right.keys[..FANOUT - mid].copy_from_slice(&node.keys[mid..FANOUT]);
+            right.ptrs[..FANOUT - mid].copy_from_slice(&node.ptrs[mid..FANOUT]);
+            self.write_node(right_off, &right);
+            node.count = mid as u32;
+            node.next = right_off;
+            self.write_range(node_off, &node, 0, 16); // count + next
+            let promoted = right.keys[0];
+            if key < promoted {
+                self.leaf_insert_fastfair(node_off, &mut node, key, value);
+            } else {
+                self.leaf_insert_fastfair(right_off, &mut right, key, value);
+            }
+            return Ok(Some((promoted, right_off)));
+        }
+        let child_at = child_index(&node, key);
+        let Some((promoted, right_child)) = self.insert_rec(node.ptrs[child_at], key, value)? else {
+            return Ok(None);
+        };
+        if (node.count as usize) < FANOUT {
+            self.internal_insert(node_off, &mut node, promoted, right_child);
+            return Ok(None);
+        }
+        // Split the internal node: middle key moves up.
+        let right_off = Self::alloc_node(&self.alloc, false)?;
+        let mid = FANOUT / 2;
+        let up = node.keys[mid];
+        let mut right = Node { is_leaf: 0, count: (FANOUT - mid - 1) as u32, ..Default::default() };
+        right.keys[..FANOUT - mid - 1].copy_from_slice(&node.keys[mid + 1..FANOUT]);
+        right.ptrs[..FANOUT - mid].copy_from_slice(&node.ptrs[mid + 1..FANOUT + 1]);
+        self.write_node(right_off, &right);
+        node.count = mid as u32;
+        self.write_range(node_off, &node, 0, 8);
+        if promoted < up {
+            self.internal_insert(node_off, &mut node, promoted, right_child);
+        } else {
+            self.internal_insert(right_off, &mut right, promoted, right_child);
+        }
+        Ok(Some((up, right_off)))
+    }
+
+    fn internal_insert(&self, node_off: u64, node: &mut Node, key: u64, right_child: u64) {
+        let count = node.count as usize;
+        let pos = node.keys[..count].partition_point(|&k| k < key);
+        let mut i = count;
+        while i > pos {
+            node.keys[i] = node.keys[i - 1];
+            node.ptrs[i + 1] = node.ptrs[i];
+            i -= 1;
+        }
+        node.keys[pos] = key;
+        node.ptrs[pos + 1] = right_child;
+        node.count += 1;
+        // Internal nodes are only mutated under the tree write lock, so a
+        // single rewrite is race-free; ordering (entries before count)
+        // still holds within the buffer.
+        self.write_node(node_off, node);
+    }
+
+    /// Removes `key`, returning its value if present. FAST-FAIR-style
+    /// lazy deletion: the entry is shifted out of its leaf (ordered
+    /// persisted stores, count bumped last); internal nodes keep their
+    /// separator keys and leaves are never merged — standard practice for
+    /// persistent B+-trees, trading occupancy for simple crash
+    /// consistency.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let _tree = self.tree_lock.read();
+        let leaf_off = self.find_leaf(key);
+        let _leaf = self.leaf_lock(leaf_off).lock();
+        let mut leaf = self.read_node(leaf_off);
+        let index = leaf_search(&leaf, key)?;
+        let old = leaf.ptrs[index];
+        let count = leaf.count as usize;
+        // Shift left with ordered persisted stores (lowest first), then
+        // bump the count down as the commit point.
+        let mut i = index;
+        while i + 1 < count {
+            leaf.keys[i] = leaf.keys[i + 1];
+            leaf.ptrs[i] = leaf.ptrs[i + 1];
+            self.write_range(leaf_off, &leaf, key_byte(i), 8);
+            self.write_range(leaf_off, &leaf, ptr_byte(i), 8);
+            i += 1;
+        }
+        leaf.count -= 1;
+        self.write_range(leaf_off, &leaf, 0, 8);
+        Some(old)
+    }
+
+    /// Collects up to `limit` key-value pairs with keys `>= start`, in
+    /// ascending key order (the YCSB scan operation), walking the leaf
+    /// sibling chain.
+    pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        let _tree = self.tree_lock.read();
+        let mut out = Vec::with_capacity(limit);
+        let mut leaf_off = self.find_leaf(start);
+        while leaf_off != 0 && out.len() < limit {
+            let _leaf = self.leaf_lock(leaf_off).lock();
+            let leaf = self.read_node(leaf_off);
+            let count = leaf.count as usize;
+            let from = leaf.keys[..count].partition_point(|&k| k < start);
+            for i in from..count {
+                if out.len() == limit {
+                    break;
+                }
+                out.push((leaf.keys[i], leaf.ptrs[i]));
+            }
+            leaf_off = leaf.next;
+        }
+        out
+    }
+
+    /// In-order key count (test/diagnostic helper; walks leaf chain).
+    pub fn len(&self) -> u64 {
+        let _tree = self.tree_lock.read();
+        let mut off = self.root.load(Ordering::Acquire);
+        loop {
+            let node = self.read_node(off);
+            if node.is_leaf == 1 {
+                break;
+            }
+            off = node.ptrs[0];
+        }
+        let mut total = 0;
+        while off != 0 {
+            let node = self.read_node(off);
+            total += node.count as u64;
+            off = node.next;
+        }
+        total
+    }
+
+    /// Whether the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn key_byte(index: usize) -> u64 {
+    16 + index as u64 * 8
+}
+
+fn ptr_byte(index: usize) -> u64 {
+    16 + 14 * 8 + index as u64 * 8
+}
+
+fn leaf_search(node: &Node, key: u64) -> Option<usize> {
+    let count = node.count as usize;
+    let pos = node.keys[..count].partition_point(|&k| k < key);
+    (pos < count && node.keys[pos] == key).then_some(pos)
+}
+
+fn child_index(node: &Node, key: u64) -> usize {
+    node.keys[..node.count as usize].partition_point(|&k| k <= key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_api::AllocatorKind;
+    use pmem::{DeviceConfig, PmemDevice};
+
+    fn tree() -> FastFair<dyn PersistentAllocator> {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
+        let alloc = AllocatorKind::Poseidon.build(dev);
+        FastFair::new(alloc).unwrap()
+    }
+
+    #[test]
+    fn insert_get_roundtrip_with_splits() {
+        let t = tree();
+        for i in 0..2000u64 {
+            t.insert(i * 7 + 1, i).unwrap();
+        }
+        assert_eq!(t.len(), 2000);
+        for i in 0..2000u64 {
+            assert_eq!(t.get(i * 7 + 1), Some(i), "key {}", i * 7 + 1);
+        }
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn reverse_and_random_insert_orders() {
+        let t = tree();
+        let mut keys: Vec<u64> = (0..1500).map(|i| i * 13 + 5).collect();
+        // Deterministic shuffle.
+        let mut state = 99u64;
+        for i in (1..keys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            keys.swap(i, (state as usize) % (i + 1));
+        }
+        for &k in &keys {
+            t.insert(k, k * 2).unwrap();
+        }
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(k * 2));
+        }
+        // Leaf chain is sorted.
+        assert_eq!(t.len(), 1500);
+    }
+
+    #[test]
+    fn update_swaps_values() {
+        let t = tree();
+        t.insert(42, 1).unwrap();
+        assert_eq!(t.update(42, 2), Some(1));
+        assert_eq!(t.get(42), Some(2));
+        assert_eq!(t.update(404, 9), None);
+        // Insert over an existing key behaves like update.
+        assert_eq!(t.insert(42, 3).unwrap(), Some(2));
+        assert_eq!(t.get(42), Some(3));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let t = Arc::new(tree());
+        crossbeam::thread::scope(|s| {
+            for thread in 0..4u64 {
+                let t = t.clone();
+                s.spawn(move |_| {
+                    pmem::numa::set_current_cpu(thread as usize);
+                    for i in 0..500u64 {
+                        let key = thread * 10_000 + i;
+                        t.insert(key, key + 1).unwrap();
+                        assert_eq!(t.get(key), Some(key + 1));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(t.len(), 2000);
+        for thread in 0..4u64 {
+            for i in 0..500u64 {
+                let key = thread * 10_000 + i;
+                assert_eq!(t.get(key), Some(key + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn remove_deletes_and_scan_orders() {
+        let t = tree();
+        for i in 0..500u64 {
+            t.insert(i * 2, i).unwrap();
+        }
+        assert_eq!(t.remove(100), Some(50));
+        assert_eq!(t.remove(100), None);
+        assert_eq!(t.get(100), None);
+        assert_eq!(t.len(), 499);
+        // Neighbours survive.
+        assert_eq!(t.get(98), Some(49));
+        assert_eq!(t.get(102), Some(51));
+
+        // Scan across leaf boundaries.
+        let scanned = t.scan(90, 10);
+        assert_eq!(scanned.len(), 10);
+        let keys: Vec<u64> = scanned.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![90, 92, 94, 96, 98, 102, 104, 106, 108, 110]);
+        // Scan past the end clips.
+        assert_eq!(t.scan(997, 10), vec![(998, 499)]);
+        assert!(t.scan(2000, 10).is_empty());
+    }
+
+    #[test]
+    fn remove_everything_then_reinsert() {
+        let t = tree();
+        for i in 0..300u64 {
+            t.insert(i, i).unwrap();
+        }
+        for i in 0..300u64 {
+            assert_eq!(t.remove(i), Some(i), "remove {i}");
+        }
+        assert_eq!(t.len(), 0);
+        for i in 0..300u64 {
+            t.insert(i, i + 1).unwrap();
+        }
+        for i in 0..300u64 {
+            assert_eq!(t.get(i), Some(i + 1));
+        }
+    }
+
+    #[test]
+    fn works_on_all_allocators() {
+        for kind in AllocatorKind::ALL {
+            let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(128 << 20)));
+            let t = FastFair::new(kind.build(dev)).unwrap();
+            for i in 0..300u64 {
+                t.insert(i, i).unwrap();
+            }
+            for i in 0..300u64 {
+                assert_eq!(t.get(i), Some(i), "{}", kind.name());
+            }
+        }
+    }
+}

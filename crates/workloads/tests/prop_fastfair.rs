@@ -1,0 +1,89 @@
+//! Model-based property tests: the FAST-FAIR-style B+-tree must agree
+//! with `BTreeMap` on every operation sequence.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pmem::{DeviceConfig, PmemDevice};
+use proptest::prelude::*;
+use workloads::alloc_api::AllocatorKind;
+use workloads::fastfair::FastFair;
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u64, u64),
+    Get(u64),
+    Update(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = TreeOp> {
+    // Small key space so operations collide often (updates of existing
+    // keys, repeat inserts).
+    let key = 0u64..500;
+    prop_oneof![
+        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        3 => key.clone().prop_map(TreeOp::Get),
+        2 => (key, any::<u64>()).prop_map(|(k, v)| TreeOp::Update(k, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn agrees_with_btreemap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
+        let alloc = AllocatorKind::Poseidon.build(dev);
+        let tree = FastFair::new(alloc).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    // Tree values of 0 are fine but `update` result None vs
+                    // Some(0) must match the model.
+                    let old = tree.insert(k, v).unwrap();
+                    let model_old = model.insert(k, v);
+                    prop_assert_eq!(old, model_old, "insert({}) old-value mismatch", k);
+                }
+                TreeOp::Get(k) => {
+                    prop_assert_eq!(tree.get(k), model.get(&k).copied(), "get({}) mismatch", k);
+                }
+                TreeOp::Update(k, v) => {
+                    let old = tree.update(k, v);
+                    let model_old = if model.contains_key(&k) { model.insert(k, v) } else { None };
+                    prop_assert_eq!(old, model_old, "update({}) mismatch", k);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len() as u64);
+        // Final sweep: every model key present with the right value.
+        for (k, v) in model {
+            prop_assert_eq!(tree.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn dense_sequential_and_sparse_random_keys(
+        dense in 1u64..600,
+        sparse in proptest::collection::hash_set(any::<u64>(), 0..120),
+    ) {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
+        let alloc = AllocatorKind::Makalu.build(dev);
+        let tree = FastFair::new(alloc).unwrap();
+        for k in 0..dense {
+            tree.insert(k, !k).unwrap();
+        }
+        for &k in &sparse {
+            tree.insert(k, k ^ 0xFF).unwrap();
+        }
+        for k in 0..dense {
+            let expect = if sparse.contains(&k) { k ^ 0xFF } else { !k };
+            prop_assert_eq!(tree.get(k), Some(expect));
+        }
+        for &k in &sparse {
+            if k >= dense {
+                prop_assert_eq!(tree.get(k), Some(k ^ 0xFF));
+            }
+        }
+    }
+}

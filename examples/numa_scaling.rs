@@ -1,0 +1,62 @@
+//! Per-CPU sub-heaps and NUMA locality (§4.1): run the same allocation
+//! churn with per-CPU sub-heaps and with a single shared sub-heap, and
+//! compare lock serialisation and cross-socket traffic.
+//!
+//! ```text
+//! cargo run --release --example numa_scaling
+//! ```
+
+use std::sync::Arc;
+
+use pmem::{DeviceConfig, NumaTopology, PmemDevice};
+use poseidon::{HeapConfig, PoseidonHeap};
+use workloads::micro::{self, MicroConfig};
+
+const THREADS: usize = 8;
+const OPS: u64 = 5_000;
+
+fn churn(heap: &PoseidonHeap, label: &str) {
+    // Warm up (creates sub-heaps), then measure.
+    micro::run(heap, MicroConfig::new(256, THREADS, OPS / 4));
+    heap.reset_contention();
+    heap.device().reset_stats();
+    let result = micro::run(heap, MicroConfig::new(256, THREADS, OPS));
+
+    let profile = heap.contention_profile();
+    let max_serial = profile.iter().map(|p| p.held_ns).max().unwrap_or(0);
+    let stats = heap.device().stats();
+    println!("{label}:");
+    println!("  wall throughput            {:>10.3} Mops", result.mops());
+    println!("  busiest lock held          {:>10.3} ms", max_serial as f64 / 1e6);
+    println!("  total work (thread CPU)    {:>10.3} ms", result.cpu_ns as f64 / 1e6);
+    println!(
+        "  serial fraction            {:>10.1} %  (Amdahl ceiling ~{:.0}x speedup)",
+        100.0 * max_serial as f64 / result.cpu_ns.max(1) as f64,
+        result.cpu_ns.max(1) as f64 / max_serial.max(1) as f64
+    );
+    println!("  remote-socket line traffic {:>10.1} %", 100.0 * stats.remote_fraction());
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topology = NumaTopology::new(2, THREADS);
+
+    // Per-CPU sub-heaps: each thread allocates from its own, placed on
+    // its own NUMA node.
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(4 << 30).with_topology(topology)));
+    let per_cpu = PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(THREADS as u16))?;
+    churn(&per_cpu, "per-CPU sub-heaps");
+
+    // One shared sub-heap: every thread funnels through one lock and one
+    // NUMA node — the design Poseidon exists to avoid.
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(4 << 30).with_topology(topology)));
+    let single = PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(1))?;
+    churn(&single, "single shared sub-heap");
+
+    println!(
+        "\nWith per-CPU sub-heaps the busiest lock holds ~1/{THREADS} of the total work\n\
+         (threads never contend) and remote traffic stays near zero; with one shared\n\
+         sub-heap the single lock serialises everything and half the traffic crosses\n\
+         the socket interconnect — §4.1's argument, measured."
+    );
+    Ok(())
+}

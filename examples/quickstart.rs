@@ -1,0 +1,62 @@
+//! Quickstart: create a Poseidon heap, allocate, persist, anchor at the
+//! root pointer, save to a file, and reopen — the full lifecycle of
+//! Figure 5's API.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use pmem::{DeviceConfig, PmemDevice};
+use poseidon::{HeapConfig, PoseidonHeap};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 256 MiB simulated NVMM device (think: a DAX-mapped pool file).
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(256 << 20)));
+
+    // poseidon_init: create (or load) the heap.
+    let heap = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(4))?;
+    println!("created heap {:#x} with {} sub-heaps", heap.heap_id(), heap.layout().num_subheaps);
+
+    // poseidon_alloc + get_rawptr: allocate and write user data.
+    let greeting = heap.alloc(64)?;
+    let raw = heap.raw_offset(greeting)?;
+    dev.write(raw, b"hello, persistent world!")?;
+    dev.persist(raw, 24)?;
+    println!("allocated {greeting} -> device offset {raw:#x}");
+
+    // poseidon_set_root: make it reachable after a restart.
+    heap.set_root(greeting)?;
+
+    // Transactional allocation: all-or-nothing across crashes.
+    let a = heap.tx_alloc(128, false)?;
+    let b = heap.tx_alloc(128, true)?; // is_end = true commits
+    println!("transaction committed: {a} and {b}");
+    heap.free(a)?;
+    heap.free(b)?;
+
+    // The metadata region is MPK-protected: a stray store (heap overflow,
+    // wild pointer) faults instead of corrupting allocation state.
+    let attack = dev.write(4096, &[0xFF; 8]);
+    println!("stray store into metadata: {:?}", attack.unwrap_err());
+
+    // poseidon_finish + save: persist the pool image to a file.
+    let path = std::env::temp_dir().join("poseidon-quickstart.pool");
+    heap.close()?;
+    dev.save(&path)?;
+    println!("pool saved to {}", path.display());
+
+    // Reopen: the root pointer still leads to the greeting.
+    let dev2 = Arc::new(PmemDevice::load(&path, DeviceConfig::new(0))?);
+    let heap2 = PoseidonHeap::load(dev2.clone(), HeapConfig::new())?;
+    let root = heap2.root()?;
+    let mut buf = [0u8; 24];
+    dev2.read(heap2.raw_offset(root)?, &mut buf)?;
+    println!("after reopen, root points at: {}", String::from_utf8_lossy(&buf));
+    assert_eq!(&buf, b"hello, persistent world!");
+
+    std::fs::remove_file(&path)?;
+    println!("quickstart complete");
+    Ok(())
+}

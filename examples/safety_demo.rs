@@ -1,0 +1,140 @@
+//! The Figure 3 experiments as a runnable demo: the same heap-overflow
+//! bug against PMDK-sim (silent corruption and permanent leaks), Makalu's
+//! GC (silent data loss), and Poseidon (every attack rejected).
+//!
+//! ```text
+//! cargo run --example safety_demo
+//! ```
+
+use std::sync::Arc;
+
+use baselines::pmdk_sim::{ObjHeader, STATUS_ALLOC};
+use baselines::{MakaluSim, PmdkSim};
+use pmem::{DeviceConfig, PmemDevice};
+use poseidon::{HeapConfig, NvmPtr, PoseidonError, PoseidonHeap};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Figure 3, left: overlapping allocation (PMDK) ===");
+    {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(64 << 20)));
+        let pool = PmdkSim::new(dev.clone())?;
+        // Fill a run with 64-byte objects.
+        let mut live = Vec::new();
+        for _ in 0..64 {
+            live.push(pool.alloc(0, 48)?);
+        }
+        let victim = live[32];
+        // The program bug: a heap overflow rewrites the in-place header
+        // (line 16 of the paper's listing: `*(free - 16) = 1088`).
+        dev.write_pod(victim - 16, &ObjHeader { size: 1088, status: STATUS_ALLOC })?;
+        pool.free(0, victim)?;
+        // The allocator now believes 17 units are free; 16 are still live.
+        let mut overlapping = Vec::new();
+        for _ in 0..17 {
+            let fresh = pool.alloc(0, 48)?;
+            if live.contains(&fresh) && fresh != victim {
+                overlapping.push(fresh);
+            }
+        }
+        println!(
+            "  {} fresh allocations alias still-live objects — writes through them\n  silently corrupt user data (the paper's line 28 assert would fail)",
+            overlapping.len()
+        );
+        assert!(!overlapping.is_empty());
+    }
+
+    println!("\n=== Section 8 mitigation: the same attack vs PMDK-with-canary ===");
+    {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(64 << 20)));
+        let pool = PmdkSim::with_canary(dev.clone())?;
+        let mut live = Vec::new();
+        for _ in 0..64 {
+            live.push(pool.alloc(0, 48)?);
+        }
+        let victim = live[32];
+        dev.write_pod(victim - 16, &ObjHeader { size: 1088, status: STATUS_ALLOC })?;
+        pool.free(0, victim)?; // canary mismatch: silently skipped
+        let mut overlapping = 0;
+        for _ in 0..17 {
+            let fresh = pool.alloc(0, 48)?;
+            if live.contains(&fresh) && fresh != victim {
+                overlapping += 1;
+            }
+        }
+        println!(
+            "  {} overlapping allocations; {} free skipped by the canary check\n  (the object is leaked instead — \"mitigates the side effect\" but \"neither\n  guarantees metadata protection nor prevents persistent memory leak\")",
+            overlapping,
+            pool.skipped_frees()
+        );
+        assert_eq!(overlapping, 0);
+    }
+
+    println!("\n=== Figure 3, right: permanent leak (PMDK) ===");
+    {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(64 << 20)));
+        let pool = PmdkSim::new(dev.clone())?;
+        let before = pool.free_chunks();
+        let big = pool.alloc(0, 2 * 1024 * 1024)?;
+        // Corrupt the header to a smaller size before freeing (line 46).
+        dev.write_pod(big - 16, &ObjHeader { size: 64, status: STATUS_ALLOC })?;
+        pool.free(0, big)?;
+        let leaked = before - pool.free_chunks();
+        println!("  {leaked} chunks ({} KiB) can never be allocated again — a permanent leak", leaked * 256);
+        assert!(leaked > 0);
+    }
+
+    println!("\n=== Makalu: reachability-based GC vs a corrupted pointer ===");
+    {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(64 << 20)));
+        let pool = MakaluSim::new(dev.clone())?;
+        let root = pool.alloc(0, 64)?;
+        let middle = pool.alloc(0, 64)?;
+        let leaf = pool.alloc(0, 64)?;
+        dev.write_pod(root, &middle)?;
+        dev.write_pod(middle, &leaf)?;
+        assert_eq!(pool.gc(&[root])?, 0); // intact graph: nothing swept
+        dev.write_pod(root, &0u64)?; // the bug: one pointer zeroed
+        let swept = pool.gc(&[root])?;
+        println!("  GC swept {swept} still-wanted objects after one corrupted pointer — silent data loss");
+        assert_eq!(swept, 2);
+    }
+
+    println!("\n=== Poseidon: the same bugs, stopped ===");
+    {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(256 << 20)));
+        let heap = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2))?;
+        let ptr = heap.alloc(64)?;
+
+        // 1. There is no in-place header: the bytes in front of user data
+        //    are MPK-protected metadata. The overflowing store faults.
+        let overflow = dev.write(heap.layout().user_base(0) - 8, &[0xFF; 16]);
+        println!("  heap overflow into metadata -> {}", overflow.unwrap_err());
+
+        // 2. Direct metadata corruption (the bitmap attack): also faults.
+        let direct = dev.write(heap.layout().meta_base(0) + 0x100, &[0xFF; 8]);
+        println!("  direct metadata store       -> {}", direct.unwrap_err());
+
+        // 3. Invalid free of a forged pointer: validated against the
+        //    block table and rejected.
+        let forged = NvmPtr::new(heap.heap_id(), 0, ptr.offset() + 8);
+        let invalid = heap.free(forged);
+        println!("  free(forged pointer)        -> {}", invalid.unwrap_err());
+
+        // 4. Double free: rejected.
+        heap.free(ptr)?;
+        let double = heap.free(ptr);
+        println!("  double free                 -> {}", double.unwrap_err());
+        assert!(matches!(double, Err(PoseidonError::DoubleFree { .. })));
+
+        // And the heap is structurally intact.
+        heap.audit()?;
+        println!("  structural audit: clean — no attack touched the metadata");
+        println!(
+            "  (MPK denied {} accesses in total)",
+            dev.mpk().stats().violations
+        );
+    }
+
+    println!("\nsafety_demo complete");
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! Concurrency stress: many threads, cross-thread frees, transactions,
+//! and oversubscribed sub-heaps — the heap must stay consistent and no
+//! allocation may ever be handed to two owners.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmem::{DeviceConfig, NumaTopology, PmemDevice};
+use poseidon::{HeapConfig, NvmPtr, PoseidonHeap};
+use workloads::Xorshift;
+
+fn stress(threads: usize, subheaps: u16, rounds: u64) {
+    let dev = Arc::new(PmemDevice::new(
+        DeviceConfig::bench(1 << 30).with_topology(NumaTopology::new(2, threads.max(2))),
+    ));
+    let heap = Arc::new(PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(subheaps)).unwrap());
+
+    // A shared exchange: threads deposit pointers here for *other*
+    // threads to free (§5.7's cross-thread free path).
+    let exchange: Vec<Mutex<Vec<NvmPtr>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let ownership_claims = AtomicU64::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for thread in 0..threads {
+            let heap = heap.clone();
+            let dev = dev.clone();
+            let exchange = &exchange;
+            let ownership_claims = &ownership_claims;
+            scope.spawn(move |_| {
+                pmem::numa::set_current_cpu(thread);
+                let mut rng = Xorshift::new(thread as u64 * 7919 + 13);
+                let mut mine: Vec<(NvmPtr, u64)> = Vec::new();
+                for round in 0..rounds {
+                    match rng.below(10) {
+                        0..=4 => {
+                            // Allocate and stamp a unique owner tag.
+                            let size = 32 + rng.below(2000);
+                            if let Ok(p) = heap.alloc(size) {
+                                let tag = ownership_claims.fetch_add(1, Ordering::Relaxed) + 1;
+                                let raw = heap.raw_offset(p).unwrap();
+                                dev.write_pod(raw, &tag).unwrap();
+                                mine.push((p, tag));
+                            }
+                        }
+                        5..=6 => {
+                            // Verify + free one of ours.
+                            if let Some((p, tag)) = mine.pop() {
+                                let raw = heap.raw_offset(p).unwrap();
+                                let stored: u64 = dev.read_pod(raw).unwrap();
+                                assert_eq!(stored, tag, "another thread scribbled on a live block");
+                                heap.free(p).unwrap();
+                            }
+                        }
+                        7 => {
+                            // Hand one over for a cross-thread free.
+                            if let Some((p, _)) = mine.pop() {
+                                exchange[rng.below(exchange.len() as u64) as usize].lock().push(p);
+                            }
+                        }
+                        8 => {
+                            // Free someone else's.
+                            let donated = exchange[thread].lock().pop();
+                            if let Some(p) = donated {
+                                heap.free(p).unwrap();
+                            }
+                        }
+                        _ => {
+                            // A small transaction, committed or aborted.
+                            if let (Ok(a), Ok(b)) = (heap.tx_alloc(64, false), heap.tx_alloc(64, false)) {
+                                if round % 2 == 0 {
+                                    let c = heap.tx_alloc(64, true).unwrap();
+                                    heap.free(a).unwrap();
+                                    heap.free(b).unwrap();
+                                    heap.free(c).unwrap();
+                                } else {
+                                    heap.tx_abort().unwrap();
+                                }
+                            } else {
+                                let _ = heap.tx_abort();
+                            }
+                        }
+                    }
+                }
+                // Drain what's left.
+                for (p, _) in mine {
+                    heap.free(p).unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // Drain the exchange and verify the heap is balanced and intact.
+    for slot in &exchange {
+        for p in slot.lock().drain(..) {
+            heap.free(p).unwrap();
+        }
+    }
+    for (sub, audit) in heap.audit().unwrap() {
+        assert_eq!(audit.alloc_bytes, 0, "sub-heap {sub} leaked under concurrency");
+    }
+}
+
+#[test]
+fn threads_matching_subheaps() {
+    stress(4, 4, 400);
+}
+
+#[test]
+fn threads_oversubscribing_subheaps() {
+    // More threads than sub-heaps: threads share sub-heap locks.
+    stress(8, 2, 250);
+}
+
+#[test]
+fn single_subheap_total_contention() {
+    stress(6, 1, 200);
+}
+
+#[test]
+fn tx_isolation_between_threads() {
+    // Two threads run interleaved transactions on the same sub-heap; the
+    // per-thread micro-log pinning must keep their commits independent.
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
+    let heap = Arc::new(PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(1)).unwrap());
+    crossbeam::thread::scope(|scope| {
+        for thread in 0..2 {
+            let heap = heap.clone();
+            scope.spawn(move |_| {
+                pmem::numa::set_current_cpu(thread);
+                for i in 0..200u64 {
+                    let a = heap.tx_alloc(32 + i % 128, false).unwrap();
+                    let b = heap.tx_alloc(32, true).unwrap();
+                    heap.free(a).unwrap();
+                    heap.free(b).unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+    for (_, audit) in heap.audit().unwrap() {
+        assert_eq!(audit.alloc_bytes, 0);
+    }
+}

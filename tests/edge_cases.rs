@@ -1,0 +1,156 @@
+//! Edge-case coverage: resource exhaustion, snapshot robustness, and
+//! cross-substrate corner cases.
+
+use std::sync::{Arc, Barrier};
+
+use pmem::{DeviceConfig, PmemDevice, PmemError};
+use poseidon::{HeapConfig, PoseidonError, PoseidonHeap};
+
+#[test]
+fn concurrent_tx_slots_exhaust_gracefully() {
+    // A sub-heap supports 32 concurrent transactions (micro-log slots);
+    // the 33rd open transaction must fail cleanly, and closing one must
+    // free a slot.
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
+    let heap = Arc::new(PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(1)).unwrap());
+    const OPEN: usize = 32;
+    let parked = Barrier::new(OPEN + 1);
+    let release = Barrier::new(OPEN + 1);
+    crossbeam::thread::scope(|s| {
+        for thread in 0..OPEN {
+            let heap = heap.clone();
+            let parked = &parked;
+            let release = &release;
+            s.spawn(move |_| {
+                pmem::numa::set_current_cpu(thread);
+                let p = heap.tx_alloc(64, false).expect("slot within capacity");
+                parked.wait();
+                release.wait();
+                heap.tx_abort().expect("abort");
+                let _ = p;
+            });
+        }
+        parked.wait();
+        // All 32 slots held: a fresh transaction cannot start.
+        let overflow = heap.tx_alloc(64, false);
+        assert!(
+            matches!(overflow, Err(PoseidonError::TxSlotsExhausted { max: 32 })),
+            "expected exhaustion, got {overflow:?}"
+        );
+        release.wait();
+    })
+    .unwrap();
+    // With every slot released, transactions work again.
+    let p = heap.tx_alloc(64, true).unwrap();
+    heap.free(p).unwrap();
+    heap.audit().unwrap();
+}
+
+#[test]
+fn snapshot_files_are_validated() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("edge-snap-{}.pool", std::process::id()));
+
+    // Valid snapshot first.
+    let dev = PmemDevice::new(DeviceConfig::small_test());
+    dev.write(0, b"image").unwrap();
+    dev.persist(0, 5).unwrap();
+    dev.save(&path).unwrap();
+
+    // Truncated file: clean error, no panic.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(
+        PmemDevice::load(&path, DeviceConfig::small_test()),
+        Err(PmemError::Io(_)) | Err(PmemError::BadSnapshot(_))
+    ));
+
+    // Bad magic.
+    let mut corrupted = bytes.clone();
+    corrupted[0] ^= 0xFF;
+    std::fs::write(&path, &corrupted).unwrap();
+    assert!(matches!(
+        PmemDevice::load(&path, DeviceConfig::small_test()),
+        Err(PmemError::BadSnapshot("bad magic"))
+    ));
+
+    // Chunk index out of range.
+    let mut oob = bytes.clone();
+    // chunk index lives right after magic(8)+capacity(8)+count(8).
+    oob[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+    std::fs::write(&path, &oob).unwrap();
+    assert!(matches!(
+        PmemDevice::load(&path, DeviceConfig::small_test()),
+        Err(PmemError::BadSnapshot("chunk index out of range"))
+    ));
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn mpk_default_rights_cover_preexisting_threads() {
+    // A thread spawned BEFORE the heap exists must still be unable to
+    // write metadata afterwards (the domain default is retroactive; §4.3
+    // re-disables at op exit besides).
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+    let dev2 = dev.clone();
+    let ready = Arc::new(Barrier::new(2));
+    let go = Arc::new(Barrier::new(2));
+    let ready2 = ready.clone();
+    let go2 = go.clone();
+    let attacker = std::thread::spawn(move || {
+        ready2.wait(); // thread exists before the heap
+        go2.wait();
+        dev2.write(4096, &[0xFF; 8])
+    });
+    ready.wait();
+    let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+    let p = heap.alloc(64).unwrap();
+    go.wait();
+    let result = attacker.join().unwrap();
+    assert!(matches!(result, Err(PmemError::ProtectionFault { .. })));
+    heap.free(p).unwrap();
+}
+
+#[test]
+fn heap_close_releases_the_protection_key() {
+    // Open/close many heaps on one device: without key release, the 16
+    // MPK keys would exhaust after 15 cycles.
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+    let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(1)).unwrap();
+    heap.close().unwrap();
+    for _ in 0..40 {
+        let heap = PoseidonHeap::load(dev.clone(), HeapConfig::new()).unwrap();
+        heap.close().unwrap();
+    }
+    // Still protected while open, unprotected after close.
+    let heap = PoseidonHeap::load(dev.clone(), HeapConfig::new()).unwrap();
+    assert!(matches!(dev.write(4096, &[1]), Err(PmemError::ProtectionFault { .. })));
+    heap.close().unwrap();
+    dev.write(4096, &[1]).unwrap();
+}
+
+#[test]
+fn max_alloc_boundary_roundtrips() {
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(128 << 20)));
+    let heap = PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(1)).unwrap();
+    let max = heap.layout().max_alloc();
+    let p = heap.alloc(max).unwrap();
+    assert_eq!(heap.block_size(p).unwrap(), max);
+    assert!(matches!(heap.alloc(max + 1), Err(PoseidonError::TooLarge { .. })));
+    heap.free(p).unwrap();
+    // And again after the free (defrag path kept the block whole).
+    let p = heap.alloc(max).unwrap();
+    heap.free(p).unwrap();
+}
+
+#[test]
+fn zero_length_device_operations_are_harmless() {
+    let dev = PmemDevice::new(DeviceConfig::small_test());
+    dev.write(100, &[]).unwrap();
+    dev.read(100, &mut []).unwrap();
+    dev.clwb(100, 0).unwrap();
+    dev.persist(100, 0).unwrap();
+    assert_eq!(dev.punch_hole(100, 0).unwrap(), 0);
+    dev.set_page_key(0, 0, mpk::ProtectionKey::DEFAULT).unwrap();
+}

@@ -1,0 +1,70 @@
+//! Integration test for the `pfsck` pool inspector binary.
+
+use std::process::Command;
+use std::sync::Arc;
+
+use pmem::{CrashMode, DeviceConfig, PmemDevice};
+use poseidon::{HeapConfig, PoseidonHeap};
+
+fn pfsck() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pfsck"))
+}
+
+fn make_pool(path: &std::path::Path, crash: bool) {
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+    let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+    let keep = heap.alloc(256).unwrap();
+    let gone = heap.alloc(512).unwrap();
+    heap.free(gone).unwrap();
+    heap.set_root(keep).unwrap();
+    if crash {
+        // Leave an open transaction and an armed crash, then power-cycle.
+        let _ = heap.tx_alloc(128, false).unwrap();
+        drop(heap);
+        dev.simulate_crash(CrashMode::Strict, 9);
+    } else {
+        heap.close().unwrap();
+    }
+    dev.save(path).unwrap();
+}
+
+#[test]
+fn clean_pool_passes() {
+    let path = std::env::temp_dir().join(format!("pfsck-clean-{}.pool", std::process::id()));
+    make_pool(&path, false);
+    let out = pfsck().arg("--verbose").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "pfsck failed: {stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("clean shutdown"), "{stdout}");
+    assert!(stdout.contains("— OK"), "{stdout}");
+    assert!(stdout.contains("root     : nvmptr("), "{stdout}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn crashed_pool_is_recovered_and_passes() {
+    let path = std::env::temp_dir().join(format!("pfsck-crash-{}.pool", std::process::id()));
+    make_pool(&path, true);
+    let out = pfsck().arg("--defrag").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "pfsck failed: {stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("CRASH DETECTED"), "{stdout}");
+    assert!(stdout.contains("tx allocations reverted: 1"), "{stdout}");
+    assert!(stdout.contains("— OK"), "{stdout}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn garbage_file_is_rejected() {
+    let path = std::env::temp_dir().join(format!("pfsck-garbage-{}.pool", std::process::id()));
+    std::fs::write(&path, b"this is not a pool").unwrap();
+    let out = pfsck().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn missing_argument_is_usage_error() {
+    let out = pfsck().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

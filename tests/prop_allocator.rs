@@ -1,0 +1,203 @@
+//! Property-based tests: random operation sequences against a shadow
+//! model, with structural audits and crash/recovery invariants.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmem::{CrashMode, DeviceConfig, PmemDevice};
+use poseidon::{HeapConfig, NvmPtr, PoseidonError, PoseidonHeap};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `size` bytes.
+    Alloc(u64),
+    /// Free the `index % live`-th live block.
+    Free(usize),
+    /// Free a forged pointer at an arbitrary offset (must be rejected or
+    /// hit a real block boundary).
+    BogusFree(u64),
+    /// Transactional allocation; bool = commit.
+    TxAlloc(u64, bool),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u64..8192).prop_map(Op::Alloc),
+        4 => any::<usize>().prop_map(Op::Free),
+        1 => (0u64..1 << 20).prop_map(|o| Op::BogusFree(o)),
+        1 => ((1u64..1024), any::<bool>()).prop_map(|(s, c)| Op::TxAlloc(s, c)),
+    ]
+}
+
+fn heap() -> (Arc<PmemDevice>, PoseidonHeap) {
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+    let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+    (dev, heap)
+}
+
+/// Applies ops, maintaining a shadow of live blocks; returns live set.
+fn apply_ops(heap: &PoseidonHeap, ops: &[Op]) -> HashMap<NvmPtr, u64> {
+    let mut live: Vec<(NvmPtr, u64)> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Alloc(size) => match heap.alloc(*size) {
+                Ok(p) => live.push((p, *size)),
+                Err(PoseidonError::NoSpace { .. }) | Err(PoseidonError::TableFull) => {}
+                Err(e) => panic!("alloc({size}) failed unexpectedly: {e}"),
+            },
+            Op::Free(index) => {
+                if !live.is_empty() {
+                    let (p, _) = live.swap_remove(index % live.len());
+                    heap.free(p).expect("freeing a live block must succeed");
+                }
+            }
+            Op::BogusFree(offset) => {
+                let forged = NvmPtr::new(heap.heap_id(), 0, *offset);
+                match heap.free(forged) {
+                    // Rejection is the expected outcome...
+                    Err(PoseidonError::InvalidFree { .. }) | Err(PoseidonError::DoubleFree { .. }) => {}
+                    // ...unless the forged pointer happened to name a real
+                    // live block, in which case the free is legitimate.
+                    Ok(()) => {
+                        let was_live = live.iter().position(|(p, _)| p.subheap() == 0 && p.offset() == *offset);
+                        let index = was_live.expect("free succeeded for a non-live offset");
+                        live.swap_remove(index);
+                    }
+                    Err(e) => panic!("bogus free failed oddly: {e}"),
+                }
+            }
+            Op::TxAlloc(size, commit) => match heap.tx_alloc(*size, *commit) {
+                Ok(p) => {
+                    if *commit {
+                        live.push((p, *size));
+                    } else {
+                        // Leave uncommitted; a later commit or abort picks
+                        // it up. To keep the shadow simple, commit now.
+                        match heap.tx_alloc(32, true) {
+                            Ok(p2) => {
+                                live.push((p, *size));
+                                live.push((p2, 32));
+                            }
+                            Err(_) => {
+                                let _ = heap.tx_abort();
+                            }
+                        }
+                    }
+                }
+                Err(PoseidonError::NoSpace { .. }) | Err(PoseidonError::TableFull) => {
+                    let _ = heap.tx_abort();
+                }
+                Err(e) => panic!("tx_alloc failed unexpectedly: {e}"),
+            },
+        }
+    }
+    live.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn audit_holds_under_random_op_sequences(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (_dev, heap) = heap();
+        let live = apply_ops(&heap, &ops);
+        let audits = heap.audit().expect("audit");
+        // Every live pointer is distinct and within bounds; allocated
+        // byte totals cover at least the live set.
+        let allocated: u64 = audits.iter().map(|(_, a)| a.alloc_bytes).sum();
+        let min_needed: u64 = live.values().map(|s| s.max(&32).next_power_of_two()).sum();
+        prop_assert!(allocated >= min_needed, "allocated {allocated} < shadow {min_needed}");
+        // Free them all; audit must return to zero allocated.
+        for (p, _) in live {
+            heap.free(p).expect("final free");
+        }
+        let audits = heap.audit().expect("audit after drain");
+        for (_, a) in audits {
+            prop_assert_eq!(a.alloc_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn no_two_live_blocks_overlap(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let (_dev, heap) = heap();
+        let live = apply_ops(&heap, &ops);
+        let mut ranges: Vec<(u64, u64)> = live
+            .iter()
+            .map(|(p, s)| (heap.raw_offset(*p).expect("raw"), s.max(&32).next_power_of_two()))
+            .collect();
+        ranges.sort_unstable();
+        for window in ranges.windows(2) {
+            prop_assert!(
+                window[0].0 + window[0].1 <= window[1].0,
+                "overlap: {:?} and {:?}",
+                window[0],
+                window[1]
+            );
+        }
+    }
+
+    #[test]
+    fn crash_at_random_point_recovers(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        crash_at in 0u64..600,
+        adversarial in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (dev, heap) = heap();
+        dev.arm_crash_after(crash_at);
+        // Ops may fail mid-way once the device crashes; ignore outcomes.
+        for op in &ops {
+            let r: Result<(), PoseidonError> = (|| {
+                match op {
+                    Op::Alloc(s) => { let _ = heap.alloc(*s)?; }
+                    Op::Free(_) => {}
+                    Op::BogusFree(o) => { let _ = heap.free(NvmPtr::new(heap.heap_id(), 0, *o)); }
+                    Op::TxAlloc(s, c) => { let _ = heap.tx_alloc(*s, *c)?; }
+                }
+                Ok(())
+            })();
+            if r.is_err() {
+                break;
+            }
+        }
+        dev.disarm_crash();
+        drop(heap);
+        let mode = if adversarial { CrashMode::Adversarial } else { CrashMode::Strict };
+        dev.simulate_crash(mode, seed);
+        let heap = PoseidonHeap::load(dev.clone(), HeapConfig::new()).expect("recovery");
+        heap.audit().expect("audit after crash recovery");
+        // Heap remains usable.
+        let p = heap.alloc(64).expect("post-recovery alloc");
+        heap.free(p).expect("post-recovery free");
+    }
+
+    #[test]
+    fn save_load_preserves_live_blocks(sizes in proptest::collection::vec(1u64..4096, 1..40)) {
+        let dir = std::env::temp_dir().join(format!("poseidon-prop-{}-{}", std::process::id(), sizes.len()));
+        let (dev, heap) = heap();
+        let mut live = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let p = heap.alloc(*size).unwrap();
+            let raw = heap.raw_offset(p).unwrap();
+            dev.write_pod(raw, &(i as u64)).unwrap();
+            dev.persist(raw, 8).unwrap();
+            live.push((p, i as u64));
+        }
+        heap.set_root(live[0].0).unwrap();
+        heap.close().unwrap();
+        dev.save(&dir).unwrap();
+
+        let dev2 = Arc::new(PmemDevice::load(&dir, DeviceConfig::new(0)).unwrap());
+        std::fs::remove_file(&dir).unwrap();
+        let heap2 = PoseidonHeap::load(dev2.clone(), HeapConfig::new()).unwrap();
+        prop_assert_eq!(heap2.root().unwrap(), live[0].0);
+        for (p, tag) in live {
+            let raw = heap2.raw_offset(p).unwrap();
+            let stored: u64 = dev2.read_pod(raw).unwrap();
+            prop_assert_eq!(stored, tag);
+            heap2.free(p).unwrap();
+        }
+        heap2.audit().unwrap();
+    }
+}

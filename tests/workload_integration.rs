@@ -1,0 +1,105 @@
+//! Integration test: every paper workload runs on every allocator, with
+//! post-run consistency checks where the allocator supports them.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pmem::{DeviceConfig, NumaTopology, PmemDevice};
+use poseidon::{HeapConfig, PoseidonHeap};
+use workloads::alloc_api::AllocatorKind;
+use workloads::{ackermann, kruskal, larson, micro, nqueens, ycsb};
+
+fn device() -> Arc<PmemDevice> {
+    Arc::new(PmemDevice::new(
+        DeviceConfig::bench(2 << 30).with_topology(NumaTopology::new(2, 16)),
+    ))
+}
+
+#[test]
+fn every_workload_on_every_allocator() {
+    for kind in AllocatorKind::ALL {
+        let alloc = kind.build(device());
+        let name = kind.name();
+
+        let r = micro::run(&*alloc, micro::MicroConfig::new(512, 3, 600));
+        assert!(r.total_ops >= 1800, "{name} micro");
+
+        let r = larson::run(&*alloc, larson::LarsonConfig::new(3, Duration::from_millis(80)));
+        assert!(r.total_ops > 0, "{name} larson");
+
+        let r = ackermann::run(&*alloc, ackermann::AckermannConfig::new(2, 2, 64 << 10));
+        assert_eq!(r.total_ops, 8, "{name} ackermann");
+
+        let r = kruskal::run(&*alloc, kruskal::KruskalConfig::new(2, 4));
+        assert_eq!(r.total_ops, 48, "{name} kruskal");
+
+        let r = nqueens::run(&*alloc, nqueens::NQueensConfig::new(2, 5));
+        assert_eq!(r.total_ops, 20, "{name} nqueens");
+
+        let config = ycsb::YcsbConfig::new(2, 1000, 300);
+        let (tree, load) = ycsb::run_load(&alloc, config);
+        assert_eq!(load.total_ops, 1000, "{name} ycsb load");
+        assert_eq!(tree.len(), 1000, "{name} tree count");
+        let a = ycsb::run_workload_a(&tree, config);
+        assert_eq!(a.total_ops, 600, "{name} ycsb A");
+    }
+}
+
+#[test]
+fn poseidon_survives_full_benchmark_suite_with_clean_audit() {
+    let dev = device();
+    let heap = Arc::new(PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(8)).unwrap());
+
+    micro::run(&*heap, micro::MicroConfig::new(256, 4, 800));
+    larson::run(&*heap, larson::LarsonConfig::new(4, Duration::from_millis(80)));
+    kruskal::run(&*heap, kruskal::KruskalConfig::new(4, 10));
+    nqueens::run(&*heap, nqueens::NQueensConfig::new(4, 10));
+
+    // Every workload above is fully balanced (drains its allocations):
+    // the audit must find zero allocated bytes and a structurally intact
+    // heap.
+    for (sub, audit) in heap.audit().unwrap() {
+        assert_eq!(audit.alloc_bytes, 0, "sub-heap {sub} leaked after the suite");
+    }
+}
+
+#[test]
+fn contention_profiles_reflect_design() {
+    // After a multi-threaded run, PMDK's global locks must show
+    // significant serial time; Poseidon's per-sub-heap locks must spread.
+    let alloc = AllocatorKind::Pmdk.build(device());
+    micro::run(&*alloc, micro::MicroConfig::new(512, 4, 2000));
+    let profile = alloc.contention_profile();
+    let action = profile.iter().find(|p| p.name == "action-log").unwrap();
+    assert!(action.acquisitions > 0, "frees must hit the global action log");
+
+    let alloc = AllocatorKind::Poseidon.build(device());
+    micro::run(&*alloc, micro::MicroConfig::new(512, 4, 2000));
+    let profile = alloc.contention_profile();
+    let active_subheaps = profile.iter().filter(|p| p.name.starts_with("subheap") && p.acquisitions > 0).count();
+    assert!(active_subheaps >= 4, "expected >=4 active sub-heap locks, got {active_subheaps}");
+}
+
+#[test]
+fn ycsb_reads_after_updates_observe_fresh_values() {
+    let alloc = AllocatorKind::Poseidon.build(device());
+    let config = ycsb::YcsbConfig::new(2, 500, 200);
+    let (tree, _) = ycsb::run_load(&alloc, config);
+    ycsb::run_workload_a(&tree, config);
+    // Every key is still present and its value buffer is readable.
+    for i in 0..500u64 {
+        let key = {
+            // Same FNV the generator uses — recompute through the tree by
+            // checking presence of all loaded keys.
+            let mut hash = 0xCBF2_9CE4_8422_2325u64;
+            for byte in i.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x1000_0000_01B3);
+            }
+            hash
+        };
+        let value = tree.get(key).expect("key lost during workload A");
+        let mut buf = [0u8; 8];
+        alloc.device().read(value, &mut buf).expect("value readable");
+    }
+}
