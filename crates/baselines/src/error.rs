@@ -33,8 +33,12 @@ pub enum BaselineError {
 impl std::fmt::Display for BaselineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BaselineError::OutOfMemory { requested } => write!(f, "out of memory for {requested}-byte allocation"),
-            BaselineError::TooLarge { requested } => write!(f, "{requested}-byte allocation exceeds pool limits"),
+            BaselineError::OutOfMemory { requested } => {
+                write!(f, "out of memory for {requested}-byte allocation")
+            }
+            BaselineError::TooLarge { requested } => {
+                write!(f, "{requested}-byte allocation exceeds pool limits")
+            }
             BaselineError::ZeroSize => f.write_str("zero-byte allocation"),
             BaselineError::Corrupted(why) => write!(f, "corrupt pool: {why}"),
             BaselineError::Device(e) => write!(f, "device error: {e}"),

@@ -220,7 +220,9 @@ impl MakaluSim {
         let header: ObjHeader = self.dev.read_pod(obj)?;
         self.dev.write_pod(obj, &ObjHeader { size: header.size, status: STATUS_FREE })?;
         self.dev.persist(obj, OBJ_HEADER)?;
-        if header.size <= class_bytes(SMALL_CLASSES - 1) && header.size >= MIN_CLASS && header.size.is_power_of_two()
+        if header.size <= class_bytes(SMALL_CLASSES - 1)
+            && header.size >= MIN_CLASS
+            && header.size.is_power_of_two()
         {
             let class = small_class(header.size);
             let mut local = self.locals[cpu % self.locals.len()].lock();
@@ -268,12 +270,8 @@ impl MakaluSim {
     /// Per-lock serial-time profile: the single global lock (chunk list,
     /// reclaim lists, bump cursor) plus the per-CPU local lists.
     pub fn contention_profile(&self) -> Vec<LockProfile> {
-        let mut profile: Vec<LockProfile> = self
-            .locals
-            .iter()
-            .enumerate()
-            .map(|(i, local)| local.profile(format!("local[{i}]")))
-            .collect();
+        let mut profile: Vec<LockProfile> =
+            self.locals.iter().enumerate().map(|(i, local)| local.profile(format!("local[{i}]"))).collect();
         profile.push(self.global.profile("global"));
         profile
     }

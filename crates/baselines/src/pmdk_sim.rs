@@ -401,8 +401,10 @@ impl PmdkSim {
             self.write_entry(c, ChunkEntry { state: CHUNK_LARGE_CONT, aux: 0 })?;
         }
         let head_off = self.chunk_data(start);
-        self.dev
-            .write_pod(head_off, &ObjHeader { size: nch * CHUNK_SIZE, status: self.status_for(head_off, nch * CHUNK_SIZE) })?;
+        self.dev.write_pod(
+            head_off,
+            &ObjHeader { size: nch * CHUNK_SIZE, status: self.status_for(head_off, nch * CHUNK_SIZE) },
+        )?;
         self.dev.persist(head_off, OBJ_HEADER)?;
         Ok(head_off + OBJ_HEADER)
     }
@@ -509,12 +511,8 @@ impl PmdkSim {
     /// PMDK's saturation — the AVL tree, the action log, and the rebuild
     /// lock.
     pub fn contention_profile(&self) -> Vec<LockProfile> {
-        let mut profile: Vec<LockProfile> = self
-            .arenas
-            .iter()
-            .enumerate()
-            .map(|(i, arena)| arena.profile(format!("arena[{i}]")))
-            .collect();
+        let mut profile: Vec<LockProfile> =
+            self.arenas.iter().enumerate().map(|(i, arena)| arena.profile(format!("arena[{i}]"))).collect();
         profile.push(self.free_ranges.profile("avl"));
         profile.push(self.action_log.profile("action-log"));
         profile.push(self.rebuild_lock.profile("rebuild"));

@@ -1,9 +1,9 @@
-//! Criterion bench for the design ablations DESIGN.md calls out:
-//! MPK protection on/off and per-CPU sub-heaps vs a single sub-heap.
+//! Bench for the design ablations DESIGN.md calls out: MPK protection
+//! on/off and per-CPU sub-heaps vs a single sub-heap.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use platform::bench::Harness;
 use pmem::{DeviceConfig, PmemDevice};
 use poseidon::{HeapConfig, PoseidonHeap};
 use workloads::micro::{self, MicroConfig};
@@ -16,10 +16,10 @@ fn heap(config: HeapConfig) -> PoseidonHeap {
     PoseidonHeap::create(dev, config).expect("heap")
 }
 
-fn ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(THREADS as u64 * OPS_PER_THREAD));
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("ablation");
+    group.sample_size(10).throughput_elements(THREADS as u64 * OPS_PER_THREAD);
     let variants: [(&str, HeapConfig); 4] = [
         ("mpk-on", HeapConfig::new()),
         ("mpk-off", HeapConfig::new().without_protection()),
@@ -28,12 +28,9 @@ fn ablation(c: &mut Criterion) {
     ];
     for (name, config) in variants {
         let h = heap(config);
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| micro::run(&h, MicroConfig::new(256, THREADS, OPS_PER_THREAD)));
+        group.bench(name, || {
+            micro::run(&h, MicroConfig::new(256, THREADS, OPS_PER_THREAD));
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, ablation);
-criterion_main!(benches);

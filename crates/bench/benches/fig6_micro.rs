@@ -1,32 +1,25 @@
-//! Criterion bench for Figure 6: the random 100-alloc/100-free
-//! microbenchmark across allocation sizes and allocators.
+//! Figure 6 bench: the random 100-alloc/100-free microbenchmark across
+//! allocation sizes and allocators.
 
 use bench::fresh_allocator;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use platform::bench::Harness;
 use workloads::micro::{self, MicroConfig};
 use workloads::AllocatorKind;
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: u64 = 2_000;
 
-fn fig6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_micro");
-    group.sample_size(10);
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("fig6_micro");
+    group.sample_size(10).throughput_elements(THREADS as u64 * OPS_PER_THREAD);
     for kind in AllocatorKind::ALL {
         for &size in &[256u64, 4 << 10, 256 << 10] {
             let alloc = fresh_allocator(kind, 32);
-            group.throughput(Throughput::Elements(THREADS as u64 * OPS_PER_THREAD));
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), format!("{size}B")),
-                &size,
-                |b, &size| {
-                    b.iter(|| micro::run(&*alloc, MicroConfig::new(size, THREADS, OPS_PER_THREAD)));
-                },
-            );
+            group.bench(&format!("{}/{size}B", kind.name()), || {
+                micro::run(&*alloc, MicroConfig::new(size, THREADS, OPS_PER_THREAD));
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, fig6);
-criterion_main!(benches);

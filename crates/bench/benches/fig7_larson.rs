@@ -1,34 +1,25 @@
-//! Criterion bench for Figure 7: the Larson cross-thread server
-//! allocation pattern (operation-bounded variant).
+//! Figure 7 bench: the Larson cross-thread server allocation pattern
+//! (operation-bounded variant).
 
 use std::time::Duration;
 
 use bench::fresh_allocator;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use platform::bench::Harness;
 use workloads::larson::{self, LarsonConfig};
 use workloads::AllocatorKind;
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: u64 = 5_000;
 
-fn fig7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_larson");
-    group.sample_size(10);
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("fig7_larson");
+    group.sample_size(10).throughput_elements(THREADS as u64 * OPS_PER_THREAD);
     for kind in AllocatorKind::ALL {
         let alloc = fresh_allocator(kind, 32);
-        group.throughput(Throughput::Elements(THREADS as u64 * OPS_PER_THREAD));
-        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
-            b.iter(|| {
-                larson::run_ops(
-                    &*alloc,
-                    LarsonConfig::new(THREADS, Duration::ZERO),
-                    OPS_PER_THREAD,
-                )
-            });
+        group.bench(kind.name(), || {
+            larson::run_ops(&*alloc, LarsonConfig::new(THREADS, Duration::ZERO), OPS_PER_THREAD);
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, fig7);
-criterion_main!(benches);

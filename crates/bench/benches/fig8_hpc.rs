@@ -1,30 +1,28 @@
-//! Criterion bench for Figure 8: the Ackermann, Kruskal, and N-Queens
-//! compute benchmarks.
+//! Figure 8 bench: the Ackermann, Kruskal, and N-Queens compute
+//! benchmarks.
 
 use bench::fresh_allocator;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use platform::bench::Harness;
 use workloads::AllocatorKind;
 use workloads::{ackermann, kruskal, nqueens};
 
 const THREADS: usize = 4;
 
-fn fig8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_hpc");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("fig8_hpc");
     group.sample_size(10);
     for kind in AllocatorKind::ALL {
         let alloc = fresh_allocator(kind, 32);
-        group.bench_function(BenchmarkId::new("ackermann", kind.name()), |b| {
-            b.iter(|| ackermann::run(&*alloc, ackermann::AckermannConfig::new(THREADS, 5, 256 << 10)));
+        group.bench(&format!("ackermann/{}", kind.name()), || {
+            ackermann::run(&*alloc, ackermann::AckermannConfig::new(THREADS, 5, 256 << 10));
         });
-        group.bench_function(BenchmarkId::new("kruskal", kind.name()), |b| {
-            b.iter(|| kruskal::run(&*alloc, kruskal::KruskalConfig::new(THREADS, 200)));
+        group.bench(&format!("kruskal/{}", kind.name()), || {
+            kruskal::run(&*alloc, kruskal::KruskalConfig::new(THREADS, 200));
         });
-        group.bench_function(BenchmarkId::new("nqueens", kind.name()), |b| {
-            b.iter(|| nqueens::run(&*alloc, nqueens::NQueensConfig::new(THREADS, 200)));
+        group.bench(&format!("nqueens/{}", kind.name()), || {
+            nqueens::run(&*alloc, nqueens::NQueensConfig::new(THREADS, 200));
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, fig8);
-criterion_main!(benches);

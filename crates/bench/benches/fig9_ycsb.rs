@@ -1,8 +1,8 @@
-//! Criterion bench for Figure 9: YCSB Load and Workload A over the
-//! FAST-FAIR-style persistent B+-tree.
+//! Figure 9 bench: YCSB Load and Workload A over the FAST-FAIR-style
+//! persistent B+-tree.
 
 use bench::fresh_allocator;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use platform::bench::Harness;
 use workloads::ycsb::{self, YcsbConfig};
 use workloads::AllocatorKind;
 
@@ -10,28 +10,24 @@ const THREADS: usize = 4;
 const LOAD_KEYS: u64 = 20_000;
 const OPS_PER_THREAD: u64 = 5_000;
 
-fn fig9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_ycsb");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("fig9_ycsb");
     group.sample_size(10);
     for kind in AllocatorKind::ALL {
-        group.throughput(Throughput::Elements(LOAD_KEYS));
-        group.bench_function(BenchmarkId::new("load", kind.name()), |b| {
-            b.iter(|| {
-                let alloc = fresh_allocator(kind, 32);
-                ycsb::run_load(&alloc, YcsbConfig::new(THREADS, LOAD_KEYS, 0))
-            });
+        group.throughput_elements(LOAD_KEYS);
+        group.bench(&format!("load/{}", kind.name()), || {
+            let alloc = fresh_allocator(kind, 32);
+            ycsb::run_load(&alloc, YcsbConfig::new(THREADS, LOAD_KEYS, 0));
         });
         // Workload A over a pre-loaded tree.
         let alloc = fresh_allocator(kind, 32);
         let config = YcsbConfig::new(THREADS, LOAD_KEYS, OPS_PER_THREAD);
         let (tree, _) = ycsb::run_load(&alloc, config);
-        group.throughput(Throughput::Elements(THREADS as u64 * OPS_PER_THREAD));
-        group.bench_function(BenchmarkId::new("workload_a", kind.name()), |b| {
-            b.iter(|| ycsb::run_workload_a(&tree, config));
+        group.throughput_elements(THREADS as u64 * OPS_PER_THREAD);
+        group.bench(&format!("workload_a/{}", kind.name()), || {
+            ycsb::run_workload_a(&tree, config);
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, fig9);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion bench for the transaction and data-structure layers: cost of
-//! a persistent transaction (alloc + write + root update) and of PVec /
+//! Bench for the transaction and data-structure layers: cost of a
+//! persistent transaction (alloc + write + root update) and of PVec /
 //! PMap operations, all on Poseidon.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pds::{PMap, PVec};
+use platform::bench::Harness;
 use pmem::{DeviceConfig, PmemDevice};
 use poseidon::{HeapConfig, PoseidonHeap};
 use ptx::PtxPool;
@@ -16,31 +16,27 @@ fn pool() -> PtxPool {
     PtxPool::create(heap).expect("pool")
 }
 
-fn ptx_pds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ptx_pds");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(1));
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("ptx_pds");
+    group.sample_size(10).throughput_elements(1);
 
     let p = pool();
-    group.bench_function(BenchmarkId::from_parameter("tx_alloc_write_free"), |b| {
-        b.iter(|| {
-            p.run(|tx| {
-                let block = tx.alloc(128)?;
-                tx.write_pod(block, 0, &0xABu64)?;
-                tx.free(block)?;
-                Ok(())
-            })
-            .expect("tx")
-        });
+    group.bench("tx_alloc_write_free", || {
+        p.run(|tx| {
+            let block = tx.alloc(128)?;
+            tx.write_pod(block, 0, &0xABu64)?;
+            tx.free(block)?;
+            Ok(())
+        })
+        .expect("tx")
     });
 
     let p = pool();
     let vec: PVec<u64> = PVec::create(&p).expect("vec");
-    group.bench_function(BenchmarkId::from_parameter("pvec_push_pop"), |b| {
-        b.iter(|| {
-            vec.push(&p, 7).expect("push");
-            vec.pop(&p).expect("pop");
-        });
+    group.bench("pvec_push_pop", || {
+        vec.push(&p, 7).expect("push");
+        vec.pop(&p).expect("pop");
     });
 
     let p = pool();
@@ -48,23 +44,16 @@ fn ptx_pds(c: &mut Criterion) {
     for k in 0..1000u64 {
         map.insert(&p, k, k).expect("prefill");
     }
-    let mut key = 1000u64;
-    group.bench_function(BenchmarkId::from_parameter("pmap_insert_remove"), |b| {
-        b.iter(|| {
-            key += 1;
-            map.insert(&p, key, key).expect("insert");
-            map.remove(&p, key).expect("remove");
-        });
+    let key = std::cell::Cell::new(1000u64);
+    group.bench("pmap_insert_remove", || {
+        key.set(key.get() + 1);
+        map.insert(&p, key.get(), key.get()).expect("insert");
+        map.remove(&p, key.get()).expect("remove");
     });
-    group.bench_function(BenchmarkId::from_parameter("pmap_get"), |b| {
-        let mut probe = 0u64;
-        b.iter(|| {
-            probe = (probe + 7) % 1000;
-            map.get(&p, probe).expect("get")
-        });
+    let probe = std::cell::Cell::new(0u64);
+    group.bench("pmap_get", || {
+        probe.set((probe.get() + 7) % 1000);
+        map.get(&p, probe.get()).expect("get");
     });
     group.finish();
 }
-
-criterion_group!(benches, ptx_pds);
-criterion_main!(benches);

@@ -52,6 +52,7 @@ fn main() {
         options.max_threads
     );
     match command.as_str() {
+        "digest" => digest(),
         "fig3" => fig3(),
         "fig6" => fig6(&options),
         "fig7" => fig7(&options),
@@ -74,8 +75,43 @@ fn main() {
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!("usage: repro [--full] [--threads N] <fig3|fig6|fig7|fig8|fig9|ablation|capacity|all>");
+    eprintln!("usage: repro [--full] [--threads N] <digest|fig3|fig6|fig7|fig8|fig9|ablation|capacity|all>");
     std::process::exit(2)
+}
+
+// --------------------------------------------------------------- digests
+
+/// Fingerprints the per-thread RNG streams each workload draws its
+/// operations from. The digests are pure functions of the configured
+/// seeds, so any change to the generator (or to per-thread seed
+/// derivation) that would silently alter a benchmark's operation mix
+/// shows up here as a digest change.
+fn digest() {
+    use platform::rng::StreamDigest;
+    use workloads::Xorshift;
+
+    const THREADS: u64 = 4;
+    const DRAWS: u64 = 4096;
+    println!("\n## Workload op-stream digests ({THREADS} threads x {DRAWS} draws)");
+    println!("{:<12} {:>18} {:>20}", "stream", "seed", "fnv1a-64");
+    // (workload, base seed, per-thread seed multiplier) — matches the
+    // derivation inside each workload's worker loop.
+    let streams: &[(&str, u64, u64)] = &[
+        ("micro", 0xC0FFEE, 0x9E37),
+        ("larson", 0x1A250, 0xABCD),
+        ("ycsb-load", 0x9C5B, 0x51AB),
+        ("ycsb-a", 0x9C5B, 0xE5E5),
+    ];
+    for &(name, seed, mix) in streams {
+        let mut fold = StreamDigest::new();
+        for thread in 0..THREADS {
+            let mut rng = Xorshift::new(seed ^ (thread + 1).wrapping_mul(mix));
+            for _ in 0..DRAWS {
+                fold.update(rng.next_u64());
+            }
+        }
+        println!("{:<12} {:>#18x} {:>#20x}", name, seed, fold.finish());
+    }
 }
 
 /// Runs `work` for each allocator and thread count (fresh pool per
@@ -181,7 +217,10 @@ fn fig3() {
         }
         println!(
             "{:<44} {:<10} {} overlaps; {} free skipped (object leaked, corruption contained)",
-            "same attack, with the #8 canary mitigation", "pmdk+can", overlaps, pool.skipped_frees()
+            "same attack, with the #8 canary mitigation",
+            "pmdk+can",
+            overlaps,
+            pool.skipped_frees()
         );
     }
 
@@ -286,9 +325,8 @@ fn baseline_ops_for_size(size: u64) -> u64 {
 fn fig7(options: &Options) {
     let threads = thread_sweep(options.max_threads);
     let duration = if options.full { Duration::from_secs(10) } else { Duration::from_millis(500) };
-    let series = sweep_allocators(&threads, 64, |alloc, t| {
-        larson::run(alloc, larson::LarsonConfig::new(t, duration))
-    });
+    let series =
+        sweep_allocators(&threads, 64, |alloc, t| larson::run(alloc, larson::LarsonConfig::new(t, duration)));
     print_panel(&format!("Figure 7 — Larson benchmark ({duration:?} per point)"), &series);
 }
 
@@ -364,14 +402,7 @@ fn fig9(options: &Options) {
         let c = bench::project(&ycsb::run_workload_c(&tree, config), &alloc.contention_profile());
         alloc.reset_contention();
         let e = bench::project(&ycsb::run_workload_e(&tree, config), &alloc.contention_profile());
-        println!(
-            "{:>10} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
-            kind.name(),
-            a.mops,
-            b.mops,
-            c.mops,
-            e.mops
-        );
+        println!("{:>10} {:>14.3} {:>14.3} {:>14.3} {:>14.3}", kind.name(), a.mops, b.mops, c.mops, e.mops);
     }
 }
 
@@ -381,7 +412,8 @@ fn fig9(options: &Options) {
 /// population grows. Constant-time designs stay flat; tree-indexed and
 /// rescan-based designs grow.
 fn capacity(options: &Options) {
-    let populations: &[u64] = if options.full { &[1_000, 10_000, 100_000, 400_000] } else { &[500, 5_000, 20_000] };
+    let populations: &[u64] =
+        if options.full { &[1_000, 10_000, 100_000, 400_000] } else { &[500, 5_000, 20_000] };
     let pairs = if options.full { 20_000 } else { 3_000 };
     println!("\n## Section 4.7 — constant-time allocation (latency vs live population)");
     println!(
@@ -451,9 +483,7 @@ fn ablation(options: &Options) {
             DeviceConfig::bench(64 << 30).with_crash_tracking(tracking).with_topology(topology),
         ));
         let heap = PoseidonHeap::create(dev, config).expect("heap");
-        measure(&heap, |a| {
-            micro::run(a, micro::MicroConfig::new(size, t, ops))
-        })
+        measure(&heap, |a| micro::run(a, micro::MicroConfig::new(size, t, ops)))
     };
 
     // (a) MPK protection on vs off (§4.3's "low latency" claim).

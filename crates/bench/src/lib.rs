@@ -1,6 +1,6 @@
 //! Shared plumbing for the figure-reproduction harness.
 //!
-//! The `repro` binary (and the criterion benches) regenerate every figure
+//! The `repro` binary (and the `cargo bench` binaries) regenerate every figure
 //! of the Poseidon paper; this library holds the pieces they share:
 //! device construction, thread sweeps, and series printing.
 
@@ -69,11 +69,7 @@ pub const LOCK_HANDOFF_NS: u64 = 150;
 /// reproduced on hosts with fewer cores than the paper's 112-thread
 /// testbed; EXPERIMENTS.md discusses fidelity and limits.
 pub fn project(result: &RunResult, profile: &[pmem::LockProfile]) -> Point {
-    let busy_ns = if result.cpu_ns > 0 {
-        result.cpu_ns
-    } else {
-        result.elapsed.as_nanos() as u64
-    };
+    let busy_ns = if result.cpu_ns > 0 { result.cpu_ns } else { result.elapsed.as_nanos() as u64 };
     let serial_ns = profile.iter().map(|p| p.effective_serial_ns(LOCK_HANDOFF_NS)).max().unwrap_or(0);
     let projected_ns = (busy_ns / result.threads.max(1) as u64).max(serial_ns).max(1);
     Point {
@@ -86,7 +82,10 @@ pub fn project(result: &RunResult, profile: &[pmem::LockProfile]) -> Point {
 /// Runs `run` once as warm-up (creating sub-heaps, filling caches), then
 /// twice measured with fresh lock counters, keeping the better projection
 /// (best-of-2 damps scheduler noise on oversubscribed hosts).
-pub fn measure(alloc: &dyn PersistentAllocator, run: impl Fn(&dyn PersistentAllocator) -> RunResult) -> Point {
+pub fn measure(
+    alloc: &dyn PersistentAllocator,
+    run: impl Fn(&dyn PersistentAllocator) -> RunResult,
+) -> Point {
     let _ = run(alloc);
     let mut best: Option<Point> = None;
     for _ in 0..2 {
@@ -110,7 +109,8 @@ pub fn print_panel(title: &str, series: &[(&str, Vec<Point>)]) {
         print!("{name:>12}");
     }
     println!();
-    let xs: Vec<usize> = series.first().map(|(_, s)| s.iter().map(|p| p.threads).collect()).unwrap_or_default();
+    let xs: Vec<usize> =
+        series.first().map(|(_, s)| s.iter().map(|p| p.threads).collect()).unwrap_or_default();
     for (row, &threads) in xs.iter().enumerate() {
         print!("{threads:>8}");
         for (_, points) in series {

@@ -1,0 +1,61 @@
+//! Smoke test: `repro fig3` at CI scale must show Poseidon rejecting the
+//! paper's metadata attacks while the PMDK simulation visibly corrupts.
+//! Also pins the workload op-stream digests: two `repro digest` runs must
+//! agree (determinism is part of the reproduction contract).
+
+use std::process::Command;
+
+fn run_repro(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("spawn repro binary");
+    assert!(
+        output.status.success(),
+        "repro {args:?} exited with {}: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn fig3_poseidon_rejects_attacks_while_pmdk_corrupts() {
+    let out = run_repro(&["fig3"]);
+
+    // Poseidon stops every attack.
+    assert!(out.contains("MPK protection fault (store rejected)"), "overflow not rejected:\n{out}");
+    assert!(out.contains("rejected as invalid free"), "forged free not rejected:\n{out}");
+    assert!(out.contains("rejected as double free"), "double free not rejected:\n{out}");
+    assert!(out.contains("audit clean — no metadata corruption"), "audit not clean:\n{out}");
+    assert!(!out.contains("UNEXPECTED"), "an attack had an unexpected outcome:\n{out}");
+
+    // The PMDK simulation, by design, corrupts: the overlap count and the
+    // leak count on its lines must be non-zero.
+    let overlaps: u64 = field_before(&out, "overlapping allocations");
+    assert!(overlaps > 0, "pmdk overlap attack produced no overlaps:\n{out}");
+    let leaked: u64 = field_before(&out, "chunks permanently leaked");
+    assert!(leaked > 0, "pmdk shrink attack leaked nothing:\n{out}");
+}
+
+#[test]
+fn digest_output_is_stable_across_runs() {
+    let first = run_repro(&["digest"]);
+    let second = run_repro(&["digest"]);
+    assert!(first.contains("fnv1a-64"), "digest table missing:\n{first}");
+    assert_eq!(digest_lines(&first), digest_lines(&second), "op-stream digests changed between runs");
+    assert!(!digest_lines(&first).is_empty());
+}
+
+/// Extracts the number immediately preceding `marker` on its line.
+fn field_before(out: &str, marker: &str) -> u64 {
+    let line =
+        out.lines().find(|l| l.contains(marker)).unwrap_or_else(|| panic!("no line with {marker:?}:\n{out}"));
+    let prefix = line.split(marker).next().unwrap();
+    prefix
+        .split_whitespace()
+        .last()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| panic!("no count before {marker:?} in line {line:?}"))
+}
+
+fn digest_lines(out: &str) -> Vec<&str> {
+    out.lines().filter(|l| l.contains("0x")).collect()
+}

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use platform::sync::Mutex;
 
 use crate::pkru::{read_tls, write_tls, AccessKind, Pkru, WRPKRU_CYCLES};
 
@@ -264,10 +264,7 @@ mod tests {
     fn cannot_free_default_or_unallocated_key() {
         let d = MpkDomain::new();
         assert_eq!(d.pkey_free(ProtectionKey::DEFAULT), Err(MpkError::InvalidKey(0)));
-        assert_eq!(
-            d.pkey_free(ProtectionKey::from_index(5).unwrap()),
-            Err(MpkError::InvalidKey(5))
-        );
+        assert_eq!(d.pkey_free(ProtectionKey::from_index(5).unwrap()), Err(MpkError::InvalidKey(5)));
     }
 
     #[test]

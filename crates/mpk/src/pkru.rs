@@ -118,11 +118,7 @@ pub(crate) fn read_tls(domain_id: u64, default: u32) -> u32 {
                 value
             }
             None => {
-                *slot = Some(PkruTls {
-                    last_domain: domain_id,
-                    last_value: default,
-                    others: HashMap::new(),
-                });
+                *slot = Some(PkruTls { last_domain: domain_id, last_value: default, others: HashMap::new() });
                 default
             }
         }
@@ -141,11 +137,7 @@ pub(crate) fn write_tls(domain_id: u64, value: u32) {
                 tls.last_value = value;
             }
             None => {
-                *slot = Some(PkruTls {
-                    last_domain: domain_id,
-                    last_value: value,
-                    others: HashMap::new(),
-                });
+                *slot = Some(PkruTls { last_domain: domain_id, last_value: value, others: HashMap::new() });
             }
         }
     });
@@ -182,10 +174,7 @@ mod tests {
 
     #[test]
     fn writable_clears_both_bits() {
-        let pkru = Pkru::ALL_ACCESS
-            .with_key_no_access(7)
-            .with_key_read_only(7)
-            .with_key_writable(7);
+        let pkru = Pkru::ALL_ACCESS.with_key_no_access(7).with_key_read_only(7).with_key_writable(7);
         assert!(pkru.allows(7, AccessKind::Read));
         assert!(pkru.allows(7, AccessKind::Write));
     }

@@ -93,17 +93,9 @@ impl<T: Pod> PVec<T> {
     pub fn push(&self, pool: &PtxPool, value: T) -> Result<(), PtxError> {
         pool.run(|tx| {
             let header: VecHeader = tx.read_pod(self.header, 0)?;
-            let header = if header.len == header.cap {
-                self.grow(tx, header)?
-            } else {
-                header
-            };
+            let header = if header.len == header.cap { self.grow(tx, header)? } else { header };
             tx.write_pod(header.data, header.len * Self::ELEM, &value)?;
-            tx.write_pod(
-                self.header,
-                0,
-                &VecHeader { len: header.len + 1, ..header },
-            )?;
+            tx.write_pod(self.header, 0, &VecHeader { len: header.len + 1, ..header })?;
             Ok(())
         })
     }

@@ -3,9 +3,9 @@
 use std::sync::Arc;
 
 use pds::{PList, PMap, PVec};
+use platform::check::{check, Config};
 use pmem::{CrashMode, DeviceConfig, PmemDevice};
 use poseidon::{HeapConfig, PoseidonHeap};
-use proptest::prelude::*;
 use ptx::PtxPool;
 
 fn pool() -> (Arc<PmemDevice>, PtxPool) {
@@ -149,11 +149,10 @@ fn crash_mid_map_ops_preserves_entries() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn pvec_matches_std_vec(ops in proptest::collection::vec((any::<u64>(), 0u8..4), 1..120)) {
+#[test]
+fn pvec_matches_std_vec() {
+    check("pvec_matches_std_vec", Config::cases(24), |g| {
+        let ops = g.vec(1..120, |g| (g.any_u64(), g.u8(0..4)));
         let (_dev, pool) = pool();
         let vec: PVec<u64> = PVec::create(&pool).unwrap();
         let mut model: Vec<u64> = Vec::new();
@@ -164,7 +163,7 @@ proptest! {
                     model.push(value);
                 }
                 2 => {
-                    prop_assert_eq!(vec.pop(&pool).unwrap(), model.pop());
+                    assert_eq!(vec.pop(&pool).unwrap(), model.pop());
                 }
                 _ => {
                     if !model.is_empty() {
@@ -174,13 +173,16 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(vec.len(&pool).unwrap(), model.len() as u64);
+            assert_eq!(vec.len(&pool).unwrap(), model.len() as u64);
         }
-        prop_assert_eq!(vec.to_vec(&pool).unwrap(), model);
-    }
+        assert_eq!(vec.to_vec(&pool).unwrap(), model);
+    });
+}
 
-    #[test]
-    fn plist_matches_std_vecdeque(ops in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..100)) {
+#[test]
+fn plist_matches_std_vecdeque() {
+    check("plist_matches_std_vecdeque", Config::cases(24), |g| {
+        let ops = g.vec(1..100, |g| (g.any_u64(), g.bool()));
         let (_dev, pool) = pool();
         let list: PList<u64> = PList::create(&pool).unwrap();
         let mut model: Vec<u64> = Vec::new();
@@ -189,10 +191,10 @@ proptest! {
                 list.push(&pool, value).unwrap();
                 model.push(value);
             } else {
-                prop_assert_eq!(list.pop(&pool).unwrap(), model.pop());
+                assert_eq!(list.pop(&pool).unwrap(), model.pop());
             }
-            prop_assert_eq!(list.len(&pool).unwrap(), model.len() as u64);
-            prop_assert_eq!(list.front(&pool).unwrap(), model.last().copied());
+            assert_eq!(list.len(&pool).unwrap(), model.len() as u64);
+            assert_eq!(list.front(&pool).unwrap(), model.last().copied());
         }
-    }
+    });
 }

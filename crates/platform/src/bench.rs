@@ -1,0 +1,226 @@
+//! A minimal timing harness for `cargo bench`-compatible harness-less
+//! binaries.
+//!
+//! Each benchmark is timed per invocation: after `warmup` unmeasured
+//! calls, `sample_size` calls are measured individually and the median,
+//! p95, and minimum are reported (plus element throughput at the median
+//! when a [`Group::throughput_elements`] is set). No statistics beyond
+//! order statistics: on a noisy shared host, the median is the robust
+//! centre and p95 the honest tail.
+//!
+//! ```no_run
+//! fn main() {
+//!     let harness = platform::bench::Harness::from_args();
+//!     let mut group = harness.group("fig6_micro");
+//!     group.sample_size(10).throughput_elements(8_000);
+//!     group.bench("poseidon/256B", || {
+//!         // one benchmark iteration
+//!     });
+//!     group.finish();
+//! }
+//! ```
+//!
+//! Invoked by `cargo bench` (which passes `--bench`, ignored here) or
+//! directly; a positional argument filters benchmark ids by substring.
+
+use std::time::{Duration, Instant};
+
+/// Command-line context shared by every group in one bench binary.
+#[derive(Debug, Clone, Default)]
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Parses `std::env::args`: flags (`--bench`, `--exact`, ...) are
+    /// ignored for `cargo bench` compatibility; the first positional
+    /// argument becomes a substring filter on benchmark ids.
+    pub fn from_args() -> Harness {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness { filter }
+    }
+
+    /// Starts a named benchmark group (one figure/panel).
+    pub fn group(&self, name: &str) -> Group {
+        println!("\n## bench group: {name}");
+        println!("{:<40} {:>12} {:>12} {:>12} {:>12}", "benchmark", "median", "p95", "min", "Melem/s");
+        Group {
+            filter: self.filter.clone(),
+            name: name.to_string(),
+            sample_size: 20,
+            warmup: 1,
+            throughput: None,
+            ran: 0,
+        }
+    }
+}
+
+/// One named group of benchmarks, printed as a table.
+#[derive(Debug)]
+pub struct Group {
+    filter: Option<String>,
+    name: String,
+    sample_size: u32,
+    warmup: u32,
+    throughput: Option<u64>,
+    ran: u32,
+}
+
+impl Group {
+    /// Sets the number of measured samples per benchmark (default 20).
+    pub fn sample_size(&mut self, samples: u32) -> &mut Group {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the number of unmeasured warmup invocations (default 1).
+    pub fn warmup(&mut self, warmup: u32) -> &mut Group {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Declares that each invocation processes `elements` items, enabling
+    /// the Melem/s column. Applies to subsequent [`bench`](Group::bench)
+    /// calls until changed.
+    pub fn throughput_elements(&mut self, elements: u64) -> &mut Group {
+        self.throughput = Some(elements);
+        self
+    }
+
+    /// Runs and reports one benchmark. `routine` is invoked `warmup`
+    /// unmeasured times, then `sample_size` measured times.
+    pub fn bench(&mut self, id: &str, mut routine: impl FnMut()) {
+        if let Some(filter) = &self.filter {
+            let full = format!("{}/{id}", self.name);
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        for _ in 0..self.warmup {
+            routine();
+        }
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                routine();
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        let report = Report::from_sorted(&samples, self.throughput);
+        println!(
+            "{:<40} {:>12} {:>12} {:>12} {:>12}",
+            id,
+            format_ns(report.median_ns),
+            format_ns(report.p95_ns),
+            format_ns(report.min_ns),
+            report.melem_per_sec.map(|m| format!("{m:.3}")).unwrap_or_else(|| "-".to_string()),
+        );
+        self.ran += 1;
+    }
+
+    /// Finishes the group (prints a trailer so truncated output is
+    /// detectable in CI logs).
+    pub fn finish(self) {
+        println!("group {}: {} benchmark(s) run", self.name, self.ran);
+    }
+}
+
+/// Order statistics of one benchmark's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Median sample, nanoseconds.
+    pub median_ns: u64,
+    /// 95th-percentile sample, nanoseconds.
+    pub p95_ns: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Element throughput at the median, if a throughput was declared.
+    pub melem_per_sec: Option<f64>,
+}
+
+impl Report {
+    /// Builds a report from ascending-sorted samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_sorted(samples: &[Duration], elements: Option<u64>) -> Report {
+        assert!(!samples.is_empty());
+        let nth = |q: f64| -> u64 {
+            let index = ((samples.len() - 1) as f64 * q).round() as usize;
+            samples[index].as_nanos() as u64
+        };
+        let median_ns = nth(0.5);
+        Report {
+            median_ns,
+            p95_ns: nth(0.95),
+            min_ns: nth(0.0),
+            melem_per_sec: elements.map(|e| e as f64 / median_ns.max(1) as f64 * 1e3),
+        }
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.2} us", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_orders_percentiles() {
+        let samples: Vec<Duration> = (1..=100u64).map(Duration::from_nanos).collect();
+        let r = Report::from_sorted(&samples, Some(1000));
+        assert_eq!(r.min_ns, 1);
+        assert_eq!(r.median_ns, 51);
+        assert_eq!(r.p95_ns, 95);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns);
+        // 1000 elements / 51 ns ≈ 19.6 Gelem/s → 19607 Melem/s.
+        let m = r.melem_per_sec.unwrap();
+        assert!((m - 1000.0 / 51.0 * 1e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_sample_report() {
+        let r = Report::from_sorted(&[Duration::from_nanos(500)], None);
+        assert_eq!(r.median_ns, 500);
+        assert_eq!(r.p95_ns, 500);
+        assert_eq!(r.melem_per_sec, None);
+    }
+
+    #[test]
+    fn bench_runs_warmup_plus_samples() {
+        let harness = Harness::default();
+        let mut group = harness.group("test_group");
+        let count = std::cell::Cell::new(0u32);
+        group.sample_size(5).warmup(2);
+        group.bench("counting", || count.set(count.get() + 1));
+        assert_eq!(count.get(), 7);
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let harness = Harness { filter: Some("keep_me".to_string()) };
+        let mut group = harness.group("g");
+        let ran = std::cell::Cell::new(false);
+        group.bench("skip_this_bench", || panic!("must not run"));
+        group.bench("keep_me_bench", || ran.set(true));
+        assert!(ran.get());
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert_eq!(format_ns(512), "512 ns");
+        assert_eq!(format_ns(51_200), "51.20 us");
+        assert_eq!(format_ns(51_200_000), "51.20 ms");
+        assert_eq!(format_ns(51_200_000_000), "51.20 s");
+    }
+}

@@ -1,0 +1,32 @@
+//! The in-tree platform layer.
+//!
+//! Every crate in this workspace used to pull six crates.io dependencies
+//! (`parking_lot`, `crossbeam`, `rand`, `proptest`, `criterion`, `libc`)
+//! for a small slice of each crate's surface. This crate owns those
+//! slices directly, on top of `std` alone, so the workspace builds and
+//! tests hermetically — and so the primitives the measurement harness
+//! depends on (lock guards, per-thread CPU clocks, deterministic RNG
+//! streams) are ours to instrument:
+//!
+//! * [`sync`] — non-poisoning [`Mutex`](sync::Mutex) /
+//!   [`RwLock`](sync::RwLock) wrappers and a cache-line-aligned
+//!   [`CachePadded`](sync::CachePadded) wrapper.
+//! * [`thread`] — scoped spawning ([`thread::scope`]) and the
+//!   thread-CPU-time clock ([`thread::cpu_time_ns`]) that lock-hold
+//!   accounting and throughput projection are built on.
+//! * [`rng`] — a seeded xorshift generator ([`rng::Rng`]) with
+//!   `gen_range` / `shuffle` / `fill` APIs; workload op streams are a
+//!   pure function of the seed.
+//! * [`check`] — a property-testing harness: seeded case generation, an
+//!   iteration budget, failing-seed reporting, and shrink-by-halving of
+//!   the input size budget.
+//! * [`bench`] — a minimal timing harness (warmup, N samples,
+//!   median/p95) for `cargo bench`-compatible harness-less binaries.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod rng;
+pub mod sync;
+pub mod thread;

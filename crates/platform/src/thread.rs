@@ -1,0 +1,120 @@
+//! Scoped thread spawning and the per-thread CPU clock.
+//!
+//! [`scope`] replaces `crossbeam::thread::scope`: it delegates to
+//! [`std::thread::scope`], which guarantees every spawned thread is
+//! joined before the scope returns (so borrows of stack data are sound)
+//! and propagates worker panics to the caller.
+//!
+//! [`cpu_time_ns`] is the clock the measurement stack is built on: lock
+//! hold-time accounting (`pmem::contention`), per-worker work
+//! accounting in the benchmark driver, and the work-span throughput
+//! projection all need CPU time (immune to preemption), which `std` does
+//! not expose. On Linux it is a direct `clock_gettime` syscall through
+//! the C runtime `std` already links — no `libc` crate needed.
+
+pub use std::thread::{scope, Scope, ScopedJoinHandle};
+
+#[cfg(target_os = "linux")]
+mod imp {
+    /// Matches the kernel/glibc `struct timespec` on 64-bit Linux.
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    /// `CLOCK_THREAD_CPUTIME_ID` from `<time.h>`.
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+
+    pub fn cpu_time_ns() -> u64 {
+        let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+        // SAFETY: `ts` is a valid out-pointer; the clock id is a constant
+        // every Linux supports.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc != 0 {
+            return 0;
+        }
+        ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use std::time::Instant;
+
+    /// Fallback for platforms without a thread CPU clock: monotonic wall
+    /// time from first use. Lock-hold measurements then include
+    /// preemption, which only degrades projection quality, not
+    /// correctness.
+    pub fn cpu_time_ns() -> u64 {
+        use std::sync::OnceLock;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Nanoseconds of CPU time consumed by the calling thread
+/// (`CLOCK_THREAD_CPUTIME_ID`). Unlike wall time, this does not advance
+/// while the thread is blocked or preempted, so lock-hold measurements
+/// stay accurate even when benchmark threads oversubscribe the host's
+/// cores. Returns 0 if the clock is unavailable.
+pub fn cpu_time_ns() -> u64 {
+    imp::cpu_time_ns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_propagates_results_through_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move || x * 10)).collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        });
+        assert_eq!(total, 100);
+        drop(data); // still owned here: the scope borrowed it
+    }
+
+    #[test]
+    fn scope_joins_workers_before_returning() {
+        let mut counter = 0u64;
+        scope(|s| {
+            let c = &mut counter;
+            s.spawn(move || {
+                *c = 42;
+            });
+        });
+        // The write is visible: the thread completed inside the scope.
+        assert_eq!(counter, 42);
+    }
+
+    #[test]
+    fn cpu_clock_is_monotonic_and_advances_under_load() {
+        let t0 = cpu_time_ns();
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i ^ x);
+        }
+        std::hint::black_box(x);
+        let t1 = cpu_time_ns();
+        assert!(t1 >= t0, "clock went backwards: {t0} -> {t1}");
+        assert!(t1 > t0, "clock did not advance over 2M iterations of work");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn cpu_clock_does_not_advance_while_sleeping() {
+        // CPU time must be (nearly) flat across a wall-clock sleep; allow
+        // generous slack for the sleep/wake syscall path itself.
+        let t0 = cpu_time_ns();
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        let consumed = cpu_time_ns() - t0;
+        assert!(consumed < 40_000_000, "thread CPU clock advanced {consumed} ns across a 120 ms sleep");
+    }
+}

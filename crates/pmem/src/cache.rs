@@ -21,7 +21,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use platform::sync::Mutex;
 
 /// Size of a CPU cache line in bytes.
 pub const CACHE_LINE_SIZE: u64 = 64;
@@ -166,7 +166,9 @@ impl CacheModel {
             for (line, state) in shard.drain() {
                 let survives = match mode {
                     CrashMode::Strict => false,
-                    CrashMode::Adversarial => splitmix64(seed ^ line.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & 1 == 1,
+                    CrashMode::Adversarial => {
+                        splitmix64(seed ^ line.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & 1 == 1
+                    }
                 };
                 if !survives {
                     write_media(line * CACHE_LINE_SIZE, &state.media);

@@ -3,7 +3,7 @@
 //! The paper's scalability results are driven by *which allocator
 //! serialises on what*: PMDK on its global AVL tree and action log,
 //! Makalu on its global chunk/reclaim lists, Poseidon on (almost)
-//! nothing. [`TrackedMutex`] wraps `parking_lot::Mutex` and records the
+//! nothing. [`TrackedMutex`] wraps `platform::sync::Mutex` and records the
 //! total time each lock instance is *held* plus its acquisition count;
 //! from those, the benchmark harness projects multi-core throughput with
 //! the standard work-span bound
@@ -13,20 +13,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::{Mutex, MutexGuard};
+use platform::sync::{Mutex, MutexGuard};
 
 /// Nanoseconds of CPU time consumed by the calling thread
 /// (`CLOCK_THREAD_CPUTIME_ID`). Unlike wall time, this is immune to
 /// preemption, so lock-hold measurements stay accurate even when
 /// benchmark threads oversubscribe the host's cores.
 pub fn thread_cpu_ns() -> u64 {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
-    // SAFETY: `ts` is a valid out-pointer; the clock id is a constant.
-    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
-    if rc != 0 {
-        return 0;
-    }
-    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+    platform::thread::cpu_time_ns()
 }
 
 /// Serial-time statistics of one lock instance.
@@ -116,8 +110,7 @@ impl<T> std::ops::DerefMut for TrackedGuard<'_, T> {
 impl<T> Drop for TrackedGuard<'_, T> {
     fn drop(&mut self) {
         self.guard.take();
-        self.held_ns
-            .fetch_add(thread_cpu_ns().saturating_sub(self.acquired_cpu_ns), Ordering::Relaxed);
+        self.held_ns.fetch_add(thread_cpu_ns().saturating_sub(self.acquired_cpu_ns), Ordering::Relaxed);
     }
 }
 

@@ -99,7 +99,13 @@ mod tests {
 
     #[test]
     fn media_time_sums_components() {
-        let m = CostModel { read_line_ns: 1, write_line_ns: 2, clwb_ns: 3, sfence_ns: 4, remote_multiplier_x100: 100 };
+        let m = CostModel {
+            read_line_ns: 1,
+            write_line_ns: 2,
+            clwb_ns: 3,
+            sfence_ns: 4,
+            remote_multiplier_x100: 100,
+        };
         assert_eq!(m.media_time_ns(1, 1, 1, 1, 1, 1), 1 + 1 + 2 + 2 + 3 + 4);
     }
 }

@@ -231,8 +231,11 @@ impl PmemDevice {
         self.check_range(offset, buf.len() as u64)?;
         self.check_protection(offset, buf.len() as u64, AccessKind::Read)?;
         self.store.read(offset, buf);
-        self.stats
-            .record_read(buf.len() as u64, Self::lines(offset, buf.len() as u64), self.is_remote(offset));
+        self.stats.record_read(
+            buf.len() as u64,
+            Self::lines(offset, buf.len() as u64),
+            self.is_remote(offset),
+        );
         Ok(())
     }
 
@@ -262,8 +265,11 @@ impl PmemDevice {
             });
         }
         self.store.write(offset, buf);
-        self.stats
-            .record_write(buf.len() as u64, Self::lines(offset, buf.len() as u64), self.is_remote(offset));
+        self.stats.record_write(
+            buf.len() as u64,
+            Self::lines(offset, buf.len() as u64),
+            self.is_remote(offset),
+        );
         Ok(())
     }
 
@@ -524,9 +530,7 @@ impl PmemDevice {
         let mut result = Ok(());
         self.store.for_each_resident(|index, bytes| {
             if result.is_ok() {
-                result = out
-                    .write_all(&(index as u64).to_le_bytes())
-                    .and_then(|_| out.write_all(bytes));
+                result = out.write_all(&(index as u64).to_le_bytes()).and_then(|_| out.write_all(bytes));
             }
         });
         result?;

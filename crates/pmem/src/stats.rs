@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam::utils::CachePadded;
+use platform::sync::CachePadded;
 
 use crate::cost::CostModel;
 
@@ -52,9 +52,7 @@ macro_rules! bump {
 
 impl DeviceStats {
     pub(crate) fn new() -> DeviceStats {
-        DeviceStats {
-            stripes: (0..STRIPES).map(|_| CachePadded::new(Stripe::default())).collect(),
-        }
+        DeviceStats { stripes: (0..STRIPES).map(|_| CachePadded::new(Stripe::default())).collect() }
     }
 
     pub(crate) fn record_read(&self, bytes: u64, lines: u64, remote: bool) {
@@ -232,11 +230,7 @@ mod tests {
 
     #[test]
     fn remote_fraction_and_media_time() {
-        let s = StatsSnapshot {
-            read_lines_local: 50,
-            read_lines_remote: 50,
-            ..Default::default()
-        };
+        let s = StatsSnapshot { read_lines_local: 50, read_lines_remote: 50, ..Default::default() };
         assert!((s.remote_fraction() - 0.5).abs() < 1e-9);
         assert!(s.media_time_ns(&CostModel::dcpmm()) > 0);
     }

@@ -15,7 +15,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use platform::sync::RwLock;
 
 /// Materialisation granularity of the sparse store (2 MiB).
 pub const CHUNK_SIZE: u64 = 1 << 21;
@@ -42,10 +42,7 @@ pub(crate) struct ChunkStore {
 impl ChunkStore {
     pub(crate) fn new(capacity: u64) -> ChunkStore {
         let n = capacity.div_ceil(CHUNK_SIZE) as usize;
-        ChunkStore {
-            chunks: (0..n).map(|_| RwLock::new(None)).collect(),
-            resident_bytes: AtomicU64::new(0),
-        }
+        ChunkStore { chunks: (0..n).map(|_| RwLock::new(None)).collect(), resident_bytes: AtomicU64::new(0) }
     }
 
     pub(crate) fn resident_bytes(&self) -> u64 {
@@ -84,7 +81,10 @@ impl ChunkStore {
                 *guard = Some(Box::new(Chunk::new_zeroed()));
                 self.resident_bytes.fetch_add(CHUNK_SIZE, Ordering::Relaxed);
             }
-            let guard = parking_lot::RwLockWriteGuard::downgrade(guard);
+            // Write under the held write guard: chunk stores are relaxed
+            // atomics, so excluding concurrent writers here costs nothing
+            // correctness-wise and avoids a drop/reacquire window in which
+            // `punch` could remove the chunk we just materialised.
             chunk_write(&guard.as_deref().expect("just materialised").words, in_chunk, &buf[range]);
         });
     }
@@ -155,7 +155,12 @@ impl ChunkStore {
         }
     }
 
-    fn for_each_segment_len(&self, offset: u64, len: usize, mut f: impl FnMut(usize, usize, std::ops::Range<usize>)) {
+    fn for_each_segment_len(
+        &self,
+        offset: u64,
+        len: usize,
+        mut f: impl FnMut(usize, usize, std::ops::Range<usize>),
+    ) {
         let mut remaining = len;
         let mut device_off = offset;
         let mut buf_off = 0usize;
@@ -196,7 +201,10 @@ fn chunk_write(words: &[AtomicU64], start: usize, buf: &[u8]) {
         let take = (8 - in_word).min(end - pos);
         let word = &words[pos / 8];
         if take == 8 {
-            word.store(u64::from_le_bytes(buf[inp..inp + 8].try_into().expect("8-byte slice")), Ordering::Relaxed);
+            word.store(
+                u64::from_le_bytes(buf[inp..inp + 8].try_into().expect("8-byte slice")),
+                Ordering::Relaxed,
+            );
         } else {
             rmw_bytes(word, in_word, &buf[inp..inp + take]);
         }

@@ -2,8 +2,8 @@
 //! exactly like flat memory, and crash simulation must never lose
 //! persisted bytes nor keep strict-mode unpersisted ones.
 
+use platform::check::{check, Config, Gen};
 use pmem::{CrashMode, DeviceConfig, PmemDevice};
-use proptest::prelude::*;
 
 const CAP: u64 = 8 << 20;
 
@@ -15,21 +15,19 @@ enum Access {
     FetchOr { word: u64, mask: u64 },
 }
 
-fn access_strategy() -> impl Strategy<Value = Access> {
-    prop_oneof![
-        4 => (0u64..CAP - 4096, 1usize..2048, any::<u8>())
-            .prop_map(|(offset, len, fill)| Access::Write { offset, len, fill }),
-        2 => (0u64..CAP - 4096, 1usize..2048).prop_map(|(offset, len)| Access::Read { offset, len }),
-        2 => (0u64..CAP - 4096, 1u64..2048).prop_map(|(offset, len)| Access::Persist { offset, len }),
-        1 => (0u64..(CAP - 8) / 8, any::<u64>()).prop_map(|(w, mask)| Access::FetchOr { word: w * 8, mask }),
-    ]
+fn gen_access(g: &mut Gen) -> Access {
+    match g.weighted(&[4, 2, 2, 1]) {
+        0 => Access::Write { offset: g.u64(0..CAP - 4096), len: g.usize(1..2048), fill: g.any_u8() },
+        1 => Access::Read { offset: g.u64(0..CAP - 4096), len: g.usize(1..2048) },
+        2 => Access::Persist { offset: g.u64(0..CAP - 4096), len: g.u64(1..2048) },
+        _ => Access::FetchOr { word: g.u64(0..(CAP - 8) / 8) * 8, mask: g.any_u64() },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn device_matches_flat_memory(accesses in proptest::collection::vec(access_strategy(), 1..80)) {
+#[test]
+fn device_matches_flat_memory() {
+    check("device_matches_flat_memory", Config::cases(64), |g| {
+        let accesses = g.vec(1..80, gen_access);
         let dev = PmemDevice::new(DeviceConfig::new(CAP));
         let mut shadow = vec![0u8; CAP as usize];
         for access in &accesses {
@@ -42,17 +40,16 @@ proptest! {
                 Access::Read { offset, len } => {
                     let mut buf = vec![0u8; *len];
                     dev.read(*offset, &mut buf).unwrap();
-                    prop_assert_eq!(&buf[..], &shadow[*offset as usize..*offset as usize + len]);
+                    assert_eq!(&buf[..], &shadow[*offset as usize..*offset as usize + len]);
                 }
                 Access::Persist { offset, len } => {
                     dev.persist(*offset, *len).unwrap();
                 }
                 Access::FetchOr { word, mask } => {
                     let prev = dev.fetch_or_u64(*word, *mask).unwrap();
-                    let shadow_prev = u64::from_le_bytes(
-                        shadow[*word as usize..*word as usize + 8].try_into().unwrap(),
-                    );
-                    prop_assert_eq!(prev, shadow_prev);
+                    let shadow_prev =
+                        u64::from_le_bytes(shadow[*word as usize..*word as usize + 8].try_into().unwrap());
+                    assert_eq!(prev, shadow_prev);
                     shadow[*word as usize..*word as usize + 8]
                         .copy_from_slice(&(shadow_prev | mask).to_le_bytes());
                 }
@@ -61,14 +58,15 @@ proptest! {
         // Full sweep equality over the touched prefix.
         let mut buf = vec![0u8; 1 << 16];
         dev.read(0, &mut buf).unwrap();
-        prop_assert_eq!(&buf[..], &shadow[..1 << 16]);
-    }
+        assert_eq!(&buf[..], &shadow[..1 << 16]);
+    });
+}
 
-    #[test]
-    fn strict_crash_keeps_exactly_the_persisted_state(
-        accesses in proptest::collection::vec(access_strategy(), 1..60),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn strict_crash_keeps_exactly_the_persisted_state() {
+    check("strict_crash_keeps_exactly_the_persisted_state", Config::cases(64), |g| {
+        let accesses = g.vec(1..60, gen_access);
+        let seed = g.any_u64();
         let dev = PmemDevice::new(DeviceConfig::new(CAP));
         // Persisted shadow: reflects media after each explicit persist.
         let mut volatile = vec![0u8; CAP as usize];
@@ -83,9 +81,8 @@ proptest! {
                 }
                 Access::FetchOr { word, mask } => {
                     dev.fetch_or_u64(*word, *mask).unwrap();
-                    let prev = u64::from_le_bytes(
-                        volatile[*word as usize..*word as usize + 8].try_into().unwrap(),
-                    );
+                    let prev =
+                        u64::from_le_bytes(volatile[*word as usize..*word as usize + 8].try_into().unwrap());
                     volatile[*word as usize..*word as usize + 8]
                         .copy_from_slice(&(prev | mask).to_le_bytes());
                 }
@@ -102,14 +99,15 @@ proptest! {
         dev.simulate_crash(CrashMode::Strict, seed);
         let mut buf = vec![0u8; 1 << 16];
         dev.read(0, &mut buf).unwrap();
-        prop_assert_eq!(&buf[..], &persisted[..1 << 16]);
-    }
+        assert_eq!(&buf[..], &persisted[..1 << 16]);
+    });
+}
 
-    #[test]
-    fn adversarial_crash_is_linewise_old_or_new(
-        accesses in proptest::collection::vec(access_strategy(), 1..40),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn adversarial_crash_is_linewise_old_or_new() {
+    check("adversarial_crash_is_linewise_old_or_new", Config::cases(64), |g| {
+        let accesses = g.vec(1..40, gen_access);
+        let seed = g.any_u64();
         let dev = PmemDevice::new(DeviceConfig::new(CAP));
         let mut volatile = vec![0u8; 1 << 16];
         let mut persisted = vec![0u8; 1 << 16];
@@ -136,10 +134,10 @@ proptest! {
         for line in 0..(1 << 16) / 64 {
             let range = line * 64..(line + 1) * 64;
             let got = &buf[range.clone()];
-            prop_assert!(
+            assert!(
                 got == &volatile[range.clone()] || got == &persisted[range.clone()],
                 "line {line} is a byte-level mash"
             );
         }
-    }
+    });
 }

@@ -9,10 +9,10 @@
 //! reuse of just-freed memory (§5.5).
 
 use crate::error::{PoseidonError, Result};
+use crate::hashtable;
 use crate::layout::{class_for_size, NUM_CLASSES};
 use crate::persist::{state, HashEntry, SubCtx};
 use crate::undo::UndoSession;
-use crate::hashtable;
 
 /// Appends the FREE record at `rec_off` to the tail of its size class's
 /// list, writing the record (with fresh links) and the list pointers

@@ -16,12 +16,12 @@
 //! its own undo session, so the heap is consistent between merges and a
 //! crash mid-defragmentation loses nothing.
 
+use crate::buddy;
 use crate::error::Result;
 use crate::hashtable;
 use crate::layout::class_for_size;
 use crate::persist::{state, SubCtx};
 use crate::undo::UndoSession;
-use crate::buddy;
 
 /// Merges the FREE block recorded at `rec_off` with its buddy, cascading
 /// to larger classes while possible. Returns the number of merges.

@@ -162,9 +162,8 @@ pub(crate) fn level_of(ctx: &SubCtx<'_>, entry_off: u64) -> usize {
 fn bump_level_count(ctx: &SubCtx<'_>, session: &mut UndoSession<'_>, level: usize, delta: i64) -> Result<()> {
     let off = ctx.level_count_off(level);
     let count: u64 = ctx.dev.read_pod(off)?;
-    let updated = count
-        .checked_add_signed(delta)
-        .ok_or(PoseidonError::Corrupted("hash-level live count underflow"))?;
+    let updated =
+        count.checked_add_signed(delta).ok_or(PoseidonError::Corrupted("hash-level live count underflow"))?;
     session.log_and_write_pod(off, &updated)
 }
 
@@ -236,10 +235,7 @@ mod tests {
         HashEntry { offset: key, size: 64, state: state::ALLOC, ..Default::default() }
     }
 
-    fn with_session<R>(
-        ctx: &SubCtx<'_>,
-        f: impl FnOnce(&mut UndoSession<'_>) -> Result<R>,
-    ) -> Result<R> {
+    fn with_session<R>(ctx: &SubCtx<'_>, f: impl FnOnce(&mut UndoSession<'_>) -> Result<R>) -> Result<R> {
         let mut s = UndoSession::begin(ctx.dev, ctx.undo_area())?;
         let r = f(&mut s)?;
         s.commit()?;
@@ -265,10 +261,8 @@ mod tests {
         // Insert several keys, delete one, others must stay findable even
         // if they shared a probe chain with the deleted one.
         let keys: Vec<u64> = (0..20).map(|i| i * 32).collect();
-        let offs: Vec<u64> = keys
-            .iter()
-            .map(|&k| with_session(&ctx, |s| insert(&ctx, s, entry(k), false)).unwrap())
-            .collect();
+        let offs: Vec<u64> =
+            keys.iter().map(|&k| with_session(&ctx, |s| insert(&ctx, s, entry(k), false)).unwrap()).collect();
         with_session(&ctx, |s| delete(&ctx, s, offs[7])).unwrap();
         assert!(lookup(&ctx, keys[7]).unwrap().is_none());
         for (i, &k) in keys.iter().enumerate() {

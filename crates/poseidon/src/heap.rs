@@ -10,13 +10,13 @@ use pmem::contention::{LockProfile, TrackedMutex};
 use pmem::{numa, PmemDevice};
 
 use crate::error::{PoseidonError, Result};
+use crate::hashtable;
 use crate::layout::{class_for_size, HeapLayout};
 use crate::nvmptr::NvmPtr;
 use crate::persist::{DirEntry, SubCtx, SUPERBLOCK_MAGIC};
 use crate::recovery::{self, RecoveryReport};
 use crate::subheap::{self, SubheapAudit};
 use crate::superblock;
-use crate::hashtable;
 
 /// Configuration for creating or opening a heap.
 #[derive(Debug, Clone, Copy, Default)]
@@ -170,9 +170,7 @@ impl PoseidonHeap {
         if magic == SUPERBLOCK_MAGIC {
             return Err(PoseidonError::Corrupted("device already holds a Poseidon heap"));
         }
-        let n = config
-            .num_subheaps
-            .unwrap_or_else(|| dev.topology().cpus().min(u16::MAX as usize) as u16);
+        let n = config.num_subheaps.unwrap_or_else(|| dev.topology().cpus().min(u16::MAX as usize) as u16);
         let layout = HeapLayout::compute(dev.capacity(), n)?;
         let heap_id = random_heap_id();
         superblock::create(&dev, &layout, heap_id)?;
@@ -204,7 +202,11 @@ impl PoseidonHeap {
         Ok(heap)
     }
 
-    fn protect(dev: &Arc<PmemDevice>, layout: &HeapLayout, config: HeapConfig) -> Result<Option<ProtectionKey>> {
+    fn protect(
+        dev: &Arc<PmemDevice>,
+        layout: &HeapLayout,
+        config: HeapConfig,
+    ) -> Result<Option<ProtectionKey>> {
         if config.unprotected {
             return Ok(None);
         }
@@ -223,9 +225,22 @@ impl PoseidonHeap {
         recovery: RecoveryReport,
     ) -> PoseidonHeap {
         let slots = (0..layout.num_subheaps)
-            .map(|_| SubSlot { lock: TrackedMutex::new(()), created: AtomicBool::new(false), tx_slots: std::sync::atomic::AtomicU32::new(0) })
+            .map(|_| SubSlot {
+                lock: TrackedMutex::new(()),
+                created: AtomicBool::new(false),
+                tx_slots: std::sync::atomic::AtomicU32::new(0),
+            })
             .collect();
-        PoseidonHeap { dev, pkey, heap_id, layout, slots, sb_lock: TrackedMutex::new(()), recovery, ops: OpCounters::default() }
+        PoseidonHeap {
+            dev,
+            pkey,
+            heap_id,
+            layout,
+            slots,
+            sb_lock: TrackedMutex::new(()),
+            recovery,
+            ops: OpCounters::default(),
+        }
     }
 
     /// The underlying device.
@@ -747,10 +762,7 @@ mod tests {
             Err(PoseidonError::Corrupted(_))
         ));
         let blank = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
-        assert!(matches!(
-            PoseidonHeap::load(blank, HeapConfig::new()),
-            Err(PoseidonError::Corrupted(_))
-        ));
+        assert!(matches!(PoseidonHeap::load(blank, HeapConfig::new()), Err(PoseidonError::Corrupted(_))));
     }
 
     #[test]
@@ -834,8 +846,8 @@ mod tests {
     fn unprotected_heap_skips_mpk() {
         let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
         let before = dev.mpk().stats().wrpkru_count;
-        let h = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2).without_protection())
-            .unwrap();
+        let h =
+            PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2).without_protection()).unwrap();
         let p = h.alloc(64).unwrap();
         h.free(p).unwrap();
         assert_eq!(dev.mpk().stats().wrpkru_count, before);
@@ -866,9 +878,6 @@ mod tests {
     fn too_large_and_zero_requests_fail_cleanly() {
         let h = heap();
         assert!(matches!(h.alloc(0), Err(PoseidonError::ZeroSize)));
-        assert!(matches!(
-            h.alloc(h.layout().user_size * 2),
-            Err(PoseidonError::TooLarge { .. })
-        ));
+        assert!(matches!(h.alloc(h.layout().user_size * 2), Err(PoseidonError::TooLarge { .. })));
     }
 }

@@ -241,14 +241,8 @@ mod tests {
 
     #[test]
     fn too_small_devices_are_rejected() {
-        assert!(matches!(
-            HeapLayout::compute(SB_REGION_SIZE, 1),
-            Err(PoseidonError::BadGeometry(_))
-        ));
-        assert!(matches!(
-            HeapLayout::compute(1 << 20, 64),
-            Err(PoseidonError::BadGeometry(_))
-        ));
+        assert!(matches!(HeapLayout::compute(SB_REGION_SIZE, 1), Err(PoseidonError::BadGeometry(_))));
+        assert!(matches!(HeapLayout::compute(1 << 20, 64), Err(PoseidonError::BadGeometry(_))));
         assert!(matches!(HeapLayout::compute(1 << 30, 0), Err(PoseidonError::BadGeometry(_))));
     }
 

@@ -25,7 +25,12 @@ pub(crate) fn count(ctx: &SubCtx<'_>, slot: usize) -> Result<u64> {
 /// # Errors
 ///
 /// [`PoseidonError::TxTooLarge`] if the slot is full.
-pub(crate) fn append(ctx: &SubCtx<'_>, session: &mut UndoSession<'_>, slot: usize, ptr: NvmPtr) -> Result<()> {
+pub(crate) fn append(
+    ctx: &SubCtx<'_>,
+    session: &mut UndoSession<'_>,
+    slot: usize,
+    ptr: NvmPtr,
+) -> Result<()> {
     let n = count(ctx, slot)?;
     if n as usize >= MICRO_LOG_CAPACITY {
         return Err(PoseidonError::TxTooLarge { max: MICRO_LOG_CAPACITY });
@@ -120,8 +125,10 @@ mod tests {
         let (dev, layout) = setup();
         let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
         let last = MICRO_SLOTS - 1;
-        assert!(ctx.micro_entry_off(last, MICRO_LOG_CAPACITY as u64 - 1) + 16
-            <= ctx.meta_base() + crate::layout::SH_TABLE_OFF);
+        assert!(
+            ctx.micro_entry_off(last, MICRO_LOG_CAPACITY as u64 - 1) + 16
+                <= ctx.meta_base() + crate::layout::SH_TABLE_OFF
+        );
         for slot in 0..MICRO_SLOTS - 1 {
             assert!(
                 ctx.micro_entry_off(slot, MICRO_LOG_CAPACITY as u64 - 1) + 16

@@ -155,11 +155,7 @@ impl<'a> SubCtx<'a> {
     /// This sub-heap's undo-log area.
     #[inline]
     pub fn undo_area(&self) -> UndoArea {
-        UndoArea {
-            base: self.meta_base() + SH_UNDO_OFF,
-            size: SH_UNDO_SIZE,
-            gen_field: self.undo_gen_off(),
-        }
+        UndoArea { base: self.meta_base() + SH_UNDO_OFF, size: SH_UNDO_SIZE, gen_field: self.undo_gen_off() }
     }
 
     /// Device offset of buddy-list head slot `class`.

@@ -32,9 +32,7 @@ pub struct RecoveryReport {
 impl RecoveryReport {
     /// Whether the previous session ended in a crash mid-operation.
     pub fn crash_detected(&self) -> bool {
-        self.superblock_undo_replayed
-            || self.subheap_undos_replayed > 0
-            || self.tx_allocations_reverted > 0
+        self.superblock_undo_replayed || self.subheap_undos_replayed > 0 || self.tx_allocations_reverted > 0
     }
 }
 

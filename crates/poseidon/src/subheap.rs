@@ -131,12 +131,8 @@ fn try_alloc(
         let half = class_size(class);
         // The upper half becomes a new free block; the lower half
         // continues splitting.
-        let mut upper = HashEntry {
-            offset: rec.offset + half,
-            size: half,
-            state: state::FREE,
-            ..Default::default()
-        };
+        let mut upper =
+            HashEntry { offset: rec.offset + half, size: half, state: state::FREE, ..Default::default() };
         let upper_off = hashtable::insert(ctx, &mut session, upper, allow_activate)?;
         buddy::push_tail(ctx, &mut session, upper_off, &mut upper)?;
         rec.size = half;
@@ -420,10 +416,7 @@ mod tests {
         create(&ctx, 0).unwrap();
         let (class, _) = class_for_size(64).unwrap();
         let off = alloc_block(&ctx, class, None).unwrap();
-        assert!(matches!(
-            free_block(&ctx, off + 8),
-            Err(PoseidonError::InvalidFree { .. })
-        ));
+        assert!(matches!(free_block(&ctx, off + 8), Err(PoseidonError::InvalidFree { .. })));
         free_block(&ctx, off).unwrap();
         assert!(matches!(free_block(&ctx, off), Err(PoseidonError::DoubleFree { .. })));
         // The heap is still intact.

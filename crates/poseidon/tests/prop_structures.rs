@@ -5,46 +5,48 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use platform::check::{check, Config};
 use pmem::{DeviceConfig, PmemDevice};
 use poseidon::{class_for_size, HeapConfig, NvmPtr, PoseidonError, PoseidonHeap, MIN_BLOCK};
-use proptest::prelude::*;
 
 fn heap() -> PoseidonHeap {
     let dev = Arc::new(PmemDevice::new(DeviceConfig::new(48 << 20)));
     PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(1)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
-
-    #[test]
-    fn blocks_are_class_sized_and_aligned(sizes in proptest::collection::vec(1u64..100_000, 1..60)) {
+#[test]
+fn blocks_are_class_sized_and_aligned() {
+    check("blocks_are_class_sized_and_aligned", Config::cases(40), |g| {
+        let sizes = g.vec(1..60, |g| g.u64(1..100_000));
         let heap = heap();
         let mut live: Vec<(NvmPtr, u64)> = Vec::new();
         for size in sizes {
             match heap.alloc(size) {
                 Ok(p) => {
                     let (_, rounded) = class_for_size(size).unwrap();
-                    prop_assert_eq!(p.offset() % rounded, 0, "block not aligned to its class");
+                    assert_eq!(p.offset() % rounded, 0, "block not aligned to its class");
                     live.push((p, rounded));
                 }
                 Err(PoseidonError::NoSpace { .. }) => break,
-                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                Err(e) => panic!("{e}"),
             }
         }
         // Distinct, non-overlapping (sorted by offset).
         live.sort_by_key(|(p, _)| p.offset());
         for pair in live.windows(2) {
-            prop_assert!(pair[0].0.offset() + pair[0].1 <= pair[1].0.offset());
+            assert!(pair[0].0.offset() + pair[0].1 <= pair[1].0.offset());
         }
         for (p, _) in live {
             heap.free(p).unwrap();
         }
         heap.audit().unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn free_bytes_are_conserved(ops in proptest::collection::vec((1u64..16_384, any::<bool>()), 1..80)) {
+#[test]
+fn free_bytes_are_conserved() {
+    check("free_bytes_are_conserved", Config::cases(40), |g| {
+        let ops = g.vec(1..80, |g| (g.u64(1..16_384), g.bool()));
         let heap = heap();
         // Prime the sub-heap, then capture the baseline.
         let warm = heap.alloc(32).unwrap();
@@ -65,17 +67,18 @@ proptest! {
             // change (blocks only split and merge).
             let audits = heap.audit().unwrap();
             let total: u64 = audits.iter().map(|(_, a)| a.free_bytes + a.alloc_bytes).sum();
-            prop_assert_eq!(total, baseline, "byte conservation violated");
+            assert_eq!(total, baseline, "byte conservation violated");
         }
         for p in live {
             heap.free(p).unwrap();
         }
-    }
+    });
+}
 
-    #[test]
-    fn shadow_model_agreement(
-        plan in proptest::collection::vec((1u64..8_192, 0usize..8), 1..100)
-    ) {
+#[test]
+fn shadow_model_agreement() {
+    check("shadow_model_agreement", Config::cases(40), |g| {
+        let plan = g.vec(1..100, |g| (g.u64(1..8_192), g.usize(0..8)));
         // A shadow allocator that only tracks {ptr -> size}: Poseidon must
         // agree on every outcome (alloc succeeds while space remains;
         // freeing live succeeds once; freeing again fails).
@@ -85,7 +88,7 @@ proptest! {
             if action < 5 {
                 if let Ok(p) = heap.alloc(size) {
                     let prev = shadow.insert(p.offset(), size);
-                    prop_assert!(prev.is_none(), "allocator returned a live offset");
+                    assert!(prev.is_none(), "allocator returned a live offset");
                 }
             } else if let Some(&offset) = shadow.keys().next() {
                 shadow.remove(&offset);
@@ -93,24 +96,30 @@ proptest! {
                 heap.free(ptr).unwrap();
                 // Second free must be rejected.
                 let double = matches!(heap.free(ptr), Err(PoseidonError::DoubleFree { .. }));
-                prop_assert!(double, "second free not rejected");
+                assert!(double, "second free not rejected");
             }
         }
         heap.audit().unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn min_block_rounding_is_tight(size in 1u64..1_000_000) {
+#[test]
+fn min_block_rounding_is_tight() {
+    check("min_block_rounding_is_tight", Config::cases(40), |g| {
+        let size = g.u64(1..1_000_000);
         let (_class, rounded) = class_for_size(size).unwrap();
-        prop_assert!(rounded >= size);
-        prop_assert!(rounded >= MIN_BLOCK);
-        prop_assert!(rounded.is_power_of_two());
+        assert!(rounded >= size);
+        assert!(rounded >= MIN_BLOCK);
+        assert!(rounded.is_power_of_two());
         // Tight: half of it would not fit (unless clamped at MIN_BLOCK).
-        prop_assert!(rounded == MIN_BLOCK || rounded / 2 < size);
-    }
+        assert!(rounded == MIN_BLOCK || rounded / 2 < size);
+    });
+}
 
-    #[test]
-    fn tx_commit_and_abort_are_exact(batches in proptest::collection::vec((1u64..512, any::<bool>()), 1..20)) {
+#[test]
+fn tx_commit_and_abort_are_exact() {
+    check("tx_commit_and_abort_are_exact", Config::cases(40), |g| {
+        let batches = g.vec(1..20, |g| (g.u64(1..512), g.bool()));
         let heap = heap();
         let mut committed: Vec<NvmPtr> = Vec::new();
         for (size, commit) in batches {
@@ -124,7 +133,7 @@ proptest! {
                 // Aborted allocations are gone: freeing them is rejected.
                 let gone_a = matches!(heap.free(a), Err(PoseidonError::DoubleFree { .. }));
                 let gone_b = matches!(heap.free(b), Err(PoseidonError::DoubleFree { .. }));
-                prop_assert!(gone_a && gone_b, "aborted tx allocations still live");
+                assert!(gone_a && gone_b, "aborted tx allocations still live");
             }
         }
         for p in committed {
@@ -132,7 +141,7 @@ proptest! {
         }
         let audits = heap.audit().unwrap();
         for (_, a) in audits {
-            prop_assert_eq!(a.alloc_bytes, 0);
+            assert_eq!(a.alloc_bytes, 0);
         }
-    }
+    });
 }

@@ -49,11 +49,9 @@ impl std::fmt::Display for PtxError {
             PtxError::JournalFull { max } => {
                 write!(f, "transaction journal full ({max} allocations/frees)")
             }
-            PtxError::WriteOutOfBlock { offset, len, block } => write!(
-                f,
-                "write [{offset}, {}) runs past the {block}-byte block",
-                offset + len
-            ),
+            PtxError::WriteOutOfBlock { offset, len, block } => {
+                write!(f, "write [{offset}, {}) runs past the {block}-byte block", offset + len)
+            }
             PtxError::NoDescriptor => f.write_str("heap root does not lead to a ptx descriptor"),
             PtxError::RootOccupied => {
                 f.write_str("heap root already set; open the pool instead of creating it")

@@ -133,13 +133,7 @@ impl PtxPool {
             dev.persist(ctx_off, std::mem::size_of::<CtxHeader>() as u64)?;
         }
         heap.set_root(descr_ptr)?;
-        Ok(PtxPool {
-            heap,
-            descr,
-            descr_ptr,
-            claimed: AtomicU32::new(0),
-            recovery: PtxRecovery::default(),
-        })
+        Ok(PtxPool { heap, descr, descr_ptr, claimed: AtomicU32::new(0), recovery: PtxRecovery::default() })
     }
 
     /// Opens the pool anchored at `heap`'s root pointer, completing or
@@ -160,13 +154,8 @@ impl PtxPool {
         if header.magic != DESCR_MAGIC || header.contexts != TX_CONTEXTS as u64 {
             return Err(PtxError::NoDescriptor);
         }
-        let mut pool = PtxPool {
-            heap,
-            descr,
-            descr_ptr,
-            claimed: AtomicU32::new(0),
-            recovery: PtxRecovery::default(),
-        };
+        let mut pool =
+            PtxPool { heap, descr, descr_ptr, claimed: AtomicU32::new(0), recovery: PtxRecovery::default() };
         let mut report = PtxRecovery::default();
         for ctx in 0..TX_CONTEXTS {
             let ctx_header: CtxHeader = pool.heap.device().read_pod(pool.ctx_off(ctx))?;
@@ -610,8 +599,7 @@ mod tests {
 
         // Root and data restored; the doomed allocation is gone.
         assert_eq!(pool.root().unwrap(), keeper);
-        let value: u64 =
-            pool.heap().device().read_pod(pool.heap().raw_offset(keeper).unwrap()).unwrap();
+        let value: u64 = pool.heap().device().read_pod(pool.heap().raw_offset(keeper).unwrap()).unwrap();
         assert_eq!(value, 1);
         for (_, audit) in pool.heap().audit().unwrap() {
             // Only the descriptor and keeper remain allocated.
@@ -653,8 +641,7 @@ mod tests {
             });
         }));
         assert!(outcome.is_err());
-        let value: u64 =
-            pool.heap().device().read_pod(pool.heap().raw_offset(keeper).unwrap()).unwrap();
+        let value: u64 = pool.heap().device().read_pod(pool.heap().raw_offset(keeper).unwrap()).unwrap();
         assert_eq!(value, 7, "panic rollback failed");
         // Pool still works.
         pool.run(|tx| tx.alloc(32).map(|_| ())).unwrap();
@@ -690,10 +677,10 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        crossbeam::thread::scope(|s| {
+        platform::thread::scope(|s| {
             for (thread, &cell) in cells.iter().enumerate() {
                 let pool = pool.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     pmem::numa::set_current_cpu(thread);
                     for _ in 0..150 {
                         pool.run(|tx| {
@@ -708,11 +695,9 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for &cell in &cells {
-            let v: u64 =
-                pool.heap().device().read_pod(pool.heap().raw_offset(cell).unwrap()).unwrap();
+            let v: u64 = pool.heap().device().read_pod(pool.heap().raw_offset(cell).unwrap()).unwrap();
             assert_eq!(v, 150);
         }
         pool.heap().audit().unwrap();
@@ -750,8 +735,7 @@ mod tests {
         let pool = PtxPool::open(heap).unwrap();
         // Whatever instant the crash hit, the committed state is intact.
         assert_eq!(pool.root().unwrap(), keeper);
-        let value: u64 =
-            pool.heap().device().read_pod(pool.heap().raw_offset(keeper).unwrap()).unwrap();
+        let value: u64 = pool.heap().device().read_pod(pool.heap().raw_offset(keeper).unwrap()).unwrap();
         assert_eq!(value, 5);
         pool.heap().audit().unwrap();
     }
@@ -799,10 +783,7 @@ mod tests {
             } else {
                 // New world: new value, old root freed (roll-forward done).
                 assert_eq!(value, 222, "crash_at {crash_at}: new world torn");
-                assert!(
-                    pool.heap().block_size(old_root).is_err(),
-                    "crash_at {crash_at}: deferred free lost"
-                );
+                assert!(pool.heap().block_size(old_root).is_err(), "crash_at {crash_at}: deferred free lost");
             }
             let _ = attempted;
             pool.heap().audit().unwrap();

@@ -48,12 +48,12 @@ where
     let mut total_ops = 0;
     let mut cpu_ns = 0;
     let mut elapsed = Duration::ZERO;
-    crossbeam::thread::scope(|scope| {
+    platform::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|thread_index| {
                 let barrier = &barrier;
                 let work = &work;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     numa::set_current_cpu(thread_index);
                     barrier.wait();
                     let cpu0 = pmem::contention::thread_cpu_ns();
@@ -70,8 +70,7 @@ where
             cpu_ns += cpu;
         }
         elapsed = start.elapsed();
-    })
-    .expect("benchmark scope");
+    });
     RunResult { total_ops, elapsed, threads, cpu_ns }
 }
 
@@ -87,13 +86,13 @@ where
     let mut total_ops = 0;
     let mut cpu_ns = 0;
     let mut elapsed = Duration::ZERO;
-    crossbeam::thread::scope(|scope| {
+    platform::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|thread_index| {
                 let barrier = &barrier;
                 let work = &work;
                 let stop = &stop;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     numa::set_current_cpu(thread_index);
                     barrier.wait();
                     let cpu0 = pmem::contention::thread_cpu_ns();
@@ -112,47 +111,15 @@ where
             cpu_ns += cpu;
         }
         elapsed = start.elapsed();
-    })
-    .expect("benchmark scope");
+    });
     RunResult { total_ops, elapsed, threads, cpu_ns }
 }
 
-/// A tiny deterministic xorshift RNG for workloads (no global state, one
-/// per thread, reproducible across runs).
-#[derive(Debug, Clone)]
-pub struct Xorshift {
-    state: u64,
-}
-
-impl Xorshift {
-    /// Seeds the generator (0 is remapped to a fixed odd constant).
-    pub fn new(seed: u64) -> Xorshift {
-        Xorshift { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
-    }
-
-    /// Next pseudo-random u64.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state ^= self.state << 13;
-        self.state ^= self.state >> 7;
-        self.state ^= self.state << 17;
-        self.state
-    }
-
-    /// Uniform value in `[0, bound)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bound == 0`.
-    pub fn below(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0);
-        self.next_u64() % bound
-    }
-
-    /// Uniform f64 in `[0, 1)`.
-    pub fn unit_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+/// The per-thread workload RNG (no global state, one per thread,
+/// reproducible across runs). An alias for [`platform::rng::Rng`], which
+/// keeps the exact xorshift64 sequence this crate has always produced, so
+/// op-stream digests are stable across the dependency refactor.
+pub use platform::rng::Rng as Xorshift;
 
 #[cfg(test)]
 mod tests {

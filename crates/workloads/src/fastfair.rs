@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use platform::sync::{Mutex, RwLock};
 use pmem::pod_struct;
 
 use crate::alloc_api::{AllocError, PersistentAllocator};
@@ -229,7 +229,8 @@ impl<A: PersistentAllocator + ?Sized> FastFair<A> {
             // Split the leaf.
             let right_off = Self::alloc_node(&self.alloc, true)?;
             let mid = FANOUT / 2;
-            let mut right = Node { is_leaf: 1, count: (FANOUT - mid) as u32, next: node.next, ..Default::default() };
+            let mut right =
+                Node { is_leaf: 1, count: (FANOUT - mid) as u32, next: node.next, ..Default::default() };
             right.keys[..FANOUT - mid].copy_from_slice(&node.keys[mid..FANOUT]);
             right.ptrs[..FANOUT - mid].copy_from_slice(&node.ptrs[mid..FANOUT]);
             self.write_node(right_off, &right);
@@ -445,10 +446,10 @@ mod tests {
     #[test]
     fn concurrent_inserts_and_reads() {
         let t = Arc::new(tree());
-        crossbeam::thread::scope(|s| {
+        platform::thread::scope(|s| {
             for thread in 0..4u64 {
                 let t = t.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     pmem::numa::set_current_cpu(thread as usize);
                     for i in 0..500u64 {
                         let key = thread * 10_000 + i;
@@ -457,8 +458,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(t.len(), 2000);
         for thread in 0..4u64 {
             for i in 0..500u64 {

@@ -59,9 +59,12 @@ pub fn run<A: PersistentAllocator + ?Sized>(alloc: &A, config: KruskalConfig) ->
         let mut ops = 0u64;
         let mut total_weight = 0u64;
         for _ in 0..config.iterations {
-            let edges = alloc.alloc(BUF_SIZE).unwrap_or_else(|e| panic!("{}: kruskal alloc: {e}", alloc.name()));
-            let parents = alloc.alloc(BUF_SIZE).unwrap_or_else(|e| panic!("{}: kruskal alloc: {e}", alloc.name()));
-            let ranks = alloc.alloc(BUF_SIZE).unwrap_or_else(|e| panic!("{}: kruskal alloc: {e}", alloc.name()));
+            let edges =
+                alloc.alloc(BUF_SIZE).unwrap_or_else(|e| panic!("{}: kruskal alloc: {e}", alloc.name()));
+            let parents =
+                alloc.alloc(BUF_SIZE).unwrap_or_else(|e| panic!("{}: kruskal alloc: {e}", alloc.name()));
+            let ranks =
+                alloc.alloc(BUF_SIZE).unwrap_or_else(|e| panic!("{}: kruskal alloc: {e}", alloc.name()));
 
             // Populate the complete graph with random weights.
             let mut edge_list = Vec::with_capacity(nedges);

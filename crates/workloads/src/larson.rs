@@ -6,7 +6,7 @@
 //! size, store it. This exercises cross-thread frees, the case §5.7
 //! identifies as Poseidon's only source of sub-heap lock contention.
 
-use parking_lot::Mutex;
+use platform::sync::Mutex;
 
 use crate::alloc_api::PersistentAllocator;
 use crate::driver::{run_timed, RunResult, Xorshift};
@@ -32,14 +32,7 @@ pub struct LarsonConfig {
 impl LarsonConfig {
     /// Paper-like defaults at the given scale.
     pub fn new(threads: usize, duration: Duration) -> LarsonConfig {
-        LarsonConfig {
-            threads,
-            duration,
-            slots_per_thread: 512,
-            min_size: 8,
-            max_size: 512,
-            seed: 0x1A250,
-        }
+        LarsonConfig { threads, duration, slots_per_thread: 512, min_size: 8, max_size: 512, seed: 0x1A250 }
     }
 }
 
@@ -81,7 +74,7 @@ pub fn run<A: PersistentAllocator + ?Sized>(alloc: &A, config: LarsonConfig) -> 
     result
 }
 
-/// Operation-bounded variant (for criterion, which needs deterministic
+/// Operation-bounded variant (for the bench harness, which needs deterministic
 /// work per iteration): every thread performs exactly `ops_per_thread`
 /// slot replacements.
 ///
@@ -138,8 +131,7 @@ mod tests {
     #[test]
     fn poseidon_balanced_after_drain() {
         let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(128 << 20)));
-        let heap =
-            poseidon::PoseidonHeap::create(dev, poseidon::HeapConfig::new().with_subheaps(4)).unwrap();
+        let heap = poseidon::PoseidonHeap::create(dev, poseidon::HeapConfig::new().with_subheaps(4)).unwrap();
         run(&heap, LarsonConfig::new(4, Duration::from_millis(100)));
         for (sub, audit) in heap.audit().unwrap() {
             assert_eq!(audit.alloc_bytes, 0, "sub-heap {sub} leaked after drain");

@@ -94,9 +94,7 @@ pub fn measure<A: PersistentAllocator + ?Sized>(
     let mut resident = Vec::with_capacity(config.live_objects as usize);
     for _ in 0..config.live_objects {
         resident.push(
-            alloc
-                .alloc(config.size)
-                .unwrap_or_else(|e| panic!("{}: latency fill failed: {e}", alloc.name())),
+            alloc.alloc(config.size).unwrap_or_else(|e| panic!("{}: latency fill failed: {e}", alloc.name())),
         );
     }
     if config.fragment {
@@ -120,9 +118,7 @@ pub fn measure<A: PersistentAllocator + ?Sized>(
             .alloc(config.size)
             .unwrap_or_else(|e| panic!("{}: latency alloc failed: {e}", alloc.name()));
         let t1 = pmem::contention::thread_cpu_ns();
-        alloc
-            .free(offset)
-            .unwrap_or_else(|e| panic!("{}: latency free failed: {e}", alloc.name()));
+        alloc.free(offset).unwrap_or_else(|e| panic!("{}: latency free failed: {e}", alloc.name()));
         let t2 = pmem::contention::thread_cpu_ns();
         alloc_ns.push(t1 - t0);
         free_ns.push(t2 - t1);

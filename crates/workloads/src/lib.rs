@@ -22,8 +22,8 @@ pub mod alloc_api;
 pub mod driver;
 pub mod fastfair;
 pub mod kruskal;
-pub mod latency;
 pub mod larson;
+pub mod latency;
 pub mod micro;
 pub mod nqueens;
 pub mod ycsb;

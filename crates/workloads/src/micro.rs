@@ -48,8 +48,7 @@ pub fn run<A: PersistentAllocator + ?Sized>(alloc: &A, config: MicroConfig) -> R
             while allocs_left > 0 || frees_left > 0 {
                 // Alloc when we must (nothing live to free, or frees done)
                 // or on a coin flip; otherwise free a random live block.
-                let do_alloc =
-                    allocs_left > 0 && (live.is_empty() || frees_left == 0 || rng.below(2) == 0);
+                let do_alloc = allocs_left > 0 && (live.is_empty() || frees_left == 0 || rng.below(2) == 0);
                 if do_alloc {
                     let offset = alloc
                         .alloc(config.size)
@@ -95,8 +94,7 @@ mod tests {
     #[test]
     fn poseidon_heap_is_consistent_after_the_run() {
         let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(128 << 20)));
-        let heap =
-            poseidon::PoseidonHeap::create(dev, poseidon::HeapConfig::new().with_subheaps(4)).unwrap();
+        let heap = poseidon::PoseidonHeap::create(dev, poseidon::HeapConfig::new().with_subheaps(4)).unwrap();
         run(&heap, MicroConfig::new(1024, 4, 400));
         let audits = heap.audit().unwrap();
         for (sub, audit) in audits {

@@ -34,12 +34,8 @@ fn solve(columns: u32, left_diagonals: u32, right_diagonals: u32, full: u32) -> 
     while candidates != 0 {
         let place = candidates & candidates.wrapping_neg();
         candidates -= place;
-        solutions += solve(
-            columns | place,
-            (left_diagonals | place) << 1,
-            (right_diagonals | place) >> 1,
-            full,
-        );
+        solutions +=
+            solve(columns | place, (left_diagonals | place) << 1, (right_diagonals | place) >> 1, full);
     }
     solutions
 }

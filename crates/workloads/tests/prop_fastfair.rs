@@ -4,8 +4,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use platform::check::{check, Config, Gen};
 use pmem::{DeviceConfig, PmemDevice};
-use proptest::prelude::*;
 use workloads::alloc_api::AllocatorKind;
 use workloads::fastfair::FastFair;
 
@@ -16,22 +16,20 @@ enum TreeOp {
     Update(u64, u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = TreeOp> {
+fn gen_op(g: &mut Gen) -> TreeOp {
     // Small key space so operations collide often (updates of existing
     // keys, repeat inserts).
-    let key = 0u64..500;
-    prop_oneof![
-        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
-        3 => key.clone().prop_map(TreeOp::Get),
-        2 => (key, any::<u64>()).prop_map(|(k, v)| TreeOp::Update(k, v)),
-    ]
+    match g.weighted(&[4, 3, 2]) {
+        0 => TreeOp::Insert(g.u64(0..500), g.any_u64()),
+        1 => TreeOp::Get(g.u64(0..500)),
+        _ => TreeOp::Update(g.u64(0..500), g.any_u64()),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn agrees_with_btreemap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+#[test]
+fn agrees_with_btreemap() {
+    check("agrees_with_btreemap", Config::cases(32), |g| {
+        let ops = g.vec(1..400, gen_op);
         let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
         let alloc = AllocatorKind::Poseidon.build(dev);
         let tree = FastFair::new(alloc).unwrap();
@@ -43,30 +41,31 @@ proptest! {
                     // Some(0) must match the model.
                     let old = tree.insert(k, v).unwrap();
                     let model_old = model.insert(k, v);
-                    prop_assert_eq!(old, model_old, "insert({}) old-value mismatch", k);
+                    assert_eq!(old, model_old, "insert({k}) old-value mismatch");
                 }
                 TreeOp::Get(k) => {
-                    prop_assert_eq!(tree.get(k), model.get(&k).copied(), "get({}) mismatch", k);
+                    assert_eq!(tree.get(k), model.get(&k).copied(), "get({k}) mismatch");
                 }
                 TreeOp::Update(k, v) => {
                     let old = tree.update(k, v);
                     let model_old = if model.contains_key(&k) { model.insert(k, v) } else { None };
-                    prop_assert_eq!(old, model_old, "update({}) mismatch", k);
+                    assert_eq!(old, model_old, "update({k}) mismatch");
                 }
             }
         }
-        prop_assert_eq!(tree.len(), model.len() as u64);
+        assert_eq!(tree.len(), model.len() as u64);
         // Final sweep: every model key present with the right value.
         for (k, v) in model {
-            prop_assert_eq!(tree.get(k), Some(v));
+            assert_eq!(tree.get(k), Some(v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn dense_sequential_and_sparse_random_keys(
-        dense in 1u64..600,
-        sparse in proptest::collection::hash_set(any::<u64>(), 0..120),
-    ) {
+#[test]
+fn dense_sequential_and_sparse_random_keys() {
+    check("dense_sequential_and_sparse_random_keys", Config::cases(32), |g| {
+        let dense = g.u64(1..600);
+        let sparse: std::collections::HashSet<u64> = g.vec(1..121, |g| g.any_u64()).into_iter().collect();
         let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
         let alloc = AllocatorKind::Makalu.build(dev);
         let tree = FastFair::new(alloc).unwrap();
@@ -78,12 +77,12 @@ proptest! {
         }
         for k in 0..dense {
             let expect = if sparse.contains(&k) { k ^ 0xFF } else { !k };
-            prop_assert_eq!(tree.get(k), Some(expect));
+            assert_eq!(tree.get(k), Some(expect));
         }
         for &k in &sparse {
             if k >= dense {
-                prop_assert_eq!(tree.get(k), Some(k ^ 0xFF));
+                assert_eq!(tree.get(k), Some(k ^ 0xFF));
             }
         }
-    }
+    });
 }

@@ -91,11 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 pool = PtxPool::open(heap)?;
                 accounts = PMap::open(pool.root()?);
                 let total = total_balance(&pool, &accounts);
-                assert_eq!(
-                    total,
-                    HOLDERS * OPENING,
-                    "crash at round {round} tore a transfer: total {total}"
-                );
+                assert_eq!(total, HOLDERS * OPENING, "crash at round {round} tore a transfer: total {total}");
                 println!(
                     "  crash #{crashes} at round {round}: recovered ({:?}), total still {total}",
                     pool.recovery_report()

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use pmem::{CrashMode, DeviceConfig, PmemDevice};
-use poseidon::{HeapConfig, PoseidonHeap, PoseidonError};
+use poseidon::{HeapConfig, PoseidonError, PoseidonHeap};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dev = Arc::new(PmemDevice::new(DeviceConfig::new(128 << 20)));

@@ -129,10 +129,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // And the heap is structurally intact.
         heap.audit()?;
         println!("  structural audit: clean — no attack touched the metadata");
-        println!(
-            "  (MPK denied {} accesses in total)",
-            dev.mpk().stats().violations
-        );
+        println!("  (MPK denied {} accesses in total)", dev.mpk().stats().violations);
     }
 
     println!("\nsafety_demo complete");

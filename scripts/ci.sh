@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate, run fully offline. The workspace has no external
+# dependencies (see DESIGN.md §5), so CARGO_NET_OFFLINE=true must never
+# cause a failure — if it does, a crates.io dependency crept back in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -70,7 +70,8 @@ fn run_case(case_seed: u64, with_tx: bool) -> Result<(), String> {
         PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(1 + rng.below(3) as u16))
             .map_err(|e| format!("create: {e}"))?,
     );
-    let pool = if with_tx { Some(PtxPool::create(heap.clone()).map_err(|e| format!("pool: {e}"))?) } else { None };
+    let pool =
+        if with_tx { Some(PtxPool::create(heap.clone()).map_err(|e| format!("pool: {e}"))?) } else { None };
 
     // Random workload with a random crash point.
     dev.arm_crash_after(rng.below(500));
@@ -128,7 +129,8 @@ fn run_case(case_seed: u64, with_tx: bool) -> Result<(), String> {
     // Power-cycle (half strict, half adversarial) and recover.
     let mode = if rng.below(2) == 0 { CrashMode::Strict } else { CrashMode::Adversarial };
     dev.simulate_crash(mode, rng.next());
-    let heap = Arc::new(PoseidonHeap::load(dev.clone(), HeapConfig::new()).map_err(|e| format!("load: {e}"))?);
+    let heap =
+        Arc::new(PoseidonHeap::load(dev.clone(), HeapConfig::new()).map_err(|e| format!("load: {e}"))?);
     heap.audit().map_err(|e| format!("audit: {e}"))?;
     if with_tx && !heap.root().map_err(|e| format!("root: {e}"))?.is_null() {
         let pool = PtxPool::open(heap.clone()).map_err(|e| format!("ptx open: {e}"))?;

@@ -25,8 +25,8 @@
 
 pub use baselines;
 pub use mpk;
-pub use pmem;
 pub use pds;
+pub use pmem;
 pub use poseidon;
 pub use ptx;
 pub use workloads;

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/baselines-67962336c77d0b14.d: crates/baselines/src/lib.rs crates/baselines/src/avl.rs crates/baselines/src/error.rs crates/baselines/src/makalu_sim.rs crates/baselines/src/pmdk_sim.rs
+
+/root/repo/target/debug/deps/libbaselines-67962336c77d0b14.rlib: crates/baselines/src/lib.rs crates/baselines/src/avl.rs crates/baselines/src/error.rs crates/baselines/src/makalu_sim.rs crates/baselines/src/pmdk_sim.rs
+
+/root/repo/target/debug/deps/libbaselines-67962336c77d0b14.rmeta: crates/baselines/src/lib.rs crates/baselines/src/avl.rs crates/baselines/src/error.rs crates/baselines/src/makalu_sim.rs crates/baselines/src/pmdk_sim.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/avl.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/makalu_sim.rs:
+crates/baselines/src/pmdk_sim.rs:

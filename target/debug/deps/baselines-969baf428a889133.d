@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-969baf428a889133.d: crates/baselines/src/lib.rs crates/baselines/src/avl.rs crates/baselines/src/error.rs crates/baselines/src/makalu_sim.rs crates/baselines/src/pmdk_sim.rs
+
+/root/repo/target/debug/deps/baselines-969baf428a889133: crates/baselines/src/lib.rs crates/baselines/src/avl.rs crates/baselines/src/error.rs crates/baselines/src/makalu_sim.rs crates/baselines/src/pmdk_sim.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/avl.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/makalu_sim.rs:
+crates/baselines/src/pmdk_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-9f827458b29215f5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-9f827458b29215f5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

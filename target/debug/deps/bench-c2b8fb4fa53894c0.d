@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-c2b8fb4fa53894c0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-c2b8fb4fa53894c0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-c2b8fb4fa53894c0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

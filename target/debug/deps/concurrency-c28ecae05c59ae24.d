@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-c28ecae05c59ae24.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-c28ecae05c59ae24: tests/concurrency.rs
+
+tests/concurrency.rs:

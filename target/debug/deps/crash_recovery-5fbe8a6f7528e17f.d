@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-5fbe8a6f7528e17f.d: tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-5fbe8a6f7528e17f: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crashfuzz-1dc5667edde0a00e.d: src/bin/crashfuzz.rs
+
+/root/repo/target/debug/deps/crashfuzz-1dc5667edde0a00e: src/bin/crashfuzz.rs
+
+src/bin/crashfuzz.rs:

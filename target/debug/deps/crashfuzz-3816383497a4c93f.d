@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crashfuzz-3816383497a4c93f.d: src/bin/crashfuzz.rs
+
+/root/repo/target/debug/deps/crashfuzz-3816383497a4c93f: src/bin/crashfuzz.rs
+
+src/bin/crashfuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-40d5492544c8f76b.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-40d5492544c8f76b: tests/edge_cases.rs
+
+tests/edge_cases.rs:

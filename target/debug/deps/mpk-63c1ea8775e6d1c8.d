@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpk-63c1ea8775e6d1c8.d: crates/mpk/src/lib.rs crates/mpk/src/guard.rs crates/mpk/src/keys.rs crates/mpk/src/pkru.rs
+
+/root/repo/target/debug/deps/libmpk-63c1ea8775e6d1c8.rlib: crates/mpk/src/lib.rs crates/mpk/src/guard.rs crates/mpk/src/keys.rs crates/mpk/src/pkru.rs
+
+/root/repo/target/debug/deps/libmpk-63c1ea8775e6d1c8.rmeta: crates/mpk/src/lib.rs crates/mpk/src/guard.rs crates/mpk/src/keys.rs crates/mpk/src/pkru.rs
+
+crates/mpk/src/lib.rs:
+crates/mpk/src/guard.rs:
+crates/mpk/src/keys.rs:
+crates/mpk/src/pkru.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpk-af301eaad8ae9473.d: crates/mpk/src/lib.rs crates/mpk/src/guard.rs crates/mpk/src/keys.rs crates/mpk/src/pkru.rs
+
+/root/repo/target/debug/deps/mpk-af301eaad8ae9473: crates/mpk/src/lib.rs crates/mpk/src/guard.rs crates/mpk/src/keys.rs crates/mpk/src/pkru.rs
+
+crates/mpk/src/lib.rs:
+crates/mpk/src/guard.rs:
+crates/mpk/src/keys.rs:
+crates/mpk/src/pkru.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pds-68fa12c1b5ed1c54.d: crates/pds/src/lib.rs crates/pds/src/list.rs crates/pds/src/map.rs crates/pds/src/vec.rs
+
+/root/repo/target/debug/deps/pds-68fa12c1b5ed1c54: crates/pds/src/lib.rs crates/pds/src/list.rs crates/pds/src/map.rs crates/pds/src/vec.rs
+
+crates/pds/src/lib.rs:
+crates/pds/src/list.rs:
+crates/pds/src/map.rs:
+crates/pds/src/vec.rs:

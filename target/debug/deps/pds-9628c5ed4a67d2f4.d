@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pds-9628c5ed4a67d2f4.d: crates/pds/src/lib.rs crates/pds/src/list.rs crates/pds/src/map.rs crates/pds/src/vec.rs
+
+/root/repo/target/debug/deps/libpds-9628c5ed4a67d2f4.rlib: crates/pds/src/lib.rs crates/pds/src/list.rs crates/pds/src/map.rs crates/pds/src/vec.rs
+
+/root/repo/target/debug/deps/libpds-9628c5ed4a67d2f4.rmeta: crates/pds/src/lib.rs crates/pds/src/list.rs crates/pds/src/map.rs crates/pds/src/vec.rs
+
+crates/pds/src/lib.rs:
+crates/pds/src/list.rs:
+crates/pds/src/map.rs:
+crates/pds/src/vec.rs:

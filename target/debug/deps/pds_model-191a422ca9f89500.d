@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pds_model-191a422ca9f89500.d: crates/pds/tests/pds_model.rs
+
+/root/repo/target/debug/deps/pds_model-191a422ca9f89500: crates/pds/tests/pds_model.rs
+
+crates/pds/tests/pds_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pfsck-805716e3498eb7ed.d: src/bin/pfsck.rs
+
+/root/repo/target/debug/deps/pfsck-805716e3498eb7ed: src/bin/pfsck.rs
+
+src/bin/pfsck.rs:

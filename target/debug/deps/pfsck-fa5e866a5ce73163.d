@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pfsck-fa5e866a5ce73163.d: src/bin/pfsck.rs
+
+/root/repo/target/debug/deps/pfsck-fa5e866a5ce73163: src/bin/pfsck.rs
+
+src/bin/pfsck.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pfsck_tool-ee551ca940ce3d93.d: tests/pfsck_tool.rs
+
+/root/repo/target/debug/deps/pfsck_tool-ee551ca940ce3d93: tests/pfsck_tool.rs
+
+tests/pfsck_tool.rs:
+
+# env-dep:CARGO_BIN_EXE_pfsck=/root/repo/target/debug/pfsck

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/platform-3b3d501ef93798a4.d: crates/platform/src/lib.rs crates/platform/src/bench.rs crates/platform/src/check.rs crates/platform/src/rng.rs crates/platform/src/sync.rs crates/platform/src/thread.rs
+
+/root/repo/target/debug/deps/libplatform-3b3d501ef93798a4.rlib: crates/platform/src/lib.rs crates/platform/src/bench.rs crates/platform/src/check.rs crates/platform/src/rng.rs crates/platform/src/sync.rs crates/platform/src/thread.rs
+
+/root/repo/target/debug/deps/libplatform-3b3d501ef93798a4.rmeta: crates/platform/src/lib.rs crates/platform/src/bench.rs crates/platform/src/check.rs crates/platform/src/rng.rs crates/platform/src/sync.rs crates/platform/src/thread.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/bench.rs:
+crates/platform/src/check.rs:
+crates/platform/src/rng.rs:
+crates/platform/src/sync.rs:
+crates/platform/src/thread.rs:

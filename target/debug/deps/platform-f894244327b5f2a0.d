@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/platform-f894244327b5f2a0.d: crates/platform/src/lib.rs crates/platform/src/bench.rs crates/platform/src/check.rs crates/platform/src/rng.rs crates/platform/src/sync.rs crates/platform/src/thread.rs
+
+/root/repo/target/debug/deps/platform-f894244327b5f2a0: crates/platform/src/lib.rs crates/platform/src/bench.rs crates/platform/src/check.rs crates/platform/src/rng.rs crates/platform/src/sync.rs crates/platform/src/thread.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/bench.rs:
+crates/platform/src/check.rs:
+crates/platform/src/rng.rs:
+crates/platform/src/sync.rs:
+crates/platform/src/thread.rs:

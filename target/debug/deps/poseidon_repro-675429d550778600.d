@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poseidon_repro-675429d550778600.d: src/lib.rs
+
+/root/repo/target/debug/deps/poseidon_repro-675429d550778600: src/lib.rs
+
+src/lib.rs:

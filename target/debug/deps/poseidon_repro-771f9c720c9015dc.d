@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/poseidon_repro-771f9c720c9015dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libposeidon_repro-771f9c720c9015dc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libposeidon_repro-771f9c720c9015dc.rmeta: src/lib.rs
+
+src/lib.rs:

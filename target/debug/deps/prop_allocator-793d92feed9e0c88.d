@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_allocator-793d92feed9e0c88.d: tests/prop_allocator.rs
+
+/root/repo/target/debug/deps/prop_allocator-793d92feed9e0c88: tests/prop_allocator.rs
+
+tests/prop_allocator.rs:

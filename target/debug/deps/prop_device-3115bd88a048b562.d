@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_device-3115bd88a048b562.d: crates/pmem/tests/prop_device.rs
+
+/root/repo/target/debug/deps/prop_device-3115bd88a048b562: crates/pmem/tests/prop_device.rs
+
+crates/pmem/tests/prop_device.rs:

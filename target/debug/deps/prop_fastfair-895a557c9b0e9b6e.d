@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_fastfair-895a557c9b0e9b6e.d: crates/workloads/tests/prop_fastfair.rs
+
+/root/repo/target/debug/deps/prop_fastfair-895a557c9b0e9b6e: crates/workloads/tests/prop_fastfair.rs
+
+crates/workloads/tests/prop_fastfair.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_structures-f0e2833d65406540.d: crates/poseidon/tests/prop_structures.rs
+
+/root/repo/target/debug/deps/prop_structures-f0e2833d65406540: crates/poseidon/tests/prop_structures.rs
+
+crates/poseidon/tests/prop_structures.rs:

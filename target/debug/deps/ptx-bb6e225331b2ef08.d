@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ptx-bb6e225331b2ef08.d: crates/ptx/src/lib.rs crates/ptx/src/error.rs crates/ptx/src/pool.rs
+
+/root/repo/target/debug/deps/ptx-bb6e225331b2ef08: crates/ptx/src/lib.rs crates/ptx/src/error.rs crates/ptx/src/pool.rs
+
+crates/ptx/src/lib.rs:
+crates/ptx/src/error.rs:
+crates/ptx/src/pool.rs:

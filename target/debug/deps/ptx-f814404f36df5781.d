@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ptx-f814404f36df5781.d: crates/ptx/src/lib.rs crates/ptx/src/error.rs crates/ptx/src/pool.rs
+
+/root/repo/target/debug/deps/libptx-f814404f36df5781.rlib: crates/ptx/src/lib.rs crates/ptx/src/error.rs crates/ptx/src/pool.rs
+
+/root/repo/target/debug/deps/libptx-f814404f36df5781.rmeta: crates/ptx/src/lib.rs crates/ptx/src/error.rs crates/ptx/src/pool.rs
+
+crates/ptx/src/lib.rs:
+crates/ptx/src/error.rs:
+crates/ptx/src/pool.rs:

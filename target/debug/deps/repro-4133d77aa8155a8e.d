@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4133d77aa8155a8e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4133d77aa8155a8e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

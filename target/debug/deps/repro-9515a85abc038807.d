@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9515a85abc038807.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9515a85abc038807: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-ecba63311988b7e4.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-ecba63311988b7e4: tests/robustness.rs
+
+tests/robustness.rs:

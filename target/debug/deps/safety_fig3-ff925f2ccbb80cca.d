@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_fig3-ff925f2ccbb80cca.d: tests/safety_fig3.rs
+
+/root/repo/target/debug/deps/safety_fig3-ff925f2ccbb80cca: tests/safety_fig3.rs
+
+tests/safety_fig3.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smoke_fig3-fc9d7385d54e16a6.d: crates/bench/tests/smoke_fig3.rs
+
+/root/repo/target/debug/deps/smoke_fig3-fc9d7385d54e16a6: crates/bench/tests/smoke_fig3.rs
+
+crates/bench/tests/smoke_fig3.rs:
+
+# env-dep:CARGO_BIN_EXE_repro=/root/repo/target/debug/repro

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_integration-e4466f936d15397b.d: tests/workload_integration.rs
+
+/root/repo/target/debug/deps/workload_integration-e4466f936d15397b: tests/workload_integration.rs
+
+tests/workload_integration.rs:

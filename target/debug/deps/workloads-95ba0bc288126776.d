@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/workloads-95ba0bc288126776.d: crates/workloads/src/lib.rs crates/workloads/src/ackermann.rs crates/workloads/src/alloc_api.rs crates/workloads/src/driver.rs crates/workloads/src/fastfair.rs crates/workloads/src/kruskal.rs crates/workloads/src/larson.rs crates/workloads/src/latency.rs crates/workloads/src/micro.rs crates/workloads/src/nqueens.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/workloads-95ba0bc288126776: crates/workloads/src/lib.rs crates/workloads/src/ackermann.rs crates/workloads/src/alloc_api.rs crates/workloads/src/driver.rs crates/workloads/src/fastfair.rs crates/workloads/src/kruskal.rs crates/workloads/src/larson.rs crates/workloads/src/latency.rs crates/workloads/src/micro.rs crates/workloads/src/nqueens.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ackermann.rs:
+crates/workloads/src/alloc_api.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/fastfair.rs:
+crates/workloads/src/kruskal.rs:
+crates/workloads/src/larson.rs:
+crates/workloads/src/latency.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/nqueens.rs:
+crates/workloads/src/ycsb.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/workloads-dcf4e8b7c6886239.d: crates/workloads/src/lib.rs crates/workloads/src/ackermann.rs crates/workloads/src/alloc_api.rs crates/workloads/src/driver.rs crates/workloads/src/fastfair.rs crates/workloads/src/kruskal.rs crates/workloads/src/larson.rs crates/workloads/src/latency.rs crates/workloads/src/micro.rs crates/workloads/src/nqueens.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/libworkloads-dcf4e8b7c6886239.rlib: crates/workloads/src/lib.rs crates/workloads/src/ackermann.rs crates/workloads/src/alloc_api.rs crates/workloads/src/driver.rs crates/workloads/src/fastfair.rs crates/workloads/src/kruskal.rs crates/workloads/src/larson.rs crates/workloads/src/latency.rs crates/workloads/src/micro.rs crates/workloads/src/nqueens.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/libworkloads-dcf4e8b7c6886239.rmeta: crates/workloads/src/lib.rs crates/workloads/src/ackermann.rs crates/workloads/src/alloc_api.rs crates/workloads/src/driver.rs crates/workloads/src/fastfair.rs crates/workloads/src/kruskal.rs crates/workloads/src/larson.rs crates/workloads/src/latency.rs crates/workloads/src/micro.rs crates/workloads/src/nqueens.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ackermann.rs:
+crates/workloads/src/alloc_api.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/fastfair.rs:
+crates/workloads/src/kruskal.rs:
+crates/workloads/src/larson.rs:
+crates/workloads/src/latency.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/nqueens.rs:
+crates/workloads/src/ycsb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bank_transfer-e3526ab69b9f17d6.d: examples/bank_transfer.rs
+
+/root/repo/target/debug/examples/bank_transfer-e3526ab69b9f17d6: examples/bank_transfer.rs
+
+examples/bank_transfer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-78ebaa4045ba2f3d.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-78ebaa4045ba2f3d: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

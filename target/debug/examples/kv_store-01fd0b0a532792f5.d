@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kv_store-01fd0b0a532792f5.d: examples/kv_store.rs
+
+/root/repo/target/debug/examples/kv_store-01fd0b0a532792f5: examples/kv_store.rs
+
+examples/kv_store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/numa_scaling-8c66005b580a4c90.d: examples/numa_scaling.rs
+
+/root/repo/target/debug/examples/numa_scaling-8c66005b580a4c90: examples/numa_scaling.rs
+
+examples/numa_scaling.rs:

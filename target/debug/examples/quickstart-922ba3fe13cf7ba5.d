@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-922ba3fe13cf7ba5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-922ba3fe13cf7ba5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/safety_demo-a1fc6e1c88b0ea2c.d: examples/safety_demo.rs
+
+/root/repo/target/debug/examples/safety_demo-a1fc6e1c88b0ea2c: examples/safety_demo.rs
+
+examples/safety_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-7f0bd35734d9784e.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-7f0bd35734d9784e: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/baselines-07790e1175412c7e.d: crates/baselines/src/lib.rs crates/baselines/src/avl.rs crates/baselines/src/error.rs crates/baselines/src/makalu_sim.rs crates/baselines/src/pmdk_sim.rs
+
+/root/repo/target/release/deps/libbaselines-07790e1175412c7e.rlib: crates/baselines/src/lib.rs crates/baselines/src/avl.rs crates/baselines/src/error.rs crates/baselines/src/makalu_sim.rs crates/baselines/src/pmdk_sim.rs
+
+/root/repo/target/release/deps/libbaselines-07790e1175412c7e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/avl.rs crates/baselines/src/error.rs crates/baselines/src/makalu_sim.rs crates/baselines/src/pmdk_sim.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/avl.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/makalu_sim.rs:
+crates/baselines/src/pmdk_sim.rs:

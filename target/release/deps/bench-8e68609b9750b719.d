@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-8e68609b9750b719.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-8e68609b9750b719: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-b38dc1252b06437b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-b38dc1252b06437b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-b38dc1252b06437b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

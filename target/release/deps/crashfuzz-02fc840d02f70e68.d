@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crashfuzz-02fc840d02f70e68.d: src/bin/crashfuzz.rs
+
+/root/repo/target/release/deps/crashfuzz-02fc840d02f70e68: src/bin/crashfuzz.rs
+
+src/bin/crashfuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crashfuzz-7809621f0f6d00e1.d: src/bin/crashfuzz.rs
+
+/root/repo/target/release/deps/crashfuzz-7809621f0f6d00e1: src/bin/crashfuzz.rs
+
+src/bin/crashfuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_micro-123987567300c68f.d: crates/bench/benches/fig6_micro.rs
+
+/root/repo/target/release/deps/fig6_micro-123987567300c68f: crates/bench/benches/fig6_micro.rs
+
+crates/bench/benches/fig6_micro.rs:

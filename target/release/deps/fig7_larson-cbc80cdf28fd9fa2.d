@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_larson-cbc80cdf28fd9fa2.d: crates/bench/benches/fig7_larson.rs
+
+/root/repo/target/release/deps/fig7_larson-cbc80cdf28fd9fa2: crates/bench/benches/fig7_larson.rs
+
+crates/bench/benches/fig7_larson.rs:

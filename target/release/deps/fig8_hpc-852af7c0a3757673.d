@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_hpc-852af7c0a3757673.d: crates/bench/benches/fig8_hpc.rs
+
+/root/repo/target/release/deps/fig8_hpc-852af7c0a3757673: crates/bench/benches/fig8_hpc.rs
+
+crates/bench/benches/fig8_hpc.rs:

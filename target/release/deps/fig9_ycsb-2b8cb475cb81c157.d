@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_ycsb-2b8cb475cb81c157.d: crates/bench/benches/fig9_ycsb.rs
+
+/root/repo/target/release/deps/fig9_ycsb-2b8cb475cb81c157: crates/bench/benches/fig9_ycsb.rs
+
+crates/bench/benches/fig9_ycsb.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpk-51645fa35db5096b.d: crates/mpk/src/lib.rs crates/mpk/src/guard.rs crates/mpk/src/keys.rs crates/mpk/src/pkru.rs
+
+/root/repo/target/release/deps/libmpk-51645fa35db5096b.rlib: crates/mpk/src/lib.rs crates/mpk/src/guard.rs crates/mpk/src/keys.rs crates/mpk/src/pkru.rs
+
+/root/repo/target/release/deps/libmpk-51645fa35db5096b.rmeta: crates/mpk/src/lib.rs crates/mpk/src/guard.rs crates/mpk/src/keys.rs crates/mpk/src/pkru.rs
+
+crates/mpk/src/lib.rs:
+crates/mpk/src/guard.rs:
+crates/mpk/src/keys.rs:
+crates/mpk/src/pkru.rs:

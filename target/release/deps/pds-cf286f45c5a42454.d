@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pds-cf286f45c5a42454.d: crates/pds/src/lib.rs crates/pds/src/list.rs crates/pds/src/map.rs crates/pds/src/vec.rs
+
+/root/repo/target/release/deps/libpds-cf286f45c5a42454.rlib: crates/pds/src/lib.rs crates/pds/src/list.rs crates/pds/src/map.rs crates/pds/src/vec.rs
+
+/root/repo/target/release/deps/libpds-cf286f45c5a42454.rmeta: crates/pds/src/lib.rs crates/pds/src/list.rs crates/pds/src/map.rs crates/pds/src/vec.rs
+
+crates/pds/src/lib.rs:
+crates/pds/src/list.rs:
+crates/pds/src/map.rs:
+crates/pds/src/vec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pfsck-7f944992cbc37905.d: src/bin/pfsck.rs
+
+/root/repo/target/release/deps/pfsck-7f944992cbc37905: src/bin/pfsck.rs
+
+src/bin/pfsck.rs:

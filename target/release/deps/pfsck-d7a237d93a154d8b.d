@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pfsck-d7a237d93a154d8b.d: src/bin/pfsck.rs
+
+/root/repo/target/release/deps/pfsck-d7a237d93a154d8b: src/bin/pfsck.rs
+
+src/bin/pfsck.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/platform-be05d93d1b1e54a2.d: crates/platform/src/lib.rs crates/platform/src/bench.rs crates/platform/src/check.rs crates/platform/src/rng.rs crates/platform/src/sync.rs crates/platform/src/thread.rs
+
+/root/repo/target/release/deps/libplatform-be05d93d1b1e54a2.rlib: crates/platform/src/lib.rs crates/platform/src/bench.rs crates/platform/src/check.rs crates/platform/src/rng.rs crates/platform/src/sync.rs crates/platform/src/thread.rs
+
+/root/repo/target/release/deps/libplatform-be05d93d1b1e54a2.rmeta: crates/platform/src/lib.rs crates/platform/src/bench.rs crates/platform/src/check.rs crates/platform/src/rng.rs crates/platform/src/sync.rs crates/platform/src/thread.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/bench.rs:
+crates/platform/src/check.rs:
+crates/platform/src/rng.rs:
+crates/platform/src/sync.rs:
+crates/platform/src/thread.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poseidon_repro-a122fa85fd7ba21e.d: src/lib.rs
+
+/root/repo/target/release/deps/poseidon_repro-a122fa85fd7ba21e: src/lib.rs
+
+src/lib.rs:

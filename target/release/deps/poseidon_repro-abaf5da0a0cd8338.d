@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/poseidon_repro-abaf5da0a0cd8338.d: src/lib.rs
+
+/root/repo/target/release/deps/libposeidon_repro-abaf5da0a0cd8338.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libposeidon_repro-abaf5da0a0cd8338.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ptx-cebd68bf84cee4b9.d: crates/ptx/src/lib.rs crates/ptx/src/error.rs crates/ptx/src/pool.rs
+
+/root/repo/target/release/deps/libptx-cebd68bf84cee4b9.rlib: crates/ptx/src/lib.rs crates/ptx/src/error.rs crates/ptx/src/pool.rs
+
+/root/repo/target/release/deps/libptx-cebd68bf84cee4b9.rmeta: crates/ptx/src/lib.rs crates/ptx/src/error.rs crates/ptx/src/pool.rs
+
+crates/ptx/src/lib.rs:
+crates/ptx/src/error.rs:
+crates/ptx/src/pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ptx_pds-bb885fddee1b0897.d: crates/bench/benches/ptx_pds.rs
+
+/root/repo/target/release/deps/ptx_pds-bb885fddee1b0897: crates/bench/benches/ptx_pds.rs
+
+crates/bench/benches/ptx_pds.rs:

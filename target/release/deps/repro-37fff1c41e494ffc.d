@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-37fff1c41e494ffc.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-37fff1c41e494ffc: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

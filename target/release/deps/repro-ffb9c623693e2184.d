@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-ffb9c623693e2184.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-ffb9c623693e2184: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/workloads-33c4b239f7152eb8.d: crates/workloads/src/lib.rs crates/workloads/src/ackermann.rs crates/workloads/src/alloc_api.rs crates/workloads/src/driver.rs crates/workloads/src/fastfair.rs crates/workloads/src/kruskal.rs crates/workloads/src/larson.rs crates/workloads/src/latency.rs crates/workloads/src/micro.rs crates/workloads/src/nqueens.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/libworkloads-33c4b239f7152eb8.rlib: crates/workloads/src/lib.rs crates/workloads/src/ackermann.rs crates/workloads/src/alloc_api.rs crates/workloads/src/driver.rs crates/workloads/src/fastfair.rs crates/workloads/src/kruskal.rs crates/workloads/src/larson.rs crates/workloads/src/latency.rs crates/workloads/src/micro.rs crates/workloads/src/nqueens.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/libworkloads-33c4b239f7152eb8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/ackermann.rs crates/workloads/src/alloc_api.rs crates/workloads/src/driver.rs crates/workloads/src/fastfair.rs crates/workloads/src/kruskal.rs crates/workloads/src/larson.rs crates/workloads/src/latency.rs crates/workloads/src/micro.rs crates/workloads/src/nqueens.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ackermann.rs:
+crates/workloads/src/alloc_api.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/fastfair.rs:
+crates/workloads/src/kruskal.rs:
+crates/workloads/src/larson.rs:
+crates/workloads/src/latency.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/nqueens.rs:
+crates/workloads/src/ycsb.rs:

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use platform::sync::Mutex;
 use pmem::{DeviceConfig, NumaTopology, PmemDevice};
 use poseidon::{HeapConfig, NvmPtr, PoseidonHeap};
 use workloads::Xorshift;
@@ -14,20 +14,21 @@ fn stress(threads: usize, subheaps: u16, rounds: u64) {
     let dev = Arc::new(PmemDevice::new(
         DeviceConfig::bench(1 << 30).with_topology(NumaTopology::new(2, threads.max(2))),
     ));
-    let heap = Arc::new(PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(subheaps)).unwrap());
+    let heap =
+        Arc::new(PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(subheaps)).unwrap());
 
     // A shared exchange: threads deposit pointers here for *other*
     // threads to free (§5.7's cross-thread free path).
     let exchange: Vec<Mutex<Vec<NvmPtr>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
     let ownership_claims = AtomicU64::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    platform::thread::scope(|scope| {
         for thread in 0..threads {
             let heap = heap.clone();
             let dev = dev.clone();
             let exchange = &exchange;
             let ownership_claims = &ownership_claims;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 pmem::numa::set_current_cpu(thread);
                 let mut rng = Xorshift::new(thread as u64 * 7919 + 13);
                 let mut mine: Vec<(NvmPtr, u64)> = Vec::new();
@@ -88,8 +89,7 @@ fn stress(threads: usize, subheaps: u16, rounds: u64) {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     // Drain the exchange and verify the heap is balanced and intact.
     for slot in &exchange {
@@ -124,10 +124,10 @@ fn tx_isolation_between_threads() {
     // per-thread micro-log pinning must keep their commits independent.
     let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
     let heap = Arc::new(PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(1)).unwrap());
-    crossbeam::thread::scope(|scope| {
+    platform::thread::scope(|scope| {
         for thread in 0..2 {
             let heap = heap.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 pmem::numa::set_current_cpu(thread);
                 for i in 0..200u64 {
                     let a = heap.tx_alloc(32 + i % 128, false).unwrap();
@@ -137,8 +137,7 @@ fn tx_isolation_between_threads() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     for (_, audit) in heap.audit().unwrap() {
         assert_eq!(audit.alloc_bytes, 0);
     }

@@ -16,12 +16,12 @@ fn concurrent_tx_slots_exhaust_gracefully() {
     const OPEN: usize = 32;
     let parked = Barrier::new(OPEN + 1);
     let release = Barrier::new(OPEN + 1);
-    crossbeam::thread::scope(|s| {
+    platform::thread::scope(|s| {
         for thread in 0..OPEN {
             let heap = heap.clone();
             let parked = &parked;
             let release = &release;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 pmem::numa::set_current_cpu(thread);
                 let p = heap.tx_alloc(64, false).expect("slot within capacity");
                 parked.wait();
@@ -38,8 +38,7 @@ fn concurrent_tx_slots_exhaust_gracefully() {
             "expected exhaustion, got {overflow:?}"
         );
         release.wait();
-    })
-    .unwrap();
+    });
     // With every slot released, transactions work again.
     let p = heap.tx_alloc(64, true).unwrap();
     heap.free(p).unwrap();

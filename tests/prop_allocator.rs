@@ -4,9 +4,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use platform::check::{check, Config, Gen};
 use pmem::{CrashMode, DeviceConfig, PmemDevice};
 use poseidon::{HeapConfig, NvmPtr, PoseidonError, PoseidonHeap};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -21,13 +21,13 @@ enum Op {
     TxAlloc(u64, bool),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (1u64..8192).prop_map(Op::Alloc),
-        4 => any::<usize>().prop_map(Op::Free),
-        1 => (0u64..1 << 20).prop_map(|o| Op::BogusFree(o)),
-        1 => ((1u64..1024), any::<bool>()).prop_map(|(s, c)| Op::TxAlloc(s, c)),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.weighted(&[4, 4, 1, 1]) {
+        0 => Op::Alloc(g.u64(1..8192)),
+        1 => Op::Free(g.any_usize()),
+        2 => Op::BogusFree(g.u64(0..1 << 20)),
+        _ => Op::TxAlloc(g.u64(1..1024), g.bool()),
+    }
 }
 
 fn heap() -> (Arc<PmemDevice>, PoseidonHeap) {
@@ -60,7 +60,8 @@ fn apply_ops(heap: &PoseidonHeap, ops: &[Op]) -> HashMap<NvmPtr, u64> {
                     // ...unless the forged pointer happened to name a real
                     // live block, in which case the free is legitimate.
                     Ok(()) => {
-                        let was_live = live.iter().position(|(p, _)| p.subheap() == 0 && p.offset() == *offset);
+                        let was_live =
+                            live.iter().position(|(p, _)| p.subheap() == 0 && p.offset() == *offset);
                         let index = was_live.expect("free succeeded for a non-live offset");
                         live.swap_remove(index);
                     }
@@ -95,11 +96,10 @@ fn apply_ops(heap: &PoseidonHeap, ops: &[Op]) -> HashMap<NvmPtr, u64> {
     live.into_iter().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn audit_holds_under_random_op_sequences(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn audit_holds_under_random_op_sequences() {
+    check("audit_holds_under_random_op_sequences", Config::cases(48), |g| {
+        let ops = g.vec(1..120, gen_op);
         let (_dev, heap) = heap();
         let live = apply_ops(&heap, &ops);
         let audits = heap.audit().expect("audit");
@@ -107,19 +107,22 @@ proptest! {
         // byte totals cover at least the live set.
         let allocated: u64 = audits.iter().map(|(_, a)| a.alloc_bytes).sum();
         let min_needed: u64 = live.values().map(|s| s.max(&32).next_power_of_two()).sum();
-        prop_assert!(allocated >= min_needed, "allocated {allocated} < shadow {min_needed}");
+        assert!(allocated >= min_needed, "allocated {allocated} < shadow {min_needed}");
         // Free them all; audit must return to zero allocated.
         for (p, _) in live {
             heap.free(p).expect("final free");
         }
         let audits = heap.audit().expect("audit after drain");
         for (_, a) in audits {
-            prop_assert_eq!(a.alloc_bytes, 0);
+            assert_eq!(a.alloc_bytes, 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn no_two_live_blocks_overlap(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+#[test]
+fn no_two_live_blocks_overlap() {
+    check("no_two_live_blocks_overlap", Config::cases(48), |g| {
+        let ops = g.vec(1..100, gen_op);
         let (_dev, heap) = heap();
         let live = apply_ops(&heap, &ops);
         let mut ranges: Vec<(u64, u64)> = live
@@ -128,32 +131,34 @@ proptest! {
             .collect();
         ranges.sort_unstable();
         for window in ranges.windows(2) {
-            prop_assert!(
-                window[0].0 + window[0].1 <= window[1].0,
-                "overlap: {:?} and {:?}",
-                window[0],
-                window[1]
-            );
+            assert!(window[0].0 + window[0].1 <= window[1].0, "overlap: {:?} and {:?}", window[0], window[1]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn crash_at_random_point_recovers(
-        ops in proptest::collection::vec(op_strategy(), 1..60),
-        crash_at in 0u64..600,
-        adversarial in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn crash_at_random_point_recovers() {
+    check("crash_at_random_point_recovers", Config::cases(48), |g| {
+        let ops = g.vec(1..60, gen_op);
+        let crash_at = g.u64(0..600);
+        let adversarial = g.bool();
+        let seed = g.any_u64();
         let (dev, heap) = heap();
         dev.arm_crash_after(crash_at);
         // Ops may fail mid-way once the device crashes; ignore outcomes.
         for op in &ops {
             let r: Result<(), PoseidonError> = (|| {
                 match op {
-                    Op::Alloc(s) => { let _ = heap.alloc(*s)?; }
+                    Op::Alloc(s) => {
+                        let _ = heap.alloc(*s)?;
+                    }
                     Op::Free(_) => {}
-                    Op::BogusFree(o) => { let _ = heap.free(NvmPtr::new(heap.heap_id(), 0, *o)); }
-                    Op::TxAlloc(s, c) => { let _ = heap.tx_alloc(*s, *c)?; }
+                    Op::BogusFree(o) => {
+                        let _ = heap.free(NvmPtr::new(heap.heap_id(), 0, *o));
+                    }
+                    Op::TxAlloc(s, c) => {
+                        let _ = heap.tx_alloc(*s, *c)?;
+                    }
                 }
                 Ok(())
             })();
@@ -170,10 +175,13 @@ proptest! {
         // Heap remains usable.
         let p = heap.alloc(64).expect("post-recovery alloc");
         heap.free(p).expect("post-recovery free");
-    }
+    });
+}
 
-    #[test]
-    fn save_load_preserves_live_blocks(sizes in proptest::collection::vec(1u64..4096, 1..40)) {
+#[test]
+fn save_load_preserves_live_blocks() {
+    check("save_load_preserves_live_blocks", Config::cases(48), |g| {
+        let sizes = g.vec(1..40, |g| g.u64(1..4096));
         let dir = std::env::temp_dir().join(format!("poseidon-prop-{}-{}", std::process::id(), sizes.len()));
         let (dev, heap) = heap();
         let mut live = Vec::new();
@@ -191,13 +199,13 @@ proptest! {
         let dev2 = Arc::new(PmemDevice::load(&dir, DeviceConfig::new(0)).unwrap());
         std::fs::remove_file(&dir).unwrap();
         let heap2 = PoseidonHeap::load(dev2.clone(), HeapConfig::new()).unwrap();
-        prop_assert_eq!(heap2.root().unwrap(), live[0].0);
+        assert_eq!(heap2.root().unwrap(), live[0].0);
         for (p, tag) in live {
             let raw = heap2.raw_offset(p).unwrap();
             let stored: u64 = dev2.read_pod(raw).unwrap();
-            prop_assert_eq!(stored, tag);
+            assert_eq!(stored, tag);
             heap2.free(p).unwrap();
         }
         heap2.audit().unwrap();
-    }
+    });
 }

@@ -4,9 +4,9 @@
 
 use std::sync::Arc;
 
+use platform::check::{check, Config};
 use pmem::{DeviceConfig, PmemDevice};
 use poseidon::{HeapConfig, PoseidonHeap};
-use proptest::prelude::*;
 
 fn build_pool() -> Arc<PmemDevice> {
     let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
@@ -36,13 +36,10 @@ fn try_load(dev: Arc<PmemDevice>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn byte_flips_in_metadata_never_panic(
-        flips in proptest::collection::vec((0u64..4 << 20, any::<u8>()), 1..24)
-    ) {
+#[test]
+fn byte_flips_in_metadata_never_panic() {
+    check("byte_flips_in_metadata_never_panic", Config::cases(24), |g| {
+        let flips = g.vec(1..24, |g| (g.u64(0..4 << 20), g.any_u8()));
         let dev = build_pool();
         // The attacker/bit-rot writes bypass MPK (simulating at-rest
         // corruption of the pool file).
@@ -60,12 +57,13 @@ proptest! {
             raw.write(offset, &[value]).unwrap();
         }
         try_load(Arc::new(raw));
-    }
+    });
+}
 
-    #[test]
-    fn log_area_corruption_never_panics(
-        flips in proptest::collection::vec((0u64..0x12000, any::<u8>()), 1..16)
-    ) {
+#[test]
+fn log_area_corruption_never_panics() {
+    check("log_area_corruption_never_panics", Config::cases(24), |g| {
+        let flips = g.vec(1..16, |g| (g.u64(0..0x12000), g.any_u8()));
         // Target the sub-heap 0 header/log area specifically (the part
         // recovery parses), after an interrupted operation.
         let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20).with_protection(false)));
@@ -82,7 +80,7 @@ proptest! {
             dev.write(meta0 + offset, &[value]).unwrap();
         }
         try_load(dev);
-    }
+    });
 }
 
 #[test]

@@ -10,9 +10,7 @@ use workloads::alloc_api::AllocatorKind;
 use workloads::{ackermann, kruskal, larson, micro, nqueens, ycsb};
 
 fn device() -> Arc<PmemDevice> {
-    Arc::new(PmemDevice::new(
-        DeviceConfig::bench(2 << 30).with_topology(NumaTopology::new(2, 16)),
-    ))
+    Arc::new(PmemDevice::new(DeviceConfig::bench(2 << 30).with_topology(NumaTopology::new(2, 16))))
 }
 
 #[test]
@@ -76,7 +74,8 @@ fn contention_profiles_reflect_design() {
     let alloc = AllocatorKind::Poseidon.build(device());
     micro::run(&*alloc, micro::MicroConfig::new(512, 4, 2000));
     let profile = alloc.contention_profile();
-    let active_subheaps = profile.iter().filter(|p| p.name.starts_with("subheap") && p.acquisitions > 0).count();
+    let active_subheaps =
+        profile.iter().filter(|p| p.name.starts_with("subheap") && p.acquisitions > 0).count();
     assert!(active_subheaps >= 4, "expected >=4 active sub-heap locks, got {active_subheaps}");
 }
 
