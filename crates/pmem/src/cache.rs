@@ -179,8 +179,8 @@ impl CacheModel {
 }
 
 /// SplitMix64 — a tiny, high-quality mixing function for deterministic
-/// per-line crash decisions.
-fn splitmix64(mut x: u64) -> u64 {
+/// per-line crash decisions and poison-injection line selection.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -1,16 +1,17 @@
 //! The simulated persistent-memory device.
 
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use mpk::{AccessKind, MpkDomain, ProtectionKey};
 
-use crate::cache::{CacheModel, CrashMode, CACHE_LINE_SIZE};
+use crate::cache::{splitmix64, CacheModel, CrashMode, CACHE_LINE_SIZE};
 use crate::cost::CostModel;
 use crate::error::PmemError;
 use crate::numa::{current_cpu, NumaTopology};
 use crate::pod::Pod;
+use crate::poison::{PoisonRange, PoisonSet};
 use crate::stats::{DeviceStats, StatsSnapshot};
 use crate::store::ChunkStore;
 
@@ -33,6 +34,11 @@ pub struct DeviceConfig {
     pub topology: NumaTopology,
     /// Event prices used by [`StatsSnapshot::media_time_ns`].
     pub cost_model: CostModel,
+    /// Model uncorrectable media errors. When disabled,
+    /// [`PmemDevice::poison`] and
+    /// [`PmemDevice::arm_poison_after`] are inert and no access can
+    /// return [`PmemError::Uncorrectable`].
+    pub media_faults: bool,
 }
 
 impl DeviceConfig {
@@ -45,6 +51,7 @@ impl DeviceConfig {
             enforce_protection: true,
             topology: NumaTopology::host(),
             cost_model: CostModel::dcpmm(),
+            media_faults: true,
         }
     }
 
@@ -76,6 +83,12 @@ impl DeviceConfig {
         self.topology = topology;
         self
     }
+
+    /// Returns a copy with media-fault modelling set to `enabled`.
+    pub fn with_media_faults(mut self, enabled: bool) -> DeviceConfig {
+        self.media_faults = enabled;
+        self
+    }
 }
 
 /// A simulated NVMM device. See the [crate docs](crate) for the model.
@@ -98,6 +111,12 @@ pub struct PmemDevice {
     /// Remaining mutation events before an injected crash; negative =
     /// disarmed.
     crash_countdown: AtomicI64,
+    poison: PoisonSet,
+    /// Remaining ranged stores before an injected media fault; negative =
+    /// disarmed.
+    poison_countdown: AtomicI64,
+    /// Seed selecting which line of the triggering store gets poisoned.
+    poison_seed: AtomicU64,
 }
 
 impl std::fmt::Debug for PmemDevice {
@@ -123,6 +142,9 @@ impl PmemDevice {
             stats: DeviceStats::new(),
             crashed: AtomicBool::new(false),
             crash_countdown: AtomicI64::new(-1),
+            poison: PoisonSet::new(),
+            poison_countdown: AtomicI64::new(-1),
+            poison_seed: AtomicU64::new(0),
             config,
         }
     }
@@ -221,15 +243,48 @@ impl PmemDevice {
         Ok(())
     }
 
+    /// Fails with [`PmemError::Uncorrectable`] if `[offset, offset + len)`
+    /// touches a poisoned line.
+    #[inline]
+    fn check_poison(&self, offset: u64, len: u64) -> Result<(), PmemError> {
+        if let Some(line) = self.poison.first_hit(offset, len) {
+            self.stats.record_uncorrectable();
+            return Err(PmemError::Uncorrectable { offset: line });
+        }
+        Ok(())
+    }
+
+    /// Counts one ranged store against an armed poison countdown; at zero,
+    /// one seed-chosen line of the triggering store turns uncorrectable.
+    /// The store itself succeeds — like real media, degradation is silent
+    /// until the line is next read or flushed.
+    #[inline]
+    fn poison_event(&self, offset: u64, len: u64) {
+        if len == 0
+            || !self.config.media_faults
+            || self.poison_countdown.load(Ordering::Relaxed) < 0
+            || self.poison_countdown.fetch_sub(1, Ordering::Relaxed) != 0
+        {
+            return;
+        }
+        let first = offset / CACHE_LINE_SIZE;
+        let line = first + splitmix64(self.poison_seed.load(Ordering::Relaxed)) % Self::lines(offset, len);
+        let added = self.poison.add(line * CACHE_LINE_SIZE, CACHE_LINE_SIZE);
+        self.stats.record_poisoned(added);
+    }
+
     /// Reads `buf.len()` bytes at `offset`.
     ///
     /// # Errors
     ///
-    /// [`PmemError::OutOfBounds`] or [`PmemError::ProtectionFault`] (reads
-    /// are allowed on a crashed device, as recovery code must inspect it).
+    /// [`PmemError::OutOfBounds`], [`PmemError::ProtectionFault`] (reads
+    /// are allowed on a crashed device, as recovery code must inspect it),
+    /// or [`PmemError::Uncorrectable`] if the range touches a poisoned
+    /// line.
     pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<(), PmemError> {
         self.check_range(offset, buf.len() as u64)?;
         self.check_protection(offset, buf.len() as u64, AccessKind::Read)?;
+        self.check_poison(offset, buf.len() as u64)?;
         self.store.read(offset, buf);
         self.stats.record_read(
             buf.len() as u64,
@@ -265,6 +320,7 @@ impl PmemDevice {
             });
         }
         self.store.write(offset, buf);
+        self.poison_event(offset, buf.len() as u64);
         self.stats.record_write(
             buf.len() as u64,
             Self::lines(offset, buf.len() as u64),
@@ -322,6 +378,8 @@ impl PmemDevice {
         }
         self.check_range(offset, 8)?;
         self.check_protection(offset, 8, AccessKind::Write)?;
+        // A read-modify-write loads the line first, so poison faults it.
+        self.check_poison(offset, 8)?;
         self.mutation_event()?;
         if let Some(cache) = &self.cache {
             cache.before_write(offset, 8, |line_off, line_buf| {
@@ -332,6 +390,7 @@ impl PmemDevice {
             });
         }
         let previous = self.store.fetch_update_u64(offset, f);
+        self.poison_event(offset, 8);
         self.stats.record_write(8, 1, self.is_remote(offset));
         Ok(previous)
     }
@@ -341,9 +400,12 @@ impl PmemDevice {
     ///
     /// # Errors
     ///
-    /// [`PmemError::OutOfBounds`] or [`PmemError::Crashed`].
+    /// [`PmemError::OutOfBounds`], [`PmemError::Crashed`], or
+    /// [`PmemError::Uncorrectable`] — writing back to a failed line is how
+    /// the DIMM reports poison on the store path.
     pub fn clwb(&self, offset: u64, len: u64) -> Result<(), PmemError> {
         self.check_range(offset, len)?;
+        self.check_poison(offset, len)?;
         self.mutation_event()?;
         let lines = match &self.cache {
             Some(cache) => {
@@ -456,7 +518,86 @@ impl PmemDevice {
             // whatever was dirty in the range no longer needs reverting.
             cache.forget_range(offset, len);
         }
+        // Punching re-provisions the backing media, clearing any poison
+        // (fresh pages cannot carry old uncorrectable lines).
+        self.poison.clear(offset, len);
         Ok(released)
+    }
+
+    /// Marks every cache line covering `[offset, offset + len)` as
+    /// uncorrectable: subsequent reads, read-modify-writes and `clwb`s of
+    /// those lines fail with [`PmemError::Uncorrectable`] until the poison
+    /// is cleared. Returns the number of newly poisoned lines. Inert (and
+    /// `Ok(0)`) when [`DeviceConfig::media_faults`] is disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`].
+    pub fn poison(&self, offset: u64, len: u64) -> Result<u64, PmemError> {
+        self.check_range(offset, len)?;
+        if !self.config.media_faults {
+            return Ok(0);
+        }
+        let added = self.poison.add(offset, len);
+        self.stats.record_poisoned(added);
+        Ok(added)
+    }
+
+    /// Clears poison from every line covering `[offset, offset + len)` and
+    /// zeroes exactly the lines that were poisoned (an ARS
+    /// clear-uncorrectable-error writes zeros; the old data is gone).
+    /// The zeroes are durable immediately. Returns the number of lines
+    /// cleared.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`].
+    pub fn clear_poison(&self, offset: u64, len: u64) -> Result<u64, PmemError> {
+        self.check_range(offset, len)?;
+        let cleared = self.poison.clear(offset, len);
+        let zeroes = [0u8; CACHE_LINE_SIZE as usize];
+        for &line in &cleared {
+            let line_off = line * CACHE_LINE_SIZE;
+            let end = (line_off + CACHE_LINE_SIZE).min(self.config.capacity);
+            self.store.write(line_off, &zeroes[..(end - line_off) as usize]);
+            if let Some(cache) = &self.cache {
+                cache.forget_range(line_off, CACHE_LINE_SIZE);
+            }
+        }
+        Ok(cleared.len() as u64)
+    }
+
+    /// Address Range Scrub: enumerates the currently poisoned lines,
+    /// coalesced into maximal contiguous [`PoisonRange`]s.
+    pub fn scrub(&self) -> Vec<PoisonRange> {
+        self.poison.ranges()
+    }
+
+    /// Whether `[offset, offset + len)` touches a poisoned line.
+    pub fn is_poisoned(&self, offset: u64, len: u64) -> bool {
+        self.poison.first_hit(offset, len).is_some()
+    }
+
+    /// Number of currently poisoned lines.
+    pub fn poisoned_lines(&self) -> u64 {
+        self.poison.len()
+    }
+
+    /// Arms media-fault injection: on the `events`-th subsequent ranged
+    /// store (writes and read-modify-writes each count one), one line of
+    /// that store — chosen deterministically from `seed` — turns
+    /// uncorrectable. `events = 0` poisons the next store. The store
+    /// itself succeeds; the fault surfaces on the next read or flush of
+    /// the line, modelling silent media degradation. Inert when
+    /// [`DeviceConfig::media_faults`] is disabled.
+    pub fn arm_poison_after(&self, events: u64, seed: u64) {
+        self.poison_seed.store(seed, Ordering::Relaxed);
+        self.poison_countdown.store(events.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+    }
+
+    /// Disarms media-fault injection (already-poisoned lines stay bad).
+    pub fn disarm_poison(&self) {
+        self.poison_countdown.store(-1, Ordering::Relaxed);
     }
 
     /// Arms crash injection: the device fails (and every subsequent
@@ -505,7 +646,8 @@ impl PmemDevice {
         self.crashed.store(false, Ordering::Relaxed);
     }
 
-    /// Saves the device's media image to `path`.
+    /// Saves the device's media image to `path`, including any poisoned
+    /// lines (poison is durable media state and survives the round trip).
     ///
     /// The device must be clean (no unpersisted lines): a snapshot is the
     /// durable state, and saving a dirty device would silently promote
@@ -522,7 +664,7 @@ impl PmemDevice {
         }
         let file = std::fs::File::create(path)?;
         let mut out = std::io::BufWriter::new(file);
-        out.write_all(SNAPSHOT_MAGIC)?;
+        out.write_all(SNAPSHOT_MAGIC_V2)?;
         out.write_all(&self.config.capacity.to_le_bytes())?;
         let mut count: u64 = 0;
         self.store.for_each_resident(|_, _| count += 1);
@@ -534,6 +676,11 @@ impl PmemDevice {
             }
         });
         result?;
+        let poisoned = self.poison.line_numbers();
+        out.write_all(&(poisoned.len() as u64).to_le_bytes())?;
+        for line in poisoned {
+            out.write_all(&line.to_le_bytes())?;
+        }
         out.flush()?;
         Ok(())
     }
@@ -552,9 +699,11 @@ impl PmemDevice {
         let mut input = std::io::BufReader::new(file);
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
-        if &magic != SNAPSHOT_MAGIC {
-            return Err(PmemError::BadSnapshot("bad magic"));
-        }
+        let has_poison_section = match &magic {
+            m if m == SNAPSHOT_MAGIC_V1 => false,
+            m if m == SNAPSHOT_MAGIC_V2 => true,
+            _ => return Err(PmemError::BadSnapshot("bad magic")),
+        };
         let mut word = [0u8; 8];
         input.read_exact(&mut word)?;
         let capacity = u64::from_le_bytes(word);
@@ -574,11 +723,29 @@ impl PmemDevice {
             input.read_exact(&mut chunk)?;
             device.store.write(index * crate::store::CHUNK_SIZE, &chunk);
         }
+        if has_poison_section {
+            input.read_exact(&mut word)?;
+            let poisoned = u64::from_le_bytes(word);
+            for _ in 0..poisoned {
+                input.read_exact(&mut word)?;
+                let line = u64::from_le_bytes(word);
+                let in_range = line.checked_mul(CACHE_LINE_SIZE).is_some_and(|off| off < capacity);
+                if !in_range {
+                    return Err(PmemError::BadSnapshot("poisoned line out of range"));
+                }
+                if device.config.media_faults {
+                    device.poison.add(line * CACHE_LINE_SIZE, CACHE_LINE_SIZE);
+                }
+            }
+        }
         Ok(device)
     }
 }
 
-const SNAPSHOT_MAGIC: &[u8; 8] = b"PMEMSNP1";
+/// Legacy snapshot format: chunks only, no poison section.
+const SNAPSHOT_MAGIC_V1: &[u8; 8] = b"PMEMSNP1";
+/// Current snapshot format: chunks followed by the poisoned-line list.
+const SNAPSHOT_MAGIC_V2: &[u8; 8] = b"PMEMSNP2";
 
 #[cfg(test)]
 mod tests {
@@ -718,6 +885,104 @@ mod tests {
         dev.write(0, &[1]).unwrap();
         let err = dev.save(std::env::temp_dir().join("never-created")).unwrap_err();
         assert!(matches!(err, PmemError::BadSnapshot(_)));
+    }
+
+    #[test]
+    fn poisoned_line_faults_reads_rmws_and_flushes() {
+        let dev = device();
+        dev.write(0, &[7; 256]).unwrap();
+        dev.persist(0, 256).unwrap();
+        assert_eq!(dev.poison(64, 1).unwrap(), 1); // line 1
+                                                   // Reads of the poisoned line fail with its aligned offset; the
+                                                   // neighbours stay readable.
+        assert_eq!(dev.read(70, &mut [0; 4]), Err(PmemError::Uncorrectable { offset: 64 }));
+        assert_eq!(dev.read(0, &mut [0; 64]), Ok(()));
+        assert_eq!(dev.read_pod::<u8>(128).unwrap(), 7);
+        // A spanning read reports the first poisoned line.
+        assert_eq!(dev.read(0, &mut [0; 256]), Err(PmemError::Uncorrectable { offset: 64 }));
+        // RMW loads the line, so it faults too.
+        assert_eq!(dev.fetch_or_u64(64, 1), Err(PmemError::Uncorrectable { offset: 64 }));
+        // Plain stores succeed (they land in cache)...
+        dev.write(64, &[9; 64]).unwrap();
+        // ...but writing them back to the failed line faults.
+        assert_eq!(dev.clwb(64, 64), Err(PmemError::Uncorrectable { offset: 64 }));
+        assert_eq!(dev.persist(0, 256), Err(PmemError::Uncorrectable { offset: 64 }));
+        assert_eq!(dev.stats().uncorrectable_errors, 5);
+        assert_eq!(dev.stats().lines_poisoned, 1);
+    }
+
+    #[test]
+    fn scrub_clear_and_punch_remove_poison() {
+        let dev = device();
+        dev.write(0, &[1; 512]).unwrap();
+        dev.persist(0, 512).unwrap();
+        dev.poison(128, 128).unwrap(); // lines 2..=3
+        dev.poison(448, 8).unwrap(); // line 7
+        assert_eq!(dev.poisoned_lines(), 3);
+        assert_eq!(
+            dev.scrub(),
+            vec![PoisonRange { offset: 128, len: 128 }, PoisonRange { offset: 448, len: 64 }]
+        );
+        // ARS clear zeroes exactly the cleared lines, durably.
+        assert_eq!(dev.clear_poison(128, 128).unwrap(), 2);
+        assert!(!dev.is_poisoned(128, 128));
+        assert_eq!(dev.read_pod::<u8>(130).unwrap(), 0);
+        assert_eq!(dev.read_pod::<u8>(256).unwrap(), 1); // neighbour intact
+                                                         // Hole punching re-provisions the media, clearing poison with it.
+        dev.punch_hole(448, 64).unwrap();
+        assert_eq!(dev.poisoned_lines(), 0);
+        assert!(dev.read(0, &mut [0; 512]).is_ok());
+    }
+
+    #[test]
+    fn poison_survives_crash_and_snapshot_roundtrip() {
+        let dev = device();
+        dev.write(0, &[3; 128]).unwrap();
+        dev.persist(0, 128).unwrap();
+        dev.poison(64, 64).unwrap();
+        dev.simulate_crash(CrashMode::Strict, 0);
+        assert!(dev.is_poisoned(64, 64)); // poison is media state, not cache state
+        let path = std::env::temp_dir().join(format!("pmem-poison-{}", std::process::id()));
+        dev.save(&path).unwrap();
+        let loaded = PmemDevice::load(&path, DeviceConfig::small_test()).unwrap();
+        assert_eq!(loaded.scrub(), vec![PoisonRange { offset: 64, len: 64 }]);
+        assert_eq!(loaded.read(64, &mut [0; 8]), Err(PmemError::Uncorrectable { offset: 64 }));
+        assert_eq!(loaded.read_pod::<u8>(0).unwrap(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn armed_poison_hits_the_nth_store_silently() {
+        let dev = device();
+        dev.arm_poison_after(2, 42);
+        dev.write(0, &[1; 64]).unwrap(); // event 0
+        dev.write(64, &[1; 64]).unwrap(); // event 1
+        assert_eq!(dev.poisoned_lines(), 0);
+        dev.write(128, &[1; 192]).unwrap(); // event 2: one of lines 2..=4 dies
+        assert_eq!(dev.poisoned_lines(), 1);
+        let hit = dev.scrub()[0];
+        assert!(hit.offset >= 128 && hit.offset < 320, "poison lands inside the store");
+        assert_eq!(dev.read(hit.offset, &mut [0; 1]), Err(PmemError::Uncorrectable { offset: hit.offset }));
+        // One-shot: later stores are unaffected.
+        dev.write(1024, &[1; 64]).unwrap();
+        assert_eq!(dev.poisoned_lines(), 1);
+        // Determinism: the same seed picks the same line.
+        let dev2 = device();
+        dev2.arm_poison_after(2, 42);
+        dev2.write(0, &[1; 64]).unwrap();
+        dev2.write(64, &[1; 64]).unwrap();
+        dev2.write(128, &[1; 192]).unwrap();
+        assert_eq!(dev2.scrub(), dev.scrub());
+    }
+
+    #[test]
+    fn media_faults_knob_disables_poisoning() {
+        let dev = PmemDevice::new(DeviceConfig::small_test().with_media_faults(false));
+        assert_eq!(dev.poison(0, 4096).unwrap(), 0);
+        dev.arm_poison_after(0, 7);
+        dev.write(0, &[1; 64]).unwrap();
+        assert_eq!(dev.poisoned_lines(), 0);
+        assert!(dev.read(0, &mut [0; 64]).is_ok());
     }
 
     #[test]

@@ -35,6 +35,17 @@ pub enum PmemError {
         /// The required alignment in bytes.
         required: u64,
     },
+    /// The access touched a poisoned cache line — the simulated
+    /// equivalent of an uncorrectable media error (machine-check on load
+    /// from a bad DIMM line). Carries the line-aligned offset of the first
+    /// poisoned line hit. Poison is durable: it survives crashes and
+    /// snapshot save/load, and is cleared only by
+    /// [`clear_poison`](crate::PmemDevice::clear_poison) or
+    /// [`punch_hole`](crate::PmemDevice::punch_hole).
+    Uncorrectable {
+        /// Line-aligned device offset of the poisoned line.
+        offset: u64,
+    },
     /// A snapshot file is malformed or does not match the device geometry.
     BadSnapshot(&'static str),
     /// An I/O error occurred while saving or loading a snapshot.
@@ -58,6 +69,9 @@ impl std::fmt::Display for PmemError {
             PmemError::Crashed => f.write_str("device has crashed; mutations rejected until recovery"),
             PmemError::Misaligned { value, required } => {
                 write!(f, "value {value:#x} not aligned to {required} bytes")
+            }
+            PmemError::Uncorrectable { offset } => {
+                write!(f, "uncorrectable media error: poisoned line at {offset:#x}")
             }
             PmemError::BadSnapshot(why) => write!(f, "bad device snapshot: {why}"),
             PmemError::Io(kind) => write!(f, "snapshot i/o error: {kind}"),
@@ -84,6 +98,13 @@ mod tests {
         let e = PmemError::ProtectionFault { offset: 4096, key: 3, kind: AccessKind::Write };
         assert!(e.to_string().contains("pkey3"));
         assert!(e.to_string().contains("write"));
+    }
+
+    #[test]
+    fn uncorrectable_displays_offset() {
+        let e = PmemError::Uncorrectable { offset: 0x1c0 };
+        assert!(e.to_string().contains("uncorrectable"));
+        assert!(e.to_string().contains("0x1c0"));
     }
 
     #[test]

@@ -28,6 +28,14 @@
 //! * **Crash-point injection** — [`PmemDevice::arm_crash_after`] makes the
 //!   device fail after the *n*-th mutation event, so property tests can
 //!   crash an allocator at every edge of an operation.
+//! * **Media-error (poison) modelling** — cache lines can turn
+//!   *uncorrectable* ([`PmemDevice::poison`], or randomized injection via
+//!   [`PmemDevice::arm_poison_after`]): reads, read-modify-writes and
+//!   flushes of such a line fail with [`PmemError::Uncorrectable`] while
+//!   every other line stays usable. Poison is durable — it survives
+//!   crashes and snapshot round trips — and is enumerated by
+//!   [`PmemDevice::scrub`] (the Address Range Scrub analogue) until
+//!   cleared with [`PmemDevice::clear_poison`].
 //!
 //! All persistent state is addressed by `u64` device offsets; allocators
 //! built on this crate never hold native pointers into persistent data.
@@ -68,6 +76,7 @@ mod device;
 mod error;
 pub mod numa;
 mod pod;
+mod poison;
 mod stats;
 mod store;
 
@@ -78,5 +87,6 @@ pub use device::{DeviceConfig, PmemDevice, PAGE_SIZE};
 pub use error::PmemError;
 pub use numa::NumaTopology;
 pub use pod::Pod;
+pub use poison::PoisonRange;
 pub use stats::{DeviceStats, StatsSnapshot};
 pub use store::CHUNK_SIZE;

@@ -1,0 +1,166 @@
+//! Media-error (poison) tracking.
+//!
+//! Real persistent memory degrades: a DIMM line can become *uncorrectable*,
+//! after which loads from it raise a machine-check while the surrounding
+//! lines stay readable. The OS records such lines in a "bad block" list
+//! (exposed by an Address Range Scrub), and they persist across reboots
+//! until explicitly cleared. This module models that failure mode at
+//! cache-line granularity: a [`PoisonSet`] is the device's durable set of
+//! poisoned lines, consulted on every read and flush.
+//!
+//! The set is optimised for the overwhelmingly common case of *zero*
+//! poisoned lines: a single relaxed atomic load short-circuits every
+//! check, so healthy devices pay nothing measurable.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::cache::CACHE_LINE_SIZE;
+
+/// One contiguous run of poisoned bytes, as reported by
+/// [`scrub`](crate::PmemDevice::scrub). Always cache-line aligned and a
+/// multiple of [`CACHE_LINE_SIZE`](crate::CACHE_LINE_SIZE) long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonRange {
+    /// Line-aligned device offset of the first poisoned byte.
+    pub offset: u64,
+    /// Length of the poisoned run in bytes.
+    pub len: u64,
+}
+
+impl PoisonRange {
+    /// Whether this range overlaps `[offset, offset + len)`.
+    pub fn overlaps(&self, offset: u64, len: u64) -> bool {
+        len > 0 && offset < self.offset + self.len && self.offset < offset.saturating_add(len)
+    }
+}
+
+/// The set of poisoned cache lines of one device.
+#[derive(Debug, Default)]
+pub(crate) struct PoisonSet {
+    /// Number of poisoned lines; checked first so unpoisoned devices pay
+    /// one relaxed load per access.
+    count: AtomicU64,
+    /// Poisoned line numbers (`offset / CACHE_LINE_SIZE`), ordered so that
+    /// scrubs can coalesce adjacent lines into ranges.
+    lines: Mutex<BTreeSet<u64>>,
+}
+
+impl PoisonSet {
+    pub(crate) fn new() -> PoisonSet {
+        PoisonSet::default()
+    }
+
+    /// Number of currently poisoned lines.
+    pub(crate) fn len(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Poisons every line covering `[offset, offset + len)`; returns how
+    /// many lines were newly poisoned.
+    pub(crate) fn add(&self, offset: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let mut lines = self.lines.lock().unwrap();
+        let mut added = 0;
+        for line in offset / CACHE_LINE_SIZE..=(offset + len - 1) / CACHE_LINE_SIZE {
+            added += lines.insert(line) as u64;
+        }
+        self.count.fetch_add(added, Ordering::Relaxed);
+        added
+    }
+
+    /// Clears every poisoned line covering `[offset, offset + len)`;
+    /// returns the line numbers that were cleared (so the device can zero
+    /// exactly those lines, as an ARS clear does).
+    pub(crate) fn clear(&self, offset: u64, len: u64) -> Vec<u64> {
+        if len == 0 || self.len() == 0 {
+            return Vec::new();
+        }
+        let mut lines = self.lines.lock().unwrap();
+        let mut cleared = Vec::new();
+        for line in offset / CACHE_LINE_SIZE..=(offset + len - 1) / CACHE_LINE_SIZE {
+            if lines.remove(&line) {
+                cleared.push(line);
+            }
+        }
+        self.count.fetch_sub(cleared.len() as u64, Ordering::Relaxed);
+        cleared
+    }
+
+    /// Returns the line-aligned offset of the first poisoned line inside
+    /// `[offset, offset + len)`, if any.
+    pub(crate) fn first_hit(&self, offset: u64, len: u64) -> Option<u64> {
+        if len == 0 || self.len() == 0 {
+            return None;
+        }
+        let lines = self.lines.lock().unwrap();
+        let first = offset / CACHE_LINE_SIZE;
+        let last = (offset + len - 1) / CACHE_LINE_SIZE;
+        lines.range(first..=last).next().map(|line| line * CACHE_LINE_SIZE)
+    }
+
+    /// All poisoned lines, coalesced into maximal contiguous ranges —
+    /// the Address Range Scrub result.
+    pub(crate) fn ranges(&self) -> Vec<PoisonRange> {
+        let lines = self.lines.lock().unwrap();
+        let mut out: Vec<PoisonRange> = Vec::new();
+        for &line in lines.iter() {
+            let offset = line * CACHE_LINE_SIZE;
+            match out.last_mut() {
+                Some(range) if range.offset + range.len == offset => range.len += CACHE_LINE_SIZE,
+                _ => out.push(PoisonRange { offset, len: CACHE_LINE_SIZE }),
+            }
+        }
+        out
+    }
+
+    /// Raw poisoned line numbers, for snapshot serialisation.
+    pub(crate) fn line_numbers(&self) -> Vec<u64> {
+        self.lines.lock().unwrap().iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_clear_and_count() {
+        let set = PoisonSet::new();
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.add(100, 1), 1); // line 1
+        assert_eq!(set.add(64, 128), 1); // lines 1..=2, line 1 already in
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.clear(0, 4096), vec![1, 2]);
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.add(0, 0), 0);
+        assert!(set.clear(0, 4096).is_empty());
+    }
+
+    #[test]
+    fn first_hit_is_line_aligned_and_ordered() {
+        let set = PoisonSet::new();
+        set.add(192, 64); // line 3
+        set.add(320, 64); // line 5
+        assert_eq!(set.first_hit(0, 64), None);
+        assert_eq!(set.first_hit(0, 1024), Some(192));
+        assert_eq!(set.first_hit(200, 8), Some(192)); // mid-line access
+        assert_eq!(set.first_hit(256, 512), Some(320));
+        assert_eq!(set.first_hit(384, 1024), None);
+    }
+
+    #[test]
+    fn ranges_coalesce_adjacent_lines() {
+        let set = PoisonSet::new();
+        set.add(64, 192); // lines 1..=3
+        set.add(448, 64); // line 7
+        let ranges = set.ranges();
+        assert_eq!(ranges, vec![PoisonRange { offset: 64, len: 192 }, PoisonRange { offset: 448, len: 64 }]);
+        assert!(ranges[0].overlaps(0, 65));
+        assert!(!ranges[0].overlaps(0, 64));
+        assert!(!ranges[1].overlaps(448, 0));
+    }
+}

@@ -27,6 +27,8 @@ struct Stripe {
     clwb_count: AtomicU64,
     sfence_count: AtomicU64,
     protection_faults: AtomicU64,
+    uncorrectable_errors: AtomicU64,
+    lines_poisoned: AtomicU64,
 }
 
 /// Concurrent device counters; cheap to update from many threads.
@@ -87,6 +89,14 @@ impl DeviceStats {
         bump!(self, protection_faults, 1);
     }
 
+    pub(crate) fn record_uncorrectable(&self) {
+        bump!(self, uncorrectable_errors, 1);
+    }
+
+    pub(crate) fn record_poisoned(&self, lines: u64) {
+        bump!(self, lines_poisoned, lines);
+    }
+
     /// Sums all stripes into a consistent-enough snapshot (individual
     /// counters are relaxed; totals may be skewed by in-flight updates).
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -103,6 +113,8 @@ impl DeviceStats {
             s.clwb_count += stripe.clwb_count.load(Ordering::Relaxed);
             s.sfence_count += stripe.sfence_count.load(Ordering::Relaxed);
             s.protection_faults += stripe.protection_faults.load(Ordering::Relaxed);
+            s.uncorrectable_errors += stripe.uncorrectable_errors.load(Ordering::Relaxed);
+            s.lines_poisoned += stripe.lines_poisoned.load(Ordering::Relaxed);
         }
         s
     }
@@ -121,6 +133,8 @@ impl DeviceStats {
             stripe.clwb_count.store(0, Ordering::Relaxed);
             stripe.sfence_count.store(0, Ordering::Relaxed);
             stripe.protection_faults.store(0, Ordering::Relaxed);
+            stripe.uncorrectable_errors.store(0, Ordering::Relaxed);
+            stripe.lines_poisoned.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -150,6 +164,12 @@ pub struct StatsSnapshot {
     pub sfence_count: u64,
     /// Accesses denied by MPK.
     pub protection_faults: u64,
+    /// Accesses that failed on a poisoned line (uncorrectable media
+    /// errors surfaced to callers).
+    pub uncorrectable_errors: u64,
+    /// Lines that turned uncorrectable (via injection or
+    /// [`poison`](crate::PmemDevice::poison)).
+    pub lines_poisoned: u64,
 }
 
 impl StatsSnapshot {
@@ -191,6 +211,8 @@ mod tests {
         stats.record_clwb(3);
         stats.record_sfence();
         stats.record_protection_fault();
+        stats.record_uncorrectable();
+        stats.record_poisoned(2);
         let s = stats.snapshot();
         assert_eq!(s.read_ops, 1);
         assert_eq!(s.bytes_read, 128);
@@ -199,6 +221,8 @@ mod tests {
         assert_eq!(s.clwb_count, 3);
         assert_eq!(s.sfence_count, 1);
         assert_eq!(s.protection_faults, 1);
+        assert_eq!(s.uncorrectable_errors, 1);
+        assert_eq!(s.lines_poisoned, 2);
     }
 
     #[test]

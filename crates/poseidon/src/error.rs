@@ -68,6 +68,21 @@ pub enum PoseidonError {
         /// Sub-heap the current call would use.
         current: u16,
     },
+    /// An uncorrectable media error: the device reported a poisoned line
+    /// while reading allocator state. The rest of the heap stays usable —
+    /// recovery quarantines what it cannot read (§ fault model,
+    /// DESIGN.md), and `pfsck --repair` can rebuild the metadata around
+    /// the poisoned lines.
+    MediaError {
+        /// Line-aligned device offset of the poisoned line.
+        offset: u64,
+    },
+    /// The operation targets a sub-heap that recovery quarantined after a
+    /// media error; its blocks are frozen until `pfsck --repair` runs.
+    SubheapQuarantined {
+        /// The quarantined sub-heap.
+        subheap: u16,
+    },
     /// Persistent state failed a validation check; the heap image is
     /// corrupt or not a Poseidon heap.
     Corrupted(&'static str),
@@ -110,6 +125,12 @@ impl std::fmt::Display for PoseidonError {
                 f,
                 "transaction started on sub-heap {started_on} but this allocation would use sub-heap {current}"
             ),
+            PoseidonError::MediaError { offset } => {
+                write!(f, "uncorrectable media error at device offset {offset:#x}")
+            }
+            PoseidonError::SubheapQuarantined { subheap } => {
+                write!(f, "sub-heap {subheap} is quarantined after a media error (run pfsck --repair)")
+            }
             PoseidonError::Corrupted(why) => write!(f, "corrupt heap image: {why}"),
             PoseidonError::BadGeometry(why) => write!(f, "bad heap geometry: {why}"),
             PoseidonError::Device(e) => write!(f, "device error: {e}"),
@@ -128,7 +149,14 @@ impl std::error::Error for PoseidonError {
 
 impl From<PmemError> for PoseidonError {
     fn from(err: PmemError) -> Self {
-        PoseidonError::Device(err)
+        match err {
+            // Media errors get their own variant: unlike a crash or an
+            // out-of-bounds access they are *partial* failures — callers
+            // degrade gracefully (quarantine, failover) instead of
+            // treating the whole device as gone.
+            PmemError::Uncorrectable { offset } => PoseidonError::MediaError { offset },
+            other => PoseidonError::Device(other),
+        }
     }
 }
 
@@ -144,6 +172,14 @@ mod tests {
         let e: PoseidonError = PmemError::Crashed.into();
         assert!(matches!(e, PoseidonError::Device(PmemError::Crashed)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn uncorrectable_becomes_typed_media_error() {
+        let e: PoseidonError = PmemError::Uncorrectable { offset: 0x1c0 }.into();
+        assert_eq!(e, PoseidonError::MediaError { offset: 0x1c0 });
+        assert!(e.to_string().contains("media error"));
+        assert!(PoseidonError::SubheapQuarantined { subheap: 3 }.to_string().contains("quarantined"));
     }
 
     #[test]

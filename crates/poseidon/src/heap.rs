@@ -53,6 +53,12 @@ impl HeapConfig {
 struct SubSlot {
     lock: TrackedMutex<()>,
     created: AtomicBool,
+    /// Set by load-time recovery when the sub-heap's metadata was hit by
+    /// an uncorrectable media error: every operation on it is refused
+    /// (typed [`PoseidonError::SubheapQuarantined`]) until
+    /// `pfsck --repair` rebuilds it. Volatile — re-evaluated on every
+    /// load from the device's scrub list.
+    quarantined: AtomicBool,
     /// Bitmap of micro-log slots claimed by open transactions.
     tx_slots: std::sync::atomic::AtomicU32,
 }
@@ -188,7 +194,7 @@ impl PoseidonHeap {
     pub fn load(dev: Arc<PmemDevice>, config: HeapConfig) -> Result<PoseidonHeap> {
         let (header, layout) = superblock::load(&dev)?;
         let pkey = Self::protect(&dev, &layout, config)?;
-        let report = {
+        let (report, quarantined) = {
             let _guard = pkey.map(|k| dev.mpk().grant_write(k));
             recovery::recover(&dev, &layout)?
         };
@@ -198,6 +204,9 @@ impl PoseidonHeap {
             if superblock::dir_entry(&heap.dev, sub)?.state == 1 {
                 heap.slots[sub as usize].created.store(true, Ordering::Release);
             }
+        }
+        for sub in quarantined {
+            heap.slots[sub as usize].quarantined.store(true, Ordering::Release);
         }
         Ok(heap)
     }
@@ -228,6 +237,7 @@ impl PoseidonHeap {
             .map(|_| SubSlot {
                 lock: TrackedMutex::new(()),
                 created: AtomicBool::new(false),
+                quarantined: AtomicBool::new(false),
                 tx_slots: std::sync::atomic::AtomicU32::new(0),
             })
             .collect();
@@ -264,6 +274,21 @@ impl PoseidonHeap {
         self.recovery
     }
 
+    /// Alias for [`recovery_report`](Self::recovery_report): the report
+    /// of the most recent load-time recovery.
+    pub fn last_recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Indices of sub-heaps quarantined wholesale by the load-time
+    /// recovery (empty on a healthy heap). Their blocks are frozen until
+    /// `pfsck --repair` rebuilds the damaged metadata.
+    pub fn quarantined_subheaps(&self) -> Vec<u16> {
+        (0..self.layout.num_subheaps)
+            .filter(|&sub| self.slots[sub as usize].quarantined.load(Ordering::Acquire))
+            .collect()
+    }
+
     /// Grants the calling thread metadata write access for the duration of
     /// the returned guard (no-op when protection is disabled).
     fn write_guard(&self) -> Option<PkruGuard<'_>> {
@@ -288,16 +313,32 @@ impl PoseidonHeap {
 
     /// Allocates `size` bytes from the calling CPU's sub-heap — the
     /// paper's `poseidon_alloc`. The usable size is `size` rounded up to
-    /// its power-of-two buddy class.
+    /// its power-of-two buddy class. If the home sub-heap is quarantined
+    /// after a media error, the allocation transparently fails over to
+    /// the next healthy sub-heap.
     ///
     /// # Errors
     ///
     /// [`PoseidonError::ZeroSize`], [`PoseidonError::TooLarge`],
-    /// [`PoseidonError::NoSpace`], [`PoseidonError::TableFull`], or device
-    /// errors.
+    /// [`PoseidonError::NoSpace`], [`PoseidonError::TableFull`],
+    /// [`PoseidonError::SubheapQuarantined`] when every sub-heap is
+    /// quarantined, or device errors.
     pub fn alloc(&self, size: u64) -> Result<NvmPtr> {
-        let sub = self.layout.subheap_for_cpu(numa::current_cpu());
+        let sub = self.healthy_sub(self.layout.subheap_for_cpu(numa::current_cpu()))?;
         self.alloc_on(sub, size, None)
+    }
+
+    /// Returns `preferred` if it is not quarantined, otherwise the first
+    /// healthy sub-heap after it (wrapping).
+    fn healthy_sub(&self, preferred: u16) -> Result<u16> {
+        let n = self.layout.num_subheaps;
+        for step in 0..n {
+            let sub = (preferred + step) % n;
+            if !self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
+                return Ok(sub);
+            }
+        }
+        Err(PoseidonError::SubheapQuarantined { subheap: preferred })
     }
 
     fn claim_tx_slot(&self, sub: u16) -> Result<usize> {
@@ -322,6 +363,9 @@ impl PoseidonHeap {
     }
 
     fn alloc_on(&self, sub: u16, size: u64, micro: Option<(u64, usize)>) -> Result<NvmPtr> {
+        if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
+            return Err(PoseidonError::SubheapQuarantined { subheap: sub });
+        }
         let (class, rounded) = class_for_size(size)?;
         if rounded > self.layout.max_alloc() {
             return Err(PoseidonError::TooLarge { requested: size, max: self.layout.max_alloc() });
@@ -355,7 +399,7 @@ impl PoseidonHeap {
         let (sub, slot, fresh) = match open {
             Some((sub, slot)) => (sub, slot, false),
             None => {
-                let sub = self.layout.subheap_for_cpu(numa::current_cpu());
+                let sub = self.healthy_sub(self.layout.subheap_for_cpu(numa::current_cpu()))?;
                 (sub, self.claim_tx_slot(sub)?, true)
             }
         };
@@ -445,6 +489,9 @@ impl PoseidonHeap {
         let sub = ptr.subheap();
         if !self.slots[sub as usize].created.load(Ordering::Acquire) {
             return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
+        }
+        if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
+            return Err(PoseidonError::SubheapQuarantined { subheap: sub });
         }
         let _guard = self.write_guard();
         let _lock = self.slots[sub as usize].lock.lock();
@@ -550,6 +597,9 @@ impl PoseidonHeap {
         if !self.slots[sub as usize].created.load(Ordering::Acquire) {
             return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
         }
+        if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
+            return Err(PoseidonError::SubheapQuarantined { subheap: sub });
+        }
         let _lock = self.slots[sub as usize].lock.lock();
         let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
         match crate::hashtable::lookup(&ctx, ptr.offset())? {
@@ -568,10 +618,13 @@ impl PoseidonHeap {
     pub fn audit(&self) -> Result<Vec<(u16, SubheapAudit)>> {
         let mut out = Vec::new();
         for sub in 0..self.layout.num_subheaps {
-            if !self.slots[sub as usize].created.load(Ordering::Acquire) {
+            let slot = &self.slots[sub as usize];
+            // Quarantined sub-heaps have untrustworthy metadata — auditing
+            // them would report phantom corruption (or fail on poison).
+            if !slot.created.load(Ordering::Acquire) || slot.quarantined.load(Ordering::Acquire) {
                 continue;
             }
-            let _lock = self.slots[sub as usize].lock.lock();
+            let _lock = slot.lock.lock();
             let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
             out.push((sub, subheap::audit(&ctx)?));
         }
@@ -613,10 +666,11 @@ impl PoseidonHeap {
         let _guard = self.write_guard();
         let mut merged = 0;
         for sub in 0..self.layout.num_subheaps {
-            if !self.slots[sub as usize].created.load(Ordering::Acquire) {
+            let slot = &self.slots[sub as usize];
+            if !slot.created.load(Ordering::Acquire) || slot.quarantined.load(Ordering::Acquire) {
                 continue;
             }
-            let _lock = self.slots[sub as usize].lock.lock();
+            let _lock = slot.lock.lock();
             let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
             merged += crate::defrag::merge_all_below(&ctx, crate::layout::NUM_CLASSES)?;
             hashtable::shrink(&ctx)?;

@@ -23,6 +23,13 @@
 //! **micro logging** for transactional allocation (§4.5), both replayed
 //! idempotently on load (§5.8).
 //!
+//! Uncorrectable media errors degrade gracefully instead of failing the
+//! heap: load-time recovery *quarantines* poisoned free blocks (and, when
+//! a sub-heap's metadata itself is damaged, the whole sub-heap) while the
+//! rest of the heap keeps allocating, and the offline [`repair`] pass
+//! (exposed as `pfsck --repair`) scrubs the poison and rebuilds the
+//! damaged metadata.
+//!
 //! This implementation runs on the [`pmem`] simulated-NVMM substrate and
 //! the [`mpk`] simulated protection keys (see those crates and `DESIGN.md`
 //! for the substitution rationale); the allocator logic itself is exactly
@@ -67,7 +74,9 @@ mod layout;
 mod microlog;
 mod nvmptr;
 mod persist;
+mod quarantine;
 mod recovery;
+mod repair;
 mod subheap;
 mod superblock;
 mod undo;
@@ -77,4 +86,5 @@ pub use heap::{HeapConfig, HeapOpStats, PoseidonHeap};
 pub use layout::{class_for_size, class_size, HeapLayout, MIN_BLOCK, NUM_CLASSES};
 pub use nvmptr::{NvmPtr, MAX_OFFSET};
 pub use recovery::RecoveryReport;
+pub use repair::{repair, RepairReport};
 pub use subheap::SubheapAudit;

@@ -88,6 +88,10 @@ pub mod state {
     /// Slot held a block that was merged away; kept for probe continuity,
     /// reusable by inserts.
     pub const TOMBSTONE: u32 = 3;
+    /// Block overlaps an uncorrectable media error: permanently withdrawn
+    /// from the buddy lists, never re-allocated, released only by
+    /// `pfsck --repair` after the poison is cleared.
+    pub const QUARANTINED: u32 = 4;
 }
 
 pod_struct! {

@@ -1,0 +1,127 @@
+//! Heap quarantine: isolating blocks hit by uncorrectable media errors.
+//!
+//! Real persistent memory develops bad lines; an allocator that hands a
+//! poisoned block back to the application turns a contained media error
+//! into silent data corruption. Poseidon therefore *quarantines*: a block
+//! whose user bytes overlap a poisoned line is moved to the
+//! [`state::QUARANTINED`] record state — pulled out of its buddy free
+//! list (if it was free), never considered for allocation or merging, and
+//! accounted separately by the audit. Quarantined blocks stay in the hash
+//! table so probe chains remain intact and the bytes they cover remain
+//! claimed (conservation: every user byte is FREE, ALLOC, or
+//! QUARANTINED).
+//!
+//! Quarantine is applied at two points:
+//!
+//! * **Recovery** ([`isolate_poisoned_free_blocks`]) — after the logs of
+//!   a sub-heap replay cleanly, its free blocks are checked against the
+//!   device's scrub list and poisoned ones are withdrawn.
+//! * **Free** — `free_block` routes a block overlapping poison straight
+//!   to QUARANTINED instead of the free list (see `subheap.rs`).
+//!
+//! Sub-heaps whose *metadata* is poisoned cannot be trusted at all and
+//! are quarantined wholesale by recovery (a volatile per-sub flag in the
+//! heap); `pfsck --repair` is the escape hatch for both granularities.
+
+use pmem::PoisonRange;
+
+use crate::buddy;
+use crate::error::Result;
+use crate::layout::{ENTRY_SIZE, MAX_LEVELS};
+use crate::persist::{state, SubCtx};
+use crate::undo::UndoSession;
+
+/// Whether any of `ranges` overlaps `[offset, offset + len)`.
+pub(crate) fn overlaps_any(ranges: &[PoisonRange], offset: u64, len: u64) -> bool {
+    ranges.iter().any(|r| r.overlaps(offset, len))
+}
+
+/// Scans every active hash-table level of `ctx` and quarantines FREE
+/// blocks whose user bytes overlap a poisoned range: each is unlinked
+/// from its buddy list and rewritten as [`state::QUARANTINED`], one undo
+/// session per block (so a crash mid-scan leaves a consistent heap and a
+/// re-run finishes the job). Returns `(blocks, bytes)` quarantined.
+///
+/// The caller has already established that the sub-heap's *metadata*
+/// region is poison-free — table reads here are expected to succeed.
+pub(crate) fn isolate_poisoned_free_blocks(ctx: &SubCtx<'_>, poison: &[PoisonRange]) -> Result<(u64, u64)> {
+    if poison.is_empty() {
+        return Ok((0, 0));
+    }
+    let user_base = ctx.user_base();
+    let mut blocks = 0u64;
+    let mut bytes = 0u64;
+    let active = (ctx.active_levels()? as usize).min(MAX_LEVELS);
+    for level in 0..active {
+        let base = ctx.layout.level_base(ctx.sub, level);
+        for i in 0..ctx.layout.level_capacity(level) {
+            let rec_off = base + i * ENTRY_SIZE;
+            let rec = ctx.entry(rec_off)?;
+            if rec.state != state::FREE || !overlaps_any(poison, user_base + rec.offset, rec.size) {
+                continue;
+            }
+            let mut session = UndoSession::begin(ctx.dev, ctx.undo_area())?;
+            buddy::unlink(ctx, &mut session, rec_off, &rec)?;
+            let mut updated = rec;
+            updated.state = state::QUARANTINED;
+            updated.next_free = 0;
+            updated.prev_free = 0;
+            crate::hashtable::write_entry(&mut session, rec_off, &updated)?;
+            session.commit()?;
+            blocks += 1;
+            bytes += rec.size;
+        }
+    }
+    Ok((blocks, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::HeapLayout;
+    use crate::subheap;
+    use pmem::{DeviceConfig, PmemDevice};
+
+    fn setup() -> (PmemDevice, HeapLayout) {
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        let dev = PmemDevice::new(DeviceConfig::new(64 << 20));
+        (dev, layout)
+    }
+
+    #[test]
+    fn poisoned_free_block_is_withdrawn_and_never_reallocated() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        subheap::create(&ctx, 0).unwrap();
+        // Allocate then free a small block so a specific free record
+        // exists, then poison one line inside it.
+        let (class, size) = crate::layout::class_for_size(64).unwrap();
+        let off = subheap::alloc_block(&ctx, class, None).unwrap();
+        subheap::free_block(&ctx, off).unwrap();
+        dev.poison(ctx.user_base() + off, 1).unwrap();
+
+        let (blocks, bytes) = isolate_poisoned_free_blocks(&ctx, &dev.scrub()).unwrap();
+        assert_eq!(blocks, 1);
+        assert_eq!(bytes, size);
+        // Idempotent: a second pass finds nothing FREE to quarantine.
+        assert_eq!(isolate_poisoned_free_blocks(&ctx, &dev.scrub()).unwrap(), (0, 0));
+
+        // The block is out of circulation: its record is QUARANTINED, its
+        // class's free list no longer links it, and the audit accounts
+        // for it.
+        let (rec_off, rec) = crate::hashtable::lookup(&ctx, off).unwrap().unwrap();
+        assert_eq!(rec.state, state::QUARANTINED);
+        assert!(!buddy::collect(&ctx, class).unwrap().contains(&rec_off));
+        let audit = subheap::audit(&ctx).unwrap();
+        assert_eq!(audit.quarantined_blocks, 1);
+        assert_eq!(audit.quarantined_bytes, size);
+    }
+
+    #[test]
+    fn clean_device_is_a_cheap_no_op() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        subheap::create(&ctx, 0).unwrap();
+        assert_eq!(isolate_poisoned_free_blocks(&ctx, &dev.scrub()).unwrap(), (0, 0));
+    }
+}

@@ -1,4 +1,4 @@
-//! Heap recovery (§5.1, §5.8).
+//! Heap recovery (§5.1, §5.8) with media-error degradation.
 //!
 //! On load, every log is checked: a non-empty undo log means an operation
 //! was interrupted and is rolled back; a non-empty micro log means a
@@ -7,6 +7,16 @@
 //! again — undo restoration rewrites the same old bytes, and micro-log
 //! frees of already-freed blocks are rejected as double frees and
 //! skipped.
+//!
+//! Recovery also degrades gracefully under uncorrectable media errors:
+//! the superblock undo log is the only hard dependency (it guards the
+//! root pointer — poison there fails the load with a typed
+//! [`PoseidonError::MediaError`]). Each sub-heap is salvaged
+//! independently: if its metadata region is poison-free and its logs
+//! replay cleanly, only the *free blocks* overlapping poisoned user
+//! lines are quarantined; otherwise the whole sub-heap is quarantined
+//! (volatile — the heap refuses to operate on it until `pfsck --repair`
+//! rebuilds its metadata) and the rest of the heap loads normally.
 
 use pmem::PmemDevice;
 
@@ -14,6 +24,7 @@ use crate::error::{PoseidonError, Result};
 use crate::layout::HeapLayout;
 use crate::microlog;
 use crate::persist::SubCtx;
+use crate::quarantine;
 use crate::subheap;
 use crate::superblock;
 use crate::undo;
@@ -27,6 +38,14 @@ pub struct RecoveryReport {
     pub subheap_undos_replayed: u32,
     /// Allocations freed from uncommitted transactions (micro logs).
     pub tx_allocations_reverted: u32,
+    /// Sub-heaps quarantined wholesale (poisoned metadata or an
+    /// unreadable log); their blocks are frozen until `pfsck --repair`.
+    pub subheaps_quarantined: u32,
+    /// Free blocks individually quarantined on otherwise-healthy
+    /// sub-heaps because their user bytes overlap poisoned lines.
+    pub blocks_quarantined: u64,
+    /// Bytes covered by the individually quarantined blocks.
+    pub bytes_quarantined: u64,
 }
 
 impl RecoveryReport {
@@ -34,43 +53,91 @@ impl RecoveryReport {
     pub fn crash_detected(&self) -> bool {
         self.superblock_undo_replayed || self.subheap_undos_replayed > 0 || self.tx_allocations_reverted > 0
     }
+
+    /// Whether recovery had to quarantine anything (media damage).
+    pub fn media_damage_detected(&self) -> bool {
+        self.subheaps_quarantined > 0 || self.blocks_quarantined > 0
+    }
 }
 
 /// Runs full recovery. The caller holds the MPK write guard (§5.1 grants
-/// write access to metadata for the duration of recovery).
-pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<RecoveryReport> {
+/// write access to metadata for the duration of recovery). Returns the
+/// report and the indices of wholesale-quarantined sub-heaps.
+pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(RecoveryReport, Vec<u16>)> {
     let mut report = RecoveryReport::default();
+    let poison = dev.scrub();
+    // The superblock undo log protects the root pointer and the heap's
+    // identity: poison here is unrecoverable in-process, so the typed
+    // media error propagates and the load fails.
     report.superblock_undo_replayed = undo::replay(dev, superblock::undo_area())?;
+    let mut quarantined_subs = Vec::new();
     for sub in 0..layout.num_subheaps {
+        let ctx = SubCtx { dev, layout, sub };
         if superblock::dir_entry(dev, sub)?.state != 1 {
+            // Not (yet) published: the crash may have hit mid-creation,
+            // after metadata lines were written — and possibly poisoned —
+            // but before the directory entry committed. Nothing in here is
+            // reachable, so scrub the poison away; a later fresh claim
+            // must start from clean media or its re-initialising plain
+            // writes would leave live poison under the new structures.
+            if quarantine::overlaps_any(&poison, ctx.meta_base(), layout.meta_size) {
+                dev.clear_poison(ctx.meta_base(), layout.meta_size)?;
+            }
+            if quarantine::overlaps_any(&poison, ctx.user_base(), layout.user_size) {
+                dev.clear_poison(ctx.user_base(), layout.user_size)?;
+            }
             continue;
         }
-        let ctx = SubCtx { dev, layout, sub };
-        if undo::replay(dev, ctx.undo_area())? {
-            report.subheap_undos_replayed += 1;
-        }
-        // Free every address an uncommitted transaction logged (§4.5) —
-        // any non-empty slot belongs to a transaction that never
-        // committed.
-        for slot in microlog::all_slots() {
-            let pending = microlog::entries(&ctx, slot)?;
-            if pending.is_empty() {
-                continue;
+        let meta_poisoned = quarantine::overlaps_any(&poison, ctx.meta_base(), layout.meta_size);
+        let salvage = if meta_poisoned {
+            // Don't even try: metadata reads could fail at any later
+            // operation, and a half-replayed log is worse than none.
+            Err(PoseidonError::MediaError { offset: ctx.meta_base() })
+        } else {
+            recover_sub(&ctx, &mut report)
+        };
+        match salvage {
+            Ok(()) => {
+                let (blocks, bytes) = quarantine::isolate_poisoned_free_blocks(&ctx, &poison)?;
+                report.blocks_quarantined += blocks;
+                report.bytes_quarantined += bytes;
             }
-            for ptr in pending {
-                if ptr.subheap() != sub {
-                    return Err(PoseidonError::Corrupted("micro-log entry for a foreign sub-heap"));
-                }
-                match subheap::free_block(&ctx, ptr.offset()) {
-                    Ok(_) => report.tx_allocations_reverted += 1,
-                    // Replay idempotence: a crash during a previous
-                    // recovery may have freed this one already.
-                    Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
-                    Err(e) => return Err(e),
-                }
+            Err(PoseidonError::MediaError { .. }) => {
+                report.subheaps_quarantined += 1;
+                quarantined_subs.push(sub);
             }
-            microlog::truncate(&ctx, slot)?;
+            Err(e) => return Err(e),
         }
     }
-    Ok(report)
+    Ok((report, quarantined_subs))
+}
+
+/// Replays one sub-heap's undo and micro logs.
+fn recover_sub(ctx: &SubCtx<'_>, report: &mut RecoveryReport) -> Result<()> {
+    if undo::replay(ctx.dev, ctx.undo_area())? {
+        report.subheap_undos_replayed += 1;
+    }
+    // Free every address an uncommitted transaction logged (§4.5) —
+    // any non-empty slot belongs to a transaction that never
+    // committed.
+    for slot in microlog::all_slots() {
+        let pending = microlog::entries(ctx, slot)?;
+        if pending.is_empty() {
+            continue;
+        }
+        for ptr in pending {
+            if ptr.subheap() != ctx.sub {
+                return Err(PoseidonError::Corrupted("micro-log entry for a foreign sub-heap"));
+            }
+            match subheap::free_block(ctx, ptr.offset()) {
+                Ok(_) => report.tx_allocations_reverted += 1,
+                // Replay idempotence: a crash during a previous
+                // recovery may have freed this one already.
+                Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        microlog::truncate(ctx, slot)?;
+    }
+    Ok(())
 }

@@ -1,0 +1,566 @@
+//! Offline repair of media-damaged heaps — the engine behind
+//! `pfsck --repair`.
+//!
+//! Load-time recovery (see `recovery.rs`) degrades gracefully: it
+//! quarantines what it cannot trust and keeps the heap running. Repair is
+//! the offline counterpart that makes the damage go away: it scrubs
+//! poisoned *metadata* lines (clearing poison zero-fills the line, as an
+//! address-range-scrub clear does), rebuilds what the zeroed bytes
+//! destroyed, and leaves a heap that loads with no sub-heap quarantined
+//! wholesale.
+//!
+//! The pass, in order:
+//!
+//! 1. **Superblock.** The header lines (identity, geometry, root pointer)
+//!    are the only unrepairable state: if they are poisoned the root
+//!    object is lost and repair fails with
+//!    [`PoseidonError::MediaError`]. Poisoned directory lines are
+//!    scrubbed and every entry they held is reconstructed from the
+//!    corresponding sub-heap header's magic (a *poisoned* header also
+//!    implies "created" — poison only lands on written lines, and a
+//!    never-created sub-heap's metadata is never written). The
+//!    superblock undo log is scrubbed — zeroed lines fail entry
+//!    validation, truncating the log — and replayed.
+//! 2. **Each created sub-heap.**
+//!    * The header page is scrubbed; a destroyed header is rebuilt from
+//!      the directory, and its undo log is then discarded wholesale —
+//!      the log generation was lost with the header, and replaying
+//!      entries of an unknown generation could roll back long-committed
+//!      operations.
+//!    * The micro-log area is scrubbed; any slot that lost a line has
+//!      its count reset (a zeroed entry would otherwise "free" pointer
+//!      zero on the next load, hitting whatever block lives at offset 0).
+//!    * The hash-table area is scrubbed; destroyed entries in active
+//!      levels are rewritten as tombstones — never left `EMPTY`, which
+//!      would truncate probe chains and lose every record behind them.
+//!    * The undo log (when its generation survived) is scrubbed and
+//!      replayed, rolling back the operation the media error
+//!      interrupted.
+//!    * Level live counts and every buddy free list are rebuilt
+//!      wholesale from the surviving records: FREE blocks overlapping
+//!      user-region poison become QUARANTINED, QUARANTINED blocks whose
+//!      poison has been cleared return to FREE, and the rest are
+//!      relinked in table order (tombstoning tears lists apart, so a
+//!      full rebuild is the only safe reconstruction).
+//!
+//! User-region poison is deliberately **not** scrubbed: allocated blocks
+//! may hold the application's only copy of that data, and zero-filling
+//! it would turn a detectable error into silent corruption. The poison
+//! stays, the overlapping free blocks stay quarantined, and reads of the
+//! bad lines keep failing with the typed error until the operator clears
+//! them.
+//!
+//! Repair runs no undo sessions of its own — every write is direct — so
+//! it is idempotent by re-execution: a crash mid-repair is handled by
+//! simply running repair again. It must run *offline* (no heap open on
+//! the device; an open heap's MPK tags would fault the writes). Records
+//! destroyed by poison leak the bytes they covered — with no record
+//! there is no merge partner — which the audit tolerates as a coverage
+//! hole.
+
+use pmem::{PmemDevice, CACHE_LINE_SIZE};
+
+use crate::error::{PoseidonError, Result};
+use crate::layout::{
+    class_for_size, HeapLayout, ENTRY_SIZE, MAX_LEVELS, MICRO_SLOT_BYTES, NUM_CLASSES, SB_DIR_OFF,
+    SB_REGION_SIZE, SB_UNDO_SIZE, SH_MICRO_OFF, SH_MICRO_SIZE, SH_TABLE_OFF, SH_UNDO_OFF, SH_UNDO_SIZE,
+};
+use crate::microlog;
+use crate::persist::{state, HashEntry, SubCtx, SubheapHeader, SUBHEAP_MAGIC};
+use crate::quarantine;
+use crate::superblock;
+use crate::undo;
+
+/// What an offline [`repair`] pass found and fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairReport {
+    /// Poisoned metadata cache lines scrubbed (cleared and zero-filled).
+    pub lines_scrubbed: u64,
+    /// Sub-heap directory entries reconstructed from header magic.
+    pub directory_entries_rebuilt: u32,
+    /// Sub-heap headers rebuilt from scratch.
+    pub headers_rebuilt: u32,
+    /// Undo logs that lost entries to scrubbing (truncated at the first
+    /// zeroed line) or were discarded with a rebuilt header.
+    pub undo_logs_truncated: u32,
+    /// Undo logs replayed (superblock and sub-heap).
+    pub undo_logs_replayed: u32,
+    /// Micro-log slots whose pending transaction was discarded because a
+    /// poisoned line destroyed part of it.
+    pub micro_slots_reset: u32,
+    /// Hash-table entries destroyed by poison and rewritten as
+    /// tombstones (their blocks' bytes are leaked).
+    pub entries_tombstoned: u64,
+    /// Free blocks newly quarantined because they overlap user-region
+    /// poison.
+    pub blocks_quarantined: u64,
+    /// Bytes covered by the newly quarantined blocks.
+    pub bytes_quarantined: u64,
+    /// Quarantined blocks returned to their free lists because their
+    /// poison is gone.
+    pub blocks_released: u64,
+    /// Created sub-heaps processed (free lists and counts rebuilt).
+    pub subheaps_repaired: u32,
+}
+
+impl RepairReport {
+    /// Whether the pass found any media damage to fix.
+    pub fn damage_found(&self) -> bool {
+        self.lines_scrubbed > 0
+            || self.blocks_quarantined > 0
+            || self.blocks_released > 0
+            || self.micro_slots_reset > 0
+    }
+}
+
+/// Repairs the heap on `dev` in place. See the module docs for the exact
+/// pass; the caller persists the result (the pass itself persists every
+/// region it touches, so a subsequent snapshot save succeeds).
+///
+/// # Errors
+///
+/// [`PoseidonError::MediaError`] if the superblock header itself is
+/// poisoned (the root object is lost — nothing to repair towards);
+/// [`PoseidonError::Corrupted`] if no valid heap is present; or device
+/// errors.
+pub fn repair(dev: &PmemDevice) -> Result<RepairReport> {
+    // A poisoned header line fails this read with the typed media error:
+    // identity, geometry and the root pointer are gone, and so is the heap.
+    let (_, layout) = superblock::load(dev)?;
+    let mut report = RepairReport::default();
+
+    repair_directory(dev, &layout, &mut report)?;
+
+    // Scrub the rest of the superblock region (the header lines are known
+    // clean — the load above read them). Zeroed lines inside the undo
+    // area truncate the log at the first invalid entry; the replay then
+    // rolls back whatever prefix survived.
+    let scrubbed = scrub_range(dev, 0, SB_REGION_SIZE)?;
+    if overlaps_lines(&scrubbed, superblock::undo_area().base, SB_UNDO_SIZE) {
+        report.undo_logs_truncated += 1;
+    }
+    report.lines_scrubbed += scrubbed.len() as u64;
+    if undo::replay(dev, superblock::undo_area())? {
+        report.undo_logs_replayed += 1;
+    }
+    dev.persist(0, SB_REGION_SIZE)?;
+
+    for sub in 0..layout.num_subheaps {
+        if superblock::dir_entry(dev, sub)?.state != 1 {
+            continue;
+        }
+        repair_sub(dev, &layout, sub, &mut report)?;
+        report.subheaps_repaired += 1;
+    }
+    Ok(report)
+}
+
+/// Scrubs poisoned directory lines and reconstructs the entries they
+/// held from the sub-heap headers.
+fn repair_directory(dev: &PmemDevice, layout: &HeapLayout, report: &mut RepairReport) -> Result<()> {
+    let dir_len = layout.num_subheaps as u64 * 8;
+    let cleared = scrub_range(dev, SB_DIR_OFF, dir_len)?;
+    report.lines_scrubbed += cleared.len() as u64;
+    for line in cleared {
+        let first = (line - SB_DIR_OFF) / 8;
+        let last = (first + CACHE_LINE_SIZE / 8).min(layout.num_subheaps as u64);
+        for sub in first..last {
+            let sub = sub as u16;
+            let meta = layout.meta_base(sub);
+            let entry = if dev.is_poisoned(meta, CACHE_LINE_SIZE) {
+                // The header was written (poison lands only on written
+                // lines), so the sub-heap existed. Its node is gone with
+                // the header; 0 is as good a home as any.
+                crate::persist::DirEntry { state: 1, node: 0 }
+            } else {
+                let header: SubheapHeader = dev.read_pod(meta)?;
+                if header.magic == SUBHEAP_MAGIC {
+                    crate::persist::DirEntry { state: 1, node: header.node }
+                } else {
+                    crate::persist::DirEntry::default()
+                }
+            };
+            if entry.state == 1 {
+                report.directory_entries_rebuilt += 1;
+            }
+            dev.write_pod(superblock::dir_entry_off(sub), &entry)?;
+        }
+    }
+    Ok(())
+}
+
+fn repair_sub(dev: &PmemDevice, layout: &HeapLayout, sub: u16, report: &mut RepairReport) -> Result<()> {
+    let ctx = SubCtx { dev, layout, sub };
+    let meta = ctx.meta_base();
+
+    // Header page (header + buddy arrays + level counts). The arrays are
+    // rebuilt wholesale below, so zero-filled lines there cost nothing.
+    let header_destroyed = dev.is_poisoned(meta, CACHE_LINE_SIZE);
+    report.lines_scrubbed += scrub_range(dev, meta, SH_UNDO_OFF)?.len() as u64;
+    if header_destroyed {
+        let node = superblock::dir_entry(dev, sub)?.node;
+        let header = SubheapHeader {
+            magic: SUBHEAP_MAGIC,
+            subheap_id: sub as u32,
+            node,
+            undo_gen: 0,
+            micro_count: 0,
+            active_levels: 1, // fixed up after the table is scrubbed
+        };
+        dev.write_pod(meta, &header)?;
+        report.headers_rebuilt += 1;
+    }
+
+    // Micro-log area: a slot that lost any line cannot be trusted — reset
+    // its count so the pending transaction is discarded rather than
+    // replayed from zero-filled pointers.
+    let micro_cleared = scrub_range(dev, meta + SH_MICRO_OFF, SH_MICRO_SIZE)?;
+    report.lines_scrubbed += micro_cleared.len() as u64;
+    let mut reset_slots = std::collections::BTreeSet::new();
+    for line in &micro_cleared {
+        reset_slots.insert(((line - (meta + SH_MICRO_OFF)) / MICRO_SLOT_BYTES) as usize);
+    }
+    for &slot in &reset_slots {
+        dev.write_pod(ctx.micro_count_off(slot), &0u64)?;
+    }
+    report.micro_slots_reset += reset_slots.len() as u32;
+
+    // Hash-table area: scrub first (so the replay below can flush these
+    // lines), remember which entries were destroyed.
+    let table_cleared = scrub_range(dev, meta + SH_TABLE_OFF, layout.meta_size - SH_TABLE_OFF)?;
+    report.lines_scrubbed += table_cleared.len() as u64;
+
+    // Undo log: with the header's generation intact, scrub (truncating at
+    // the first zeroed line) and replay the surviving prefix. With a
+    // rebuilt header the generation is unknown — discard the log
+    // entirely; replaying stale-generation entries could roll back
+    // long-committed operations.
+    if header_destroyed {
+        dev.punch_hole(meta + SH_UNDO_OFF, SH_UNDO_SIZE)?;
+        report.undo_logs_truncated += 1;
+    } else {
+        let undo_cleared = scrub_range(dev, meta + SH_UNDO_OFF, SH_UNDO_SIZE)?;
+        if !undo_cleared.is_empty() {
+            report.undo_logs_truncated += 1;
+        }
+        report.lines_scrubbed += undo_cleared.len() as u64;
+        if undo::replay(dev, ctx.undo_area())? {
+            report.undo_logs_replayed += 1;
+        }
+    }
+
+    // The replay may have restored a micro-log count we just reset (the
+    // interrupted operation logged it); reset again, and discard any slot
+    // whose surviving entries contain a null pointer — freeing "pointer
+    // zero" on load would hit whatever block lives at offset 0.
+    for &slot in &reset_slots {
+        dev.write_pod(ctx.micro_count_off(slot), &0u64)?;
+    }
+    for slot in microlog::all_slots() {
+        let pending = match microlog::entries(&ctx, slot) {
+            Ok(p) => p,
+            Err(PoseidonError::Corrupted(_)) => {
+                dev.write_pod(ctx.micro_count_off(slot), &0u64)?;
+                report.micro_slots_reset += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if pending.iter().any(|p| p.is_null() || p.subheap() != sub) {
+            dev.write_pod(ctx.micro_count_off(slot), &0u64)?;
+            report.micro_slots_reset += 1;
+        }
+    }
+
+    // Active level count: trust the stored value unless the header was
+    // rebuilt, in which case recount from the table (only *live* records
+    // mark a level active — leftover tombstones in a deactivated level
+    // must not resurrect it).
+    let active = if header_destroyed {
+        recount_active_levels(&ctx)?
+    } else {
+        (ctx.active_levels()?).clamp(1, MAX_LEVELS as u64) as usize
+    };
+    dev.write_pod(ctx.active_levels_off(), &(active as u64))?;
+
+    // Destroyed table entries in active levels become tombstones: a
+    // zero-filled (EMPTY) slot would terminate probe scans early and
+    // lose every record probing past it.
+    let table_end = layout.level_base(sub, active - 1) + layout.level_capacity(active - 1) * ENTRY_SIZE;
+    let tombstone = HashEntry { state: state::TOMBSTONE, ..Default::default() };
+    for line in &table_cleared {
+        if *line < table_end {
+            dev.write_pod(*line, &tombstone)?;
+            report.entries_tombstoned += 1;
+        }
+    }
+
+    rebuild_lists(&ctx, active, report)?;
+    dev.persist(meta, layout.meta_size)?;
+    Ok(())
+}
+
+/// Highest level holding a live record, plus one (minimum 1).
+fn recount_active_levels(ctx: &SubCtx<'_>) -> Result<usize> {
+    for level in (0..MAX_LEVELS).rev() {
+        let base = ctx.layout.level_base(ctx.sub, level);
+        for i in 0..ctx.layout.level_capacity(level) {
+            let rec = ctx.entry(base + i * ENTRY_SIZE)?;
+            if matches!(rec.state, state::FREE | state::ALLOC | state::QUARANTINED) {
+                return Ok(level + 1);
+            }
+        }
+    }
+    Ok(1)
+}
+
+/// Rebuilds the level live counts and every buddy free list from the
+/// surviving records, applying the quarantine transitions against the
+/// device's current poison list.
+fn rebuild_lists(ctx: &SubCtx<'_>, active: usize, report: &mut RepairReport) -> Result<()> {
+    let dev = ctx.dev;
+    let poison = dev.scrub();
+    let user_base = ctx.user_base();
+    for class in 0..NUM_CLASSES {
+        dev.write_pod(ctx.buddy_head_off(class), &0u64)?;
+        dev.write_pod(ctx.buddy_tail_off(class), &0u64)?;
+    }
+    let mut last: Vec<Option<(u64, HashEntry)>> = vec![None; NUM_CLASSES];
+    for level in 0..active {
+        let base = ctx.layout.level_base(ctx.sub, level);
+        let mut live = 0u64;
+        for i in 0..ctx.layout.level_capacity(level) {
+            let rec_off = base + i * ENTRY_SIZE;
+            let mut rec = ctx.entry(rec_off)?;
+            if !matches!(rec.state, state::FREE | state::ALLOC | state::QUARANTINED) {
+                continue;
+            }
+            live += 1;
+            if rec.state == state::ALLOC {
+                // Allocated blocks keep their (possibly poisoned) data;
+                // the typed error surfaces on read, never silently.
+                continue;
+            }
+            let poisoned = quarantine::overlaps_any(&poison, user_base + rec.offset, rec.size);
+            if poisoned {
+                if rec.state == state::FREE {
+                    report.blocks_quarantined += 1;
+                    report.bytes_quarantined += rec.size;
+                }
+                rec.state = state::QUARANTINED;
+                rec.next_free = 0;
+                rec.prev_free = 0;
+                dev.write_pod(rec_off, &rec)?;
+                continue;
+            }
+            if rec.state == state::QUARANTINED {
+                report.blocks_released += 1;
+            }
+            let (class, _) = class_for_size(rec.size)?;
+            rec.state = state::FREE;
+            rec.prev_free = last[class].map_or(0, |(off, _)| off);
+            rec.next_free = 0;
+            dev.write_pod(rec_off, &rec)?;
+            match last[class] {
+                Some((prev_off, mut prev)) => {
+                    prev.next_free = rec_off;
+                    dev.write_pod(prev_off, &prev)?;
+                }
+                None => dev.write_pod(ctx.buddy_head_off(class), &rec_off)?,
+            }
+            last[class] = Some((rec_off, rec));
+        }
+        dev.write_pod(ctx.level_count_off(level), &live)?;
+    }
+    for (class, tail) in last.iter().enumerate() {
+        if let Some((off, _)) = tail {
+            dev.write_pod(ctx.buddy_tail_off(class), off)?;
+        }
+    }
+    Ok(())
+}
+
+/// Clears every poisoned line inside `[offset, offset + len)` (the device
+/// zero-fills them) and returns their line-aligned offsets.
+fn scrub_range(dev: &PmemDevice, offset: u64, len: u64) -> Result<Vec<u64>> {
+    debug_assert_eq!(offset % CACHE_LINE_SIZE, 0);
+    let mut cleared = Vec::new();
+    for range in dev.scrub() {
+        if !range.overlaps(offset, len) {
+            continue;
+        }
+        let start = range.offset.max(offset);
+        let end = (range.offset + range.len).min(offset + len);
+        let mut line = start;
+        while line < end {
+            cleared.push(line);
+            line += CACHE_LINE_SIZE;
+        }
+    }
+    if !cleared.is_empty() {
+        dev.clear_poison(offset, len)?;
+    }
+    Ok(cleared)
+}
+
+/// Whether any of `lines` falls inside `[offset, offset + len)`.
+fn overlaps_lines(lines: &[u64], offset: u64, len: u64) -> bool {
+    lines.iter().any(|&line| line >= offset && line < offset + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::{HeapConfig, PoseidonHeap};
+    use crate::subheap;
+    use pmem::DeviceConfig;
+    use std::sync::Arc;
+
+    fn build_heap() -> (Arc<PmemDevice>, Vec<crate::NvmPtr>) {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let heap = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+        let mut live = Vec::new();
+        for cpu in 0..2usize {
+            let _pin = pmem::numa::CpuPinGuard::pin(cpu);
+            for i in 0..32u64 {
+                let p = heap.alloc(64 + i % 200).unwrap();
+                if i % 2 == 0 {
+                    heap.free(p).unwrap();
+                } else {
+                    live.push(p);
+                }
+            }
+        }
+        heap.set_root(live[0]).unwrap();
+        heap.close().unwrap();
+        (dev, live)
+    }
+
+    fn reload_and_audit(dev: &Arc<PmemDevice>) -> PoseidonHeap {
+        let heap = PoseidonHeap::load(dev.clone(), HeapConfig::new()).unwrap();
+        assert!(heap.quarantined_subheaps().is_empty(), "repair must leave no wholesale quarantine");
+        heap.audit().unwrap();
+        heap
+    }
+
+    #[test]
+    fn clean_heap_repair_is_a_no_op() {
+        let (dev, live) = build_heap();
+        let report = repair(&dev).unwrap();
+        assert!(!report.damage_found());
+        assert_eq!(report.subheaps_repaired, 2);
+        let heap = reload_and_audit(&dev);
+        for p in live {
+            heap.free(p).unwrap();
+        }
+        heap.audit().unwrap();
+    }
+
+    #[test]
+    fn poisoned_table_entry_is_tombstoned_without_losing_neighbours() {
+        let (dev, live) = build_heap();
+        // Poison one hash-table line of sub-heap 0.
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        // Find a FREE record and poison its table line.
+        let victim = (0..layout.level_capacity(0))
+            .map(|i| layout.level_base(0, 0) + i * ENTRY_SIZE)
+            .find(|&off| ctx.entry(off).unwrap().state == state::FREE)
+            .expect("a free record exists");
+        dev.poison(victim, 1).unwrap();
+
+        let report = repair(&dev).unwrap();
+        assert!(report.damage_found());
+        assert_eq!(report.entries_tombstoned, 1);
+        assert_eq!(ctx.entry(victim).unwrap().state, state::TOMBSTONE);
+
+        // The heap loads clean and every surviving allocation is intact.
+        let heap = reload_and_audit(&dev);
+        assert!(!heap.root().unwrap().is_null());
+        for p in live {
+            heap.free(p).unwrap();
+        }
+        heap.audit().unwrap();
+    }
+
+    #[test]
+    fn poisoned_free_block_stays_quarantined_and_returns_after_clear() {
+        let (dev, _) = build_heap();
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let (_, rec) = (0..layout.level_capacity(0))
+            .map(|i| layout.level_base(0, 0) + i * ENTRY_SIZE)
+            .map(|off| (off, ctx.entry(off).unwrap()))
+            .find(|(_, e)| e.state == state::FREE)
+            .unwrap();
+        let user_off = ctx.user_base() + rec.offset;
+        dev.poison(user_off, 1).unwrap();
+
+        let report = repair(&dev).unwrap();
+        assert_eq!(report.blocks_quarantined, 1);
+        assert_eq!(report.bytes_quarantined, rec.size);
+        let audit = subheap::audit(&ctx).unwrap();
+        assert_eq!(audit.quarantined_blocks, 1);
+
+        // Operator clears the poison; the next repair releases the block.
+        dev.clear_poison(user_off, rec.size).unwrap();
+        let report = repair(&dev).unwrap();
+        assert_eq!(report.blocks_released, 1);
+        let audit = subheap::audit(&ctx).unwrap();
+        assert_eq!(audit.quarantined_blocks, 0);
+        reload_and_audit(&dev);
+    }
+
+    #[test]
+    fn destroyed_subheap_header_is_rebuilt() {
+        let (dev, live) = build_heap();
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        dev.poison(layout.meta_base(1), 1).unwrap();
+
+        let report = repair(&dev).unwrap();
+        assert_eq!(report.headers_rebuilt, 1);
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 1 };
+        assert_eq!(ctx.header().unwrap().magic, SUBHEAP_MAGIC);
+        subheap::audit(&ctx).unwrap();
+
+        let heap = reload_and_audit(&dev);
+        for p in live {
+            heap.free(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn poisoned_directory_line_is_reconstructed() {
+        let (dev, live) = build_heap();
+        dev.poison(SB_DIR_OFF, 1).unwrap();
+        let report = repair(&dev).unwrap();
+        // Both sub-heaps were created; both entries come back.
+        assert_eq!(report.directory_entries_rebuilt, 2);
+        let heap = reload_and_audit(&dev);
+        for p in live {
+            heap.free(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn poisoned_superblock_header_is_fatal() {
+        let (dev, _) = build_heap();
+        dev.poison(0, 1).unwrap();
+        assert!(matches!(repair(&dev), Err(PoseidonError::MediaError { .. })));
+    }
+
+    #[test]
+    fn repair_is_idempotent() {
+        let (dev, live) = build_heap();
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        dev.poison(layout.meta_base(0) + SH_TABLE_OFF, 1).unwrap();
+        dev.poison(layout.meta_base(0) + SH_UNDO_OFF, 1).unwrap();
+        repair(&dev).unwrap();
+        let second = repair(&dev).unwrap();
+        assert!(!second.damage_found());
+        let heap = reload_and_audit(&dev);
+        for p in live {
+            heap.free(p).unwrap();
+        }
+    }
+}

@@ -152,7 +152,10 @@ fn try_alloc(
 /// Frees the block at user-region offset `offset`, validating the request
 /// against the hash table first (§4.7): unknown offsets are invalid
 /// frees, already-free blocks are double frees — both rejected without
-/// touching metadata. Returns the freed block's size.
+/// touching metadata. A block whose user bytes overlap a poisoned line is
+/// quarantined instead of returned to its free list, so the media error
+/// can never be handed to a future allocation. Returns the freed block's
+/// size.
 pub(crate) fn free_block(ctx: &SubCtx<'_>, offset: u64) -> Result<u64> {
     let Some((rec_off, mut rec)) = hashtable::lookup(ctx, offset)? else {
         return Err(PoseidonError::InvalidFree { offset });
@@ -163,8 +166,15 @@ pub(crate) fn free_block(ctx: &SubCtx<'_>, offset: u64) -> Result<u64> {
         _ => return Err(PoseidonError::InvalidFree { offset }),
     }
     let mut session = UndoSession::begin(ctx.dev, ctx.undo_area())?;
-    rec.state = state::FREE;
-    buddy::push_tail(ctx, &mut session, rec_off, &mut rec)?;
+    if ctx.dev.is_poisoned(ctx.user_base() + rec.offset, rec.size) {
+        rec.state = state::QUARANTINED;
+        rec.next_free = 0;
+        rec.prev_free = 0;
+        hashtable::write_entry(&mut session, rec_off, &rec)?;
+    } else {
+        rec.state = state::FREE;
+        buddy::push_tail(ctx, &mut session, rec_off, &mut rec)?;
+    }
     session.commit()?;
     Ok(rec.size)
 }
@@ -173,7 +183,7 @@ pub(crate) fn free_block(ctx: &SubCtx<'_>, offset: u64) -> Result<u64> {
 /// ([`PoseidonHeap::audit`](crate::PoseidonHeap::audit)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubheapAudit {
-    /// Number of live (FREE or ALLOC) records.
+    /// Number of live (FREE, ALLOC, or QUARANTINED) records.
     pub blocks: u64,
     /// Bytes covered by free blocks.
     pub free_bytes: u64,
@@ -185,6 +195,11 @@ pub struct SubheapAudit {
     pub active_levels: u64,
     /// Tombstoned (merged-away) records awaiting slot reuse.
     pub tombstones: u64,
+    /// Blocks quarantined after media errors (neither free nor
+    /// allocatable).
+    pub quarantined_blocks: u64,
+    /// Bytes covered by quarantined blocks.
+    pub quarantined_bytes: u64,
     /// Free blocks per buddy size class (class `k` = `32 << k` bytes).
     pub free_by_class: [u64; NUM_CLASSES],
 }
@@ -198,6 +213,8 @@ impl Default for SubheapAudit {
             alloc_blocks: 0,
             active_levels: 0,
             tombstones: 0,
+            quarantined_blocks: 0,
+            quarantined_bytes: 0,
             free_by_class: [0; NUM_CLASSES],
         }
     }
@@ -247,7 +264,7 @@ pub(crate) fn audit(ctx: &SubCtx<'_>) -> Result<SubheapAudit> {
             if e.state == state::TOMBSTONE {
                 tombstones += 1;
             }
-            if e.state == state::FREE || e.state == state::ALLOC {
+            if e.state == state::FREE || e.state == state::ALLOC || e.state == state::QUARANTINED {
                 live += 1;
                 if !e.size.is_power_of_two() || e.size < MIN_BLOCK {
                     return Err(PoseidonError::Corrupted("block size not a power of two"));
@@ -282,6 +299,10 @@ pub(crate) fn audit(ctx: &SubCtx<'_>) -> Result<SubheapAudit> {
             state::FREE => {
                 audit_out.free_bytes += e.size;
                 audit_out.free_by_class[crate::layout::class_for_size(e.size)?.0] += 1;
+            }
+            state::QUARANTINED => {
+                audit_out.quarantined_bytes += e.size;
+                audit_out.quarantined_blocks += 1;
             }
             _ => {
                 audit_out.alloc_bytes += e.size;
@@ -421,6 +442,24 @@ mod tests {
         assert!(matches!(free_block(&ctx, off), Err(PoseidonError::DoubleFree { .. })));
         // The heap is still intact.
         audit(&ctx).unwrap();
+    }
+
+    #[test]
+    fn freeing_a_poisoned_block_quarantines_it() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        create(&ctx, 0).unwrap();
+        let (class, size) = class_for_size(64).unwrap();
+        let off = alloc_block(&ctx, class, None).unwrap();
+        dev.poison(ctx.user_base() + off, 1).unwrap();
+        // The free "succeeds" — the block leaves the allocated population —
+        // but lands in quarantine, not on a free list.
+        assert_eq!(free_block(&ctx, off).unwrap(), size);
+        assert!(matches!(free_block(&ctx, off), Err(PoseidonError::InvalidFree { .. })));
+        let report = audit(&ctx).unwrap();
+        assert_eq!(report.quarantined_blocks, 1);
+        assert_eq!(report.quarantined_bytes, size);
+        assert_eq!(report.alloc_blocks, 0);
     }
 
     #[test]

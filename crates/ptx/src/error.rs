@@ -78,7 +78,10 @@ impl From<PoseidonError> for PtxError {
 
 impl From<pmem::PmemError> for PtxError {
     fn from(err: pmem::PmemError) -> Self {
-        PtxError::Heap(PoseidonError::Device(err))
+        // Route through Poseidon's conversion so uncorrectable media
+        // errors keep their typed `MediaError` variant instead of
+        // degenerating into a generic device failure.
+        PtxError::Heap(PoseidonError::from(err))
     }
 }
 

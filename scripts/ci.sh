@@ -19,4 +19,17 @@ cargo test -q
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
+# Fuzzers gate merges too, with fixed seeds for determinism: a bounded
+# crash-point sweep, and the same sweep with uncorrectable media errors
+# interleaved (every case must end in a clean recovery with accurate
+# quarantine accounting or a typed MediaError — never a panic).
+echo "== crashfuzz --iters 50 --tx (fixed seed)"
+cargo run --release --bin crashfuzz -- --iters 50 --tx --seed 314159
+
+echo "== crashfuzz --iters 50 --tx --poison (fixed seed)"
+cargo run --release --bin crashfuzz -- --iters 50 --tx --poison --seed 314159
+
+echo "== pfsck tool tests"
+cargo test -q --test pfsck_tool
+
 echo "CI gate passed."

@@ -3,10 +3,15 @@
 //! Each iteration drives a random allocator workload (plus optional `ptx`
 //! transactions), injects a device crash at a random mutation event, in
 //! strict or adversarial mode, recovers, and audits every structural
-//! invariant. Any failure prints the reproducing seed.
+//! invariant. With `--poison`, uncorrectable media errors are armed
+//! alongside the crash point: every case must then end in either a
+//! successful load whose quarantine accounting matches the audit (and
+//! whose fresh allocations never overlap a poisoned line), or a clean
+//! typed `MediaError` — never a panic, never silent reuse of poisoned
+//! blocks. Any failure prints the reproducing seed.
 //!
 //! ```text
-//! crashfuzz [--iters N] [--seed S] [--tx]
+//! crashfuzz [--iters N] [--seed S] [--tx] [--poison]
 //! ```
 
 use std::process::ExitCode;
@@ -34,38 +39,62 @@ fn main() -> ExitCode {
     let mut iters = 200u64;
     let mut seed = 0x5EED_F00Du64;
     let mut with_tx = false;
+    let mut with_poison = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--iters" => iters = args.next().and_then(|v| v.parse().ok()).unwrap_or(iters),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--tx" => with_tx = true,
+            "--poison" => with_poison = true,
             other => {
                 eprintln!("crashfuzz: unknown argument {other}");
-                eprintln!("usage: crashfuzz [--iters N] [--seed S] [--tx]");
+                eprintln!("usage: crashfuzz [--iters N] [--seed S] [--tx] [--poison]");
                 return ExitCode::from(2);
             }
         }
     }
-    println!("crashfuzz: {iters} iterations, seed {seed}, tx={with_tx}");
+    println!("crashfuzz: {iters} iterations, seed {seed}, tx={with_tx}, poison={with_poison}");
     let mut rng = Rng(seed | 1);
+    let mut media_failures = 0u64;
     for iteration in 0..iters {
         let case_seed = rng.next();
-        if let Err(why) = run_case(case_seed, with_tx) {
-            eprintln!("crashfuzz: FAILURE at iteration {iteration}, case seed {case_seed}: {why}");
-            return ExitCode::from(1);
+        match run_case(case_seed, with_tx, with_poison) {
+            Ok(outcome) => {
+                if matches!(outcome, CaseOutcome::TypedMediaFailure) {
+                    media_failures += 1;
+                }
+            }
+            Err(why) => {
+                eprintln!("crashfuzz: FAILURE at iteration {iteration}, case seed {case_seed}: {why}");
+                return ExitCode::from(1);
+            }
         }
         if iteration % 25 == 24 {
             println!("  {}/{iters} cases clean", iteration + 1);
         }
     }
-    println!("crashfuzz: all {iters} cases recovered cleanly");
+    if with_poison {
+        println!(
+            "crashfuzz: all {iters} cases handled cleanly ({media_failures} ended in a typed media error)"
+        );
+    } else {
+        println!("crashfuzz: all {iters} cases recovered cleanly");
+    }
     ExitCode::SUCCESS
 }
 
-fn run_case(case_seed: u64, with_tx: bool) -> Result<(), String> {
+/// How a fuzz case ended: full recovery, or a *typed* media-error failure
+/// (acceptable under `--poison` when the poison landed on state the heap
+/// cannot rebuild online, e.g. the superblock).
+enum CaseOutcome {
+    Recovered,
+    TypedMediaFailure,
+}
+
+fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutcome, String> {
     let mut rng = Rng(case_seed | 1);
-    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20).with_media_faults(with_poison)));
     let heap = Arc::new(
         PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(1 + rng.below(3) as u16))
             .map_err(|e| format!("create: {e}"))?,
@@ -73,8 +102,12 @@ fn run_case(case_seed: u64, with_tx: bool) -> Result<(), String> {
     let pool =
         if with_tx { Some(PtxPool::create(heap.clone()).map_err(|e| format!("pool: {e}"))?) } else { None };
 
-    // Random workload with a random crash point.
+    // Random workload with a random crash point, and (under --poison) a
+    // random media-fault point that poisons recently written lines.
     dev.arm_crash_after(rng.below(500));
+    if with_poison {
+        dev.arm_poison_after(1 + rng.below(400), rng.next());
+    }
     let mut live: Vec<NvmPtr> = Vec::new();
     'workload: for _ in 0..rng.below(80) + 10 {
         match rng.below(10) {
@@ -123,21 +156,80 @@ fn run_case(case_seed: u64, with_tx: bool) -> Result<(), String> {
         }
     }
     dev.disarm_crash();
+    dev.disarm_poison();
     drop(pool);
     drop(heap);
 
-    // Power-cycle (half strict, half adversarial) and recover.
+    // Power-cycle (half strict, half adversarial) and recover. Poisoned
+    // lines survive the crash, like real media errors survive a reboot.
     let mode = if rng.below(2) == 0 { CrashMode::Strict } else { CrashMode::Adversarial };
     dev.simulate_crash(mode, rng.next());
-    let heap =
-        Arc::new(PoseidonHeap::load(dev.clone(), HeapConfig::new()).map_err(|e| format!("load: {e}"))?);
-    heap.audit().map_err(|e| format!("audit: {e}"))?;
-    if with_tx && !heap.root().map_err(|e| format!("root: {e}"))?.is_null() {
-        let pool = PtxPool::open(heap.clone()).map_err(|e| format!("ptx open: {e}"))?;
-        let _ = pool.recovery_report();
+    let heap = match PoseidonHeap::load(dev.clone(), HeapConfig::new()) {
+        Ok(heap) => Arc::new(heap),
+        // Losing state the heap cannot rebuild online (e.g. a poisoned
+        // superblock line) must surface as the typed media error — any
+        // other failure, and any panic, is a bug.
+        Err(PoseidonError::MediaError { .. }) if with_poison => return Ok(CaseOutcome::TypedMediaFailure),
+        Err(e) => return Err(format!("load: {e}")),
+    };
+    let audits = heap.audit().map_err(|e| format!("audit: {e}"))?;
+
+    // Quarantine accounting must line up: the recovery report's wholesale
+    // count matches the frozen sub-heap set, and the audit sees at least
+    // the block quarantine recovery claims (frees before the crash may
+    // have quarantined more).
+    let recovery = heap.last_recovery();
+    let frozen = heap.quarantined_subheaps();
+    if recovery.subheaps_quarantined as usize != frozen.len() {
+        return Err(format!(
+            "recovery reports {} wholesale-quarantined sub-heaps but {} are frozen",
+            recovery.subheaps_quarantined,
+            frozen.len()
+        ));
     }
-    // The recovered heap must still serve allocations.
-    let p = heap.alloc(64).map_err(|e| format!("post-recovery alloc: {e}"))?;
-    heap.free(p).map_err(|e| format!("post-recovery free: {e}"))?;
-    Ok(())
+    let audited_quarantined: u64 = audits.iter().map(|(_, a)| a.quarantined_bytes).sum();
+    if audited_quarantined < recovery.bytes_quarantined {
+        return Err(format!(
+            "audit sees {audited_quarantined} quarantined bytes, recovery quarantined {}",
+            recovery.bytes_quarantined
+        ));
+    }
+    if !with_poison && (recovery.media_damage_detected() || dev.poisoned_lines() > 0) {
+        return Err("media damage reported without --poison".into());
+    }
+
+    if with_tx && !heap.root().map_err(|e| format!("root: {e}"))?.is_null() {
+        match PtxPool::open(heap.clone()) {
+            Ok(pool) => {
+                let _ = pool.recovery_report();
+            }
+            // The root object's own lines may be the poisoned ones.
+            Err(PtxError::Heap(
+                PoseidonError::MediaError { .. } | PoseidonError::SubheapQuarantined { .. },
+            )) if with_poison => {}
+            Err(e) => return Err(format!("ptx open: {e}")),
+        }
+    }
+
+    // The recovered heap must still serve allocations, and never hand out
+    // memory overlapping a poisoned line.
+    match heap.alloc(64) {
+        Ok(p) => {
+            let raw = heap.raw_offset(p).map_err(|e| format!("raw_offset: {e}"))?;
+            for range in dev.scrub() {
+                if range.offset < raw + 64 && raw < range.offset + range.len {
+                    return Err(format!(
+                        "fresh allocation at {raw:#x} overlaps poisoned line at {:#x}",
+                        range.offset
+                    ));
+                }
+            }
+            heap.free(p).map_err(|e| format!("post-recovery free: {e}"))?;
+        }
+        // Acceptable only when every sub-heap is frozen by poison.
+        Err(PoseidonError::SubheapQuarantined { .. })
+            if with_poison && frozen.len() == heap.layout().num_subheaps as usize => {}
+        Err(e) => return Err(format!("post-recovery alloc: {e}")),
+    }
+    Ok(CaseOutcome::Recovered)
 }

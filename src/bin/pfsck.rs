@@ -1,15 +1,20 @@
-//! `pfsck` — inspect and check a Poseidon pool image.
+//! `pfsck` — inspect, check, and repair a Poseidon pool image.
 //!
 //! A `fsck`-style utility for pool files written by
 //! [`PmemDevice::save`]: loads the image, runs crash recovery, audits
-//! every sub-heap's structural invariants, and prints a report.
+//! every sub-heap's structural invariants, and prints a report. With
+//! `--repair`, an offline [`poseidon::repair`] pass first scrubs
+//! poisoned metadata lines and rebuilds what they destroyed (directory
+//! entries, sub-heap headers, tombstoned table entries, truncated logs,
+//! free lists), then the repaired image is written back in place.
 //!
 //! ```text
-//! pfsck [--verbose] [--defrag] <pool-file>
+//! pfsck [--verbose] [--defrag] [--repair] <pool-file>
 //! ```
 //!
-//! Exit code 0 = clean (possibly after replaying crash logs), 1 = the
-//! image is corrupt, 2 = usage error.
+//! Exit code 0 = clean (possibly after replaying crash logs or
+//! repairing media damage), 1 = the image is corrupt or the root object
+//! is lost to an uncorrectable media error, 2 = usage error.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -20,11 +25,13 @@ use poseidon::{HeapConfig, PoseidonHeap};
 fn main() -> ExitCode {
     let mut verbose = false;
     let mut defrag = false;
+    let mut repair = false;
     let mut path = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--verbose" | "-v" => verbose = true,
             "--defrag" => defrag = true,
+            "--repair" => repair = true,
             other if !other.starts_with('-') => path = Some(other.to_string()),
             other => {
                 eprintln!("pfsck: unknown flag {other}");
@@ -33,7 +40,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: pfsck [--verbose] [--defrag] <pool-file>");
+        eprintln!("usage: pfsck [--verbose] [--defrag] [--repair] <pool-file>");
         return ExitCode::from(2);
     };
 
@@ -46,6 +53,43 @@ fn main() -> ExitCode {
     };
     println!("pool     : {path}");
     println!("capacity : {} MiB ({} MiB resident)", dev.capacity() >> 20, dev.resident_bytes() >> 20);
+    if dev.poisoned_lines() > 0 {
+        println!("media    : {} uncorrectable cache lines reported by scrub", dev.poisoned_lines());
+    }
+
+    if repair {
+        match poseidon::repair(&dev) {
+            Ok(report) => {
+                if report.damage_found() {
+                    println!(
+                        "repair   : {} lines scrubbed, {} dir entries + {} headers rebuilt, \
+                         {} table entries tombstoned, {} logs truncated, {} micro slots reset",
+                        report.lines_scrubbed,
+                        report.directory_entries_rebuilt,
+                        report.headers_rebuilt,
+                        report.entries_tombstoned,
+                        report.undo_logs_truncated,
+                        report.micro_slots_reset,
+                    );
+                    println!(
+                        "repair   : {} blocks ({} KiB) quarantined, {} blocks released from quarantine",
+                        report.blocks_quarantined,
+                        report.bytes_quarantined >> 10,
+                        report.blocks_released,
+                    );
+                } else {
+                    println!(
+                        "repair   : no media damage found ({} sub-heaps checked)",
+                        report.subheaps_repaired
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("pfsck: REPAIR FAILED (root object lost?): {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
 
     let heap = match PoseidonHeap::load(dev.clone(), HeapConfig::new()) {
         Ok(heap) => heap,
@@ -63,7 +107,7 @@ fn main() -> ExitCode {
         layout.user_size >> 20,
         layout.c0
     );
-    let report = heap.recovery_report();
+    let report = heap.last_recovery();
     if report.crash_detected() {
         println!(
             "recovery : CRASH DETECTED — superblock undo: {}, sub-heap undos: {}, tx allocations reverted: {}",
@@ -71,6 +115,18 @@ fn main() -> ExitCode {
         );
     } else {
         println!("recovery : clean shutdown (no logs to replay)");
+    }
+    if report.media_damage_detected() {
+        println!(
+            "media    : DAMAGE CONTAINED — {} sub-heaps quarantined wholesale, {} blocks ({} KiB) quarantined",
+            report.subheaps_quarantined,
+            report.blocks_quarantined,
+            report.bytes_quarantined >> 10,
+        );
+        let quarantined = heap.quarantined_subheaps();
+        if !quarantined.is_empty() {
+            println!("media    : frozen sub-heaps {quarantined:?} — run pfsck --repair to rebuild them");
+        }
     }
     match heap.root() {
         Ok(root) if !root.is_null() => println!("root     : {root}"),
@@ -100,9 +156,11 @@ fn main() -> ExitCode {
     };
     let mut total_alloc = 0;
     let mut total_free = 0;
+    let mut total_quarantined = 0;
     for (sub, audit) in &audits {
         total_alloc += audit.alloc_bytes;
         total_free += audit.free_bytes;
+        total_quarantined += audit.quarantined_bytes;
         println!(
             "subheap {sub:>3}: {:>7} blocks ({:>6} allocated), {:>8} KiB live, {:>8} KiB free, \
              {} levels, {:>5} tombstones, fragmentation {:>5.1}%",
@@ -114,6 +172,13 @@ fn main() -> ExitCode {
             audit.tombstones,
             100.0 * audit.fragmentation()
         );
+        if audit.quarantined_blocks > 0 {
+            println!(
+                "             {} blocks ({} KiB) quarantined after media errors",
+                audit.quarantined_blocks,
+                audit.quarantined_bytes >> 10
+            );
+        }
         if verbose {
             for (class, &count) in audit.free_by_class.iter().enumerate() {
                 if count > 0 {
@@ -122,11 +187,28 @@ fn main() -> ExitCode {
             }
         }
     }
+    let quarantine_note = if total_quarantined > 0 {
+        format!(", {} KiB quarantined", total_quarantined >> 10)
+    } else {
+        String::new()
+    };
     println!(
-        "summary  : {} sub-heaps created, {} KiB allocated, {} KiB free — OK",
+        "summary  : {} sub-heaps audited, {} KiB allocated, {} KiB free{quarantine_note} — OK",
         audits.len(),
         total_alloc >> 10,
         total_free >> 10
     );
+
+    if repair {
+        if let Err(e) = heap.close() {
+            eprintln!("pfsck: cannot close repaired heap: {e}");
+            return ExitCode::from(1);
+        }
+        if let Err(e) = dev.save(&path) {
+            eprintln!("pfsck: cannot write repaired image back to {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("written  : repaired image saved to {path}");
+    }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/media_faults-7e6a18505415c26b.d: tests/media_faults.rs
+
+/root/repo/target/debug/deps/media_faults-7e6a18505415c26b: tests/media_faults.rs
+
+tests/media_faults.rs:

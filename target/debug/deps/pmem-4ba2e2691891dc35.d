@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/pmem-4ba2e2691891dc35.d: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
+/root/repo/target/debug/deps/pmem-4ba2e2691891dc35.d: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/poison.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
 
-/root/repo/target/debug/deps/libpmem-4ba2e2691891dc35.rlib: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
+/root/repo/target/debug/deps/libpmem-4ba2e2691891dc35.rlib: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/poison.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
 
-/root/repo/target/debug/deps/libpmem-4ba2e2691891dc35.rmeta: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
+/root/repo/target/debug/deps/libpmem-4ba2e2691891dc35.rmeta: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/poison.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
 
 crates/pmem/src/lib.rs:
 crates/pmem/src/cache.rs:
@@ -12,5 +12,6 @@ crates/pmem/src/device.rs:
 crates/pmem/src/error.rs:
 crates/pmem/src/numa.rs:
 crates/pmem/src/pod.rs:
+crates/pmem/src/poison.rs:
 crates/pmem/src/stats.rs:
 crates/pmem/src/store.rs:

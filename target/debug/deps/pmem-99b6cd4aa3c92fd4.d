@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/pmem-99b6cd4aa3c92fd4.d: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
+/root/repo/target/debug/deps/pmem-99b6cd4aa3c92fd4.d: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/poison.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
 
-/root/repo/target/debug/deps/pmem-99b6cd4aa3c92fd4: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
+/root/repo/target/debug/deps/pmem-99b6cd4aa3c92fd4: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/poison.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
 
 crates/pmem/src/lib.rs:
 crates/pmem/src/cache.rs:
@@ -10,5 +10,6 @@ crates/pmem/src/device.rs:
 crates/pmem/src/error.rs:
 crates/pmem/src/numa.rs:
 crates/pmem/src/pod.rs:
+crates/pmem/src/poison.rs:
 crates/pmem/src/stats.rs:
 crates/pmem/src/store.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/poseidon-3a4c8aaa47f84955.d: crates/poseidon/src/lib.rs crates/poseidon/src/buddy.rs crates/poseidon/src/defrag.rs crates/poseidon/src/error.rs crates/poseidon/src/hashtable.rs crates/poseidon/src/heap.rs crates/poseidon/src/layout.rs crates/poseidon/src/microlog.rs crates/poseidon/src/nvmptr.rs crates/poseidon/src/persist.rs crates/poseidon/src/recovery.rs crates/poseidon/src/subheap.rs crates/poseidon/src/superblock.rs crates/poseidon/src/undo.rs
+/root/repo/target/debug/deps/poseidon-3a4c8aaa47f84955.d: crates/poseidon/src/lib.rs crates/poseidon/src/buddy.rs crates/poseidon/src/defrag.rs crates/poseidon/src/error.rs crates/poseidon/src/hashtable.rs crates/poseidon/src/heap.rs crates/poseidon/src/layout.rs crates/poseidon/src/microlog.rs crates/poseidon/src/nvmptr.rs crates/poseidon/src/persist.rs crates/poseidon/src/quarantine.rs crates/poseidon/src/recovery.rs crates/poseidon/src/repair.rs crates/poseidon/src/subheap.rs crates/poseidon/src/superblock.rs crates/poseidon/src/undo.rs
 
-/root/repo/target/debug/deps/poseidon-3a4c8aaa47f84955: crates/poseidon/src/lib.rs crates/poseidon/src/buddy.rs crates/poseidon/src/defrag.rs crates/poseidon/src/error.rs crates/poseidon/src/hashtable.rs crates/poseidon/src/heap.rs crates/poseidon/src/layout.rs crates/poseidon/src/microlog.rs crates/poseidon/src/nvmptr.rs crates/poseidon/src/persist.rs crates/poseidon/src/recovery.rs crates/poseidon/src/subheap.rs crates/poseidon/src/superblock.rs crates/poseidon/src/undo.rs
+/root/repo/target/debug/deps/poseidon-3a4c8aaa47f84955: crates/poseidon/src/lib.rs crates/poseidon/src/buddy.rs crates/poseidon/src/defrag.rs crates/poseidon/src/error.rs crates/poseidon/src/hashtable.rs crates/poseidon/src/heap.rs crates/poseidon/src/layout.rs crates/poseidon/src/microlog.rs crates/poseidon/src/nvmptr.rs crates/poseidon/src/persist.rs crates/poseidon/src/quarantine.rs crates/poseidon/src/recovery.rs crates/poseidon/src/repair.rs crates/poseidon/src/subheap.rs crates/poseidon/src/superblock.rs crates/poseidon/src/undo.rs
 
 crates/poseidon/src/lib.rs:
 crates/poseidon/src/buddy.rs:
@@ -12,7 +12,9 @@ crates/poseidon/src/layout.rs:
 crates/poseidon/src/microlog.rs:
 crates/poseidon/src/nvmptr.rs:
 crates/poseidon/src/persist.rs:
+crates/poseidon/src/quarantine.rs:
 crates/poseidon/src/recovery.rs:
+crates/poseidon/src/repair.rs:
 crates/poseidon/src/subheap.rs:
 crates/poseidon/src/superblock.rs:
 crates/poseidon/src/undo.rs:

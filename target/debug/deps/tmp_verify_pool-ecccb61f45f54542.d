@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_verify_pool-ecccb61f45f54542.d: tests/tmp_verify_pool.rs
+
+/root/repo/target/debug/deps/tmp_verify_pool-ecccb61f45f54542: tests/tmp_verify_pool.rs
+
+tests/tmp_verify_pool.rs:

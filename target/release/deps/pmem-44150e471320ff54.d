@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/pmem-44150e471320ff54.d: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
+/root/repo/target/release/deps/pmem-44150e471320ff54.d: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/poison.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
 
-/root/repo/target/release/deps/libpmem-44150e471320ff54.rlib: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
+/root/repo/target/release/deps/libpmem-44150e471320ff54.rlib: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/poison.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
 
-/root/repo/target/release/deps/libpmem-44150e471320ff54.rmeta: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
+/root/repo/target/release/deps/libpmem-44150e471320ff54.rmeta: crates/pmem/src/lib.rs crates/pmem/src/cache.rs crates/pmem/src/contention.rs crates/pmem/src/cost.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/numa.rs crates/pmem/src/pod.rs crates/pmem/src/poison.rs crates/pmem/src/stats.rs crates/pmem/src/store.rs
 
 crates/pmem/src/lib.rs:
 crates/pmem/src/cache.rs:
@@ -12,5 +12,6 @@ crates/pmem/src/device.rs:
 crates/pmem/src/error.rs:
 crates/pmem/src/numa.rs:
 crates/pmem/src/pod.rs:
+crates/pmem/src/poison.rs:
 crates/pmem/src/stats.rs:
 crates/pmem/src/store.rs:

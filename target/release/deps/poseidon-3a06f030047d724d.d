@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/poseidon-3a06f030047d724d.d: crates/poseidon/src/lib.rs crates/poseidon/src/buddy.rs crates/poseidon/src/defrag.rs crates/poseidon/src/error.rs crates/poseidon/src/hashtable.rs crates/poseidon/src/heap.rs crates/poseidon/src/layout.rs crates/poseidon/src/microlog.rs crates/poseidon/src/nvmptr.rs crates/poseidon/src/persist.rs crates/poseidon/src/recovery.rs crates/poseidon/src/subheap.rs crates/poseidon/src/superblock.rs crates/poseidon/src/undo.rs
+/root/repo/target/release/deps/poseidon-3a06f030047d724d.d: crates/poseidon/src/lib.rs crates/poseidon/src/buddy.rs crates/poseidon/src/defrag.rs crates/poseidon/src/error.rs crates/poseidon/src/hashtable.rs crates/poseidon/src/heap.rs crates/poseidon/src/layout.rs crates/poseidon/src/microlog.rs crates/poseidon/src/nvmptr.rs crates/poseidon/src/persist.rs crates/poseidon/src/quarantine.rs crates/poseidon/src/recovery.rs crates/poseidon/src/repair.rs crates/poseidon/src/subheap.rs crates/poseidon/src/superblock.rs crates/poseidon/src/undo.rs
 
-/root/repo/target/release/deps/libposeidon-3a06f030047d724d.rlib: crates/poseidon/src/lib.rs crates/poseidon/src/buddy.rs crates/poseidon/src/defrag.rs crates/poseidon/src/error.rs crates/poseidon/src/hashtable.rs crates/poseidon/src/heap.rs crates/poseidon/src/layout.rs crates/poseidon/src/microlog.rs crates/poseidon/src/nvmptr.rs crates/poseidon/src/persist.rs crates/poseidon/src/recovery.rs crates/poseidon/src/subheap.rs crates/poseidon/src/superblock.rs crates/poseidon/src/undo.rs
+/root/repo/target/release/deps/libposeidon-3a06f030047d724d.rlib: crates/poseidon/src/lib.rs crates/poseidon/src/buddy.rs crates/poseidon/src/defrag.rs crates/poseidon/src/error.rs crates/poseidon/src/hashtable.rs crates/poseidon/src/heap.rs crates/poseidon/src/layout.rs crates/poseidon/src/microlog.rs crates/poseidon/src/nvmptr.rs crates/poseidon/src/persist.rs crates/poseidon/src/quarantine.rs crates/poseidon/src/recovery.rs crates/poseidon/src/repair.rs crates/poseidon/src/subheap.rs crates/poseidon/src/superblock.rs crates/poseidon/src/undo.rs
 
-/root/repo/target/release/deps/libposeidon-3a06f030047d724d.rmeta: crates/poseidon/src/lib.rs crates/poseidon/src/buddy.rs crates/poseidon/src/defrag.rs crates/poseidon/src/error.rs crates/poseidon/src/hashtable.rs crates/poseidon/src/heap.rs crates/poseidon/src/layout.rs crates/poseidon/src/microlog.rs crates/poseidon/src/nvmptr.rs crates/poseidon/src/persist.rs crates/poseidon/src/recovery.rs crates/poseidon/src/subheap.rs crates/poseidon/src/superblock.rs crates/poseidon/src/undo.rs
+/root/repo/target/release/deps/libposeidon-3a06f030047d724d.rmeta: crates/poseidon/src/lib.rs crates/poseidon/src/buddy.rs crates/poseidon/src/defrag.rs crates/poseidon/src/error.rs crates/poseidon/src/hashtable.rs crates/poseidon/src/heap.rs crates/poseidon/src/layout.rs crates/poseidon/src/microlog.rs crates/poseidon/src/nvmptr.rs crates/poseidon/src/persist.rs crates/poseidon/src/quarantine.rs crates/poseidon/src/recovery.rs crates/poseidon/src/repair.rs crates/poseidon/src/subheap.rs crates/poseidon/src/superblock.rs crates/poseidon/src/undo.rs
 
 crates/poseidon/src/lib.rs:
 crates/poseidon/src/buddy.rs:
@@ -14,7 +14,9 @@ crates/poseidon/src/layout.rs:
 crates/poseidon/src/microlog.rs:
 crates/poseidon/src/nvmptr.rs:
 crates/poseidon/src/persist.rs:
+crates/poseidon/src/quarantine.rs:
 crates/poseidon/src/recovery.rs:
+crates/poseidon/src/repair.rs:
 crates/poseidon/src/subheap.rs:
 crates/poseidon/src/superblock.rs:
 crates/poseidon/src/undo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e728d2dd933e3028.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e728d2dd933e3028: examples/quickstart.rs
+
+examples/quickstart.rs:

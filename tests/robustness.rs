@@ -84,6 +84,37 @@ fn log_area_corruption_never_panics() {
 }
 
 #[test]
+fn undo_and_micro_log_byte_flips_never_panic() {
+    check("undo_and_micro_log_byte_flips_never_panic", Config::cases(32), |g| {
+        // Target the log regions specifically: the sub-heap undo log lives
+        // at meta + [0x1000, 0x11000) and the micro log at
+        // meta + [0x11000, 0x15000) — the exact bytes recovery parses and
+        // replays. Whole-pool sampling (above) rarely lands here.
+        let flips = g.vec(1..16, |g| (g.u64(0x1000..0x15000), g.any_u8()));
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20).with_protection(false)));
+        let meta_size;
+        {
+            let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+            meta_size = heap.layout().meta_size;
+            // Leave both an open transaction and an interrupted operation
+            // so the logs are non-empty when the flips land.
+            let _ = heap.tx_alloc(128, false).unwrap();
+            dev.arm_crash_after(10);
+            let _ = heap.alloc(64);
+            dev.disarm_crash();
+        }
+        dev.simulate_crash(pmem::CrashMode::Strict, 7);
+        let sb_region = 64 * 1024u64; // SB_REGION_SIZE
+        for (offset, value) in flips {
+            for sub in 0..2u64 {
+                dev.write(sb_region + sub * meta_size + offset, &[value]).unwrap();
+            }
+        }
+        try_load(dev);
+    });
+}
+
+#[test]
 fn unused_hash_levels_are_punched_back() {
     // §5.6: grow the table by allocating a dense population of minimum-
     // size blocks, then free + defragment; the emptied upper levels must
