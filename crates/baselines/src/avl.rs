@@ -46,7 +46,7 @@ fn update(node: &mut Box<Node>) {
     node.height = 1 + height(&node.left).max(height(&node.right));
 }
 
-fn balance_factor(node: &Box<Node>) -> i32 {
+fn balance_factor(node: &Node) -> i32 {
     height(&node.left) - height(&node.right)
 }
 

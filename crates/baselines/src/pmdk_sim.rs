@@ -596,7 +596,7 @@ mod tests {
         let free_before = p.free_chunks();
         let a = p.alloc(0, 2 * 1024 * 1024).unwrap();
         let used = free_before - p.free_chunks();
-        assert_eq!(used, (2 * 1024 * 1024 + OBJ_HEADER as u64).div_ceil(CHUNK_SIZE));
+        assert_eq!(used, (2 * 1024 * 1024 + OBJ_HEADER).div_ceil(CHUNK_SIZE));
         p.free(0, a).unwrap();
         assert_eq!(p.free_chunks(), free_before);
     }

@@ -33,4 +33,44 @@ fn main() {
         });
     }
     group.finish();
+    validation_ablation();
+}
+
+/// Session-layer ablation: access validations per operation on the
+/// alloc/free hot path. Before the checked-session refactor every
+/// metadata word access ran its own bounds/protection/poison sequence,
+/// so the per-word column is exactly what the validation count used to
+/// be; the per-op column is what `map_meta` costs now.
+fn validation_ablation() {
+    const OPS: u64 = 10_000;
+    let h = heap(HeapConfig::new());
+    // Warm up so steady state excludes sub-heap creation and hash-table
+    // level activation.
+    let mut warm = Vec::new();
+    for _ in 0..64 {
+        warm.push(h.alloc(256).expect("warm alloc"));
+    }
+    for p in warm {
+        h.free(p).expect("warm free");
+    }
+    let before = h.device().stats();
+    for _ in 0..OPS {
+        let p = h.alloc(256).expect("alloc");
+        h.free(p).expect("free");
+    }
+    let after = h.device().stats();
+    let ops = OPS * 2; // each round is one alloc + one free
+    let validations = after.validations - before.validations;
+    let word_accesses = (after.read_ops + after.write_ops) - (before.read_ops + before.write_ops);
+    println!("\nablation/validation-cost (alloc+free hot path, {ops} ops)");
+    println!(
+        "  per-word (pre-session baseline): {:>8} validations  ({:.2}/op)",
+        word_accesses,
+        word_accesses as f64 / ops as f64
+    );
+    println!(
+        "  per-op   (checked sessions):     {:>8} validations  ({:.2}/op)",
+        validations,
+        validations as f64 / ops as f64
+    );
 }

@@ -141,7 +141,7 @@ fn sweep_allocators(
 
 fn fig3() {
     println!("\n## Figure 3 — heap-metadata corruption from a heap overflow");
-    println!("{:<44} {:<10} {}", "scenario", "allocator", "outcome");
+    println!("{:<44} {:<10} outcome", "scenario", "allocator");
 
     // PMDK: overlapping allocation.
     {

@@ -93,7 +93,7 @@ pub fn measure(
         alloc.device().reset_stats();
         let result = run(alloc);
         let p = project(&result, &alloc.contention_profile());
-        if best.map_or(true, |b| p.mops > b.mops) {
+        if best.is_none_or(|b| p.mops > b.mops) {
             best = Some(p);
         }
     }

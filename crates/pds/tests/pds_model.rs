@@ -128,7 +128,7 @@ fn crash_mid_map_ops_preserves_entries() {
         let _ = map.remove(&pool, 3);
         dev.disarm_crash();
         drop(pool);
-        dev.simulate_crash(CrashMode::Strict, crash_at as u64);
+        dev.simulate_crash(CrashMode::Strict, crash_at);
 
         let heap = Arc::new(PoseidonHeap::load(dev, HeapConfig::new()).unwrap());
         let pool = PtxPool::open(heap).unwrap();

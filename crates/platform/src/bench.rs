@@ -9,15 +9,13 @@
 //! centre and p95 the honest tail.
 //!
 //! ```no_run
-//! fn main() {
-//!     let harness = platform::bench::Harness::from_args();
-//!     let mut group = harness.group("fig6_micro");
-//!     group.sample_size(10).throughput_elements(8_000);
-//!     group.bench("poseidon/256B", || {
-//!         // one benchmark iteration
-//!     });
-//!     group.finish();
-//! }
+//! let harness = platform::bench::Harness::from_args();
+//! let mut group = harness.group("fig6_micro");
+//! group.sample_size(10).throughput_elements(8_000);
+//! group.bench("poseidon/256B", || {
+//!     // one benchmark iteration
+//! });
+//! group.finish();
 //! ```
 //!
 //! Invoked by `cargo bench` (which passes `--bench`, ignored here) or

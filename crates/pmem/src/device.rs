@@ -2,7 +2,7 @@
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use mpk::{AccessKind, MpkDomain, ProtectionKey};
 
@@ -14,6 +14,7 @@ use crate::pod::Pod;
 use crate::poison::{PoisonRange, PoisonSet};
 use crate::stats::{DeviceStats, StatsSnapshot};
 use crate::store::ChunkStore;
+use crate::view::MetaView;
 
 /// Size of a protection/NUMA page (4 KiB, matching x86 and MPK granularity).
 pub const PAGE_SIZE: u64 = 4096;
@@ -117,6 +118,14 @@ pub struct PmemDevice {
     poison_countdown: AtomicI64,
     /// Seed selecting which line of the triggering store gets poisoned.
     poison_seed: AtomicU64,
+    /// Ranges known to carry one uniform protection key, memoized so
+    /// [`map_meta`](Self::map_meta) validates a multi-megabyte metadata
+    /// region with one key check instead of a per-page scan. Invalidated
+    /// whenever page keys change.
+    prot_memo: Mutex<Vec<(u64, u64, u8)>>,
+    /// Bumped by every page-key change; guards memo inserts against
+    /// racing [`set_page_key`](Self::set_page_key) calls.
+    prot_epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for PmemDevice {
@@ -145,6 +154,8 @@ impl PmemDevice {
             poison: PoisonSet::new(),
             poison_countdown: AtomicI64::new(-1),
             poison_seed: AtomicU64::new(0),
+            prot_memo: Mutex::new(Vec::new()),
+            prot_epoch: AtomicU64::new(0),
             config,
         }
     }
@@ -185,8 +196,20 @@ impl PmemDevice {
         self.stats.reset();
     }
 
+    pub(crate) fn store_ref(&self) -> &ChunkStore {
+        &self.store
+    }
+
+    pub(crate) fn cache_ref(&self) -> Option<&CacheModel> {
+        self.cache.as_ref()
+    }
+
+    pub(crate) fn stats_ref(&self) -> &DeviceStats {
+        &self.stats
+    }
+
     #[inline]
-    fn check_range(&self, offset: u64, len: u64) -> Result<(), PmemError> {
+    pub(crate) fn check_range(&self, offset: u64, len: u64) -> Result<(), PmemError> {
         if offset.checked_add(len).is_none_or(|end| end > self.config.capacity) {
             return Err(PmemError::OutOfBounds { offset, len, capacity: self.config.capacity });
         }
@@ -194,7 +217,7 @@ impl PmemDevice {
     }
 
     #[inline]
-    fn check_protection(&self, offset: u64, len: u64, kind: AccessKind) -> Result<(), PmemError> {
+    pub(crate) fn check_protection(&self, offset: u64, len: u64, kind: AccessKind) -> Result<(), PmemError> {
         if !self.config.enforce_protection || len == 0 {
             return Ok(());
         }
@@ -213,14 +236,67 @@ impl PmemDevice {
         Ok(())
     }
 
+    /// Protection check over a whole region, memoizing ranges that carry
+    /// one uniform key so repeated [`map_meta`](Self::map_meta) calls cost
+    /// one key lookup instead of a per-page scan. Faults are attributed to
+    /// the first offending page, exactly like
+    /// [`check_protection`](Self::check_protection).
+    fn check_protection_region(&self, offset: u64, len: u64, kind: AccessKind) -> Result<(), PmemError> {
+        if !self.config.enforce_protection || len == 0 {
+            return Ok(());
+        }
+        let memoized =
+            { self.prot_memo.lock().unwrap().iter().find(|m| m.0 == offset && m.1 == len).map(|m| m.2) };
+        if let Some(key) = memoized {
+            if key == 0 {
+                return Ok(());
+            }
+            let pkey = ProtectionKey::from_index(key).expect("stored keys are valid");
+            if self.domain.access_allowed(pkey, kind) {
+                return Ok(());
+            }
+            self.stats.record_protection_fault();
+            return Err(PmemError::ProtectionFault { offset: (offset / PAGE_SIZE) * PAGE_SIZE, key, kind });
+        }
+        let epoch = self.prot_epoch.load(Ordering::Acquire);
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        let mut uniform = Some(self.page_keys[first as usize].load(Ordering::Relaxed));
+        for page in first..=last {
+            let key = self.page_keys[page as usize].load(Ordering::Relaxed);
+            if uniform != Some(key) {
+                uniform = None;
+            }
+            if key != 0 {
+                let pkey = ProtectionKey::from_index(key).expect("stored keys are valid");
+                if !self.domain.access_allowed(pkey, kind) {
+                    self.stats.record_protection_fault();
+                    return Err(PmemError::ProtectionFault { offset: page * PAGE_SIZE, key, kind });
+                }
+            }
+        }
+        if let Some(key) = uniform {
+            let mut memo = self.prot_memo.lock().unwrap();
+            // Only memoize what the scan actually saw: discard the result
+            // if the keys changed underneath it.
+            if self.prot_epoch.load(Ordering::Acquire) == epoch {
+                if memo.len() >= 64 {
+                    memo.clear();
+                }
+                memo.push((offset, len, key));
+            }
+        }
+        Ok(())
+    }
+
     #[inline]
-    fn is_remote(&self, offset: u64) -> bool {
+    pub(crate) fn is_remote(&self, offset: u64) -> bool {
         let node = self.page_nodes[(offset / PAGE_SIZE) as usize].load(Ordering::Relaxed) as usize;
         self.config.topology.node_of_cpu(current_cpu()) != node
     }
 
     #[inline]
-    fn lines(offset: u64, len: u64) -> u64 {
+    pub(crate) fn lines(offset: u64, len: u64) -> u64 {
         if len == 0 {
             return 0;
         }
@@ -230,7 +306,7 @@ impl PmemDevice {
     /// Counts one mutation event against an armed crash countdown.
     /// Returns `Err(Crashed)` if the device is (or just became) crashed.
     #[inline]
-    fn mutation_event(&self) -> Result<(), PmemError> {
+    pub(crate) fn mutation_event(&self) -> Result<(), PmemError> {
         if self.crashed.load(Ordering::Relaxed) {
             return Err(PmemError::Crashed);
         }
@@ -246,7 +322,7 @@ impl PmemDevice {
     /// Fails with [`PmemError::Uncorrectable`] if `[offset, offset + len)`
     /// touches a poisoned line.
     #[inline]
-    fn check_poison(&self, offset: u64, len: u64) -> Result<(), PmemError> {
+    pub(crate) fn check_poison(&self, offset: u64, len: u64) -> Result<(), PmemError> {
         if let Some(line) = self.poison.first_hit(offset, len) {
             self.stats.record_uncorrectable();
             return Err(PmemError::Uncorrectable { offset: line });
@@ -259,7 +335,7 @@ impl PmemDevice {
     /// The store itself succeeds — like real media, degradation is silent
     /// until the line is next read or flushed.
     #[inline]
-    fn poison_event(&self, offset: u64, len: u64) {
+    pub(crate) fn poison_event(&self, offset: u64, len: u64) {
         if len == 0
             || !self.config.media_faults
             || self.poison_countdown.load(Ordering::Relaxed) < 0
@@ -282,6 +358,7 @@ impl PmemDevice {
     /// or [`PmemError::Uncorrectable`] if the range touches a poisoned
     /// line.
     pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<(), PmemError> {
+        self.stats.record_validation();
         self.check_range(offset, buf.len() as u64)?;
         self.check_protection(offset, buf.len() as u64, AccessKind::Read)?;
         self.check_poison(offset, buf.len() as u64)?;
@@ -303,6 +380,7 @@ impl PmemDevice {
     /// [`PmemError::OutOfBounds`], [`PmemError::ProtectionFault`], or
     /// [`PmemError::Crashed`].
     pub fn write(&self, offset: u64, buf: &[u8]) -> Result<(), PmemError> {
+        self.stats.record_validation();
         self.check_range(offset, buf.len() as u64)?;
         self.check_protection(offset, buf.len() as u64, AccessKind::Write)?;
         self.mutation_event()?;
@@ -373,7 +451,8 @@ impl PmemDevice {
     }
 
     fn fetch_update_u64(&self, offset: u64, f: impl Fn(u64) -> u64) -> Result<u64, PmemError> {
-        if offset % 8 != 0 {
+        self.stats.record_validation();
+        if !offset.is_multiple_of(8) {
             return Err(PmemError::Misaligned { value: offset, required: 8 });
         }
         self.check_range(offset, 8)?;
@@ -404,6 +483,7 @@ impl PmemDevice {
     /// [`PmemError::Uncorrectable`] — writing back to a failed line is how
     /// the DIMM reports poison on the store path.
     pub fn clwb(&self, offset: u64, len: u64) -> Result<(), PmemError> {
+        self.stats.record_validation();
         self.check_range(offset, len)?;
         self.check_poison(offset, len)?;
         self.mutation_event()?;
@@ -443,6 +523,35 @@ impl PmemDevice {
         self.sfence()
     }
 
+    /// Opens a checked session over `[offset, offset + len)`: bounds,
+    /// protection (for `kind` accesses) and poison are validated **once**,
+    /// here, and the returned [`MetaView`] then reads and writes the chunk
+    /// words directly — no per-access validation, and traffic counters
+    /// accumulate locally until the view drops.
+    ///
+    /// Crash and media-fault fidelity are preserved per access: every
+    /// write through the view still captures dirty-line pre-images, counts
+    /// a mutation event against an armed crash, and counts a store against
+    /// an armed poison injection; reads and flushes still fail on lines
+    /// that turned poisoned *after* the map. Writes through a view mapped
+    /// [`AccessKind::Read`] fall back to a full per-access protection
+    /// check.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`], [`PmemError::ProtectionFault`], or
+    /// [`PmemError::Uncorrectable`] if any line of the range is already
+    /// poisoned (callers quarantine such regions instead of operating on
+    /// them).
+    pub fn map_meta(&self, offset: u64, len: u64, kind: AccessKind) -> Result<MetaView<'_>, PmemError> {
+        self.stats.record_validation();
+        self.check_range(offset, len)?;
+        self.check_protection_region(offset, len, kind)?;
+        self.check_poison(offset, len)?;
+        self.stats.record_meta_map();
+        Ok(MetaView::new(self, offset, len, kind))
+    }
+
     /// Number of cache lines with stores that are not yet durable
     /// (always 0 when crash tracking is disabled).
     pub fn unpersisted_lines(&self) -> usize {
@@ -466,6 +575,8 @@ impl PmemDevice {
         for page in first..=last {
             self.page_keys[page as usize].store(key.index(), Ordering::Relaxed);
         }
+        self.prot_epoch.fetch_add(1, Ordering::Release);
+        self.prot_memo.lock().unwrap().clear();
         Ok(())
     }
 
@@ -509,6 +620,7 @@ impl PmemDevice {
     /// [`PmemError::OutOfBounds`], [`PmemError::ProtectionFault`] (punching
     /// is a write), or [`PmemError::Crashed`].
     pub fn punch_hole(&self, offset: u64, len: u64) -> Result<u64, PmemError> {
+        self.stats.record_validation();
         self.check_range(offset, len)?;
         self.check_protection(offset, len, AccessKind::Write)?;
         self.mutation_event()?;

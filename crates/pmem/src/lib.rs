@@ -79,14 +79,17 @@ mod pod;
 mod poison;
 mod stats;
 mod store;
+mod view;
 
 pub use cache::{CrashMode, CACHE_LINE_SIZE};
 pub use contention::{LockProfile, TrackedMutex};
 pub use cost::CostModel;
 pub use device::{DeviceConfig, PmemDevice, PAGE_SIZE};
 pub use error::PmemError;
+pub use mpk::AccessKind;
 pub use numa::NumaTopology;
 pub use pod::Pod;
 pub use poison::PoisonRange;
 pub use stats::{DeviceStats, StatsSnapshot};
 pub use store::CHUNK_SIZE;
+pub use view::MetaView;

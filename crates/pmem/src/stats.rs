@@ -29,6 +29,26 @@ struct Stripe {
     protection_faults: AtomicU64,
     uncorrectable_errors: AtomicU64,
     lines_poisoned: AtomicU64,
+    validations: AtomicU64,
+    meta_maps: AtomicU64,
+}
+
+/// Traffic accumulated locally by a [`MetaView`](crate::MetaView) and
+/// flushed into the striped counters in one bulk update when the view
+/// drops. Byte/line accounting is identical to per-call recording; only
+/// the number of shared-counter updates shrinks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ViewDeltas {
+    pub read_ops: u64,
+    pub write_ops: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub read_lines_local: u64,
+    pub read_lines_remote: u64,
+    pub write_lines_local: u64,
+    pub write_lines_remote: u64,
+    pub clwb_count: u64,
+    pub sfence_count: u64,
 }
 
 /// Concurrent device counters; cheap to update from many threads.
@@ -97,6 +117,33 @@ impl DeviceStats {
         bump!(self, lines_poisoned, lines);
     }
 
+    pub(crate) fn record_validation(&self) {
+        bump!(self, validations, 1);
+    }
+
+    pub(crate) fn record_meta_map(&self) {
+        bump!(self, meta_maps, 1);
+    }
+
+    pub(crate) fn record_view_deltas(&self, d: &ViewDeltas) {
+        if *d == ViewDeltas::default() {
+            return;
+        }
+        STRIPE_ID.with(|&id| {
+            let stripe = &self.stripes[id];
+            stripe.read_ops.fetch_add(d.read_ops, Ordering::Relaxed);
+            stripe.write_ops.fetch_add(d.write_ops, Ordering::Relaxed);
+            stripe.bytes_read.fetch_add(d.bytes_read, Ordering::Relaxed);
+            stripe.bytes_written.fetch_add(d.bytes_written, Ordering::Relaxed);
+            stripe.read_lines_local.fetch_add(d.read_lines_local, Ordering::Relaxed);
+            stripe.read_lines_remote.fetch_add(d.read_lines_remote, Ordering::Relaxed);
+            stripe.write_lines_local.fetch_add(d.write_lines_local, Ordering::Relaxed);
+            stripe.write_lines_remote.fetch_add(d.write_lines_remote, Ordering::Relaxed);
+            stripe.clwb_count.fetch_add(d.clwb_count, Ordering::Relaxed);
+            stripe.sfence_count.fetch_add(d.sfence_count, Ordering::Relaxed);
+        });
+    }
+
     /// Sums all stripes into a consistent-enough snapshot (individual
     /// counters are relaxed; totals may be skewed by in-flight updates).
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -115,6 +162,8 @@ impl DeviceStats {
             s.protection_faults += stripe.protection_faults.load(Ordering::Relaxed);
             s.uncorrectable_errors += stripe.uncorrectable_errors.load(Ordering::Relaxed);
             s.lines_poisoned += stripe.lines_poisoned.load(Ordering::Relaxed);
+            s.validations += stripe.validations.load(Ordering::Relaxed);
+            s.meta_maps += stripe.meta_maps.load(Ordering::Relaxed);
         }
         s
     }
@@ -135,6 +184,8 @@ impl DeviceStats {
             stripe.protection_faults.store(0, Ordering::Relaxed);
             stripe.uncorrectable_errors.store(0, Ordering::Relaxed);
             stripe.lines_poisoned.store(0, Ordering::Relaxed);
+            stripe.validations.store(0, Ordering::Relaxed);
+            stripe.meta_maps.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -170,6 +221,16 @@ pub struct StatsSnapshot {
     /// Lines that turned uncorrectable (via injection or
     /// [`poison`](crate::PmemDevice::poison)).
     pub lines_poisoned: u64,
+    /// Full access-validation sequences (bounds + protection + poison)
+    /// executed on the data path: one per plain device read/write/RMW/
+    /// flush/punch call and one per [`map_meta`](crate::PmemDevice::map_meta).
+    /// Accesses through an open [`MetaView`](crate::MetaView) add none —
+    /// the point of the session layer is that this counter scales with
+    /// *operations*, not metadata words.
+    pub validations: u64,
+    /// Metadata views handed out by
+    /// [`map_meta`](crate::PmemDevice::map_meta).
+    pub meta_maps: u64,
 }
 
 impl StatsSnapshot {

@@ -13,27 +13,27 @@
 //! Blocks are classic binary buddies: a block of size `s` at sub-heap
 //! offset `o` (always `s`-aligned) merges with the block at `o ^ s` iff
 //! that block exists, is free, and has the same size. Each merge runs in
-//! its own undo session, so the heap is consistent between merges and a
+//! its own undo scope, so the heap is consistent between merges and a
 //! crash mid-defragmentation loses nothing.
 
 use crate::buddy;
 use crate::error::Result;
 use crate::hashtable;
 use crate::layout::class_for_size;
-use crate::persist::{state, SubCtx};
-use crate::undo::UndoSession;
+use crate::persist::state;
+use crate::session::OpSession;
 
 /// Merges the FREE block recorded at `rec_off` with its buddy, cascading
 /// to larger classes while possible. Returns the number of merges.
-pub(crate) fn merge_cascade(ctx: &SubCtx<'_>, mut rec_off: u64) -> Result<u64> {
+pub(crate) fn merge_cascade(op: &OpSession<'_>, mut rec_off: u64) -> Result<u64> {
     let mut merged = 0;
     loop {
-        let rec = ctx.entry(rec_off)?;
+        let rec = op.entry(rec_off)?;
         if rec.state != state::FREE {
             return Ok(merged);
         }
         let buddy_key = rec.offset ^ rec.size;
-        let Some((buddy_off, buddy_rec)) = hashtable::lookup(ctx, buddy_key)? else {
+        let Some((buddy_off, buddy_rec)) = hashtable::lookup(op, buddy_key)? else {
             return Ok(merged);
         };
         if buddy_rec.state != state::FREE || buddy_rec.size != rec.size {
@@ -47,18 +47,18 @@ pub(crate) fn merge_cascade(ctx: &SubCtx<'_>, mut rec_off: u64) -> Result<u64> {
             (buddy_off, buddy_rec, rec_off, rec)
         };
 
-        let mut session = UndoSession::begin(ctx.dev, ctx.undo_area())?;
-        buddy::unlink(ctx, &mut session, surv_off, &surv)?;
+        let mut scope = op.undo()?;
+        buddy::unlink(op, &mut scope, surv_off, &surv)?;
         // Unlinking the survivor may have rewritten the loser's links
         // (they can be neighbours in the same class list): reload it.
-        let loser_now = ctx.entry(loser_off)?;
+        let loser_now = op.entry(loser_off)?;
         debug_assert_eq!(loser_now.offset, loser.offset);
-        buddy::unlink(ctx, &mut session, loser_off, &loser_now)?;
-        hashtable::delete(ctx, &mut session, loser_off)?;
+        buddy::unlink(op, &mut scope, loser_off, &loser_now)?;
+        hashtable::delete(op, &mut scope, loser_off)?;
         surv.size *= 2;
         surv.state = state::FREE;
-        buddy::push_tail(ctx, &mut session, surv_off, &mut surv)?;
-        session.commit()?;
+        buddy::push_tail(op, &mut scope, surv_off, &mut surv)?;
+        scope.commit()?;
 
         merged += 1;
         rec_off = surv_off;
@@ -67,15 +67,15 @@ pub(crate) fn merge_cascade(ctx: &SubCtx<'_>, mut rec_off: u64) -> Result<u64> {
 
 /// Trigger 1 (§5.4): merges buddies in every class **below** `class`,
 /// hoping to assemble a block large enough. Returns the number of merges.
-pub(crate) fn merge_all_below(ctx: &SubCtx<'_>, class: usize) -> Result<u64> {
+pub(crate) fn merge_all_below(op: &OpSession<'_>, class: usize) -> Result<u64> {
     let mut merged = 0;
     for k in 0..class {
         // Snapshot, then re-validate each record: earlier merges may have
         // consumed or grown entries from this list.
-        for rec_off in buddy::collect(ctx, k)? {
-            let rec = ctx.entry(rec_off)?;
+        for rec_off in buddy::collect(op, k)? {
+            let rec = op.entry(rec_off)?;
             if rec.state == state::FREE && class_for_size(rec.size)?.0 == k {
-                merged += merge_cascade(ctx, rec_off)?;
+                merged += merge_cascade(op, rec_off)?;
             }
         }
     }
@@ -85,12 +85,12 @@ pub(crate) fn merge_all_below(ctx: &SubCtx<'_>, class: usize) -> Result<u64> {
 /// Trigger 2 (§5.4): merges the free blocks found in `key`'s probe
 /// windows so an insert of `key` can find a slot. Returns the number of
 /// merges.
-pub(crate) fn compact_windows(ctx: &SubCtx<'_>, key: u64) -> Result<u64> {
+pub(crate) fn compact_windows(op: &OpSession<'_>, key: u64) -> Result<u64> {
     let mut merged = 0;
-    for (rec_off, rec) in hashtable::free_in_windows(ctx, key)? {
-        let now = ctx.entry(rec_off)?;
+    for (rec_off, rec) in hashtable::free_in_windows(op, key)? {
+        let now = op.entry(rec_off)?;
         if now.state == state::FREE && now.offset == rec.offset {
-            merged += merge_cascade(ctx, rec_off)?;
+            merged += merge_cascade(op, rec_off)?;
         }
     }
     Ok(merged)
@@ -100,7 +100,7 @@ pub(crate) fn compact_windows(ctx: &SubCtx<'_>, key: u64) -> Result<u64> {
 mod tests {
     use super::*;
     use crate::layout::HeapLayout;
-    use crate::persist::HashEntry;
+    use crate::persist::{HashEntry, SubCtx};
     use pmem::{DeviceConfig, PmemDevice};
 
     fn setup() -> (PmemDevice, HeapLayout) {
@@ -111,12 +111,12 @@ mod tests {
         (dev, layout)
     }
 
-    fn add(ctx: &SubCtx<'_>, off: u64, size: u64, st: u32) -> u64 {
-        let mut s = UndoSession::begin(ctx.dev, ctx.undo_area()).unwrap();
+    fn add(op: &OpSession<'_>, off: u64, size: u64, st: u32) -> u64 {
+        let mut s = op.undo().unwrap();
         let mut rec = HashEntry { offset: off, size, state: st, ..Default::default() };
-        let rec_off = hashtable::insert(ctx, &mut s, rec, false).unwrap();
+        let rec_off = hashtable::insert(op, &mut s, rec, false).unwrap();
         if st == state::FREE {
-            buddy::push_tail(ctx, &mut s, rec_off, &mut rec).unwrap();
+            buddy::push_tail(op, &mut s, rec_off, &mut rec).unwrap();
         }
         s.commit().unwrap();
         rec_off
@@ -125,78 +125,78 @@ mod tests {
     #[test]
     fn two_free_buddies_merge() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        let a = add(&ctx, 0, 64, state::FREE);
-        add(&ctx, 64, 64, state::FREE);
-        assert!(merge_cascade(&ctx, a).unwrap() > 0);
-        let (_, merged) = hashtable::lookup(&ctx, 0).unwrap().unwrap();
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        let a = add(&op, 0, 64, state::FREE);
+        add(&op, 64, 64, state::FREE);
+        assert!(merge_cascade(&op, a).unwrap() > 0);
+        let (_, merged) = hashtable::lookup(&op, 0).unwrap().unwrap();
         assert_eq!(merged.size, 128);
         assert_eq!(merged.state, state::FREE);
-        assert!(hashtable::lookup(&ctx, 64).unwrap().is_none());
+        assert!(hashtable::lookup(&op, 64).unwrap().is_none());
         // It sits in the 128-byte list now.
         let (c128, _) = class_for_size(128).unwrap();
-        assert_eq!(buddy::collect(&ctx, c128).unwrap().len(), 1);
+        assert_eq!(buddy::collect(&op, c128).unwrap().len(), 1);
         let (c64, _) = class_for_size(64).unwrap();
-        assert!(buddy::collect(&ctx, c64).unwrap().is_empty());
+        assert!(buddy::collect(&op, c64).unwrap().is_empty());
     }
 
     #[test]
     fn merge_cascades_upward() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
         // Four free 64 B blocks covering [0, 256): cascade to one 256 B.
-        let a = add(&ctx, 0, 64, state::FREE);
-        add(&ctx, 64, 64, state::FREE);
-        add(&ctx, 128, 64, state::FREE);
-        add(&ctx, 192, 64, state::FREE);
+        let a = add(&op, 0, 64, state::FREE);
+        add(&op, 64, 64, state::FREE);
+        add(&op, 128, 64, state::FREE);
+        add(&op, 192, 64, state::FREE);
         // First cascade: 0+64 -> 128-size block at 0; buddy at 128 is only
         // 64 bytes, so the cascade pauses there.
-        merge_cascade(&ctx, a).unwrap();
+        merge_cascade(&op, a).unwrap();
         // Merge the right pair too, then cascade again.
-        let (right_off, _) = hashtable::lookup(&ctx, 128).unwrap().unwrap();
-        merge_cascade(&ctx, right_off).unwrap();
-        let (_, merged) = hashtable::lookup(&ctx, 0).unwrap().unwrap();
+        let (right_off, _) = hashtable::lookup(&op, 128).unwrap().unwrap();
+        merge_cascade(&op, right_off).unwrap();
+        let (_, merged) = hashtable::lookup(&op, 0).unwrap().unwrap();
         assert_eq!(merged.size, 256);
     }
 
     #[test]
     fn allocated_or_mismatched_buddies_do_not_merge() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        let a = add(&ctx, 0, 64, state::FREE);
-        add(&ctx, 64, 64, state::ALLOC);
-        assert_eq!(merge_cascade(&ctx, a).unwrap(), 0);
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        let a = add(&op, 0, 64, state::FREE);
+        add(&op, 64, 64, state::ALLOC);
+        assert_eq!(merge_cascade(&op, a).unwrap(), 0);
         // Different size: 128 at offset 128 is not the buddy of 64 at 0.
-        let b = add(&ctx, 256, 64, state::FREE);
-        add(&ctx, 320, 128, state::FREE); // overlapping nonsense aside, sizes differ
-        assert_eq!(merge_cascade(&ctx, b).unwrap(), 0);
+        let b = add(&op, 256, 64, state::FREE);
+        add(&op, 320, 128, state::FREE); // overlapping nonsense aside, sizes differ
+        assert_eq!(merge_cascade(&op, b).unwrap(), 0);
     }
 
     #[test]
     fn merge_all_below_assembles_larger_blocks() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
         for i in 0..8 {
-            add(&ctx, i * 64, 64, state::FREE);
+            add(&op, i * 64, 64, state::FREE);
         }
         let (c512, _) = class_for_size(512).unwrap();
-        assert!(buddy::head(&ctx, c512).unwrap() == 0);
-        assert!(merge_all_below(&ctx, c512).unwrap() > 0);
-        let (_, big) = hashtable::lookup(&ctx, 0).unwrap().unwrap();
+        assert!(buddy::head(&op, c512).unwrap() == 0);
+        assert!(merge_all_below(&op, c512).unwrap() > 0);
+        let (_, big) = hashtable::lookup(&op, 0).unwrap().unwrap();
         assert_eq!(big.size, 512);
-        assert_ne!(buddy::head(&ctx, c512).unwrap(), 0);
+        assert_ne!(buddy::head(&op, c512).unwrap(), 0);
     }
 
     #[test]
     fn compact_windows_merges_only_window_blocks() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        let _ = add(&ctx, 0, 64, state::FREE);
-        add(&ctx, 64, 64, state::FREE);
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        let _ = add(&op, 0, 64, state::FREE);
+        add(&op, 64, 64, state::FREE);
         // Compacting around key 0 must at least merge the [0,128) pair if
         // it sits in the window.
-        compact_windows(&ctx, 0).unwrap();
-        let (_, e) = hashtable::lookup(&ctx, 0).unwrap().unwrap();
+        compact_windows(&op, 0).unwrap();
+        let (_, e) = hashtable::lookup(&op, 0).unwrap().unwrap();
         assert_eq!(e.size, 128);
     }
 
@@ -205,12 +205,12 @@ mod tests {
         // The survivor and loser are adjacent in the same free list — the
         // reload-after-unlink path must handle their link updates.
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        let a = add(&ctx, 0, 64, state::FREE);
-        let b = add(&ctx, 64, 64, state::FREE);
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        let a = add(&op, 0, 64, state::FREE);
+        let b = add(&op, 64, 64, state::FREE);
         let (c64, _) = class_for_size(64).unwrap();
-        assert_eq!(buddy::collect(&ctx, c64).unwrap(), vec![a, b]);
-        assert!(merge_cascade(&ctx, a).unwrap() > 0);
-        assert!(buddy::collect(&ctx, c64).unwrap().is_empty());
+        assert_eq!(buddy::collect(&op, c64).unwrap(), vec![a, b]);
+        assert!(merge_cascade(&op, a).unwrap() > 0);
+        assert!(buddy::collect(&op, c64).unwrap().is_empty());
     }
 }

@@ -12,8 +12,8 @@
 
 use crate::error::{PoseidonError, Result};
 use crate::layout::{ENTRY_SIZE, MAX_LEVELS, PROBE_WINDOW, SH_TABLE_OFF};
-use crate::persist::{state, HashEntry, SubCtx};
-use crate::undo::UndoSession;
+use crate::persist::{state, HashEntry};
+use crate::session::{OpSession, UndoScope};
 
 /// SplitMix64 mixing for slot hashing.
 fn mix(mut x: u64) -> u64 {
@@ -29,22 +29,22 @@ fn home_slot(key: u64, level: usize, capacity: u64) -> u64 {
     mix(key ^ (level as u64).wrapping_mul(0xA24B_AED4_963E_E407)) & (capacity - 1)
 }
 
-/// Device offset of slot `index` in `level` of `ctx`'s table.
+/// Device offset of slot `index` in `level` of `op`'s table.
 #[inline]
-fn slot_off(ctx: &SubCtx<'_>, level: usize, index: u64) -> u64 {
-    ctx.layout.level_base(ctx.sub, level) + index * ENTRY_SIZE
+fn slot_off(op: &OpSession<'_>, level: usize, index: u64) -> u64 {
+    op.ctx.layout.level_base(op.ctx.sub, level) + index * ENTRY_SIZE
 }
 
 /// Looks up the record whose key (block offset) is `key`.
 /// Returns the record's device offset and value, or `None`.
-pub(crate) fn lookup(ctx: &SubCtx<'_>, key: u64) -> Result<Option<(u64, HashEntry)>> {
-    let active = ctx.active_levels()? as usize;
+pub(crate) fn lookup(op: &OpSession<'_>, key: u64) -> Result<Option<(u64, HashEntry)>> {
+    let active = op.active_levels()? as usize;
     for level in 0..active.min(MAX_LEVELS) {
-        let capacity = ctx.layout.level_capacity(level);
+        let capacity = op.ctx.layout.level_capacity(level);
         let start = home_slot(key, level, capacity);
         for i in 0..PROBE_WINDOW.min(capacity) {
-            let off = slot_off(ctx, level, (start + i) & (capacity - 1));
-            let entry = ctx.entry(off)?;
+            let off = slot_off(op, level, (start + i) & (capacity - 1));
+            let entry = op.entry(off)?;
             match entry.state {
                 state::EMPTY => break, // key cannot be further in this level
                 state::TOMBSTONE => continue,
@@ -59,7 +59,7 @@ pub(crate) fn lookup(ctx: &SubCtx<'_>, key: u64) -> Result<Option<(u64, HashEntr
 /// Inserts `entry` (keyed by `entry.offset`), reusing tombstones.
 ///
 /// If every active level's probe window is full and `allow_activate` is
-/// set, the next level is activated *inside the session* (its area is
+/// set, the next level is activated *inside the scope* (its area is
 /// hole-punched clean first, then `active_levels` and the level count are
 /// undo-logged). Returns the record's device offset.
 ///
@@ -69,31 +69,27 @@ pub(crate) fn lookup(ctx: &SubCtx<'_>, key: u64) -> Result<Option<(u64, HashEntr
 /// defragment and retry, per §5.2); [`PoseidonError::Corrupted`] if the
 /// key already exists.
 pub(crate) fn insert(
-    ctx: &SubCtx<'_>,
-    session: &mut UndoSession<'_>,
+    op: &OpSession<'_>,
+    scope: &mut UndoScope<'_, '_>,
     entry: HashEntry,
     allow_activate: bool,
 ) -> Result<u64> {
     let key = entry.offset;
-    let active = (ctx.active_levels()? as usize).min(MAX_LEVELS);
+    let active = (op.active_levels()? as usize).min(MAX_LEVELS);
     for level in 0..active {
-        let capacity = ctx.layout.level_capacity(level);
+        let capacity = op.ctx.layout.level_capacity(level);
         let start = home_slot(key, level, capacity);
         let mut reusable = None;
         let mut target = None;
         for i in 0..PROBE_WINDOW.min(capacity) {
-            let off = slot_off(ctx, level, (start + i) & (capacity - 1));
-            let existing = ctx.entry(off)?;
+            let off = slot_off(op, level, (start + i) & (capacity - 1));
+            let existing = op.entry(off)?;
             match existing.state {
                 state::EMPTY => {
                     target = Some(reusable.unwrap_or(off));
                     break;
                 }
-                state::TOMBSTONE => {
-                    if reusable.is_none() {
-                        reusable = Some(off);
-                    }
-                }
+                state::TOMBSTONE if reusable.is_none() => reusable = Some(off),
                 _ if existing.offset == key => {
                     return Err(PoseidonError::Corrupted("duplicate block record insert"));
                 }
@@ -103,8 +99,8 @@ pub(crate) fn insert(
         // The whole window was scanned (no EMPTY): a tombstone is still a
         // valid target because no duplicate was found in the window.
         if let Some(off) = target.or(reusable) {
-            write_entry(session, off, &entry)?;
-            bump_level_count(ctx, session, level, 1)?;
+            write_entry(scope, off, &entry)?;
+            bump_level_count(op, scope, level, 1)?;
             return Ok(off);
         }
     }
@@ -112,45 +108,45 @@ pub(crate) fn insert(
         let level = active;
         // Scrub any residue from a previous activation of this level (a
         // deactivation whose punch was lost in a crash). Punching is
-        // durable and harmless even if this session later aborts: the
+        // durable and harmless even if this scope later aborts: the
         // level is inactive and its live count is zero either way.
-        let level_base = ctx.layout.level_base(ctx.sub, level);
-        ctx.dev.punch_hole(level_base, ctx.layout.level_capacity(level) * ENTRY_SIZE)?;
-        session.log_and_write_pod(ctx.active_levels_off(), &((active + 1) as u64))?;
-        session.log_and_write_pod(ctx.level_count_off(level), &0u64)?;
-        let capacity = ctx.layout.level_capacity(level);
-        let off = slot_off(ctx, level, home_slot(key, level, capacity));
-        write_entry(session, off, &entry)?;
-        bump_level_count(ctx, session, level, 1)?;
+        let level_base = op.ctx.layout.level_base(op.ctx.sub, level);
+        op.ctx.dev.punch_hole(level_base, op.ctx.layout.level_capacity(level) * ENTRY_SIZE)?;
+        scope.log_and_write_pod(op.ctx.active_levels_off(), &((active + 1) as u64))?;
+        scope.log_and_write_pod(op.ctx.level_count_off(level), &0u64)?;
+        let capacity = op.ctx.layout.level_capacity(level);
+        let off = slot_off(op, level, home_slot(key, level, capacity));
+        write_entry(scope, off, &entry)?;
+        bump_level_count(op, scope, level, 1)?;
         return Ok(off);
     }
     Err(PoseidonError::TableFull)
 }
 
-/// Overwrites the record at `entry_off` through the session.
-pub(crate) fn write_entry(session: &mut UndoSession<'_>, entry_off: u64, entry: &HashEntry) -> Result<()> {
-    session.log_and_write_pod(entry_off, entry)
+/// Overwrites the record at `entry_off` through the scope.
+pub(crate) fn write_entry(scope: &mut UndoScope<'_, '_>, entry_off: u64, entry: &HashEntry) -> Result<()> {
+    scope.log_and_write_pod(entry_off, entry)
 }
 
 /// Tombstones the record at `entry_off` and decrements its level's live
 /// count.
-pub(crate) fn delete(ctx: &SubCtx<'_>, session: &mut UndoSession<'_>, entry_off: u64) -> Result<()> {
-    let mut entry = ctx.entry(entry_off)?;
+pub(crate) fn delete(op: &OpSession<'_>, scope: &mut UndoScope<'_, '_>, entry_off: u64) -> Result<()> {
+    let mut entry = op.entry(entry_off)?;
     entry.state = state::TOMBSTONE;
     entry.next_free = 0;
     entry.prev_free = 0;
-    write_entry(session, entry_off, &entry)?;
-    bump_level_count(ctx, session, level_of(ctx, entry_off), -1)
+    write_entry(scope, entry_off, &entry)?;
+    bump_level_count(op, scope, level_of(op, entry_off), -1)
 }
 
 /// The level containing the record at device offset `entry_off`.
-pub(crate) fn level_of(ctx: &SubCtx<'_>, entry_off: u64) -> usize {
-    let table_base = ctx.meta_base() + SH_TABLE_OFF;
+pub(crate) fn level_of(op: &OpSession<'_>, entry_off: u64) -> usize {
+    let table_base = op.ctx.meta_base() + SH_TABLE_OFF;
     debug_assert!(entry_off >= table_base);
     let index = (entry_off - table_base) / ENTRY_SIZE;
     // Levels 0..l hold c0 * (2^l - 1) entries; find l with
     // c0 * (2^l - 1) <= index < c0 * (2^(l+1) - 1).
-    let c0 = ctx.layout.c0;
+    let c0 = op.ctx.layout.c0;
     let mut level = 0;
     while c0 * ((1 << (level + 1)) - 1) <= index {
         level += 1;
@@ -159,26 +155,31 @@ pub(crate) fn level_of(ctx: &SubCtx<'_>, entry_off: u64) -> usize {
     level
 }
 
-fn bump_level_count(ctx: &SubCtx<'_>, session: &mut UndoSession<'_>, level: usize, delta: i64) -> Result<()> {
-    let off = ctx.level_count_off(level);
-    let count: u64 = ctx.dev.read_pod(off)?;
+fn bump_level_count(
+    op: &OpSession<'_>,
+    scope: &mut UndoScope<'_, '_>,
+    level: usize,
+    delta: i64,
+) -> Result<()> {
+    let off = op.ctx.level_count_off(level);
+    let count: u64 = op.read_pod(off)?;
     let updated =
         count.checked_add_signed(delta).ok_or(PoseidonError::Corrupted("hash-level live count underflow"))?;
-    session.log_and_write_pod(off, &updated)
+    scope.log_and_write_pod(off, &updated)
 }
 
 /// Collects the FREE records sitting in `key`'s probe window of every
 /// active level — the candidate set for probe-window defragmentation
 /// (§5.4, trigger 2).
-pub(crate) fn free_in_windows(ctx: &SubCtx<'_>, key: u64) -> Result<Vec<(u64, HashEntry)>> {
-    let active = (ctx.active_levels()? as usize).min(MAX_LEVELS);
+pub(crate) fn free_in_windows(op: &OpSession<'_>, key: u64) -> Result<Vec<(u64, HashEntry)>> {
+    let active = (op.active_levels()? as usize).min(MAX_LEVELS);
     let mut found = Vec::new();
     for level in 0..active {
-        let capacity = ctx.layout.level_capacity(level);
+        let capacity = op.ctx.layout.level_capacity(level);
         let start = home_slot(key, level, capacity);
         for i in 0..PROBE_WINDOW.min(capacity) {
-            let off = slot_off(ctx, level, (start + i) & (capacity - 1));
-            let entry = ctx.entry(off)?;
+            let off = slot_off(op, level, (start + i) & (capacity - 1));
+            let entry = op.entry(off)?;
             match entry.state {
                 state::EMPTY => break,
                 state::FREE => found.push((off, entry)),
@@ -189,29 +190,42 @@ pub(crate) fn free_in_windows(ctx: &SubCtx<'_>, key: u64) -> Result<Vec<(u64, Ha
     Ok(found)
 }
 
+/// Whether the top active level is empty, i.e. whether [`shrink`] would
+/// deactivate anything. Two view reads — cheap enough to probe on every
+/// free.
+pub(crate) fn shrink_would_release(op: &OpSession<'_>) -> Result<bool> {
+    let active = op.active_levels()? as usize;
+    if active <= 1 {
+        return Ok(false);
+    }
+    let count: u64 = op.read_pod(op.ctx.level_count_off(active - 1))?;
+    Ok(count == 0)
+}
+
 /// Deactivates trailing levels whose live count is zero, hole-punching
-/// their slots back to the device (§5.6). Runs its own sessions; safe to
-/// call whenever no session is open on this sub-heap.
-pub(crate) fn shrink(ctx: &SubCtx<'_>) -> Result<u64> {
+/// their slots back to the device (§5.6). Runs its own scopes; safe to
+/// call whenever no scope is open on this sub-heap.
+pub(crate) fn shrink(op: &OpSession<'_>) -> Result<u64> {
     let mut released = 0;
     loop {
-        let active = ctx.active_levels()? as usize;
+        let active = op.active_levels()? as usize;
         if active <= 1 {
             return Ok(released);
         }
         let top = active - 1;
-        let count: u64 = ctx.dev.read_pod(ctx.level_count_off(top))?;
+        let count: u64 = op.read_pod(op.ctx.level_count_off(top))?;
         if count != 0 {
             return Ok(released);
         }
         // Commit the deactivation first; only then punch. A crash in
         // between wastes space but loses nothing.
-        let mut session = UndoSession::begin(ctx.dev, ctx.undo_area())?;
-        session.log_and_write_pod(ctx.active_levels_off(), &(top as u64))?;
-        session.commit()?;
-        released += ctx
-            .dev
-            .punch_hole(ctx.layout.level_base(ctx.sub, top), ctx.layout.level_capacity(top) * ENTRY_SIZE)?;
+        let mut scope = op.undo()?;
+        scope.log_and_write_pod(op.ctx.active_levels_off(), &(top as u64))?;
+        scope.commit()?;
+        released += op.ctx.dev.punch_hole(
+            op.ctx.layout.level_base(op.ctx.sub, top),
+            op.ctx.layout.level_capacity(top) * ENTRY_SIZE,
+        )?;
     }
 }
 
@@ -219,6 +233,8 @@ pub(crate) fn shrink(ctx: &SubCtx<'_>) -> Result<u64> {
 mod tests {
     use super::*;
     use crate::layout::HeapLayout;
+    use crate::persist::SubCtx;
+    use crate::session::UndoScope;
     use pmem::{DeviceConfig, PmemDevice};
 
     /// Builds a device + layout with an initialised (zeroed) sub-heap 0
@@ -235,8 +251,8 @@ mod tests {
         HashEntry { offset: key, size: 64, state: state::ALLOC, ..Default::default() }
     }
 
-    fn with_session<R>(ctx: &SubCtx<'_>, f: impl FnOnce(&mut UndoSession<'_>) -> Result<R>) -> Result<R> {
-        let mut s = UndoSession::begin(ctx.dev, ctx.undo_area())?;
+    fn with_scope<R>(op: &OpSession<'_>, f: impl FnOnce(&mut UndoScope<'_, '_>) -> Result<R>) -> Result<R> {
+        let mut s = op.undo()?;
         let r = f(&mut s)?;
         s.commit()?;
         Ok(r)
@@ -245,29 +261,29 @@ mod tests {
     #[test]
     fn insert_then_lookup() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        let off = with_session(&ctx, |s| insert(&ctx, s, entry(4096), false)).unwrap();
-        let (found_off, found) = lookup(&ctx, 4096).unwrap().unwrap();
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        let off = with_scope(&op, |s| insert(&op, s, entry(4096), false)).unwrap();
+        let (found_off, found) = lookup(&op, 4096).unwrap().unwrap();
         assert_eq!(found_off, off);
         assert_eq!(found.offset, 4096);
         assert_eq!(found.state, state::ALLOC);
-        assert!(lookup(&ctx, 8192).unwrap().is_none());
+        assert!(lookup(&op, 8192).unwrap().is_none());
     }
 
     #[test]
     fn delete_tombstones_and_lookup_probes_past() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
         // Insert several keys, delete one, others must stay findable even
         // if they shared a probe chain with the deleted one.
         let keys: Vec<u64> = (0..20).map(|i| i * 32).collect();
         let offs: Vec<u64> =
-            keys.iter().map(|&k| with_session(&ctx, |s| insert(&ctx, s, entry(k), false)).unwrap()).collect();
-        with_session(&ctx, |s| delete(&ctx, s, offs[7])).unwrap();
-        assert!(lookup(&ctx, keys[7]).unwrap().is_none());
+            keys.iter().map(|&k| with_scope(&op, |s| insert(&op, s, entry(k), false)).unwrap()).collect();
+        with_scope(&op, |s| delete(&op, s, offs[7])).unwrap();
+        assert!(lookup(&op, keys[7]).unwrap().is_none());
         for (i, &k) in keys.iter().enumerate() {
             if i != 7 {
-                assert!(lookup(&ctx, k).unwrap().is_some(), "key {k} lost");
+                assert!(lookup(&op, k).unwrap().is_some(), "key {k} lost");
             }
         }
     }
@@ -275,42 +291,42 @@ mod tests {
     #[test]
     fn tombstones_are_reused() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        let off = with_session(&ctx, |s| insert(&ctx, s, entry(64), false)).unwrap();
-        with_session(&ctx, |s| delete(&ctx, s, off)).unwrap();
-        let off2 = with_session(&ctx, |s| insert(&ctx, s, entry(64), false)).unwrap();
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        let off = with_scope(&op, |s| insert(&op, s, entry(64), false)).unwrap();
+        with_scope(&op, |s| delete(&op, s, off)).unwrap();
+        let off2 = with_scope(&op, |s| insert(&op, s, entry(64), false)).unwrap();
         assert_eq!(off, off2, "tombstoned home slot should be reused");
     }
 
     #[test]
     fn duplicate_insert_is_corruption() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        with_session(&ctx, |s| insert(&ctx, s, entry(96), false)).unwrap();
-        let r = with_session(&ctx, |s| insert(&ctx, s, entry(96), false));
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        with_scope(&op, |s| insert(&op, s, entry(96), false)).unwrap();
+        let r = with_scope(&op, |s| insert(&op, s, entry(96), false));
         assert!(matches!(r, Err(PoseidonError::Corrupted(_))));
     }
 
     #[test]
     fn level_count_tracks_live_entries() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        let off = with_session(&ctx, |s| insert(&ctx, s, entry(128), false)).unwrap();
-        assert_eq!(dev.read_pod::<u64>(ctx.level_count_off(0)).unwrap(), 1);
-        with_session(&ctx, |s| delete(&ctx, s, off)).unwrap();
-        assert_eq!(dev.read_pod::<u64>(ctx.level_count_off(0)).unwrap(), 0);
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        let off = with_scope(&op, |s| insert(&op, s, entry(128), false)).unwrap();
+        assert_eq!(dev.read_pod::<u64>(op.ctx.level_count_off(0)).unwrap(), 1);
+        with_scope(&op, |s| delete(&op, s, off)).unwrap();
+        assert_eq!(dev.read_pod::<u64>(op.ctx.level_count_off(0)).unwrap(), 0);
     }
 
     #[test]
     fn window_exhaustion_without_activation_is_table_full() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
         // Fill level 0 completely (c0 entries), then one more insert with
         // allow_activate = false must fail.
         let mut inserted = 0u64;
         let mut key = 0u64;
         while inserted < layout.c0 {
-            match with_session(&ctx, |s| insert(&ctx, s, entry(key), false)) {
+            match with_scope(&op, |s| insert(&op, s, entry(key), false)) {
                 Ok(_) => inserted += 1,
                 Err(PoseidonError::TableFull) => break,
                 Err(e) => panic!("unexpected {e}"),
@@ -319,7 +335,7 @@ mod tests {
         }
         // Keep probing keys until one fails.
         let r = loop {
-            let r = with_session(&ctx, |s| insert(&ctx, s, entry(key), false));
+            let r = with_scope(&op, |s| insert(&op, s, entry(key), false));
             key += 32;
             if r.is_err() || key > layout.c0 * 64 {
                 break r;
@@ -331,44 +347,47 @@ mod tests {
     #[test]
     fn activation_extends_and_lookup_spans_levels() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
         // Fill until activation is needed, with activation allowed.
         let total = layout.c0 + 8;
         for i in 0..total {
-            with_session(&ctx, |s| insert(&ctx, s, entry(i * 32), true)).unwrap();
+            with_scope(&op, |s| insert(&op, s, entry(i * 32), true)).unwrap();
         }
-        assert!(ctx.active_levels().unwrap() >= 2);
+        assert!(op.active_levels().unwrap() >= 2);
         for i in 0..total {
-            assert!(lookup(&ctx, i * 32).unwrap().is_some(), "key {} lost after activation", i * 32);
+            assert!(lookup(&op, i * 32).unwrap().is_some(), "key {} lost after activation", i * 32);
         }
     }
 
     #[test]
     fn shrink_deactivates_empty_top_level() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
         let total = layout.c0 + 8;
         let mut offs = Vec::new();
         for i in 0..total {
-            offs.push(with_session(&ctx, |s| insert(&ctx, s, entry(i * 32), true)).unwrap());
+            offs.push(with_scope(&op, |s| insert(&op, s, entry(i * 32), true)).unwrap());
         }
-        let grown = ctx.active_levels().unwrap();
+        let grown = op.active_levels().unwrap();
         assert!(grown >= 2);
+        assert!(!shrink_would_release(&op).unwrap());
         // Delete everything in the upper levels.
         for &off in &offs {
-            if level_of(&ctx, off) > 0 {
-                with_session(&ctx, |s| delete(&ctx, s, off)).unwrap();
+            if level_of(&op, off) > 0 {
+                with_scope(&op, |s| delete(&op, s, off)).unwrap();
             }
         }
-        let released = shrink(&ctx).unwrap();
-        assert_eq!(ctx.active_levels().unwrap(), 1);
+        assert!(shrink_would_release(&op).unwrap());
+        let released = shrink(&op).unwrap();
+        assert_eq!(op.active_levels().unwrap(), 1);
+        assert!(!shrink_would_release(&op).unwrap());
         // Level 1 spans at least one 2 MiB chunk only for big tables; just
         // check shrink reported monotonically.
         let _ = released;
         // Level-0 entries are still there.
         for &off in &offs {
-            if level_of(&ctx, off) == 0 {
-                let e = ctx.entry(off).unwrap();
+            if level_of(&op, off) == 0 {
+                let e = op.entry(off).unwrap();
                 assert_eq!(e.state, state::ALLOC);
             }
         }
@@ -377,23 +396,23 @@ mod tests {
     #[test]
     fn level_of_maps_bases_correctly() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
         for level in 0..MAX_LEVELS {
             let base = layout.level_base(0, level);
-            assert_eq!(level_of(&ctx, base), level);
+            assert_eq!(level_of(&op, base), level);
             let last = base + (layout.level_capacity(level) - 1) * ENTRY_SIZE;
-            assert_eq!(level_of(&ctx, last), level);
+            assert_eq!(level_of(&op, last), level);
         }
     }
 
     #[test]
     fn free_in_windows_reports_free_records() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
         let mut e = entry(256);
         e.state = state::FREE;
-        with_session(&ctx, |s| insert(&ctx, s, e, false)).unwrap();
-        let found = free_in_windows(&ctx, 256).unwrap();
+        with_scope(&op, |s| insert(&op, s, e, false)).unwrap();
+        let found = free_in_windows(&op, 256).unwrap();
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].1.offset, 256);
     }

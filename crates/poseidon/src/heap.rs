@@ -15,6 +15,7 @@ use crate::layout::{class_for_size, HeapLayout};
 use crate::nvmptr::NvmPtr;
 use crate::persist::{DirEntry, SubCtx, SUPERBLOCK_MAGIC};
 use crate::recovery::{self, RecoveryReport};
+use crate::session::OpSession;
 use crate::subheap::{self, SubheapAudit};
 use crate::superblock;
 
@@ -295,6 +296,23 @@ impl PoseidonHeap {
         self.pkey.map(|k| self.dev.mpk().grant_write(k))
     }
 
+    /// Opens a mutating operation session on `sub`: grants metadata write
+    /// access, takes the sub-heap lock, and validates + maps the whole
+    /// metadata range *once*. Every word access inside the operation then
+    /// goes through the session's view with no further per-word checks.
+    fn begin_op(&self, sub: u16) -> Result<OpSession<'_>> {
+        let pkru = self.write_guard();
+        let lock = self.slots[sub as usize].lock.lock();
+        OpSession::guarded(SubCtx { dev: &self.dev, layout: &self.layout, sub }, lock, pkru)
+    }
+
+    /// Opens a read-only operation session on `sub` (no `wrpkru` pair —
+    /// metadata pages rest at read-only, so reads need no grant).
+    fn begin_read_op(&self, sub: u16) -> Result<OpSession<'_>> {
+        let lock = self.slots[sub as usize].lock.lock();
+        OpSession::read_only(SubCtx { dev: &self.dev, layout: &self.layout, sub }, lock)
+    }
+
     fn ensure_subheap(&self, sub: u16) -> Result<()> {
         if self.slots[sub as usize].created.load(Ordering::Acquire) {
             return Ok(());
@@ -304,8 +322,11 @@ impl PoseidonHeap {
             return Ok(());
         }
         let node = self.dev.topology().node_of_cpu(numa::current_cpu()) as u32;
-        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
-        subheap::create(&ctx, node)?;
+        let _guard = self.write_guard();
+        {
+            let op = OpSession::unguarded(SubCtx { dev: &self.dev, layout: &self.layout, sub })?;
+            subheap::create(&op, node)?;
+        }
         superblock::publish_subheap(&self.dev, sub, DirEntry { state: 1, node })?;
         self.slots[sub as usize].created.store(true, Ordering::Release);
         Ok(())
@@ -370,12 +391,13 @@ impl PoseidonHeap {
         if rounded > self.layout.max_alloc() {
             return Err(PoseidonError::TooLarge { requested: size, max: self.layout.max_alloc() });
         }
-        let _guard = self.write_guard();
         self.ensure_subheap(sub)?;
-        let _lock = self.slots[sub as usize].lock.lock();
-        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
-        let offset = subheap::alloc_block(&ctx, class, micro)?;
-        hashtable::shrink(&ctx)?;
+        let op = self.begin_op(sub)?;
+        // Note: no table-shrink probe here. Allocation only ever *adds*
+        // records, so the top level cannot become empty on this path; the
+        // probe runs on free and defragment, where levels actually drain.
+        let offset = subheap::alloc_block(&op, class, micro)?;
+        drop(op);
         self.ops.allocs.fetch_add(1, Ordering::Relaxed);
         Ok(NvmPtr::new(self.heap_id, sub, offset))
     }
@@ -415,10 +437,9 @@ impl PoseidonHeap {
         if is_end {
             // Commit: truncate this transaction's micro-log slot
             // atomically.
-            let _guard = self.write_guard();
-            let _lock = self.slots[sub as usize].lock.lock();
-            let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
-            crate::microlog::truncate(&ctx, slot)?;
+            let op = self.begin_op(sub)?;
+            crate::microlog::truncate(&op, slot)?;
+            drop(op);
             self.ops.tx_commits.fetch_add(1, Ordering::Relaxed);
             TX_SUBHEAP.with(|tx| tx.borrow_mut().remove(&self.heap_id));
             self.release_tx_slot(sub, slot);
@@ -440,10 +461,9 @@ impl PoseidonHeap {
         let Some((sub, slot)) = TX_SUBHEAP.with(|tx| tx.borrow_mut().remove(&self.heap_id)) else {
             return Ok(());
         };
-        let _guard = self.write_guard();
-        let _lock = self.slots[sub as usize].lock.lock();
-        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
-        crate::microlog::truncate(&ctx, slot)?;
+        let op = self.begin_op(sub)?;
+        crate::microlog::truncate(&op, slot)?;
+        drop(op);
         self.ops.tx_commits.fetch_add(1, Ordering::Relaxed);
         self.release_tx_slot(sub, slot);
         Ok(())
@@ -460,17 +480,16 @@ impl PoseidonHeap {
         let Some((sub, slot)) = TX_SUBHEAP.with(|tx| tx.borrow_mut().remove(&self.heap_id)) else {
             return Ok(());
         };
-        let _guard = self.write_guard();
-        let _lock = self.slots[sub as usize].lock.lock();
-        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
-        for ptr in crate::microlog::entries(&ctx, slot)? {
-            match subheap::free_block(&ctx, ptr.offset()) {
+        let op = self.begin_op(sub)?;
+        for ptr in crate::microlog::entries(&op, slot)? {
+            match subheap::free_block(&op, ptr.offset()) {
                 Ok(_) | Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
                 Err(e) => return Err(e),
             }
         }
         self.ops.tx_aborts.fetch_add(1, Ordering::Relaxed);
-        crate::microlog::truncate(&ctx, slot)?;
+        crate::microlog::truncate(&op, slot)?;
+        drop(op);
         self.release_tx_slot(sub, slot);
         Ok(())
     }
@@ -493,11 +512,15 @@ impl PoseidonHeap {
         if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
             return Err(PoseidonError::SubheapQuarantined { subheap: sub });
         }
-        let _guard = self.write_guard();
-        let _lock = self.slots[sub as usize].lock.lock();
-        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
-        match subheap::free_block(&ctx, ptr.offset()) {
+        let op = self.begin_op(sub)?;
+        match subheap::free_block(&op, ptr.offset()) {
             Ok(_) => {
+                // Frees drain table levels; probe (two view reads) and
+                // shrink here so the alloc hot path never pays for it.
+                if hashtable::shrink_would_release(&op)? {
+                    hashtable::shrink(&op)?;
+                }
+                drop(op);
                 self.ops.frees.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
@@ -600,9 +623,8 @@ impl PoseidonHeap {
         if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
             return Err(PoseidonError::SubheapQuarantined { subheap: sub });
         }
-        let _lock = self.slots[sub as usize].lock.lock();
-        let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
-        match crate::hashtable::lookup(&ctx, ptr.offset())? {
+        let op = self.begin_read_op(sub)?;
+        match crate::hashtable::lookup(&op, ptr.offset())? {
             Some((_, record)) if record.state == crate::persist::state::ALLOC => Ok(record.size),
             _ => Err(PoseidonError::InvalidFree { offset: ptr.offset() }),
         }
@@ -624,9 +646,8 @@ impl PoseidonHeap {
             if !slot.created.load(Ordering::Acquire) || slot.quarantined.load(Ordering::Acquire) {
                 continue;
             }
-            let _lock = slot.lock.lock();
-            let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
-            out.push((sub, subheap::audit(&ctx)?));
+            let op = self.begin_read_op(sub)?;
+            out.push((sub, subheap::audit(&op)?));
         }
         Ok(out)
     }
@@ -663,17 +684,15 @@ impl PoseidonHeap {
     ///
     /// Device errors.
     pub fn defragment(&self) -> Result<u64> {
-        let _guard = self.write_guard();
         let mut merged = 0;
         for sub in 0..self.layout.num_subheaps {
             let slot = &self.slots[sub as usize];
             if !slot.created.load(Ordering::Acquire) || slot.quarantined.load(Ordering::Acquire) {
                 continue;
             }
-            let _lock = slot.lock.lock();
-            let ctx = SubCtx { dev: &self.dev, layout: &self.layout, sub };
-            merged += crate::defrag::merge_all_below(&ctx, crate::layout::NUM_CLASSES)?;
-            hashtable::shrink(&ctx)?;
+            let op = self.begin_op(sub)?;
+            merged += crate::defrag::merge_all_below(&op, crate::layout::NUM_CLASSES)?;
+            hashtable::shrink(&op)?;
         }
         self.ops.defrag_merges.fetch_add(merged, Ordering::Relaxed);
         Ok(merged)
@@ -933,5 +952,65 @@ mod tests {
         let h = heap();
         assert!(matches!(h.alloc(0), Err(PoseidonError::ZeroSize)));
         assert!(matches!(h.alloc(h.layout().user_size * 2), Err(PoseidonError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn alloc_path_is_o1_validations() {
+        // The tentpole's acceptance criterion: a steady-state allocation
+        // or free validates the metadata range a constant number of times
+        // (one map per operation, plus the rare defrag/shrink scopes),
+        // while the number of metadata word accesses it performs is far
+        // larger. Warm up first so sub-heap creation costs don't count.
+        let h = heap();
+        let warm: Vec<_> = (0..16).map(|_| h.alloc(64).unwrap()).collect();
+        for p in warm {
+            h.free(p).unwrap();
+        }
+        let before = h.device().stats();
+        const N: u64 = 200;
+        let ptrs: Vec<_> = (0..N).map(|_| h.alloc(64).unwrap()).collect();
+        for p in ptrs {
+            h.free(p).unwrap();
+        }
+        let after = h.device().stats();
+        let validations = after.validations - before.validations;
+        let word_accesses = (after.read_ops - before.read_ops) + (after.write_ops - before.write_ops);
+        // 2N operations; each should cost ~1 validation. Allow slack for
+        // occasional defragmentation scopes but stay firmly O(1)/op.
+        assert!(validations <= 2 * N + 32, "validations {validations} not O(1) per op");
+        assert!(
+            word_accesses > validations * 4,
+            "word accesses {word_accesses} should dwarf validations {validations}"
+        );
+    }
+
+    #[test]
+    fn shrink_runs_on_free_not_on_alloc() {
+        // Stage an empty-but-active top level by hand (unprotected heap so
+        // the test can write metadata directly), then check which paths
+        // probe it: the alloc path must leave it alone, the free path must
+        // deactivate it.
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let h = PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(2).without_protection()).unwrap();
+        let p = h.alloc(64).unwrap(); // creates sub-heap 0
+        let ctx = SubCtx { dev: h.device(), layout: h.layout(), sub: 0 };
+        assert_eq!(h.device().read_pod::<u64>(ctx.active_levels_off()).unwrap(), 1);
+        h.device().write_pod(ctx.active_levels_off(), &2u64).unwrap();
+        h.device().write_pod(ctx.level_count_off(1), &0u64).unwrap();
+
+        let q = h.alloc(64).unwrap();
+        assert_eq!(
+            h.device().read_pod::<u64>(ctx.active_levels_off()).unwrap(),
+            2,
+            "alloc path must not probe/shrink the table"
+        );
+        h.free(q).unwrap();
+        assert_eq!(
+            h.device().read_pod::<u64>(ctx.active_levels_off()).unwrap(),
+            1,
+            "free path must deactivate the empty top level"
+        );
+        h.free(p).unwrap();
+        h.audit().unwrap();
     }
 }

@@ -77,6 +77,7 @@ mod persist;
 mod quarantine;
 mod recovery;
 mod repair;
+mod session;
 mod subheap;
 mod superblock;
 mod undo;

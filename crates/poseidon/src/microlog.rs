@@ -2,7 +2,7 @@
 //!
 //! `tx_alloc` appends each allocated pointer to a micro-log *slot*
 //! claimed by the transaction (the paper's per-thread micro log),
-//! through the same undo session as the allocation — so an aborted
+//! through the same undo scope as the allocation — so an aborted
 //! allocation also reverts its log entry. Committing truncates the slot
 //! with a single atomic count reset. On recovery, a non-empty slot means
 //! its transaction never committed: every logged address is freed,
@@ -12,44 +12,53 @@
 use crate::error::{PoseidonError, Result};
 use crate::layout::{MICRO_LOG_CAPACITY, MICRO_SLOTS};
 use crate::nvmptr::NvmPtr;
-use crate::persist::SubCtx;
-use crate::undo::UndoSession;
+use crate::session::{OpSession, UndoScope};
 
 /// Number of pointers currently logged in `slot`.
-pub(crate) fn count(ctx: &SubCtx<'_>, slot: usize) -> Result<u64> {
-    Ok(ctx.dev.read_pod(ctx.micro_count_off(slot))?)
+pub(crate) fn count(op: &OpSession<'_>, slot: usize) -> Result<u64> {
+    op.read_pod(op.ctx.micro_count_off(slot))
 }
 
-/// Appends `ptr` to `slot` through the open undo session.
+/// Appends `ptr` to `slot` through the open undo scope.
 ///
 /// # Errors
 ///
 /// [`PoseidonError::TxTooLarge`] if the slot is full.
 pub(crate) fn append(
-    ctx: &SubCtx<'_>,
-    session: &mut UndoSession<'_>,
+    op: &OpSession<'_>,
+    scope: &mut UndoScope<'_, '_>,
     slot: usize,
     ptr: NvmPtr,
 ) -> Result<()> {
-    let n = count(ctx, slot)?;
+    let n = count(op, slot)?;
     if n as usize >= MICRO_LOG_CAPACITY {
         return Err(PoseidonError::TxTooLarge { max: MICRO_LOG_CAPACITY });
     }
-    session.log_and_write_pod(ctx.micro_entry_off(slot, n), &ptr)?;
-    session.log_and_write_pod(ctx.micro_count_off(slot), &(n + 1))
+    scope.log_and_write_pod(op.ctx.micro_entry_off(slot, n), &ptr)?;
+    scope.log_and_write_pod(op.ctx.micro_count_off(slot), &(n + 1))
 }
 
 /// Truncates `slot` — the transaction's commit point. A single 8-byte
 /// persisted store, hence atomic, and local to this transaction.
-pub(crate) fn truncate(ctx: &SubCtx<'_>, slot: usize) -> Result<()> {
-    ctx.dev.write_pod(ctx.micro_count_off(slot), &0u64)?;
-    ctx.dev.persist(ctx.micro_count_off(slot), 8)?;
+pub(crate) fn truncate(op: &OpSession<'_>, slot: usize) -> Result<()> {
+    op.view().write_pod(op.ctx.micro_count_off(slot), &0u64)?;
+    op.view().persist(op.ctx.micro_count_off(slot), 8)?;
     Ok(())
 }
 
 /// Reads all logged pointers of `slot` (for recovery/abort).
-pub(crate) fn entries(ctx: &SubCtx<'_>, slot: usize) -> Result<Vec<NvmPtr>> {
-    let n = count(ctx, slot)?;
+pub(crate) fn entries(op: &OpSession<'_>, slot: usize) -> Result<Vec<NvmPtr>> {
+    let n = count(op, slot)?;
+    if n as usize > MICRO_LOG_CAPACITY {
+        return Err(PoseidonError::Corrupted("micro log count beyond capacity"));
+    }
+    (0..n).map(|i| op.read_pod(op.ctx.micro_entry_off(slot, i))).collect()
+}
+
+/// Device-backed twin of [`entries`] for the offline repair pass, which
+/// deliberately runs without a session (see `repair.rs`).
+pub(crate) fn entries_direct(ctx: &crate::persist::SubCtx<'_>, slot: usize) -> Result<Vec<NvmPtr>> {
+    let n: u64 = ctx.dev.read_pod(ctx.micro_count_off(slot))?;
     if n as usize > MICRO_LOG_CAPACITY {
         return Err(PoseidonError::Corrupted("micro log count beyond capacity"));
     }
@@ -65,6 +74,7 @@ pub(crate) fn all_slots() -> std::ops::Range<usize> {
 mod tests {
     use super::*;
     use crate::layout::HeapLayout;
+    use crate::persist::SubCtx;
     use pmem::{DeviceConfig, PmemDevice};
 
     fn setup() -> (PmemDevice, HeapLayout) {
@@ -76,38 +86,38 @@ mod tests {
     #[test]
     fn append_read_truncate_per_slot() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        let mut s = UndoSession::begin(&dev, ctx.undo_area()).unwrap();
-        append(&ctx, &mut s, 3, NvmPtr::new(9, 0, 64)).unwrap();
-        append(&ctx, &mut s, 3, NvmPtr::new(9, 0, 128)).unwrap();
-        append(&ctx, &mut s, 7, NvmPtr::new(9, 0, 256)).unwrap();
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        let mut s = op.undo().unwrap();
+        append(&op, &mut s, 3, NvmPtr::new(9, 0, 64)).unwrap();
+        append(&op, &mut s, 3, NvmPtr::new(9, 0, 128)).unwrap();
+        append(&op, &mut s, 7, NvmPtr::new(9, 0, 256)).unwrap();
         s.commit().unwrap();
-        assert_eq!(count(&ctx, 3).unwrap(), 2);
-        assert_eq!(count(&ctx, 7).unwrap(), 1);
-        assert_eq!(entries(&ctx, 3).unwrap()[1].offset(), 128);
+        assert_eq!(count(&op, 3).unwrap(), 2);
+        assert_eq!(count(&op, 7).unwrap(), 1);
+        assert_eq!(entries(&op, 3).unwrap()[1].offset(), 128);
         // Truncating one slot leaves the other intact.
-        truncate(&ctx, 3).unwrap();
-        assert_eq!(count(&ctx, 3).unwrap(), 0);
-        assert_eq!(count(&ctx, 7).unwrap(), 1);
+        truncate(&op, 3).unwrap();
+        assert_eq!(count(&op, 3).unwrap(), 0);
+        assert_eq!(count(&op, 7).unwrap(), 1);
     }
 
     #[test]
-    fn aborted_session_reverts_appends() {
+    fn aborted_scope_reverts_appends() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        let mut s = UndoSession::begin(&dev, ctx.undo_area()).unwrap();
-        append(&ctx, &mut s, 0, NvmPtr::new(9, 0, 64)).unwrap();
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        let mut s = op.undo().unwrap();
+        append(&op, &mut s, 0, NvmPtr::new(9, 0, 64)).unwrap();
         s.abort().unwrap();
-        assert_eq!(count(&ctx, 0).unwrap(), 0);
+        assert_eq!(count(&op, 0).unwrap(), 0);
     }
 
     #[test]
     fn capacity_is_enforced() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        dev.write_pod(ctx.micro_count_off(5), &(MICRO_LOG_CAPACITY as u64)).unwrap();
-        let mut s = UndoSession::begin(&dev, ctx.undo_area()).unwrap();
-        let r = append(&ctx, &mut s, 5, NvmPtr::new(9, 0, 64));
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        dev.write_pod(op.ctx.micro_count_off(5), &(MICRO_LOG_CAPACITY as u64)).unwrap();
+        let mut s = op.undo().unwrap();
+        let r = append(&op, &mut s, 5, NvmPtr::new(9, 0, 64));
         assert!(matches!(r, Err(PoseidonError::TxTooLarge { .. })));
         drop(s);
     }
@@ -115,9 +125,9 @@ mod tests {
     #[test]
     fn corrupt_count_is_detected() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        dev.write_pod(ctx.micro_count_off(2), &u64::MAX).unwrap();
-        assert!(matches!(entries(&ctx, 2), Err(PoseidonError::Corrupted(_))));
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        dev.write_pod(op.ctx.micro_count_off(2), &u64::MAX).unwrap();
+        assert!(matches!(entries(&op, 2), Err(PoseidonError::Corrupted(_))));
     }
 
     #[test]

@@ -28,46 +28,46 @@ use pmem::PoisonRange;
 use crate::buddy;
 use crate::error::Result;
 use crate::layout::{ENTRY_SIZE, MAX_LEVELS};
-use crate::persist::{state, SubCtx};
-use crate::undo::UndoSession;
+use crate::persist::state;
+use crate::session::OpSession;
 
 /// Whether any of `ranges` overlaps `[offset, offset + len)`.
 pub(crate) fn overlaps_any(ranges: &[PoisonRange], offset: u64, len: u64) -> bool {
     ranges.iter().any(|r| r.overlaps(offset, len))
 }
 
-/// Scans every active hash-table level of `ctx` and quarantines FREE
-/// blocks whose user bytes overlap a poisoned range: each is unlinked
-/// from its buddy list and rewritten as [`state::QUARANTINED`], one undo
-/// session per block (so a crash mid-scan leaves a consistent heap and a
-/// re-run finishes the job). Returns `(blocks, bytes)` quarantined.
+/// Scans every active hash-table level of `op`'s sub-heap and quarantines
+/// FREE blocks whose user bytes overlap a poisoned range: each is
+/// unlinked from its buddy list and rewritten as [`state::QUARANTINED`],
+/// one undo scope per block (so a crash mid-scan leaves a consistent heap
+/// and a re-run finishes the job). Returns `(blocks, bytes)` quarantined.
 ///
 /// The caller has already established that the sub-heap's *metadata*
 /// region is poison-free — table reads here are expected to succeed.
-pub(crate) fn isolate_poisoned_free_blocks(ctx: &SubCtx<'_>, poison: &[PoisonRange]) -> Result<(u64, u64)> {
+pub(crate) fn isolate_poisoned_free_blocks(op: &OpSession<'_>, poison: &[PoisonRange]) -> Result<(u64, u64)> {
     if poison.is_empty() {
         return Ok((0, 0));
     }
-    let user_base = ctx.user_base();
+    let user_base = op.ctx.user_base();
     let mut blocks = 0u64;
     let mut bytes = 0u64;
-    let active = (ctx.active_levels()? as usize).min(MAX_LEVELS);
+    let active = (op.active_levels()? as usize).min(MAX_LEVELS);
     for level in 0..active {
-        let base = ctx.layout.level_base(ctx.sub, level);
-        for i in 0..ctx.layout.level_capacity(level) {
+        let base = op.ctx.layout.level_base(op.ctx.sub, level);
+        for i in 0..op.ctx.layout.level_capacity(level) {
             let rec_off = base + i * ENTRY_SIZE;
-            let rec = ctx.entry(rec_off)?;
+            let rec = op.entry(rec_off)?;
             if rec.state != state::FREE || !overlaps_any(poison, user_base + rec.offset, rec.size) {
                 continue;
             }
-            let mut session = UndoSession::begin(ctx.dev, ctx.undo_area())?;
-            buddy::unlink(ctx, &mut session, rec_off, &rec)?;
+            let mut scope = op.undo()?;
+            buddy::unlink(op, &mut scope, rec_off, &rec)?;
             let mut updated = rec;
             updated.state = state::QUARANTINED;
             updated.next_free = 0;
             updated.prev_free = 0;
-            crate::hashtable::write_entry(&mut session, rec_off, &updated)?;
-            session.commit()?;
+            crate::hashtable::write_entry(&mut scope, rec_off, &updated)?;
+            scope.commit()?;
             blocks += 1;
             bytes += rec.size;
         }
@@ -79,6 +79,7 @@ pub(crate) fn isolate_poisoned_free_blocks(ctx: &SubCtx<'_>, poison: &[PoisonRan
 mod tests {
     use super::*;
     use crate::layout::HeapLayout;
+    use crate::persist::SubCtx;
     use crate::subheap;
     use pmem::{DeviceConfig, PmemDevice};
 
@@ -91,28 +92,28 @@ mod tests {
     #[test]
     fn poisoned_free_block_is_withdrawn_and_never_reallocated() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        subheap::create(&ctx, 0).unwrap();
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        subheap::create(&op, 0).unwrap();
         // Allocate then free a small block so a specific free record
         // exists, then poison one line inside it.
         let (class, size) = crate::layout::class_for_size(64).unwrap();
-        let off = subheap::alloc_block(&ctx, class, None).unwrap();
-        subheap::free_block(&ctx, off).unwrap();
-        dev.poison(ctx.user_base() + off, 1).unwrap();
+        let off = subheap::alloc_block(&op, class, None).unwrap();
+        subheap::free_block(&op, off).unwrap();
+        dev.poison(op.ctx.user_base() + off, 1).unwrap();
 
-        let (blocks, bytes) = isolate_poisoned_free_blocks(&ctx, &dev.scrub()).unwrap();
+        let (blocks, bytes) = isolate_poisoned_free_blocks(&op, &dev.scrub()).unwrap();
         assert_eq!(blocks, 1);
         assert_eq!(bytes, size);
         // Idempotent: a second pass finds nothing FREE to quarantine.
-        assert_eq!(isolate_poisoned_free_blocks(&ctx, &dev.scrub()).unwrap(), (0, 0));
+        assert_eq!(isolate_poisoned_free_blocks(&op, &dev.scrub()).unwrap(), (0, 0));
 
         // The block is out of circulation: its record is QUARANTINED, its
         // class's free list no longer links it, and the audit accounts
         // for it.
-        let (rec_off, rec) = crate::hashtable::lookup(&ctx, off).unwrap().unwrap();
+        let (rec_off, rec) = crate::hashtable::lookup(&op, off).unwrap().unwrap();
         assert_eq!(rec.state, state::QUARANTINED);
-        assert!(!buddy::collect(&ctx, class).unwrap().contains(&rec_off));
-        let audit = subheap::audit(&ctx).unwrap();
+        assert!(!buddy::collect(&op, class).unwrap().contains(&rec_off));
+        let audit = subheap::audit(&op).unwrap();
         assert_eq!(audit.quarantined_blocks, 1);
         assert_eq!(audit.quarantined_bytes, size);
     }
@@ -120,8 +121,8 @@ mod tests {
     #[test]
     fn clean_device_is_a_cheap_no_op() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        subheap::create(&ctx, 0).unwrap();
-        assert_eq!(isolate_poisoned_free_blocks(&ctx, &dev.scrub()).unwrap(), (0, 0));
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        subheap::create(&op, 0).unwrap();
+        assert_eq!(isolate_poisoned_free_blocks(&op, &dev.scrub()).unwrap(), (0, 0));
     }
 }

@@ -17,6 +17,11 @@
 //! lines are quarantined; otherwise the whole sub-heap is quarantined
 //! (volatile — the heap refuses to operate on it until `pfsck --repair`
 //! rebuilds its metadata) and the rest of the heap loads normally.
+//!
+//! The undo replay itself stays *device-backed* (it must work before any
+//! session state exists); everything after it runs through one
+//! [`OpSession`] per sub-heap, so the whole salvage of a sub-heap costs a
+//! single metadata-range validation.
 
 use pmem::PmemDevice;
 
@@ -25,6 +30,7 @@ use crate::layout::HeapLayout;
 use crate::microlog;
 use crate::persist::SubCtx;
 use crate::quarantine;
+use crate::session::OpSession;
 use crate::subheap;
 use crate::superblock;
 use crate::undo;
@@ -89,16 +95,21 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
             continue;
         }
         let meta_poisoned = quarantine::overlaps_any(&poison, ctx.meta_base(), layout.meta_size);
+        // One session per sub-heap: the metadata range is validated once
+        // and every replay/quarantine word access below goes through it.
         let salvage = if meta_poisoned {
             // Don't even try: metadata reads could fail at any later
             // operation, and a half-replayed log is worse than none.
             Err(PoseidonError::MediaError { offset: ctx.meta_base() })
         } else {
-            recover_sub(&ctx, &mut report)
+            OpSession::unguarded(ctx).and_then(|op| {
+                recover_sub(&op, &mut report)?;
+                Ok(op)
+            })
         };
         match salvage {
-            Ok(()) => {
-                let (blocks, bytes) = quarantine::isolate_poisoned_free_blocks(&ctx, &poison)?;
+            Ok(op) => {
+                let (blocks, bytes) = quarantine::isolate_poisoned_free_blocks(&op, &poison)?;
                 report.blocks_quarantined += blocks;
                 report.bytes_quarantined += bytes;
             }
@@ -113,23 +124,26 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
 }
 
 /// Replays one sub-heap's undo and micro logs.
-fn recover_sub(ctx: &SubCtx<'_>, report: &mut RecoveryReport) -> Result<()> {
-    if undo::replay(ctx.dev, ctx.undo_area())? {
+fn recover_sub(op: &OpSession<'_>, report: &mut RecoveryReport) -> Result<()> {
+    // The undo replay reads the log directly from the device: it is the
+    // recovery oracle and must see exactly the persisted bytes, with no
+    // session state in between.
+    if undo::replay(op.ctx.dev, op.ctx.undo_area())? {
         report.subheap_undos_replayed += 1;
     }
     // Free every address an uncommitted transaction logged (§4.5) —
     // any non-empty slot belongs to a transaction that never
     // committed.
     for slot in microlog::all_slots() {
-        let pending = microlog::entries(ctx, slot)?;
+        let pending = microlog::entries(op, slot)?;
         if pending.is_empty() {
             continue;
         }
         for ptr in pending {
-            if ptr.subheap() != ctx.sub {
+            if ptr.subheap() != op.ctx.sub {
                 return Err(PoseidonError::Corrupted("micro-log entry for a foreign sub-heap"));
             }
-            match subheap::free_block(ctx, ptr.offset()) {
+            match subheap::free_block(op, ptr.offset()) {
                 Ok(_) => report.tx_allocations_reverted += 1,
                 // Replay idempotence: a crash during a previous
                 // recovery may have freed this one already.
@@ -137,7 +151,7 @@ fn recover_sub(ctx: &SubCtx<'_>, report: &mut RecoveryReport) -> Result<()> {
                 Err(e) => return Err(e),
             }
         }
-        microlog::truncate(ctx, slot)?;
+        microlog::truncate(op, slot)?;
     }
     Ok(())
 }

@@ -257,7 +257,7 @@ fn repair_sub(dev: &PmemDevice, layout: &HeapLayout, sub: u16, report: &mut Repa
         dev.write_pod(ctx.micro_count_off(slot), &0u64)?;
     }
     for slot in microlog::all_slots() {
-        let pending = match microlog::entries(&ctx, slot) {
+        let pending = match microlog::entries_direct(&ctx, slot) {
             Ok(p) => p,
             Err(PoseidonError::Corrupted(_)) => {
                 dev.write_pod(ctx.micro_count_off(slot), &0u64)?;
@@ -436,6 +436,13 @@ mod tests {
         (dev, live)
     }
 
+    /// Audits one sub-heap through a throwaway session (the heap is
+    /// closed, so its pages carry no protection key).
+    fn audit_sub(dev: &Arc<PmemDevice>, layout: &HeapLayout, sub: u16) -> subheap::SubheapAudit {
+        let op = crate::session::OpSession::unguarded(SubCtx { dev, layout, sub }).unwrap();
+        subheap::audit(&op).unwrap()
+    }
+
     fn reload_and_audit(dev: &Arc<PmemDevice>) -> PoseidonHeap {
         let heap = PoseidonHeap::load(dev.clone(), HeapConfig::new()).unwrap();
         assert!(heap.quarantined_subheaps().is_empty(), "repair must leave no wholesale quarantine");
@@ -499,14 +506,14 @@ mod tests {
         let report = repair(&dev).unwrap();
         assert_eq!(report.blocks_quarantined, 1);
         assert_eq!(report.bytes_quarantined, rec.size);
-        let audit = subheap::audit(&ctx).unwrap();
+        let audit = audit_sub(&dev, &layout, 0);
         assert_eq!(audit.quarantined_blocks, 1);
 
         // Operator clears the poison; the next repair releases the block.
         dev.clear_poison(user_off, rec.size).unwrap();
         let report = repair(&dev).unwrap();
         assert_eq!(report.blocks_released, 1);
-        let audit = subheap::audit(&ctx).unwrap();
+        let audit = audit_sub(&dev, &layout, 0);
         assert_eq!(audit.quarantined_blocks, 0);
         reload_and_audit(&dev);
     }
@@ -521,7 +528,7 @@ mod tests {
         assert_eq!(report.headers_rebuilt, 1);
         let ctx = SubCtx { dev: &dev, layout: &layout, sub: 1 };
         assert_eq!(ctx.header().unwrap().magic, SUBHEAP_MAGIC);
-        subheap::audit(&ctx).unwrap();
+        audit_sub(&dev, &layout, 1);
 
         let heap = reload_and_audit(&dev);
         for p in live {

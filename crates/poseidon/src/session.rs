@@ -1,0 +1,437 @@
+//! Operation sessions: validate once per operation, not once per word.
+//!
+//! Every allocator operation used to thread a bare [`SubCtx`] through the
+//! sub-heap modules, and each of the ~30 `read_pod`/`write_pod` call
+//! sites independently re-ran the device's full validation sequence
+//! (bounds, MPK page walk, poison lookup) and bumped shared stats
+//! counters — all *inside* the sub-heap lock. An [`OpSession`] hoists
+//! that to operation granularity: it owns everything one operation needs
+//! —
+//!
+//! * the sub-heap context (geometry),
+//! * a [`MetaView`] over the sub-heap's metadata region, validated
+//!   **once** at construction ([`pmem::PmemDevice::map_meta`]),
+//! * and, when built by the heap's entry points, the sub-heap lock guard
+//!   and the PKRU write guard.
+//!
+//! All metadata word traffic in `buddy`/`hashtable`/`microlog`/`defrag`/
+//! `subheap` flows through the view, whose accessors cost a local bounds
+//! check (plus a relaxed poison probe on reads) instead of the full
+//! per-call sequence. Crash semantics are unchanged: the view still
+//! captures every pre-image into the crash model and counts every
+//! mutation against armed crash/poison injection (see `pmem::view`).
+//!
+//! [`UndoScope`] is the session-local undo-log writer. It is
+//! byte-compatible with the device-backed [`UndoSession`] — same entry
+//! layout, generation discipline and checksum (shared via
+//! [`undo::checksum`]) — so an operation interrupted by a crash is
+//! recovered by the ordinary device-backed [`undo::replay`] on the next
+//! load. Dropping a scope without committing rolls back immediately, so
+//! an early `?` return leaves the heap untouched.
+//!
+//! [`UndoSession`]: crate::undo::UndoSession
+
+use mpk::PkruGuard;
+use pmem::contention::TrackedGuard;
+use pmem::{AccessKind, MetaView};
+
+use crate::error::{PoseidonError, Result};
+use crate::persist::{HashEntry, SubCtx, SubheapHeader};
+use crate::undo::{self, UndoArea};
+
+/// One allocator operation's session on one sub-heap. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub(crate) struct OpSession<'a> {
+    /// The sub-heap context (device, geometry, index). Rare non-word
+    /// device operations (hole punching, NUMA placement, poison queries)
+    /// go through `ctx.dev` directly and re-validate per call.
+    pub(crate) ctx: SubCtx<'a>,
+    view: MetaView<'a>,
+    // Field order is drop order: the view flushes its stats deltas while
+    // the sub-heap lock is still held, then the lock is released, then
+    // write access to metadata is revoked.
+    _lock: Option<TrackedGuard<'a, ()>>,
+    _pkru: Option<PkruGuard<'a>>,
+}
+
+impl<'a> OpSession<'a> {
+    fn map(
+        ctx: SubCtx<'a>,
+        kind: AccessKind,
+        lock: Option<TrackedGuard<'a, ()>>,
+        pkru: Option<PkruGuard<'a>>,
+    ) -> Result<OpSession<'a>> {
+        let view = ctx.dev.map_meta(ctx.meta_base(), ctx.layout.meta_size, kind)?;
+        Ok(OpSession { ctx, view, _lock: lock, _pkru: pkru })
+    }
+
+    /// A write session owning the sub-heap lock guard and (when metadata
+    /// protection is on) the PKRU write guard — the heap entry points'
+    /// constructor.
+    pub fn guarded(
+        ctx: SubCtx<'a>,
+        lock: TrackedGuard<'a, ()>,
+        pkru: Option<PkruGuard<'a>>,
+    ) -> Result<OpSession<'a>> {
+        Self::map(ctx, AccessKind::Write, Some(lock), pkru)
+    }
+
+    /// A write session without guards, for callers that already hold them
+    /// (sub-heap creation, recovery) and for module tests.
+    pub fn unguarded(ctx: SubCtx<'a>) -> Result<OpSession<'a>> {
+        Self::map(ctx, AccessKind::Write, None, None)
+    }
+
+    /// A read-only session holding the sub-heap lock but no PKRU grant —
+    /// metadata pages are readable under their resting `ReadOnly` rights,
+    /// so lookups and audits never pay a `wrpkru` pair.
+    pub fn read_only(ctx: SubCtx<'a>, lock: TrackedGuard<'a, ()>) -> Result<OpSession<'a>> {
+        Self::map(ctx, AccessKind::Read, Some(lock), None)
+    }
+
+    /// The metadata view (accessors take absolute device offsets).
+    pub fn view(&self) -> &MetaView<'a> {
+        &self.view
+    }
+
+    /// Reads a [`pmem::Pod`] value through the view.
+    pub fn read_pod<T: pmem::Pod>(&self, offset: u64) -> Result<T> {
+        Ok(self.view.read_pod(offset)?)
+    }
+
+    /// Reads the block record at device offset `entry_off`.
+    pub fn entry(&self, entry_off: u64) -> Result<HashEntry> {
+        self.read_pod(entry_off)
+    }
+
+    /// Reads the number of active hash-table levels.
+    pub fn active_levels(&self) -> Result<u64> {
+        self.read_pod(self.ctx.active_levels_off())
+    }
+
+    /// Reads this sub-heap's header.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn header(&self) -> Result<SubheapHeader> {
+        self.read_pod(self.ctx.meta_base())
+    }
+
+    /// Opens an undo scope on this sub-heap's log area.
+    ///
+    /// # Errors
+    ///
+    /// As for [`UndoScope::begin`].
+    pub fn undo(&self) -> Result<UndoScope<'_, 'a>> {
+        UndoScope::begin(self)
+    }
+}
+
+/// An open undo scope writing through its session's view; the in-session
+/// equivalent of [`crate::undo::UndoSession`] (identical on-device
+/// format). Finish with [`commit`](Self::commit) or
+/// [`abort`](Self::abort); dropping without committing rolls back.
+#[derive(Debug)]
+pub(crate) struct UndoScope<'s, 'a> {
+    op: &'s OpSession<'a>,
+    area: UndoArea,
+    gen: u64,
+    tail: u64,
+    dirty: Vec<(u64, u64)>,
+    finished: bool,
+    buffer: Vec<u8>,
+}
+
+impl<'s, 'a> UndoScope<'s, 'a> {
+    /// Opens a scope on `op`'s sub-heap undo area.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::Corrupted`] if live entries from a crashed
+    /// operation are present (recovery must run first), or a device
+    /// error.
+    pub fn begin(op: &'s OpSession<'a>) -> Result<UndoScope<'s, 'a>> {
+        let area = op.ctx.undo_area();
+        let gen: u64 = op.view().read_pod(area.gen_field)?;
+        if read_entry(op.view(), area, gen, 0)?.is_some() {
+            return Err(PoseidonError::Corrupted("undo log non-empty at operation start"));
+        }
+        Ok(UndoScope { op, area, gen, tail: 0, dirty: Vec::new(), finished: false, buffer: Vec::new() })
+    }
+
+    /// Logs the current content of `[target, target + new.len())`, then
+    /// writes `new` there. The new bytes become durable at
+    /// [`commit`](Self::commit).
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::Corrupted`] on log overflow, or a device error.
+    pub fn log_and_write(&mut self, target: u64, new: &[u8]) -> Result<()> {
+        let len = new.len() as u64;
+        let entry_len = undo::ENTRY_HEADER + len.next_multiple_of(8);
+        if self.tail + entry_len > self.area.size {
+            return Err(PoseidonError::Corrupted("undo log overflow"));
+        }
+        let header = undo::ENTRY_HEADER as usize;
+        let view = self.op.view();
+        self.buffer.clear();
+        self.buffer.resize(entry_len as usize, 0);
+        view.read(target, &mut self.buffer[header..header + new.len()])?;
+        let sum = undo::checksum(self.gen, target, len, &self.buffer[header..]);
+        self.buffer[0..8].copy_from_slice(&self.gen.to_le_bytes());
+        self.buffer[8..16].copy_from_slice(&target.to_le_bytes());
+        self.buffer[16..24].copy_from_slice(&len.to_le_bytes());
+        self.buffer[24..32].copy_from_slice(&sum.to_le_bytes());
+        let entry_off = self.area.base + self.tail;
+        view.write(entry_off, &self.buffer)?;
+        view.persist(entry_off, entry_len)?;
+        self.tail += entry_len;
+        // Now the mutation itself (persisted at commit).
+        view.write(target, new)?;
+        self.dirty.push((target, len));
+        Ok(())
+    }
+
+    /// [`log_and_write`](Self::log_and_write) of a [`pmem::Pod`] value.
+    ///
+    /// # Errors
+    ///
+    /// As for [`log_and_write`](Self::log_and_write).
+    pub fn log_and_write_pod<T: pmem::Pod>(&mut self, target: u64, value: &T) -> Result<()> {
+        self.log_and_write(target, value.as_bytes())
+    }
+
+    /// Persists every range written this scope, then invalidates the log
+    /// by bumping the generation — the operation's commit point.
+    ///
+    /// # Errors
+    ///
+    /// Device errors only.
+    pub fn commit(mut self) -> Result<()> {
+        for &(off, len) in &self.dirty {
+            self.op.view().clwb(off, len)?;
+        }
+        self.op.view().sfence()?;
+        if self.tail > 0 {
+            bump_generation(self.op.view(), self.area, self.gen)?;
+        }
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Rolls the scope back: restores every logged range (newest first)
+    /// and invalidates the log.
+    ///
+    /// # Errors
+    ///
+    /// Device errors only.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn abort(mut self) -> Result<()> {
+        self.finished = true;
+        if self.tail > 0 {
+            apply_undo(self.op.view(), self.area, self.gen)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for UndoScope<'_, '_> {
+    fn drop(&mut self) {
+        // A dropped-without-commit scope (e.g. an early `?` return) must
+        // not leave half-applied metadata behind: roll back best-effort.
+        // If the device has crashed, rollback fails harmlessly here and
+        // recovery replays the log instead.
+        if !self.finished && self.tail != 0 {
+            let _ = apply_undo(self.op.view(), self.area, self.gen);
+        }
+    }
+}
+
+/// View-routed twin of `undo::read_entry` (same validation, same
+/// accept/reject decisions — both read the same on-device format).
+fn read_entry(view: &MetaView<'_>, area: UndoArea, gen: u64, pos: u64) -> Result<Option<undo::DecodedEntry>> {
+    if pos + undo::ENTRY_HEADER > area.size {
+        return Ok(None);
+    }
+    let entry_gen: u64 = view.read_pod(area.base + pos)?;
+    if entry_gen != gen {
+        return Ok(None);
+    }
+    let target: u64 = view.read_pod(area.base + pos + 8)?;
+    let len: u64 = view.read_pod(area.base + pos + 16)?;
+    let stored_sum: u64 = view.read_pod(area.base + pos + 24)?;
+    if len > area.size || pos + undo::ENTRY_HEADER + len.next_multiple_of(8) > area.size {
+        return Ok(None); // torn header
+    }
+    let mut old = vec![0u8; len.next_multiple_of(8) as usize];
+    view.read(area.base + pos + undo::ENTRY_HEADER, &mut old)?;
+    if undo::checksum(gen, target, len, &old) != stored_sum {
+        return Ok(None); // torn entry
+    }
+    old.truncate(len as usize);
+    Ok(Some((target, len, old, undo::ENTRY_HEADER + len.next_multiple_of(8))))
+}
+
+fn apply_undo(view: &MetaView<'_>, area: UndoArea, gen: u64) -> Result<()> {
+    let mut entries = Vec::new();
+    let mut pos = 0u64;
+    while let Some((target, len, old, entry_len)) = read_entry(view, area, gen, pos)? {
+        entries.push((target, len, old));
+        pos += entry_len;
+    }
+    for (target, len, old) in entries.iter().rev() {
+        view.write(*target, old)?;
+        view.clwb(*target, *len)?;
+    }
+    view.sfence()?;
+    bump_generation(view, area, gen)?;
+    Ok(())
+}
+
+fn bump_generation(view: &MetaView<'_>, area: UndoArea, gen: u64) -> Result<()> {
+    view.write_pod(area.gen_field, &(gen + 1))?;
+    view.persist(area.gen_field, 8)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::HeapLayout;
+    use crate::undo::UndoSession;
+    use pmem::{CrashMode, DeviceConfig, PmemDevice};
+
+    fn setup() -> (PmemDevice, HeapLayout) {
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        let dev = PmemDevice::new(DeviceConfig::new(64 << 20));
+        (dev, layout)
+    }
+
+    fn target_off(layout: &HeapLayout) -> u64 {
+        // An arbitrary metadata word inside sub-heap 0's table area.
+        layout.level_base(0, 0) + 256
+    }
+
+    #[test]
+    fn one_validation_per_session_many_accesses() {
+        let (dev, layout) = setup();
+        let before = dev.stats();
+        {
+            let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+            let op = OpSession::unguarded(ctx).unwrap();
+            let mut scope = op.undo().unwrap();
+            for i in 0..16u64 {
+                scope.log_and_write_pod(target_off(&layout) + i * 8, &i).unwrap();
+            }
+            scope.commit().unwrap();
+        }
+        let after = dev.stats();
+        // One map_meta validation; every logged word went through the view.
+        assert_eq!(after.validations - before.validations, 1);
+        assert_eq!(after.meta_maps - before.meta_maps, 1);
+        assert!(after.write_ops - before.write_ops >= 32, "16 entries + 16 targets at least");
+    }
+
+    #[test]
+    fn scope_commit_is_durable_and_replay_is_noop() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let target = target_off(&layout);
+        {
+            let op = OpSession::unguarded(ctx).unwrap();
+            let mut scope = op.undo().unwrap();
+            scope.log_and_write_pod(target, &0xAAu64).unwrap();
+            scope.commit().unwrap();
+        }
+        dev.simulate_crash(CrashMode::Strict, 0);
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 0xAA);
+        assert!(!undo::replay(&dev, ctx.undo_area()).unwrap());
+    }
+
+    #[test]
+    fn crashed_scope_is_replayed_by_device_backed_recovery() {
+        // The interoperability contract: entries written through the view
+        // must be read back by the *device-backed* replay after a crash.
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let target = target_off(&layout);
+        dev.write_pod(target, &1u64).unwrap();
+        dev.persist(target, 8).unwrap();
+        {
+            let op = OpSession::unguarded(ctx).unwrap();
+            let mut scope = op.undo().unwrap();
+            scope.log_and_write_pod(target, &2u64).unwrap();
+            std::mem::forget(scope);
+        }
+        dev.simulate_crash(CrashMode::Strict, 3);
+        assert!(undo::replay(&dev, ctx.undo_area()).unwrap());
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 1);
+    }
+
+    #[test]
+    fn device_backed_session_blocks_scope_and_vice_versa() {
+        // Both writers share one log area and generation: a crashed one
+        // must block the other until recovery, regardless of which side
+        // wrote the entries.
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let target = target_off(&layout);
+        let mut s = UndoSession::begin(&dev, ctx.undo_area()).unwrap();
+        s.log_and_write_pod(target, &7u64).unwrap();
+        std::mem::forget(s);
+        let op = OpSession::unguarded(ctx).unwrap();
+        assert!(matches!(op.undo(), Err(PoseidonError::Corrupted(_))));
+        drop(op);
+        undo::replay(&dev, ctx.undo_area()).unwrap();
+        let op = OpSession::unguarded(ctx).unwrap();
+        op.undo().unwrap().commit().unwrap();
+    }
+
+    #[test]
+    fn drop_without_commit_rolls_back_through_the_view() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let target = target_off(&layout);
+        dev.write_pod(target, &7u64).unwrap();
+        let op = OpSession::unguarded(ctx).unwrap();
+        {
+            let mut scope = op.undo().unwrap();
+            scope.log_and_write_pod(target, &8u64).unwrap();
+            // dropped here without commit
+        }
+        assert_eq!(op.read_pod::<u64>(target).unwrap(), 7);
+        op.undo().unwrap().commit().unwrap();
+    }
+
+    #[test]
+    fn abort_restores_in_reverse_order() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let target = target_off(&layout);
+        dev.write_pod(target, &1u64).unwrap();
+        let op = OpSession::unguarded(ctx).unwrap();
+        let mut scope = op.undo().unwrap();
+        scope.log_and_write_pod(target, &2u64).unwrap();
+        scope.log_and_write_pod(target, &3u64).unwrap();
+        scope.abort().unwrap();
+        assert_eq!(op.read_pod::<u64>(target).unwrap(), 1);
+    }
+
+    #[test]
+    fn scope_overflow_is_detected() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let op = OpSession::unguarded(ctx).unwrap();
+        let mut scope = op.undo().unwrap();
+        let big = vec![0u8; 4096];
+        let mut wrote = 0u64;
+        let r = loop {
+            match scope.log_and_write(target_off(&layout), &big) {
+                Ok(()) => wrote += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(wrote > 0);
+        assert!(matches!(r, PoseidonError::Corrupted("undo log overflow")));
+        scope.abort().unwrap();
+    }
+}

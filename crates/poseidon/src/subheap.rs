@@ -4,57 +4,58 @@
 //! table) and a user region. It is created lazily when the first
 //! allocation happens on its CPU, seeded with the maximal power-of-two
 //! decomposition of its user region, and placed on that CPU's NUMA node.
-//! All mutation goes through undo sessions; the caller (the heap) holds
-//! the sub-heap lock and the MPK write guard.
+//! All mutation goes through the caller's [`OpSession`] — the session
+//! owns the sub-heap lock, the MPK write guard, and the *single* mapped
+//! metadata view every word access goes through.
 
 use crate::buddy;
 use crate::defrag;
 use crate::error::{PoseidonError, Result};
 use crate::hashtable;
 use crate::layout::{class_size, MIN_BLOCK, NUM_CLASSES, SH_UNDO_OFF};
-use crate::persist::{state, HashEntry, SubCtx, SubheapHeader, SUBHEAP_MAGIC};
-use crate::undo::UndoSession;
+use crate::persist::{state, HashEntry, SubheapHeader, SUBHEAP_MAGIC};
+use crate::session::OpSession;
 
 /// Initialises (or re-initialises, after a creation that crashed before
 /// its directory entry was published) the sub-heap's metadata and seeds
 /// its buddy lists. The caller persists the directory entry afterwards;
 /// until then the sub-heap is not live.
-pub(crate) fn create(ctx: &SubCtx<'_>, node: u32) -> Result<()> {
-    let meta = ctx.meta_base();
+pub(crate) fn create(op: &OpSession<'_>, node: u32) -> Result<()> {
+    let meta = op.ctx.meta_base();
     // Scrub: zero the header/array page(s) and return the log + table
     // space to the device (clears residue from an interrupted creation).
-    ctx.dev.write(meta, &vec![0u8; SH_UNDO_OFF as usize])?;
-    ctx.dev.punch_hole(meta + SH_UNDO_OFF, ctx.layout.meta_size - SH_UNDO_OFF)?;
+    op.view().write(meta, &vec![0u8; SH_UNDO_OFF as usize])?;
+    op.ctx.dev.punch_hole(meta + SH_UNDO_OFF, op.ctx.layout.meta_size - SH_UNDO_OFF)?;
     let header = SubheapHeader {
         magic: SUBHEAP_MAGIC,
-        subheap_id: ctx.sub as u32,
+        subheap_id: op.ctx.sub as u32,
         node,
         undo_gen: 0,
         micro_count: 0,
         active_levels: 1,
     };
-    ctx.dev.write_pod(meta, &header)?;
-    ctx.dev.persist(meta, SH_UNDO_OFF)?;
+    op.view().write_pod(meta, &header)?;
+    op.view().persist(meta, SH_UNDO_OFF)?;
 
     // Seed the user region: greedy maximal power-of-two decomposition
     // from offset 0. Each seed is automatically aligned to its size
     // (sizes descend), so XOR-buddy arithmetic stays inside each seed.
-    let mut session = UndoSession::begin(ctx.dev, ctx.undo_area())?;
+    let mut scope = op.undo()?;
     let mut offset = 0u64;
-    let mut remaining = ctx.layout.user_size;
+    let mut remaining = op.ctx.layout.user_size;
     while remaining >= MIN_BLOCK {
         let size = prev_power_of_two(remaining);
         let mut rec = HashEntry { offset, size, state: state::FREE, ..Default::default() };
-        let rec_off = hashtable::insert(ctx, &mut session, rec, true)?;
-        buddy::push_tail(ctx, &mut session, rec_off, &mut rec)?;
+        let rec_off = hashtable::insert(op, &mut scope, rec, true)?;
+        buddy::push_tail(op, &mut scope, rec_off, &mut rec)?;
         offset += size;
         remaining -= size;
     }
-    session.commit()?;
+    scope.commit()?;
 
     // NUMA placement of both regions (§4.1).
-    ctx.dev.set_page_node(meta, ctx.layout.meta_size, node as u8)?;
-    ctx.dev.set_page_node(ctx.user_base(), ctx.layout.user_size, node as u8)?;
+    op.ctx.dev.set_page_node(meta, op.ctx.layout.meta_size, node as u8)?;
+    op.ctx.dev.set_page_node(op.ctx.user_base(), op.ctx.layout.user_size, node as u8)?;
     Ok(())
 }
 
@@ -65,39 +66,39 @@ fn prev_power_of_two(x: u64) -> u64 {
 
 /// Allocates a block of buddy class `class`, following §5.2: find a free
 /// block (defragmenting if no class fits), split down to size, and record
-/// the allocation — all in one undo session. Hash-table pressure first
+/// the allocation — all in one undo scope. Hash-table pressure first
 /// triggers probe-window defragmentation, then level activation.
 ///
 /// For transactional allocation (§5.3) pass `micro = Some((heap_id,
 /// slot))`: the allocated pointer is appended to the transaction's
-/// micro-log slot *inside the same undo session*, so a crash can never
+/// micro-log slot *inside the same undo scope*, so a crash can never
 /// separate the allocation from its log record.
-pub(crate) fn alloc_block(ctx: &SubCtx<'_>, class: usize, micro: Option<(u64, usize)>) -> Result<u64> {
+pub(crate) fn alloc_block(op: &OpSession<'_>, class: usize, micro: Option<(u64, usize)>) -> Result<u64> {
     debug_assert!(class < NUM_CLASSES);
     for attempt in 0..3 {
-        let from = match buddy::first_class_at_least(ctx, class)? {
+        let from = match buddy::first_class_at_least(op, class)? {
             Some(k) => k,
             None => {
                 // §5.4 trigger 1: merge smaller free blocks.
-                defrag::merge_all_below(ctx, class)?;
-                match buddy::first_class_at_least(ctx, class)? {
+                defrag::merge_all_below(op, class)?;
+                match buddy::first_class_at_least(op, class)? {
                     Some(k) => k,
                     None => return Err(PoseidonError::NoSpace { requested: class_size(class) }),
                 }
             }
         };
-        match try_alloc(ctx, from, class, attempt > 0, micro) {
+        match try_alloc(op, from, class, attempt > 0, micro) {
             Err(PoseidonError::TableFull) => {
                 // §5.4 trigger 2: compact the probe windows of the record
                 // keys the split would have inserted, then retry (the
                 // retry may also activate a fresh level).
-                let head_off = buddy::head(ctx, from)?;
+                let head_off = buddy::head(op, from)?;
                 if head_off != 0 {
-                    let rec = ctx.entry(head_off)?;
+                    let rec = op.entry(head_off)?;
                     let mut size = rec.size;
                     while size > class_size(class) {
                         size /= 2;
-                        defrag::compact_windows(ctx, rec.offset + size)?;
+                        defrag::compact_windows(op, rec.offset + size)?;
                     }
                 }
                 continue;
@@ -110,21 +111,21 @@ pub(crate) fn alloc_block(ctx: &SubCtx<'_>, class: usize, micro: Option<(u64, us
 
 /// One allocation attempt: pops the head of `from`, splits down to
 /// `want`, marks the final block allocated. Any failure (including
-/// hash-table exhaustion mid-split) rolls the session back.
+/// hash-table exhaustion mid-split) rolls the scope back.
 fn try_alloc(
-    ctx: &SubCtx<'_>,
+    op: &OpSession<'_>,
     from: usize,
     want: usize,
     allow_activate: bool,
     micro: Option<(u64, usize)>,
 ) -> Result<u64> {
-    let mut session = UndoSession::begin(ctx.dev, ctx.undo_area())?;
-    let head_off = buddy::head(ctx, from)?;
+    let mut scope = op.undo()?;
+    let head_off = buddy::head(op, from)?;
     if head_off == 0 {
         return Err(PoseidonError::Corrupted("free list emptied under the sub-heap lock"));
     }
-    let mut rec = ctx.entry(head_off)?;
-    buddy::unlink(ctx, &mut session, head_off, &rec)?;
+    let mut rec = op.entry(head_off)?;
+    buddy::unlink(op, &mut scope, head_off, &rec)?;
     let mut class = from;
     while class > want {
         class -= 1;
@@ -133,19 +134,19 @@ fn try_alloc(
         // continues splitting.
         let mut upper =
             HashEntry { offset: rec.offset + half, size: half, state: state::FREE, ..Default::default() };
-        let upper_off = hashtable::insert(ctx, &mut session, upper, allow_activate)?;
-        buddy::push_tail(ctx, &mut session, upper_off, &mut upper)?;
+        let upper_off = hashtable::insert(op, &mut scope, upper, allow_activate)?;
+        buddy::push_tail(op, &mut scope, upper_off, &mut upper)?;
         rec.size = half;
     }
     rec.state = state::ALLOC;
     rec.next_free = 0;
     rec.prev_free = 0;
-    hashtable::write_entry(&mut session, head_off, &rec)?;
+    hashtable::write_entry(&mut scope, head_off, &rec)?;
     if let Some((heap_id, slot)) = micro {
-        let ptr = crate::nvmptr::NvmPtr::new(heap_id, ctx.sub, rec.offset);
-        crate::microlog::append(ctx, &mut session, slot, ptr)?;
+        let ptr = crate::nvmptr::NvmPtr::new(heap_id, op.ctx.sub, rec.offset);
+        crate::microlog::append(op, &mut scope, slot, ptr)?;
     }
-    session.commit()?;
+    scope.commit()?;
     Ok(rec.offset)
 }
 
@@ -156,8 +157,8 @@ fn try_alloc(
 /// quarantined instead of returned to its free list, so the media error
 /// can never be handed to a future allocation. Returns the freed block's
 /// size.
-pub(crate) fn free_block(ctx: &SubCtx<'_>, offset: u64) -> Result<u64> {
-    let Some((rec_off, mut rec)) = hashtable::lookup(ctx, offset)? else {
+pub(crate) fn free_block(op: &OpSession<'_>, offset: u64) -> Result<u64> {
+    let Some((rec_off, mut rec)) = hashtable::lookup(op, offset)? else {
         return Err(PoseidonError::InvalidFree { offset });
     };
     match rec.state {
@@ -165,17 +166,17 @@ pub(crate) fn free_block(ctx: &SubCtx<'_>, offset: u64) -> Result<u64> {
         state::FREE => return Err(PoseidonError::DoubleFree { offset }),
         _ => return Err(PoseidonError::InvalidFree { offset }),
     }
-    let mut session = UndoSession::begin(ctx.dev, ctx.undo_area())?;
-    if ctx.dev.is_poisoned(ctx.user_base() + rec.offset, rec.size) {
+    let mut scope = op.undo()?;
+    if op.ctx.dev.is_poisoned(op.ctx.user_base() + rec.offset, rec.size) {
         rec.state = state::QUARANTINED;
         rec.next_free = 0;
         rec.prev_free = 0;
-        hashtable::write_entry(&mut session, rec_off, &rec)?;
+        hashtable::write_entry(&mut scope, rec_off, &rec)?;
     } else {
         rec.state = state::FREE;
-        buddy::push_tail(ctx, &mut session, rec_off, &mut rec)?;
+        buddy::push_tail(op, &mut scope, rec_off, &mut rec)?;
     }
-    session.commit()?;
+    scope.commit()?;
     Ok(rec.size)
 }
 
@@ -249,18 +250,18 @@ impl SubheapAudit {
 /// # Errors
 ///
 /// [`PoseidonError::Corrupted`] describing the first violated invariant.
-pub(crate) fn audit(ctx: &SubCtx<'_>) -> Result<SubheapAudit> {
+pub(crate) fn audit(op: &OpSession<'_>) -> Result<SubheapAudit> {
     use std::collections::{BTreeMap, HashSet};
-    let active = ctx.active_levels()? as usize;
+    let active = op.active_levels()? as usize;
     let mut by_offset: BTreeMap<u64, HashEntry> = BTreeMap::new();
     let mut slot_of: BTreeMap<u64, u64> = BTreeMap::new();
     let mut tombstones = 0u64;
     for level in 0..active.min(crate::layout::MAX_LEVELS) {
         let mut live = 0u64;
-        let base = ctx.layout.level_base(ctx.sub, level);
-        for i in 0..ctx.layout.level_capacity(level) {
+        let base = op.ctx.layout.level_base(op.ctx.sub, level);
+        for i in 0..op.ctx.layout.level_capacity(level) {
             let off = base + i * crate::layout::ENTRY_SIZE;
-            let e = ctx.entry(off)?;
+            let e = op.entry(off)?;
             if e.state == state::TOMBSTONE {
                 tombstones += 1;
             }
@@ -278,7 +279,7 @@ pub(crate) fn audit(ctx: &SubCtx<'_>) -> Result<SubheapAudit> {
                 slot_of.insert(e.offset, off);
             }
         }
-        let counted: u64 = ctx.dev.read_pod(ctx.level_count_off(level))?;
+        let counted: u64 = op.read_pod(op.ctx.level_count_off(level))?;
         if counted != live {
             return Err(PoseidonError::Corrupted("level live count mismatch"));
         }
@@ -290,7 +291,7 @@ pub(crate) fn audit(ctx: &SubCtx<'_>) -> Result<SubheapAudit> {
         if off < cursor {
             return Err(PoseidonError::Corrupted("overlapping blocks"));
         }
-        if off + e.size > ctx.layout.user_size {
+        if off + e.size > op.ctx.layout.user_size {
             return Err(PoseidonError::Corrupted("block beyond user region"));
         }
         cursor = off + e.size;
@@ -314,8 +315,8 @@ pub(crate) fn audit(ctx: &SubCtx<'_>) -> Result<SubheapAudit> {
     // right class.
     let mut listed: HashSet<u64> = HashSet::new();
     for class in 0..NUM_CLASSES {
-        for rec_off in buddy::collect(ctx, class)? {
-            let e = ctx.entry(rec_off)?;
+        for rec_off in buddy::collect(op, class)? {
+            let e = op.entry(rec_off)?;
             if e.state != state::FREE {
                 return Err(PoseidonError::Corrupted("non-free record in free list"));
             }
@@ -338,6 +339,7 @@ pub(crate) fn audit(ctx: &SubCtx<'_>) -> Result<SubheapAudit> {
 mod tests {
     use super::*;
     use crate::layout::{class_for_size, HeapLayout};
+    use crate::persist::SubCtx;
     use pmem::{DeviceConfig, PmemDevice};
 
     fn setup() -> (PmemDevice, HeapLayout) {
@@ -346,12 +348,16 @@ mod tests {
         (dev, layout)
     }
 
+    fn op_for<'a>(dev: &'a PmemDevice, layout: &'a HeapLayout) -> OpSession<'a> {
+        OpSession::unguarded(SubCtx { dev, layout, sub: 0 }).unwrap()
+    }
+
     #[test]
     fn create_seeds_full_coverage() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        create(&ctx, 0).unwrap();
-        let a = audit(&ctx).unwrap();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
+        let a = audit(&op).unwrap();
         assert_eq!(a.alloc_bytes, 0);
         // Seeds cover the user region down to MIN_BLOCK granularity.
         assert!(a.free_bytes <= layout.user_size);
@@ -361,30 +367,30 @@ mod tests {
     #[test]
     fn create_is_idempotent_after_partial_creation() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        create(&ctx, 0).unwrap();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
         // Dirty the table, then recreate (models a crash before the
         // directory entry was published, followed by a fresh creation).
-        create(&ctx, 1).unwrap();
-        let a = audit(&ctx).unwrap();
+        create(&op, 1).unwrap();
+        let a = audit(&op).unwrap();
         assert_eq!(a.alloc_bytes, 0);
-        assert_eq!(ctx.header().unwrap().node, 1);
+        assert_eq!(op.header().unwrap().node, 1);
     }
 
     #[test]
     fn alloc_splits_down_and_free_restores() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        create(&ctx, 0).unwrap();
-        let before = audit(&ctx).unwrap();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
+        let before = audit(&op).unwrap();
         let (class, size) = class_for_size(100).unwrap();
-        let off = alloc_block(&ctx, class, None).unwrap();
+        let off = alloc_block(&op, class, None).unwrap();
         assert_eq!(size, 128);
-        let mid = audit(&ctx).unwrap();
+        let mid = audit(&op).unwrap();
         assert_eq!(mid.alloc_bytes, 128);
         assert_eq!(mid.free_bytes + 128, before.free_bytes);
-        assert_eq!(free_block(&ctx, off).unwrap(), 128);
-        let after = audit(&ctx).unwrap();
+        assert_eq!(free_block(&op, off).unwrap(), 128);
+        let after = audit(&op).unwrap();
         assert_eq!(after.alloc_bytes, 0);
         assert_eq!(after.free_bytes, before.free_bytes);
     }
@@ -392,31 +398,31 @@ mod tests {
     #[test]
     fn distinct_allocations_do_not_overlap() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        create(&ctx, 0).unwrap();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
         let (class, size) = class_for_size(64).unwrap();
         let mut offs = std::collections::HashSet::new();
         for _ in 0..100 {
-            let off = alloc_block(&ctx, class, None).unwrap();
+            let off = alloc_block(&op, class, None).unwrap();
             assert!(offs.insert(off), "offset {off} handed out twice");
             assert_eq!(off % size, 0);
         }
-        audit(&ctx).unwrap();
+        audit(&op).unwrap();
     }
 
     #[test]
     fn free_then_realloc_reuses_space_eventually() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        create(&ctx, 0).unwrap();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
         let (class, _) = class_for_size(4096).unwrap();
-        let a = alloc_block(&ctx, class, None).unwrap();
-        free_block(&ctx, a).unwrap();
+        let a = alloc_block(&op, class, None).unwrap();
+        free_block(&op, a).unwrap();
         // Tail insertion delays reuse, but allocating everything must
         // eventually hand `a` back without corruption.
         let mut seen = false;
         for _ in 0..10_000 {
-            match alloc_block(&ctx, class, None) {
+            match alloc_block(&op, class, None) {
                 Ok(off) => {
                     if off == a {
                         seen = true;
@@ -433,30 +439,30 @@ mod tests {
     #[test]
     fn invalid_and_double_frees_are_rejected() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        create(&ctx, 0).unwrap();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
         let (class, _) = class_for_size(64).unwrap();
-        let off = alloc_block(&ctx, class, None).unwrap();
-        assert!(matches!(free_block(&ctx, off + 8), Err(PoseidonError::InvalidFree { .. })));
-        free_block(&ctx, off).unwrap();
-        assert!(matches!(free_block(&ctx, off), Err(PoseidonError::DoubleFree { .. })));
+        let off = alloc_block(&op, class, None).unwrap();
+        assert!(matches!(free_block(&op, off + 8), Err(PoseidonError::InvalidFree { .. })));
+        free_block(&op, off).unwrap();
+        assert!(matches!(free_block(&op, off), Err(PoseidonError::DoubleFree { .. })));
         // The heap is still intact.
-        audit(&ctx).unwrap();
+        audit(&op).unwrap();
     }
 
     #[test]
     fn freeing_a_poisoned_block_quarantines_it() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        create(&ctx, 0).unwrap();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
         let (class, size) = class_for_size(64).unwrap();
-        let off = alloc_block(&ctx, class, None).unwrap();
-        dev.poison(ctx.user_base() + off, 1).unwrap();
+        let off = alloc_block(&op, class, None).unwrap();
+        dev.poison(op.ctx.user_base() + off, 1).unwrap();
         // The free "succeeds" — the block leaves the allocated population —
         // but lands in quarantine, not on a free list.
-        assert_eq!(free_block(&ctx, off).unwrap(), size);
-        assert!(matches!(free_block(&ctx, off), Err(PoseidonError::InvalidFree { .. })));
-        let report = audit(&ctx).unwrap();
+        assert_eq!(free_block(&op, off).unwrap(), size);
+        assert!(matches!(free_block(&op, off), Err(PoseidonError::InvalidFree { .. })));
+        let report = audit(&op).unwrap();
         assert_eq!(report.quarantined_blocks, 1);
         assert_eq!(report.quarantined_bytes, size);
         assert_eq!(report.alloc_blocks, 0);
@@ -465,14 +471,14 @@ mod tests {
     #[test]
     fn exhaustion_defragments_then_reports_no_space() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        create(&ctx, 0).unwrap();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
         // Allocate the maximum class until exhaustion.
         let max = layout.max_alloc();
         let (class, _) = class_for_size(max).unwrap();
         let mut blocks = Vec::new();
         loop {
-            match alloc_block(&ctx, class, None) {
+            match alloc_block(&op, class, None) {
                 Ok(off) => blocks.push(off),
                 Err(PoseidonError::NoSpace { .. }) => break,
                 Err(e) => panic!("unexpected: {e}"),
@@ -481,29 +487,29 @@ mod tests {
         assert!(!blocks.is_empty());
         // Free everything; defragmentation must reassemble the big block.
         for off in blocks.drain(..) {
-            free_block(&ctx, off).unwrap();
+            free_block(&op, off).unwrap();
         }
-        let off = alloc_block(&ctx, class, None).expect("defrag must reassemble the largest block");
-        free_block(&ctx, off).unwrap();
-        audit(&ctx).unwrap();
+        let off = alloc_block(&op, class, None).expect("defrag must reassemble the largest block");
+        free_block(&op, off).unwrap();
+        audit(&op).unwrap();
     }
 
     #[test]
     fn many_small_allocations_grow_the_table() {
         let (dev, layout) = setup();
-        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
-        create(&ctx, 0).unwrap();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
         let (class, _) = class_for_size(32).unwrap();
         let n = layout.c0 * 2;
         let mut offs = Vec::new();
         for _ in 0..n {
-            offs.push(alloc_block(&ctx, class, None).unwrap());
+            offs.push(alloc_block(&op, class, None).unwrap());
         }
-        assert!(ctx.active_levels().unwrap() > 1, "expected level growth");
-        audit(&ctx).unwrap();
+        assert!(op.active_levels().unwrap() > 1, "expected level growth");
+        audit(&op).unwrap();
         for off in offs {
-            free_block(&ctx, off).unwrap();
+            free_block(&op, off).unwrap();
         }
-        audit(&ctx).unwrap();
+        audit(&op).unwrap();
     }
 }

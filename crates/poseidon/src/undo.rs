@@ -43,9 +43,13 @@ pub struct UndoArea {
     pub gen_field: u64,
 }
 
-const ENTRY_HEADER: u64 = 32;
+/// Size of the fixed entry header (gen, target, len, checksum).
+pub(crate) const ENTRY_HEADER: u64 = 32;
 
-fn checksum(gen: u64, target: u64, len: u64, old: &[u8]) -> u64 {
+/// Entry checksum over the *padded* old-bytes image (see the layout
+/// diagram above). Shared with the session-layer [`crate::session::UndoScope`],
+/// which writes byte-compatible entries through a `MetaView`.
+pub(crate) fn checksum(gen: u64, target: u64, len: u64, old: &[u8]) -> u64 {
     let mut hash = 0x9E37_79B9_7F4A_7C15u64 ^ gen;
     hash = hash.wrapping_mul(0x100_0000_01B3).rotate_left(17) ^ target;
     hash = hash.wrapping_mul(0x100_0000_01B3).rotate_left(17) ^ len;
@@ -190,15 +194,13 @@ impl Drop for UndoSession<'_> {
     }
 }
 
+/// A decoded log entry: `(target, len, old_bytes, entry_len)`.
+pub(crate) type DecodedEntry = (u64, u64, Vec<u8>, u64);
+
 /// Reads and validates the entry at byte position `pos` for generation
-/// `gen`. Returns `(target, len, old_bytes, entry_len)` or `None` when
-/// the slot does not hold a live entry (end of log).
-fn read_entry(
-    dev: &PmemDevice,
-    area: UndoArea,
-    gen: u64,
-    pos: u64,
-) -> Result<Option<(u64, u64, Vec<u8>, u64)>> {
+/// `gen`. Returns the decoded entry or `None` when the slot does not
+/// hold a live entry (end of log).
+fn read_entry(dev: &PmemDevice, area: UndoArea, gen: u64, pos: u64) -> Result<Option<DecodedEntry>> {
     if pos + ENTRY_HEADER > area.size {
         return Ok(None);
     }

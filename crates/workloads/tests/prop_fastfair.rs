@@ -1,6 +1,7 @@
 //! Model-based property tests: the FAST-FAIR-style B+-tree must agree
 //! with `BTreeMap` on every operation sequence.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -48,7 +49,8 @@ fn agrees_with_btreemap() {
                 }
                 TreeOp::Update(k, v) => {
                     let old = tree.update(k, v);
-                    let model_old = if model.contains_key(&k) { model.insert(k, v) } else { None };
+                    let model_old =
+                        if let Entry::Occupied(mut e) = model.entry(k) { Some(e.insert(v)) } else { None };
                     assert_eq!(old, model_old, "update({k}) mismatch");
                 }
             }

@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         // Every so often, let the power fail somewhere inside the
         // transfer's transaction.
-        let armed = round % 111 == 0;
+        let armed = round.is_multiple_of(111);
         if armed {
             dev.arm_crash_after(10 + state % 80);
         }

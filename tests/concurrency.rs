@@ -119,6 +119,82 @@ fn single_subheap_total_contention() {
 }
 
 #[test]
+fn lock_profile_shows_no_cross_subheap_serialisation() {
+    // Fixed-seed mixed alloc/free/tx stress with every thread pinned to
+    // its own CPU (hence its own sub-heap), followed by a structural
+    // audit and a lock-profile check: the per-CPU design means the only
+    // shared lock is the superblock's, taken once per sub-heap creation —
+    // operations must never serialise across sub-heaps.
+    const THREADS: usize = 4;
+    const ROUNDS: u64 = 300;
+    let dev =
+        Arc::new(PmemDevice::new(DeviceConfig::bench(1 << 30).with_topology(NumaTopology::new(2, THREADS))));
+    let heap =
+        Arc::new(PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(THREADS as u16)).unwrap());
+
+    platform::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let heap = heap.clone();
+            scope.spawn(move || {
+                pmem::numa::set_current_cpu(thread);
+                let mut rng = Xorshift::new(thread as u64 * 6271 + 5);
+                let mut mine: Vec<NvmPtr> = Vec::new();
+                for _ in 0..ROUNDS {
+                    match rng.below(4) {
+                        0..=1 => {
+                            if let Ok(p) = heap.alloc(32 + rng.below(1024)) {
+                                mine.push(p);
+                            }
+                        }
+                        2 => {
+                            if let Some(p) = mine.pop() {
+                                heap.free(p).unwrap();
+                            }
+                        }
+                        _ => {
+                            let a = heap.tx_alloc(64, false).unwrap();
+                            let b = heap.tx_alloc(64, true).unwrap();
+                            mine.push(a);
+                            mine.push(b);
+                        }
+                    }
+                }
+                for p in mine {
+                    heap.free(p).unwrap();
+                }
+            });
+        }
+    });
+
+    // Capture the profile before the audit (the audit itself takes every
+    // sub-heap lock once more).
+    let profile = heap.contention_profile();
+    for (sub, audit) in heap.audit().unwrap() {
+        assert_eq!(audit.alloc_bytes, 0, "sub-heap {sub} leaked under concurrency");
+    }
+
+    let sb = profile.iter().find(|p| p.name == "superblock").unwrap();
+    assert!(
+        sb.acquisitions <= 2 * THREADS as u64,
+        "superblock lock taken {} times — more than sub-heap creation needs",
+        sb.acquisitions
+    );
+    for thread in 0..THREADS {
+        let lock = profile.iter().find(|p| p.name == format!("subheap[{thread}]")).unwrap();
+        // Every thread drove its own sub-heap (pinning worked)...
+        assert!(lock.acquisitions >= ROUNDS / 4, "sub-heap {thread} barely used: {}", lock.acquisitions);
+        // ...and nothing funnelled through one sub-heap: the busiest lock
+        // stays within the work one thread can generate on its own (each
+        // round costs at most 3 operations).
+        assert!(
+            lock.acquisitions <= 3 * ROUNDS + 8,
+            "sub-heap {thread} serialised foreign work: {} acquisitions",
+            lock.acquisitions
+        );
+    }
+}
+
+#[test]
 fn tx_isolation_between_threads() {
     // Two threads run interleaved transactions on the same sub-heap; the
     // per-thread micro-log pinning must keep their commits independent.

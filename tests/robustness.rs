@@ -26,13 +26,10 @@ fn build_pool() -> Arc<PmemDevice> {
 /// Loading may fail (`Err`) or succeed; succeeding implies the audit ran
 /// or failed cleanly — nothing may panic.
 fn try_load(dev: Arc<PmemDevice>) {
-    match PoseidonHeap::load(dev, HeapConfig::new()) {
-        Ok(heap) => {
-            let _ = heap.audit();
-            let _ = heap.alloc(64);
-            let _ = heap.root();
-        }
-        Err(_) => {}
+    if let Ok(heap) = PoseidonHeap::load(dev, HeapConfig::new()) {
+        let _ = heap.audit();
+        let _ = heap.alloc(64);
+        let _ = heap.root();
     }
 }
 
@@ -123,11 +120,8 @@ fn unused_hash_levels_are_punched_back() {
     let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(1)).unwrap();
 
     let mut live = Vec::new();
-    loop {
-        match heap.alloc(32) {
-            Ok(p) => live.push(p),
-            Err(_) => break,
-        }
+    while let Ok(p) = heap.alloc(32) {
+        live.push(p);
         if live.len() >= 12_000 {
             break;
         }
