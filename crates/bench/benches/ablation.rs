@@ -34,6 +34,7 @@ fn main() {
     }
     group.finish();
     validation_ablation();
+    persistence_ablation();
 }
 
 /// Session-layer ablation: access validations per operation on the
@@ -72,5 +73,65 @@ fn validation_ablation() {
         "  per-op   (checked sessions):     {:>8} validations  ({:.2}/op)",
         validations,
         validations as f64 / ops as f64
+    );
+}
+
+/// Persistence-batching ablation: sfences and clwbs per operation on the
+/// alloc/free hot path. The measured column is the batched two-fence
+/// commit; the baselines are modelled from the same run's undo-log
+/// counters — per-word is one `clwb`+`sfence` pair per logged 8-byte
+/// word (plus the commit fence and generation bump every protocol
+/// needs), per-entry is the pre-batching eager code (one pair per log
+/// entry plus the same two commit fences).
+fn persistence_ablation() {
+    const OPS: u64 = 10_000;
+    let h = heap(HeapConfig::new());
+    let mut warm = Vec::new();
+    for _ in 0..64 {
+        warm.push(h.alloc(256).expect("warm alloc"));
+    }
+    for p in warm {
+        h.free(p).expect("warm free");
+    }
+    let before = h.device().stats();
+    for _ in 0..OPS {
+        let p = h.alloc(256).expect("alloc");
+        h.free(p).expect("free");
+    }
+    let after = h.device().stats();
+    let ops = OPS * 2;
+    let sfences = after.sfence_count - before.sfence_count;
+    let clwbs = after.clwb_count - before.clwb_count;
+    let entries = after.undo_entries - before.undo_entries;
+    let words = after.undo_words - before.undo_words;
+    let per_word_sfences = words + 2 * ops;
+    let per_entry_sfences = entries + 2 * ops;
+    println!("\nablation/persistence-cost (alloc+free hot path, {ops} ops)");
+    println!(
+        "  per-word  (modelled baseline):   {:>8} sfences      ({:.2}/op)",
+        per_word_sfences,
+        per_word_sfences as f64 / ops as f64
+    );
+    println!(
+        "  per-entry (pre-batching code):   {:>8} sfences      ({:.2}/op)",
+        per_entry_sfences,
+        per_entry_sfences as f64 / ops as f64
+    );
+    println!(
+        "  measured  (batched commit):      {:>8} sfences      ({:.2}/op)",
+        sfences,
+        sfences as f64 / ops as f64
+    );
+    println!(
+        "  measured  (batched commit):      {:>8} clwbs        ({:.2}/op)",
+        clwbs,
+        clwbs as f64 / ops as f64
+    );
+    println!(
+        "  fence reduction: {:.1}x vs per-word, {:.1}x vs per-entry (pair: {:.0} -> {:.0} sfences)",
+        per_word_sfences as f64 / sfences as f64,
+        per_entry_sfences as f64 / sfences as f64,
+        2.0 * per_word_sfences as f64 / ops as f64,
+        2.0 * sfences as f64 / ops as f64
     );
 }

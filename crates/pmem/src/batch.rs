@@ -1,0 +1,107 @@
+//! Write-combining flush batches.
+//!
+//! A `clwb` costs a full validation + cache-model round trip per call,
+//! and — much worse for a logging allocator — every eager
+//! `clwb`+`sfence` pair is a serialising barrier. A [`FlushBatch`]
+//! collects the *lines* a caller intends to flush, deduplicating as it
+//! goes (two stores to one cache line need one `clwb`, not two), so the
+//! caller can issue every flush of an operation back-to-back and pay a
+//! single fence for the lot: note ranges while mutating, then
+//! [`PmemDevice::flush_batch`](crate::PmemDevice::flush_batch) (or
+//! [`MetaView::flush_batch`](crate::MetaView::flush_batch)) + one
+//! `sfence` at the ordering point.
+//!
+//! The batch holds line *numbers*, not data — noting a range never
+//! touches the device, so it cannot fail and costs nothing until the
+//! flush is issued.
+
+use crate::cache::CACHE_LINE_SIZE;
+
+/// A deduplicated set of cache lines pending `clwb`. See the
+/// [module docs](self).
+#[derive(Debug, Default, Clone)]
+pub struct FlushBatch {
+    /// Line numbers (device offset / [`CACHE_LINE_SIZE`]), deduplicated.
+    /// Operations touch a handful of lines, so a linear-scan `Vec` beats
+    /// a hash set and keeps flush order deterministic (insertion order).
+    lines: Vec<u64>,
+}
+
+impl FlushBatch {
+    /// An empty batch.
+    pub fn new() -> FlushBatch {
+        FlushBatch::default()
+    }
+
+    /// Adds every line covering `[offset, offset + len)` to the batch.
+    /// Lines already noted are not added again. A zero-length range adds
+    /// nothing.
+    pub fn note(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / CACHE_LINE_SIZE;
+        let last = (offset + len - 1) / CACHE_LINE_SIZE;
+        for line in first..=last {
+            if !self.lines.contains(&line) {
+                self.lines.push(line);
+            }
+        }
+    }
+
+    /// Whether no lines are pending.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Number of distinct lines pending (= `clwb`s a flush will issue).
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Forgets all pending lines (the batch can be reused).
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+
+    /// The pending line numbers, in insertion order.
+    pub(crate) fn lines(&self) -> &[u64] {
+        &self.lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_dedupes_by_line() {
+        let mut batch = FlushBatch::new();
+        batch.note(0, 8);
+        batch.note(8, 8); // same line
+        batch.note(63, 2); // lines 0 and 1
+        assert_eq!(batch.line_count(), 2);
+        batch.note(64, 64); // line 1 again
+        assert_eq!(batch.line_count(), 2);
+        assert_eq!(batch.lines(), &[0, 1]);
+    }
+
+    #[test]
+    fn zero_length_note_is_ignored() {
+        let mut batch = FlushBatch::new();
+        batch.note(128, 0);
+        assert!(batch.is_empty());
+        assert_eq!(batch.line_count(), 0);
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let mut batch = FlushBatch::new();
+        batch.note(256, 16);
+        assert!(!batch.is_empty());
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.note(0, 1);
+        assert_eq!(batch.lines(), &[0]);
+    }
+}

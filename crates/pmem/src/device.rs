@@ -6,6 +6,7 @@ use std::sync::{Arc, Mutex};
 
 use mpk::{AccessKind, MpkDomain, ProtectionKey};
 
+use crate::batch::FlushBatch;
 use crate::cache::{splitmix64, CacheModel, CrashMode, CACHE_LINE_SIZE};
 use crate::cost::CostModel;
 use crate::error::PmemError;
@@ -521,6 +522,46 @@ impl PmemDevice {
     pub fn persist(&self, offset: u64, len: u64) -> Result<(), PmemError> {
         self.clwb(offset, len)?;
         self.sfence()
+    }
+
+    /// Issues one `clwb` per line noted in `batch` (see
+    /// [`FlushBatch`]): the write-combining flush path. The whole batch
+    /// costs a single validation; each line still consults the poison
+    /// set and counts one mutation event against an armed crash, so
+    /// crash injection can land between any two flushes. The batch is
+    /// left untouched — callers [`clear`](FlushBatch::clear) it after
+    /// the ordering [`sfence`](Self::sfence).
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`], [`PmemError::Crashed`], or
+    /// [`PmemError::Uncorrectable`] if a noted line is poisoned.
+    pub fn flush_batch(&self, batch: &FlushBatch) -> Result<(), PmemError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.stats.record_validation();
+        for &line in batch.lines() {
+            let offset = line * CACHE_LINE_SIZE;
+            let len = CACHE_LINE_SIZE.min(self.config.capacity.saturating_sub(offset));
+            self.check_range(offset, len.max(1))?;
+            self.check_poison(offset, len)?;
+            self.mutation_event()?;
+            if let Some(cache) = &self.cache {
+                cache.clwb(offset, len);
+            }
+        }
+        self.stats.record_clwb(batch.line_count() as u64);
+        Ok(())
+    }
+
+    /// Instrumentation hook for log writers layered on this device:
+    /// records that one log entry covering `words` 8-byte words was
+    /// appended. Feeds the `undo_entries`/`undo_words` counters of
+    /// [`stats`](Self::stats), which benchmarks use to model the
+    /// per-word and per-entry persistence baselines.
+    pub fn record_undo_append(&self, words: u64) {
+        self.stats.record_undo_append(words);
     }
 
     /// Opens a checked session over `[offset, offset + len)`: bounds,

@@ -69,6 +69,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod cache;
 pub mod contention;
 mod cost;
@@ -81,6 +82,7 @@ mod stats;
 mod store;
 mod view;
 
+pub use batch::FlushBatch;
 pub use cache::{CrashMode, CACHE_LINE_SIZE};
 pub use contention::{LockProfile, TrackedMutex};
 pub use cost::CostModel;

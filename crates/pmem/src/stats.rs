@@ -31,6 +31,8 @@ struct Stripe {
     lines_poisoned: AtomicU64,
     validations: AtomicU64,
     meta_maps: AtomicU64,
+    undo_entries: AtomicU64,
+    undo_words: AtomicU64,
 }
 
 /// Traffic accumulated locally by a [`MetaView`](crate::MetaView) and
@@ -125,6 +127,11 @@ impl DeviceStats {
         bump!(self, meta_maps, 1);
     }
 
+    pub(crate) fn record_undo_append(&self, words: u64) {
+        bump!(self, undo_entries, 1);
+        bump!(self, undo_words, words);
+    }
+
     pub(crate) fn record_view_deltas(&self, d: &ViewDeltas) {
         if *d == ViewDeltas::default() {
             return;
@@ -164,6 +171,8 @@ impl DeviceStats {
             s.lines_poisoned += stripe.lines_poisoned.load(Ordering::Relaxed);
             s.validations += stripe.validations.load(Ordering::Relaxed);
             s.meta_maps += stripe.meta_maps.load(Ordering::Relaxed);
+            s.undo_entries += stripe.undo_entries.load(Ordering::Relaxed);
+            s.undo_words += stripe.undo_words.load(Ordering::Relaxed);
         }
         s
     }
@@ -186,6 +195,8 @@ impl DeviceStats {
             stripe.lines_poisoned.store(0, Ordering::Relaxed);
             stripe.validations.store(0, Ordering::Relaxed);
             stripe.meta_maps.store(0, Ordering::Relaxed);
+            stripe.undo_entries.store(0, Ordering::Relaxed);
+            stripe.undo_words.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -231,6 +242,14 @@ pub struct StatsSnapshot {
     /// Metadata views handed out by
     /// [`map_meta`](crate::PmemDevice::map_meta).
     pub meta_maps: u64,
+    /// Undo-log entries appended (one per
+    /// [`record_undo_append`](crate::PmemDevice::record_undo_append)).
+    /// Together with [`undo_words`](Self::undo_words) this lets
+    /// benchmarks model what eager per-entry or per-word persistence
+    /// *would* have cost next to the measured `sfence_count`.
+    pub undo_entries: u64,
+    /// Total 8-byte words covered by the appended undo-log entries.
+    pub undo_words: u64,
 }
 
 impl StatsSnapshot {

@@ -236,6 +236,33 @@ impl<'d> MetaView<'d> {
         self.clwb(offset, len)?;
         self.sfence()
     }
+
+    /// Issues one `clwb` per line noted in `batch` — the view-routed
+    /// twin of [`PmemDevice::flush_batch`]. Every noted line must fall
+    /// inside the view. Each line still consults the poison set and
+    /// counts one mutation event against an armed crash; the batch is
+    /// left untouched for the caller to
+    /// [`clear`](crate::FlushBatch::clear) after the ordering
+    /// [`sfence`](Self::sfence).
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::OutOfBounds`], [`PmemError::Crashed`], or
+    /// [`PmemError::Uncorrectable`] if a noted line is poisoned.
+    pub fn flush_batch(&self, batch: &crate::FlushBatch) -> Result<(), PmemError> {
+        for &line in batch.lines() {
+            let offset = line * crate::CACHE_LINE_SIZE;
+            let len = crate::CACHE_LINE_SIZE.min(self.end.saturating_sub(offset));
+            self.check_local(offset, len.max(1))?;
+            self.dev.check_poison(offset, len)?;
+            self.dev.mutation_event()?;
+            if let Some(cache) = self.dev.cache_ref() {
+                cache.clwb(offset, len);
+            }
+        }
+        self.clwb_count.set(self.clwb_count.get() + batch.line_count() as u64);
+        Ok(())
+    }
 }
 
 impl Drop for MetaView<'_> {

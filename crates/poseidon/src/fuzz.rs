@@ -1,0 +1,60 @@
+//! Crash-fuzz support: undo-chain decoding for the out-of-tree
+//! `crashfuzz` harness.
+//!
+//! Hidden from the public API (`#[doc(hidden)]` at the `mod`
+//! declaration): the harness needs to inspect undo-log internals to
+//! check the batched-persistence ordering invariant — *a missing or
+//! torn log entry implies no target of the operation was mutated* — and
+//! nothing else should depend on these details. Chains are decoded with
+//! the same `read_entry` validation recovery uses, so the harness and
+//! the allocator can never disagree about what counts as a live entry.
+
+use pmem::PmemDevice;
+
+use crate::layout::HeapLayout;
+use crate::persist::SubCtx;
+use crate::superblock;
+use crate::undo::{self, UndoArea};
+
+/// One live undo-log entry: the target range's offset and logged
+/// pre-image.
+#[derive(Debug, Clone)]
+pub struct UndoChainEntry {
+    /// Device offset the entry would restore.
+    pub target: u64,
+    /// The logged original bytes.
+    pub old: Vec<u8>,
+}
+
+/// Decodes the live entry chain of every undo area of a heap with
+/// geometry `layout` — the superblock's area first, then one per
+/// sub-heap. An area that cannot be read (e.g. a poisoned line) decodes
+/// to `None`.
+///
+/// Readable both before and after [`PmemDevice::simulate_crash`]:
+/// before, it sees the in-cache (DRAM) chain a crashed operation left
+/// behind; after, only what survived to media.
+pub fn undo_chains(dev: &PmemDevice, layout: &HeapLayout) -> Vec<Option<Vec<UndoChainEntry>>> {
+    let mut areas = vec![superblock::undo_area()];
+    for sub in 0..layout.num_subheaps {
+        areas.push(SubCtx { dev, layout, sub }.undo_area());
+    }
+    areas.into_iter().map(|area| decode_chain(dev, area)).collect()
+}
+
+fn decode_chain(dev: &PmemDevice, area: UndoArea) -> Option<Vec<UndoChainEntry>> {
+    let gen: u64 = dev.read_pod(area.gen_field).ok()?;
+    let mut entries = Vec::new();
+    let mut pos = 0u64;
+    loop {
+        match undo::read_entry(dev, area, gen, pos) {
+            Ok(Some((target, _len, old, entry_len))) => {
+                entries.push(UndoChainEntry { target, old });
+                pos += entry_len;
+            }
+            Ok(None) => break,
+            Err(_) => return None, // unreadable area (e.g. poison)
+        }
+    }
+    Some(entries)
+}

@@ -985,6 +985,29 @@ mod tests {
     }
 
     #[test]
+    fn fence_budget_per_pair_is_pinned() {
+        // Regression pin for the batched commit protocol: a steady-state
+        // operation pays exactly three fences (log entries, targets,
+        // generation bump) no matter how many words it logs — so an
+        // alloc/free pair costs exactly six. Any fence creep on the hot
+        // path fails this test.
+        let h = heap();
+        let warm: Vec<_> = (0..16).map(|_| h.alloc(64).unwrap()).collect();
+        for p in warm {
+            h.free(p).unwrap();
+        }
+        let before = h.device().stats();
+        const N: u64 = 100;
+        for _ in 0..N {
+            let p = h.alloc(64).unwrap();
+            h.free(p).unwrap();
+        }
+        let after = h.device().stats();
+        let sfences = after.sfence_count - before.sfence_count;
+        assert_eq!(sfences, N * 6, "fence budget changed: {sfences} sfences for {N} pairs");
+    }
+
+    #[test]
     fn shrink_runs_on_free_not_on_alloc() {
         // Stage an empty-but-active top level by hand (unprotected heap so
         // the test can write metadata directly), then check which paths

@@ -68,6 +68,8 @@
 mod buddy;
 mod defrag;
 mod error;
+#[doc(hidden)]
+pub mod fuzz;
 mod hashtable;
 mod heap;
 mod layout;

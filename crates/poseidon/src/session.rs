@@ -11,6 +11,9 @@
 //! * the sub-heap context (geometry),
 //! * a [`MetaView`] over the sub-heap's metadata region, validated
 //!   **once** at construction ([`pmem::PmemDevice::map_meta`]),
+//! * the staged-write overlay of the operation's open [`UndoScope`]
+//!   (reads through the session observe the operation's own
+//!   not-yet-issued stores — see `undo`'s module docs),
 //! * and, when built by the heap's entry points, the sub-heap lock guard
 //!   and the PKRU write guard.
 //!
@@ -21,23 +24,26 @@
 //! captures every pre-image into the crash model and counts every
 //! mutation against armed crash/poison injection (see `pmem::view`).
 //!
-//! [`UndoScope`] is the session-local undo-log writer. It is
-//! byte-compatible with the device-backed [`UndoSession`] — same entry
-//! layout, generation discipline and checksum (shared via
-//! [`undo::checksum`]) — so an operation interrupted by a crash is
-//! recovered by the ordinary device-backed [`undo::replay`] on the next
-//! load. Dropping a scope without committing rolls back immediately, so
-//! an early `?` return leaves the heap untouched.
+//! [`UndoScope`] is the session-local undo-log writer: a
+//! [`LogCore`](crate::undo) driving the session's [`MetaView`]. It is
+//! byte-*identical* with the device-backed [`UndoSession`] — one shared
+//! implementation, not a transcribed twin — so an operation interrupted
+//! by a crash is recovered by the ordinary device-backed
+//! [`undo::replay`] on the next load. Dropping a scope without
+//! committing rolls back immediately, so an early `?` return leaves the
+//! heap untouched.
 //!
 //! [`UndoSession`]: crate::undo::UndoSession
+
+use std::cell::RefCell;
 
 use mpk::PkruGuard;
 use pmem::contention::TrackedGuard;
 use pmem::{AccessKind, MetaView};
 
-use crate::error::{PoseidonError, Result};
+use crate::error::Result;
 use crate::persist::{HashEntry, SubCtx, SubheapHeader};
-use crate::undo::{self, UndoArea};
+use crate::undo::{self, LogCore, StagedWrites};
 
 /// One allocator operation's session on one sub-heap. See the
 /// [module docs](self).
@@ -48,6 +54,10 @@ pub(crate) struct OpSession<'a> {
     /// go through `ctx.dev` directly and re-validate per call.
     pub(crate) ctx: SubCtx<'a>,
     view: MetaView<'a>,
+    /// Target writes staged by the open [`UndoScope`] (empty outside a
+    /// scope). Held here, not in the scope, so the session's read
+    /// accessors can patch them over view reads.
+    staged: RefCell<StagedWrites>,
     // Field order is drop order: the view flushes its stats deltas while
     // the sub-heap lock is still held, then the lock is released, then
     // write access to metadata is revoked.
@@ -63,7 +73,7 @@ impl<'a> OpSession<'a> {
         pkru: Option<PkruGuard<'a>>,
     ) -> Result<OpSession<'a>> {
         let view = ctx.dev.map_meta(ctx.meta_base(), ctx.layout.meta_size, kind)?;
-        Ok(OpSession { ctx, view, _lock: lock, _pkru: pkru })
+        Ok(OpSession { ctx, view, staged: RefCell::new(Vec::new()), _lock: lock, _pkru: pkru })
     }
 
     /// A write session owning the sub-heap lock guard and (when metadata
@@ -91,13 +101,27 @@ impl<'a> OpSession<'a> {
     }
 
     /// The metadata view (accessors take absolute device offsets).
+    ///
+    /// Direct `view().read…` calls bypass the staged-write overlay; use
+    /// the session's own read accessors for anything an open
+    /// [`UndoScope`] may have written.
     pub fn view(&self) -> &MetaView<'a> {
         &self.view
     }
 
-    /// Reads a [`pmem::Pod`] value through the view.
+    /// Reads `buf.len()` bytes at `offset` through the view, patched
+    /// with the open scope's staged writes.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.view.read(offset, buf)?;
+        undo::overlay_patch(&self.staged.borrow(), offset, buf);
+        Ok(())
+    }
+
+    /// Reads a [`pmem::Pod`] value through the view (overlay-patched).
     pub fn read_pod<T: pmem::Pod>(&self, offset: u64) -> Result<T> {
-        Ok(self.view.read_pod(offset)?)
+        let mut value = T::zeroed();
+        self.read(offset, value.as_bytes_mut())?;
+        Ok(value)
     }
 
     /// Reads the block record at device offset `entry_off`.
@@ -127,18 +151,14 @@ impl<'a> OpSession<'a> {
 }
 
 /// An open undo scope writing through its session's view; the in-session
-/// equivalent of [`crate::undo::UndoSession`] (identical on-device
-/// format). Finish with [`commit`](Self::commit) or
+/// equivalent of [`crate::undo::UndoSession`], sharing its
+/// [`LogCore`](crate::undo) implementation (identical on-device format
+/// and two-fence commit). Finish with [`commit`](Self::commit) or
 /// [`abort`](Self::abort); dropping without committing rolls back.
 #[derive(Debug)]
 pub(crate) struct UndoScope<'s, 'a> {
     op: &'s OpSession<'a>,
-    area: UndoArea,
-    gen: u64,
-    tail: u64,
-    dirty: Vec<(u64, u64)>,
-    finished: bool,
-    buffer: Vec<u8>,
+    core: LogCore,
 }
 
 impl<'s, 'a> UndoScope<'s, 'a> {
@@ -146,49 +166,28 @@ impl<'s, 'a> UndoScope<'s, 'a> {
     ///
     /// # Errors
     ///
-    /// [`PoseidonError::Corrupted`] if live entries from a crashed
-    /// operation are present (recovery must run first), or a device
-    /// error.
+    /// [`PoseidonError::Corrupted`](crate::PoseidonError::Corrupted) if
+    /// live entries from a crashed operation are present (recovery must
+    /// run first), or a device error.
     pub fn begin(op: &'s OpSession<'a>) -> Result<UndoScope<'s, 'a>> {
-        let area = op.ctx.undo_area();
-        let gen: u64 = op.view().read_pod(area.gen_field)?;
-        if read_entry(op.view(), area, gen, 0)?.is_some() {
-            return Err(PoseidonError::Corrupted("undo log non-empty at operation start"));
-        }
-        Ok(UndoScope { op, area, gen, tail: 0, dirty: Vec::new(), finished: false, buffer: Vec::new() })
+        debug_assert!(op.staged.borrow().is_empty(), "one undo scope per session at a time");
+        let core = LogCore::begin(op.view(), op.ctx.undo_area())?;
+        Ok(UndoScope { op, core })
     }
 
-    /// Logs the current content of `[target, target + new.len())`, then
-    /// writes `new` there. The new bytes become durable at
-    /// [`commit`](Self::commit).
+    /// Logs the current (overlay-visible) content of
+    /// `[target, target + new.len())`, then stages `new` there. The
+    /// store is issued and becomes durable at [`commit`](Self::commit);
+    /// until then the session's read accessors observe it through the
+    /// overlay.
     ///
     /// # Errors
     ///
-    /// [`PoseidonError::Corrupted`] on log overflow, or a device error.
+    /// [`PoseidonError::Corrupted`](crate::PoseidonError::Corrupted) on
+    /// log overflow, or a device error.
     pub fn log_and_write(&mut self, target: u64, new: &[u8]) -> Result<()> {
-        let len = new.len() as u64;
-        let entry_len = undo::ENTRY_HEADER + len.next_multiple_of(8);
-        if self.tail + entry_len > self.area.size {
-            return Err(PoseidonError::Corrupted("undo log overflow"));
-        }
-        let header = undo::ENTRY_HEADER as usize;
-        let view = self.op.view();
-        self.buffer.clear();
-        self.buffer.resize(entry_len as usize, 0);
-        view.read(target, &mut self.buffer[header..header + new.len()])?;
-        let sum = undo::checksum(self.gen, target, len, &self.buffer[header..]);
-        self.buffer[0..8].copy_from_slice(&self.gen.to_le_bytes());
-        self.buffer[8..16].copy_from_slice(&target.to_le_bytes());
-        self.buffer[16..24].copy_from_slice(&len.to_le_bytes());
-        self.buffer[24..32].copy_from_slice(&sum.to_le_bytes());
-        let entry_off = self.area.base + self.tail;
-        view.write(entry_off, &self.buffer)?;
-        view.persist(entry_off, entry_len)?;
-        self.tail += entry_len;
-        // Now the mutation itself (persisted at commit).
-        view.write(target, new)?;
-        self.dirty.push((target, len));
-        Ok(())
+        let mut staged = self.op.staged.borrow_mut();
+        self.core.log_and_write(self.op.view(), &mut staged, target, new)
     }
 
     /// [`log_and_write`](Self::log_and_write) of a [`pmem::Pod`] value.
@@ -200,37 +199,28 @@ impl<'s, 'a> UndoScope<'s, 'a> {
         self.log_and_write(target, value.as_bytes())
     }
 
-    /// Persists every range written this scope, then invalidates the log
-    /// by bumping the generation — the operation's commit point.
+    /// The two-fence batched commit (see `undo`'s module docs): fence
+    /// the log entries, issue + fence the staged stores (lines deduped),
+    /// bump the generation. Zero fences if the scope staged nothing.
     ///
     /// # Errors
     ///
     /// Device errors only.
     pub fn commit(mut self) -> Result<()> {
-        for &(off, len) in &self.dirty {
-            self.op.view().clwb(off, len)?;
-        }
-        self.op.view().sfence()?;
-        if self.tail > 0 {
-            bump_generation(self.op.view(), self.area, self.gen)?;
-        }
-        self.finished = true;
-        Ok(())
+        let mut staged = self.op.staged.borrow_mut();
+        self.core.commit(self.op.view(), &mut staged)
     }
 
-    /// Rolls the scope back: restores every logged range (newest first)
-    /// and invalidates the log.
+    /// Rolls the scope back: discards staged stores, restores every
+    /// logged range (newest first) and invalidates the log.
     ///
     /// # Errors
     ///
     /// Device errors only.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn abort(mut self) -> Result<()> {
-        self.finished = true;
-        if self.tail > 0 {
-            apply_undo(self.op.view(), self.area, self.gen)?;
-        }
-        Ok(())
+        let mut staged = self.op.staged.borrow_mut();
+        self.core.abort(self.op.view(), &mut staged)
     }
 }
 
@@ -240,62 +230,15 @@ impl Drop for UndoScope<'_, '_> {
         // not leave half-applied metadata behind: roll back best-effort.
         // If the device has crashed, rollback fails harmlessly here and
         // recovery replays the log instead.
-        if !self.finished && self.tail != 0 {
-            let _ = apply_undo(self.op.view(), self.area, self.gen);
-        }
+        let mut staged = self.op.staged.borrow_mut();
+        self.core.drop_rollback(self.op.view(), &mut staged);
     }
-}
-
-/// View-routed twin of `undo::read_entry` (same validation, same
-/// accept/reject decisions — both read the same on-device format).
-fn read_entry(view: &MetaView<'_>, area: UndoArea, gen: u64, pos: u64) -> Result<Option<undo::DecodedEntry>> {
-    if pos + undo::ENTRY_HEADER > area.size {
-        return Ok(None);
-    }
-    let entry_gen: u64 = view.read_pod(area.base + pos)?;
-    if entry_gen != gen {
-        return Ok(None);
-    }
-    let target: u64 = view.read_pod(area.base + pos + 8)?;
-    let len: u64 = view.read_pod(area.base + pos + 16)?;
-    let stored_sum: u64 = view.read_pod(area.base + pos + 24)?;
-    if len > area.size || pos + undo::ENTRY_HEADER + len.next_multiple_of(8) > area.size {
-        return Ok(None); // torn header
-    }
-    let mut old = vec![0u8; len.next_multiple_of(8) as usize];
-    view.read(area.base + pos + undo::ENTRY_HEADER, &mut old)?;
-    if undo::checksum(gen, target, len, &old) != stored_sum {
-        return Ok(None); // torn entry
-    }
-    old.truncate(len as usize);
-    Ok(Some((target, len, old, undo::ENTRY_HEADER + len.next_multiple_of(8))))
-}
-
-fn apply_undo(view: &MetaView<'_>, area: UndoArea, gen: u64) -> Result<()> {
-    let mut entries = Vec::new();
-    let mut pos = 0u64;
-    while let Some((target, len, old, entry_len)) = read_entry(view, area, gen, pos)? {
-        entries.push((target, len, old));
-        pos += entry_len;
-    }
-    for (target, len, old) in entries.iter().rev() {
-        view.write(*target, old)?;
-        view.clwb(*target, *len)?;
-    }
-    view.sfence()?;
-    bump_generation(view, area, gen)?;
-    Ok(())
-}
-
-fn bump_generation(view: &MetaView<'_>, area: UndoArea, gen: u64) -> Result<()> {
-    view.write_pod(area.gen_field, &(gen + 1))?;
-    view.persist(area.gen_field, 8)?;
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::PoseidonError;
     use crate::layout::HeapLayout;
     use crate::undo::UndoSession;
     use pmem::{CrashMode, DeviceConfig, PmemDevice};
@@ -332,6 +275,22 @@ mod tests {
     }
 
     #[test]
+    fn session_reads_observe_the_open_scope() {
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let target = target_off(&layout);
+        let op = OpSession::unguarded(ctx).unwrap();
+        let mut scope = op.undo().unwrap();
+        scope.log_and_write_pod(target, &0x5Au64).unwrap();
+        // Staged: raw view misses it, the session accessor sees it.
+        assert_eq!(op.view().read_pod::<u64>(target).unwrap(), 0);
+        assert_eq!(op.read_pod::<u64>(target).unwrap(), 0x5A);
+        scope.commit().unwrap();
+        assert_eq!(op.view().read_pod::<u64>(target).unwrap(), 0x5A);
+        assert_eq!(op.read_pod::<u64>(target).unwrap(), 0x5A);
+    }
+
+    #[test]
     fn scope_commit_is_durable_and_replay_is_noop() {
         let (dev, layout) = setup();
         let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
@@ -348,6 +307,21 @@ mod tests {
     }
 
     #[test]
+    fn empty_scope_commit_is_barrier_free() {
+        // Satellite regression: read-only operations must not fence.
+        let (dev, layout) = setup();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        let before = dev.stats();
+        {
+            let op = OpSession::unguarded(ctx).unwrap();
+            op.undo().unwrap().commit().unwrap();
+        }
+        let after = dev.stats();
+        assert_eq!(after.sfence_count, before.sfence_count, "empty scope commit fenced");
+        assert_eq!(after.clwb_count, before.clwb_count, "empty scope commit flushed");
+    }
+
+    #[test]
     fn crashed_scope_is_replayed_by_device_backed_recovery() {
         // The interoperability contract: entries written through the view
         // must be read back by the *device-backed* replay after a crash.
@@ -360,7 +334,11 @@ mod tests {
             let op = OpSession::unguarded(ctx).unwrap();
             let mut scope = op.undo().unwrap();
             scope.log_and_write_pod(target, &2u64).unwrap();
-            std::mem::forget(scope);
+            // Crash mid-commit, right after fence #1 (entry write +
+            // entry-line clwb + fence): the entry is durable through the
+            // view, the target store was never issued.
+            dev.arm_crash_after(3);
+            assert!(scope.commit().is_err());
         }
         dev.simulate_crash(CrashMode::Strict, 3);
         assert!(undo::replay(&dev, ctx.undo_area()).unwrap());

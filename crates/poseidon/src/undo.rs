@@ -1,23 +1,50 @@
-//! Undo logging (§4.5, §5.2).
+//! Undo logging (§4.5, §5.2) with batched persistence.
 //!
 //! Every allocator operation mutates metadata inside an *undo session*:
 //! before a range is overwritten, its original bytes are appended to the
-//! undo-log area and persisted, and only then is the new value written.
-//! Committing persists all modified ranges and invalidates the log; a
-//! crash at any point leaves either a committed operation or a log whose
-//! replay restores the exact pre-op state. Replay is idempotent —
-//! replaying twice (e.g. after a crash *during* recovery, §5.8) writes
-//! the same old bytes again.
+//! undo-log area; the new bytes are **staged in DRAM** and only reach
+//! the device at commit, after a single fence has made every log entry
+//! of the operation durable. A crash at any point leaves either a
+//! committed operation or a log whose replay restores the exact pre-op
+//! state. Replay is idempotent — replaying twice (e.g. after a crash
+//! *during* recovery, §5.8) writes the same old bytes again.
+//!
+//! # The two-fence commit protocol
+//!
+//! The old implementation persisted each log entry eagerly — one
+//! `clwb`+`sfence` pair per [`log_and_write`](UndoSession::log_and_write)
+//! plus two more at commit, i.e. *N* + 2 serialising fences for an
+//! *N*-entry operation. The batched protocol pays a constant number:
+//!
+//! 1. While the operation runs, entries are written (they land in the
+//!    modelled CPU cache) and their lines collected in a deduplicating
+//!    [`FlushBatch`]; the target mutations are staged in DRAM and **not
+//!    issued** to the device at all. Reads made by the operation are
+//!    patched through the staged-write overlay so it observes its own
+//!    stores.
+//! 2. At commit, the entry batch is flushed and **fence #1** issued:
+//!    every entry is durable before the first target store is issued.
+//! 3. The staged mutations are applied in order, their lines collected
+//!    in a second deduplicating batch, flushed, and **fence #2** issued.
+//! 4. The generation bump (one 8-byte persisted store, fence #3) is the
+//!    commit point, exactly as before.
+//!
+//! Deferring the target stores — rather than merely deferring their
+//! flushes — is what makes the protocol sound under
+//! [`CrashMode::Adversarial`](pmem::CrashMode): the cache model may
+//! spontaneously evict (persist) *any* dirty line, so a target store
+//! issued before its entry was fenced could become durable while the
+//! entry tears. With staging, a missing or torn log entry implies the
+//! crash preceded fence #1, hence **no** target of the operation was
+//! ever issued, let alone persisted. Conversely, an operation that
+//! stages nothing commits with **zero** fences — read-only operations
+//! are barrier-free.
 //!
 //! The log is invalidated in O(1) by bumping a persistent **generation
 //! counter** rather than rewinding a tail: each entry is stamped with the
 //! generation it belongs to and carries a checksum, so recovery scans
 //! entries from the start of the area and stops at the first entry that
 //! fails validation (stale generation, bad checksum, or torn write).
-//! Entries are persisted *before* their target is modified and are
-//! written in order with a fence between, so a torn or missing entry
-//! implies its target — and every later entry's target — was never
-//! touched.
 //!
 //! Entry layout (all fields little-endian, entries 8-byte aligned):
 //!
@@ -26,8 +53,13 @@
 //! │ gen: u64 │ target: u64 │ len: u64 │ checksum: u64 │ old bytes…pad │
 //! └──────────┴─────────────┴──────────┴───────────────┴───────────────┘
 //! ```
+//!
+//! Both log writers — the device-backed [`UndoSession`] here and the
+//! view-routed [`UndoScope`](crate::session::UndoScope) — share one
+//! implementation, [`LogCore`], parameterised over the [`LogAccess`]
+//! word-access trait, so the on-device format cannot silently fork.
 
-use pmem::PmemDevice;
+use pmem::{FlushBatch, MetaView, PmemDevice, PmemError};
 
 use crate::error::{PoseidonError, Result};
 
@@ -47,8 +79,7 @@ pub struct UndoArea {
 pub(crate) const ENTRY_HEADER: u64 = 32;
 
 /// Entry checksum over the *padded* old-bytes image (see the layout
-/// diagram above). Shared with the session-layer [`crate::session::UndoScope`],
-/// which writes byte-compatible entries through a `MetaView`.
+/// diagram above).
 pub(crate) fn checksum(gen: u64, target: u64, len: u64, old: &[u8]) -> u64 {
     let mut hash = 0x9E37_79B9_7F4A_7C15u64 ^ gen;
     hash = hash.wrapping_mul(0x100_0000_01B3).rotate_left(17) ^ target;
@@ -62,27 +93,242 @@ pub(crate) fn checksum(gen: u64, target: u64, len: u64, old: &[u8]) -> u64 {
     hash | 1
 }
 
-/// An open undo session. Obtain with [`UndoSession::begin`]; every
-/// metadata mutation goes through [`log_and_write`](Self::log_and_write);
-/// finish with [`commit`](Self::commit) or [`abort`](Self::abort).
-///
-/// Exactly one session may be open per area at a time — the caller's
-/// sub-heap (or superblock) lock guarantees this. Dropping a session
-/// without committing rolls back immediately (an early `?` return leaves
-/// the heap untouched); a crash instead leaves live entries for
-/// [`replay`] to roll back on recovery.
+/// Target mutations staged in DRAM until commit: `(target, new bytes)`
+/// in issue order.
+pub(crate) type StagedWrites = Vec<(u64, Vec<u8>)>;
+
+/// The word-access surface a log writer needs from its backing store —
+/// implemented by the raw [`PmemDevice`] and by [`MetaView`] (which
+/// routes through the session's single up-front validation). Everything
+/// format-bearing lives in [`LogCore`] and the free functions below, so
+/// both writers produce and parse byte-identical logs.
+pub(crate) trait LogAccess {
+    fn read(&self, offset: u64, buf: &mut [u8]) -> std::result::Result<(), PmemError>;
+    fn write(&self, offset: u64, buf: &[u8]) -> std::result::Result<(), PmemError>;
+    fn flush_batch(&self, batch: &FlushBatch) -> std::result::Result<(), PmemError>;
+    fn clwb(&self, offset: u64, len: u64) -> std::result::Result<(), PmemError>;
+    fn sfence(&self) -> std::result::Result<(), PmemError>;
+    fn record_undo_append(&self, words: u64);
+
+    fn read_pod<T: pmem::Pod>(&self, offset: u64) -> std::result::Result<T, PmemError> {
+        let mut value = T::zeroed();
+        self.read(offset, value.as_bytes_mut())?;
+        Ok(value)
+    }
+
+    fn write_pod<T: pmem::Pod>(&self, offset: u64, value: &T) -> std::result::Result<(), PmemError> {
+        self.write(offset, value.as_bytes())
+    }
+}
+
+impl LogAccess for PmemDevice {
+    fn read(&self, offset: u64, buf: &mut [u8]) -> std::result::Result<(), PmemError> {
+        PmemDevice::read(self, offset, buf)
+    }
+    fn write(&self, offset: u64, buf: &[u8]) -> std::result::Result<(), PmemError> {
+        PmemDevice::write(self, offset, buf)
+    }
+    fn flush_batch(&self, batch: &FlushBatch) -> std::result::Result<(), PmemError> {
+        PmemDevice::flush_batch(self, batch)
+    }
+    fn clwb(&self, offset: u64, len: u64) -> std::result::Result<(), PmemError> {
+        PmemDevice::clwb(self, offset, len)
+    }
+    fn sfence(&self) -> std::result::Result<(), PmemError> {
+        PmemDevice::sfence(self)
+    }
+    fn record_undo_append(&self, words: u64) {
+        PmemDevice::record_undo_append(self, words);
+    }
+}
+
+impl LogAccess for MetaView<'_> {
+    fn read(&self, offset: u64, buf: &mut [u8]) -> std::result::Result<(), PmemError> {
+        MetaView::read(self, offset, buf)
+    }
+    fn write(&self, offset: u64, buf: &[u8]) -> std::result::Result<(), PmemError> {
+        MetaView::write(self, offset, buf)
+    }
+    fn flush_batch(&self, batch: &FlushBatch) -> std::result::Result<(), PmemError> {
+        MetaView::flush_batch(self, batch)
+    }
+    fn clwb(&self, offset: u64, len: u64) -> std::result::Result<(), PmemError> {
+        MetaView::clwb(self, offset, len)
+    }
+    fn sfence(&self) -> std::result::Result<(), PmemError> {
+        MetaView::sfence(self)
+    }
+    fn record_undo_append(&self, words: u64) {
+        self.device().record_undo_append(words);
+    }
+}
+
+/// Patches `buf` (covering `[offset, offset + buf.len())`) with every
+/// staged write that intersects it, in staging order — so readers see
+/// the operation's own not-yet-issued stores.
+pub(crate) fn overlay_patch(staged: &[(u64, Vec<u8>)], offset: u64, buf: &mut [u8]) {
+    let len = buf.len() as u64;
+    for (target, bytes) in staged {
+        let start = (*target).max(offset);
+        let end = (target + bytes.len() as u64).min(offset + len);
+        if start < end {
+            buf[(start - offset) as usize..(end - offset) as usize]
+                .copy_from_slice(&bytes[(start - target) as usize..(end - target) as usize]);
+        }
+    }
+}
+
+/// The shared log-writer state machine: entry construction, staging,
+/// the two-fence commit, and rollback. [`UndoSession`] (device-backed)
+/// and [`UndoScope`](crate::session::UndoScope) (view-routed) are thin
+/// wrappers pairing a `LogCore` with their backing [`LogAccess`] and
+/// staged-write vector.
 #[derive(Debug)]
-pub struct UndoSession<'a> {
-    dev: &'a PmemDevice,
+pub(crate) struct LogCore {
     area: UndoArea,
     gen: u64,
-    /// Bytes of the log area used so far this session.
+    /// Bytes of the log area used so far this operation.
     tail: u64,
-    /// Target ranges written this session, persisted on commit.
-    dirty: Vec<(u64, u64)>,
+    /// Lines of the entries written so far, pending fence #1.
+    entry_batch: FlushBatch,
     finished: bool,
     /// Reusable entry buffer (header + old bytes).
     buffer: Vec<u8>,
+}
+
+impl LogCore {
+    /// Opens a log writer on `area`, rejecting a log that still holds
+    /// live entries from a crashed operation (recovery must run first).
+    pub fn begin<A: LogAccess>(acc: &A, area: UndoArea) -> Result<LogCore> {
+        let gen: u64 = acc.read_pod(area.gen_field)?;
+        if read_entry(acc, area, gen, 0)?.is_some() {
+            return Err(PoseidonError::Corrupted("undo log non-empty at operation start"));
+        }
+        Ok(LogCore {
+            area,
+            gen,
+            tail: 0,
+            entry_batch: FlushBatch::new(),
+            finished: false,
+            buffer: Vec::new(),
+        })
+    }
+
+    /// Appends an entry logging the current (overlay-visible) content of
+    /// `[target, target + new.len())` and stages `new` for application
+    /// at commit. The entry write lands in cache now; nothing touches
+    /// the target until [`commit`](Self::commit).
+    pub fn log_and_write<A: LogAccess>(
+        &mut self,
+        acc: &A,
+        staged: &mut StagedWrites,
+        target: u64,
+        new: &[u8],
+    ) -> Result<()> {
+        let len = new.len() as u64;
+        let entry_len = ENTRY_HEADER + len.next_multiple_of(8);
+        if self.tail + entry_len > self.area.size {
+            return Err(PoseidonError::Corrupted("undo log overflow"));
+        }
+        let header = ENTRY_HEADER as usize;
+        self.buffer.clear();
+        self.buffer.resize(entry_len as usize, 0);
+        // The old image is read through the staged-write overlay: entry
+        // i's pre-image reflects staged writes 0..i, so reverse replay
+        // still lands every byte on the value of the *first* entry that
+        // covers it — the true pre-op state.
+        acc.read(target, &mut self.buffer[header..header + new.len()])?;
+        overlay_patch(staged, target, &mut self.buffer[header..header + new.len()]);
+        let sum = checksum(self.gen, target, len, &self.buffer[header..]);
+        self.buffer[0..8].copy_from_slice(&self.gen.to_le_bytes());
+        self.buffer[8..16].copy_from_slice(&target.to_le_bytes());
+        self.buffer[16..24].copy_from_slice(&len.to_le_bytes());
+        self.buffer[24..32].copy_from_slice(&sum.to_le_bytes());
+        let entry_off = self.area.base + self.tail;
+        acc.write(entry_off, &self.buffer)?;
+        self.entry_batch.note(entry_off, entry_len);
+        acc.record_undo_append(len.div_ceil(8));
+        self.tail += entry_len;
+        staged.push((target, new.to_vec()));
+        Ok(())
+    }
+
+    /// The two-fence commit described in the [module docs](self). An
+    /// operation that staged nothing returns without touching the
+    /// device — zero flushes, zero fences.
+    pub fn commit<A: LogAccess>(&mut self, acc: &A, staged: &mut StagedWrites) -> Result<()> {
+        if self.tail == 0 && staged.is_empty() {
+            self.finished = true;
+            return Ok(());
+        }
+        // Fence #1: every log entry durable before any target store is
+        // *issued* (required under adversarial eviction, see module docs).
+        acc.flush_batch(&self.entry_batch)?;
+        acc.sfence()?;
+        // Apply the staged mutations in order, deduplicating their lines.
+        let mut targets = FlushBatch::new();
+        for (target, bytes) in staged.iter() {
+            acc.write(*target, bytes)?;
+            targets.note(*target, bytes.len() as u64);
+        }
+        staged.clear();
+        // Fence #2: targets durable.
+        acc.flush_batch(&targets)?;
+        acc.sfence()?;
+        // Fence #3: invalidate the log — the commit point.
+        if self.tail > 0 {
+            bump_generation(acc, self.area, self.gen)?;
+        }
+        self.entry_batch.clear();
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Rolls the operation back and invalidates the log. Staged target
+    /// writes are simply discarded; [`apply_undo`] additionally restores
+    /// any target the device did receive (it is a harmless no-op for
+    /// targets never issued), which covers aborts racing a partially
+    /// failed commit.
+    pub fn abort<A: LogAccess>(&mut self, acc: &A, staged: &mut StagedWrites) -> Result<()> {
+        self.finished = true;
+        staged.clear();
+        self.entry_batch.clear();
+        if self.tail > 0 {
+            apply_undo(acc, self.area, self.gen)?;
+        }
+        Ok(())
+    }
+
+    /// Best-effort [`abort`](Self::abort) for `Drop` impls: a session
+    /// dropped without commit (an early `?` return) must not leave
+    /// half-applied metadata. If the device has crashed, rollback fails
+    /// harmlessly here and recovery replays the log instead.
+    pub fn drop_rollback<A: LogAccess>(&mut self, acc: &A, staged: &mut StagedWrites) {
+        if !self.finished {
+            staged.clear();
+            if self.tail != 0 {
+                let _ = apply_undo(acc, self.area, self.gen);
+            }
+        }
+    }
+}
+
+/// An open device-backed undo session. Obtain with
+/// [`UndoSession::begin`]; every metadata mutation goes through
+/// [`log_and_write`](Self::log_and_write); reads that must observe the
+/// session's own staged writes go through [`read`](Self::read); finish
+/// with [`commit`](Self::commit) or [`abort`](Self::abort).
+///
+/// Exactly one session may be open per area at a time — the caller's
+/// sub-heap (or superblock) lock guarantees this. Dropping a session
+/// without committing rolls back immediately; a crash instead leaves
+/// durable entries (if fence #1 ran) for [`replay`] to roll back on
+/// recovery — and if it did not run, no target was ever touched.
+#[derive(Debug)]
+pub struct UndoSession<'a> {
+    dev: &'a PmemDevice,
+    core: LogCore,
+    staged: StagedWrites,
 }
 
 impl<'a> UndoSession<'a> {
@@ -94,16 +340,12 @@ impl<'a> UndoSession<'a> {
     /// operation are present (recovery must run first), or a device
     /// error.
     pub fn begin(dev: &'a PmemDevice, area: UndoArea) -> Result<UndoSession<'a>> {
-        let gen: u64 = dev.read_pod(area.gen_field)?;
-        if read_entry(dev, area, gen, 0)?.is_some() {
-            return Err(PoseidonError::Corrupted("undo log non-empty at operation start"));
-        }
-        Ok(UndoSession { dev, area, gen, tail: 0, dirty: Vec::new(), finished: false, buffer: Vec::new() })
+        Ok(UndoSession { dev, core: LogCore::begin(dev, area)?, staged: Vec::new() })
     }
 
     /// Logs the current content of `[target, target + new.len())`, then
-    /// writes `new` there. The new bytes become durable at
-    /// [`commit`](Self::commit).
+    /// stages `new` for that range. The store is issued and becomes
+    /// durable at [`commit`](Self::commit).
     ///
     /// # Errors
     ///
@@ -111,29 +353,7 @@ impl<'a> UndoSession<'a> {
     /// are designed to fit comfortably; overflow means a bug), or a
     /// device error.
     pub fn log_and_write(&mut self, target: u64, new: &[u8]) -> Result<()> {
-        let len = new.len() as u64;
-        let entry_len = ENTRY_HEADER + len.next_multiple_of(8);
-        if self.tail + entry_len > self.area.size {
-            return Err(PoseidonError::Corrupted("undo log overflow"));
-        }
-        // Build the whole entry (header + old image) in one buffer so it
-        // costs a single device write and a single persist.
-        self.buffer.clear();
-        self.buffer.resize(entry_len as usize, 0);
-        self.dev.read(target, &mut self.buffer[ENTRY_HEADER as usize..ENTRY_HEADER as usize + new.len()])?;
-        let sum = checksum(self.gen, target, len, &self.buffer[ENTRY_HEADER as usize..]);
-        self.buffer[0..8].copy_from_slice(&self.gen.to_le_bytes());
-        self.buffer[8..16].copy_from_slice(&target.to_le_bytes());
-        self.buffer[16..24].copy_from_slice(&len.to_le_bytes());
-        self.buffer[24..32].copy_from_slice(&sum.to_le_bytes());
-        let entry_off = self.area.base + self.tail;
-        self.dev.write(entry_off, &self.buffer)?;
-        self.dev.persist(entry_off, entry_len)?;
-        self.tail += entry_len;
-        // Now the mutation itself (persisted at commit).
-        self.dev.write(target, new)?;
-        self.dirty.push((target, len));
-        Ok(())
+        self.core.log_and_write(self.dev, &mut self.staged, target, new)
     }
 
     /// Convenience: [`log_and_write`](Self::log_and_write) of a
@@ -146,27 +366,45 @@ impl<'a> UndoSession<'a> {
         self.log_and_write(target, value.as_bytes())
     }
 
-    /// Persists every range written this session, then invalidates the
-    /// log by bumping the generation — the operation's commit point (one
-    /// 8-byte persisted store).
+    /// Reads `buf.len()` bytes at `offset` through the staged-write
+    /// overlay, so the session observes its own not-yet-issued stores.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.dev.read(offset, buf)?;
+        overlay_patch(&self.staged, offset, buf);
+        Ok(())
+    }
+
+    /// Reads a [`Pod`](pmem::Pod) value through the staged-write overlay.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read`](Self::read).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn read_pod<T: pmem::Pod>(&self, offset: u64) -> Result<T> {
+        let mut value = T::zeroed();
+        self.read(offset, value.as_bytes_mut())?;
+        Ok(value)
+    }
+
+    /// Commits: one fence makes the log durable, the staged stores are
+    /// issued and fenced, and the generation bump invalidates the log —
+    /// three fences total, zero for an empty session (see the
+    /// [module docs](self)).
     ///
     /// # Errors
     ///
     /// Device errors only.
     pub fn commit(mut self) -> Result<()> {
-        for &(off, len) in &self.dirty {
-            self.dev.clwb(off, len)?;
-        }
-        self.dev.sfence()?;
-        if self.tail > 0 {
-            bump_generation(self.dev, self.area, self.gen)?;
-        }
-        self.finished = true;
-        Ok(())
+        self.core.commit(self.dev, &mut self.staged)
     }
 
-    /// Rolls the session back: restores every logged range to its
-    /// original bytes (newest first) and invalidates the log. The heap is
+    /// Rolls the session back: discards staged stores, restores every
+    /// logged range (newest first) and invalidates the log. The heap is
     /// exactly as it was before [`begin`](Self::begin).
     ///
     /// # Errors
@@ -174,23 +412,13 @@ impl<'a> UndoSession<'a> {
     /// Device errors only.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn abort(mut self) -> Result<()> {
-        self.finished = true;
-        if self.tail > 0 {
-            apply_undo(self.dev, self.area, self.gen)?;
-        }
-        Ok(())
+        self.core.abort(self.dev, &mut self.staged)
     }
 }
 
 impl Drop for UndoSession<'_> {
     fn drop(&mut self) {
-        // A dropped-without-commit session (e.g. an early `?` return) must
-        // not leave half-applied metadata behind: roll back best-effort.
-        // If the device has crashed, rollback fails harmlessly here and
-        // recovery replays the log instead.
-        if !self.finished && self.tail != 0 {
-            let _ = apply_undo(self.dev, self.area, self.gen);
-        }
+        self.core.drop_rollback(self.dev, &mut self.staged);
     }
 }
 
@@ -200,22 +428,27 @@ pub(crate) type DecodedEntry = (u64, u64, Vec<u8>, u64);
 /// Reads and validates the entry at byte position `pos` for generation
 /// `gen`. Returns the decoded entry or `None` when the slot does not
 /// hold a live entry (end of log).
-fn read_entry(dev: &PmemDevice, area: UndoArea, gen: u64, pos: u64) -> Result<Option<DecodedEntry>> {
+pub(crate) fn read_entry<A: LogAccess>(
+    acc: &A,
+    area: UndoArea,
+    gen: u64,
+    pos: u64,
+) -> Result<Option<DecodedEntry>> {
     if pos + ENTRY_HEADER > area.size {
         return Ok(None);
     }
-    let entry_gen: u64 = dev.read_pod(area.base + pos)?;
+    let entry_gen: u64 = acc.read_pod(area.base + pos)?;
     if entry_gen != gen {
         return Ok(None);
     }
-    let target: u64 = dev.read_pod(area.base + pos + 8)?;
-    let len: u64 = dev.read_pod(area.base + pos + 16)?;
-    let stored_sum: u64 = dev.read_pod(area.base + pos + 24)?;
+    let target: u64 = acc.read_pod(area.base + pos + 8)?;
+    let len: u64 = acc.read_pod(area.base + pos + 16)?;
+    let stored_sum: u64 = acc.read_pod(area.base + pos + 24)?;
     if len > area.size || pos + ENTRY_HEADER + len.next_multiple_of(8) > area.size {
         return Ok(None); // torn header
     }
     let mut old = vec![0u8; len.next_multiple_of(8) as usize];
-    dev.read(area.base + pos + ENTRY_HEADER, &mut old)?;
+    acc.read(area.base + pos + ENTRY_HEADER, &mut old)?;
     if checksum(gen, target, len, &old) != stored_sum {
         return Ok(None); // torn entry
     }
@@ -224,26 +457,30 @@ fn read_entry(dev: &PmemDevice, area: UndoArea, gen: u64, pos: u64) -> Result<Op
 }
 
 /// Restores all live entries of generation `gen` (newest first), persists
-/// the restorations, and invalidates the log.
-fn apply_undo(dev: &PmemDevice, area: UndoArea, gen: u64) -> Result<()> {
+/// the restorations with one deduplicated flush batch + fence, and
+/// invalidates the log.
+fn apply_undo<A: LogAccess>(acc: &A, area: UndoArea, gen: u64) -> Result<()> {
     let mut entries = Vec::new();
     let mut pos = 0u64;
-    while let Some((target, len, old, entry_len)) = read_entry(dev, area, gen, pos)? {
+    while let Some((target, len, old, entry_len)) = read_entry(acc, area, gen, pos)? {
         entries.push((target, len, old));
         pos += entry_len;
     }
+    let mut batch = FlushBatch::new();
     for (target, len, old) in entries.iter().rev() {
-        dev.write(*target, old)?;
-        dev.clwb(*target, *len)?;
+        acc.write(*target, old)?;
+        batch.note(*target, *len);
     }
-    dev.sfence()?;
-    bump_generation(dev, area, gen)?;
+    acc.flush_batch(&batch)?;
+    acc.sfence()?;
+    bump_generation(acc, area, gen)?;
     Ok(())
 }
 
-fn bump_generation(dev: &PmemDevice, area: UndoArea, gen: u64) -> Result<()> {
-    dev.write_pod(area.gen_field, &(gen + 1))?;
-    dev.persist(area.gen_field, 8)?;
+fn bump_generation<A: LogAccess>(acc: &A, area: UndoArea, gen: u64) -> Result<()> {
+    acc.write_pod(area.gen_field, &(gen + 1))?;
+    acc.clwb(area.gen_field, 8)?;
+    acc.sfence()?;
     Ok(())
 }
 
@@ -291,7 +528,26 @@ mod tests {
     }
 
     #[test]
-    fn crash_before_commit_replays_to_old_state() {
+    fn session_reads_see_staged_writes() {
+        let (dev, area) = setup();
+        let target = 64 * 1024;
+        dev.write_pod(target, &1u64).unwrap();
+        dev.persist(target, 8).unwrap();
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &2u64).unwrap();
+        // The store is staged: invisible on the raw device, visible
+        // through the session overlay.
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 1);
+        assert_eq!(s.read_pod::<u64>(target).unwrap(), 2);
+        s.commit().unwrap();
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 2);
+    }
+
+    #[test]
+    fn crash_before_commit_leaves_media_untouched() {
+        // Without commit, neither the entries nor the targets were ever
+        // fenced (targets were never even issued): a strict crash is a
+        // complete no-op for the operation.
         let (dev, area) = setup();
         let target = 64 * 1024;
         dev.write_pod(target, &1u64).unwrap();
@@ -300,6 +556,26 @@ mod tests {
         let mut s = UndoSession::begin(&dev, area).unwrap();
         s.log_and_write_pod(target, &2u64).unwrap();
         std::mem::forget(s); // simulate losing the session in a crash
+        dev.simulate_crash(CrashMode::Strict, 7);
+
+        assert!(!replay(&dev, area).unwrap());
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 1);
+    }
+
+    #[test]
+    fn crash_during_commit_replays_to_old_state() {
+        let (dev, area) = setup();
+        let target = 64 * 1024;
+        dev.write_pod(target, &1u64).unwrap();
+        dev.persist(target, 8).unwrap();
+
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &2u64).unwrap();
+        // Commit events: entry write, entry-line clwb, fence #1, target
+        // write, … Crash on the target flush: the entry is durable, the
+        // target store issued but not persisted.
+        dev.arm_crash_after(4);
+        assert!(s.commit().is_err());
         dev.simulate_crash(CrashMode::Strict, 7);
 
         assert!(replay(&dev, area).unwrap());
@@ -317,10 +593,38 @@ mod tests {
         let mut s = UndoSession::begin(&dev, area).unwrap();
         s.log_and_write_pod(target, &2u64).unwrap();
         s.log_and_write_pod(target, &3u64).unwrap(); // same target twice
-        std::mem::forget(s);
+        s.commit().unwrap();
+        dev.simulate_crash(CrashMode::Strict, 0);
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 3);
+        // Now interrupt a fresh double-update during target application.
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &4u64).unwrap();
+        s.log_and_write_pod(target, &5u64).unwrap();
+        dev.arm_crash_after(6); // entry writes ×2, clwb ×2, fence, write
+        assert!(s.commit().is_err());
         dev.simulate_crash(CrashMode::Strict, 0);
         replay(&dev, area).unwrap();
         // Reverse application ends on the *first* entry's old value.
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 3);
+    }
+
+    #[test]
+    fn second_log_of_same_target_records_first_staged_value() {
+        // The overlay feeds entry pre-images: logging target→2 then
+        // target→3 must record old values 1 and 2 (not 1 and 1), or
+        // reverse replay would be wrong if only the *second* entry's
+        // target application crashed. Verified through abort, which
+        // replays both entries.
+        let (dev, area) = setup();
+        let target = 64 * 1024;
+        dev.write_pod(target, &1u64).unwrap();
+        dev.persist(target, 8).unwrap();
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &2u64).unwrap();
+        assert_eq!(s.read_pod::<u64>(target).unwrap(), 2);
+        s.log_and_write_pod(target, &3u64).unwrap();
+        assert_eq!(s.read_pod::<u64>(target).unwrap(), 3);
+        s.abort().unwrap();
         assert_eq!(dev.read_pod::<u64>(target).unwrap(), 1);
     }
 
@@ -331,7 +635,7 @@ mod tests {
         dev.write_pod(target, &7u64).unwrap();
         let mut s = UndoSession::begin(&dev, area).unwrap();
         s.log_and_write_pod(target, &8u64).unwrap();
-        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 8);
+        assert_eq!(s.read_pod::<u64>(target).unwrap(), 8);
         s.abort().unwrap();
         assert_eq!(dev.read_pod::<u64>(target).unwrap(), 7);
         assert!(!replay(&dev, area).unwrap());
@@ -364,6 +668,39 @@ mod tests {
     }
 
     #[test]
+    fn empty_commit_is_barrier_free() {
+        // Satellite regression: a session that logs nothing must not
+        // pay a single flush or fence, and must not bump the generation.
+        let (dev, area) = setup();
+        let gen_before: u64 = dev.read_pod(area.gen_field).unwrap();
+        let before = dev.stats();
+        UndoSession::begin(&dev, area).unwrap().commit().unwrap();
+        let after = dev.stats();
+        assert_eq!(after.sfence_count, before.sfence_count, "empty commit fenced");
+        assert_eq!(after.clwb_count, before.clwb_count, "empty commit flushed");
+        assert_eq!(dev.read_pod::<u64>(area.gen_field).unwrap(), gen_before);
+    }
+
+    #[test]
+    fn commit_dedupes_same_line_flushes() {
+        // Satellite regression: two staged writes to one cache line must
+        // cost one target clwb, not two (and the two 40-byte entries
+        // share a line boundary: lines 0 and 1 of the log area).
+        let (dev, area) = setup();
+        let target = 64 * 1024; // line-aligned
+        let before = dev.stats();
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &2u64).unwrap();
+        s.log_and_write_pod(target + 8, &3u64).unwrap(); // same line
+        s.commit().unwrap();
+        let after = dev.stats();
+        // entries: 2 lines (80 bytes from a line-aligned base);
+        // targets: 1 line (deduped); generation bump: 1 line.
+        assert_eq!(after.clwb_count - before.clwb_count, 4, "same-line clwbs not deduped");
+        assert_eq!(after.sfence_count - before.sfence_count, 3);
+    }
+
+    #[test]
     fn overflow_is_detected() {
         let (dev, area) = setup();
         let mut s = UndoSession::begin(&dev, area).unwrap();
@@ -383,7 +720,10 @@ mod tests {
         let mut s = UndoSession::begin(&dev, area).unwrap();
         s.log_and_write_pod(target, &2u64).unwrap();
         s.log_and_write_pod(target + 8, &9u64).unwrap();
-        std::mem::forget(s);
+        // Crash right after fence #1 (2 entry writes + 2 entry-line
+        // clwbs + the fence): entries durable, no target issued.
+        dev.arm_crash_after(5);
+        assert!(s.commit().is_err());
         dev.simulate_crash(CrashMode::Strict, 0);
 
         // Crash partway through the replay itself.
@@ -399,28 +739,64 @@ mod tests {
 
     #[test]
     fn adversarial_crash_still_recovers() {
-        // Whatever subset of unflushed lines survives, replay must restore
-        // the pre-op state for targets whose entries were persisted.
-        for seed in 0..32u64 {
-            let (dev, area) = setup();
-            let target = 64 * 1024;
-            dev.write_pod(target, &1u64).unwrap();
-            dev.persist(target, 8).unwrap();
-            let mut s = UndoSession::begin(&dev, area).unwrap();
-            s.log_and_write_pod(target, &2u64).unwrap();
-            std::mem::forget(s);
-            dev.simulate_crash(CrashMode::Adversarial, seed);
-            let gen: u64 = dev.read_pod(area.gen_field).unwrap();
-            let had_entry = read_entry(&dev, area, gen, 0).unwrap().is_some();
-            replay(&dev, area).unwrap();
-            let value = dev.read_pod::<u64>(target).unwrap();
-            if had_entry {
-                assert_eq!(value, 1, "seed {seed}: logged op must roll back");
-            } else {
-                // The entry did not survive, so (by the fence protocol)
-                // the target write had not begun when the crash hit —
-                // unless the adversary persisted the target line itself.
-                assert!(value == 1 || value == 2);
+        // Sweep a crash point over the entire operation (logging and
+        // every commit event), then let the adversarial cache model
+        // persist an arbitrary subset of dirty lines. Invariants:
+        //
+        // 1. A missing/torn log entry with an unbumped generation
+        //    implies the crash preceded fence #1, so *no* target (that
+        //    entry's or any later one's) was ever mutated.
+        // 2. After replay the heap is atomic: all targets old or all
+        //    targets new.
+        let targets = |i: u64| 64 * 1024 + i * 128; // distinct lines
+        for arm in 1..=18u64 {
+            for seed in 0..8u64 {
+                let (dev, area) = setup();
+                for i in 0..3 {
+                    dev.write_pod(targets(i), &1u64).unwrap();
+                    dev.persist(targets(i), 8).unwrap();
+                }
+                let start_gen: u64 = dev.read_pod(area.gen_field).unwrap();
+                dev.arm_crash_after(arm);
+                let committed = (|| -> Result<()> {
+                    let mut s = UndoSession::begin(&dev, area)?;
+                    for i in 0..3 {
+                        s.log_and_write_pod(targets(i), &2u64)?;
+                    }
+                    s.commit()
+                })()
+                .is_ok();
+                dev.simulate_crash(CrashMode::Adversarial, seed);
+
+                let media_gen: u64 = dev.read_pod(area.gen_field).unwrap();
+                let mut live = 0u64;
+                let mut pos = 0u64;
+                while let Some((_, _, _, entry_len)) = read_entry(&dev, area, media_gen, pos).unwrap() {
+                    live += 1;
+                    pos += entry_len;
+                }
+                if committed {
+                    for i in 0..3 {
+                        assert_eq!(dev.read_pod::<u64>(targets(i)).unwrap(), 2);
+                    }
+                }
+                if media_gen == start_gen && live < 3 {
+                    // Invariant 1: fence #1 cannot have run (it makes all
+                    // three entries durable), so no target was issued.
+                    for i in 0..3 {
+                        assert_eq!(
+                            dev.read_pod::<u64>(targets(i)).unwrap(),
+                            1,
+                            "arm {arm} seed {seed}: torn log but target {i} mutated"
+                        );
+                    }
+                }
+                replay(&dev, area).unwrap();
+                let after: Vec<u64> = (0..3).map(|i| dev.read_pod::<u64>(targets(i)).unwrap()).collect();
+                assert!(
+                    after == [1, 1, 1] || after == [2, 2, 2],
+                    "arm {arm} seed {seed}: non-atomic outcome {after:?}"
+                );
             }
         }
     }

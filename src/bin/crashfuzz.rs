@@ -92,6 +92,53 @@ enum CaseOutcome {
     TypedMediaFailure,
 }
 
+/// The batched-persistence ordering invariant (see `poseidon::undo`'s
+/// module docs): log entries are fenced durable *before* any target
+/// store of the operation is issued. So if the crash tore the entry
+/// chain — fewer entries survived to media than were logged — the fence
+/// cannot have run, and every logged target must still hold its logged
+/// pre-image.
+fn check_undo_ordering(
+    dev: &PmemDevice,
+    layout: &poseidon::HeapLayout,
+    logged: &[Option<Vec<poseidon::fuzz::UndoChainEntry>>],
+) -> Result<(), String> {
+    let surviving = poseidon::fuzz::undo_chains(dev, layout);
+    for (area, (before, after)) in logged.iter().zip(&surviving).enumerate() {
+        let (Some(before), Some(after)) = (before, after) else { continue };
+        // Survivors are a validated prefix of the logged chain; an equal
+        // length means every entry made it (nothing to conclude), and a
+        // chain already empty pre-crash means no operation was in flight.
+        if before.is_empty() || after.len() >= before.len() {
+            continue;
+        }
+        // Compare each target against the *first* entry covering it —
+        // later same-target entries log intermediate staged values.
+        let mut claimed: Vec<(u64, u64)> = Vec::new();
+        for entry in before {
+            let (start, end) = (entry.target, entry.target + entry.old.len() as u64);
+            if claimed.iter().any(|&(s, e)| start < e && s < end) {
+                continue;
+            }
+            claimed.push((start, end));
+            let mut now = vec![0u8; entry.old.len()];
+            if dev.read(entry.target, &mut now).is_err() {
+                continue; // target line itself poisoned: unreadable
+            }
+            if now != entry.old {
+                return Err(format!(
+                    "undo area {area}: crash tore the log ({} of {} entries survived) \
+                     yet target {:#x} was mutated before its entry was durable",
+                    after.len(),
+                    before.len(),
+                    entry.target
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutcome, String> {
     let mut rng = Rng(case_seed | 1);
     let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20).with_media_faults(with_poison)));
@@ -157,13 +204,21 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
     }
     dev.disarm_crash();
     dev.disarm_poison();
+    let layout = *heap.layout();
     drop(pool);
     drop(heap);
+
+    // Snapshot every undo area's live entry chain *before* the power
+    // cycle: reads see all pre-crash stores, so this is exactly what a
+    // crashed operation managed to log.
+    let logged_chains = poseidon::fuzz::undo_chains(&dev, &layout);
 
     // Power-cycle (half strict, half adversarial) and recover. Poisoned
     // lines survive the crash, like real media errors survive a reboot.
     let mode = if rng.below(2) == 0 { CrashMode::Strict } else { CrashMode::Adversarial };
     dev.simulate_crash(mode, rng.next());
+
+    check_undo_ordering(&dev, &layout, &logged_chains)?;
     let heap = match PoseidonHeap::load(dev.clone(), HeapConfig::new()) {
         Ok(heap) => Arc::new(heap),
         // Losing state the heap cannot rebuild online (e.g. a poisoned
