@@ -35,6 +35,7 @@ fn main() {
     group.finish();
     validation_ablation();
     persistence_ablation();
+    huge_path_ablation();
 }
 
 /// Session-layer ablation: access validations per operation on the
@@ -133,5 +134,58 @@ fn persistence_ablation() {
         per_entry_sfences as f64 / sfences as f64,
         2.0 * per_word_sfences as f64 / ops as f64,
         2.0 * sfences as f64 / ops as f64
+    );
+}
+
+/// Huge-path ablation: alloc/free cost and fence budget across the
+/// sub-heap -> extent-table boundary. The geometry pins the sub-heap
+/// cap to 8 MiB so the 1-64 MiB sweep crosses the boundary mid-range;
+/// both paths commit through the same batched two-fence undo protocol,
+/// so the interesting column is how flat the fence budget stays while
+/// the buddy split/merge work is replaced by a first-fit extent walk.
+/// The ns/op step at the boundary is the huge free's hole punch: freed
+/// extents return their backing pages to the device (and shed any
+/// poison), which the buddy path never does.
+fn huge_path_ablation() {
+    const ROUNDS: u64 = 2_000;
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(512 << 20)));
+    let h = PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(16)).expect("heap");
+    let max = h.layout().max_alloc();
+    println!(
+        "\nablation/huge-path (alloc+free rounds, sub-heap cap {} MiB, huge region {} MiB)",
+        max >> 20,
+        h.layout().huge_data_size >> 20
+    );
+    let mut size = 1u64 << 20;
+    while size <= 64 << 20 && size <= h.layout().huge_data_size {
+        let p = h.alloc(size).expect("warm alloc");
+        h.free(p).expect("warm free");
+        let before = h.device().stats();
+        let start = std::time::Instant::now();
+        for _ in 0..ROUNDS {
+            let p = h.alloc(size).expect("alloc");
+            h.free(p).expect("free");
+        }
+        let elapsed = start.elapsed();
+        let after = h.device().stats();
+        let ops = ROUNDS * 2;
+        let sfences = after.sfence_count - before.sfence_count;
+        let clwbs = after.clwb_count - before.clwb_count;
+        let path = if size > max { "huge " } else { "buddy" };
+        println!(
+            "  {:>3} MiB [{path}]: {:>8.0} ns/op, {:>6.2} sfences/op, {:>6.2} clwbs/op",
+            size >> 20,
+            elapsed.as_nanos() as f64 / ops as f64,
+            sfences as f64 / ops as f64,
+            clwbs as f64 / ops as f64,
+        );
+        size *= 2;
+    }
+    let huge = h.huge_audit().expect("huge audit").expect("huge region");
+    assert_eq!(huge.alloc_extents, 0, "sweep must leave the extent table empty");
+    println!(
+        "  extent table after sweep: {} free extent(s), largest {} MiB",
+        huge.free_extents,
+        huge.largest_free >> 20
     );
 }

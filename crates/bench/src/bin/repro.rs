@@ -112,6 +112,48 @@ fn digest() {
         }
         println!("{:<12} {:>#18x} {:>#20x}", name, seed, fold.finish());
     }
+
+    // Extent-table digest: a fixed sequence of huge allocations and
+    // frees folds every offset first-fit hands out, so any change to
+    // the huge region's split/coalesce policy or geometry shows up as
+    // a digest change, alongside a summary of the resulting table.
+    const HUGE_SEED: u64 = 0x4855_4745;
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
+    let heap = PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(16)).expect("heap");
+    let max = heap.layout().max_alloc();
+    let mut fold = StreamDigest::new();
+    let mut rng = Xorshift::new(HUGE_SEED);
+    let mut live = Vec::new();
+    for _ in 0..64 {
+        if !live.is_empty() && (live.len() >= 5 || rng.below(3) == 0) {
+            let victim = live.swap_remove(rng.below(live.len() as u64) as usize);
+            heap.free(victim).expect("huge free");
+        } else {
+            match heap.alloc(max + 1 + rng.below(4 << 20)) {
+                Ok(ptr) => {
+                    fold.update(heap.raw_offset(ptr).expect("raw offset"));
+                    live.push(ptr);
+                }
+                // Deterministic fallback: fold the rejection itself.
+                Err(poseidon::PoseidonError::NoSpace { .. }) => fold.update(u64::MAX),
+                Err(e) => panic!("huge alloc: {e}"),
+            }
+        }
+    }
+    let huge = heap.huge_audit().expect("huge audit").expect("huge region");
+    println!(
+        "\n## Extent-table digest (64 huge ops over a {} MiB region)",
+        heap.layout().huge_data_size >> 20
+    );
+    println!("{:<12} {:>#18x} {:>#20x}", "huge-extent", HUGE_SEED, fold.finish());
+    println!(
+        "  extent table: {} allocated / {} free / {} quarantined extents, {} KiB live, largest free {} KiB",
+        huge.alloc_extents,
+        huge.free_extents,
+        huge.quarantined_extents,
+        huge.alloc_bytes >> 10,
+        huge.largest_free >> 10
+    );
 }
 
 /// Runs `work` for each allocator and thread count (fresh pool per

@@ -11,12 +11,16 @@ pub enum PoseidonError {
         /// The requested size in bytes.
         requested: u64,
     },
-    /// The request exceeds what a single sub-heap can ever hold.
+    /// The request exceeds both what a single sub-heap can ever hold and
+    /// what the huge-object region can currently satisfy.
     TooLarge {
         /// The requested size in bytes.
         requested: u64,
         /// The largest size a sub-heap can serve.
-        max: u64,
+        subheap_max: u64,
+        /// The largest contiguous extent the huge region can serve right
+        /// now (0 when the device has no huge region).
+        huge_remaining: u64,
     },
     /// A zero-byte allocation was requested.
     ZeroSize,
@@ -100,8 +104,12 @@ impl std::fmt::Display for PoseidonError {
             PoseidonError::NoSpace { requested } => {
                 write!(f, "no space for {requested}-byte allocation after defragmentation")
             }
-            PoseidonError::TooLarge { requested, max } => {
-                write!(f, "{requested}-byte allocation exceeds sub-heap maximum of {max} bytes")
+            PoseidonError::TooLarge { requested, subheap_max, huge_remaining } => {
+                write!(
+                    f,
+                    "{requested}-byte allocation exceeds the sub-heap maximum of {subheap_max} \
+                     bytes and the huge-region remaining capacity of {huge_remaining} bytes"
+                )
             }
             PoseidonError::ZeroSize => f.write_str("zero-byte allocation"),
             PoseidonError::InvalidFree { offset } => {
@@ -187,5 +195,10 @@ mod tests {
         assert!(PoseidonError::DoubleFree { offset: 64 }.to_string().contains("double free"));
         assert!(PoseidonError::InvalidFree { offset: 64 }.to_string().contains("invalid free"));
         assert!(PoseidonError::TableFull.to_string().contains("hash table"));
+        let too_large =
+            PoseidonError::TooLarge { requested: 1 << 30, subheap_max: 1 << 23, huge_remaining: 1 << 24 }
+                .to_string();
+        assert!(too_large.contains("sub-heap maximum of 8388608"));
+        assert!(too_large.contains("huge-region remaining capacity of 16777216"));
     }
 }

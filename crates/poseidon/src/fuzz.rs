@@ -12,7 +12,7 @@
 use pmem::PmemDevice;
 
 use crate::layout::HeapLayout;
-use crate::persist::SubCtx;
+use crate::persist::{HugeCtx, SubCtx};
 use crate::superblock;
 use crate::undo::{self, UndoArea};
 
@@ -28,8 +28,9 @@ pub struct UndoChainEntry {
 
 /// Decodes the live entry chain of every undo area of a heap with
 /// geometry `layout` — the superblock's area first, then one per
-/// sub-heap. An area that cannot be read (e.g. a poisoned line) decodes
-/// to `None`.
+/// sub-heap, then (when the layout carves a huge region) the huge
+/// region's area. An area that cannot be read (e.g. a poisoned line)
+/// decodes to `None`.
 ///
 /// Readable both before and after [`PmemDevice::simulate_crash`]:
 /// before, it sees the in-cache (DRAM) chain a crashed operation left
@@ -38,6 +39,9 @@ pub fn undo_chains(dev: &PmemDevice, layout: &HeapLayout) -> Vec<Option<Vec<Undo
     let mut areas = vec![superblock::undo_area()];
     for sub in 0..layout.num_subheaps {
         areas.push(SubCtx { dev, layout, sub }.undo_area());
+    }
+    if layout.huge_data_size > 0 {
+        areas.push(HugeCtx { dev, layout }.undo_area());
     }
     areas.into_iter().map(|area| decode_chain(dev, area)).collect()
 }

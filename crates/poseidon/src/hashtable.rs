@@ -23,6 +23,20 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Digest of a record key as folded into its level's identity checksum.
+///
+/// Each level persists the XOR of the digests of its live record keys
+/// (at [`SubCtx::level_sum_off`](crate::persist::SubCtx::level_sum_off)).
+/// A key never changes in place — state flips and size rewrites keep the
+/// record's offset — so insert and delete are the only maintenance
+/// points, and XOR makes them the same operation. The checksum lets an
+/// offline audit or `pfsck --repair` tell a genuinely empty level from
+/// one whose records (or live count) were destroyed: both look the same
+/// through the zeroed count alone.
+pub(crate) fn key_digest(key: u64) -> u64 {
+    mix(key)
+}
+
 /// Home slot of `key` in `level` (level capacities are powers of two).
 #[inline]
 fn home_slot(key: u64, level: usize, capacity: u64) -> u64 {
@@ -101,6 +115,7 @@ pub(crate) fn insert(
         if let Some(off) = target.or(reusable) {
             write_entry(scope, off, &entry)?;
             bump_level_count(op, scope, level, 1)?;
+            bump_level_sum(op, scope, level, key)?;
             return Ok(off);
         }
     }
@@ -114,10 +129,12 @@ pub(crate) fn insert(
         op.ctx.dev.punch_hole(level_base, op.ctx.layout.level_capacity(level) * ENTRY_SIZE)?;
         scope.log_and_write_pod(op.ctx.active_levels_off(), &((active + 1) as u64))?;
         scope.log_and_write_pod(op.ctx.level_count_off(level), &0u64)?;
+        scope.log_and_write_pod(op.ctx.level_sum_off(level), &0u64)?;
         let capacity = op.ctx.layout.level_capacity(level);
         let off = slot_off(op, level, home_slot(key, level, capacity));
         write_entry(scope, off, &entry)?;
         bump_level_count(op, scope, level, 1)?;
+        bump_level_sum(op, scope, level, key)?;
         return Ok(off);
     }
     Err(PoseidonError::TableFull)
@@ -131,12 +148,15 @@ pub(crate) fn write_entry(scope: &mut UndoScope<'_, '_>, entry_off: u64, entry: 
 /// Tombstones the record at `entry_off` and decrements its level's live
 /// count.
 pub(crate) fn delete(op: &OpSession<'_>, scope: &mut UndoScope<'_, '_>, entry_off: u64) -> Result<()> {
+    let level = level_of(op, entry_off);
     let mut entry = op.entry(entry_off)?;
+    let key = entry.offset;
     entry.state = state::TOMBSTONE;
     entry.next_free = 0;
     entry.prev_free = 0;
     write_entry(scope, entry_off, &entry)?;
-    bump_level_count(op, scope, level_of(op, entry_off), -1)
+    bump_level_count(op, scope, level, -1)?;
+    bump_level_sum(op, scope, level, key)
 }
 
 /// The level containing the record at device offset `entry_off`.
@@ -153,6 +173,14 @@ pub(crate) fn level_of(op: &OpSession<'_>, entry_off: u64) -> usize {
         debug_assert!(level < MAX_LEVELS);
     }
     level
+}
+
+/// Toggles `key` into/out of `level`'s identity checksum (XOR is its own
+/// inverse, so insert and delete share this).
+fn bump_level_sum(op: &OpSession<'_>, scope: &mut UndoScope<'_, '_>, level: usize, key: u64) -> Result<()> {
+    let off = op.ctx.level_sum_off(level);
+    let sum: u64 = op.read_pod(off)?;
+    scope.log_and_write_pod(off, &(sum ^ key_digest(key)))
 }
 
 fn bump_level_count(

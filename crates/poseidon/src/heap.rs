@@ -11,9 +11,10 @@ use pmem::{numa, PmemDevice};
 
 use crate::error::{PoseidonError, Result};
 use crate::hashtable;
+use crate::hugeregion::{self, HugeAudit, HUGE_SUBHEAP};
 use crate::layout::{class_for_size, HeapLayout};
 use crate::nvmptr::NvmPtr;
-use crate::persist::{DirEntry, SubCtx, SUPERBLOCK_MAGIC};
+use crate::persist::{DirEntry, HugeCtx, SubCtx, SUPERBLOCK_MAGIC};
 use crate::recovery::{self, RecoveryReport};
 use crate::session::OpSession;
 use crate::subheap::{self, SubheapAudit};
@@ -126,6 +127,14 @@ pub struct PoseidonHeap {
     layout: HeapLayout,
     slots: Box<[SubSlot]>,
     sb_lock: TrackedMutex<()>,
+    /// Serialises extent-table operations on the huge-object region (one
+    /// region per heap — huge allocations are rare and large, so a single
+    /// lock does not contend with the per-CPU hot path).
+    huge_lock: TrackedMutex<()>,
+    /// Set by load-time recovery when the huge region's metadata was hit
+    /// by an uncorrectable media error or fails validation: every huge
+    /// operation is refused until `pfsck --repair` rebuilds it.
+    huge_quarantined: AtomicBool,
     recovery: RecoveryReport,
     ops: OpCounters,
 }
@@ -180,6 +189,10 @@ impl PoseidonHeap {
         let n = config.num_subheaps.unwrap_or_else(|| dev.topology().cpus().min(u16::MAX as usize) as u16);
         let layout = HeapLayout::compute(dev.capacity(), n)?;
         let heap_id = random_heap_id();
+        // Format the huge region first: the superblock magic (written
+        // last inside `superblock::create`) stays the heap's single
+        // last-published commit point.
+        hugeregion::format(&dev, &layout)?;
         superblock::create(&dev, &layout, heap_id)?;
         let pkey = Self::protect(&dev, &layout, config)?;
         Ok(Self::assemble(dev, pkey, heap_id, layout, RecoveryReport::default()))
@@ -209,6 +222,7 @@ impl PoseidonHeap {
         for sub in quarantined {
             heap.slots[sub as usize].quarantined.store(true, Ordering::Release);
         }
+        heap.huge_quarantined.store(heap.recovery.huge_region_quarantined, Ordering::Release);
         Ok(heap)
     }
 
@@ -249,6 +263,8 @@ impl PoseidonHeap {
             layout,
             slots,
             sb_lock: TrackedMutex::new(()),
+            huge_lock: TrackedMutex::new(()),
+            huge_quarantined: AtomicBool::new(false),
             recovery,
             ops: OpCounters::default(),
         }
@@ -311,6 +327,30 @@ impl PoseidonHeap {
     fn begin_read_op(&self, sub: u16) -> Result<OpSession<'_>> {
         let lock = self.slots[sub as usize].lock.lock();
         OpSession::read_only(SubCtx { dev: &self.dev, layout: &self.layout, sub }, lock)
+    }
+
+    fn huge_ctx(&self) -> HugeCtx<'_> {
+        HugeCtx { dev: &self.dev, layout: &self.layout }
+    }
+
+    /// Opens a mutating session on the huge region (write grant + huge
+    /// lock), refusing if recovery quarantined the region.
+    fn begin_huge(&self) -> Result<hugeregion::HugeOp<'_>> {
+        if self.huge_quarantined.load(Ordering::Acquire) {
+            return Err(PoseidonError::SubheapQuarantined { subheap: HUGE_SUBHEAP });
+        }
+        let pkru = self.write_guard();
+        let lock = self.huge_lock.lock();
+        hugeregion::HugeOp::guarded(self.huge_ctx(), lock, pkru)
+    }
+
+    /// Opens a read-only session on the huge region.
+    fn begin_huge_read(&self) -> Result<hugeregion::HugeOp<'_>> {
+        if self.huge_quarantined.load(Ordering::Acquire) {
+            return Err(PoseidonError::SubheapQuarantined { subheap: HUGE_SUBHEAP });
+        }
+        let lock = self.huge_lock.lock();
+        hugeregion::HugeOp::read_only(self.huge_ctx(), lock)
     }
 
     fn ensure_subheap(&self, sub: u16) -> Result<()> {
@@ -387,10 +427,15 @@ impl PoseidonHeap {
         if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
             return Err(PoseidonError::SubheapQuarantined { subheap: sub });
         }
-        let (class, rounded) = class_for_size(size)?;
-        if rounded > self.layout.max_alloc() {
-            return Err(PoseidonError::TooLarge { requested: size, max: self.layout.max_alloc() });
+        if size == 0 {
+            return Err(PoseidonError::ZeroSize);
         }
+        if size > self.layout.max_alloc() {
+            // Beyond every buddy class: served by the huge-object region
+            // (page-granular extents) under the same pointer surface.
+            return self.huge_alloc(sub, size, micro);
+        }
+        let (class, _rounded) = class_for_size(size)?;
         self.ensure_subheap(sub)?;
         let op = self.begin_op(sub)?;
         // Note: no table-shrink probe here. Allocation only ever *adds*
@@ -400,6 +445,41 @@ impl PoseidonHeap {
         drop(op);
         self.ops.allocs.fetch_add(1, Ordering::Relaxed);
         Ok(NvmPtr::new(self.heap_id, sub, offset))
+    }
+
+    /// Serves an allocation beyond [`HeapLayout::max_alloc`] from the
+    /// huge-object region. Transactional requests (`micro`) log the
+    /// pointer in sub-heap `sub`'s micro log atomically with the extent
+    /// writes — one undo scope over a metadata view spanning both
+    /// regions (see [`hugeregion::HugeOp::spanning`]).
+    fn huge_alloc(&self, sub: u16, size: u64, micro: Option<(u64, usize)>) -> Result<NvmPtr> {
+        if self.layout.huge_data_size == 0 {
+            return Err(PoseidonError::TooLarge {
+                requested: size,
+                subheap_max: self.layout.max_alloc(),
+                huge_remaining: 0,
+            });
+        }
+        let offset = match micro {
+            None => hugeregion::alloc(&self.begin_huge()?, size, None)?,
+            Some((heap_id, slot)) => {
+                // The micro-log slot lives in the transaction's sub-heap;
+                // make sure it exists before mapping the spanning view.
+                // Lock order: sb_lock (inside ensure) strictly before the
+                // huge lock; the sub lock is never taken on this path —
+                // the slot is exclusively claimed via the tx bitmap.
+                self.ensure_subheap(sub)?;
+                if self.huge_quarantined.load(Ordering::Acquire) {
+                    return Err(PoseidonError::SubheapQuarantined { subheap: HUGE_SUBHEAP });
+                }
+                let pkru = self.write_guard();
+                let lock = self.huge_lock.lock();
+                let op = hugeregion::HugeOp::spanning(self.huge_ctx(), sub, lock, pkru)?;
+                hugeregion::alloc(&op, size, Some(hugeregion::MicroHook { heap_id, sub, slot }))?
+            }
+        };
+        self.ops.allocs.fetch_add(1, Ordering::Relaxed);
+        Ok(NvmPtr::new(self.heap_id, HUGE_SUBHEAP, offset))
     }
 
     /// Transactionally allocates `size` bytes — the paper's
@@ -482,6 +562,17 @@ impl PoseidonHeap {
         };
         let op = self.begin_op(sub)?;
         for ptr in crate::microlog::entries(&op, slot)? {
+            if ptr.subheap() == HUGE_SUBHEAP {
+                // A transactional huge allocation: free the extent through
+                // the huge region (lock order sub → huge is consistent —
+                // nothing takes them the other way round).
+                match hugeregion::free(&self.begin_huge()?, ptr.offset()) {
+                    Ok(_)
+                    | Err(PoseidonError::DoubleFree { .. })
+                    | Err(PoseidonError::InvalidFree { .. }) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
             match subheap::free_block(&op, ptr.offset()) {
                 Ok(_) | Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
                 Err(e) => return Err(e),
@@ -506,6 +597,19 @@ impl PoseidonHeap {
     pub fn free(&self, ptr: NvmPtr) -> Result<()> {
         self.check_ptr(ptr)?;
         let sub = ptr.subheap();
+        if sub == HUGE_SUBHEAP {
+            return match hugeregion::free(&self.begin_huge()?, ptr.offset()) {
+                Ok(_) => {
+                    self.ops.frees.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(e @ (PoseidonError::InvalidFree { .. } | PoseidonError::DoubleFree { .. })) => {
+                    self.ops.rejected_frees.fetch_add(1, Ordering::Relaxed);
+                    Err(e)
+                }
+                Err(e) => Err(e),
+            };
+        }
         if !self.slots[sub as usize].created.load(Ordering::Acquire) {
             return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
         }
@@ -532,6 +636,43 @@ impl PoseidonHeap {
         }
     }
 
+    /// Reallocates the block at `ptr` to `new_size`: allocates a new
+    /// block (routing between the sub-heaps and the huge region as the
+    /// new size requires), copies `min(old, new)` bytes of user data,
+    /// persists the copy, and frees the old block. On error the old
+    /// block is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// As for [`alloc`](Self::alloc) and [`free`](Self::free);
+    /// [`PoseidonError::MediaError`] if the old data cannot be read (the
+    /// new block is released again).
+    pub fn realloc(&self, ptr: NvmPtr, new_size: u64) -> Result<NvmPtr> {
+        let old_size = self.block_size(ptr)?;
+        let new_ptr = self.alloc(new_size)?;
+        let copy = || -> Result<()> {
+            let src = self.raw_offset(ptr)?;
+            let dst = self.raw_offset(new_ptr)?;
+            let total = old_size.min(new_size);
+            let mut buf = vec![0u8; total.min(1 << 20) as usize];
+            let mut done = 0u64;
+            while done < total {
+                let n = (total - done).min(buf.len() as u64) as usize;
+                self.dev.read(src + done, &mut buf[..n])?;
+                self.dev.write(dst + done, &buf[..n])?;
+                done += n as u64;
+            }
+            self.dev.persist(dst, total)?;
+            Ok(())
+        };
+        if let Err(e) = copy() {
+            let _ = self.free(new_ptr);
+            return Err(e);
+        }
+        self.free(ptr)?;
+        Ok(new_ptr)
+    }
+
     fn check_ptr(&self, ptr: NvmPtr) -> Result<()> {
         if ptr.is_null() {
             return Err(PoseidonError::InvalidFree { offset: 0 });
@@ -540,7 +681,11 @@ impl PoseidonHeap {
             return Err(PoseidonError::WrongHeap { pointer_heap: ptr.heap_id, this_heap: self.heap_id });
         }
         if ptr.subheap() >= self.layout.num_subheaps {
-            return Err(PoseidonError::BadSubheap { subheap: ptr.subheap() });
+            // The sentinel sub-heap id names the huge-object region — but
+            // only on layouts that carve one.
+            if ptr.subheap() != HUGE_SUBHEAP || self.layout.huge_data_size == 0 {
+                return Err(PoseidonError::BadSubheap { subheap: ptr.subheap() });
+            }
         }
         Ok(())
     }
@@ -555,6 +700,12 @@ impl PoseidonHeap {
     /// offset beyond the sub-heap's user region.
     pub fn raw_offset(&self, ptr: NvmPtr) -> Result<u64> {
         self.check_ptr(ptr)?;
+        if ptr.subheap() == HUGE_SUBHEAP {
+            if ptr.offset() >= self.layout.huge_data_size {
+                return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
+            }
+            return Ok(self.layout.huge_data_base() + ptr.offset());
+        }
         if ptr.offset() >= self.layout.user_size {
             return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
         }
@@ -569,6 +720,13 @@ impl PoseidonHeap {
     /// [`PoseidonError::InvalidFree`] if the offset is not inside any
     /// sub-heap's user region.
     pub fn nvmptr_of(&self, device_offset: u64) -> Result<NvmPtr> {
+        let huge_base = self.layout.huge_data_base();
+        if self.layout.huge_data_size > 0
+            && device_offset >= huge_base
+            && device_offset < huge_base + self.layout.huge_data_size
+        {
+            return Ok(NvmPtr::new(self.heap_id, HUGE_SUBHEAP, device_offset - huge_base));
+        }
         let user_start = self.layout.meta_end();
         if device_offset < user_start {
             return Err(PoseidonError::InvalidFree { offset: device_offset });
@@ -617,6 +775,13 @@ impl PoseidonHeap {
     pub fn block_size(&self, ptr: NvmPtr) -> Result<u64> {
         self.check_ptr(ptr)?;
         let sub = ptr.subheap();
+        if sub == HUGE_SUBHEAP {
+            let op = self.begin_huge_read()?;
+            return match hugeregion::lookup(&op, ptr.offset())? {
+                Some(rec) if rec.state == crate::persist::state::ALLOC => Ok(rec.len),
+                _ => Err(PoseidonError::InvalidFree { offset: ptr.offset() }),
+            };
+        }
         if !self.slots[sub as usize].created.load(Ordering::Acquire) {
             return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
         }
@@ -652,6 +817,21 @@ impl PoseidonHeap {
         Ok(out)
     }
 
+    /// Audits the huge-object region's extent table (tiling, alignment,
+    /// coalescing — see [`hugeregion`]'s invariants). Returns `None` when
+    /// the layout carves no huge region or recovery quarantined it.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::Corrupted`] naming the violated invariant.
+    pub fn huge_audit(&self) -> Result<Option<HugeAudit>> {
+        if self.layout.huge_data_size == 0 || self.huge_quarantined.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        let op = self.begin_huge_read()?;
+        Ok(Some(hugeregion::audit(&op)?))
+    }
+
     /// Per-lock serial-time profile (sub-heap locks and the superblock
     /// lock), for scalability projection. Per-CPU sub-heap locks are
     /// *parallel* resources — the projection takes the max across them,
@@ -664,6 +844,7 @@ impl PoseidonHeap {
             .map(|(i, slot)| slot.lock.profile(format!("subheap[{i}]")))
             .collect();
         profile.push(self.sb_lock.profile("superblock"));
+        profile.push(self.huge_lock.profile("hugeregion"));
         profile
     }
 
@@ -673,6 +854,7 @@ impl PoseidonHeap {
             slot.lock.reset();
         }
         self.sb_lock.reset();
+        self.huge_lock.reset();
     }
 
     /// Explicitly defragments every created sub-heap: merges all buddy
@@ -951,7 +1133,180 @@ mod tests {
     fn too_large_and_zero_requests_fail_cleanly() {
         let h = heap();
         assert!(matches!(h.alloc(0), Err(PoseidonError::ZeroSize)));
-        assert!(matches!(h.alloc(h.layout().user_size * 2), Err(PoseidonError::TooLarge { .. })));
+        // Twice the user region exceeds the huge region too (it is a
+        // quarter of the device); the error reports both effective caps.
+        let req = h.layout().user_size * 2;
+        assert!(req > h.layout().huge_data_size);
+        match h.alloc(req) {
+            Err(PoseidonError::TooLarge { requested, subheap_max, huge_remaining }) => {
+                assert_eq!(requested, req);
+                assert_eq!(subheap_max, h.layout().max_alloc());
+                assert_eq!(huge_remaining, h.layout().huge_data_size);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_alloc_beyond_subheap_max_succeeds() {
+        let h = heap();
+        let max = h.layout().max_alloc();
+        let p = h.alloc(max + 1).unwrap();
+        assert_eq!(p.subheap(), u16::MAX, "huge pointers carry the sentinel sub-heap");
+        // Reserved size is page-rounded, and data is writable end to end.
+        let size = h.block_size(p).unwrap();
+        assert!(size > max);
+        let raw = h.raw_offset(p).unwrap();
+        h.device().write(raw, &[0xA5; 4096]).unwrap();
+        h.device().write(raw + size - 8, &[0xA5; 8]).unwrap();
+        h.device().persist(raw, size).unwrap();
+        // Pointer conversions roundtrip through the huge data region.
+        assert_eq!(h.nvmptr_of(raw).unwrap(), p);
+        let audit = h.huge_audit().unwrap().unwrap();
+        assert_eq!(audit.alloc_extents, 1);
+        h.free(p).unwrap();
+        assert!(matches!(h.free(p), Err(PoseidonError::DoubleFree { .. })));
+        assert!(matches!(h.block_size(p), Err(PoseidonError::InvalidFree { .. })));
+        let audit = h.huge_audit().unwrap().unwrap();
+        assert_eq!(audit.alloc_extents, 0);
+        assert_eq!(audit.free_bytes, h.layout().huge_data_size);
+    }
+
+    #[test]
+    fn huge_pointers_are_rejected_without_a_huge_region() {
+        // A device below the carve-out threshold has no huge region: the
+        // sentinel sub-heap id is an ordinary BadSubheap there.
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(8 << 20)));
+        let h = PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(1)).unwrap();
+        assert_eq!(h.layout().huge_data_size, 0);
+        match h.alloc(h.layout().max_alloc() + 1) {
+            Err(PoseidonError::TooLarge { huge_remaining, .. }) => assert_eq!(huge_remaining, 0),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        let foreign = NvmPtr::new(h.heap_id(), u16::MAX, 0);
+        assert!(matches!(h.free(foreign), Err(PoseidonError::BadSubheap { .. })));
+        assert!(h.huge_audit().unwrap().is_none());
+    }
+
+    #[test]
+    fn huge_allocation_survives_crash_at_every_point() {
+        // Adversarial sweep over the heap-level huge path: crash after
+        // every k-th persisted event during alloc and free; after each
+        // power cycle the reloaded heap must audit clean and either show
+        // the op completed or fully rolled back.
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let size;
+        {
+            let h = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+            size = h.layout().max_alloc() + 1;
+        }
+        for stage in ["alloc", "free"] {
+            let mut k = 1u64;
+            loop {
+                let result = {
+                    let h = PoseidonHeap::load(dev.clone(), HeapConfig::new()).unwrap();
+                    // Reset to the stage's pre-image (the previous crash
+                    // may have left either the old or the new state).
+                    let audit = h.huge_audit().unwrap().unwrap();
+                    let live =
+                        (audit.alloc_extents == 1).then(|| h.nvmptr_of(h.layout().huge_data_base()).unwrap());
+                    if stage == "alloc" {
+                        if let Some(p) = live {
+                            h.free(p).unwrap();
+                        }
+                        dev.arm_crash_after(k);
+                        h.alloc(size).map(|_| ())
+                    } else {
+                        let p = live.unwrap_or_else(|| h.alloc(size).unwrap());
+                        dev.arm_crash_after(k);
+                        h.free(p)
+                    }
+                };
+                dev.simulate_crash(CrashMode::Strict, k);
+                {
+                    let h = PoseidonHeap::load(dev.clone(), HeapConfig::new()).unwrap();
+                    let audit = h.huge_audit().unwrap().unwrap();
+                    assert_eq!(
+                        audit.free_bytes + audit.alloc_bytes + audit.quarantined_bytes,
+                        h.layout().huge_data_size,
+                        "crash point {k} in {stage} tore the extent table"
+                    );
+                    assert_eq!(audit.quarantined_extents, 0);
+                }
+                if result.is_ok() {
+                    break;
+                }
+                k += 1;
+                assert!(k < 200, "crash sweep did not converge");
+            }
+            assert!(k > 3, "sweep must cover interior crash points, swept only {k}");
+        }
+    }
+
+    #[test]
+    fn uncommitted_huge_tx_is_reverted_on_recovery() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let h = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+        let huge_size = h.layout().max_alloc() + 1;
+        let small = h.tx_alloc(64, false).unwrap();
+        let big = h.tx_alloc(huge_size, false).unwrap(); // never committed
+        assert_eq!(big.subheap(), u16::MAX);
+        drop(h);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        let h = PoseidonHeap::load(dev.clone(), HeapConfig::new()).unwrap();
+        assert_eq!(h.recovery_report().tx_allocations_reverted, 2);
+        assert!(matches!(h.free(small), Err(PoseidonError::DoubleFree { .. })));
+        assert!(matches!(h.free(big), Err(PoseidonError::DoubleFree { .. })));
+        let audit = h.huge_audit().unwrap().unwrap();
+        assert_eq!(audit.alloc_extents, 0, "recovery must free the uncommitted huge extent");
+        h.audit().unwrap();
+    }
+
+    #[test]
+    fn committed_huge_tx_survives_recovery() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let h = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+        let huge_size = h.layout().max_alloc() + 1;
+        let big = h.tx_alloc(huge_size, true).unwrap(); // committed
+        drop(h);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        let h = PoseidonHeap::load(dev, HeapConfig::new()).unwrap();
+        assert_eq!(h.recovery_report().tx_allocations_reverted, 0);
+        h.free(big).unwrap();
+    }
+
+    #[test]
+    fn huge_tx_abort_frees_the_extent() {
+        let h = heap();
+        let big = h.tx_alloc(h.layout().max_alloc() + 1, false).unwrap();
+        h.tx_abort().unwrap();
+        assert!(matches!(h.free(big), Err(PoseidonError::DoubleFree { .. })));
+        assert_eq!(h.huge_audit().unwrap().unwrap().alloc_extents, 0);
+    }
+
+    #[test]
+    fn realloc_crosses_between_subheap_and_huge_paths() {
+        let h = heap();
+        let max = h.layout().max_alloc();
+        let small = h.alloc(1024).unwrap();
+        let raw = h.raw_offset(small).unwrap();
+        h.device().write(raw, b"growing data").unwrap();
+        h.device().persist(raw, 12).unwrap();
+        // Grow across the boundary: sub-heap block → huge extent.
+        let big = h.realloc(small, max + 1).unwrap();
+        assert_eq!(big.subheap(), u16::MAX);
+        let mut buf = [0u8; 12];
+        h.device().read(h.raw_offset(big).unwrap(), &mut buf).unwrap();
+        assert_eq!(&buf, b"growing data");
+        assert!(matches!(h.free(small), Err(PoseidonError::DoubleFree { .. })));
+        // Shrink back: huge extent → sub-heap block.
+        let back = h.realloc(big, 1024).unwrap();
+        assert_ne!(back.subheap(), u16::MAX);
+        h.device().read(h.raw_offset(back).unwrap(), &mut buf).unwrap();
+        assert_eq!(&buf, b"growing data");
+        h.free(back).unwrap();
+        assert_eq!(h.huge_audit().unwrap().unwrap().alloc_extents, 0);
+        h.audit().unwrap();
     }
 
     #[test]

@@ -1,19 +1,27 @@
 //! Heap geometry: where everything lives on the device.
 //!
 //! A Poseidon heap is laid out as a superblock followed by `N` contiguous
-//! per-CPU sub-heap **metadata** regions and then `N` **user-data** regions
-//! (§4.2 — fully segregated metadata):
+//! per-CPU sub-heap **metadata** regions, the **huge-region metadata**
+//! (extent table + undo log), `N` **user-data** regions, and finally the
+//! **huge-object data** region (§4.2 — fully segregated metadata):
 //!
 //! ```text
-//! ┌────────────┬────────┬────────┬───┬────────┬────────┬───┐
-//! │ superblock │ meta 0 │ meta 1 │ … │ user 0 │ user 1 │ … │
-//! └────────────┴────────┴────────┴───┴────────┴────────┴───┘
-//! └──────── MPK-protected ─────────┘ └──── unprotected ────┘
+//! ┌────────────┬────────┬───┬───────────┬────────┬───┬───────────┐
+//! │ superblock │ meta 0 │ … │ huge meta │ user 0 │ … │ huge data │
+//! └────────────┴────────┴───┴───────────┴────────┴───┴───────────┘
+//! └─────────── MPK-protected ──────────┘ └───── unprotected ─────┘
 //! ```
 //!
 //! The whole metadata prefix `[0, meta_end)` is tagged with one MPK key at
 //! load time; user regions are never tagged. Every boundary is page-aligned
 //! so protection has exactly the granularity the paper requires.
+//!
+//! Allocations larger than [`HeapLayout::max_alloc`] bypass the per-CPU
+//! sub-heaps entirely and are served from the huge-object region by an
+//! extent allocator (first-fit over sorted free extents; see
+//! `hugeregion`). On devices too small for the carve-out to be useful the
+//! huge region is omitted and over-sized allocations keep failing with
+//! `TooLarge`.
 //!
 //! Each sub-heap's metadata region contains, at fixed offsets: a small
 //! header, the buddy-list head/tail arrays, per-level entry counts, the
@@ -75,6 +83,31 @@ pub const MICRO_LOG_CAPACITY: usize = ((MICRO_SLOT_BYTES - 16) / 16) as usize;
 pub const SH_MICRO_SIZE: u64 = MICRO_SLOTS as u64 * MICRO_SLOT_BYTES;
 /// Offset of the multi-level hash table.
 pub const SH_TABLE_OFF: u64 = SH_MICRO_OFF + SH_MICRO_SIZE;
+/// Offset of the per-level entry checksum array (`[u64; MAX_LEVELS]`),
+/// maintained alongside the live-entry counts so repair can distinguish a
+/// genuinely empty level from one whose records were lost to poison.
+pub const SH_LEVEL_SUMS_OFF: u64 = 0x500;
+
+/// Offset of the huge-region undo-log area within the huge metadata region
+/// (the first page holds the huge-region header).
+pub const HUGE_UNDO_OFF: u64 = PAGE_SIZE;
+/// Size of the huge-region undo-log area.
+pub const HUGE_UNDO_SIZE: u64 = 0x10000;
+/// Offset of the extent table within the huge metadata region.
+pub const HUGE_TABLE_OFF: u64 = HUGE_UNDO_OFF + HUGE_UNDO_SIZE;
+/// Number of slots in the huge-region extent table.
+pub const HUGE_EXTENT_SLOTS: usize = 1024;
+/// Bytes per extent record.
+pub const EXTENT_RECORD_SIZE: u64 = 32;
+/// Bytes of huge-region metadata (header page + undo log + extent table);
+/// a multiple of the page size (asserted in tests).
+pub const HUGE_META_SIZE: u64 = HUGE_TABLE_OFF + HUGE_EXTENT_SLOTS as u64 * EXTENT_RECORD_SIZE;
+/// Fraction of the usable device given to the huge-object data region
+/// (one part in `HUGE_REGION_DIVISOR`).
+pub const HUGE_REGION_DIVISOR: u64 = 4;
+/// Smallest usable capacity (device minus superblock) for which the huge
+/// region is carved out at all; below this, every byte goes to sub-heaps.
+pub const HUGE_MIN_USABLE: u64 = 16 << 20;
 
 /// Computed geometry of a heap on a particular device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +122,9 @@ pub struct HeapLayout {
     pub user_size: u64,
     /// Entries in hash-table level 0 (power of two).
     pub c0: u64,
+    /// Bytes of huge-object data region (page-aligned; 0 when the device is
+    /// too small for the carve-out).
+    pub huge_data_size: u64,
 }
 
 impl HeapLayout {
@@ -110,7 +146,17 @@ impl HeapLayout {
         if capacity <= SB_REGION_SIZE {
             return Err(PoseidonError::BadGeometry("device smaller than the superblock region"));
         }
-        let per_sub = (capacity - SB_REGION_SIZE) / n;
+        let usable = capacity - SB_REGION_SIZE;
+        // Huge-object carve-out: one part in HUGE_REGION_DIVISOR of the
+        // usable space, page-aligned, plus a fixed metadata region — but
+        // only when the device is large enough for the region to serve
+        // anything a sub-heap cannot.
+        let (huge_meta, huge_data_size) = if usable >= HUGE_MIN_USABLE {
+            (HUGE_META_SIZE, usable / HUGE_REGION_DIVISOR / PAGE_SIZE * PAGE_SIZE)
+        } else {
+            (0, 0)
+        };
+        let per_sub = (usable - huge_meta - huge_data_size) / n;
         let levels_factor = (1u64 << MAX_LEVELS) - 1;
         let total_entries = (per_sub / 256).max(4096);
         let c0 = total_entries.div_ceil(levels_factor).next_power_of_two().max(64);
@@ -122,7 +168,7 @@ impl HeapLayout {
             ));
         }
         let user_size = (per_sub - meta_size) / PAGE_SIZE * PAGE_SIZE;
-        Ok(HeapLayout { capacity, num_subheaps, meta_size, user_size, c0 })
+        Ok(HeapLayout { capacity, num_subheaps, meta_size, user_size, c0, huge_data_size })
     }
 
     /// Device offset of sub-heap `sub`'s metadata region.
@@ -132,10 +178,34 @@ impl HeapLayout {
         SB_REGION_SIZE + sub as u64 * self.meta_size
     }
 
+    /// Bytes of huge-region metadata (0 when no huge region is carved).
+    #[inline]
+    pub fn huge_meta_size(&self) -> u64 {
+        if self.huge_data_size == 0 {
+            0
+        } else {
+            HUGE_META_SIZE
+        }
+    }
+
+    /// Device offset of the huge-region metadata (header, undo log, extent
+    /// table). Meaningless when [`Self::huge_data_size`] is 0.
+    #[inline]
+    pub fn huge_meta_base(&self) -> u64 {
+        SB_REGION_SIZE + self.num_subheaps as u64 * self.meta_size
+    }
+
     /// End of the metadata prefix — everything below this is MPK-protected.
     #[inline]
     pub fn meta_end(&self) -> u64 {
-        SB_REGION_SIZE + self.num_subheaps as u64 * self.meta_size
+        self.huge_meta_base() + self.huge_meta_size()
+    }
+
+    /// Device offset of the huge-object data region (at the tail of the
+    /// device, after every user region).
+    #[inline]
+    pub fn huge_data_base(&self) -> u64 {
+        self.meta_end() + self.num_subheaps as u64 * self.user_size
     }
 
     /// Device offset of sub-heap `sub`'s user region.
@@ -168,7 +238,8 @@ impl HeapLayout {
     }
 
     /// Largest single allocation a sub-heap can ever serve: the biggest
-    /// power of two that fits in the user region.
+    /// power of two that fits in the user region. Requests above this are
+    /// routed to the huge-object region (when one exists).
     #[inline]
     pub fn max_alloc(&self) -> u64 {
         if self.user_size == 0 {
@@ -261,6 +332,33 @@ mod tests {
         assert_eq!(class_for_size(4096).unwrap(), (7, 4096));
         assert!(matches!(class_for_size(0), Err(PoseidonError::ZeroSize)));
         assert_eq!(class_size(7), 4096);
+    }
+
+    #[test]
+    fn huge_region_is_carved_page_aligned_and_disjoint() {
+        assert_eq!(HUGE_META_SIZE % PAGE_SIZE, 0);
+        let layout = HeapLayout::compute(256 << 20, 4).unwrap();
+        assert!(layout.huge_data_size > 0);
+        assert_eq!(layout.huge_data_size % PAGE_SIZE, 0);
+        assert_eq!(layout.huge_meta_size(), HUGE_META_SIZE);
+        // Huge meta sits right after the last sub-heap meta, inside the
+        // protected prefix; huge data is the tail of the device.
+        assert_eq!(layout.huge_meta_base(), layout.meta_base(3) + layout.meta_size);
+        assert_eq!(layout.meta_end(), layout.huge_meta_base() + HUGE_META_SIZE);
+        assert_eq!(layout.huge_data_base(), layout.user_base(3) + layout.user_size);
+        assert!(layout.huge_data_base() + layout.huge_data_size <= layout.capacity);
+        // The extent table fits inside the huge metadata region.
+        assert!(HUGE_TABLE_OFF + HUGE_EXTENT_SLOTS as u64 * EXTENT_RECORD_SIZE <= HUGE_META_SIZE);
+        // A huge allocation can exceed what any sub-heap serves.
+        assert!(layout.huge_data_size > layout.max_alloc());
+    }
+
+    #[test]
+    fn small_devices_omit_the_huge_region() {
+        let layout = HeapLayout::compute(8 << 20, 1).unwrap();
+        assert_eq!(layout.huge_data_size, 0);
+        assert_eq!(layout.huge_meta_size(), 0);
+        assert_eq!(layout.meta_end(), layout.huge_meta_base());
     }
 
     #[test]

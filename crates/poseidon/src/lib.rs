@@ -72,6 +72,7 @@ mod error;
 pub mod fuzz;
 mod hashtable;
 mod heap;
+mod hugeregion;
 mod layout;
 mod microlog;
 mod nvmptr;
@@ -86,6 +87,7 @@ mod undo;
 
 pub use error::{PoseidonError, Result};
 pub use heap::{HeapConfig, HeapOpStats, PoseidonHeap};
+pub use hugeregion::HugeAudit;
 pub use layout::{class_for_size, class_size, HeapLayout, MIN_BLOCK, NUM_CLASSES};
 pub use nvmptr::{NvmPtr, MAX_OFFSET};
 pub use recovery::RecoveryReport;

@@ -4,8 +4,9 @@ use pmem::{pod_struct, PmemDevice};
 
 use crate::error::Result;
 use crate::layout::{
-    HeapLayout, ENTRY_SIZE, SH_BUDDY_HEADS_OFF, SH_BUDDY_TAILS_OFF, SH_LEVEL_COUNTS_OFF, SH_MICRO_OFF,
-    SH_UNDO_OFF, SH_UNDO_SIZE,
+    HeapLayout, ENTRY_SIZE, EXTENT_RECORD_SIZE, HUGE_EXTENT_SLOTS, HUGE_TABLE_OFF, HUGE_UNDO_OFF,
+    HUGE_UNDO_SIZE, SH_BUDDY_HEADS_OFF, SH_BUDDY_TAILS_OFF, SH_LEVEL_COUNTS_OFF, SH_LEVEL_SUMS_OFF,
+    SH_MICRO_OFF, SH_UNDO_OFF, SH_UNDO_SIZE,
 };
 use crate::nvmptr::NvmPtr;
 use crate::undo::UndoArea;
@@ -14,6 +15,8 @@ use crate::undo::UndoArea;
 pub const SUPERBLOCK_MAGIC: u64 = 0x504F_5345_4944_4F4E;
 /// Magic value identifying an initialised sub-heap header.
 pub const SUBHEAP_MAGIC: u64 = 0x5355_4248_4541_5021;
+/// Magic value identifying an initialised huge-region header ("HUGEREGN").
+pub const HUGE_MAGIC: u64 = 0x4855_4745_5245_474E;
 /// On-device format version.
 pub const FORMAT_VERSION: u32 = 1;
 
@@ -42,6 +45,9 @@ pod_struct! {
         pub user_size: u64,
         /// Hash-table level-0 capacity.
         pub c0: u64,
+        /// Huge-object data region size (0 when the device has no huge
+        /// region).
+        pub huge_data_size: u64,
         /// Superblock undo-log generation (entries of older generations are dead).
         pub undo_gen: u64,
         /// The heap's root pointer (§4.6).
@@ -121,6 +127,100 @@ pod_struct! {
 
 const _: () = assert!(std::mem::size_of::<HashEntry>() as u64 == ENTRY_SIZE);
 
+pod_struct! {
+    /// The huge-region metadata header (first page of the huge metadata
+    /// region).
+    pub struct HugeHeader {
+        /// [`HUGE_MAGIC`]; written last during formatting.
+        pub magic: u64,
+        /// [`FORMAT_VERSION`].
+        pub version: u32,
+        /// Reserved.
+        pub _pad: u32,
+        /// Huge-region undo-log generation (entries of older generations
+        /// are dead).
+        pub undo_gen: u64,
+        /// Size of the huge data region at format time (validated on load).
+        pub data_size: u64,
+    }
+}
+
+pod_struct! {
+    /// One slot of the huge-region extent table.
+    ///
+    /// Non-empty slots, sorted by offset, tile the whole huge data region:
+    /// every byte belongs to exactly one `FREE`, `ALLOC`, or `QUARANTINED`
+    /// extent, so the table doubles as the block record used for
+    /// `free`/`block_size` validation (double-free and invalid-free
+    /// rejection, mirroring the sub-heap hash table). Physical slot order
+    /// is arbitrary; the sorted view is reconstructed by scanning.
+    pub struct ExtentRecord {
+        /// Extent offset within the huge data region.
+        pub offset: u64,
+        /// Extent length in bytes (page-granular, never zero for live
+        /// slots).
+        pub len: u64,
+        /// One of the [`state`] constants (`EMPTY` marks an unused slot).
+        pub state: u32,
+        /// Reserved.
+        pub _pad: u32,
+        /// Reserved (pads the record to [`EXTENT_RECORD_SIZE`]).
+        pub _reserved: u64,
+    }
+}
+
+const _: () = assert!(std::mem::size_of::<ExtentRecord>() as u64 == EXTENT_RECORD_SIZE);
+
+/// Borrowed context for operating on the huge-object region, the analogue
+/// of [`SubCtx`] for the extent allocator.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HugeCtx<'a> {
+    pub dev: &'a PmemDevice,
+    pub layout: &'a HeapLayout,
+}
+
+impl<'a> HugeCtx<'a> {
+    /// Device offset of the huge-region metadata.
+    #[inline]
+    pub fn meta_base(&self) -> u64 {
+        self.layout.huge_meta_base()
+    }
+
+    /// Device offset of the huge-region data.
+    #[inline]
+    pub fn data_base(&self) -> u64 {
+        self.layout.huge_data_base()
+    }
+
+    /// Device offset of the header's undo-log generation field.
+    #[inline]
+    pub fn undo_gen_off(&self) -> u64 {
+        self.meta_base() + std::mem::offset_of!(HugeHeader, undo_gen) as u64
+    }
+
+    /// The huge region's undo-log area.
+    #[inline]
+    pub fn undo_area(&self) -> UndoArea {
+        UndoArea {
+            base: self.meta_base() + HUGE_UNDO_OFF,
+            size: HUGE_UNDO_SIZE,
+            gen_field: self.undo_gen_off(),
+        }
+    }
+
+    /// Device offset of extent-table slot `slot`.
+    #[inline]
+    pub fn slot_off(&self, slot: usize) -> u64 {
+        debug_assert!(slot < HUGE_EXTENT_SLOTS);
+        self.meta_base() + HUGE_TABLE_OFF + slot as u64 * EXTENT_RECORD_SIZE
+    }
+
+    /// Reads the huge-region header.
+    pub fn header(&self) -> Result<HugeHeader> {
+        Ok(self.dev.read_pod(self.meta_base())?)
+    }
+}
+
 /// Borrowed context for operating on one sub-heap: the device, the heap
 /// geometry, and the sub-heap index. All sub-heap modules (hash table,
 /// buddy lists, defragmentation, logs) work through this.
@@ -180,6 +280,12 @@ impl<'a> SubCtx<'a> {
         self.meta_base() + SH_LEVEL_COUNTS_OFF + level as u64 * 8
     }
 
+    /// Device offset of the live-entry checksum of hash level `level`.
+    #[inline]
+    pub fn level_sum_off(&self, level: usize) -> u64 {
+        self.meta_base() + SH_LEVEL_SUMS_OFF + level as u64 * 8
+    }
+
     /// Device offset of micro-log slot `slot`'s count field.
     #[inline]
     pub fn micro_count_off(&self, slot: usize) -> u64 {
@@ -234,6 +340,7 @@ mod tests {
             meta_size: 1 << 20,
             user_size: 8 << 20,
             c0: 64,
+            huge_data_size: 16 << 20,
             undo_gen: 0,
             root: NvmPtr::new(0x1234, 3, 64),
             _pad0: 0,

@@ -26,9 +26,10 @@
 use pmem::PmemDevice;
 
 use crate::error::{PoseidonError, Result};
+use crate::hugeregion::{self, HUGE_SUBHEAP};
 use crate::layout::HeapLayout;
 use crate::microlog;
-use crate::persist::SubCtx;
+use crate::persist::{HugeCtx, SubCtx};
 use crate::quarantine;
 use crate::session::OpSession;
 use crate::subheap;
@@ -52,17 +53,34 @@ pub struct RecoveryReport {
     pub blocks_quarantined: u64,
     /// Bytes covered by the individually quarantined blocks.
     pub bytes_quarantined: u64,
+    /// Whether the huge region's undo log was replayed.
+    pub huge_undo_replayed: bool,
+    /// Whether the whole huge region was quarantined (poisoned or
+    /// unvalidatable extent-table metadata); huge allocation is refused
+    /// until `pfsck --repair` rebuilds it.
+    pub huge_region_quarantined: bool,
+    /// Free huge extents converted to quarantined ones because their
+    /// data pages overlap poisoned lines.
+    pub huge_extents_quarantined: u64,
+    /// Bytes covered by the quarantined huge extents.
+    pub huge_bytes_quarantined: u64,
 }
 
 impl RecoveryReport {
     /// Whether the previous session ended in a crash mid-operation.
     pub fn crash_detected(&self) -> bool {
-        self.superblock_undo_replayed || self.subheap_undos_replayed > 0 || self.tx_allocations_reverted > 0
+        self.superblock_undo_replayed
+            || self.subheap_undos_replayed > 0
+            || self.tx_allocations_reverted > 0
+            || self.huge_undo_replayed
     }
 
     /// Whether recovery had to quarantine anything (media damage).
     pub fn media_damage_detected(&self) -> bool {
-        self.subheaps_quarantined > 0 || self.blocks_quarantined > 0
+        self.subheaps_quarantined > 0
+            || self.blocks_quarantined > 0
+            || self.huge_region_quarantined
+            || self.huge_extents_quarantined > 0
     }
 }
 
@@ -76,6 +94,41 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
     // identity: poison here is unrecoverable in-process, so the typed
     // media error propagates and the load fails.
     report.superblock_undo_replayed = undo::replay(dev, superblock::undo_area())?;
+    // The huge region recovers *before* the sub-heaps: a transactional
+    // huge allocation logs its micro-log words in the *huge* undo log
+    // (one atomic scope spanning extent table and micro slot), so that
+    // replay must land before any sub-heap walks its micro logs.
+    let mut huge_ok = false;
+    if layout.huge_data_size > 0 {
+        let hctx = HugeCtx { dev, layout };
+        let salvage = if quarantine::overlaps_any(&poison, hctx.meta_base(), layout.huge_meta_size()) {
+            // Same policy as a poisoned sub-heap: a half-readable extent
+            // table is worse than a frozen one.
+            Err(PoseidonError::MediaError { offset: hctx.meta_base() })
+        } else {
+            hugeregion::validate(&hctx).and_then(|()| {
+                if undo::replay(dev, hctx.undo_area())? {
+                    report.huge_undo_replayed = true;
+                }
+                Ok(())
+            })
+        };
+        match salvage {
+            Ok(()) => {
+                huge_ok = true;
+                if !poison.is_empty() {
+                    let op = hugeregion::HugeOp::unguarded(HugeCtx { dev, layout })?;
+                    let (extents, bytes) = hugeregion::quarantine_poisoned(&op, &poison)?;
+                    report.huge_extents_quarantined += extents;
+                    report.huge_bytes_quarantined += bytes;
+                }
+            }
+            Err(PoseidonError::MediaError { .. }) | Err(PoseidonError::Corrupted(_)) => {
+                report.huge_region_quarantined = true;
+            }
+            Err(e) => return Err(e),
+        }
+    }
     let mut quarantined_subs = Vec::new();
     for sub in 0..layout.num_subheaps {
         let ctx = SubCtx { dev, layout, sub };
@@ -103,7 +156,7 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
             Err(PoseidonError::MediaError { offset: ctx.meta_base() })
         } else {
             OpSession::unguarded(ctx).and_then(|op| {
-                recover_sub(&op, &mut report)?;
+                recover_sub(&op, huge_ok, &mut report)?;
                 Ok(op)
             })
         };
@@ -123,8 +176,10 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
     Ok((report, quarantined_subs))
 }
 
-/// Replays one sub-heap's undo and micro logs.
-fn recover_sub(op: &OpSession<'_>, report: &mut RecoveryReport) -> Result<()> {
+/// Replays one sub-heap's undo and micro logs. `huge_ok` says whether
+/// the huge region was salvaged, i.e. whether micro-log entries carrying
+/// the [`HUGE_SUBHEAP`] sentinel can be freed through it.
+fn recover_sub(op: &OpSession<'_>, huge_ok: bool, report: &mut RecoveryReport) -> Result<()> {
     // The undo replay reads the log directly from the device: it is the
     // recovery oracle and must see exactly the persisted bytes, with no
     // session state in between.
@@ -140,6 +195,26 @@ fn recover_sub(op: &OpSession<'_>, report: &mut RecoveryReport) -> Result<()> {
             continue;
         }
         for ptr in pending {
+            if ptr.subheap() == HUGE_SUBHEAP && op.ctx.layout.huge_data_size > 0 {
+                // A huge extent allocated by the uncommitted transaction:
+                // revert it through the huge region. When that region is
+                // quarantined the extent is leaked (stays marked
+                // allocated, and the slot truncation below drops the
+                // entry) rather than risking a stale free after `pfsck
+                // --repair` rebuilds the table.
+                if huge_ok {
+                    let hctx = HugeCtx { dev: op.ctx.dev, layout: op.ctx.layout };
+                    let hop = hugeregion::HugeOp::unguarded(hctx)?;
+                    match hugeregion::free(&hop, ptr.offset()) {
+                        Ok(_) => report.tx_allocations_reverted += 1,
+                        // Same idempotence rule as below: an earlier,
+                        // interrupted recovery may already have freed it.
+                        Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                continue;
+            }
             if ptr.subheap() != op.ctx.sub {
                 return Err(PoseidonError::Corrupted("micro-log entry for a foreign sub-heap"));
             }

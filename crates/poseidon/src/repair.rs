@@ -58,15 +58,19 @@
 //! there is no merge partner — which the audit tolerates as a coverage
 //! hole.
 
-use pmem::{PmemDevice, CACHE_LINE_SIZE};
+use pmem::{PmemDevice, CACHE_LINE_SIZE, PAGE_SIZE};
 
 use crate::error::{PoseidonError, Result};
 use crate::layout::{
-    class_for_size, HeapLayout, ENTRY_SIZE, MAX_LEVELS, MICRO_SLOT_BYTES, NUM_CLASSES, SB_DIR_OFF,
-    SB_REGION_SIZE, SB_UNDO_SIZE, SH_MICRO_OFF, SH_MICRO_SIZE, SH_TABLE_OFF, SH_UNDO_OFF, SH_UNDO_SIZE,
+    class_for_size, HeapLayout, ENTRY_SIZE, HUGE_EXTENT_SLOTS, HUGE_UNDO_OFF, HUGE_UNDO_SIZE, MAX_LEVELS,
+    MICRO_SLOT_BYTES, NUM_CLASSES, SB_DIR_OFF, SB_REGION_SIZE, SB_UNDO_SIZE, SH_MICRO_OFF, SH_MICRO_SIZE,
+    SH_TABLE_OFF, SH_UNDO_OFF, SH_UNDO_SIZE,
 };
 use crate::microlog;
-use crate::persist::{state, HashEntry, SubCtx, SubheapHeader, SUBHEAP_MAGIC};
+use crate::persist::{
+    state, ExtentRecord, HashEntry, HugeCtx, HugeHeader, SubCtx, SubheapHeader, FORMAT_VERSION, HUGE_MAGIC,
+    SUBHEAP_MAGIC,
+};
 use crate::quarantine;
 use crate::superblock;
 use crate::undo;
@@ -101,6 +105,20 @@ pub struct RepairReport {
     pub blocks_released: u64,
     /// Created sub-heaps processed (free lists and counts rebuilt).
     pub subheaps_repaired: u32,
+    /// Hash-table levels whose stored checksum disagreed with the
+    /// surviving records (records were lost, not merely absent); the
+    /// recomputed checksum is written back.
+    pub level_sums_mismatched: u32,
+    /// Whether the huge-region header was rebuilt from scratch (its undo
+    /// log is discarded with it).
+    pub huge_header_rebuilt: bool,
+    /// Extent-table slots dropped because their record was implausible
+    /// (bad state, misaligned or out-of-bounds geometry, overlap with an
+    /// earlier extent).
+    pub huge_slots_dropped: u32,
+    /// Huge-region bytes newly quarantined: coverage holes left by
+    /// dropped slots, plus free extents overlapping data poison.
+    pub huge_bytes_quarantined: u64,
 }
 
 impl RepairReport {
@@ -110,6 +128,10 @@ impl RepairReport {
             || self.blocks_quarantined > 0
             || self.blocks_released > 0
             || self.micro_slots_reset > 0
+            || self.level_sums_mismatched > 0
+            || self.huge_header_rebuilt
+            || self.huge_slots_dropped > 0
+            || self.huge_bytes_quarantined > 0
     }
 }
 
@@ -152,6 +174,7 @@ pub fn repair(dev: &PmemDevice) -> Result<RepairReport> {
         repair_sub(dev, &layout, sub, &mut report)?;
         report.subheaps_repaired += 1;
     }
+    repair_huge(dev, &layout, &mut report)?;
     Ok(report)
 }
 
@@ -329,6 +352,7 @@ fn rebuild_lists(ctx: &SubCtx<'_>, active: usize, report: &mut RepairReport) -> 
     for level in 0..active {
         let base = ctx.layout.level_base(ctx.sub, level);
         let mut live = 0u64;
+        let mut sum = 0u64;
         for i in 0..ctx.layout.level_capacity(level) {
             let rec_off = base + i * ENTRY_SIZE;
             let mut rec = ctx.entry(rec_off)?;
@@ -336,6 +360,7 @@ fn rebuild_lists(ctx: &SubCtx<'_>, active: usize, report: &mut RepairReport) -> 
                 continue;
             }
             live += 1;
+            sum ^= crate::hashtable::key_digest(rec.offset);
             if rec.state == state::ALLOC {
                 // Allocated blocks keep their (possibly poisoned) data;
                 // the typed error surfaces on read, never silently.
@@ -371,6 +396,15 @@ fn rebuild_lists(ctx: &SubCtx<'_>, active: usize, report: &mut RepairReport) -> 
             last[class] = Some((rec_off, rec));
         }
         dev.write_pod(ctx.level_count_off(level), &live)?;
+        // A stale identity checksum means records (or the checksum line
+        // itself) were destroyed, not that the level was this empty all
+        // along — report the discrepancy, then write the recomputed sum
+        // so the repaired heap audits clean.
+        let stored: u64 = dev.read_pod(ctx.level_sum_off(level))?;
+        if stored != sum {
+            report.level_sums_mismatched += 1;
+        }
+        dev.write_pod(ctx.level_sum_off(level), &sum)?;
     }
     for (class, tail) in last.iter().enumerate() {
         if let Some((off, _)) = tail {
@@ -378,6 +412,160 @@ fn rebuild_lists(ctx: &SubCtx<'_>, active: usize, report: &mut RepairReport) -> 
         }
     }
     Ok(())
+}
+
+/// Repairs the huge-object region: scrubs its metadata, rebuilds a lost
+/// header, replays (or discards) the undo log, and reconstructs the
+/// extent table as a valid tiling of the data region. Reconstruction is
+/// conservative: implausible slots are dropped, the coverage holes they
+/// leave become `QUARANTINED` extents (never `FREE` — the bytes may hold
+/// a live allocation whose record was destroyed), and quarantined
+/// extents are never auto-released.
+fn repair_huge(dev: &PmemDevice, layout: &HeapLayout, report: &mut RepairReport) -> Result<()> {
+    if layout.huge_data_size == 0 {
+        return Ok(());
+    }
+    let ctx = HugeCtx { dev, layout };
+    let meta = ctx.meta_base();
+
+    // Header page, then the undo log: same policy as a sub-heap — a
+    // destroyed header takes its log generation with it, so the log is
+    // discarded rather than replayed at an unknown generation.
+    let header_destroyed = dev.is_poisoned(meta, CACHE_LINE_SIZE);
+    report.lines_scrubbed += scrub_range(dev, meta, HUGE_UNDO_OFF)?.len() as u64;
+    if header_destroyed || ctx.header()?.magic != HUGE_MAGIC {
+        let header = HugeHeader {
+            magic: HUGE_MAGIC,
+            version: FORMAT_VERSION,
+            _pad: 0,
+            undo_gen: 0,
+            data_size: layout.huge_data_size,
+        };
+        dev.write_pod(meta, &header)?;
+        report.lines_scrubbed += scrub_range(dev, meta + HUGE_UNDO_OFF, HUGE_UNDO_SIZE)?.len() as u64;
+        dev.punch_hole(meta + HUGE_UNDO_OFF, HUGE_UNDO_SIZE)?;
+        report.huge_header_rebuilt = true;
+        report.undo_logs_truncated += 1;
+    } else {
+        let undo_cleared = scrub_range(dev, meta + HUGE_UNDO_OFF, HUGE_UNDO_SIZE)?;
+        if !undo_cleared.is_empty() {
+            report.undo_logs_truncated += 1;
+        }
+        report.lines_scrubbed += undo_cleared.len() as u64;
+        if undo::replay(dev, ctx.undo_area())? {
+            report.undo_logs_replayed += 1;
+        }
+    }
+
+    // Extent table: scrub, then keep only plausible records.
+    let table_base = ctx.slot_off(0);
+    let table_len = HUGE_EXTENT_SLOTS as u64 * crate::layout::EXTENT_RECORD_SIZE;
+    report.lines_scrubbed += scrub_range(dev, table_base, table_len)?.len() as u64;
+    let mut kept: Vec<ExtentRecord> = Vec::new();
+    for slot in 0..HUGE_EXTENT_SLOTS {
+        let rec: ExtentRecord = dev.read_pod(ctx.slot_off(slot))?;
+        if rec.state == state::EMPTY {
+            continue;
+        }
+        let plausible = matches!(rec.state, state::FREE | state::ALLOC | state::QUARANTINED)
+            && rec.len > 0
+            && rec.offset.is_multiple_of(PAGE_SIZE)
+            && rec.len.is_multiple_of(PAGE_SIZE)
+            && rec.offset.checked_add(rec.len).is_some_and(|end| end <= layout.huge_data_size);
+        if plausible {
+            kept.push(rec);
+        } else {
+            report.huge_slots_dropped += 1;
+        }
+    }
+
+    // Sorted, non-overlapping: on a collision the earlier extent wins
+    // and the later one is dropped (its uncovered bytes fall into the
+    // quarantined holes below).
+    kept.sort_by_key(|r| r.offset);
+    let mut cursor = 0u64;
+    kept.retain(|r| {
+        if r.offset < cursor {
+            report.huge_slots_dropped += 1;
+            false
+        } else {
+            cursor = r.offset + r.len;
+            true
+        }
+    });
+
+    // Rebuild full coverage: holes become QUARANTINED, poisoned FREE
+    // extents become QUARANTINED, everything else survives as-is.
+    let poison = dev.scrub();
+    let data_base = ctx.data_base();
+    let mut rebuilt: Vec<ExtentRecord> = Vec::new();
+    let mut cursor = 0u64;
+    let push = |rebuilt: &mut Vec<ExtentRecord>, rec: ExtentRecord| {
+        match rebuilt.last_mut() {
+            // Coalesce eagerly: the audit rejects adjacent same-state
+            // FREE extents, and merging QUARANTINED runs saves slots.
+            Some(last)
+                if last.state == rec.state
+                    && rec.state != state::ALLOC
+                    && last.offset + last.len == rec.offset =>
+            {
+                last.len += rec.len;
+            }
+            _ => rebuilt.push(rec),
+        }
+    };
+    for mut rec in kept {
+        if rec.offset > cursor {
+            report.huge_bytes_quarantined += rec.offset - cursor;
+            push(&mut rebuilt, extent_rec(cursor, rec.offset - cursor, state::QUARANTINED));
+        }
+        if rec.state == state::FREE && quarantine::overlaps_any(&poison, data_base + rec.offset, rec.len) {
+            report.huge_bytes_quarantined += rec.len;
+            rec.state = state::QUARANTINED;
+        }
+        cursor = rec.offset + rec.len;
+        push(&mut rebuilt, rec);
+    }
+    if cursor < layout.huge_data_size {
+        report.huge_bytes_quarantined += layout.huge_data_size - cursor;
+        push(&mut rebuilt, extent_rec(cursor, layout.huge_data_size - cursor, state::QUARANTINED));
+    }
+
+    // Pathological fallback: if the rebuilt tiling needs more slots than
+    // the table holds (only possible when holes interleave with ~1024
+    // surviving records), sacrifice the smallest FREE — then ALLOC —
+    // extents into quarantine until it fits. Terminates: each pass
+    // converts one extent to QUARANTINED, and an all-QUARANTINED tiling
+    // merges to a single extent.
+    while rebuilt.len() > HUGE_EXTENT_SLOTS {
+        let victim = rebuilt
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.state != state::QUARANTINED)
+            .min_by_key(|(_, r)| (r.state == state::ALLOC, r.len))
+            .map(|(i, _)| i)
+            .expect("an over-capacity tiling has non-quarantined extents");
+        report.huge_slots_dropped += 1;
+        report.huge_bytes_quarantined += rebuilt[victim].len;
+        rebuilt[victim].state = state::QUARANTINED;
+        let mut merged: Vec<ExtentRecord> = Vec::with_capacity(rebuilt.len());
+        for rec in rebuilt {
+            push(&mut merged, rec);
+        }
+        rebuilt = merged;
+    }
+
+    for slot in 0..HUGE_EXTENT_SLOTS {
+        let rec = rebuilt.get(slot).copied().unwrap_or(extent_rec(0, 0, state::EMPTY));
+        dev.write_pod(ctx.slot_off(slot), &rec)?;
+    }
+    dev.persist(meta, layout.huge_meta_size())?;
+    Ok(())
+}
+
+/// Shorthand for a live [`ExtentRecord`].
+fn extent_rec(offset: u64, len: u64, state: u32) -> ExtentRecord {
+    ExtentRecord { offset, len, state, _pad: 0, _reserved: 0 }
 }
 
 /// Clears every poisoned line inside `[offset, offset + len)` (the device
@@ -491,6 +679,35 @@ mod tests {
     }
 
     #[test]
+    fn lost_level_records_are_flagged_by_the_identity_checksum() {
+        let (dev, _) = build_heap();
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        let ctx = SubCtx { dev: &dev, layout: &layout, sub: 0 };
+        // Destroy one live record *and* its level's live-count word: the
+        // rebuilt count then matches the surviving records, so without an
+        // independent witness the level would look like it never held the
+        // record. The identity checksum (a different line) still carries
+        // the lost key and flags the damage.
+        let victim = (0..layout.level_capacity(0))
+            .map(|i| layout.level_base(0, 0) + i * ENTRY_SIZE)
+            .find(|&off| matches!(ctx.entry(off).unwrap().state, state::FREE | state::ALLOC))
+            .expect("a live record exists");
+        dev.poison(victim, 1).unwrap();
+        dev.poison(ctx.level_count_off(0), 1).unwrap();
+
+        let report = repair(&dev).unwrap();
+        assert_eq!(report.level_sums_mismatched, 1, "checksum must flag the lost record");
+        assert_eq!(report.entries_tombstoned, 1);
+
+        // The recomputed checksum was written back: the heap audits clean
+        // and a second pass sees a genuinely consistent (not emptied) level.
+        let heap = reload_and_audit(&dev);
+        heap.close().unwrap();
+        let second = repair(&dev).unwrap();
+        assert_eq!(second.level_sums_mismatched, 0);
+    }
+
+    #[test]
     fn poisoned_free_block_stays_quarantined_and_returns_after_clear() {
         let (dev, _) = build_heap();
         let layout = HeapLayout::compute(64 << 20, 2).unwrap();
@@ -554,6 +771,69 @@ mod tests {
         let (dev, _) = build_heap();
         dev.poison(0, 1).unwrap();
         assert!(matches!(repair(&dev), Err(PoseidonError::MediaError { .. })));
+    }
+
+    #[test]
+    fn poisoned_huge_header_is_rebuilt_and_extents_survive() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let heap = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        let big = heap.alloc(layout.max_alloc() + 1).unwrap();
+        heap.close().unwrap();
+        dev.poison(layout.huge_meta_base(), 1).unwrap();
+
+        // Load-time recovery can only quarantine the region wholesale.
+        let h = PoseidonHeap::load(dev.clone(), HeapConfig::new()).unwrap();
+        assert!(h.recovery_report().huge_region_quarantined);
+        assert!(matches!(h.alloc(layout.max_alloc() + 1), Err(PoseidonError::SubheapQuarantined { .. })));
+        assert!(h.huge_audit().unwrap().is_none());
+        h.close().unwrap();
+
+        // Repair rebuilds the header; the extent table was never damaged.
+        let report = repair(&dev).unwrap();
+        assert!(report.huge_header_rebuilt);
+        assert_eq!(report.huge_slots_dropped, 0);
+        let heap = reload_and_audit(&dev);
+        assert!(!heap.recovery_report().huge_region_quarantined);
+        let audit = heap.huge_audit().unwrap().expect("huge region live again");
+        assert_eq!(audit.alloc_extents, 1);
+        heap.free(big).unwrap();
+        assert_eq!(heap.huge_audit().unwrap().unwrap().alloc_extents, 0);
+    }
+
+    #[test]
+    fn destroyed_extent_slots_leave_a_quarantined_hole() {
+        use crate::layout::{EXTENT_RECORD_SIZE, HUGE_TABLE_OFF};
+
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let heap = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(4)).unwrap();
+        let layout = HeapLayout::compute(64 << 20, 4).unwrap();
+        let need = (layout.max_alloc() + pmem::PAGE_SIZE) & !(pmem::PAGE_SIZE - 1);
+        // Slot 0 = ALLOC a, slot 1 = ALLOC b, slot 2 = FREE remainder.
+        let a = heap.alloc(layout.max_alloc() + 1).unwrap();
+        let b = heap.alloc(layout.max_alloc() + 1).unwrap();
+        heap.close().unwrap();
+        // Destroy the cache line holding slots 2–3: the FREE remainder's
+        // record is lost, so its bytes must come back QUARANTINED.
+        dev.poison(layout.huge_meta_base() + HUGE_TABLE_OFF + 2 * EXTENT_RECORD_SIZE, 1).unwrap();
+
+        let report = repair(&dev).unwrap();
+        assert!(report.damage_found());
+        let hole = layout.huge_data_size - 2 * need;
+        assert_eq!(report.huge_bytes_quarantined, hole);
+
+        let heap = reload_and_audit(&dev);
+        let audit = heap.huge_audit().unwrap().unwrap();
+        assert_eq!(audit.alloc_extents, 2);
+        assert_eq!(audit.quarantined_bytes, hole);
+        assert_eq!(audit.free_bytes, 0);
+        // The surviving allocations are intact and freeable; the
+        // quarantined hole is never handed out again.
+        heap.free(a).unwrap();
+        heap.free(b).unwrap();
+        let audit = heap.huge_audit().unwrap().unwrap();
+        assert_eq!(audit.free_bytes, 2 * need);
+        assert_eq!(audit.quarantined_bytes, hole);
     }
 
     #[test]

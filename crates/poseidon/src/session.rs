@@ -157,7 +157,8 @@ impl<'a> OpSession<'a> {
 /// [`abort`](Self::abort); dropping without committing rolls back.
 #[derive(Debug)]
 pub(crate) struct UndoScope<'s, 'a> {
-    op: &'s OpSession<'a>,
+    view: &'s MetaView<'a>,
+    staged: &'s RefCell<StagedWrites>,
     core: LogCore,
 }
 
@@ -170,9 +171,25 @@ impl<'s, 'a> UndoScope<'s, 'a> {
     /// live entries from a crashed operation are present (recovery must
     /// run first), or a device error.
     pub fn begin(op: &'s OpSession<'a>) -> Result<UndoScope<'s, 'a>> {
-        debug_assert!(op.staged.borrow().is_empty(), "one undo scope per session at a time");
-        let core = LogCore::begin(op.view(), op.ctx.undo_area())?;
-        Ok(UndoScope { op, core })
+        Self::begin_raw(&op.view, &op.staged, op.ctx.undo_area())
+    }
+
+    /// Opens a scope on an arbitrary undo `area` through `view`, with
+    /// staged target writes accumulating in `staged` — the constructor
+    /// shared by sub-heap sessions and the huge-region session
+    /// (`hugeregion::HugeOp`), which carries its own view and overlay.
+    ///
+    /// # Errors
+    ///
+    /// As for [`begin`](Self::begin).
+    pub fn begin_raw(
+        view: &'s MetaView<'a>,
+        staged: &'s RefCell<StagedWrites>,
+        area: crate::undo::UndoArea,
+    ) -> Result<UndoScope<'s, 'a>> {
+        debug_assert!(staged.borrow().is_empty(), "one undo scope per session at a time");
+        let core = LogCore::begin(view, area)?;
+        Ok(UndoScope { view, staged, core })
     }
 
     /// Logs the current (overlay-visible) content of
@@ -186,8 +203,8 @@ impl<'s, 'a> UndoScope<'s, 'a> {
     /// [`PoseidonError::Corrupted`](crate::PoseidonError::Corrupted) on
     /// log overflow, or a device error.
     pub fn log_and_write(&mut self, target: u64, new: &[u8]) -> Result<()> {
-        let mut staged = self.op.staged.borrow_mut();
-        self.core.log_and_write(self.op.view(), &mut staged, target, new)
+        let mut staged = self.staged.borrow_mut();
+        self.core.log_and_write(self.view, &mut staged, target, new)
     }
 
     /// [`log_and_write`](Self::log_and_write) of a [`pmem::Pod`] value.
@@ -207,8 +224,8 @@ impl<'s, 'a> UndoScope<'s, 'a> {
     ///
     /// Device errors only.
     pub fn commit(mut self) -> Result<()> {
-        let mut staged = self.op.staged.borrow_mut();
-        self.core.commit(self.op.view(), &mut staged)
+        let mut staged = self.staged.borrow_mut();
+        self.core.commit(self.view, &mut staged)
     }
 
     /// Rolls the scope back: discards staged stores, restores every
@@ -219,8 +236,8 @@ impl<'s, 'a> UndoScope<'s, 'a> {
     /// Device errors only.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn abort(mut self) -> Result<()> {
-        let mut staged = self.op.staged.borrow_mut();
-        self.core.abort(self.op.view(), &mut staged)
+        let mut staged = self.staged.borrow_mut();
+        self.core.abort(self.view, &mut staged)
     }
 }
 
@@ -230,8 +247,8 @@ impl Drop for UndoScope<'_, '_> {
         // not leave half-applied metadata behind: roll back best-effort.
         // If the device has crashed, rollback fails harmlessly here and
         // recovery replays the log instead.
-        let mut staged = self.op.staged.borrow_mut();
-        self.core.drop_rollback(self.op.view(), &mut staged);
+        let mut staged = self.staged.borrow_mut();
+        self.core.drop_rollback(self.view, &mut staged);
     }
 }
 

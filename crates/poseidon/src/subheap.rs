@@ -258,6 +258,7 @@ pub(crate) fn audit(op: &OpSession<'_>) -> Result<SubheapAudit> {
     let mut tombstones = 0u64;
     for level in 0..active.min(crate::layout::MAX_LEVELS) {
         let mut live = 0u64;
+        let mut sum = 0u64;
         let base = op.ctx.layout.level_base(op.ctx.sub, level);
         for i in 0..op.ctx.layout.level_capacity(level) {
             let off = base + i * crate::layout::ENTRY_SIZE;
@@ -267,6 +268,7 @@ pub(crate) fn audit(op: &OpSession<'_>) -> Result<SubheapAudit> {
             }
             if e.state == state::FREE || e.state == state::ALLOC || e.state == state::QUARANTINED {
                 live += 1;
+                sum ^= hashtable::key_digest(e.offset);
                 if !e.size.is_power_of_two() || e.size < MIN_BLOCK {
                     return Err(PoseidonError::Corrupted("block size not a power of two"));
                 }
@@ -282,6 +284,14 @@ pub(crate) fn audit(op: &OpSession<'_>) -> Result<SubheapAudit> {
         let counted: u64 = op.read_pod(op.ctx.level_count_off(level))?;
         if counted != live {
             return Err(PoseidonError::Corrupted("level live count mismatch"));
+        }
+        // The identity checksum is an independent witness for the count:
+        // a zeroed count over a zeroed level passes the check above, but
+        // only a level that truly never held these records XORs to the
+        // stored sum.
+        let stored: u64 = op.read_pod(op.ctx.level_sum_off(level))?;
+        if stored != sum {
+            return Err(PoseidonError::Corrupted("level identity checksum mismatch"));
         }
     }
     // Non-overlap and bounds.

@@ -56,6 +56,7 @@ pub(crate) fn create(dev: &PmemDevice, layout: &HeapLayout, heap_id: u64) -> Res
         meta_size: layout.meta_size,
         user_size: layout.user_size,
         c0: layout.c0,
+        huge_data_size: layout.huge_data_size,
         undo_gen: 0,
         root: NvmPtr::NULL,
         _pad0: 0,
@@ -97,6 +98,7 @@ pub(crate) fn load(dev: &PmemDevice) -> Result<(SuperblockHeader, HeapLayout)> {
         meta_size: header.meta_size,
         user_size: header.user_size,
         c0: header.c0,
+        huge_data_size: header.huge_data_size,
     };
     // Geometry must be self-consistent.
     let recomputed = HeapLayout::compute(header.capacity, layout.num_subheaps)?;

@@ -624,6 +624,53 @@ mod tests {
     }
 
     #[test]
+    fn huge_allocations_commit_and_abort_transactionally() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(256 << 20)));
+        let heap = Arc::new(PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(16)).unwrap());
+        let max = heap.layout().max_alloc();
+        let size = 4 * max; // beyond every buddy class: extent-table path
+        assert!(3 * size <= heap.layout().huge_data_size, "huge region too small for the test geometry");
+        let pool = PtxPool::create(heap.clone()).unwrap();
+
+        // Commit: the extent survives and both ends of the payload are
+        // durable (the tail write also exercises huge block_size bounds).
+        let big = pool
+            .run(|tx| {
+                let big = tx.alloc(size)?;
+                tx.write_pod(big, 0, &0xB16_0B1Eu64)?;
+                tx.write_pod(big, size - 8, &0xCAFEu64)?;
+                tx.set_root(big)?;
+                Ok(big)
+            })
+            .unwrap();
+        let raw = heap.raw_offset(big).unwrap();
+        assert_eq!(dev.read_pod::<u64>(raw).unwrap(), 0xB16_0B1E);
+        assert_eq!(dev.read_pod::<u64>(raw + size - 8).unwrap(), 0xCAFE);
+        let huge = heap.huge_audit().unwrap().unwrap();
+        assert_eq!(huge.alloc_extents, 1);
+        assert_eq!(huge.alloc_bytes, size);
+
+        // Abort: the doomed extent is rolled back, the committed one
+        // stays.
+        let aborted: Result<(), PtxError> = pool.run(|tx| {
+            let doomed = tx.alloc(size)?;
+            tx.write_pod(doomed, 0, &7u64)?;
+            Err(PtxError::Aborted("huge alloc rolled back".into()))
+        });
+        assert!(matches!(aborted, Err(PtxError::Aborted(_))));
+        let huge = heap.huge_audit().unwrap().unwrap();
+        assert_eq!(huge.alloc_extents, 1);
+        assert_eq!(huge.alloc_bytes, size);
+
+        // A committed free coalesces the region back to one extent.
+        pool.run(|tx| tx.free(big)).unwrap();
+        let huge = heap.huge_audit().unwrap().unwrap();
+        assert_eq!(huge.alloc_extents, 0);
+        assert_eq!(huge.free_extents, 1);
+        assert_eq!(huge.free_bytes, heap.layout().huge_data_size);
+    }
+
+    #[test]
     fn panic_in_closure_rolls_back() {
         let (_dev, pool) = pool();
         let keeper = pool

@@ -279,6 +279,71 @@ mod tests {
     }
 
     #[test]
+    fn large_values_route_through_the_huge_region() {
+        use poseidon::{HeapConfig, PoseidonHeap};
+
+        // Values at 0.5x and 1x `max_alloc` stay on the buddy path;
+        // 4x crosses into the extent-table huge region. Each phase ends
+        // with audited balances: structural audit plus an extent count
+        // that matches exactly what the tree holds.
+        for (numerator, denominator, via_huge) in [(1u64, 2u64, false), (1, 1, false), (4, 1, true)] {
+            let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
+            let heap = Arc::new(PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(16)).unwrap());
+            let layout = *heap.layout();
+            let max = layout.max_alloc();
+            let value_size = max * numerator / denominator;
+            assert_eq!(via_huge, value_size > max);
+            if via_huge {
+                // Two live values plus one in-flight update copy.
+                assert!(
+                    3 * value_size <= layout.huge_data_size,
+                    "huge region {} too small for 3 x {value_size} values",
+                    layout.huge_data_size
+                );
+            }
+
+            let mut config = YcsbConfig::new(2, 2, 0);
+            config.value_size = value_size;
+            let (tree, load) = run_load(&heap, config);
+            assert_eq!(load.total_ops, 2, "{value_size}-byte load");
+            assert_eq!(tree.len(), 2);
+
+            // Updates allocate the fresh value before freeing the old
+            // one; run them single-threaded so at most one extra value
+            // is in flight. Sub-heap-sized values skip updates — one
+            // sub-heap cannot hold two `max_alloc` blocks at once.
+            let mut mix = config;
+            mix.threads = 1;
+            mix.ops_per_thread = 16;
+            let mixed = run_workload(&tree, mix, if via_huge { 500 } else { 0 });
+            assert_eq!(mixed.total_ops, 16, "{value_size}-byte workload");
+
+            heap.audit().unwrap();
+            let huge = heap.huge_audit().unwrap().expect("bench device carves a huge region");
+            if via_huge {
+                assert_eq!(huge.alloc_extents, 2, "one extent per live value");
+                assert_eq!(huge.alloc_bytes, 2 * value_size);
+            } else {
+                assert_eq!(huge.alloc_extents, 0, "<= max_alloc values must stay on the buddy path");
+                assert_eq!(huge.free_bytes, layout.huge_data_size);
+            }
+
+            // Release every value through the same allocator surface
+            // the tree used; the huge region must coalesce back into a
+            // single free extent covering the whole data region.
+            for i in 0..2u64 {
+                let value = tree.get(fnv(i)).expect("loaded key missing");
+                PersistentAllocator::free(&*heap, value).unwrap();
+            }
+            heap.audit().unwrap();
+            let huge = heap.huge_audit().unwrap().unwrap();
+            assert_eq!(huge.alloc_extents, 0);
+            assert_eq!(huge.free_extents, 1, "freed extents must coalesce");
+            assert_eq!(huge.free_bytes, layout.huge_data_size);
+        }
+    }
+
+    #[test]
     fn workload_e_scans_and_inserts() {
         let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(128 << 20)));
         let alloc: Arc<dyn PersistentAllocator> = AllocatorKind::Poseidon.build(dev);

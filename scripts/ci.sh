@@ -22,15 +22,26 @@ cargo test -q
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
+# The huge-object region's own test module gates merges explicitly
+# (extent-table invariants, routing, recovery, repair, transactions).
+echo "== cargo test -p poseidon huge (huge-region module)"
+cargo test -p poseidon -q huge
+
 # Fuzzers gate merges too, with fixed seeds for determinism: a bounded
 # crash-point sweep, and the same sweep with uncorrectable media errors
 # interleaved (every case must end in a clean recovery with accurate
-# quarantine accounting or a typed MediaError — never a panic).
+# quarantine accounting or a typed MediaError — never a panic). The
+# workload mixes huge allocations/frees and huge+micro spanning
+# transactions in with the small ops, and the harness checks the
+# extent-table invariant after every power cycle.
 echo "== crashfuzz --iters 50 --tx (fixed seed)"
 cargo run --release --bin crashfuzz -- --iters 50 --tx --seed 314159
 
 echo "== crashfuzz --iters 50 --tx --poison (fixed seed)"
 cargo run --release --bin crashfuzz -- --iters 50 --tx --poison --seed 314159
+
+echo "== crashfuzz --iters 40 --tx --poison (fixed seed, huge-heavy)"
+cargo run --release --bin crashfuzz -- --iters 40 --tx --poison --seed 271828
 
 echo "== pfsck tool tests"
 cargo test -q --test pfsck_tool

@@ -1,9 +1,12 @@
 //! `crashfuzz` — randomized crash-recovery fuzzing for the Poseidon stack.
 //!
-//! Each iteration drives a random allocator workload (plus optional `ptx`
-//! transactions), injects a device crash at a random mutation event, in
-//! strict or adversarial mode, recovers, and audits every structural
-//! invariant. With `--poison`, uncorrectable media errors are armed
+//! Each iteration drives a random allocator workload — small-block
+//! alloc/free, huge-path (extent allocator) alloc/free, transactional
+//! allocation both below and beyond the sub-heap cap, plus optional
+//! `ptx` transactions — injects a device crash at a random mutation
+//! event, in strict or adversarial mode, recovers, and audits every
+//! structural invariant, including the huge region's extent-table
+//! tiling. With `--poison`, uncorrectable media errors are armed
 //! alongside the crash point: every case must then end in either a
 //! successful load whose quarantine accounting matches the audit (and
 //! whose fresh allocations never overlap a poisoned line), or a clean
@@ -151,19 +154,22 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
 
     // Random workload with a random crash point, and (under --poison) a
     // random media-fault point that poisons recently written lines.
+    let max_alloc = heap.layout().max_alloc();
     dev.arm_crash_after(rng.below(500));
     if with_poison {
         dev.arm_poison_after(1 + rng.below(400), rng.next());
     }
     let mut live: Vec<NvmPtr> = Vec::new();
     'workload: for _ in 0..rng.below(80) + 10 {
-        match rng.below(10) {
+        match rng.below(11) {
             0..=4 => match heap.alloc(1 + rng.below(8192)) {
                 Ok(p) => live.push(p),
                 Err(PoseidonError::Device(_)) => break 'workload,
                 Err(_) => {}
             },
             5..=6 => {
+                // Frees hit small and huge pointers alike: `live` holds
+                // both, and the heap routes by the sub-heap sentinel.
                 if !live.is_empty() {
                     let index = rng.below(live.len() as u64) as usize;
                     let p = live.swap_remove(index);
@@ -173,15 +179,28 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
                 }
             }
             7 => {
-                // tx_alloc, randomly committed.
+                // tx_alloc, randomly committed, occasionally beyond the
+                // sub-heap cap so the spanning huge+micro scope is hit.
                 let commit = rng.below(2) == 0;
-                match heap.tx_alloc(1 + rng.below(512), commit) {
+                let size =
+                    if rng.below(6) == 0 { max_alloc + 1 + rng.below(1 << 20) } else { 1 + rng.below(512) };
+                match heap.tx_alloc(size, commit) {
                     Ok(p) if commit => live.push(p),
                     Ok(_) => {}
                     Err(PoseidonError::Device(_)) => break 'workload,
                     Err(_) => {
                         let _ = heap.tx_abort();
                     }
+                }
+            }
+            8 => {
+                // Huge-path allocation (extent allocator). TooLarge is
+                // routine: the region may be exhausted or (on one-sub
+                // geometries) smaller than the sub-heap cap.
+                match heap.alloc(max_alloc + 1 + rng.below(4 << 20)) {
+                    Ok(p) => live.push(p),
+                    Err(PoseidonError::Device(_)) => break 'workload,
+                    Err(_) => {}
                 }
             }
             _ => {
@@ -251,6 +270,22 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
     }
     if !with_poison && (recovery.media_damage_detected() || dev.poisoned_lines() > 0) {
         return Err("media damage reported without --poison".into());
+    }
+
+    // Extent-table invariant check, every power cycle: the audit walks
+    // the table and errors unless the non-empty slots form a sorted,
+    // page-granular, eagerly-coalesced tiling of the whole data region.
+    let huge = heap.huge_audit().map_err(|e| format!("huge audit: {e}"))?;
+    if layout.huge_data_size > 0 && !recovery.huge_region_quarantined && huge.is_none() {
+        return Err("huge region unavailable without being quarantined".into());
+    }
+    if let Some(huge) = &huge {
+        if huge.quarantined_bytes < recovery.huge_bytes_quarantined {
+            return Err(format!(
+                "huge audit sees {} quarantined bytes, recovery quarantined {}",
+                huge.quarantined_bytes, recovery.huge_bytes_quarantined
+            ));
+        }
     }
 
     if with_tx && !heap.root().map_err(|e| format!("root: {e}"))?.is_null() {

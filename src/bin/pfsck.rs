@@ -77,6 +77,24 @@ fn main() -> ExitCode {
                         report.bytes_quarantined >> 10,
                         report.blocks_released,
                     );
+                    if report.level_sums_mismatched > 0 {
+                        println!(
+                            "repair   : {} hash-table levels had lost records (identity checksum mismatch)",
+                            report.level_sums_mismatched
+                        );
+                    }
+                    if report.huge_header_rebuilt
+                        || report.huge_slots_dropped > 0
+                        || report.huge_bytes_quarantined > 0
+                    {
+                        println!(
+                            "repair   : huge region — header rebuilt: {}, {} extent slots dropped, \
+                             {} KiB quarantined",
+                            report.huge_header_rebuilt,
+                            report.huge_slots_dropped,
+                            report.huge_bytes_quarantined >> 10,
+                        );
+                    }
                 } else {
                     println!(
                         "repair   : no media damage found ({} sub-heaps checked)",
@@ -107,11 +125,22 @@ fn main() -> ExitCode {
         layout.user_size >> 20,
         layout.c0
     );
+    if layout.huge_data_size > 0 {
+        println!(
+            "geometry : huge region {} MiB (objects beyond the {} MiB sub-heap cap)",
+            layout.huge_data_size >> 20,
+            layout.max_alloc() >> 20
+        );
+    }
     let report = heap.last_recovery();
     if report.crash_detected() {
         println!(
-            "recovery : CRASH DETECTED — superblock undo: {}, sub-heap undos: {}, tx allocations reverted: {}",
-            report.superblock_undo_replayed, report.subheap_undos_replayed, report.tx_allocations_reverted
+            "recovery : CRASH DETECTED — superblock undo: {}, sub-heap undos: {}, huge undo: {}, \
+             tx allocations reverted: {}",
+            report.superblock_undo_replayed,
+            report.subheap_undos_replayed,
+            report.huge_undo_replayed,
+            report.tx_allocations_reverted
         );
     } else {
         println!("recovery : clean shutdown (no logs to replay)");
@@ -126,6 +155,15 @@ fn main() -> ExitCode {
         let quarantined = heap.quarantined_subheaps();
         if !quarantined.is_empty() {
             println!("media    : frozen sub-heaps {quarantined:?} — run pfsck --repair to rebuild them");
+        }
+        if report.huge_region_quarantined {
+            println!("media    : huge region frozen wholesale — run pfsck --repair to rebuild it");
+        } else if report.huge_extents_quarantined > 0 {
+            println!(
+                "media    : {} huge extents ({} KiB) quarantined",
+                report.huge_extents_quarantined,
+                report.huge_bytes_quarantined >> 10
+            );
         }
     }
     match heap.root() {
@@ -185,6 +223,34 @@ fn main() -> ExitCode {
                     println!("             class {class:>2} ({:>9} B): {count} free", 32u64 << class);
                 }
             }
+        }
+    }
+    match heap.huge_audit() {
+        Ok(Some(huge)) => {
+            println!(
+                "huge     : {:>7} extents ({:>6} allocated), {:>8} KiB live, {:>8} KiB free, \
+                 largest free {} KiB",
+                huge.free_extents + huge.alloc_extents + huge.quarantined_extents,
+                huge.alloc_extents,
+                huge.alloc_bytes >> 10,
+                huge.free_bytes >> 10,
+                huge.largest_free >> 10,
+            );
+            if huge.quarantined_extents > 0 {
+                println!(
+                    "             {} extents ({} KiB) quarantined after media errors",
+                    huge.quarantined_extents,
+                    huge.quarantined_bytes >> 10
+                );
+            }
+            total_alloc += huge.alloc_bytes;
+            total_free += huge.free_bytes;
+            total_quarantined += huge.quarantined_bytes;
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("pfsck: STRUCTURAL CORRUPTION in the huge region: {e}");
+            return ExitCode::from(1);
         }
     }
     let quarantine_note = if total_quarantined > 0 {
