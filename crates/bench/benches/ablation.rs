@@ -20,11 +20,13 @@ fn main() {
     let harness = Harness::from_args();
     let mut group = harness.group("ablation");
     group.sample_size(10).throughput_elements(THREADS as u64 * OPS_PER_THREAD);
-    let variants: [(&str, HeapConfig); 4] = [
+    let variants: [(&str, HeapConfig); 6] = [
         ("mpk-on", HeapConfig::new()),
         ("mpk-off", HeapConfig::new().without_protection()),
         ("per-cpu-subheaps", HeapConfig::new()),
         ("single-subheap", HeapConfig::new().with_subheaps(1)),
+        ("cache-on", HeapConfig::new()),
+        ("cache-off", HeapConfig::new().without_cache()),
     ];
     for (name, config) in variants {
         let h = heap(config);
@@ -35,6 +37,7 @@ fn main() {
     group.finish();
     validation_ablation();
     persistence_ablation();
+    cache_ablation();
     huge_path_ablation();
 }
 
@@ -42,10 +45,12 @@ fn main() {
 /// alloc/free hot path. Before the checked-session refactor every
 /// metadata word access ran its own bounds/protection/poison sequence,
 /// so the per-word column is exactly what the validation count used to
-/// be; the per-op column is what `map_meta` costs now.
+/// be; the per-op column is what `map_meta` costs now. Runs with the
+/// transient cache off — this measures the slow path, and warm cached
+/// pairs touch no metadata words at all (see `cache_ablation`).
 fn validation_ablation() {
     const OPS: u64 = 10_000;
-    let h = heap(HeapConfig::new());
+    let h = heap(HeapConfig::new().without_cache());
     // Warm up so steady state excludes sub-heap creation and hash-table
     // level activation.
     let mut warm = Vec::new();
@@ -83,10 +88,13 @@ fn validation_ablation() {
 /// counters — per-word is one `clwb`+`sfence` pair per logged 8-byte
 /// word (plus the commit fence and generation bump every protocol
 /// needs), per-entry is the pre-batching eager code (one pair per log
-/// entry plus the same two commit fences).
+/// entry plus the same two commit fences). Runs with the transient
+/// cache off: this pins the *slow path's* fence budget (the batched
+/// commit's 3.00 sfences/op); the cached fast path's 0.00/op is
+/// `cache_ablation`'s row.
 fn persistence_ablation() {
     const OPS: u64 = 10_000;
-    let h = heap(HeapConfig::new());
+    let h = heap(HeapConfig::new().without_cache());
     let mut warm = Vec::new();
     for _ in 0..64 {
         warm.push(h.alloc(256).expect("warm alloc"));
@@ -135,6 +143,68 @@ fn persistence_ablation() {
         2.0 * per_word_sfences as f64 / ops as f64,
         2.0 * sfences as f64 / ops as f64
     );
+}
+
+/// Transient-cache ablation (DESIGN.md §11): the warm alloc/free pair
+/// with the magazine cache on vs off. The cached row's fence, flush and
+/// lock columns are the design's acceptance bar — 0.00/op, pure DRAM —
+/// while the uncached row is the §9 batched slow path every operation
+/// used to take. The hit-rate line shows how much of the cached run the
+/// magazines absorbed (the remainder is refill/drain batches, each one
+/// two-fence commit amortised over a magazine of blocks).
+fn cache_ablation() {
+    const OPS: u64 = 10_000;
+    println!("\nablation/transient-cache (alloc+free hot path, {} ops)", OPS * 2);
+    for (name, config) in [("cache-on", HeapConfig::new()), ("cache-off", HeapConfig::new().without_cache())]
+    {
+        let h = heap(config);
+        pmem::numa::set_current_cpu(0);
+        let mut warm = Vec::new();
+        for _ in 0..64 {
+            warm.push(h.alloc(256).expect("warm alloc"));
+        }
+        for p in warm {
+            h.free(p).expect("warm free");
+        }
+        let locks_before: u64 = h.contention_profile().iter().map(|p| p.acquisitions).sum();
+        let before = h.device().stats();
+        let start = std::time::Instant::now();
+        for _ in 0..OPS {
+            let p = h.alloc(256).expect("alloc");
+            h.free(p).expect("free");
+        }
+        let elapsed = start.elapsed();
+        let after = h.device().stats();
+        let locks = h.contention_profile().iter().map(|p| p.acquisitions).sum::<u64>() - locks_before;
+        let ops = OPS * 2;
+        println!(
+            "  {:<9} {:>7.0} ns/op, {:>5.2} sfences/op, {:>5.2} clwbs/op, {:>5.2} locks/op",
+            name,
+            elapsed.as_nanos() as f64 / ops as f64,
+            (after.sfence_count - before.sfence_count) as f64 / ops as f64,
+            (after.clwb_count - before.clwb_count) as f64 / ops as f64,
+            locks as f64 / ops as f64,
+        );
+        let mut totals = pmem::CacheStats::default();
+        for profile in h.contention_profile() {
+            if let Some(cache) = profile.cache {
+                totals.hits += cache.hits;
+                totals.misses += cache.misses;
+                totals.refills += cache.refills;
+                totals.drains += cache.drains;
+            }
+        }
+        if totals.hits + totals.misses > 0 {
+            println!(
+                "            cache: {:.1}% hit rate ({} hits, {} misses, {} refills, {} drains)",
+                100.0 * totals.hit_rate(),
+                totals.hits,
+                totals.misses,
+                totals.refills,
+                totals.drains
+            );
+        }
+    }
 }
 
 /// Huge-path ablation: alloc/free cost and fence budget across the

@@ -154,6 +154,40 @@ fn digest() {
         huge.alloc_bytes >> 10,
         huge.largest_free >> 10
     );
+
+    // Cache-behaviour digest: a fixed single-threaded alloc/free mix
+    // through the transient cache. The hit/miss/refill/drain counters
+    // are a pure function of the seed and the cache policy, so any
+    // change to magazine sizing, the footprint gate, or refill batching
+    // shows up here before it shows up as a benchmark regression.
+    const CACHE_SEED: u64 = 0xCAC4E;
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
+    let heap = PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(1)).expect("heap");
+    pmem::numa::set_current_cpu(0);
+    let mut rng = Xorshift::new(CACHE_SEED);
+    let mut live = Vec::new();
+    for _ in 0..4096 {
+        if !live.is_empty() && rng.below(2) == 0 {
+            let victim = live.swap_remove(rng.below(live.len() as u64) as usize);
+            heap.free(victim).expect("cached free");
+        } else if let Ok(ptr) = heap.alloc(1 + rng.below(4096)) {
+            live.push(ptr);
+        }
+    }
+    for ptr in live {
+        heap.free(ptr).expect("drain free");
+    }
+    let profile = heap.contention_profile();
+    let cache = profile[0].cache.expect("cache stats");
+    println!("\n## Cache-behaviour digest (4096 mixed ops <= 4 KiB, seed {CACHE_SEED:#x})");
+    println!(
+        "  {} hits / {} misses / {} refills / {} drains — {:.1}% hit rate",
+        cache.hits,
+        cache.misses,
+        cache.refills,
+        cache.drains,
+        100.0 * cache.hit_rate()
+    );
 }
 
 /// Runs `work` for each allocator and thread count (fresh pool per
@@ -554,4 +588,60 @@ fn ablation(options: &Options) {
         ("tracking-on", threads.iter().map(|&t| run_poseidon(HeapConfig::new(), true, t)).collect()),
     ];
     print_panel("Ablation — device crash-tracking overhead (substrate, not the paper)", &series);
+
+    // (d) Transient cache on vs off (DESIGN.md §11): the magazine fast
+    // path against every operation taking the undo-logged buddy, on the
+    // fig6-style micro mix and Larson's free-heavy server mix.
+    let series: Vec<(&str, Vec<Point>)> = vec![
+        ("cache-on", threads.iter().map(|&t| run_poseidon(HeapConfig::new(), false, t)).collect()),
+        (
+            "cache-off",
+            threads.iter().map(|&t| run_poseidon(HeapConfig::new().without_cache(), false, t)).collect(),
+        ),
+    ];
+    print_panel("Ablation — transient cache vs slow-path-only (256B micro)", &series);
+
+    let duration = if options.full { Duration::from_secs(2) } else { Duration::from_millis(300) };
+    let run_larson = |config: HeapConfig, t: usize| -> Point {
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let topology = pmem::NumaTopology::new(2, host.max(64));
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(64 << 30).with_topology(topology)));
+        let heap = PoseidonHeap::create(dev, config).expect("heap");
+        measure(&heap, |a| larson::run(a, larson::LarsonConfig::new(t, duration)))
+    };
+    let series: Vec<(&str, Vec<Point>)> = vec![
+        ("cache-on", threads.iter().map(|&t| run_larson(HeapConfig::new(), t)).collect()),
+        ("cache-off", threads.iter().map(|&t| run_larson(HeapConfig::new().without_cache(), t)).collect()),
+    ];
+    print_panel(&format!("Ablation — transient cache, Larson mix ({duration:?} per point)"), &series);
+
+    // The fence budget behind the panels: a warm single-threaded
+    // alloc/free pair costs zero fences through the cache, 3.00/op
+    // amortised through the batched slow path.
+    println!("\n## Ablation — fences per operation (warm 256B alloc/free pairs)");
+    for (name, config) in [("cache-on", HeapConfig::new()), ("cache-off", HeapConfig::new().without_cache())]
+    {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(8 << 30)));
+        let heap = PoseidonHeap::create(dev.clone(), config).expect("heap");
+        pmem::numa::set_current_cpu(0);
+        let mut warm = Vec::new();
+        for _ in 0..64 {
+            warm.push(heap.alloc(256).expect("warm alloc"));
+        }
+        for p in warm {
+            heap.free(p).expect("warm free");
+        }
+        let before = dev.stats();
+        for _ in 0..ops {
+            let p = heap.alloc(256).expect("alloc");
+            heap.free(p).expect("free");
+        }
+        let after = dev.stats();
+        println!(
+            "  {:<9} {:>6.2} sfences/op, {:>6.2} clwbs/op",
+            name,
+            (after.sfence_count - before.sfence_count) as f64 / (2 * ops) as f64,
+            (after.clwb_count - before.clwb_count) as f64 / (2 * ops) as f64
+        );
+    }
 }

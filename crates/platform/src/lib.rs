@@ -22,11 +22,19 @@
 //!   the input size budget.
 //! * [`bench`] — a minimal timing harness (warmup, N samples,
 //!   median/p95) for `cargo bench`-compatible harness-less binaries.
+//! * [`percpu`] — a fixed array of CAS-claimed, cache-padded per-CPU
+//!   slots ([`percpu::PerCpuSlots`]), the substrate for transient
+//!   per-CPU caches.
+//! * [`lockfree`] — bounded lock-free value pools
+//!   ([`lockfree::SlotPool`]), ABA-free by storing values rather than
+//!   nodes.
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod check;
+pub mod lockfree;
+pub mod percpu;
 pub mod rng;
 pub mod sync;
 pub mod thread;

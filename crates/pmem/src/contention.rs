@@ -23,6 +23,35 @@ pub fn thread_cpu_ns() -> u64 {
     platform::thread::cpu_time_ns()
 }
 
+/// Counters of a transient cache layer sitting in front of one lock.
+///
+/// A resource that serves most requests from a lock-free DRAM cache only
+/// serialises on its *misses*; these counters, reported next to the
+/// lock's own numbers, make that visible through the same profile API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served entirely from the cache (no lock, no fence).
+    pub hits: u64,
+    /// Requests that fell through to the locked slow path.
+    pub misses: u64,
+    /// Batch refills of the cache from the backing resource.
+    pub refills: u64,
+    /// Batch drains of the cache back to the backing resource.
+    pub drains: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Serial-time statistics of one lock instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockProfile {
@@ -32,6 +61,9 @@ pub struct LockProfile {
     pub held_ns: u64,
     /// Number of acquisitions.
     pub acquisitions: u64,
+    /// Counters of the transient cache fronting this lock, when one
+    /// exists (`None` for plain uncached locks).
+    pub cache: Option<CacheStats>,
 }
 
 impl LockProfile {
@@ -70,6 +102,7 @@ impl<T> TrackedMutex<T> {
             name: name.into(),
             held_ns: self.held_ns.load(Ordering::Relaxed),
             acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            cache: None,
         }
     }
 
@@ -148,8 +181,12 @@ mod tests {
 
     #[test]
     fn effective_serial_adds_handoffs() {
-        let p = LockProfile { name: "l".into(), held_ns: 1000, acquisitions: 10 };
+        let p = LockProfile { name: "l".into(), held_ns: 1000, acquisitions: 10, cache: None };
         assert_eq!(p.effective_serial_ns(150), 1000 + 1500);
+
+        let hot = CacheStats { hits: 95, misses: 5, refills: 2, drains: 1 };
+        assert!((hot.hit_rate() - 0.95).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -84,7 +84,7 @@ mod view;
 
 pub use batch::FlushBatch;
 pub use cache::{CrashMode, CACHE_LINE_SIZE};
-pub use contention::{LockProfile, TrackedMutex};
+pub use contention::{CacheStats, LockProfile, TrackedMutex};
 pub use cost::CostModel;
 pub use device::{DeviceConfig, PmemDevice, PAGE_SIZE};
 pub use error::PmemError;

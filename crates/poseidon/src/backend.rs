@@ -1,0 +1,137 @@
+//! Persistent slow path: undo-logged buddy allocation behind the cache.
+//!
+//! The methods here are the media-touching half of the allocator split
+//! introduced with the transient caching layer ([`crate::frontend`]).
+//! Every path below opens an [`crate::session::OpSession`] (sub-heap
+//! lock + MPK write window + metadata validation) and commits through
+//! the two-fence undo protocol — exactly the PR-4 cost model. The
+//! frontend calls in here only on cache misses, refills, drains and
+//! publishes; uncacheable sizes come straight through.
+
+use std::sync::atomic::Ordering;
+
+use crate::error::{PoseidonError, Result};
+use crate::hashtable;
+use crate::heap::PoseidonHeap;
+use crate::hugeregion::{self, HUGE_SUBHEAP};
+use crate::layout::class_for_size;
+use crate::nvmptr::NvmPtr;
+use crate::subheap;
+
+impl PoseidonHeap {
+    /// Returns `preferred` unless that sub-heap is quarantined, in which
+    /// case the nearest healthy neighbour (mod scan) serves instead.
+    pub(crate) fn healthy_sub(&self, preferred: u16) -> Result<u16> {
+        let n = self.layout.num_subheaps;
+        for step in 0..n {
+            let sub = (preferred + step) % n;
+            if !self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
+                return Ok(sub);
+            }
+        }
+        Err(PoseidonError::SubheapQuarantined { subheap: preferred })
+    }
+
+    /// Allocates from a specific sub-heap through the full persistent
+    /// path. `micro` optionally records the new block in a transaction's
+    /// micro log within the same undo scope.
+    pub(crate) fn alloc_on(&self, sub: u16, size: u64, micro: Option<(u64, usize)>) -> Result<NvmPtr> {
+        if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
+            return Err(PoseidonError::SubheapQuarantined { subheap: sub });
+        }
+        if size == 0 {
+            return Err(PoseidonError::ZeroSize);
+        }
+        if size > self.layout.max_alloc() {
+            // Beyond every buddy class: served by the huge-object region
+            // (page-granular extents) under the same pointer surface.
+            return self.huge_alloc(sub, size, micro);
+        }
+        let (class, _rounded) = class_for_size(size)?;
+        self.ensure_subheap(sub)?;
+        let op = self.begin_op(sub)?;
+        // Note: no table-shrink probe here. Allocation only ever *adds*
+        // records, so the top level cannot become empty on this path; the
+        // probe runs on free and defragment, where levels actually drain.
+        let offset = subheap::alloc_block(&op, class, micro)?;
+        drop(op);
+        self.ops.allocs.fetch_add(1, Ordering::Relaxed);
+        Ok(NvmPtr::new(self.heap_id, sub, offset))
+    }
+
+    /// Allocates an extent from the huge-object region.
+    fn huge_alloc(&self, sub: u16, size: u64, micro: Option<(u64, usize)>) -> Result<NvmPtr> {
+        if self.layout.huge_data_size == 0 {
+            return Err(PoseidonError::TooLarge {
+                requested: size,
+                subheap_max: self.layout.max_alloc(),
+                huge_remaining: 0,
+            });
+        }
+        let offset = match micro {
+            None => hugeregion::alloc(&self.begin_huge()?, size, None)?,
+            Some((heap_id, slot)) => {
+                // The micro-log slot lives in the transaction's sub-heap;
+                // make sure it exists before mapping the spanning view.
+                // Lock order: sb_lock (inside ensure) strictly before the
+                // huge lock; the sub lock is never taken on this path —
+                // the slot is exclusively claimed via the tx bitmap.
+                self.ensure_subheap(sub)?;
+                if self.huge_quarantined.load(Ordering::Acquire) {
+                    return Err(PoseidonError::SubheapQuarantined { subheap: HUGE_SUBHEAP });
+                }
+                let pkru = self.write_guard();
+                let lock = self.huge_lock.lock();
+                let op = hugeregion::HugeOp::spanning(self.huge_ctx(), sub, lock, pkru)?;
+                hugeregion::alloc(&op, size, Some(hugeregion::MicroHook { heap_id, sub, slot }))?
+            }
+        };
+        self.ops.allocs.fetch_add(1, Ordering::Relaxed);
+        Ok(NvmPtr::new(self.heap_id, HUGE_SUBHEAP, offset))
+    }
+
+    /// Frees a huge-region extent.
+    pub(crate) fn free_huge(&self, ptr: NvmPtr) -> Result<()> {
+        match hugeregion::free(&self.begin_huge()?, ptr.offset()) {
+            Ok(_) => {
+                self.note_free();
+                Ok(())
+            }
+            Err(e @ (PoseidonError::InvalidFree { .. } | PoseidonError::DoubleFree { .. })) => {
+                self.note_rejected_free();
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Frees a buddy block through the full persistent path (undo-logged
+    /// state flip, merge cascade, table-shrink probe).
+    pub(crate) fn free_slow(&self, ptr: NvmPtr) -> Result<()> {
+        let sub = ptr.subheap();
+        if !self.slots[sub as usize].created.load(Ordering::Acquire) {
+            return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
+        }
+        if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
+            return Err(PoseidonError::SubheapQuarantined { subheap: sub });
+        }
+        let op = self.begin_op(sub)?;
+        match subheap::free_block(&op, ptr.offset()) {
+            Ok(_) => {
+                // Frees drain table levels; probe (two view reads) and
+                // shrink here so the alloc hot path never pays for it.
+                if hashtable::shrink_would_release(&op)? {
+                    hashtable::shrink(&op)?;
+                }
+                drop(op);
+                self.note_free();
+                Ok(())
+            }
+            Err(e @ (PoseidonError::InvalidFree { .. } | PoseidonError::DoubleFree { .. })) => {
+                self.note_rejected_free();
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -20,23 +20,29 @@ use crate::buddy;
 use crate::error::Result;
 use crate::hashtable;
 use crate::layout::class_for_size;
-use crate::persist::state;
+use crate::persist::{state, FLAG_CACHED};
 use crate::session::OpSession;
 
 /// Merges the FREE block recorded at `rec_off` with its buddy, cascading
 /// to larger classes while possible. Returns the number of merges.
+///
+/// Cache-managed records (`FLAG_CACHED`) are ineligible on either side:
+/// they are media-FREE but *withdrawn* from the free lists, so unlinking
+/// one here would corrupt list pointers — and the block may be in the
+/// application's hands via the cached fast path.
 pub(crate) fn merge_cascade(op: &OpSession<'_>, mut rec_off: u64) -> Result<u64> {
     let mut merged = 0;
     loop {
         let rec = op.entry(rec_off)?;
-        if rec.state != state::FREE {
+        if rec.state != state::FREE || rec.flags & FLAG_CACHED != 0 {
             return Ok(merged);
         }
         let buddy_key = rec.offset ^ rec.size;
         let Some((buddy_off, buddy_rec)) = hashtable::lookup(op, buddy_key)? else {
             return Ok(merged);
         };
-        if buddy_rec.state != state::FREE || buddy_rec.size != rec.size {
+        if buddy_rec.state != state::FREE || buddy_rec.flags & FLAG_CACHED != 0 || buddy_rec.size != rec.size
+        {
             return Ok(merged);
         }
 

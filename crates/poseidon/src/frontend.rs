@@ -1,0 +1,687 @@
+//! The transient caching layer: lock-free per-CPU magazines and transfer
+//! pools in front of the persistent buddy allocator.
+//!
+//! The persistent slow path pays a sub-heap mutex, a metadata-range
+//! validation, and a two-fence undo commit per operation. This layer
+//! amortises all three: a *magazine* of recently freed blocks per CPU and
+//! a lock-free *transfer pool* per sub-heap serve repeat
+//! allocate/free cycles with a handful of atomic operations — **zero
+//! locks, zero fences, zero device traffic**.
+//!
+//! Everything here is DRAM-only. The persistent invariant is brutal on
+//! purpose: every cache-managed block stays `FREE` on media, carrying
+//! [`FLAG_CACHED`](crate::persist::FLAG_CACHED) and unlinked from its
+//! buddy list (withdrawn in one batched, undo-logged *refill*). A crash
+//! at any instant therefore needs no cache-specific recovery — load-time
+//! reconciliation just relinks flagged records as free. The flip side is
+//! the durability contract: a cached allocation that was never
+//! *published* (via `set_root` or a clean close, which flip checked-out
+//! blocks to `ALLOC` in one batch) evaporates across a crash, exactly
+//! like a DRAM `malloc`.
+//!
+//! Block ownership is tracked by a per-sub-heap **residency map**: a
+//! lazily chunked array of one atomic byte per 32-byte granule of user
+//! space (`0` = not cache-managed, `0x80|class` = resident/free,
+//! `0x40|class` = checked out to the application). The cached free is a
+//! single CAS on that byte — which also gives the fast path the same
+//! double-free protection the table gives the slow path.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
+
+use platform::lockfree::SlotPool;
+use platform::percpu::PerCpuSlots;
+use pmem::contention::CacheStats;
+use pmem::numa;
+
+use crate::error::{PoseidonError, Result};
+use crate::heap::PoseidonHeap;
+use crate::layout::{class_for_size, class_size, HeapLayout, MIN_BLOCK};
+use crate::nvmptr::NvmPtr;
+use crate::subheap::{self, CacheResidency};
+
+/// Configuration of the transient caching layer (see [`crate::HeapConfig`]).
+///
+/// The cache is volatile and bounded: per CPU at most `magazine_size`
+/// blocks per size class, plus one transfer pool of `max_cached_per_class`
+/// slots per sub-heap and class. Classes whose worst-case cache footprint
+/// would eat a meaningful fraction of the sub-heap degrade to cache
+/// bypass automatically, so a tiny pool never OOMs behind the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Whether the caching layer is built at all. Disabled, every
+    /// operation takes the undo-logged slow path (the PR-4 behaviour).
+    pub enabled: bool,
+    /// Blocks held per CPU magazine and size class; also the batch a
+    /// cache miss withdraws under one two-fence commit.
+    pub magazine_size: usize,
+    /// Capacity of each per-sub-heap, per-class transfer pool (the
+    /// overflow and cross-CPU free destination). A full pool drains back
+    /// to the persistent free lists in one batch.
+    pub max_cached_per_class: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig { enabled: true, magazine_size: 32, max_cached_per_class: 128 }
+    }
+}
+
+/// Number of buddy classes the cache fronts: classes 0..=7, i.e. blocks
+/// up to `32 << 7` = 4 KiB — the sizes where per-operation overhead
+/// dominates. Larger blocks always take the slow path.
+pub(crate) const CACHEABLE_CLASSES: usize = 8;
+
+/// User space covered by one lazily allocated residency-map chunk.
+const CHUNK_BYTES: u64 = 2 << 20;
+const CHUNK_GRANULES: usize = (CHUNK_BYTES / MIN_BLOCK) as usize;
+
+const RESIDENT: u8 = 0x80;
+const CHECKED_OUT: u8 = 0x40;
+const KIND_MASK: u8 = 0xC0;
+const CLASS_MASK: u8 = 0x3F;
+
+/// One residency-map chunk: a byte per 32-byte granule.
+struct Chunk([AtomicU8; CHUNK_GRANULES]);
+
+/// Per-sub-heap residency map: chunk directory with CAS-installed, leaked
+/// chunks (freed in [`Drop`]). Only the head granule of a block carries
+/// its byte, so interior pointers never match.
+struct ResidencyMap {
+    chunks: Box<[AtomicPtr<Chunk>]>,
+}
+
+impl ResidencyMap {
+    fn new(user_size: u64) -> ResidencyMap {
+        let n = user_size.div_ceil(CHUNK_BYTES) as usize;
+        ResidencyMap { chunks: (0..n).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect() }
+    }
+
+    /// The byte for `offset`, if its chunk exists (read paths; offsets
+    /// out of range — e.g. from an invalid pointer — return `None`).
+    /// Misaligned offsets also return `None`: a forged interior pointer
+    /// like `head + 8` must not divide down to the head's byte — the slow
+    /// path rejects it with a metadata lookup instead.
+    fn granule(&self, offset: u64) -> Option<&AtomicU8> {
+        if !offset.is_multiple_of(MIN_BLOCK) {
+            return None;
+        }
+        let g = (offset / MIN_BLOCK) as usize;
+        let p = self.chunks.get(g / CHUNK_GRANULES)?.load(Ordering::Acquire);
+        if p.is_null() {
+            return None;
+        }
+        // SAFETY: a non-null chunk pointer was CAS-installed from
+        // `Box::into_raw` and is only freed in `Drop`, which requires
+        // `&mut self` — no outstanding shared borrow can coexist with it.
+        Some(unsafe { &(*p).0[g % CHUNK_GRANULES] })
+    }
+
+    /// The byte for `offset`, installing its chunk first if needed (used
+    /// on refill, where offsets come from the allocator and are in
+    /// bounds).
+    fn granule_or_install(&self, offset: u64) -> &AtomicU8 {
+        let g = (offset / MIN_BLOCK) as usize;
+        let slot = &self.chunks[g / CHUNK_GRANULES];
+        let mut p = slot.load(Ordering::Acquire);
+        if p.is_null() {
+            let fresh = Box::into_raw(Box::new(Chunk(std::array::from_fn(|_| AtomicU8::new(0)))));
+            match slot.compare_exchange(std::ptr::null_mut(), fresh, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => p = fresh,
+                Err(winner) => {
+                    // SAFETY: `fresh` was never published; we still own it.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    p = winner;
+                }
+            }
+        }
+        // SAFETY: as in `granule`.
+        unsafe { &(*p).0[g % CHUNK_GRANULES] }
+    }
+
+    /// Visits every byte of every installed chunk with its user-region
+    /// offset.
+    fn for_each(&self, mut f: impl FnMut(u64, &AtomicU8)) {
+        for (ci, slot) in self.chunks.iter().enumerate() {
+            let p = slot.load(Ordering::Acquire);
+            if p.is_null() {
+                continue;
+            }
+            // SAFETY: as in `granule`.
+            let chunk = unsafe { &*p };
+            for (i, byte) in chunk.0.iter().enumerate() {
+                f((ci * CHUNK_GRANULES + i) as u64 * MIN_BLOCK, byte);
+            }
+        }
+    }
+}
+
+impl Drop for ResidencyMap {
+    fn drop(&mut self) {
+        for slot in self.chunks.iter() {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: the pointer came from `Box::into_raw` and is
+                // dropped exactly once (swapped out above).
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+/// One CPU's magazines: a bounded LIFO of resident block offsets per
+/// cacheable class. Only blocks of the CPU's *home* sub-heap live here.
+#[derive(Default)]
+struct Magazine {
+    rounds: [Vec<u64>; CACHEABLE_CLASSES],
+}
+
+/// Per-sub-heap cache state.
+struct SubCache {
+    map: ResidencyMap,
+    /// One lock-free transfer pool per cacheable class: overflow from
+    /// magazines and the landing zone for cross-CPU frees.
+    pools: Box<[SlotPool]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    refills: AtomicU64,
+    drains: AtomicU64,
+}
+
+/// What [`HeapCache::try_free`] did with a free request.
+pub(crate) enum CachedFree {
+    /// Absorbed into a magazine or pool — done, nothing touched media.
+    Hit,
+    /// The residency map says the block is already free in the cache.
+    DoubleFree,
+    /// Not cache-managed: take the slow path.
+    Miss,
+    /// Absorbed, but the pool overflowed: the caller must drain this
+    /// batch (now exclusively owned by it) through the slow path.
+    Drain(Vec<u64>),
+}
+
+/// The whole caching layer of one heap (DRAM-only; rebuilt empty on every
+/// load).
+pub(crate) struct HeapCache {
+    pub(crate) config: CacheConfig,
+    magazines: PerCpuSlots<Magazine>,
+    subs: Box<[SubCache]>,
+    /// Per-class cache eligibility: a class whose worst-case footprint
+    /// would hog the sub-heap is bypassed (tiny-pool degradation).
+    cacheable: [bool; CACHEABLE_CLASSES],
+    num_subheaps: u16,
+}
+
+impl HeapCache {
+    pub(crate) fn new(config: CacheConfig, layout: &HeapLayout, num_cpus: usize) -> HeapCache {
+        let mut cacheable = [false; CACHEABLE_CLASSES];
+        for (class, ok) in cacheable.iter_mut().enumerate() {
+            let footprint = ((config.max_cached_per_class + 2 * config.magazine_size) as u64)
+                .saturating_mul(class_size(class));
+            *ok = config.magazine_size > 0 && footprint <= layout.user_size / 8;
+        }
+        HeapCache {
+            config,
+            magazines: PerCpuSlots::new(num_cpus.max(1), |_| Magazine::default()),
+            subs: (0..layout.num_subheaps)
+                .map(|_| SubCache {
+                    map: ResidencyMap::new(layout.user_size),
+                    pools: (0..CACHEABLE_CLASSES)
+                        .map(|_| SlotPool::new(config.max_cached_per_class.max(1)))
+                        .collect(),
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                    refills: AtomicU64::new(0),
+                    drains: AtomicU64::new(0),
+                })
+                .collect(),
+            cacheable,
+            num_subheaps: layout.num_subheaps,
+        }
+    }
+
+    pub(crate) fn is_cacheable(&self, class: usize) -> bool {
+        class < CACHEABLE_CLASSES && self.cacheable[class]
+    }
+
+    /// The lock-free allocation fast path: pop the CPU's magazine (home
+    /// sub-heap only), then the sub-heap's transfer pool. On success the
+    /// block's map byte flips to checked-out. `None` is a miss (counted);
+    /// the caller refills through the slow path.
+    pub(crate) fn try_alloc(&self, cpu: usize, sub: u16, home: bool, class: usize) -> Option<u64> {
+        let sc = &self.subs[sub as usize];
+        let from_magazine =
+            if home { self.magazines.try_with(cpu, |m| m.rounds[class].pop()).flatten() } else { None };
+        match from_magazine.or_else(|| sc.pools[class].pop()) {
+            Some(offset) => {
+                // We own the popped block exclusively; hand it out.
+                sc.map.granule_or_install(offset).store(CHECKED_OUT | class as u8, Ordering::Release);
+                sc.hits.fetch_add(1, Ordering::Relaxed);
+                Some(offset)
+            }
+            None => {
+                sc.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The lock-free free fast path: one CAS on the residency byte
+    /// (checked-out → resident) claims the block, then it parks in the
+    /// CPU's magazine or the sub-heap's pool. The byte also adjudicates
+    /// double frees without any metadata read.
+    pub(crate) fn try_free(&self, cpu: usize, sub: u16, home: bool, offset: u64) -> CachedFree {
+        let sc = &self.subs[sub as usize];
+        let Some(byte) = sc.map.granule(offset) else { return CachedFree::Miss };
+        let mut cur = byte.load(Ordering::Acquire);
+        loop {
+            match cur & KIND_MASK {
+                CHECKED_OUT => {
+                    let class = (cur & CLASS_MASK) as usize;
+                    match byte.compare_exchange(
+                        cur,
+                        RESIDENT | class as u8,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            sc.hits.fetch_add(1, Ordering::Relaxed);
+                            return self.park(cpu, sub, home, class, offset);
+                        }
+                        Err(now) => cur = now,
+                    }
+                }
+                RESIDENT => return CachedFree::DoubleFree,
+                _ => return CachedFree::Miss,
+            }
+        }
+    }
+
+    /// Parks a claimed block: magazine (home CPU, space permitting), then
+    /// pool; a full pool is handed back as a drain batch.
+    fn park(&self, cpu: usize, sub: u16, home: bool, class: usize, offset: u64) -> CachedFree {
+        if home {
+            let cap = self.config.magazine_size;
+            let parked = self.magazines.try_with(cpu, |m| {
+                let v = &mut m.rounds[class];
+                if v.len() < cap {
+                    v.push(offset);
+                    true
+                } else {
+                    false
+                }
+            });
+            if parked == Some(true) {
+                return CachedFree::Hit;
+            }
+        }
+        let sc = &self.subs[sub as usize];
+        if sc.pools[class].push(offset).is_ok() {
+            return CachedFree::Hit;
+        }
+        let mut batch = vec![offset];
+        sc.pools[class].drain_into(&mut batch);
+        CachedFree::Drain(batch)
+    }
+
+    /// Records a fresh refill batch in the residency map: the first block
+    /// is checked out (it is about to be returned to the caller), the
+    /// rest are resident. Called under the sub-heap lock, right after the
+    /// persistent withdrawal commits.
+    pub(crate) fn admit(&self, sub: u16, class: usize, offsets: &[u64]) {
+        let sc = &self.subs[sub as usize];
+        for (i, &offset) in offsets.iter().enumerate() {
+            let kind = if i == 0 { CHECKED_OUT } else { RESIDENT };
+            sc.map.granule_or_install(offset).store(kind | class as u8, Ordering::Release);
+        }
+    }
+
+    /// Parks refilled resident blocks (magazine first, then pool) and
+    /// returns whatever fit nowhere — the caller drains that overflow
+    /// back while it still holds the sub-heap lock.
+    pub(crate) fn stash(&self, cpu: usize, sub: u16, home: bool, class: usize, rest: &[u64]) -> Vec<u64> {
+        let sc = &self.subs[sub as usize];
+        let mut rest: Vec<u64> = rest.to_vec();
+        if home {
+            let cap = self.config.magazine_size;
+            self.magazines.try_with(cpu, |m| {
+                let v = &mut m.rounds[class];
+                while v.len() < cap {
+                    match rest.pop() {
+                        Some(offset) => v.push(offset),
+                        None => break,
+                    }
+                }
+            });
+        }
+        rest.retain(|&offset| sc.pools[class].push(offset).is_err());
+        rest
+    }
+
+    /// Clears the residency bytes of blocks that just left cache
+    /// management (drained or published while their bytes were still
+    /// set).
+    pub(crate) fn clear(&self, sub: u16, offsets: &[u64]) {
+        let sc = &self.subs[sub as usize];
+        for &offset in offsets {
+            if let Some(byte) = sc.map.granule(offset) {
+                byte.store(0, Ordering::Release);
+            }
+        }
+    }
+
+    /// Pops every resident block of `sub` the caller can reach (its pools
+    /// and any idle magazine homed on it) for a drain. Busy magazines are
+    /// skipped — this is a best-effort eviction, not a barrier.
+    pub(crate) fn evict_resident(&self, sub: u16) -> Vec<u64> {
+        let mut out = Vec::new();
+        for cpu in 0..self.magazines.len() {
+            if cpu % self.num_subheaps as usize != sub as usize {
+                continue;
+            }
+            self.magazines.try_with(cpu, |m| {
+                for v in m.rounds.iter_mut() {
+                    out.append(v);
+                }
+            });
+        }
+        let sc = &self.subs[sub as usize];
+        for pool in sc.pools.iter() {
+            pool.drain_into(&mut out);
+        }
+        out
+    }
+
+    /// Whether `sub` has any checked-out blocks (cheap pre-check so
+    /// publishing skips untouched sub-heaps without taking their locks).
+    pub(crate) fn has_checked_out(&self, sub: u16) -> bool {
+        let mut found = false;
+        self.subs[sub as usize].map.for_each(|_, byte| {
+            found |= byte.load(Ordering::Acquire) & KIND_MASK == CHECKED_OUT;
+        });
+        found
+    }
+
+    /// Claims every checked-out block of `sub` for publication: CAS each
+    /// byte to 0 (a concurrent cached free that wins the CAS keeps the
+    /// block — it is free, not published). Called under the sub-heap
+    /// lock, immediately before [`subheap::publish_blocks`], so a slow
+    /// free racing the publish serialises behind the commit.
+    pub(crate) fn claim_checked_out(&self, sub: u16) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.subs[sub as usize].map.for_each(|offset, byte| {
+            let cur = byte.load(Ordering::Acquire);
+            if cur & KIND_MASK == CHECKED_OUT
+                && byte.compare_exchange(cur, 0, Ordering::AcqRel, Ordering::Acquire).is_ok()
+            {
+                out.push(offset);
+            }
+        });
+        out
+    }
+
+    /// The reserved size of a checked-out block, straight from its
+    /// residency byte (no locks, no metadata read).
+    pub(crate) fn checked_out_size(&self, sub: u16, offset: u64) -> Option<u64> {
+        let byte = self.subs[sub as usize].map.granule(offset)?;
+        let cur = byte.load(Ordering::Acquire);
+        (cur & KIND_MASK == CHECKED_OUT).then(|| class_size((cur & CLASS_MASK) as usize))
+    }
+
+    /// How the audit should account the record at `offset`.
+    pub(crate) fn residency(&self, sub: u16, offset: u64) -> CacheResidency {
+        match self.subs[sub as usize].map.granule(offset).map(|byte| byte.load(Ordering::Acquire) & KIND_MASK)
+        {
+            Some(RESIDENT) => CacheResidency::Resident,
+            Some(CHECKED_OUT) => CacheResidency::CheckedOut,
+            _ => CacheResidency::None,
+        }
+    }
+
+    /// Every cache-managed block as `(sub_heap, offset)` — the crash-fuzz
+    /// inspection hook behind [`PoseidonHeap::cache_snapshot`].
+    pub(crate) fn snapshot(&self) -> Vec<(u16, u64)> {
+        let mut out = Vec::new();
+        for (sub, sc) in self.subs.iter().enumerate() {
+            sc.map.for_each(|offset, byte| {
+                if byte.load(Ordering::Acquire) != 0 {
+                    out.push((sub as u16, offset));
+                }
+            });
+        }
+        out
+    }
+
+    pub(crate) fn stats(&self, sub: u16) -> CacheStats {
+        let sc = &self.subs[sub as usize];
+        CacheStats {
+            hits: sc.hits.load(Ordering::Relaxed),
+            misses: sc.misses.load(Ordering::Relaxed),
+            refills: sc.refills.load(Ordering::Relaxed),
+            drains: sc.drains.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_refill(&self, sub: u16) {
+        self.subs[sub as usize].refills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_drain(&self, sub: u16) {
+        self.subs[sub as usize].drains.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reset_stats(&self) {
+        for sc in self.subs.iter() {
+            sc.hits.store(0, Ordering::Relaxed);
+            sc.misses.store(0, Ordering::Relaxed);
+            sc.refills.store(0, Ordering::Relaxed);
+            sc.drains.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The cache-fronted entry points. [`PoseidonHeap::alloc`] and
+/// [`PoseidonHeap::free`] try these first; `Ok(None)` / `Ok(false)` means
+/// "not handled — take the [`backend`](crate::backend) slow path".
+impl PoseidonHeap {
+    /// Fast-path allocation. A hit costs a few atomics; a miss withdraws
+    /// a magazine batch from the persistent free lists under one
+    /// two-fence commit, then serves from that.
+    pub(crate) fn cached_alloc(&self, size: u64) -> Result<Option<NvmPtr>> {
+        let Some(cache) = self.cache() else { return Ok(None) };
+        if size == 0 || size > self.layout().max_alloc() {
+            return Ok(None);
+        }
+        let (class, _) = class_for_size(size)?;
+        if !cache.is_cacheable(class) {
+            return Ok(None);
+        }
+        let cpu = numa::current_cpu();
+        let home = self.layout().subheap_for_cpu(cpu);
+        let Ok(sub) = self.healthy_sub(home) else { return Ok(None) };
+        if let Some(offset) = cache.try_alloc(cpu, sub, sub == home, class) {
+            self.note_alloc();
+            return Ok(Some(NvmPtr::new(self.heap_id(), sub, offset)));
+        }
+        // Miss: refill through the undo-logged slow path — the whole
+        // batch under one commit, ~3 fences amortised over
+        // `magazine_size` future hits.
+        self.ensure_subheap(sub)?;
+        let op = self.begin_op(sub)?;
+        let offsets = subheap::refill_blocks(&op, class, cache.config.magazine_size.max(1))?;
+        if offsets.is_empty() {
+            return Ok(None); // free-space pressure: let the slow path defragment
+        }
+        cache.note_refill(sub);
+        cache.admit(sub, class, &offsets);
+        let overflow = cache.stash(cpu, sub, sub == home, class, &offsets[1..]);
+        if !overflow.is_empty() {
+            subheap::drain_blocks(&op, &overflow)?;
+            cache.clear(sub, &overflow);
+        }
+        drop(op);
+        self.note_alloc();
+        Ok(Some(NvmPtr::new(self.heap_id(), sub, offsets[0])))
+    }
+
+    /// Fast-path free. Returns `Ok(true)` when the cache absorbed the
+    /// block (possibly draining an overflowed pool batch through the slow
+    /// path first) and surfaces double frees the residency map catches.
+    pub(crate) fn cached_free(&self, ptr: NvmPtr) -> Result<bool> {
+        let Some(cache) = self.cache() else { return Ok(false) };
+        let sub = ptr.subheap();
+        let cpu = numa::current_cpu();
+        let home = self.layout().subheap_for_cpu(cpu) == sub;
+        match cache.try_free(cpu, sub, home, ptr.offset()) {
+            CachedFree::Miss => Ok(false),
+            CachedFree::DoubleFree => {
+                self.note_rejected_free();
+                Err(PoseidonError::DoubleFree { offset: ptr.offset() })
+            }
+            CachedFree::Hit => {
+                self.note_free();
+                Ok(true)
+            }
+            CachedFree::Drain(batch) => {
+                let op = self.begin_op(sub)?;
+                subheap::drain_blocks(&op, &batch)?;
+                cache.clear(sub, &batch);
+                cache.note_drain(sub);
+                drop(op);
+                self.note_free();
+                Ok(true)
+            }
+        }
+    }
+
+    /// Publishes every checked-out cached block as a real `ALLOC` on
+    /// media — the durability hand-off run by `set_root` (the moment
+    /// cached allocations can become reachable) and by a clean close.
+    pub(crate) fn publish_cached(&self) -> Result<()> {
+        let Some(cache) = self.cache() else { return Ok(()) };
+        for sub in 0..self.layout().num_subheaps {
+            if !self.sub_usable(sub) || !cache.has_checked_out(sub) {
+                continue;
+            }
+            let op = self.begin_op(sub)?;
+            let offsets = cache.claim_checked_out(sub);
+            if !offsets.is_empty() {
+                subheap::publish_blocks(&op, &offsets)?;
+            }
+            drop(op);
+        }
+        Ok(())
+    }
+
+    /// Drains every resident block of `sub` back to the persistent free
+    /// lists (the NoSpace last resort — the cache may be sitting on
+    /// exactly the capacity the slow path needs). Returns how many blocks
+    /// were returned.
+    pub(crate) fn evict_subheap_cache(&self, sub: u16) -> Result<usize> {
+        let Some(cache) = self.cache() else { return Ok(0) };
+        let victims = cache.evict_resident(sub);
+        if victims.is_empty() {
+            return Ok(0);
+        }
+        let op = self.begin_op(sub)?;
+        subheap::drain_blocks(&op, &victims)?;
+        cache.clear(sub, &victims);
+        cache.note_drain(sub);
+        drop(op);
+        Ok(victims.len())
+    }
+
+    /// Clean-close teardown: publish checked-out blocks (the application
+    /// still holds their pointers) and drain resident ones, leaving zero
+    /// `FLAG_CACHED` records on media so the audit and the next load see
+    /// an ordinary heap.
+    pub(crate) fn flush_cache(&mut self) -> Result<()> {
+        let Some(cache) = self.take_cache() else { return Ok(()) };
+        let result = self.flush_cache_inner(&cache);
+        self.put_cache(cache);
+        result
+    }
+
+    fn flush_cache_inner(&self, cache: &HeapCache) -> Result<()> {
+        for sub in 0..self.layout().num_subheaps {
+            if !self.sub_usable(sub) {
+                continue;
+            }
+            let resident = cache.evict_resident(sub);
+            if resident.is_empty() && !cache.has_checked_out(sub) {
+                continue;
+            }
+            let op = self.begin_op(sub)?;
+            let checked_out = cache.claim_checked_out(sub);
+            if !checked_out.is_empty() {
+                subheap::publish_blocks(&op, &checked_out)?;
+            }
+            if !resident.is_empty() {
+                subheap::drain_blocks(&op, &resident)?;
+                cache.clear(sub, &resident);
+                cache.note_drain(sub);
+            }
+            drop(op);
+        }
+        Ok(())
+    }
+
+    /// Every cache-managed block as `(sub_heap, user_offset)` pairs.
+    /// Inspection hook for the crash-fuzz harness: each of these must be
+    /// `FREE` on media at any instant (the cache-residency ⟹ media-FREE
+    /// invariant).
+    #[doc(hidden)]
+    pub fn cache_snapshot(&self) -> Vec<(u16, u64)> {
+        self.cache().map(HeapCache::snapshot).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residency_map_roundtrips_and_scans() {
+        let map = ResidencyMap::new(8 << 20);
+        assert!(map.granule(0).is_none(), "no chunk installed yet");
+        map.granule_or_install(64).store(RESIDENT | 3, Ordering::Release);
+        map.granule_or_install(4 << 20).store(CHECKED_OUT | 1, Ordering::Release);
+        assert_eq!(map.granule(64).unwrap().load(Ordering::Acquire), RESIDENT | 3);
+        assert!(map.granule(32).unwrap().load(Ordering::Acquire) == 0);
+        let mut seen = Vec::new();
+        map.for_each(|offset, byte| {
+            if byte.load(Ordering::Acquire) != 0 {
+                seen.push(offset);
+            }
+        });
+        assert_eq!(seen, vec![64, 4 << 20]);
+        // Out-of-range offsets are a clean miss, not a panic.
+        assert!(map.granule(1 << 40).is_none());
+    }
+
+    #[test]
+    fn tiny_pools_degrade_classes_to_bypass() {
+        let layout = HeapLayout::compute(8 << 20, 1).unwrap();
+        let cache = HeapCache::new(CacheConfig::default(), &layout, 2);
+        assert!(cache.is_cacheable(0), "32 B blocks must stay cacheable");
+        let degraded = (0..CACHEABLE_CLASSES).any(|c| !cache.is_cacheable(c));
+        let budget = |c: usize| (128 + 64) as u64 * class_size(c);
+        // The gate is exactly the documented footprint bound.
+        for c in 0..CACHEABLE_CLASSES {
+            assert_eq!(cache.is_cacheable(c), budget(c) <= layout.user_size / 8, "class {c}");
+        }
+        let _ = degraded;
+    }
+
+    #[test]
+    fn free_via_map_detects_double_free() {
+        let layout = HeapLayout::compute(64 << 20, 1).unwrap();
+        let cache = HeapCache::new(CacheConfig::default(), &layout, 1);
+        cache.admit(0, 2, &[128]); // checked out
+        assert!(matches!(cache.try_free(0, 0, true, 128), CachedFree::Hit));
+        assert!(matches!(cache.try_free(0, 0, true, 128), CachedFree::DoubleFree));
+        assert!(matches!(cache.try_free(0, 0, true, 4096), CachedFree::Miss));
+        // And the parked block comes back out of the magazine.
+        assert_eq!(cache.try_alloc(0, 0, true, 2), Some(128));
+    }
+}

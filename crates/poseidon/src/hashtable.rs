@@ -198,7 +198,8 @@ fn bump_level_count(
 
 /// Collects the FREE records sitting in `key`'s probe window of every
 /// active level — the candidate set for probe-window defragmentation
-/// (§5.4, trigger 2).
+/// (§5.4, trigger 2). Cache-managed records are skipped: they are
+/// withdrawn from the free lists and must not be merged.
 pub(crate) fn free_in_windows(op: &OpSession<'_>, key: u64) -> Result<Vec<(u64, HashEntry)>> {
     let active = (op.active_levels()? as usize).min(MAX_LEVELS);
     let mut found = Vec::new();
@@ -210,7 +211,7 @@ pub(crate) fn free_in_windows(op: &OpSession<'_>, key: u64) -> Result<Vec<(u64, 
             let entry = op.entry(off)?;
             match entry.state {
                 state::EMPTY => break,
-                state::FREE => found.push((off, entry)),
+                state::FREE if entry.flags & crate::persist::FLAG_CACHED == 0 => found.push((off, entry)),
                 _ => {}
             }
         }

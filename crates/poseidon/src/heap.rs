@@ -10,9 +10,10 @@ use pmem::contention::{LockProfile, TrackedMutex};
 use pmem::{numa, PmemDevice};
 
 use crate::error::{PoseidonError, Result};
+use crate::frontend::{CacheConfig, HeapCache};
 use crate::hashtable;
 use crate::hugeregion::{self, HugeAudit, HUGE_SUBHEAP};
-use crate::layout::{class_for_size, HeapLayout};
+use crate::layout::HeapLayout;
 use crate::nvmptr::NvmPtr;
 use crate::persist::{DirEntry, HugeCtx, SubCtx, SUPERBLOCK_MAGIC};
 use crate::recovery::{self, RecoveryReport};
@@ -31,6 +32,11 @@ pub struct HeapConfig {
     /// "no protection" ablation: no key is allocated, no `wrpkru` pair per
     /// operation, and metadata pages stay writable to everyone.
     pub unprotected: bool,
+    /// The transient caching layer in front of the persistent buddy
+    /// (default enabled — see [`CacheConfig`]). Disabling it is the
+    /// "uncached" ablation: every operation takes the undo-logged slow
+    /// path.
+    pub cache: CacheConfig,
 }
 
 impl HeapConfig {
@@ -50,19 +56,33 @@ impl HeapConfig {
         self.unprotected = true;
         self
     }
+
+    /// Disables the transient caching layer: every allocation and free
+    /// takes the undo-logged slow path (ablation, and for tests that pin
+    /// slow-path behaviour).
+    pub fn without_cache(mut self) -> HeapConfig {
+        self.cache.enabled = false;
+        self
+    }
+
+    /// Replaces the cache configuration wholesale.
+    pub fn with_cache(mut self, cache: CacheConfig) -> HeapConfig {
+        self.cache = cache;
+        self
+    }
 }
 
-struct SubSlot {
-    lock: TrackedMutex<()>,
-    created: AtomicBool,
+pub(crate) struct SubSlot {
+    pub(crate) lock: TrackedMutex<()>,
+    pub(crate) created: AtomicBool,
     /// Set by load-time recovery when the sub-heap's metadata was hit by
     /// an uncorrectable media error: every operation on it is refused
     /// (typed [`PoseidonError::SubheapQuarantined`]) until
     /// `pfsck --repair` rebuilds it. Volatile — re-evaluated on every
     /// load from the device's scrub list.
-    quarantined: AtomicBool,
+    pub(crate) quarantined: AtomicBool,
     /// Bitmap of micro-log slots claimed by open transactions.
-    tx_slots: std::sync::atomic::AtomicU32,
+    pub(crate) tx_slots: std::sync::atomic::AtomicU32,
 }
 
 /// Cumulative operation counters of a heap (volatile; reset on open).
@@ -83,13 +103,13 @@ pub struct HeapOpStats {
 }
 
 #[derive(Debug, Default)]
-struct OpCounters {
-    allocs: std::sync::atomic::AtomicU64,
-    frees: std::sync::atomic::AtomicU64,
-    rejected_frees: std::sync::atomic::AtomicU64,
-    tx_commits: std::sync::atomic::AtomicU64,
-    tx_aborts: std::sync::atomic::AtomicU64,
-    defrag_merges: std::sync::atomic::AtomicU64,
+pub(crate) struct OpCounters {
+    pub(crate) allocs: std::sync::atomic::AtomicU64,
+    pub(crate) frees: std::sync::atomic::AtomicU64,
+    pub(crate) rejected_frees: std::sync::atomic::AtomicU64,
+    pub(crate) tx_commits: std::sync::atomic::AtomicU64,
+    pub(crate) tx_aborts: std::sync::atomic::AtomicU64,
+    pub(crate) defrag_merges: std::sync::atomic::AtomicU64,
 }
 
 /// A Poseidon persistent heap: per-CPU sub-heaps, fully segregated
@@ -121,22 +141,25 @@ struct OpCounters {
 /// # }
 /// ```
 pub struct PoseidonHeap {
-    dev: Arc<PmemDevice>,
+    pub(crate) dev: Arc<PmemDevice>,
     pkey: Option<ProtectionKey>,
-    heap_id: u64,
-    layout: HeapLayout,
-    slots: Box<[SubSlot]>,
+    pub(crate) heap_id: u64,
+    pub(crate) layout: HeapLayout,
+    pub(crate) slots: Box<[SubSlot]>,
     sb_lock: TrackedMutex<()>,
     /// Serialises extent-table operations on the huge-object region (one
     /// region per heap — huge allocations are rare and large, so a single
     /// lock does not contend with the per-CPU hot path).
-    huge_lock: TrackedMutex<()>,
+    pub(crate) huge_lock: TrackedMutex<()>,
     /// Set by load-time recovery when the huge region's metadata was hit
     /// by an uncorrectable media error or fails validation: every huge
     /// operation is refused until `pfsck --repair` rebuilds it.
-    huge_quarantined: AtomicBool,
+    pub(crate) huge_quarantined: AtomicBool,
     recovery: RecoveryReport,
-    ops: OpCounters,
+    pub(crate) ops: OpCounters,
+    /// The transient caching layer ([`crate::frontend`]); `None` when
+    /// disabled via [`HeapConfig::without_cache`].
+    cache: Option<HeapCache>,
 }
 
 impl std::fmt::Debug for PoseidonHeap {
@@ -195,7 +218,7 @@ impl PoseidonHeap {
         hugeregion::format(&dev, &layout)?;
         superblock::create(&dev, &layout, heap_id)?;
         let pkey = Self::protect(&dev, &layout, config)?;
-        Ok(Self::assemble(dev, pkey, heap_id, layout, RecoveryReport::default()))
+        Ok(Self::assemble(dev, pkey, heap_id, layout, RecoveryReport::default(), config))
     }
 
     /// Loads an existing heap from `dev`, running crash recovery (§5.1):
@@ -208,11 +231,25 @@ impl PoseidonHeap {
     pub fn load(dev: Arc<PmemDevice>, config: HeapConfig) -> Result<PoseidonHeap> {
         let (header, layout) = superblock::load(&dev)?;
         let pkey = Self::protect(&dev, &layout, config)?;
-        let (report, quarantined) = {
+        let recovered = {
             let _guard = pkey.map(|k| dev.mpk().grant_write(k));
-            recovery::recover(&dev, &layout)?
+            recovery::recover(&dev, &layout)
         };
-        let heap = Self::assemble(dev, pkey, header.heap_id, layout, report);
+        let (report, quarantined) = match recovered {
+            Ok(v) => v,
+            Err(e) => {
+                // A failed recovery (e.g. a crash mid-replay) must hand
+                // its protection key back, or repeated load attempts
+                // exhaust the 16-key space. Best-effort: the device may
+                // already be refusing operations.
+                if let Some(k) = pkey {
+                    let _ = dev.set_page_key(0, layout.meta_end(), ProtectionKey::DEFAULT);
+                    let _ = dev.mpk().pkey_free(k);
+                }
+                return Err(e);
+            }
+        };
+        let heap = Self::assemble(dev, pkey, header.heap_id, layout, report, config);
         // Mark already-created sub-heaps from the directory.
         for sub in 0..heap.layout.num_subheaps {
             if superblock::dir_entry(&heap.dev, sub)?.state == 1 {
@@ -247,6 +284,7 @@ impl PoseidonHeap {
         heap_id: u64,
         layout: HeapLayout,
         recovery: RecoveryReport,
+        config: HeapConfig,
     ) -> PoseidonHeap {
         let slots = (0..layout.num_subheaps)
             .map(|_| SubSlot {
@@ -256,6 +294,10 @@ impl PoseidonHeap {
                 tx_slots: std::sync::atomic::AtomicU32::new(0),
             })
             .collect();
+        // The cache is DRAM-only and rebuilt empty on every open — there
+        // is deliberately nothing about it to recover.
+        let cache =
+            config.cache.enabled.then(|| HeapCache::new(config.cache, &layout, dev.topology().cpus()));
         PoseidonHeap {
             dev,
             pkey,
@@ -267,6 +309,7 @@ impl PoseidonHeap {
             huge_quarantined: AtomicBool::new(false),
             recovery,
             ops: OpCounters::default(),
+            cache,
         }
     }
 
@@ -306,9 +349,45 @@ impl PoseidonHeap {
             .collect()
     }
 
+    /// The caching layer, when enabled.
+    pub(crate) fn cache(&self) -> Option<&HeapCache> {
+        self.cache.as_ref()
+    }
+
+    /// Detaches the caching layer (clean-close teardown needs to drain
+    /// magazines mutably while still opening operation sessions on
+    /// `&self`).
+    pub(crate) fn take_cache(&mut self) -> Option<HeapCache> {
+        self.cache.take()
+    }
+
+    /// Re-attaches the caching layer after [`take_cache`](Self::take_cache).
+    pub(crate) fn put_cache(&mut self, cache: HeapCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Whether `sub` is created and not quarantined — i.e. safe to open
+    /// an operation session on.
+    pub(crate) fn sub_usable(&self, sub: u16) -> bool {
+        let slot = &self.slots[sub as usize];
+        slot.created.load(Ordering::Acquire) && !slot.quarantined.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn note_alloc(&self) {
+        self.ops.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_free(&self) {
+        self.ops.frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_rejected_free(&self) {
+        self.ops.rejected_frees.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Grants the calling thread metadata write access for the duration of
     /// the returned guard (no-op when protection is disabled).
-    fn write_guard(&self) -> Option<PkruGuard<'_>> {
+    pub(crate) fn write_guard(&self) -> Option<PkruGuard<'_>> {
         self.pkey.map(|k| self.dev.mpk().grant_write(k))
     }
 
@@ -316,7 +395,7 @@ impl PoseidonHeap {
     /// access, takes the sub-heap lock, and validates + maps the whole
     /// metadata range *once*. Every word access inside the operation then
     /// goes through the session's view with no further per-word checks.
-    fn begin_op(&self, sub: u16) -> Result<OpSession<'_>> {
+    pub(crate) fn begin_op(&self, sub: u16) -> Result<OpSession<'_>> {
         let pkru = self.write_guard();
         let lock = self.slots[sub as usize].lock.lock();
         OpSession::guarded(SubCtx { dev: &self.dev, layout: &self.layout, sub }, lock, pkru)
@@ -324,18 +403,18 @@ impl PoseidonHeap {
 
     /// Opens a read-only operation session on `sub` (no `wrpkru` pair —
     /// metadata pages rest at read-only, so reads need no grant).
-    fn begin_read_op(&self, sub: u16) -> Result<OpSession<'_>> {
+    pub(crate) fn begin_read_op(&self, sub: u16) -> Result<OpSession<'_>> {
         let lock = self.slots[sub as usize].lock.lock();
         OpSession::read_only(SubCtx { dev: &self.dev, layout: &self.layout, sub }, lock)
     }
 
-    fn huge_ctx(&self) -> HugeCtx<'_> {
+    pub(crate) fn huge_ctx(&self) -> HugeCtx<'_> {
         HugeCtx { dev: &self.dev, layout: &self.layout }
     }
 
     /// Opens a mutating session on the huge region (write grant + huge
     /// lock), refusing if recovery quarantined the region.
-    fn begin_huge(&self) -> Result<hugeregion::HugeOp<'_>> {
+    pub(crate) fn begin_huge(&self) -> Result<hugeregion::HugeOp<'_>> {
         if self.huge_quarantined.load(Ordering::Acquire) {
             return Err(PoseidonError::SubheapQuarantined { subheap: HUGE_SUBHEAP });
         }
@@ -353,7 +432,7 @@ impl PoseidonHeap {
         hugeregion::HugeOp::read_only(self.huge_ctx(), lock)
     }
 
-    fn ensure_subheap(&self, sub: u16) -> Result<()> {
+    pub(crate) fn ensure_subheap(&self, sub: u16) -> Result<()> {
         if self.slots[sub as usize].created.load(Ordering::Acquire) {
             return Ok(());
         }
@@ -378,6 +457,10 @@ impl PoseidonHeap {
     /// after a media error, the allocation transparently fails over to
     /// the next healthy sub-heap.
     ///
+    /// Small classes are served by the transient cache when possible
+    /// (lock- and fence-free after the first, batched withdrawal); see
+    /// [`CacheConfig`] for the durability contract of cached blocks.
+    ///
     /// # Errors
     ///
     /// [`PoseidonError::ZeroSize`], [`PoseidonError::TooLarge`],
@@ -385,21 +468,21 @@ impl PoseidonHeap {
     /// [`PoseidonError::SubheapQuarantined`] when every sub-heap is
     /// quarantined, or device errors.
     pub fn alloc(&self, size: u64) -> Result<NvmPtr> {
-        let sub = self.healthy_sub(self.layout.subheap_for_cpu(numa::current_cpu()))?;
-        self.alloc_on(sub, size, None)
-    }
-
-    /// Returns `preferred` if it is not quarantined, otherwise the first
-    /// healthy sub-heap after it (wrapping).
-    fn healthy_sub(&self, preferred: u16) -> Result<u16> {
-        let n = self.layout.num_subheaps;
-        for step in 0..n {
-            let sub = (preferred + step) % n;
-            if !self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
-                return Ok(sub);
-            }
+        if let Some(ptr) = self.cached_alloc(size)? {
+            return Ok(ptr);
         }
-        Err(PoseidonError::SubheapQuarantined { subheap: preferred })
+        let sub = self.healthy_sub(self.layout.subheap_for_cpu(numa::current_cpu()))?;
+        match self.alloc_on(sub, size, None) {
+            Err(e @ PoseidonError::NoSpace { .. }) => {
+                // Last resort: the cache may be sitting on exactly the
+                // withdrawn capacity this request needs.
+                if self.evict_subheap_cache(sub)? == 0 {
+                    return Err(e);
+                }
+                self.alloc_on(sub, size, None)
+            }
+            other => other,
+        }
     }
 
     fn claim_tx_slot(&self, sub: u16) -> Result<usize> {
@@ -421,65 +504,6 @@ impl PoseidonHeap {
 
     fn release_tx_slot(&self, sub: u16, slot: usize) {
         self.slots[sub as usize].tx_slots.fetch_and(!(1u32 << slot), Ordering::AcqRel);
-    }
-
-    fn alloc_on(&self, sub: u16, size: u64, micro: Option<(u64, usize)>) -> Result<NvmPtr> {
-        if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
-            return Err(PoseidonError::SubheapQuarantined { subheap: sub });
-        }
-        if size == 0 {
-            return Err(PoseidonError::ZeroSize);
-        }
-        if size > self.layout.max_alloc() {
-            // Beyond every buddy class: served by the huge-object region
-            // (page-granular extents) under the same pointer surface.
-            return self.huge_alloc(sub, size, micro);
-        }
-        let (class, _rounded) = class_for_size(size)?;
-        self.ensure_subheap(sub)?;
-        let op = self.begin_op(sub)?;
-        // Note: no table-shrink probe here. Allocation only ever *adds*
-        // records, so the top level cannot become empty on this path; the
-        // probe runs on free and defragment, where levels actually drain.
-        let offset = subheap::alloc_block(&op, class, micro)?;
-        drop(op);
-        self.ops.allocs.fetch_add(1, Ordering::Relaxed);
-        Ok(NvmPtr::new(self.heap_id, sub, offset))
-    }
-
-    /// Serves an allocation beyond [`HeapLayout::max_alloc`] from the
-    /// huge-object region. Transactional requests (`micro`) log the
-    /// pointer in sub-heap `sub`'s micro log atomically with the extent
-    /// writes — one undo scope over a metadata view spanning both
-    /// regions (see [`hugeregion::HugeOp::spanning`]).
-    fn huge_alloc(&self, sub: u16, size: u64, micro: Option<(u64, usize)>) -> Result<NvmPtr> {
-        if self.layout.huge_data_size == 0 {
-            return Err(PoseidonError::TooLarge {
-                requested: size,
-                subheap_max: self.layout.max_alloc(),
-                huge_remaining: 0,
-            });
-        }
-        let offset = match micro {
-            None => hugeregion::alloc(&self.begin_huge()?, size, None)?,
-            Some((heap_id, slot)) => {
-                // The micro-log slot lives in the transaction's sub-heap;
-                // make sure it exists before mapping the spanning view.
-                // Lock order: sb_lock (inside ensure) strictly before the
-                // huge lock; the sub lock is never taken on this path —
-                // the slot is exclusively claimed via the tx bitmap.
-                self.ensure_subheap(sub)?;
-                if self.huge_quarantined.load(Ordering::Acquire) {
-                    return Err(PoseidonError::SubheapQuarantined { subheap: HUGE_SUBHEAP });
-                }
-                let pkru = self.write_guard();
-                let lock = self.huge_lock.lock();
-                let op = hugeregion::HugeOp::spanning(self.huge_ctx(), sub, lock, pkru)?;
-                hugeregion::alloc(&op, size, Some(hugeregion::MicroHook { heap_id, sub, slot }))?
-            }
-        };
-        self.ops.allocs.fetch_add(1, Ordering::Relaxed);
-        Ok(NvmPtr::new(self.heap_id, HUGE_SUBHEAP, offset))
     }
 
     /// Transactionally allocates `size` bytes — the paper's
@@ -596,44 +620,15 @@ impl PoseidonHeap {
     /// device errors.
     pub fn free(&self, ptr: NvmPtr) -> Result<()> {
         self.check_ptr(ptr)?;
-        let sub = ptr.subheap();
-        if sub == HUGE_SUBHEAP {
-            return match hugeregion::free(&self.begin_huge()?, ptr.offset()) {
-                Ok(_) => {
-                    self.ops.frees.fetch_add(1, Ordering::Relaxed);
-                    Ok(())
-                }
-                Err(e @ (PoseidonError::InvalidFree { .. } | PoseidonError::DoubleFree { .. })) => {
-                    self.ops.rejected_frees.fetch_add(1, Ordering::Relaxed);
-                    Err(e)
-                }
-                Err(e) => Err(e),
-            };
+        if ptr.subheap() == HUGE_SUBHEAP {
+            return self.free_huge(ptr);
         }
-        if !self.slots[sub as usize].created.load(Ordering::Acquire) {
-            return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
+        // The residency map adjudicates cache-managed blocks (including
+        // their double frees) without locks or metadata reads.
+        if self.cached_free(ptr)? {
+            return Ok(());
         }
-        if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
-            return Err(PoseidonError::SubheapQuarantined { subheap: sub });
-        }
-        let op = self.begin_op(sub)?;
-        match subheap::free_block(&op, ptr.offset()) {
-            Ok(_) => {
-                // Frees drain table levels; probe (two view reads) and
-                // shrink here so the alloc hot path never pays for it.
-                if hashtable::shrink_would_release(&op)? {
-                    hashtable::shrink(&op)?;
-                }
-                drop(op);
-                self.ops.frees.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Err(e @ (PoseidonError::InvalidFree { .. } | PoseidonError::DoubleFree { .. })) => {
-                self.ops.rejected_frees.fetch_add(1, Ordering::Relaxed);
-                Err(e)
-            }
-            Err(e) => Err(e),
-        }
+        self.free_slow(ptr)
     }
 
     /// Reallocates the block at `ptr` to `new_size`: allocates a new
@@ -759,6 +754,11 @@ impl PoseidonHeap {
         if !ptr.is_null() {
             self.check_ptr(ptr)?;
         }
+        // Anchoring a pointer promises it survives a crash, but cached
+        // allocations are transient until committed: persist every
+        // checked-out block (batched, one two-fence scope per sub-heap)
+        // before the root makes any of them reachable.
+        self.publish_cached()?;
         let _guard = self.write_guard();
         let _sb = self.sb_lock.lock();
         superblock::set_root(&self.dev, ptr)
@@ -788,6 +788,13 @@ impl PoseidonHeap {
         if self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
             return Err(PoseidonError::SubheapQuarantined { subheap: sub });
         }
+        // A cache-served block is live to the caller but still FREE on
+        // media; the residency map is its source of truth.
+        if let Some(cache) = self.cache() {
+            if let Some(size) = cache.checked_out_size(sub, ptr.offset()) {
+                return Ok(size);
+            }
+        }
         let op = self.begin_read_op(sub)?;
         match crate::hashtable::lookup(&op, ptr.offset())? {
             Some((_, record)) if record.state == crate::persist::state::ALLOC => Ok(record.size),
@@ -812,7 +819,14 @@ impl PoseidonHeap {
                 continue;
             }
             let op = self.begin_read_op(sub)?;
-            out.push((sub, subheap::audit(&op)?));
+            let audit = match self.cache() {
+                // Let the auditor classify cache-withdrawn records: they
+                // are FREE + flagged on media and absent from the buddy
+                // lists, which a cache-blind audit would call corruption.
+                Some(cache) => subheap::audit_with(&op, |off| cache.residency(sub, off))?,
+                None => subheap::audit(&op)?,
+            };
+            out.push((sub, audit));
         }
         Ok(out)
     }
@@ -841,7 +855,15 @@ impl PoseidonHeap {
             .slots
             .iter()
             .enumerate()
-            .map(|(i, slot)| slot.lock.profile(format!("subheap[{i}]")))
+            .map(|(i, slot)| {
+                let mut p = slot.lock.profile(format!("subheap[{i}]"));
+                // Cache hits bypass this lock entirely; report them next
+                // to the acquisitions they replaced.
+                if let Some(cache) = self.cache() {
+                    p.cache = Some(cache.stats(i as u16));
+                }
+                p
+            })
             .collect();
         profile.push(self.sb_lock.profile("superblock"));
         profile.push(self.huge_lock.profile("hugeregion"));
@@ -855,6 +877,9 @@ impl PoseidonHeap {
         }
         self.sb_lock.reset();
         self.huge_lock.reset();
+        if let Some(cache) = self.cache() {
+            cache.reset_stats();
+        }
     }
 
     /// Explicitly defragments every created sub-heap: merges all buddy
@@ -872,6 +897,10 @@ impl PoseidonHeap {
             if !slot.created.load(Ordering::Acquire) || slot.quarantined.load(Ordering::Acquire) {
                 continue;
             }
+            // Cache-resident blocks are withdrawn from the free lists and
+            // ineligible to merge; hand them back first so defragmentation
+            // sees the true free population.
+            self.evict_subheap_cache(sub)?;
             let op = self.begin_op(sub)?;
             merged += crate::defrag::merge_all_below(&op, crate::layout::NUM_CLASSES)?;
             hashtable::shrink(&op)?;
@@ -900,6 +929,10 @@ impl PoseidonHeap {
     ///
     /// Device errors.
     pub fn close(mut self) -> Result<()> {
+        // Clean shutdown keeps every handed-out pointer valid across the
+        // reload: publish checked-out blocks as ALLOC and return resident
+        // ones to the buddy lists, leaving no cache flags on media.
+        self.flush_cache()?;
         self.release_protection()?;
         Ok(())
     }
@@ -1316,7 +1349,9 @@ mod tests {
         // (one map per operation, plus the rare defrag/shrink scopes),
         // while the number of metadata word accesses it performs is far
         // larger. Warm up first so sub-heap creation costs don't count.
-        let h = heap();
+        // Cache off: this test pins the *slow path's* validation budget.
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let h = PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(2).without_cache()).unwrap();
         let warm: Vec<_> = (0..16).map(|_| h.alloc(64).unwrap()).collect();
         for p in warm {
             h.free(p).unwrap();
@@ -1345,8 +1380,10 @@ mod tests {
         // operation pays exactly three fences (log entries, targets,
         // generation bump) no matter how many words it logs — so an
         // alloc/free pair costs exactly six. Any fence creep on the hot
-        // path fails this test.
-        let h = heap();
+        // path fails this test. Cache off: the cached fast path does not
+        // fence at all, which tests/cache.rs pins separately.
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let h = PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(2).without_cache()).unwrap();
         let warm: Vec<_> = (0..16).map(|_| h.alloc(64).unwrap()).collect();
         for p in warm {
             h.free(p).unwrap();
@@ -1369,7 +1406,9 @@ mod tests {
         // probe it: the alloc path must leave it alone, the free path must
         // deactivate it.
         let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
-        let h = PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(2).without_protection()).unwrap();
+        let h =
+            PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(2).without_protection().without_cache())
+                .unwrap();
         let p = h.alloc(64).unwrap(); // creates sub-heap 0
         let ctx = SubCtx { dev: h.device(), layout: h.layout(), sub: 0 };
         assert_eq!(h.device().read_pod::<u64>(ctx.active_levels_off()).unwrap(), 1);

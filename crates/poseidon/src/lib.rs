@@ -65,9 +65,11 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod buddy;
 mod defrag;
 mod error;
+mod frontend;
 #[doc(hidden)]
 pub mod fuzz;
 mod hashtable;
@@ -86,6 +88,7 @@ mod superblock;
 mod undo;
 
 pub use error::{PoseidonError, Result};
+pub use frontend::CacheConfig;
 pub use heap::{HeapConfig, HeapOpStats, PoseidonHeap};
 pub use hugeregion::HugeAudit;
 pub use layout::{class_for_size, class_size, HeapLayout, MIN_BLOCK, NUM_CLASSES};

@@ -100,6 +100,13 @@ pub mod state {
     pub const QUARANTINED: u32 = 4;
 }
 
+/// Flag bit in [`HashEntry::flags`]: the block is managed by the
+/// transient DRAM cache layer. On media it stays `FREE` (so a crash
+/// reclaims it with no new replay logic) but it is *unlinked* from its
+/// buddy free list — the slow path, defragmentation, and shrink must all
+/// skip it, and load-time recovery relinks it (clearing the flag).
+pub const FLAG_CACHED: u32 = 1;
+
 pod_struct! {
     /// A memory-block record: one hash-table entry, one cache line (§4.4).
     ///
@@ -114,8 +121,9 @@ pod_struct! {
         pub size: u64,
         /// One of the [`state`] constants.
         pub state: u32,
-        /// Reserved.
-        pub _pad: u32,
+        /// Flag bits ([`FLAG_CACHED`]); reserved bits read 0, so images
+        /// written before the field existed parse as "no flags".
+        pub flags: u32,
         /// Next record in this block's buddy free list.
         pub next_free: u64,
         /// Previous record in this block's buddy free list.

@@ -48,6 +48,10 @@ pub struct RecoveryReport {
     /// Sub-heaps quarantined wholesale (poisoned metadata or an
     /// unreadable log); their blocks are frozen until `pfsck --repair`.
     pub subheaps_quarantined: u32,
+    /// Blocks the transient caching layer had withdrawn from the free
+    /// lists when the previous session ended; recovery relinks them (they
+    /// stayed `FREE` on media by construction, so nothing is lost).
+    pub cached_blocks_reclaimed: u64,
     /// Free blocks individually quarantined on otherwise-healthy
     /// sub-heaps because their user bytes overlap poisoned lines.
     pub blocks_quarantined: u64,
@@ -228,5 +232,10 @@ fn recover_sub(op: &OpSession<'_>, huge_ok: bool, report: &mut RecoveryReport) -
         }
         microlog::truncate(op, slot)?;
     }
+    // The transient cache did not survive the restart: relink every
+    // record it had withdrawn (FREE + FLAG_CACHED) before the poison scan
+    // below, so a reclaimed block overlapping a poisoned line is
+    // quarantined like any other free block.
+    report.cached_blocks_reclaimed += subheap::reclaim_cached(op)?;
     Ok(())
 }

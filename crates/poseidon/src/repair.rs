@@ -373,6 +373,7 @@ fn rebuild_lists(ctx: &SubCtx<'_>, active: usize, report: &mut RepairReport) -> 
                     report.bytes_quarantined += rec.size;
                 }
                 rec.state = state::QUARANTINED;
+                rec.flags = 0;
                 rec.next_free = 0;
                 rec.prev_free = 0;
                 dev.write_pod(rec_off, &rec)?;
@@ -383,6 +384,9 @@ fn rebuild_lists(ctx: &SubCtx<'_>, active: usize, report: &mut RepairReport) -> 
             }
             let (class, _) = class_for_size(rec.size)?;
             rec.state = state::FREE;
+            // The transient cache did not survive the crash: any record it
+            // had withdrawn (FLAG_CACHED) goes back on the free lists.
+            rec.flags = 0;
             rec.prev_free = last[class].map_or(0, |(off, _)| off);
             rec.next_free = 0;
             dev.write_pod(rec_off, &rec)?;

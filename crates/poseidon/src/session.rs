@@ -207,6 +207,14 @@ impl<'s, 'a> UndoScope<'s, 'a> {
         self.core.log_and_write(self.view, &mut staged, target, new)
     }
 
+    /// Whether one more [`log_and_write`](Self::log_and_write) of `len`
+    /// bytes fits in the log area. Batch operations (cache refill/drain)
+    /// size their batches with this so they commit what fits instead of
+    /// dying on `"undo log overflow"`.
+    pub fn has_room_for(&self, len: u64) -> bool {
+        self.core.has_room_for(len)
+    }
+
     /// [`log_and_write`](Self::log_and_write) of a [`pmem::Pod`] value.
     ///
     /// # Errors

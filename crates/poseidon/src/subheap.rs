@@ -13,8 +13,8 @@ use crate::defrag;
 use crate::error::{PoseidonError, Result};
 use crate::hashtable;
 use crate::layout::{class_size, MIN_BLOCK, NUM_CLASSES, SH_UNDO_OFF};
-use crate::persist::{state, HashEntry, SubheapHeader, SUBHEAP_MAGIC};
-use crate::session::OpSession;
+use crate::persist::{state, HashEntry, SubheapHeader, FLAG_CACHED, SUBHEAP_MAGIC};
+use crate::session::{OpSession, UndoScope};
 
 /// Initialises (or re-initialises, after a creation that crashed before
 /// its directory entry was published) the sub-heap's metadata and seeds
@@ -150,6 +150,191 @@ fn try_alloc(
     Ok(rec.offset)
 }
 
+/// Outcome of one single-scope refill attempt (see [`refill_blocks`]).
+enum RefillAttempt {
+    /// Committed; these user-region offsets now carry `FLAG_CACHED`.
+    Done(Vec<u64>),
+    /// A carve failed mid-split (table pressure); the scope was rolled
+    /// back and the first `n` carves are known to succeed — retry with
+    /// exactly that many.
+    Retry(usize),
+}
+
+/// Withdraws up to `want` blocks of buddy class `class` from the
+/// persistent free lists into the transient cache, all under **one**
+/// two-fence commit: each block is unlinked from its list (splitting
+/// larger blocks as needed) and its record stamped `FREE | FLAG_CACHED`
+/// with cleared links. Returns the user-region offsets withdrawn —
+/// possibly fewer than `want` (free-space or undo-log pressure), possibly
+/// none (the caller then falls back to the uncached slow path, which can
+/// also defragment and activate levels).
+pub(crate) fn refill_blocks(op: &OpSession<'_>, class: usize, want: usize) -> Result<Vec<u64>> {
+    debug_assert!(class < NUM_CLASSES);
+    let mut target = want;
+    loop {
+        match try_refill(op, class, target)? {
+            RefillAttempt::Done(offsets) => return Ok(offsets),
+            RefillAttempt::Retry(0) => return Ok(Vec::new()),
+            RefillAttempt::Retry(n) => target = n,
+        }
+    }
+}
+
+/// One refill attempt under a single scope. Carves stop cleanly on
+/// free-space or undo-log pressure (committing what fit); a carve that
+/// errors *mid-split* dirties the scope, so the whole attempt aborts and
+/// reports how many carves are safe to redo.
+fn try_refill(op: &OpSession<'_>, class: usize, want: usize) -> Result<RefillAttempt> {
+    let mut scope = op.undo()?;
+    let mut offsets = Vec::with_capacity(want);
+    while offsets.len() < want {
+        let Some(from) = buddy::first_class_at_least(op, class)? else { break };
+        // Conservative undo-room estimate for this carve: each split
+        // touches at most 5 logged ranges of at most 96 bytes (header +
+        // one record line), plus the final record and its unlink.
+        let estimate = ((from - class) as u64 * 5 + 6) * 96;
+        if !scope.has_room_for(estimate) {
+            break;
+        }
+        match carve_cached(op, &mut scope, from, class) {
+            Ok(offset) => offsets.push(offset),
+            Err(PoseidonError::TableFull) => {
+                // Mid-split failure: the scope holds half a carve. Roll
+                // everything back and redo only the carves that are known
+                // to succeed from the unchanged starting state.
+                scope.abort()?;
+                return Ok(RefillAttempt::Retry(offsets.len()));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    scope.commit()?;
+    Ok(RefillAttempt::Done(offsets))
+}
+
+/// Pops the head of class `from`, splits down to `want`, and stamps the
+/// final block `FREE | FLAG_CACHED` with cleared links — withdrawn from
+/// its free list but still free on media. Runs inside the caller's scope.
+fn carve_cached(op: &OpSession<'_>, scope: &mut UndoScope<'_, '_>, from: usize, want: usize) -> Result<u64> {
+    let head_off = buddy::head(op, from)?;
+    if head_off == 0 {
+        return Err(PoseidonError::Corrupted("free list emptied under the sub-heap lock"));
+    }
+    let mut rec = op.entry(head_off)?;
+    buddy::unlink(op, scope, head_off, &rec)?;
+    let mut class = from;
+    while class > want {
+        class -= 1;
+        let half = class_size(class);
+        let mut upper =
+            HashEntry { offset: rec.offset + half, size: half, state: state::FREE, ..Default::default() };
+        let upper_off = hashtable::insert(op, scope, upper, false)?;
+        buddy::push_tail(op, scope, upper_off, &mut upper)?;
+        rec.size = half;
+    }
+    rec.flags |= FLAG_CACHED;
+    rec.next_free = 0;
+    rec.prev_free = 0;
+    hashtable::write_entry(scope, head_off, &rec)?;
+    Ok(rec.offset)
+}
+
+/// Looks up the record of a cache-managed block and validates its
+/// persistent state (`FREE | FLAG_CACHED` — the invariant the cache layer
+/// maintains by construction).
+fn cached_record(op: &OpSession<'_>, offset: u64) -> Result<(u64, HashEntry)> {
+    let Some((rec_off, rec)) = hashtable::lookup(op, offset)? else {
+        return Err(PoseidonError::Corrupted("cache-managed block has no record"));
+    };
+    if rec.state != state::FREE || rec.flags & FLAG_CACHED == 0 {
+        return Err(PoseidonError::Corrupted("cache-managed block not FREE+flagged on media"));
+    }
+    Ok((rec_off, rec))
+}
+
+/// Returns cache-resident blocks (user-region `offsets`) to their
+/// persistent free lists: clears `FLAG_CACHED` and relinks each record,
+/// batching as many as fit per two-fence commit. Blocks whose user bytes
+/// picked up media poison while cached are quarantined instead, exactly
+/// like a slow-path free; the count of such blocks is returned.
+pub(crate) fn drain_blocks(op: &OpSession<'_>, offsets: &[u64]) -> Result<u64> {
+    let mut quarantined = 0u64;
+    let mut scope = op.undo()?;
+    for &offset in offsets {
+        if !scope.has_room_for(6 * 96) {
+            scope.commit()?;
+            scope = op.undo()?;
+        }
+        let (rec_off, mut rec) = cached_record(op, offset)?;
+        rec.flags &= !FLAG_CACHED;
+        if op.ctx.dev.is_poisoned(op.ctx.user_base() + rec.offset, rec.size) {
+            rec.state = state::QUARANTINED;
+            rec.next_free = 0;
+            rec.prev_free = 0;
+            hashtable::write_entry(&mut scope, rec_off, &rec)?;
+            quarantined += 1;
+        } else {
+            buddy::push_tail(op, &mut scope, rec_off, &mut rec)?;
+        }
+    }
+    scope.commit()?;
+    Ok(quarantined)
+}
+
+/// Persistently publishes cache-managed blocks (user-region `offsets`) as
+/// allocated: state `ALLOC`, flag cleared — the durability hand-off run
+/// when the application makes cached allocations reachable (`set_root`)
+/// or on clean close. Batches as many as fit per two-fence commit.
+pub(crate) fn publish_blocks(op: &OpSession<'_>, offsets: &[u64]) -> Result<()> {
+    let mut scope = op.undo()?;
+    for &offset in offsets {
+        if !scope.has_room_for(2 * 96) {
+            scope.commit()?;
+            scope = op.undo()?;
+        }
+        let (rec_off, mut rec) = cached_record(op, offset)?;
+        rec.state = state::ALLOC;
+        rec.flags &= !FLAG_CACHED;
+        rec.next_free = 0;
+        rec.prev_free = 0;
+        hashtable::write_entry(&mut scope, rec_off, &rec)?;
+    }
+    scope.commit()?;
+    Ok(())
+}
+
+/// Load-time reconciliation: relinks every record the transient cache had
+/// withdrawn (`FREE | FLAG_CACHED`) when the previous session ended. The
+/// cache is DRAM-only, so whatever it held simply becomes free capacity
+/// again — cached allocations that were never published evaporate, which
+/// is the documented crash contract. Idempotent: a crash mid-pass leaves
+/// a strict subset flagged and the next load finishes the job. Returns
+/// the number of blocks relinked.
+pub(crate) fn reclaim_cached(op: &OpSession<'_>) -> Result<u64> {
+    let active = (op.active_levels()? as usize).min(crate::layout::MAX_LEVELS);
+    let mut reclaimed = 0u64;
+    let mut scope = op.undo()?;
+    for level in 0..active {
+        let base = op.ctx.layout.level_base(op.ctx.sub, level);
+        for i in 0..op.ctx.layout.level_capacity(level) {
+            let rec_off = base + i * crate::layout::ENTRY_SIZE;
+            let mut rec = op.entry(rec_off)?;
+            if rec.state != state::FREE || rec.flags & FLAG_CACHED == 0 {
+                continue;
+            }
+            if !scope.has_room_for(6 * 96) {
+                scope.commit()?;
+                scope = op.undo()?;
+            }
+            rec.flags &= !FLAG_CACHED;
+            buddy::push_tail(op, &mut scope, rec_off, &mut rec)?;
+            reclaimed += 1;
+        }
+    }
+    scope.commit()?;
+    Ok(reclaimed)
+}
+
 /// Frees the block at user-region offset `offset`, validating the request
 /// against the hash table first (§4.7): unknown offsets are invalid
 /// frees, already-free blocks are double frees — both rejected without
@@ -242,15 +427,38 @@ impl SubheapAudit {
     }
 }
 
+/// How the transient cache layer accounts one cache-flagged record
+/// during an audit (see [`audit_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheResidency {
+    /// Not cache-managed. A record carrying `FLAG_CACHED` with this
+    /// residency is a corruption — the flag and the DRAM map are updated
+    /// together under the sub-heap lock the audit also holds.
+    None,
+    /// Sitting in a magazine or transfer pool: free capacity.
+    Resident,
+    /// Handed out to the application by the cached fast path: allocated.
+    CheckedOut,
+}
+
 /// Walks the whole sub-heap and checks every structural invariant:
 /// power-of-two aligned non-overlapping blocks covering the seeded area,
 /// free lists exactly matching FREE records, and level counts matching
 /// live entries. Used by tests and property checks.
 ///
+/// Cache-flagged records are classified through `residency` (the heap
+/// passes its DRAM residency map): `Resident` counts as free capacity,
+/// `CheckedOut` as allocated, and `None` — a flag with no cache entry —
+/// is a corruption. Flagged records must never be linked into a free
+/// list.
+///
 /// # Errors
 ///
 /// [`PoseidonError::Corrupted`] describing the first violated invariant.
-pub(crate) fn audit(op: &OpSession<'_>) -> Result<SubheapAudit> {
+pub(crate) fn audit_with(
+    op: &OpSession<'_>,
+    residency: impl Fn(u64) -> CacheResidency,
+) -> Result<SubheapAudit> {
     use std::collections::{BTreeMap, HashSet};
     let active = op.active_levels()? as usize;
     let mut by_offset: BTreeMap<u64, HashEntry> = BTreeMap::new();
@@ -306,6 +514,27 @@ pub(crate) fn audit(op: &OpSession<'_>) -> Result<SubheapAudit> {
         }
         cursor = off + e.size;
         audit_out.blocks += 1;
+        if e.flags & FLAG_CACHED != 0 {
+            // Cache-managed: on media always FREE (that is the crash
+            // contract), accounted by what the DRAM layer says.
+            if e.state != state::FREE {
+                return Err(PoseidonError::Corrupted("cache flag on a non-free record"));
+            }
+            match residency(e.offset) {
+                CacheResidency::Resident => {
+                    audit_out.free_bytes += e.size;
+                    audit_out.free_by_class[crate::layout::class_for_size(e.size)?.0] += 1;
+                }
+                CacheResidency::CheckedOut => {
+                    audit_out.alloc_bytes += e.size;
+                    audit_out.alloc_blocks += 1;
+                }
+                CacheResidency::None => {
+                    return Err(PoseidonError::Corrupted("cache-flagged record unknown to the cache"));
+                }
+            }
+            continue;
+        }
         match e.state {
             state::FREE => {
                 audit_out.free_bytes += e.size;
@@ -321,14 +550,18 @@ pub(crate) fn audit(op: &OpSession<'_>) -> Result<SubheapAudit> {
             }
         }
     }
-    // Free lists contain exactly the FREE records, each once, in the
-    // right class.
+    // Free lists contain exactly the unflagged FREE records, each once,
+    // in the right class. Cache-managed records are withdrawn from the
+    // lists by construction — one linked anyway is a corruption.
     let mut listed: HashSet<u64> = HashSet::new();
     for class in 0..NUM_CLASSES {
         for rec_off in buddy::collect(op, class)? {
             let e = op.entry(rec_off)?;
             if e.state != state::FREE {
                 return Err(PoseidonError::Corrupted("non-free record in free list"));
+            }
+            if e.flags & FLAG_CACHED != 0 {
+                return Err(PoseidonError::Corrupted("cache-managed record linked in a free list"));
             }
             if crate::layout::class_for_size(e.size)?.0 != class {
                 return Err(PoseidonError::Corrupted("record in wrong size class list"));
@@ -338,11 +571,18 @@ pub(crate) fn audit(op: &OpSession<'_>) -> Result<SubheapAudit> {
             }
         }
     }
-    let free_records = by_offset.values().filter(|e| e.state == state::FREE).count();
+    let free_records =
+        by_offset.values().filter(|e| e.state == state::FREE && e.flags & FLAG_CACHED == 0).count();
     if free_records != listed.len() {
         return Err(PoseidonError::Corrupted("free record not reachable from any free list"));
     }
     Ok(audit_out)
+}
+
+/// [`audit_with`] for contexts with no live cache (module tests, offline
+/// repair): any cache-flagged record is a corruption.
+pub(crate) fn audit(op: &OpSession<'_>) -> Result<SubheapAudit> {
+    audit_with(op, |_| CacheResidency::None)
 }
 
 #[cfg(test)]
@@ -501,6 +741,108 @@ mod tests {
         }
         let off = alloc_block(&op, class, None).expect("defrag must reassemble the largest block");
         free_block(&op, off).unwrap();
+        audit(&op).unwrap();
+    }
+
+    #[test]
+    fn refill_withdraws_blocks_under_one_commit() {
+        let (dev, layout) = setup();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
+        let before = audit(&op).unwrap();
+        let (class, size) = class_for_size(64).unwrap();
+        // The session's view buffers fence counts until it drops; give the
+        // refill its own session so the device stats reflect exactly it.
+        drop(op);
+
+        let fences0 = dev.stats().sfence_count;
+        let op = op_for(&dev, &layout);
+        let offsets = refill_blocks(&op, class, 8).unwrap();
+        assert_eq!(offsets.len(), 8);
+        drop(op);
+        // One two-fence commit (3 sfences with the generation bump) for
+        // the whole batch — the amortised budget the cache layer buys.
+        assert_eq!(dev.stats().sfence_count - fences0, 3);
+        let op = op_for(&dev, &layout);
+
+        // Flagged records are invisible to the cacheless audit...
+        assert!(matches!(audit(&op), Err(PoseidonError::Corrupted(_))));
+        // ...and count as free capacity when the cache owns them.
+        let resident: std::collections::HashSet<u64> = offsets.iter().copied().collect();
+        let a = audit_with(&op, |off| {
+            if resident.contains(&off) {
+                CacheResidency::Resident
+            } else {
+                CacheResidency::None
+            }
+        })
+        .unwrap();
+        assert_eq!(a.free_bytes, before.free_bytes);
+        assert_eq!(a.alloc_bytes, 0);
+
+        // The slow path cannot hand a withdrawn block out again.
+        let mut slow = std::collections::HashSet::new();
+        for _ in 0..64 {
+            slow.insert(alloc_block(&op, class, None).unwrap());
+        }
+        assert!(slow.is_disjoint(&resident), "slow path re-allocated a cache-withdrawn block");
+        for off in slow {
+            free_block(&op, off).unwrap();
+        }
+
+        // Drain restores the exact pre-refill audit.
+        assert_eq!(drain_blocks(&op, &offsets).unwrap(), 0);
+        let after = audit(&op).unwrap();
+        assert_eq!(after.free_bytes, before.free_bytes);
+        let _ = size;
+    }
+
+    #[test]
+    fn publish_turns_cached_blocks_into_real_allocations() {
+        let (dev, layout) = setup();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
+        let (class, size) = class_for_size(256).unwrap();
+        let offsets = refill_blocks(&op, class, 4).unwrap();
+        assert_eq!(offsets.len(), 4);
+        publish_blocks(&op, &offsets).unwrap();
+        let a = audit(&op).unwrap();
+        assert_eq!(a.alloc_bytes, 4 * size);
+        // Published blocks free (and double-free-check) like any other.
+        for off in &offsets {
+            assert_eq!(free_block(&op, *off).unwrap(), size);
+        }
+        assert!(matches!(free_block(&op, offsets[0]), Err(PoseidonError::DoubleFree { .. })));
+        assert_eq!(audit(&op).unwrap().alloc_bytes, 0);
+    }
+
+    #[test]
+    fn draining_a_poisoned_cached_block_quarantines_it() {
+        let (dev, layout) = setup();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
+        let (class, size) = class_for_size(64).unwrap();
+        let offsets = refill_blocks(&op, class, 2).unwrap();
+        dev.poison(op.ctx.user_base() + offsets[0], 1).unwrap();
+        assert_eq!(drain_blocks(&op, &offsets).unwrap(), 1);
+        let a = audit(&op).unwrap();
+        assert_eq!(a.quarantined_blocks, 1);
+        assert_eq!(a.quarantined_bytes, size);
+    }
+
+    #[test]
+    fn refill_survives_free_space_exhaustion() {
+        let (dev, layout) = setup();
+        let op = op_for(&dev, &layout);
+        create(&op, 0).unwrap();
+        // Ask for far more than the sub-heap holds: partial success, and
+        // everything handed out is distinct.
+        let (class, _) = class_for_size(layout.max_alloc()).unwrap();
+        let offsets = refill_blocks(&op, class, 1_000_000).unwrap();
+        assert!(!offsets.is_empty());
+        let unique: std::collections::HashSet<_> = offsets.iter().collect();
+        assert_eq!(unique.len(), offsets.len());
+        drain_blocks(&op, &offsets).unwrap();
         audit(&op).unwrap();
     }
 

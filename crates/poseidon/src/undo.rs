@@ -214,6 +214,13 @@ impl LogCore {
         })
     }
 
+    /// Whether one more entry logging `len` target bytes still fits in
+    /// the log area — batch operations consult this to stop cleanly
+    /// before [`log_and_write`](Self::log_and_write) would overflow.
+    pub fn has_room_for(&self, len: u64) -> bool {
+        self.tail + ENTRY_HEADER + len.next_multiple_of(8) <= self.area.size
+    }
+
     /// Appends an entry logging the current (overlay-visible) content of
     /// `[target, target + new.len())` and stages `new` for application
     /// at commit. The entry write lands in cache now; nothing touches

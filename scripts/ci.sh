@@ -31,9 +31,10 @@ cargo test -p poseidon -q huge
 # crash-point sweep, and the same sweep with uncorrectable media errors
 # interleaved (every case must end in a clean recovery with accurate
 # quarantine accounting or a typed MediaError — never a panic). The
-# workload mixes huge allocations/frees and huge+micro spanning
-# transactions in with the small ops, and the harness checks the
-# extent-table invariant after every power cycle.
+# workload mixes huge allocations/frees, huge+micro spanning
+# transactions, and cached-path churn bursts in with the small ops, and
+# the harness checks the extent-table invariant plus the cache-residency
+# invariant (cache-held blocks stay media-FREE) after every power cycle.
 echo "== crashfuzz --iters 50 --tx (fixed seed)"
 cargo run --release --bin crashfuzz -- --iters 50 --tx --seed 314159
 
@@ -42,6 +43,9 @@ cargo run --release --bin crashfuzz -- --iters 50 --tx --poison --seed 314159
 
 echo "== crashfuzz --iters 40 --tx --poison (fixed seed, huge-heavy)"
 cargo run --release --bin crashfuzz -- --iters 40 --tx --poison --seed 271828
+
+echo "== crashfuzz --iters 50 (fixed seed, cached-path sweep)"
+cargo run --release --bin crashfuzz -- --iters 50 --seed 161803
 
 echo "== pfsck tool tests"
 cargo test -q --test pfsck_tool

@@ -1,12 +1,14 @@
 //! `crashfuzz` — randomized crash-recovery fuzzing for the Poseidon stack.
 //!
 //! Each iteration drives a random allocator workload — small-block
-//! alloc/free, huge-path (extent allocator) alloc/free, transactional
+//! alloc/free (through the transient magazine cache), cached-path churn
+//! bursts, huge-path (extent allocator) alloc/free, transactional
 //! allocation both below and beyond the sub-heap cap, plus optional
 //! `ptx` transactions — injects a device crash at a random mutation
 //! event, in strict or adversarial mode, recovers, and audits every
 //! structural invariant, including the huge region's extent-table
-//! tiling. With `--poison`, uncorrectable media errors are armed
+//! tiling and the cache-residency invariant (every block the DRAM
+//! cache held at the crash must still be media-FREE after recovery). With `--poison`, uncorrectable media errors are armed
 //! alongside the crash point: every case must then end in either a
 //! successful load whose quarantine accounting matches the audit (and
 //! whose fresh allocations never overlap a poisoned line), or a clean
@@ -203,6 +205,23 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
                     Err(_) => {}
                 }
             }
+            9 => {
+                // Cached-path churn: same-size alloc/free pairs drive the
+                // magazine fast path (refill, hits, park) so crashes land
+                // while blocks are cache-withdrawn in every state.
+                let size = 1 + rng.below(4096);
+                for _ in 0..rng.below(12) + 1 {
+                    match heap.alloc(size) {
+                        Ok(p) => {
+                            if matches!(heap.free(p), Err(PoseidonError::Device(_))) {
+                                break 'workload;
+                            }
+                        }
+                        Err(PoseidonError::Device(_)) => break 'workload,
+                        Err(_) => break,
+                    }
+                }
+            }
             _ => {
                 if let Some(pool) = &pool {
                     let result = pool.run(|tx| {
@@ -224,6 +243,13 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
     dev.disarm_crash();
     dev.disarm_poison();
     let layout = *heap.layout();
+    let heap_id = heap.heap_id();
+    // Snapshot what the transient cache is holding at the moment of the
+    // "power cut": magazine/pool residents and checked-out allocations
+    // alike. All of them are persistently FREE by construction (the fast
+    // path never touches media), and recovery must return every one to
+    // the free lists.
+    let cache_withdrawn = heap.cache_snapshot();
     drop(pool);
     drop(heap);
 
@@ -270,6 +296,24 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
     }
     if !with_poison && (recovery.media_damage_detected() || dev.poisoned_lines() > 0) {
         return Err("media damage reported without --poison".into());
+    }
+
+    // Cache-residency invariant, checked after every power cycle: a block
+    // the DRAM cache held at the crash instant must be media-FREE — it can
+    // never resurface as a live allocation, because the cached path issues
+    // no persistent stores. `block_size` succeeds only for ALLOC records
+    // (the reloaded heap's cache starts empty), so success here means the
+    // invariant broke.
+    for &(sub, offset) in &cache_withdrawn {
+        if frozen.contains(&sub) {
+            continue; // wholesale quarantine froze the sub-heap's records as-is
+        }
+        if let Ok(size) = heap.block_size(NvmPtr::new(heap_id, sub, offset)) {
+            return Err(format!(
+                "cache-withdrawn block (sub {sub}, offset {offset:#x}) survived the \
+                 crash as a live {size}-byte allocation"
+            ));
+        }
     }
 
     // Extent-table invariant check, every power cycle: the audit walks
