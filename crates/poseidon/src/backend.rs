@@ -20,7 +20,9 @@ use crate::subheap;
 
 impl PoseidonHeap {
     /// Returns `preferred` unless that sub-heap is quarantined, in which
-    /// case the nearest healthy neighbour (mod scan) serves instead.
+    /// case the nearest healthy neighbour (mod scan) serves instead —
+    /// the routing half of allocation failover. When every sub-heap is
+    /// condemned the typed exhaustion error says so.
     pub(crate) fn healthy_sub(&self, preferred: u16) -> Result<u16> {
         let n = self.layout.num_subheaps;
         for step in 0..n {
@@ -29,7 +31,7 @@ impl PoseidonHeap {
                 return Ok(sub);
             }
         }
-        Err(PoseidonError::SubheapQuarantined { subheap: preferred })
+        Err(PoseidonError::AllFailed { tried: n })
     }
 
     /// Allocates from a specific sub-heap through the full persistent

@@ -2,6 +2,43 @@
 
 use pmem::PmemError;
 
+/// Which allocator path was executing when a media error was detected.
+///
+/// Carried inside [`PoseidonError::MediaError`] so callers (and the
+/// self-healing layer) can distinguish an alloc-path hit — where
+/// transparent failover to another sub-heap is possible — from a
+/// free-path or transaction hit, where the caller still holds a pointer
+/// into the damaged unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// An allocation path (buddy, cache refill, or huge-region extent).
+    Alloc,
+    /// A free path (slow free, cache drain, or huge-region free).
+    Free,
+    /// A transactional operation (`tx_alloc`, ptx commit/abort).
+    Tx,
+    /// Load-time recovery or the offline repair pass.
+    Recovery,
+    /// The background scrubber's proactive walk.
+    Scrub,
+    /// Unattributed: the error was converted straight from the device
+    /// layer without path context (the `From<PmemError>` fallback).
+    Unknown,
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OpKind::Alloc => "alloc",
+            OpKind::Free => "free",
+            OpKind::Tx => "tx",
+            OpKind::Recovery => "recovery",
+            OpKind::Scrub => "scrub",
+            OpKind::Unknown => "unknown",
+        })
+    }
+}
+
 /// Errors returned by [`PoseidonHeap`](crate::PoseidonHeap) operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PoseidonError {
@@ -80,12 +117,22 @@ pub enum PoseidonError {
     MediaError {
         /// Line-aligned device offset of the poisoned line.
         offset: u64,
+        /// Which allocator path tripped the error.
+        during: OpKind,
     },
     /// The operation targets a sub-heap that recovery quarantined after a
     /// media error; its blocks are frozen until `pfsck --repair` runs.
     SubheapQuarantined {
         /// The quarantined sub-heap.
         subheap: u16,
+    },
+    /// Allocation failover exhausted every sub-heap: each one is
+    /// quarantined after media errors. The pool needs `pfsck --repair`
+    /// before it can allocate again (frees of healthy blocks may still
+    /// work).
+    AllFailed {
+        /// Number of sub-heaps that were tried (all of them).
+        tried: u16,
     },
     /// Persistent state failed a validation check; the heap image is
     /// corrupt or not a Poseidon heap.
@@ -133,11 +180,14 @@ impl std::fmt::Display for PoseidonError {
                 f,
                 "transaction started on sub-heap {started_on} but this allocation would use sub-heap {current}"
             ),
-            PoseidonError::MediaError { offset } => {
-                write!(f, "uncorrectable media error at device offset {offset:#x}")
+            PoseidonError::MediaError { offset, during } => {
+                write!(f, "uncorrectable media error at device offset {offset:#x} (during {during})")
             }
             PoseidonError::SubheapQuarantined { subheap } => {
                 write!(f, "sub-heap {subheap} is quarantined after a media error (run pfsck --repair)")
+            }
+            PoseidonError::AllFailed { tried } => {
+                write!(f, "all {tried} sub-heaps are quarantined after media errors (run pfsck --repair)")
             }
             PoseidonError::Corrupted(why) => write!(f, "corrupt heap image: {why}"),
             PoseidonError::BadGeometry(why) => write!(f, "bad heap geometry: {why}"),
@@ -162,8 +212,24 @@ impl From<PmemError> for PoseidonError {
             // out-of-bounds access they are *partial* failures — callers
             // degrade gracefully (quarantine, failover) instead of
             // treating the whole device as gone.
-            PmemError::Uncorrectable { offset } => PoseidonError::MediaError { offset },
+            PmemError::Uncorrectable { offset } => {
+                PoseidonError::MediaError { offset, during: OpKind::Unknown }
+            }
             other => PoseidonError::Device(other),
+        }
+    }
+}
+
+impl PoseidonError {
+    /// Attributes an unattributed media error to `kind`, leaving every
+    /// other error (and already-attributed media errors) untouched. The
+    /// error-path glue each operation wraps its fallible core with.
+    pub(crate) fn attribute(self, kind: OpKind) -> PoseidonError {
+        match self {
+            PoseidonError::MediaError { offset, during: OpKind::Unknown } => {
+                PoseidonError::MediaError { offset, during: kind }
+            }
+            other => other,
         }
     }
 }
@@ -185,9 +251,23 @@ mod tests {
     #[test]
     fn uncorrectable_becomes_typed_media_error() {
         let e: PoseidonError = PmemError::Uncorrectable { offset: 0x1c0 }.into();
-        assert_eq!(e, PoseidonError::MediaError { offset: 0x1c0 });
+        assert_eq!(e, PoseidonError::MediaError { offset: 0x1c0, during: OpKind::Unknown });
         assert!(e.to_string().contains("media error"));
         assert!(PoseidonError::SubheapQuarantined { subheap: 3 }.to_string().contains("quarantined"));
+    }
+
+    #[test]
+    fn media_errors_attribute_to_the_tripping_path() {
+        let e: PoseidonError = PmemError::Uncorrectable { offset: 0x1c0 }.into();
+        let e = e.attribute(OpKind::Alloc);
+        assert_eq!(e, PoseidonError::MediaError { offset: 0x1c0, during: OpKind::Alloc });
+        assert!(e.to_string().contains("during alloc"));
+        // Already attributed: a later wrapper must not overwrite it.
+        assert_eq!(e.attribute(OpKind::Free), e);
+        // Non-media errors pass through unchanged.
+        let nospace = PoseidonError::NoSpace { requested: 64 };
+        assert_eq!(nospace.attribute(OpKind::Alloc), nospace);
+        assert!(PoseidonError::AllFailed { tried: 4 }.to_string().contains("all 4 sub-heaps"));
     }
 
     #[test]

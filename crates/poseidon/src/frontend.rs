@@ -392,6 +392,36 @@ impl HeapCache {
         out
     }
 
+    /// Invalidates every cache structure of a condemned sub-heap in DRAM:
+    /// magazines homed on it are emptied, its transfer pools drained, and
+    /// every residency byte zeroed, so the lock-free frontend can never
+    /// hand out (or absorb) one of its blocks again. The media is *not*
+    /// touched — the condemned metadata keeps its `FLAG_CACHED` records
+    /// for `pfsck --repair` to reconcile. Safe against racing fast-path
+    /// operations: once a byte is zero, `try_alloc`/`try_free` treat the
+    /// block as not cache-managed and fall to the slow path, which
+    /// refuses the quarantined sub-heap; blocks a racing free parks after
+    /// the sweep stay unreachable because routing never selects this
+    /// sub-heap again. Returns the number of blocks invalidated.
+    pub(crate) fn condemn(&self, sub: u16) -> usize {
+        // Discard rather than drain: these offsets' records live in
+        // damaged metadata that nobody writes again this session.
+        let _ = self.evict_resident(sub);
+        let sc = &self.subs[sub as usize];
+        let mut invalidated = 0;
+        sc.map.for_each(|_, byte| {
+            if byte.swap(0, Ordering::AcqRel) != 0 {
+                invalidated += 1;
+            }
+        });
+        // One more sweep for blocks a racing free parked mid-sweep.
+        let mut junk = Vec::new();
+        for pool in sc.pools.iter() {
+            pool.drain_into(&mut junk);
+        }
+        invalidated
+    }
+
     /// Whether `sub` has any checked-out blocks (cheap pre-check so
     /// publishing skips untouched sub-heaps without taking their locks).
     pub(crate) fn has_checked_out(&self, sub: u16) -> bool {

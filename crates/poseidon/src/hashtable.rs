@@ -103,7 +103,13 @@ pub(crate) fn insert(
                     target = Some(reusable.unwrap_or(off));
                     break;
                 }
-                state::TOMBSTONE if reusable.is_none() => reusable = Some(off),
+                // A tombstone is dead no matter what stale key it still
+                // carries — it must never reach the duplicate check below
+                // (a merged-away record's offset legitimately comes back
+                // when the merged block is re-split). Keep this arm
+                // unguarded: a `reusable.is_none()` match guard would let
+                // later tombstones fall through to the duplicate arm.
+                state::TOMBSTONE => reusable = reusable.or(Some(off)),
                 _ if existing.offset == key => {
                     return Err(PoseidonError::Corrupted("duplicate block record insert"));
                 }
@@ -334,6 +340,36 @@ mod tests {
         with_scope(&op, |s| insert(&op, s, entry(96), false)).unwrap();
         let r = with_scope(&op, |s| insert(&op, s, entry(96), false));
         assert!(matches!(r, Err(PoseidonError::Corrupted(_))));
+    }
+
+    #[test]
+    fn second_tombstone_with_matching_stale_key_is_not_a_duplicate() {
+        let (dev, layout) = setup();
+        let op = OpSession::unguarded(SubCtx { dev: &dev, layout: &layout, sub: 0 }).unwrap();
+        // Two keys whose home slots collide in level 0 (away from the
+        // wrap point so the probe order below is the slot order).
+        let c0 = layout.c0;
+        let (a, b) = (1..100_000u64)
+            .map(|i| i * 32)
+            .filter(|&k| home_slot(k, 0, c0) < c0 - PROBE_WINDOW)
+            .scan(std::collections::HashMap::new(), |seen, k| {
+                Some(seen.insert(home_slot(k, 0, c0), k).map(|first| (first, k)))
+            })
+            .flatten()
+            .next()
+            .expect("no colliding key pair found");
+        let off_a = with_scope(&op, |s| insert(&op, s, entry(a), false)).unwrap();
+        let off_b = with_scope(&op, |s| insert(&op, s, entry(b), false)).unwrap();
+        assert_eq!(off_b, off_a + ENTRY_SIZE, "b probes to the next slot");
+        with_scope(&op, |s| delete(&op, s, off_a)).unwrap();
+        with_scope(&op, |s| delete(&op, s, off_b)).unwrap();
+        // Re-inserting b walks past a's tombstone (captured for reuse)
+        // and then meets its own stale tombstone — a dead record that
+        // must not read as a duplicate insert.
+        let off_b2 = with_scope(&op, |s| insert(&op, s, entry(b), false)).unwrap();
+        assert_eq!(off_b2, off_a, "first tombstone in the window is reused");
+        assert!(lookup(&op, b).unwrap().is_some());
+        assert!(lookup(&op, a).unwrap().is_none());
     }
 
     #[test]

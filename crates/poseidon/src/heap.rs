@@ -9,7 +9,7 @@ use mpk::{AccessRights, PkruGuard, ProtectionKey};
 use pmem::contention::{LockProfile, TrackedMutex};
 use pmem::{numa, PmemDevice};
 
-use crate::error::{PoseidonError, Result};
+use crate::error::{OpKind, PoseidonError, Result};
 use crate::frontend::{CacheConfig, HeapCache};
 use crate::hashtable;
 use crate::hugeregion::{self, HugeAudit, HUGE_SUBHEAP};
@@ -17,6 +17,7 @@ use crate::layout::HeapLayout;
 use crate::nvmptr::NvmPtr;
 use crate::persist::{DirEntry, HugeCtx, SubCtx, SUPERBLOCK_MAGIC};
 use crate::recovery::{self, RecoveryReport};
+use crate::selfheal::HealthCounters;
 use crate::session::OpSession;
 use crate::subheap::{self, SubheapAudit};
 use crate::superblock;
@@ -146,7 +147,7 @@ pub struct PoseidonHeap {
     pub(crate) heap_id: u64,
     pub(crate) layout: HeapLayout,
     pub(crate) slots: Box<[SubSlot]>,
-    sb_lock: TrackedMutex<()>,
+    pub(crate) sb_lock: TrackedMutex<()>,
     /// Serialises extent-table operations on the huge-object region (one
     /// region per heap — huge allocations are rare and large, so a single
     /// lock does not contend with the per-CPU hot path).
@@ -157,6 +158,8 @@ pub struct PoseidonHeap {
     pub(crate) huge_quarantined: AtomicBool,
     recovery: RecoveryReport,
     pub(crate) ops: OpCounters,
+    /// Self-healing counters and the scrubber cursor ([`crate::selfheal`]).
+    pub(crate) health: HealthCounters,
     /// The transient caching layer ([`crate::frontend`]); `None` when
     /// disabled via [`HeapConfig::without_cache`].
     cache: Option<HeapCache>,
@@ -250,9 +253,12 @@ impl PoseidonHeap {
             }
         };
         let heap = Self::assemble(dev, pkey, header.heap_id, layout, report, config);
-        // Mark already-created sub-heaps from the directory.
+        // Mark already-created sub-heaps from the directory. A sub-heap
+        // condemned online (state DIR_QUARANTINED) was created too — its
+        // slot keeps reporting SubheapQuarantined rather than InvalidFree.
         for sub in 0..heap.layout.num_subheaps {
-            if superblock::dir_entry(&heap.dev, sub)?.state == 1 {
+            let state = superblock::dir_entry(&heap.dev, sub)?.state;
+            if state == 1 || state == superblock::DIR_QUARANTINED {
                 heap.slots[sub as usize].created.store(true, Ordering::Release);
             }
         }
@@ -309,6 +315,7 @@ impl PoseidonHeap {
             huge_quarantined: AtomicBool::new(false),
             recovery,
             ops: OpCounters::default(),
+            health: HealthCounters::default(),
             cache,
         }
     }
@@ -454,8 +461,10 @@ impl PoseidonHeap {
     /// Allocates `size` bytes from the calling CPU's sub-heap — the
     /// paper's `poseidon_alloc`. The usable size is `size` rounded up to
     /// its power-of-two buddy class. If the home sub-heap is quarantined
-    /// after a media error, the allocation transparently fails over to
-    /// the next healthy sub-heap.
+    /// after a media error — or a media fault strikes mid-allocation —
+    /// the allocation transparently fails over to the next healthy
+    /// sub-heap after the damaged unit is live-quarantined (see
+    /// [`crate::selfheal`]).
     ///
     /// Small classes are served by the transient cache when possible
     /// (lock- and fence-free after the first, batched withdrawal); see
@@ -465,9 +474,31 @@ impl PoseidonHeap {
     ///
     /// [`PoseidonError::ZeroSize`], [`PoseidonError::TooLarge`],
     /// [`PoseidonError::NoSpace`], [`PoseidonError::TableFull`],
-    /// [`PoseidonError::SubheapQuarantined`] when every sub-heap is
-    /// quarantined, or device errors.
+    /// [`PoseidonError::AllFailed`] when every sub-heap is quarantined,
+    /// [`PoseidonError::MediaError`] when damage cannot be routed around,
+    /// or device errors.
     pub fn alloc(&self, size: u64) -> Result<NvmPtr> {
+        // Bounded failover: each media-fault retry either lands on a
+        // different sub-heap (the damaged one was just condemned) or
+        // finds freshly quarantined blocks withdrawn, so n+1 attempts
+        // suffice before conceding.
+        let mut attempts = self.layout.num_subheaps;
+        loop {
+            match self.alloc_attempt(size) {
+                Err(e @ PoseidonError::MediaError { .. }) => {
+                    let (e, retryable) = self.heal_media_error(e, OpKind::Alloc);
+                    if !retryable || attempts == 0 {
+                        return Err(e);
+                    }
+                    attempts -= 1;
+                    self.health.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn alloc_attempt(&self, size: u64) -> Result<NvmPtr> {
         if let Some(ptr) = self.cached_alloc(size)? {
             return Ok(ptr);
         }
@@ -519,8 +550,32 @@ impl PoseidonHeap {
     /// # Errors
     ///
     /// As for [`alloc`](Self::alloc), plus [`PoseidonError::TxTooLarge`]
-    /// if the transaction exceeds the micro-log capacity.
+    /// if the transaction exceeds the micro-log capacity. A media fault
+    /// on the *first* allocation of a transaction fails over like
+    /// [`alloc`](Self::alloc); once the transaction is pinned to a
+    /// sub-heap, a fault quarantines the damage and returns the
+    /// attributed error — abort the transaction.
     pub fn tx_alloc(&self, size: u64, is_end: bool) -> Result<NvmPtr> {
+        let pinned = TX_SUBHEAP.with(|tx| tx.borrow().contains_key(&self.heap_id));
+        let mut attempts = self.layout.num_subheaps;
+        loop {
+            match self.tx_alloc_attempt(size, is_end) {
+                Err(e @ PoseidonError::MediaError { .. }) => {
+                    let (e, retryable) = self.heal_media_error(e, OpKind::Tx);
+                    // A pinned transaction cannot change sub-heaps
+                    // mid-flight (§5.3: one sub-heap, one micro-log slot).
+                    if pinned || !retryable || attempts == 0 {
+                        return Err(e);
+                    }
+                    attempts -= 1;
+                    self.health.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn tx_alloc_attempt(&self, size: u64, is_end: bool) -> Result<NvmPtr> {
         let open = TX_SUBHEAP.with(|tx| tx.borrow().get(&self.heap_id).copied());
         let (sub, slot, fresh) = match open {
             Some((sub, slot)) => (sub, slot, false),
@@ -562,10 +617,25 @@ impl PoseidonHeap {
     ///
     /// Device errors.
     pub fn tx_commit(&self) -> Result<()> {
+        self.tx_commit_inner().map_err(|e| self.heal_media_error(e, OpKind::Tx).0)
+    }
+
+    fn tx_commit_inner(&self) -> Result<()> {
         let Some((sub, slot)) = TX_SUBHEAP.with(|tx| tx.borrow_mut().remove(&self.heap_id)) else {
             return Ok(());
         };
-        let op = self.begin_op(sub)?;
+        let op = match self.begin_op(sub) {
+            Ok(op) => op,
+            Err(e) => {
+                // The sub-heap was condemned (or its metadata poisoned)
+                // under the open transaction: the micro-log entries stay
+                // pending inside the quarantined unit — recovery or
+                // repair settles them — but the volatile slot must not
+                // leak with it.
+                self.release_tx_slot(sub, slot);
+                return Err(e);
+            }
+        };
         crate::microlog::truncate(&op, slot)?;
         drop(op);
         self.ops.tx_commits.fetch_add(1, Ordering::Relaxed);
@@ -581,10 +651,23 @@ impl PoseidonHeap {
     ///
     /// Device errors.
     pub fn tx_abort(&self) -> Result<()> {
+        self.tx_abort_inner().map_err(|e| self.heal_media_error(e, OpKind::Tx).0)
+    }
+
+    fn tx_abort_inner(&self) -> Result<()> {
         let Some((sub, slot)) = TX_SUBHEAP.with(|tx| tx.borrow_mut().remove(&self.heap_id)) else {
             return Ok(());
         };
-        let op = self.begin_op(sub)?;
+        let op = match self.begin_op(sub) {
+            Ok(op) => op,
+            Err(e) => {
+                // Same policy as `tx_commit_inner`: the entries stay
+                // pending in the condemned unit; only the volatile slot
+                // is reclaimed.
+                self.release_tx_slot(sub, slot);
+                return Err(e);
+            }
+        };
         for ptr in crate::microlog::entries(&op, slot)? {
             if ptr.subheap() == HUGE_SUBHEAP {
                 // A transactional huge allocation: free the extent through
@@ -617,8 +700,15 @@ impl PoseidonHeap {
     ///
     /// [`PoseidonError::WrongHeap`], [`PoseidonError::BadSubheap`],
     /// [`PoseidonError::InvalidFree`], [`PoseidonError::DoubleFree`], or
-    /// device errors.
+    /// device errors. A mid-free media fault quarantines the damaged
+    /// unit (see [`crate::selfheal`]) and returns the attributed
+    /// [`PoseidonError::MediaError`] — the caller's block is inside the
+    /// damage, so there is nothing to fail over to.
     pub fn free(&self, ptr: NvmPtr) -> Result<()> {
+        self.free_inner(ptr).map_err(|e| self.heal_media_error(e, OpKind::Free).0)
+    }
+
+    fn free_inner(&self, ptr: NvmPtr) -> Result<()> {
         self.check_ptr(ptr)?;
         if ptr.subheap() == HUGE_SUBHEAP {
             return self.free_huge(ptr);

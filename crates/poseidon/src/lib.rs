@@ -28,7 +28,12 @@
 //! a sub-heap's metadata itself is damaged, the whole sub-heap) while the
 //! rest of the heap keeps allocating, and the offline [`repair`] pass
 //! (exposed as `pfsck --repair`) scrubs the poison and rebuilds the
-//! damaged metadata.
+//! damaged metadata. Faults that strike *while serving* are handled
+//! online: the operation aborts through its undo log, the damaged unit is
+//! live-quarantined persistently, allocations fail over to healthy
+//! sub-heaps, and a budgeted background scrubber
+//! ([`PoseidonHeap::scrub_step`]) promotes latent poison to quarantine
+//! before a user thread trips on it — see [`PoseidonHeap::health`].
 //!
 //! This implementation runs on the [`pmem`] simulated-NVMM substrate and
 //! the [`mpk`] simulated protection keys (see those crates and `DESIGN.md`
@@ -82,12 +87,13 @@ mod persist;
 mod quarantine;
 mod recovery;
 mod repair;
+mod selfheal;
 mod session;
 mod subheap;
 mod superblock;
 mod undo;
 
-pub use error::{PoseidonError, Result};
+pub use error::{OpKind, PoseidonError, Result};
 pub use frontend::CacheConfig;
 pub use heap::{HeapConfig, HeapOpStats, PoseidonHeap};
 pub use hugeregion::HugeAudit;
@@ -95,4 +101,5 @@ pub use layout::{class_for_size, class_size, HeapLayout, MIN_BLOCK, NUM_CLASSES}
 pub use nvmptr::{NvmPtr, MAX_OFFSET};
 pub use recovery::RecoveryReport;
 pub use repair::{repair, RepairReport};
+pub use selfheal::{HeapHealth, ScrubStep};
 pub use subheap::SubheapAudit;

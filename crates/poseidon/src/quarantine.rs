@@ -28,7 +28,7 @@ use pmem::PoisonRange;
 use crate::buddy;
 use crate::error::Result;
 use crate::layout::{ENTRY_SIZE, MAX_LEVELS};
-use crate::persist::state;
+use crate::persist::{state, FLAG_CACHED};
 use crate::session::OpSession;
 
 /// Whether any of `ranges` overlaps `[offset, offset + len)`.
@@ -44,6 +44,13 @@ pub(crate) fn overlaps_any(ranges: &[PoisonRange], offset: u64, len: u64) -> boo
 ///
 /// The caller has already established that the sub-heap's *metadata*
 /// region is poison-free — table reads here are expected to succeed.
+///
+/// Cache-withdrawn records (`FREE | FLAG_CACHED`) are skipped: they are
+/// already unlinked from their buddy list (unlinking them again would
+/// clobber the real list head), and the transient cache owns them — the
+/// live healing path drains the cache back to the free lists *before*
+/// calling this, so only blocks checked out to the application (whose
+/// poison surfaces as a typed read error) stay flagged.
 pub(crate) fn isolate_poisoned_free_blocks(op: &OpSession<'_>, poison: &[PoisonRange]) -> Result<(u64, u64)> {
     if poison.is_empty() {
         return Ok((0, 0));
@@ -57,7 +64,10 @@ pub(crate) fn isolate_poisoned_free_blocks(op: &OpSession<'_>, poison: &[PoisonR
         for i in 0..op.ctx.layout.level_capacity(level) {
             let rec_off = base + i * ENTRY_SIZE;
             let rec = op.entry(rec_off)?;
-            if rec.state != state::FREE || !overlaps_any(poison, user_base + rec.offset, rec.size) {
+            if rec.state != state::FREE
+                || rec.flags & FLAG_CACHED != 0
+                || !overlaps_any(poison, user_base + rec.offset, rec.size)
+            {
                 continue;
             }
             let mut scope = op.undo()?;

@@ -25,7 +25,7 @@
 
 use pmem::PmemDevice;
 
-use crate::error::{PoseidonError, Result};
+use crate::error::{OpKind, PoseidonError, Result};
 use crate::hugeregion::{self, HUGE_SUBHEAP};
 use crate::layout::HeapLayout;
 use crate::microlog;
@@ -108,7 +108,7 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
         let salvage = if quarantine::overlaps_any(&poison, hctx.meta_base(), layout.huge_meta_size()) {
             // Same policy as a poisoned sub-heap: a half-readable extent
             // table is worse than a frozen one.
-            Err(PoseidonError::MediaError { offset: hctx.meta_base() })
+            Err(PoseidonError::MediaError { offset: hctx.meta_base(), during: OpKind::Recovery })
         } else {
             hugeregion::validate(&hctx).and_then(|()| {
                 if undo::replay(dev, hctx.undo_area())? {
@@ -136,7 +136,18 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
     let mut quarantined_subs = Vec::new();
     for sub in 0..layout.num_subheaps {
         let ctx = SubCtx { dev, layout, sub };
-        if superblock::dir_entry(dev, sub)?.state != 1 {
+        let dir_state = superblock::dir_entry(dev, sub)?.state;
+        if dir_state == superblock::DIR_QUARANTINED {
+            // The previous session condemned this sub-heap online (live
+            // media fault) and committed the verdict to the directory.
+            // Honour it without touching the damaged region — and without
+            // clearing its poison, which `pfsck --repair` uses to decide
+            // what to rebuild.
+            report.subheaps_quarantined += 1;
+            quarantined_subs.push(sub);
+            continue;
+        }
+        if dir_state != 1 {
             // Not (yet) published: the crash may have hit mid-creation,
             // after metadata lines were written — and possibly poisoned —
             // but before the directory entry committed. Nothing in here is
@@ -157,7 +168,7 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
         let salvage = if meta_poisoned {
             // Don't even try: metadata reads could fail at any later
             // operation, and a half-replayed log is worse than none.
-            Err(PoseidonError::MediaError { offset: ctx.meta_base() })
+            Err(PoseidonError::MediaError { offset: ctx.meta_base(), during: OpKind::Recovery })
         } else {
             OpSession::unguarded(ctx).and_then(|op| {
                 recover_sub(&op, huge_ok, &mut report)?;

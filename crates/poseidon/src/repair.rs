@@ -21,7 +21,10 @@
 //!    never-created sub-heap's metadata is never written). The
 //!    superblock undo log is scrubbed — zeroed lines fail entry
 //!    validation, truncating the log — and replayed.
-//! 2. **Each created sub-heap.**
+//! 2. **Each created sub-heap** — including those the online
+//!    self-healing path condemned wholesale (directory state
+//!    `DIR_QUARANTINED`): they are rebuilt like any other and their
+//!    directory verdict is reset, lifting the quarantine on next load.
 //!    * The header page is scrubbed; a destroyed header is rebuilt from
 //!      the directory, and its undo log is then discarded wholesale —
 //!      the log generation was lost with the header, and replaying
@@ -109,6 +112,9 @@ pub struct RepairReport {
     /// surviving records (records were lost, not merely absent); the
     /// recomputed checksum is written back.
     pub level_sums_mismatched: u32,
+    /// Online-condemned sub-heaps (directory state `DIR_QUARANTINED`,
+    /// set by live self-healing) repaired and returned to service.
+    pub quarantines_lifted: u32,
     /// Whether the huge-region header was rebuilt from scratch (its undo
     /// log is discarded with it).
     pub huge_header_rebuilt: bool,
@@ -129,6 +135,7 @@ impl RepairReport {
             || self.blocks_released > 0
             || self.micro_slots_reset > 0
             || self.level_sums_mismatched > 0
+            || self.quarantines_lifted > 0
             || self.huge_header_rebuilt
             || self.huge_slots_dropped > 0
             || self.huge_bytes_quarantined > 0
@@ -168,10 +175,21 @@ pub fn repair(dev: &PmemDevice) -> Result<RepairReport> {
     dev.persist(0, SB_REGION_SIZE)?;
 
     for sub in 0..layout.num_subheaps {
-        if superblock::dir_entry(dev, sub)?.state != 1 {
+        let entry = superblock::dir_entry(dev, sub)?;
+        if entry.state != 1 && entry.state != superblock::DIR_QUARANTINED {
             continue;
         }
         repair_sub(dev, &layout, sub, &mut report)?;
+        if entry.state == superblock::DIR_QUARANTINED {
+            // Live self-healing condemned this sub-heap wholesale; the
+            // rebuild above re-established its metadata (poisoned free
+            // blocks stay block-quarantined), so the directory verdict
+            // is lifted and the sub-heap returns to service on load.
+            let lifted = crate::persist::DirEntry { state: 1, node: entry.node };
+            dev.write_pod(superblock::dir_entry_off(sub), &lifted)?;
+            dev.persist(superblock::dir_entry_off(sub), 8)?;
+            report.quarantines_lifted += 1;
+        }
         report.subheaps_repaired += 1;
     }
     repair_huge(dev, &layout, &mut report)?;
@@ -838,6 +856,31 @@ mod tests {
         let audit = heap.huge_audit().unwrap().unwrap();
         assert_eq!(audit.free_bytes, 2 * need);
         assert_eq!(audit.quarantined_bytes, hole);
+    }
+
+    #[test]
+    fn online_condemned_subheap_is_lifted_by_repair() {
+        let (dev, live) = build_heap();
+        let heap = PoseidonHeap::load(dev.clone(), HeapConfig::new()).unwrap();
+        assert!(heap.condemn_subheap(0).unwrap());
+        assert_eq!(heap.quarantined_subheaps(), vec![0]);
+        heap.close().unwrap();
+
+        // The condemnation is persistent: a plain reload still honours it.
+        let h = PoseidonHeap::load(dev.clone(), HeapConfig::new()).unwrap();
+        assert_eq!(h.quarantined_subheaps(), vec![0]);
+        h.close().unwrap();
+
+        // Repair rebuilds the condemned sub-heap and lifts the verdict.
+        let report = repair(&dev).unwrap();
+        assert_eq!(report.quarantines_lifted, 1);
+        assert_eq!(report.subheaps_repaired, 2);
+        assert!(report.damage_found());
+        let heap = reload_and_audit(&dev);
+        for p in live {
+            heap.free(p).unwrap();
+        }
+        heap.audit().unwrap();
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! Online self-healing: live media-fault quarantine, allocation
+//! failover, and the budgeted background scrubber.
+//!
+//! PR 2's fault model degrades gracefully at *load* time; this module is
+//! the serving-time half. When an operation trips
+//! [`PmemError::Uncorrectable`](pmem::PmemError) mid-flight, the undo
+//! scope that was open rolls the operation back (its `Drop` already
+//! guarantees that), and the error surfaces here, where the damaged unit
+//! is quarantined **live** at the right granularity:
+//!
+//! * **metadata poison** → the whole sub-heap is condemned: its volatile
+//!   flag flips first (routing skips it immediately), its transient cache
+//!   state is invalidated in DRAM (magazines, transfer pools, residency
+//!   bytes — nothing touches the damaged media), and the verdict is made
+//!   persistent by flipping the sub-heap's directory entry to
+//!   [`superblock::DIR_QUARANTINED`] under the superblock undo log's
+//!   two-fence commit. Every future load honours the entry without
+//!   touching the region.
+//! * **user-data poison** → only the free blocks overlapping the poison
+//!   are moved to the persistent `QUARANTINED` record state (the same
+//!   block-granularity machinery recovery uses).
+//! * **huge region** → extent-granularity for data poison, wholesale
+//!   (volatile flag; the poison itself is the persistent record) for
+//!   extent-table poison.
+//!
+//! Allocations then **fail over**: the alloc paths retry on the next
+//! healthy sub-heap, bounded by the sub-heap count, and return the typed
+//! [`PoseidonError::AllFailed`] only when every sub-heap is condemned.
+//! Frees and pinned transactions cannot fail over (the caller holds a
+//! pointer into the damaged unit) and return the attributed error.
+//!
+//! The **scrubber** ([`PoseidonHeap::scrub_step`]) walks one unit
+//! (sub-heap or huge region) per budget tick, checking its free lists and
+//! extent table against the device's poison list and promoting anything
+//! it finds to quarantine *before* a user thread trips on it. It is
+//! incremental and budgeted so a `platform` thread can drive it
+//! concurrently with the serving loop ([`PoseidonHeap::scrub_until`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::error::{OpKind, PoseidonError, Result};
+use crate::heap::PoseidonHeap;
+use crate::hugeregion;
+use crate::layout::HeapLayout;
+use crate::quarantine;
+use crate::superblock;
+
+/// Which layout unit a device offset falls in — the quarantine
+/// granularity decision for a live media fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultUnit {
+    /// The superblock region (header, directory, superblock undo log).
+    Superblock,
+    /// Sub-heap `sub`'s metadata region (header, lists, logs, table).
+    SubMeta(u16),
+    /// Sub-heap `sub`'s user-data region.
+    SubUser(u16),
+    /// The huge region's metadata (header, undo log, extent table).
+    HugeMeta,
+    /// The huge region's data pages.
+    HugeData,
+    /// Outside every region (never expected from a live operation).
+    Unknown,
+}
+
+/// Maps a device offset to the layout unit containing it.
+pub(crate) fn fault_unit(layout: &HeapLayout, offset: u64) -> FaultUnit {
+    let n = layout.num_subheaps as u64;
+    if offset < layout.meta_base(0) {
+        return FaultUnit::Superblock;
+    }
+    if offset < layout.huge_meta_base() {
+        return FaultUnit::SubMeta(((offset - layout.meta_base(0)) / layout.meta_size) as u16);
+    }
+    if offset < layout.meta_end() {
+        return FaultUnit::HugeMeta;
+    }
+    if offset < layout.meta_end() + n * layout.user_size {
+        return FaultUnit::SubUser(((offset - layout.meta_end()) / layout.user_size) as u16);
+    }
+    if layout.huge_data_size > 0 && offset < layout.huge_data_base() + layout.huge_data_size {
+        return FaultUnit::HugeData;
+    }
+    FaultUnit::Unknown
+}
+
+/// Volatile self-healing counters of one heap (reset on open).
+#[derive(Debug, Default)]
+pub(crate) struct HealthCounters {
+    pub(crate) media_errors_alloc: AtomicU64,
+    pub(crate) media_errors_free: AtomicU64,
+    pub(crate) media_errors_tx: AtomicU64,
+    pub(crate) media_errors_scrub: AtomicU64,
+    pub(crate) failovers: AtomicU64,
+    pub(crate) subheaps_condemned: AtomicU64,
+    pub(crate) blocks_quarantined: AtomicU64,
+    pub(crate) extents_quarantined: AtomicU64,
+    pub(crate) cache_blocks_invalidated: AtomicU64,
+    pub(crate) scrub_steps: AtomicU64,
+    pub(crate) scrub_passes: AtomicU64,
+    pub(crate) scrub_cursor: AtomicU64,
+}
+
+impl HealthCounters {
+    fn media_counter(&self, during: OpKind) -> &AtomicU64 {
+        match during {
+            OpKind::Free => &self.media_errors_free,
+            OpKind::Tx => &self.media_errors_tx,
+            OpKind::Scrub => &self.media_errors_scrub,
+            _ => &self.media_errors_alloc,
+        }
+    }
+}
+
+/// A heap's health report: what the self-healing layer has quarantined,
+/// how far the scrubber has come, and the media-error counters — the
+/// serving-time counterpart of [`RecoveryReport`](crate::RecoveryReport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapHealth {
+    /// Sub-heaps currently quarantined (load-time plus live).
+    pub quarantined_subheaps: u32,
+    /// Whether the huge region is currently quarantined wholesale.
+    pub huge_region_quarantined: bool,
+    /// Cache lines the device currently reports as poisoned.
+    pub poisoned_lines: u64,
+    /// Mid-operation media errors hit on allocation paths this session.
+    pub media_errors_during_alloc: u64,
+    /// Mid-operation media errors hit on free paths this session.
+    pub media_errors_during_free: u64,
+    /// Mid-operation media errors hit on transaction paths this session.
+    pub media_errors_during_tx: u64,
+    /// Media errors the scrubber hit (or damage it promoted) proactively.
+    pub media_errors_during_scrub: u64,
+    /// Allocations that transparently retried on another sub-heap after a
+    /// live media fault.
+    pub failovers: u64,
+    /// Sub-heaps condemned live (persistently, via their directory entry).
+    pub subheaps_condemned_live: u64,
+    /// Blocks moved to the `QUARANTINED` record state live.
+    pub blocks_quarantined_live: u64,
+    /// Huge extents moved to the `QUARANTINED` state live.
+    pub extents_quarantined_live: u64,
+    /// Cached blocks invalidated in DRAM when their sub-heap was
+    /// condemned (magazine rounds, pool slots, residency bytes).
+    pub cache_blocks_invalidated: u64,
+    /// Completed [`scrub_step`](PoseidonHeap::scrub_step) calls.
+    pub scrub_steps: u64,
+    /// Completed full passes over every unit (sub-heaps + huge region).
+    pub scrub_passes: u64,
+}
+
+impl HeapHealth {
+    /// Total mid-operation media errors across every path.
+    pub fn live_media_errors(&self) -> u64 {
+        self.media_errors_during_alloc
+            + self.media_errors_during_free
+            + self.media_errors_during_tx
+            + self.media_errors_during_scrub
+    }
+
+    /// Whether the self-healing layer has quarantined anything live.
+    pub fn damage_contained(&self) -> bool {
+        self.subheaps_condemned_live > 0
+            || self.blocks_quarantined_live > 0
+            || self.extents_quarantined_live > 0
+    }
+}
+
+/// What one [`PoseidonHeap::scrub_step`] (or an accumulated
+/// [`scrub_until`](PoseidonHeap::scrub_until) run) examined and promoted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubStep {
+    /// Units (sub-heaps or the huge region) examined.
+    pub units_examined: u64,
+    /// Full passes over every unit completed.
+    pub passes_completed: u64,
+    /// Sub-heaps condemned wholesale (metadata poison found).
+    pub subheaps_condemned: u64,
+    /// Free blocks promoted to `QUARANTINED` (user-data poison found).
+    pub blocks_quarantined: u64,
+    /// Bytes covered by the promoted blocks.
+    pub bytes_quarantined: u64,
+    /// Huge extents promoted to `QUARANTINED`.
+    pub extents_quarantined: u64,
+    /// Whether this step quarantined the huge region wholesale.
+    pub huge_region_quarantined: bool,
+}
+
+impl ScrubStep {
+    /// Whether the step promoted any damage to quarantine.
+    pub fn found_damage(&self) -> bool {
+        self.subheaps_condemned > 0
+            || self.blocks_quarantined > 0
+            || self.extents_quarantined > 0
+            || self.huge_region_quarantined
+    }
+
+    /// Folds another step's tallies into this one.
+    pub fn absorb(&mut self, other: &ScrubStep) {
+        self.units_examined += other.units_examined;
+        self.passes_completed += other.passes_completed;
+        self.subheaps_condemned += other.subheaps_condemned;
+        self.blocks_quarantined += other.blocks_quarantined;
+        self.bytes_quarantined += other.bytes_quarantined;
+        self.extents_quarantined += other.extents_quarantined;
+        self.huge_region_quarantined |= other.huge_region_quarantined;
+    }
+}
+
+impl PoseidonHeap {
+    /// Condemns sub-heap `sub` after a live media fault: volatile flag
+    /// first (routing and the cache frontend skip it from this instant),
+    /// then DRAM cache invalidation, then the persistent directory flip
+    /// under the superblock undo log's two-fence commit. Idempotent;
+    /// returns whether this call was the one that condemned it.
+    pub(crate) fn condemn_subheap(&self, sub: u16) -> Result<bool> {
+        if self.slots[sub as usize].quarantined.swap(true, Ordering::AcqRel) {
+            return Ok(false);
+        }
+        // DRAM only: the damaged sub-heap's media is never touched. Any
+        // block the cache held for it is dropped from circulation here;
+        // the media records stay FREE+FLAG_CACHED and `pfsck --repair`
+        // reconciles them with everything else.
+        if let Some(cache) = self.cache() {
+            let invalidated = cache.condemn(sub);
+            self.health.cache_blocks_invalidated.fetch_add(invalidated as u64, Ordering::Relaxed);
+        }
+        self.health.subheaps_condemned.fetch_add(1, Ordering::Relaxed);
+        // Persist the verdict. Best-effort by design: if the superblock
+        // undo area is itself damaged this returns the error, but the
+        // volatile flag above already isolates the sub-heap for this
+        // session, and the metadata poison re-quarantines it on reload.
+        let _guard = self.write_guard();
+        let _sb = self.sb_lock.lock();
+        superblock::quarantine_subheap(&self.dev, sub)?;
+        Ok(true)
+    }
+
+    /// Quarantines every free block of `sub` whose user bytes overlap
+    /// currently poisoned lines (block granularity, persistent records).
+    ///
+    /// The sub-heap's transient cache is drained back to the free lists
+    /// first, under the same op session, so a poisoned block sitting in a
+    /// magazine or transfer pool becomes a plain `FREE` record the
+    /// isolation walk can withdraw — the lock held across both steps
+    /// means no refill can re-withdraw it in between. Blocks checked out
+    /// to the application stay out (the caller owns them; their poison
+    /// surfaces as a typed read error, and a later scrub pass catches
+    /// them once they come back).
+    fn quarantine_poisoned_blocks_on(&self, sub: u16) -> Result<(u64, u64)> {
+        if !self.sub_usable(sub) {
+            return Ok((0, 0));
+        }
+        let poison = self.dev.scrub();
+        if poison.is_empty() {
+            return Ok((0, 0));
+        }
+        let op = self.begin_op(sub)?;
+        if let Some(cache) = self.cache() {
+            let victims = cache.evict_resident(sub);
+            if !victims.is_empty() {
+                crate::subheap::drain_blocks(&op, &victims)?;
+                cache.clear(sub, &victims);
+            }
+        }
+        let (blocks, bytes) = quarantine::isolate_poisoned_free_blocks(&op, &poison)?;
+        drop(op);
+        self.health.blocks_quarantined.fetch_add(blocks, Ordering::Relaxed);
+        Ok((blocks, bytes))
+    }
+
+    /// Quarantines every free huge extent overlapping poisoned data pages.
+    fn quarantine_poisoned_extents(&self) -> Result<(u64, u64)> {
+        let poison = self.dev.scrub();
+        let op = self.begin_huge()?;
+        let (extents, bytes) = hugeregion::quarantine_poisoned(&op, &poison)?;
+        drop(op);
+        self.health.extents_quarantined.fetch_add(extents, Ordering::Relaxed);
+        Ok((extents, bytes))
+    }
+
+    /// The live self-healing dispatcher: given an error that just aborted
+    /// an operation (the undo scope already rolled it back), quarantine
+    /// the damaged unit at the right granularity and report whether the
+    /// caller may retry on healthy capacity. Non-media errors pass
+    /// through untouched (`retryable = false`).
+    pub(crate) fn heal_media_error(&self, e: PoseidonError, during: OpKind) -> (PoseidonError, bool) {
+        let PoseidonError::MediaError { offset, .. } = e else { return (e, false) };
+        self.health.media_counter(during).fetch_add(1, Ordering::Relaxed);
+        let attributed = e.attribute(during);
+        match fault_unit(&self.layout, offset) {
+            FaultUnit::SubMeta(sub) if sub < self.layout.num_subheaps => {
+                // Whole-sub-heap condemnation; a persist failure still
+                // leaves the volatile flag set, so retrying is safe.
+                let _ = self.condemn_subheap(sub);
+                (attributed, true)
+            }
+            FaultUnit::SubUser(sub) if sub < self.layout.num_subheaps => {
+                if !self.sub_usable(sub) {
+                    // A racing condemnation (or an uncreated sub-heap):
+                    // nothing to withdraw, and routing already skips it —
+                    // retrying on healthy capacity is safe.
+                    return (attributed, true);
+                }
+                // Data poison: block-granularity quarantine. Retry only
+                // if something was actually withdrawn — otherwise the
+                // poison sits under a live allocation and retrying the
+                // same operation would loop on the same line.
+                match self.quarantine_poisoned_blocks_on(sub) {
+                    Ok((blocks, _)) => (attributed, blocks > 0),
+                    Err(_) => {
+                        let _ = self.condemn_subheap(sub);
+                        (attributed, true)
+                    }
+                }
+            }
+            FaultUnit::HugeMeta => {
+                // The poison in the extent table is itself the persistent
+                // record: every future load re-quarantines from the scrub
+                // list, exactly like load-time recovery does.
+                self.huge_quarantined.store(true, Ordering::Release);
+                (attributed, false)
+            }
+            FaultUnit::HugeData => match self.quarantine_poisoned_extents() {
+                Ok((extents, _)) => (attributed, extents > 0),
+                Err(_) => {
+                    self.huge_quarantined.store(true, Ordering::Release);
+                    (attributed, false)
+                }
+            },
+            _ => (attributed, false),
+        }
+    }
+
+    /// The heap's current health: quarantine census, live media-error
+    /// counters, and scrub progress. Cheap (atomic loads plus the
+    /// device's poison-line count); safe to poll from a serving loop.
+    pub fn health(&self) -> HeapHealth {
+        let c = &self.health;
+        HeapHealth {
+            quarantined_subheaps: self.quarantined_subheaps().len() as u32,
+            huge_region_quarantined: self.huge_quarantined.load(Ordering::Acquire),
+            poisoned_lines: self.dev.poisoned_lines(),
+            media_errors_during_alloc: c.media_errors_alloc.load(Ordering::Relaxed),
+            media_errors_during_free: c.media_errors_free.load(Ordering::Relaxed),
+            media_errors_during_tx: c.media_errors_tx.load(Ordering::Relaxed),
+            media_errors_during_scrub: c.media_errors_scrub.load(Ordering::Relaxed),
+            failovers: c.failovers.load(Ordering::Relaxed),
+            subheaps_condemned_live: c.subheaps_condemned.load(Ordering::Relaxed),
+            blocks_quarantined_live: c.blocks_quarantined.load(Ordering::Relaxed),
+            extents_quarantined_live: c.extents_quarantined.load(Ordering::Relaxed),
+            cache_blocks_invalidated: c.cache_blocks_invalidated.load(Ordering::Relaxed),
+            scrub_steps: c.scrub_steps.load(Ordering::Relaxed),
+            scrub_passes: c.scrub_passes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One budgeted scrubber increment: examines up to `budget` units
+    /// (each unit is one sub-heap, or the huge region) starting at the
+    /// persistent-within-the-session cursor, checks their free lists and
+    /// extent table against the device's poison list, and promotes any
+    /// discovered damage to quarantine at the usual granularity. A full
+    /// cycle over every unit counts one *pass*.
+    ///
+    /// Budgeted and incremental on purpose (the same step/budget shape
+    /// the roadmap wants for incremental defrag): drive it from a
+    /// `platform` thread concurrently with the serving loop, or call it
+    /// inline between requests.
+    ///
+    /// # Errors
+    ///
+    /// Device errors other than media faults (those are absorbed into
+    /// quarantine and reported in the step).
+    pub fn scrub_step(&self, budget: usize) -> Result<ScrubStep> {
+        let n = self.layout.num_subheaps as u64;
+        let units = n + u64::from(self.layout.huge_data_size > 0);
+        let mut step = ScrubStep::default();
+        let poison = self.dev.scrub();
+        for _ in 0..budget.clamp(1, units as usize) {
+            let raw = self.health.scrub_cursor.fetch_add(1, Ordering::Relaxed);
+            let unit = raw % units;
+            if (raw + 1).is_multiple_of(units) {
+                self.health.scrub_passes.fetch_add(1, Ordering::Relaxed);
+                step.passes_completed += 1;
+            }
+            step.units_examined += 1;
+            if poison.is_empty() {
+                continue;
+            }
+            if unit == n {
+                self.scrub_huge_unit(&poison, &mut step);
+            } else {
+                self.scrub_sub_unit(unit as u16, &poison, &mut step);
+            }
+        }
+        self.health.scrub_steps.fetch_add(1, Ordering::Relaxed);
+        Ok(step)
+    }
+
+    fn scrub_sub_unit(&self, sub: u16, poison: &[pmem::PoisonRange], step: &mut ScrubStep) {
+        if !self.sub_usable(sub) {
+            return;
+        }
+        let meta_base = self.layout.meta_base(sub);
+        if quarantine::overlaps_any(poison, meta_base, self.layout.meta_size) {
+            // Metadata poison found before any user thread tripped on it.
+            self.health.media_errors_scrub.fetch_add(1, Ordering::Relaxed);
+            if self.condemn_subheap(sub).is_ok() {
+                step.subheaps_condemned += 1;
+            }
+            return;
+        }
+        if !quarantine::overlaps_any(poison, self.layout.user_base(sub), self.layout.user_size) {
+            return;
+        }
+        match self.quarantine_poisoned_blocks_on(sub) {
+            Ok((blocks, bytes)) => {
+                if blocks > 0 {
+                    self.health.media_errors_scrub.fetch_add(1, Ordering::Relaxed);
+                }
+                step.blocks_quarantined += blocks;
+                step.bytes_quarantined += bytes;
+            }
+            Err(_) => {
+                // The walk itself hit damage: escalate to condemnation.
+                self.health.media_errors_scrub.fetch_add(1, Ordering::Relaxed);
+                if self.condemn_subheap(sub).is_ok() {
+                    step.subheaps_condemned += 1;
+                }
+            }
+        }
+    }
+
+    fn scrub_huge_unit(&self, poison: &[pmem::PoisonRange], step: &mut ScrubStep) {
+        if self.layout.huge_data_size == 0 || self.huge_quarantined.load(Ordering::Acquire) {
+            return;
+        }
+        if quarantine::overlaps_any(poison, self.layout.huge_meta_base(), self.layout.huge_meta_size()) {
+            self.health.media_errors_scrub.fetch_add(1, Ordering::Relaxed);
+            self.huge_quarantined.store(true, Ordering::Release);
+            step.huge_region_quarantined = true;
+            return;
+        }
+        if !quarantine::overlaps_any(poison, self.layout.huge_data_base(), self.layout.huge_data_size) {
+            return;
+        }
+        match self.quarantine_poisoned_extents() {
+            Ok((extents, bytes)) => {
+                if extents > 0 {
+                    self.health.media_errors_scrub.fetch_add(1, Ordering::Relaxed);
+                }
+                step.extents_quarantined += extents;
+                step.bytes_quarantined += bytes;
+            }
+            Err(_) => {
+                self.health.media_errors_scrub.fetch_add(1, Ordering::Relaxed);
+                self.huge_quarantined.store(true, Ordering::Release);
+                step.huge_region_quarantined = true;
+            }
+        }
+    }
+
+    /// Runs the scrubber until `stop` is set: the background-thread
+    /// driver. Spawn it on a [`platform::thread`] scope next to the
+    /// serving threads:
+    ///
+    /// ```ignore
+    /// let stop = AtomicBool::new(false);
+    /// platform::thread::scope(|s| {
+    ///     s.spawn(|| heap.scrub_until(&stop, 1));
+    ///     // ... serving threads ...
+    ///     stop.store(true, Ordering::Release);
+    /// });
+    /// ```
+    ///
+    /// Returns the accumulated step tallies.
+    ///
+    /// # Errors
+    ///
+    /// As for [`scrub_step`](Self::scrub_step).
+    pub fn scrub_until(&self, stop: &AtomicBool, budget: usize) -> Result<ScrubStep> {
+        let mut total = ScrubStep::default();
+        while !stop.load(Ordering::Acquire) {
+            total.absorb(&self.scrub_step(budget)?);
+            std::thread::yield_now();
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_units_partition_the_device() {
+        let layout = HeapLayout::compute(256 << 20, 4).unwrap();
+        assert_eq!(fault_unit(&layout, 0), FaultUnit::Superblock);
+        assert_eq!(fault_unit(&layout, layout.meta_base(0)), FaultUnit::SubMeta(0));
+        assert_eq!(fault_unit(&layout, layout.meta_base(3) + 0x100), FaultUnit::SubMeta(3));
+        assert_eq!(fault_unit(&layout, layout.huge_meta_base()), FaultUnit::HugeMeta);
+        assert_eq!(fault_unit(&layout, layout.user_base(0)), FaultUnit::SubUser(0));
+        assert_eq!(fault_unit(&layout, layout.user_base(2) + 64), FaultUnit::SubUser(2));
+        assert_eq!(fault_unit(&layout, layout.huge_data_base()), FaultUnit::HugeData);
+        assert_eq!(fault_unit(&layout, layout.huge_data_base() + layout.huge_data_size), FaultUnit::Unknown);
+    }
+
+    #[test]
+    fn fault_units_without_a_huge_region() {
+        let layout = HeapLayout::compute(8 << 20, 1).unwrap();
+        assert_eq!(layout.huge_data_size, 0);
+        assert_eq!(fault_unit(&layout, layout.meta_base(0)), FaultUnit::SubMeta(0));
+        assert_eq!(fault_unit(&layout, layout.user_base(0)), FaultUnit::SubUser(0));
+        assert_eq!(fault_unit(&layout, layout.capacity), FaultUnit::Unknown);
+    }
+}

@@ -23,6 +23,11 @@ pub(crate) fn undo_area() -> UndoArea {
     UndoArea { base: SB_UNDO_OFF, size: SB_UNDO_SIZE, gen_field: undo_gen_off() }
 }
 
+/// Directory-entry state of a sub-heap condemned online after a live
+/// media fault. Recovery honours it without touching the region;
+/// `pfsck --repair` rebuilds the metadata and resets the entry to 1.
+pub(crate) const DIR_QUARANTINED: u32 = 2;
+
 /// Device offset of sub-heap `sub`'s directory entry.
 pub(crate) fn dir_entry_off(sub: u16) -> u64 {
     SB_DIR_OFF + sub as u64 * 8
@@ -122,6 +127,21 @@ pub(crate) fn set_root(dev: &PmemDevice, ptr: NvmPtr) -> Result<()> {
     session.commit()
 }
 
+/// Persistently condemns sub-heap `sub` after a live media fault: its
+/// directory entry flips to [`DIR_QUARANTINED`] under the superblock
+/// undo log's two-fence commit, so the verdict is crash-atomic and
+/// every future load sees the sub-heap as quarantined. Caller holds the
+/// superblock lock and the MPK write guard. Idempotent.
+pub(crate) fn quarantine_subheap(dev: &PmemDevice, sub: u16) -> Result<()> {
+    let entry = dir_entry(dev, sub)?;
+    if entry.state == DIR_QUARANTINED {
+        return Ok(());
+    }
+    let mut session = undo::UndoSession::begin(dev, undo_area())?;
+    session.log_and_write_pod(dir_entry_off(sub), &DirEntry { state: DIR_QUARANTINED, node: entry.node })?;
+    session.commit()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +199,29 @@ mod tests {
             (r.subheap() == 1 && r.offset() == 64) || (r.subheap() == 0 && r.offset() == 128),
             "torn root pointer: {r}"
         );
+    }
+
+    #[test]
+    fn quarantine_subheap_is_persistent_and_idempotent() {
+        let (dev, layout) = setup();
+        create(&dev, &layout, 0xABCD).unwrap();
+        publish_subheap(&dev, 1, DirEntry { state: 1, node: 7 }).unwrap();
+        quarantine_subheap(&dev, 1).unwrap();
+        let e = dir_entry(&dev, 1).unwrap();
+        assert_eq!(e.state, DIR_QUARANTINED);
+        assert_eq!(e.node, 7, "the NUMA node survives condemnation");
+        // Idempotent: a second condemnation is a no-op, not an error.
+        quarantine_subheap(&dev, 1).unwrap();
+        assert_eq!(dir_entry(&dev, 1).unwrap().state, DIR_QUARANTINED);
+
+        // Crash-atomic: interrupt a condemnation of sub-heap 0 mid-way;
+        // after replay the entry is either fully old or fully new.
+        dev.arm_crash_after(4);
+        let _ = quarantine_subheap(&dev, 0);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        undo::replay(&dev, undo_area()).unwrap();
+        let e = dir_entry(&dev, 0).unwrap();
+        assert!(e.state == 0 || e.state == DIR_QUARANTINED, "torn directory entry: {}", e.state);
     }
 
     #[test]

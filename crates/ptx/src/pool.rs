@@ -296,13 +296,19 @@ impl PtxPool {
         }
         dev.sfence()?;
         // Release the transaction's allocations (poseidon's own micro-log
-        // recovery may have freed some already — tolerated).
+        // recovery may have freed some already — tolerated). A block whose
+        // sub-heap was condemned, or that sits inside fresh media damage,
+        // cannot be freed — its bytes are already inside the quarantined
+        // unit, so skipping it loses nothing.
         let mut allocs = 0;
         for i in 0..header.alloc_count.min(JOURNAL_SLOTS as u64) {
             let ptr: NvmPtr = dev.read_pod(self.journal_slot(ctx, ALLOC_JOURNAL_OFF, i))?;
             match self.heap.free(ptr) {
                 Ok(()) => allocs += 1,
-                Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
+                Err(PoseidonError::DoubleFree { .. })
+                | Err(PoseidonError::InvalidFree { .. })
+                | Err(PoseidonError::SubheapQuarantined { .. })
+                | Err(PoseidonError::MediaError { .. }) => {}
                 Err(e) => return Err(e.into()),
             }
         }
@@ -319,7 +325,12 @@ impl PtxPool {
             let ptr: NvmPtr = dev.read_pod(self.journal_slot(ctx, FREE_JOURNAL_OFF, i))?;
             match self.heap.free(ptr) {
                 Ok(()) => frees += 1,
-                Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
+                // Already freed by recovery, or unreachable inside a
+                // quarantined/damaged unit — the deferred free is moot.
+                Err(PoseidonError::DoubleFree { .. })
+                | Err(PoseidonError::InvalidFree { .. })
+                | Err(PoseidonError::SubheapQuarantined { .. })
+                | Err(PoseidonError::MediaError { .. }) => {}
                 Err(e) => return Err(e.into()),
             }
         }
@@ -530,9 +541,17 @@ impl Ptx<'_> {
         let header = self.ctx_header()?;
         self.pool.roll_back(self.ctx, &header)?;
         // Drop the allocator's micro log for this transaction (its
-        // entries were already freed through the alloc journal).
-        self.pool.heap.tx_abort()?;
-        Ok(())
+        // entries were already freed through the alloc journal). A
+        // condemned sub-heap refuses the cleanup: the pending entries sit
+        // inside the quarantined unit and recovery settles them there.
+        // The ptx-level abort above is already complete — every pre-image
+        // is restored — so that refusal must not mask the abort's cause.
+        match self.pool.heap.tx_abort() {
+            Ok(())
+            | Err(PoseidonError::SubheapQuarantined { .. })
+            | Err(PoseidonError::MediaError { .. }) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -871,6 +890,45 @@ mod tests {
             assert!(value == 111 || value == 222, "crash_at {crash_at}: root value torn ({value})");
             pool.heap().audit().unwrap();
         }
+    }
+
+    #[test]
+    fn media_fault_mid_transaction_aborts_with_preimages_intact() {
+        let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20)));
+        let heap = Arc::new(PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap());
+        let pool = PtxPool::create(heap.clone()).unwrap();
+        pmem::numa::set_current_cpu(0);
+        let keeper = pool
+            .run(|tx| {
+                let k = tx.alloc(64)?;
+                tx.write_pod(k, 0, &41u64)?;
+                tx.set_root(k)?;
+                Ok(k)
+            })
+            .unwrap();
+
+        // Pin a transaction, journal an overwrite of `keeper`, then
+        // poison the pinned sub-heap's metadata header: the next alloc
+        // trips the uncorrectable error, the allocator condemns the
+        // sub-heap, and the transaction must abort with every pre-image
+        // restored — no pool reopen, no torn user data.
+        let mut pinned_sub = 0u16;
+        let result: Result<(), PtxError> = pool.run(|tx| {
+            let first = tx.alloc(64)?; // pins the transaction's sub-heap
+            pinned_sub = first.subheap();
+            tx.write_pod(keeper, 0, &99u64)?;
+            dev.poison(heap.layout().meta_base(pinned_sub), 1).unwrap();
+            tx.alloc(64)?; // hits Uncorrectable on the poisoned metadata
+            Ok(())
+        });
+        assert!(result.is_err(), "the faulted transaction must not commit");
+
+        // Pre-images intact, damage contained, pool still serving.
+        assert_eq!(pool.root().unwrap(), keeper);
+        let value: u64 = dev.read_pod(heap.raw_offset(keeper).unwrap()).unwrap();
+        assert_eq!(value, 41, "journaled pre-image lost in the media-fault abort");
+        assert_eq!(heap.quarantined_subheaps(), vec![pinned_sub]);
+        pool.run(|tx| tx.alloc(32).map(drop)).unwrap(); // fails over
     }
 
     #[test]

@@ -47,6 +47,17 @@ cargo run --release --bin crashfuzz -- --iters 40 --tx --poison --seed 271828
 echo "== crashfuzz --iters 50 (fixed seed, cached-path sweep)"
 cargo run --release --bin crashfuzz -- --iters 50 --seed 161803
 
+# Online self-healing gates: live-fault cases (poison armed while the
+# heap serves, scrubber ticking concurrently; every case must end with
+# balanced quarantine accounting, a poison-free cache, no poisoned
+# block handed out, and verdicts that survive a crash), plus the
+# quarantine-vs-frontend race and bulk-fault integration tests.
+echo "== crashfuzz --iters 40 --poison-live (fixed seed)"
+cargo run --release --bin crashfuzz -- --iters 40 --poison-live --seed 314159
+
+echo "== cargo test online_ (live self-healing integration)"
+cargo test -q --test robustness online_
+
 echo "== pfsck tool tests"
 cargo test -q --test pfsck_tool
 

@@ -15,8 +15,16 @@
 //! typed `MediaError` — never a panic, never silent reuse of poisoned
 //! blocks. Any failure prints the reproducing seed.
 //!
+//! With `--poison-live`, no crash is armed at all: poison strikes
+//! repeatedly *while the heap is serving*, exercising the online
+//! self-healing path (undo-logged abort, live quarantine, allocation
+//! failover, budgeted scrubber ticks). Every case must end with
+//! quarantine accounting that balances, no poisoned block re-allocated,
+//! the cache purged of every condemned sub-heap's blocks, and the
+//! quarantine verdicts surviving a crash + reload.
+//!
 //! ```text
-//! crashfuzz [--iters N] [--seed S] [--tx] [--poison]
+//! crashfuzz [--iters N] [--seed S] [--tx] [--poison] [--poison-live]
 //! ```
 
 use std::process::ExitCode;
@@ -45,6 +53,7 @@ fn main() -> ExitCode {
     let mut seed = 0x5EED_F00Du64;
     let mut with_tx = false;
     let mut with_poison = false;
+    let mut poison_live = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,19 +61,24 @@ fn main() -> ExitCode {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--tx" => with_tx = true,
             "--poison" => with_poison = true,
+            "--poison-live" => poison_live = true,
             other => {
                 eprintln!("crashfuzz: unknown argument {other}");
-                eprintln!("usage: crashfuzz [--iters N] [--seed S] [--tx] [--poison]");
+                eprintln!("usage: crashfuzz [--iters N] [--seed S] [--tx] [--poison] [--poison-live]");
                 return ExitCode::from(2);
             }
         }
     }
-    println!("crashfuzz: {iters} iterations, seed {seed}, tx={with_tx}, poison={with_poison}");
+    println!(
+        "crashfuzz: {iters} iterations, seed {seed}, tx={with_tx}, poison={with_poison}, live={poison_live}"
+    );
     let mut rng = Rng(seed | 1);
     let mut media_failures = 0u64;
     for iteration in 0..iters {
         let case_seed = rng.next();
-        match run_case(case_seed, with_tx, with_poison) {
+        let result =
+            if poison_live { run_live_case(case_seed) } else { run_case(case_seed, with_tx, with_poison) };
+        match result {
             Ok(outcome) => {
                 if matches!(outcome, CaseOutcome::TypedMediaFailure) {
                     media_failures += 1;
@@ -79,7 +93,9 @@ fn main() -> ExitCode {
             println!("  {}/{iters} cases clean", iteration + 1);
         }
     }
-    if with_poison {
+    if poison_live {
+        println!("crashfuzz: all {iters} live-poison cases self-healed cleanly");
+    } else if with_poison {
         println!(
             "crashfuzz: all {iters} cases handled cleanly ({media_failures} ended in a typed media error)"
         );
@@ -142,6 +158,141 @@ fn check_undo_ordering(
         }
     }
     Ok(())
+}
+
+/// One `--poison-live` case: poison fires repeatedly *during* live
+/// operations with no crash armed, so every uncorrectable error must be
+/// absorbed online. Ends by checking the self-healing invariants and
+/// that the quarantine verdicts survive a power cycle.
+fn run_live_case(case_seed: u64) -> Result<CaseOutcome, String> {
+    let mut rng = Rng(case_seed | 1);
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20).with_media_faults(true)));
+    let heap = Arc::new(
+        PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(2 + rng.below(3) as u16))
+            .map_err(|e| format!("create: {e}"))?,
+    );
+    let max_alloc = heap.layout().max_alloc();
+
+    // Several poison salvos, each landing mid-operation somewhere in the
+    // workload. Device errors are impossible without an armed crash, so
+    // any `Device` escape is a self-healing bug, as is a panic.
+    let mut live: Vec<NvmPtr> = Vec::new();
+    for round in 0..4u64 {
+        dev.arm_poison_after(1 + rng.below(150), rng.next() ^ round);
+        for _ in 0..rng.below(120) + 30 {
+            match rng.below(10) {
+                0..=4 => match heap.alloc(1 + rng.below(8192)) {
+                    Ok(p) => live.push(p),
+                    Err(PoseidonError::Device(e)) => return Err(format!("live alloc: device error {e}")),
+                    Err(_) => {}
+                },
+                5..=6 => {
+                    if !live.is_empty() {
+                        let index = rng.below(live.len() as u64) as usize;
+                        let p = live.swap_remove(index);
+                        if let Err(PoseidonError::Device(e)) = heap.free(p) {
+                            return Err(format!("live free: device error {e}"));
+                        }
+                    }
+                }
+                7 => {
+                    let commit = rng.below(2) == 0;
+                    match heap.tx_alloc(1 + rng.below(512), commit) {
+                        Ok(p) if commit => live.push(p),
+                        Ok(_) => {}
+                        Err(PoseidonError::Device(e)) => return Err(format!("live tx: device error {e}")),
+                        Err(_) => {
+                            let _ = heap.tx_abort();
+                        }
+                    }
+                }
+                8 => match heap.alloc(max_alloc + 1 + rng.below(2 << 20)) {
+                    Ok(p) => live.push(p),
+                    Err(PoseidonError::Device(e)) => return Err(format!("live huge: device error {e}")),
+                    Err(_) => {}
+                },
+                _ => {
+                    // Budgeted scrubber tick: promotes latent poison to
+                    // quarantine before a user thread trips on it.
+                    heap.scrub_step(1 + rng.below(8) as usize).map_err(|e| format!("scrub_step: {e}"))?;
+                }
+            }
+        }
+        dev.disarm_poison();
+    }
+
+    // A full scrub pass drains whatever poison the workload never touched.
+    let units = heap.layout().num_subheaps as usize + 1;
+    heap.scrub_step(2 * units).map_err(|e| format!("final scrub: {e}"))?;
+
+    // Invariant 1 — quarantine accounting balances: the health report's
+    // frozen count is the live set, every counted media error was
+    // attributed, and the structural audit of the surviving sub-heaps
+    // (which re-derives quarantined blocks from the tables) passes.
+    let health = heap.health();
+    let frozen = heap.quarantined_subheaps();
+    if health.quarantined_subheaps as usize != frozen.len() {
+        return Err(format!(
+            "health reports {} quarantined sub-heaps, live set has {}",
+            health.quarantined_subheaps,
+            frozen.len()
+        ));
+    }
+    heap.audit().map_err(|e| format!("post-workload audit: {e}"))?;
+
+    // Invariant 2 — the cache holds nothing from a condemned sub-heap.
+    for &(sub, offset) in &heap.cache_snapshot() {
+        if frozen.contains(&sub) {
+            return Err(format!(
+                "cache still holds block (sub {sub}, offset {offset:#x}) of a condemned sub-heap"
+            ));
+        }
+    }
+
+    // Invariant 3 — no poisoned block is ever handed out again.
+    for _ in 0..32 {
+        let size = 1 + rng.below(4096);
+        match heap.alloc(size) {
+            Ok(p) => {
+                let raw = heap.raw_offset(p).map_err(|e| format!("raw_offset: {e}"))?;
+                for range in dev.scrub() {
+                    if range.overlaps(raw, size) {
+                        return Err(format!(
+                            "post-heal allocation at {raw:#x} overlaps poisoned line at {:#x}",
+                            range.offset
+                        ));
+                    }
+                }
+                live.push(p);
+            }
+            Err(PoseidonError::AllFailed { .. }) if frozen.len() == heap.layout().num_subheaps as usize => {
+                break;
+            }
+            Err(PoseidonError::NoSpace { .. } | PoseidonError::MediaError { .. }) => {}
+            Err(e) => return Err(format!("post-heal alloc: {e}")),
+        }
+    }
+
+    // Invariant 4 — the verdicts are persistent: a crash + reload sees
+    // exactly the same frozen set, and the heap still audits clean.
+    drop(heap);
+    dev.simulate_crash(
+        if rng.below(2) == 0 { CrashMode::Strict } else { CrashMode::Adversarial },
+        rng.next(),
+    );
+    let heap = match PoseidonHeap::load(dev.clone(), HeapConfig::new()) {
+        Ok(heap) => heap,
+        Err(PoseidonError::MediaError { .. }) => return Ok(CaseOutcome::TypedMediaFailure),
+        Err(e) => return Err(format!("reload: {e}")),
+    };
+    let refrozen = heap.quarantined_subheaps();
+    for sub in &frozen {
+        if !refrozen.contains(sub) {
+            return Err(format!("sub-heap {sub} lost its quarantine verdict across the power cycle"));
+        }
+    }
+    heap.audit().map_err(|e| format!("post-reload audit: {e}"))?;
+    Ok(CaseOutcome::Recovered)
 }
 
 fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutcome, String> {
@@ -360,8 +511,9 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
             }
             heap.free(p).map_err(|e| format!("post-recovery free: {e}"))?;
         }
-        // Acceptable only when every sub-heap is frozen by poison.
-        Err(PoseidonError::SubheapQuarantined { .. })
+        // Acceptable only when every sub-heap is frozen by poison (the
+        // failover loop exhausts the sub-heap set and types it).
+        Err(PoseidonError::AllFailed { .. } | PoseidonError::SubheapQuarantined { .. })
             if with_poison && frozen.len() == heap.layout().num_subheaps as usize => {}
         Err(e) => return Err(format!("post-recovery alloc: {e}")),
     }

@@ -152,10 +152,6 @@ fn main() -> ExitCode {
             report.blocks_quarantined,
             report.bytes_quarantined >> 10,
         );
-        let quarantined = heap.quarantined_subheaps();
-        if !quarantined.is_empty() {
-            println!("media    : frozen sub-heaps {quarantined:?} — run pfsck --repair to rebuild them");
-        }
         if report.huge_region_quarantined {
             println!("media    : huge region frozen wholesale — run pfsck --repair to rebuild it");
         } else if report.huge_extents_quarantined > 0 {
@@ -165,6 +161,26 @@ fn main() -> ExitCode {
                 report.huge_bytes_quarantined >> 10
             );
         }
+    }
+    // The live health census, independent of what *this* load found:
+    // verdicts condemned online in an earlier session persist in the
+    // directory and must show up even when recovery saw no new damage.
+    let health = heap.health();
+    let quarantined = heap.quarantined_subheaps();
+    if !quarantined.is_empty() {
+        println!("health   : frozen sub-heaps {quarantined:?} — run pfsck --repair to rebuild them");
+    }
+    if health.huge_region_quarantined {
+        println!("health   : huge region frozen — run pfsck --repair to rebuild it");
+    }
+    if health.poisoned_lines > 0 {
+        println!(
+            "health   : {} poisoned lines outstanding ({} free blocks quarantined by this load)",
+            health.poisoned_lines, report.blocks_quarantined
+        );
+    }
+    if quarantined.is_empty() && !health.huge_region_quarantined && health.poisoned_lines == 0 {
+        println!("health   : all units serving, no outstanding media damage");
     }
     match heap.root() {
         Ok(root) if !root.is_null() => println!("root     : {root}"),
