@@ -224,10 +224,10 @@ fn huge_path_ablation() {
     println!(
         "\nablation/huge-path (alloc+free rounds, sub-heap cap {} MiB, huge region {} MiB)",
         max >> 20,
-        h.layout().huge_data_size >> 20
+        h.layout().huge_data_size() >> 20
     );
     let mut size = 1u64 << 20;
-    while size <= 64 << 20 && size <= h.layout().huge_data_size {
+    while size <= 64 << 20 && size <= h.layout().huge_data_size() {
         let p = h.alloc(size).expect("warm alloc");
         h.free(p).expect("warm free");
         let before = h.device().stats();

@@ -143,7 +143,7 @@ fn digest() {
     let huge = heap.huge_audit().expect("huge audit").expect("huge region");
     println!(
         "\n## Extent-table digest (64 huge ops over a {} MiB region)",
-        heap.layout().huge_data_size >> 20
+        heap.layout().huge_data_size() >> 20
     );
     println!("{:<12} {:>#18x} {:>#20x}", "huge-extent", HUGE_SEED, fold.finish());
     println!(
@@ -238,6 +238,35 @@ fn digest() {
         health.media_errors_during_scrub,
         total.units_examined
     );
+
+    // Sparse-cost digest: creating and then growing an almost-empty
+    // pool must touch O(metadata) bytes, not O(capacity) — sub-heaps
+    // materialise lazily and a growth writes one epoch record plus the
+    // huge band's extent bookkeeping. Resident bytes count the device
+    // chunks any write has materialised, so this is exactly "bytes
+    // touched".
+    let dev = Arc::new(PmemDevice::new(DeviceConfig::new(256 << 20).growable_to(4 << 30)));
+    let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(4)).expect("heap");
+    let anchor = heap.alloc(64).expect("anchor alloc");
+    let after_create = dev.resident_bytes();
+    let report = heap.grow(4 << 30).expect("grow");
+    let after_grow = dev.resident_bytes();
+    println!("\n## Sparse-cost digest — create + grow an almost-empty pool");
+    println!(
+        "  create 256 MiB (4 sub-heaps) + one 64 B object: {} KiB touched ({:.3}% of capacity)",
+        after_create >> 10,
+        100.0 * after_create as f64 / (256u64 << 20) as f64
+    );
+    println!(
+        "  grow to 4 GiB (epoch {}, +{} sub-heaps, +{} MiB huge band): {} KiB more touched \
+         ({:.4}% of the added capacity)",
+        report.epoch,
+        report.new_subheaps,
+        report.huge_bytes_added >> 20,
+        (after_grow - after_create) >> 10,
+        100.0 * (after_grow - after_create) as f64 / (report.new_capacity - report.old_capacity) as f64
+    );
+    heap.free(anchor).expect("anchor free");
 }
 
 /// Runs `work` for each allocator and thread count (fresh pool per

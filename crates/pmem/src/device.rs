@@ -25,6 +25,12 @@ pub const PAGE_SIZE: u64 = 4096;
 pub struct DeviceConfig {
     /// Virtual capacity in bytes (backing memory is materialised lazily).
     pub capacity: u64,
+    /// Ceiling for online growth ([`PmemDevice::grow`]). Directory
+    /// structures (page maps, chunk groups) are sized for this bound but
+    /// materialise lazily, so a large ceiling over a small live capacity
+    /// costs only the top-level directories. Values below `capacity` are
+    /// clamped up to it, so a default-constructed device is not growable.
+    pub max_capacity: u64,
     /// Track dirty cache lines for crash simulation. Disable for pure
     /// throughput benchmarks; [`PmemDevice::simulate_crash`] then has
     /// nothing to revert.
@@ -49,6 +55,7 @@ impl DeviceConfig {
     pub fn new(capacity: u64) -> DeviceConfig {
         DeviceConfig {
             capacity,
+            max_capacity: capacity,
             crash_tracking: true,
             enforce_protection: true,
             topology: NumaTopology::host(),
@@ -91,6 +98,13 @@ impl DeviceConfig {
         self.media_faults = enabled;
         self
     }
+
+    /// Returns a copy whose device can [`grow`](PmemDevice::grow) online
+    /// up to `max` bytes (clamped up to the live capacity).
+    pub fn growable_to(mut self, max: u64) -> DeviceConfig {
+        self.max_capacity = max;
+        self
+    }
 }
 
 /// A simulated NVMM device. See the [crate docs](crate) for the model.
@@ -103,10 +117,15 @@ impl DeviceConfig {
 /// (racing byte-writes land atomically).
 pub struct PmemDevice {
     config: DeviceConfig,
+    /// Live capacity: starts at [`DeviceConfig::capacity`] and only ever
+    /// grows (up to [`DeviceConfig::max_capacity`]) via
+    /// [`grow`](Self::grow). Like a file's size under `ftruncate`, a
+    /// growth is durable the moment it returns — crashes never revert it.
+    capacity: AtomicU64,
     store: ChunkStore,
     cache: Option<CacheModel>,
-    page_keys: Box<[AtomicU8]>,
-    page_nodes: Box<[AtomicU8]>,
+    page_keys: PageMap,
+    page_nodes: PageMap,
     domain: Arc<MpkDomain>,
     stats: DeviceStats,
     crashed: AtomicBool,
@@ -132,22 +151,63 @@ pub struct PmemDevice {
 impl std::fmt::Debug for PmemDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PmemDevice")
-            .field("capacity", &self.config.capacity)
+            .field("capacity", &self.capacity())
             .field("resident_bytes", &self.store.resident_bytes())
             .field("crashed", &self.crashed.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
 
+/// Per-page byte attributes (protection key, NUMA node) over the device's
+/// growth ceiling, stored as a two-level radix whose leaves materialise on
+/// first non-default store: pages of untouched leaves read as 0. This keeps
+/// a TB-scale `max_capacity` from eagerly allocating gigabyte-order
+/// attribute arrays.
+struct PageMap {
+    leaves: Box<[std::sync::OnceLock<Box<[AtomicU8]>>]>,
+}
+
+/// Pages covered by one [`PageMap`] leaf (128 MiB of device).
+const PAGES_PER_LEAF: usize = 1 << 15;
+
+impl PageMap {
+    fn new(max_capacity: u64) -> PageMap {
+        let pages = max_capacity.div_ceil(PAGE_SIZE) as usize;
+        let leaves = pages.div_ceil(PAGES_PER_LEAF).max(1);
+        PageMap { leaves: (0..leaves).map(|_| std::sync::OnceLock::new()).collect() }
+    }
+
+    #[inline]
+    fn get(&self, page: u64) -> u8 {
+        let page = page as usize;
+        match self.leaves[page / PAGES_PER_LEAF].get() {
+            Some(leaf) => leaf[page % PAGES_PER_LEAF].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    #[inline]
+    fn set(&self, page: u64, value: u8) {
+        let page = page as usize;
+        let slot = &self.leaves[page / PAGES_PER_LEAF];
+        if value == 0 && slot.get().is_none() {
+            return; // the default needs no leaf
+        }
+        let leaf = slot.get_or_init(|| (0..PAGES_PER_LEAF).map(|_| AtomicU8::new(0)).collect());
+        leaf[page % PAGES_PER_LEAF].store(value, Ordering::Relaxed);
+    }
+}
+
 impl PmemDevice {
     /// Creates a device with the given configuration.
-    pub fn new(config: DeviceConfig) -> PmemDevice {
-        let pages = config.capacity.div_ceil(PAGE_SIZE) as usize;
+    pub fn new(mut config: DeviceConfig) -> PmemDevice {
+        config.max_capacity = config.max_capacity.max(config.capacity);
         PmemDevice {
-            store: ChunkStore::new(config.capacity),
+            capacity: AtomicU64::new(config.capacity),
+            store: ChunkStore::new(config.max_capacity),
             cache: config.crash_tracking.then(CacheModel::new),
-            page_keys: (0..pages).map(|_| AtomicU8::new(0)).collect(),
-            page_nodes: (0..pages).map(|_| AtomicU8::new(0)).collect(),
+            page_keys: PageMap::new(config.max_capacity),
+            page_nodes: PageMap::new(config.max_capacity),
             domain: Arc::new(MpkDomain::new()),
             stats: DeviceStats::new(),
             crashed: AtomicBool::new(false),
@@ -161,10 +221,51 @@ impl PmemDevice {
         }
     }
 
-    /// Device capacity in bytes.
+    /// Live device capacity in bytes (grows via [`grow`](Self::grow)).
     #[inline]
     pub fn capacity(&self) -> u64 {
-        self.config.capacity
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// The device's provisioned growth ceiling.
+    #[inline]
+    pub fn max_capacity(&self) -> u64 {
+        self.config.max_capacity
+    }
+
+    /// Extends the device online to `new_capacity` bytes — the analogue
+    /// of `ftruncate` on a sparse DAX file. Idempotent for the current
+    /// capacity; durable immediately (a crash never shrinks the device
+    /// back). No backing memory is touched: the grown range materialises
+    /// lazily on first write, so growing an almost-empty device costs
+    /// nothing on media.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::BadGrow`] if `new_capacity` would shrink the device
+    /// or exceed [`DeviceConfig::max_capacity`];
+    /// [`PmemError::Crashed`] on a crashed device.
+    pub fn grow(&self, new_capacity: u64) -> Result<(), PmemError> {
+        if self.crashed.load(Ordering::Relaxed) {
+            return Err(PmemError::Crashed);
+        }
+        let max = self.config.max_capacity;
+        loop {
+            let current = self.capacity();
+            if new_capacity < current || new_capacity > max {
+                return Err(PmemError::BadGrow { requested: new_capacity, current, max });
+            }
+            if new_capacity == current {
+                return Ok(());
+            }
+            if self
+                .capacity
+                .compare_exchange(current, new_capacity, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Ok(());
+            }
+        }
     }
 
     /// The device's configuration.
@@ -211,8 +312,9 @@ impl PmemDevice {
 
     #[inline]
     pub(crate) fn check_range(&self, offset: u64, len: u64) -> Result<(), PmemError> {
-        if offset.checked_add(len).is_none_or(|end| end > self.config.capacity) {
-            return Err(PmemError::OutOfBounds { offset, len, capacity: self.config.capacity });
+        let capacity = self.capacity();
+        if offset.checked_add(len).is_none_or(|end| end > capacity) {
+            return Err(PmemError::OutOfBounds { offset, len, capacity });
         }
         Ok(())
     }
@@ -225,7 +327,7 @@ impl PmemDevice {
         let first = offset / PAGE_SIZE;
         let last = (offset + len - 1) / PAGE_SIZE;
         for page in first..=last {
-            let key = self.page_keys[page as usize].load(Ordering::Relaxed);
+            let key = self.page_keys.get(page);
             if key != 0 {
                 let pkey = ProtectionKey::from_index(key).expect("stored keys are valid");
                 if !self.domain.access_allowed(pkey, kind) {
@@ -262,9 +364,9 @@ impl PmemDevice {
         let epoch = self.prot_epoch.load(Ordering::Acquire);
         let first = offset / PAGE_SIZE;
         let last = (offset + len - 1) / PAGE_SIZE;
-        let mut uniform = Some(self.page_keys[first as usize].load(Ordering::Relaxed));
+        let mut uniform = Some(self.page_keys.get(first));
         for page in first..=last {
-            let key = self.page_keys[page as usize].load(Ordering::Relaxed);
+            let key = self.page_keys.get(page);
             if uniform != Some(key) {
                 uniform = None;
             }
@@ -292,7 +394,7 @@ impl PmemDevice {
 
     #[inline]
     pub(crate) fn is_remote(&self, offset: u64) -> bool {
-        let node = self.page_nodes[(offset / PAGE_SIZE) as usize].load(Ordering::Relaxed) as usize;
+        let node = self.page_nodes.get(offset / PAGE_SIZE) as usize;
         self.config.topology.node_of_cpu(current_cpu()) != node
     }
 
@@ -392,7 +494,7 @@ impl PmemDevice {
             cache.before_write(offset, buf.len() as u64, |line_off, line_buf| {
                 // Clamp to capacity: the last line of an unaligned capacity
                 // may extend past it; the out-of-range tail stays zero.
-                let end = (line_off + line_buf.len() as u64).min(self.config.capacity);
+                let end = (line_off + line_buf.len() as u64).min(self.capacity());
                 if line_off < end {
                     self.store.read(line_off, &mut line_buf[..(end - line_off) as usize]);
                 }
@@ -463,7 +565,7 @@ impl PmemDevice {
         self.mutation_event()?;
         if let Some(cache) = &self.cache {
             cache.before_write(offset, 8, |line_off, line_buf| {
-                let end = (line_off + line_buf.len() as u64).min(self.config.capacity);
+                let end = (line_off + line_buf.len() as u64).min(self.capacity());
                 if line_off < end {
                     self.store.read(line_off, &mut line_buf[..(end - line_off) as usize]);
                 }
@@ -543,7 +645,7 @@ impl PmemDevice {
         self.stats.record_validation();
         for &line in batch.lines() {
             let offset = line * CACHE_LINE_SIZE;
-            let len = CACHE_LINE_SIZE.min(self.config.capacity.saturating_sub(offset));
+            let len = CACHE_LINE_SIZE.min(self.capacity().saturating_sub(offset));
             self.check_range(offset, len.max(1))?;
             self.check_poison(offset, len)?;
             self.mutation_event()?;
@@ -614,7 +716,7 @@ impl PmemDevice {
         let first = offset / PAGE_SIZE;
         let last = (offset + len - 1) / PAGE_SIZE;
         for page in first..=last {
-            self.page_keys[page as usize].store(key.index(), Ordering::Relaxed);
+            self.page_keys.set(page, key.index());
         }
         self.prot_epoch.fetch_add(1, Ordering::Release);
         self.prot_memo.lock().unwrap().clear();
@@ -628,7 +730,7 @@ impl PmemDevice {
     /// [`PmemError::OutOfBounds`].
     pub fn page_key(&self, offset: u64) -> Result<ProtectionKey, PmemError> {
         self.check_range(offset, 1)?;
-        let key = self.page_keys[(offset / PAGE_SIZE) as usize].load(Ordering::Relaxed);
+        let key = self.page_keys.get(offset / PAGE_SIZE);
         Ok(ProtectionKey::from_index(key).expect("stored keys are valid"))
     }
 
@@ -646,7 +748,7 @@ impl PmemDevice {
         let first = offset / PAGE_SIZE;
         let last = (offset + len - 1) / PAGE_SIZE;
         for page in first..=last {
-            self.page_nodes[page as usize].store(node, Ordering::Relaxed);
+            self.page_nodes.set(page, node);
         }
         Ok(())
     }
@@ -711,7 +813,7 @@ impl PmemDevice {
         let zeroes = [0u8; CACHE_LINE_SIZE as usize];
         for &line in &cleared {
             let line_off = line * CACHE_LINE_SIZE;
-            let end = (line_off + CACHE_LINE_SIZE).min(self.config.capacity);
+            let end = (line_off + CACHE_LINE_SIZE).min(self.capacity());
             self.store.write(line_off, &zeroes[..(end - line_off) as usize]);
             if let Some(cache) = &self.cache {
                 cache.forget_range(line_off, CACHE_LINE_SIZE);
@@ -781,7 +883,7 @@ impl PmemDevice {
     pub fn simulate_crash(&self, mode: CrashMode, seed: u64) {
         if let Some(cache) = &self.cache {
             cache.crash(mode, seed, |line_off, line_buf| {
-                let end = (line_off + line_buf.len() as u64).min(self.config.capacity);
+                let end = (line_off + line_buf.len() as u64).min(self.capacity());
                 if line_off < end {
                     self.store.write(line_off, &line_buf[..(end - line_off) as usize]);
                 }
@@ -818,7 +920,7 @@ impl PmemDevice {
         let file = std::fs::File::create(path)?;
         let mut out = std::io::BufWriter::new(file);
         out.write_all(SNAPSHOT_MAGIC_V2)?;
-        out.write_all(&self.config.capacity.to_le_bytes())?;
+        out.write_all(&self.capacity().to_le_bytes())?;
         let mut count: u64 = 0;
         self.store.for_each_resident(|_, _| count += 1);
         out.write_all(&count.to_le_bytes())?;
@@ -862,7 +964,11 @@ impl PmemDevice {
         let capacity = u64::from_le_bytes(word);
         input.read_exact(&mut word)?;
         let count = u64::from_le_bytes(word);
-        let device = PmemDevice::new(DeviceConfig { capacity, ..config });
+        let device = PmemDevice::new(DeviceConfig {
+            capacity,
+            max_capacity: config.max_capacity.max(capacity),
+            ..config
+        });
         let mut chunk = vec![0u8; crate::store::CHUNK_SIZE as usize];
         for _ in 0..count {
             input.read_exact(&mut word)?;
@@ -1146,5 +1252,84 @@ mod tests {
         dev.simulate_crash(CrashMode::Strict, 0);
         // Nothing reverted: tracking was off.
         assert_eq!(dev.read_pod::<u8>(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn grow_extends_bounds_online() {
+        let dev = PmemDevice::new(DeviceConfig::new(1 << 20).growable_to(4 << 20));
+        assert_eq!(dev.capacity(), 1 << 20);
+        assert_eq!(dev.max_capacity(), 4 << 20);
+        assert!(matches!(dev.write(1 << 20, &[1; 64]), Err(PmemError::OutOfBounds { .. })));
+        dev.grow(2 << 20).unwrap();
+        assert_eq!(dev.capacity(), 2 << 20);
+        dev.write(1 << 20, &[7; 64]).unwrap();
+        assert_eq!(dev.read_pod::<u8>(1 << 20).unwrap(), 7);
+        // Growing to the current size is an accepted no-op.
+        dev.grow(2 << 20).unwrap();
+    }
+
+    #[test]
+    fn grow_rejects_shrink_and_over_max() {
+        let dev = PmemDevice::new(DeviceConfig::new(2 << 20).growable_to(4 << 20));
+        assert_eq!(
+            dev.grow(1 << 20),
+            Err(PmemError::BadGrow { requested: 1 << 20, current: 2 << 20, max: 4 << 20 })
+        );
+        assert_eq!(
+            dev.grow(8 << 20),
+            Err(PmemError::BadGrow { requested: 8 << 20, current: 2 << 20, max: 4 << 20 })
+        );
+        // Non-growable device: max_capacity clamps to capacity.
+        let fixed = PmemDevice::new(DeviceConfig::new(2 << 20));
+        assert!(fixed.grow(3 << 20).is_err());
+    }
+
+    #[test]
+    fn grow_survives_crash_like_ftruncate() {
+        let dev = PmemDevice::new(DeviceConfig::new(1 << 20).growable_to(4 << 20));
+        dev.grow(2 << 20).unwrap();
+        dev.write(1 << 20, &[9; 64]).unwrap();
+        dev.simulate_crash(CrashMode::Strict, 1);
+        dev.clear_crash();
+        // The capacity itself is durable even though the unflushed write
+        // may have been dropped.
+        assert_eq!(dev.capacity(), 2 << 20);
+        dev.write((2 << 20) - 64, &[3; 64]).unwrap();
+    }
+
+    #[test]
+    fn growable_device_is_sparse_in_host_memory() {
+        // A TB-scale ceiling over a tiny live capacity must cost only the
+        // top-level directories, not per-page or per-chunk arrays.
+        let dev = PmemDevice::new(DeviceConfig::new(1 << 20).growable_to(1 << 40));
+        dev.write(0, &[1; 64]).unwrap();
+        assert_eq!(dev.resident_bytes(), crate::store::CHUNK_SIZE);
+        dev.grow(1 << 40).unwrap();
+        dev.write((1 << 40) - 64, &[5; 64]).unwrap();
+        assert_eq!(dev.resident_bytes(), 2 * crate::store::CHUNK_SIZE);
+        let key = dev.mpk().pkey_alloc(AccessRights::ReadWrite).unwrap();
+        dev.set_page_key((1 << 40) - PAGE_SIZE, PAGE_SIZE, key).unwrap();
+        assert_eq!(dev.page_key((1 << 40) - PAGE_SIZE).unwrap(), key);
+        assert_eq!(dev.page_key(1 << 30).unwrap().index(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_grown_capacity() {
+        let dir = std::env::temp_dir().join(format!("pmem-grow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grown.pool");
+        let dev = PmemDevice::new(DeviceConfig::new(1 << 20).growable_to(8 << 20));
+        dev.grow(3 << 20).unwrap();
+        dev.write((3 << 20) - 64, &[4; 64]).unwrap();
+        dev.persist((3 << 20) - 64, 64).unwrap();
+        dev.save(&path).unwrap();
+        let back = PmemDevice::load(&path, DeviceConfig::new(0)).unwrap();
+        assert_eq!(back.capacity(), 3 << 20);
+        assert_eq!(back.read_pod::<u8>((3 << 20) - 64).unwrap(), 4);
+        // Reloading under a growable config keeps the larger ceiling.
+        let back = PmemDevice::load(&path, DeviceConfig::new(0).growable_to(16 << 20)).unwrap();
+        assert_eq!(back.max_capacity(), 16 << 20);
+        back.grow(4 << 20).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -46,6 +46,17 @@ pub enum PmemError {
         /// Line-aligned device offset of the poisoned line.
         offset: u64,
     },
+    /// An online growth request was invalid: shrinking the device, or
+    /// growing beyond the provisioned
+    /// [`max_capacity`](crate::DeviceConfig::max_capacity).
+    BadGrow {
+        /// The requested new capacity.
+        requested: u64,
+        /// The current live capacity.
+        current: u64,
+        /// The provisioned growth ceiling.
+        max: u64,
+    },
     /// A snapshot file is malformed or does not match the device geometry.
     BadSnapshot(&'static str),
     /// An I/O error occurred while saving or loading a snapshot.
@@ -73,6 +84,10 @@ impl std::fmt::Display for PmemError {
             PmemError::Uncorrectable { offset } => {
                 write!(f, "uncorrectable media error: poisoned line at {offset:#x}")
             }
+            PmemError::BadGrow { requested, current, max } => write!(
+                f,
+                "invalid growth to {requested:#x} bytes (current {current:#x}, provisioned max {max:#x})"
+            ),
             PmemError::BadSnapshot(why) => write!(f, "bad device snapshot: {why}"),
             PmemError::Io(kind) => write!(f, "snapshot i/o error: {kind}"),
         }

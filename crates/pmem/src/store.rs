@@ -14,6 +14,7 @@
 //! with their own locks.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use platform::sync::RwLock;
 
@@ -21,6 +22,12 @@ use platform::sync::RwLock;
 pub const CHUNK_SIZE: u64 = 1 << 21;
 
 const WORDS_PER_CHUNK: usize = (CHUNK_SIZE / 8) as usize;
+
+/// Chunk-slot directory granularity: slots themselves are host metadata
+/// (one lock word per 2 MiB of device), so for TB-scale virtual
+/// capacities they are grouped and each group's slot array materialises
+/// lazily — an untouched group costs one pointer.
+const CHUNKS_PER_GROUP: usize = 512; // 1 GiB of device per group
 
 struct Chunk {
     words: Box<[AtomicU64]>,
@@ -33,16 +40,33 @@ impl Chunk {
     }
 }
 
+type ChunkSlot = RwLock<Option<Box<Chunk>>>;
+
 /// The sparse chunked backing store of a device.
 pub(crate) struct ChunkStore {
-    chunks: Box<[RwLock<Option<Box<Chunk>>>]>,
+    groups: Box<[OnceLock<Box<[ChunkSlot]>>]>,
     resident_bytes: AtomicU64,
 }
 
 impl ChunkStore {
     pub(crate) fn new(capacity: u64) -> ChunkStore {
-        let n = capacity.div_ceil(CHUNK_SIZE) as usize;
-        ChunkStore { chunks: (0..n).map(|_| RwLock::new(None)).collect(), resident_bytes: AtomicU64::new(0) }
+        let chunks = capacity.div_ceil(CHUNK_SIZE) as usize;
+        let n = chunks.div_ceil(CHUNKS_PER_GROUP);
+        ChunkStore { groups: (0..n).map(|_| OnceLock::new()).collect(), resident_bytes: AtomicU64::new(0) }
+    }
+
+    /// The slot for `chunk_index` if its group is materialised.
+    #[inline]
+    fn slot(&self, chunk_index: usize) -> Option<&ChunkSlot> {
+        self.groups[chunk_index / CHUNKS_PER_GROUP].get().map(|g| &g[chunk_index % CHUNKS_PER_GROUP])
+    }
+
+    /// The slot for `chunk_index`, materialising its group on demand.
+    #[inline]
+    fn slot_or_init(&self, chunk_index: usize) -> &ChunkSlot {
+        let group = self.groups[chunk_index / CHUNKS_PER_GROUP]
+            .get_or_init(|| (0..CHUNKS_PER_GROUP).map(|_| RwLock::new(None)).collect());
+        &group[chunk_index % CHUNKS_PER_GROUP]
     }
 
     pub(crate) fn resident_bytes(&self) -> u64 {
@@ -51,14 +75,19 @@ impl ChunkStore {
 
     #[cfg(test)]
     pub(crate) fn is_resident(&self, chunk_index: usize) -> bool {
-        self.chunks.get(chunk_index).is_some_and(|c| c.read().is_some())
+        chunk_index / CHUNKS_PER_GROUP < self.groups.len()
+            && self.slot(chunk_index).is_some_and(|c| c.read().is_some())
     }
 
     /// Copies `buf.len()` bytes starting at `offset` into `buf`.
     /// The caller has bounds-checked the range.
     pub(crate) fn read(&self, offset: u64, buf: &mut [u8]) {
         self.for_each_segment_len(offset, buf.len(), |chunk_index, in_chunk, range| {
-            let guard = self.chunks[chunk_index].read();
+            let Some(slot) = self.slot(chunk_index) else {
+                buf[range].fill(0);
+                return;
+            };
+            let guard = slot.read();
             match guard.as_deref() {
                 Some(chunk) => chunk_read(&chunk.words, in_chunk, &mut buf[range]),
                 None => buf[range].fill(0),
@@ -70,13 +99,14 @@ impl ChunkStore {
     /// chunks as needed. The caller has bounds-checked the range.
     pub(crate) fn write(&self, offset: u64, buf: &[u8]) {
         self.for_each_segment_len(offset, buf.len(), |chunk_index, in_chunk, range| {
-            let guard = self.chunks[chunk_index].read();
+            let slot = self.slot_or_init(chunk_index);
+            let guard = slot.read();
             if let Some(chunk) = guard.as_deref() {
                 chunk_write(&chunk.words, in_chunk, &buf[range]);
                 return;
             }
             drop(guard);
-            let mut guard = self.chunks[chunk_index].write();
+            let mut guard = slot.write();
             if guard.is_none() {
                 *guard = Some(Box::new(Chunk::new_zeroed()));
                 self.resident_bytes.fetch_add(CHUNK_SIZE, Ordering::Relaxed);
@@ -96,15 +126,16 @@ impl ChunkStore {
         debug_assert_eq!(offset % 8, 0);
         let chunk_index = (offset / CHUNK_SIZE) as usize;
         let in_chunk = (offset % CHUNK_SIZE) as usize;
+        let slot = self.slot_or_init(chunk_index);
         loop {
-            let guard = self.chunks[chunk_index].read();
+            let guard = slot.read();
             if let Some(chunk) = guard.as_deref() {
                 return chunk.words[in_chunk / 8]
                     .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |w| Some(f(w)))
                     .expect("closure never returns None");
             }
             drop(guard);
-            let mut guard = self.chunks[chunk_index].write();
+            let mut guard = slot.write();
             if guard.is_none() {
                 *guard = Some(Box::new(Chunk::new_zeroed()));
                 self.resident_bytes.fetch_add(CHUNK_SIZE, Ordering::Relaxed);
@@ -132,10 +163,12 @@ impl ChunkStore {
         let mut chunk = first_full;
         while chunk + CHUNK_SIZE <= end {
             let index = (chunk / CHUNK_SIZE) as usize;
-            let mut guard = self.chunks[index].write();
-            if guard.take().is_some() {
-                self.resident_bytes.fetch_sub(CHUNK_SIZE, Ordering::Relaxed);
-                released += CHUNK_SIZE;
+            if let Some(slot) = self.slot(index) {
+                let mut guard = slot.write();
+                if guard.take().is_some() {
+                    self.resident_bytes.fetch_sub(CHUNK_SIZE, Ordering::Relaxed);
+                    released += CHUNK_SIZE;
+                }
             }
             chunk += CHUNK_SIZE;
         }
@@ -146,11 +179,14 @@ impl ChunkStore {
     /// chunk's current contents copied into a scratch buffer.
     pub(crate) fn for_each_resident(&self, mut f: impl FnMut(usize, &[u8])) {
         let mut scratch = vec![0u8; CHUNK_SIZE as usize];
-        for (index, slot) in self.chunks.iter().enumerate() {
-            let guard = slot.read();
-            if let Some(chunk) = guard.as_deref() {
-                chunk_read(&chunk.words, 0, &mut scratch);
-                f(index, &scratch);
+        for (group_index, group) in self.groups.iter().enumerate() {
+            let Some(group) = group.get() else { continue };
+            for (slot_index, slot) in group.iter().enumerate() {
+                let guard = slot.read();
+                if let Some(chunk) = guard.as_deref() {
+                    chunk_read(&chunk.words, 0, &mut scratch);
+                    f(group_index * CHUNKS_PER_GROUP + slot_index, &scratch);
+                }
             }
         }
     }
@@ -319,6 +355,26 @@ mod tests {
             store.read(t * 65536, &mut buf);
             assert!(buf.iter().all(|&b| b == t as u8 + 1));
         }
+    }
+
+    #[test]
+    fn huge_virtual_capacity_costs_nothing_untouched() {
+        // A 1 TiB virtual store allocates only the group directory; the
+        // first write to the tail materialises one group and one chunk.
+        let store = ChunkStore::new(1 << 40);
+        assert_eq!(store.resident_bytes(), 0);
+        let tail = (1u64 << 40) - 16;
+        store.write(tail, &[0xEE; 8]);
+        assert_eq!(store.resident_bytes(), CHUNK_SIZE);
+        let mut buf = [0u8; 8];
+        store.read(tail, &mut buf);
+        assert_eq!(buf, [0xEE; 8]);
+        // Reads far away still see zeros without materialising anything.
+        store.read(512 << 30, &mut buf);
+        assert_eq!(buf, [0; 8]);
+        assert_eq!(store.resident_bytes(), CHUNK_SIZE);
+        // Punching an untouched region is a no-op, not a panic.
+        assert_eq!(store.punch(256 << 30, 4 * CHUNK_SIZE), 0);
     }
 
     #[test]

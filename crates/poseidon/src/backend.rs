@@ -24,7 +24,7 @@ impl PoseidonHeap {
     /// the routing half of allocation failover. When every sub-heap is
     /// condemned the typed exhaustion error says so.
     pub(crate) fn healthy_sub(&self, preferred: u16) -> Result<u16> {
-        let n = self.layout.num_subheaps;
+        let n = self.layout.num_subheaps();
         for step in 0..n {
             let sub = (preferred + step) % n;
             if !self.slots[sub as usize].quarantined.load(Ordering::Acquire) {
@@ -63,7 +63,7 @@ impl PoseidonHeap {
 
     /// Allocates an extent from the huge-object region.
     fn huge_alloc(&self, sub: u16, size: u64, micro: Option<(u64, usize)>) -> Result<NvmPtr> {
-        if self.layout.huge_data_size == 0 {
+        if self.layout.huge_data_size() == 0 {
             return Err(PoseidonError::TooLarge {
                 requested: size,
                 subheap_max: self.layout.max_alloc(),

@@ -134,6 +134,16 @@ pub enum PoseidonError {
         /// Number of sub-heaps that were tried (all of them).
         tried: u16,
     },
+    /// The superblock carries a format version this build cannot open —
+    /// distinct from [`Corrupted`](Self::Corrupted) so callers can tell a
+    /// migration candidate from a damaged image.
+    FormatVersion {
+        /// The version stamped in the superblock.
+        found: u32,
+        /// The newest version this build writes (older versions up to
+        /// this are migrated in place on open).
+        supported: u32,
+    },
     /// Persistent state failed a validation check; the heap image is
     /// corrupt or not a Poseidon heap.
     Corrupted(&'static str),
@@ -189,6 +199,10 @@ impl std::fmt::Display for PoseidonError {
             PoseidonError::AllFailed { tried } => {
                 write!(f, "all {tried} sub-heaps are quarantined after media errors (run pfsck --repair)")
             }
+            PoseidonError::FormatVersion { found, supported } => write!(
+                f,
+                "unsupported on-device format version {found} (this build supports up to {supported})"
+            ),
             PoseidonError::Corrupted(why) => write!(f, "corrupt heap image: {why}"),
             PoseidonError::BadGeometry(why) => write!(f, "bad heap geometry: {why}"),
             PoseidonError::Device(e) => write!(f, "device error: {e}"),

@@ -27,6 +27,7 @@
 //! double-free protection the table gives the slow path.
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 use platform::lockfree::SlotPool;
 use platform::percpu::PerCpuSlots;
@@ -35,7 +36,7 @@ use pmem::numa;
 
 use crate::error::{PoseidonError, Result};
 use crate::heap::PoseidonHeap;
-use crate::layout::{class_for_size, class_size, HeapLayout, MIN_BLOCK};
+use crate::layout::{class_for_size, class_size, HeapLayout, MAX_SUBHEAPS, MIN_BLOCK};
 use crate::nvmptr::NvmPtr;
 use crate::subheap::{self, CacheResidency};
 
@@ -169,10 +170,21 @@ impl Drop for ResidencyMap {
 }
 
 /// One CPU's magazines: a bounded LIFO of resident block offsets per
-/// cacheable class. Only blocks of the CPU's *home* sub-heap live here.
-#[derive(Default)]
+/// cacheable class. Only blocks of one sub-heap live here at a time.
 struct Magazine {
+    /// Which sub-heap the parked rounds belong to. Routing can re-home a
+    /// CPU when [`PoseidonHeap::grow`](crate::PoseidonHeap::grow) enlarges
+    /// the sub-heap set, so the invariant is *not* "home == current
+    /// routing" — it is that every offset in `rounds` belongs to `home`,
+    /// whatever the routing says today. `u16::MAX` means unhomed (empty).
+    home: u16,
     rounds: [Vec<u64>; CACHEABLE_CLASSES],
+}
+
+impl Default for Magazine {
+    fn default() -> Magazine {
+        Magazine { home: u16::MAX, rounds: Default::default() }
+    }
 }
 
 /// Per-sub-heap cache state.
@@ -185,6 +197,21 @@ struct SubCache {
     misses: AtomicU64,
     refills: AtomicU64,
     drains: AtomicU64,
+}
+
+impl SubCache {
+    fn new(config: &CacheConfig, user_size: u64) -> SubCache {
+        SubCache {
+            map: ResidencyMap::new(user_size),
+            pools: (0..CACHEABLE_CLASSES)
+                .map(|_| SlotPool::new(config.max_cached_per_class.max(1)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            refills: AtomicU64::new(0),
+            drains: AtomicU64::new(0),
+        }
+    }
 }
 
 /// What [`HeapCache::try_free`] did with a free request.
@@ -205,11 +232,15 @@ pub(crate) enum CachedFree {
 pub(crate) struct HeapCache {
     pub(crate) config: CacheConfig,
     magazines: PerCpuSlots<Magazine>,
-    subs: Box<[SubCache]>,
+    /// Lazily materialised per-sub-heap state, pre-sized for the largest
+    /// sub-heap set an epoch chain can reach so `grow` never reallocates
+    /// (fast paths index this slice without any lock).
+    subs: Box<[OnceLock<SubCache>]>,
     /// Per-class cache eligibility: a class whose worst-case footprint
     /// would hog the sub-heap is bypassed (tiny-pool degradation).
     cacheable: [bool; CACHEABLE_CLASSES],
-    num_subheaps: u16,
+    /// Uniform per-sub-heap user size (shared by every epoch).
+    user_size: u64,
 }
 
 impl HeapCache {
@@ -223,21 +254,44 @@ impl HeapCache {
         HeapCache {
             config,
             magazines: PerCpuSlots::new(num_cpus.max(1), |_| Magazine::default()),
-            subs: (0..layout.num_subheaps)
-                .map(|_| SubCache {
-                    map: ResidencyMap::new(layout.user_size),
-                    pools: (0..CACHEABLE_CLASSES)
-                        .map(|_| SlotPool::new(config.max_cached_per_class.max(1)))
-                        .collect(),
-                    hits: AtomicU64::new(0),
-                    misses: AtomicU64::new(0),
-                    refills: AtomicU64::new(0),
-                    drains: AtomicU64::new(0),
-                })
-                .collect(),
+            subs: (0..MAX_SUBHEAPS).map(|_| OnceLock::new()).collect(),
             cacheable,
-            num_subheaps: layout.num_subheaps,
+            user_size: layout.user_size,
         }
+    }
+
+    /// The sub-heap's cache state, materialising it on first touch.
+    fn sub_cache(&self, sub: u16) -> &SubCache {
+        self.subs[sub as usize].get_or_init(|| SubCache::new(&self.config, self.user_size))
+    }
+
+    /// The sub-heap's cache state only if something already touched it.
+    fn existing(&self, sub: u16) -> Option<&SubCache> {
+        self.subs[sub as usize].get()
+    }
+
+    /// Runs `f` on `cpu`'s magazine once it is homed on `sub`. A magazine
+    /// still holding another sub-heap's rounds first spills them to *that*
+    /// sub-heap's transfer pools (they must never change owners); rounds
+    /// that do not fit keep the old home and `f` is skipped this round.
+    fn with_homed_magazine<R>(&self, cpu: usize, sub: u16, f: impl FnOnce(&mut Magazine) -> R) -> Option<R> {
+        self.magazines
+            .try_with(cpu, |m| {
+                if m.home != sub {
+                    if m.home != u16::MAX {
+                        let old = self.sub_cache(m.home);
+                        for (class, v) in m.rounds.iter_mut().enumerate() {
+                            v.retain(|&offset| old.pools[class].push(offset).is_err());
+                        }
+                        if m.rounds.iter().any(|v| !v.is_empty()) {
+                            return None;
+                        }
+                    }
+                    m.home = sub;
+                }
+                Some(f(m))
+            })
+            .flatten()
     }
 
     pub(crate) fn is_cacheable(&self, class: usize) -> bool {
@@ -249,9 +303,9 @@ impl HeapCache {
     /// block's map byte flips to checked-out. `None` is a miss (counted);
     /// the caller refills through the slow path.
     pub(crate) fn try_alloc(&self, cpu: usize, sub: u16, home: bool, class: usize) -> Option<u64> {
-        let sc = &self.subs[sub as usize];
+        let sc = self.sub_cache(sub);
         let from_magazine =
-            if home { self.magazines.try_with(cpu, |m| m.rounds[class].pop()).flatten() } else { None };
+            if home { self.with_homed_magazine(cpu, sub, |m| m.rounds[class].pop()).flatten() } else { None };
         match from_magazine.or_else(|| sc.pools[class].pop()) {
             Some(offset) => {
                 // We own the popped block exclusively; hand it out.
@@ -271,7 +325,7 @@ impl HeapCache {
     /// CPU's magazine or the sub-heap's pool. The byte also adjudicates
     /// double frees without any metadata read.
     pub(crate) fn try_free(&self, cpu: usize, sub: u16, home: bool, offset: u64) -> CachedFree {
-        let sc = &self.subs[sub as usize];
+        let Some(sc) = self.existing(sub) else { return CachedFree::Miss };
         let Some(byte) = sc.map.granule(offset) else { return CachedFree::Miss };
         let mut cur = byte.load(Ordering::Acquire);
         loop {
@@ -302,7 +356,7 @@ impl HeapCache {
     fn park(&self, cpu: usize, sub: u16, home: bool, class: usize, offset: u64) -> CachedFree {
         if home {
             let cap = self.config.magazine_size;
-            let parked = self.magazines.try_with(cpu, |m| {
+            let parked = self.with_homed_magazine(cpu, sub, |m| {
                 let v = &mut m.rounds[class];
                 if v.len() < cap {
                     v.push(offset);
@@ -315,7 +369,7 @@ impl HeapCache {
                 return CachedFree::Hit;
             }
         }
-        let sc = &self.subs[sub as usize];
+        let sc = self.sub_cache(sub);
         if sc.pools[class].push(offset).is_ok() {
             return CachedFree::Hit;
         }
@@ -329,7 +383,7 @@ impl HeapCache {
     /// rest are resident. Called under the sub-heap lock, right after the
     /// persistent withdrawal commits.
     pub(crate) fn admit(&self, sub: u16, class: usize, offsets: &[u64]) {
-        let sc = &self.subs[sub as usize];
+        let sc = self.sub_cache(sub);
         for (i, &offset) in offsets.iter().enumerate() {
             let kind = if i == 0 { CHECKED_OUT } else { RESIDENT };
             sc.map.granule_or_install(offset).store(kind | class as u8, Ordering::Release);
@@ -340,11 +394,11 @@ impl HeapCache {
     /// returns whatever fit nowhere — the caller drains that overflow
     /// back while it still holds the sub-heap lock.
     pub(crate) fn stash(&self, cpu: usize, sub: u16, home: bool, class: usize, rest: &[u64]) -> Vec<u64> {
-        let sc = &self.subs[sub as usize];
+        let sc = self.sub_cache(sub);
         let mut rest: Vec<u64> = rest.to_vec();
         if home {
             let cap = self.config.magazine_size;
-            self.magazines.try_with(cpu, |m| {
+            self.with_homed_magazine(cpu, sub, |m| {
                 let v = &mut m.rounds[class];
                 while v.len() < cap {
                     match rest.pop() {
@@ -362,7 +416,7 @@ impl HeapCache {
     /// management (drained or published while their bytes were still
     /// set).
     pub(crate) fn clear(&self, sub: u16, offsets: &[u64]) {
-        let sc = &self.subs[sub as usize];
+        let Some(sc) = self.existing(sub) else { return };
         for &offset in offsets {
             if let Some(byte) = sc.map.granule(offset) {
                 byte.store(0, Ordering::Release);
@@ -376,18 +430,21 @@ impl HeapCache {
     pub(crate) fn evict_resident(&self, sub: u16) -> Vec<u64> {
         let mut out = Vec::new();
         for cpu in 0..self.magazines.len() {
-            if cpu % self.num_subheaps as usize != sub as usize {
-                continue;
-            }
+            // Every magazine is checked against its *recorded* home, not
+            // the routing formula: after a grow re-homes CPUs, stale
+            // magazines still hold the old sub-heap's rounds.
             self.magazines.try_with(cpu, |m| {
-                for v in m.rounds.iter_mut() {
-                    out.append(v);
+                if m.home == sub {
+                    for v in m.rounds.iter_mut() {
+                        out.append(v);
+                    }
                 }
             });
         }
-        let sc = &self.subs[sub as usize];
-        for pool in sc.pools.iter() {
-            pool.drain_into(&mut out);
+        if let Some(sc) = self.existing(sub) {
+            for pool in sc.pools.iter() {
+                pool.drain_into(&mut out);
+            }
         }
         out
     }
@@ -407,7 +464,7 @@ impl HeapCache {
         // Discard rather than drain: these offsets' records live in
         // damaged metadata that nobody writes again this session.
         let _ = self.evict_resident(sub);
-        let sc = &self.subs[sub as usize];
+        let Some(sc) = self.existing(sub) else { return 0 };
         let mut invalidated = 0;
         sc.map.for_each(|_, byte| {
             if byte.swap(0, Ordering::AcqRel) != 0 {
@@ -425,8 +482,9 @@ impl HeapCache {
     /// Whether `sub` has any checked-out blocks (cheap pre-check so
     /// publishing skips untouched sub-heaps without taking their locks).
     pub(crate) fn has_checked_out(&self, sub: u16) -> bool {
+        let Some(sc) = self.existing(sub) else { return false };
         let mut found = false;
-        self.subs[sub as usize].map.for_each(|_, byte| {
+        sc.map.for_each(|_, byte| {
             found |= byte.load(Ordering::Acquire) & KIND_MASK == CHECKED_OUT;
         });
         found
@@ -439,7 +497,8 @@ impl HeapCache {
     /// free racing the publish serialises behind the commit.
     pub(crate) fn claim_checked_out(&self, sub: u16) -> Vec<u64> {
         let mut out = Vec::new();
-        self.subs[sub as usize].map.for_each(|offset, byte| {
+        let Some(sc) = self.existing(sub) else { return out };
+        sc.map.for_each(|offset, byte| {
             let cur = byte.load(Ordering::Acquire);
             if cur & KIND_MASK == CHECKED_OUT
                 && byte.compare_exchange(cur, 0, Ordering::AcqRel, Ordering::Acquire).is_ok()
@@ -453,14 +512,17 @@ impl HeapCache {
     /// The reserved size of a checked-out block, straight from its
     /// residency byte (no locks, no metadata read).
     pub(crate) fn checked_out_size(&self, sub: u16, offset: u64) -> Option<u64> {
-        let byte = self.subs[sub as usize].map.granule(offset)?;
+        let byte = self.existing(sub)?.map.granule(offset)?;
         let cur = byte.load(Ordering::Acquire);
         (cur & KIND_MASK == CHECKED_OUT).then(|| class_size((cur & CLASS_MASK) as usize))
     }
 
     /// How the audit should account the record at `offset`.
     pub(crate) fn residency(&self, sub: u16, offset: u64) -> CacheResidency {
-        match self.subs[sub as usize].map.granule(offset).map(|byte| byte.load(Ordering::Acquire) & KIND_MASK)
+        match self
+            .existing(sub)
+            .and_then(|sc| sc.map.granule(offset))
+            .map(|byte| byte.load(Ordering::Acquire) & KIND_MASK)
         {
             Some(RESIDENT) => CacheResidency::Resident,
             Some(CHECKED_OUT) => CacheResidency::CheckedOut,
@@ -472,7 +534,8 @@ impl HeapCache {
     /// inspection hook behind [`PoseidonHeap::cache_snapshot`].
     pub(crate) fn snapshot(&self) -> Vec<(u16, u64)> {
         let mut out = Vec::new();
-        for (sub, sc) in self.subs.iter().enumerate() {
+        for (sub, slot) in self.subs.iter().enumerate() {
+            let Some(sc) = slot.get() else { continue };
             sc.map.for_each(|offset, byte| {
                 if byte.load(Ordering::Acquire) != 0 {
                     out.push((sub as u16, offset));
@@ -483,7 +546,7 @@ impl HeapCache {
     }
 
     pub(crate) fn stats(&self, sub: u16) -> CacheStats {
-        let sc = &self.subs[sub as usize];
+        let Some(sc) = self.existing(sub) else { return CacheStats::default() };
         CacheStats {
             hits: sc.hits.load(Ordering::Relaxed),
             misses: sc.misses.load(Ordering::Relaxed),
@@ -493,15 +556,15 @@ impl HeapCache {
     }
 
     pub(crate) fn note_refill(&self, sub: u16) {
-        self.subs[sub as usize].refills.fetch_add(1, Ordering::Relaxed);
+        self.sub_cache(sub).refills.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_drain(&self, sub: u16) {
-        self.subs[sub as usize].drains.fetch_add(1, Ordering::Relaxed);
+        self.sub_cache(sub).drains.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn reset_stats(&self) {
-        for sc in self.subs.iter() {
+        for sc in self.subs.iter().filter_map(OnceLock::get) {
             sc.hits.store(0, Ordering::Relaxed);
             sc.misses.store(0, Ordering::Relaxed);
             sc.refills.store(0, Ordering::Relaxed);
@@ -589,7 +652,7 @@ impl PoseidonHeap {
     /// cached allocations can become reachable) and by a clean close.
     pub(crate) fn publish_cached(&self) -> Result<()> {
         let Some(cache) = self.cache() else { return Ok(()) };
-        for sub in 0..self.layout().num_subheaps {
+        for sub in 0..self.layout().num_subheaps() {
             if !self.sub_usable(sub) || !cache.has_checked_out(sub) {
                 continue;
             }
@@ -633,7 +696,7 @@ impl PoseidonHeap {
     }
 
     fn flush_cache_inner(&self, cache: &HeapCache) -> Result<()> {
-        for sub in 0..self.layout().num_subheaps {
+        for sub in 0..self.layout().num_subheaps() {
             if !self.sub_usable(sub) {
                 continue;
             }
@@ -663,6 +726,22 @@ impl PoseidonHeap {
     #[doc(hidden)]
     pub fn cache_snapshot(&self) -> Vec<(u16, u64)> {
         self.cache().map(HeapCache::snapshot).unwrap_or_default()
+    }
+
+    /// Flushes every cached block of every sub-heap back to the
+    /// persistent free lists — the rebalance step of
+    /// [`grow`](PoseidonHeap::grow): emptied magazines re-home themselves
+    /// on the next fast-path touch under the enlarged routing.
+    pub(crate) fn drain_cache_for_rebalance(&self) -> Result<()> {
+        if self.cache().is_none() {
+            return Ok(());
+        }
+        for sub in 0..self.layout().num_subheaps() {
+            if self.sub_usable(sub) {
+                self.evict_subheap_cache(sub)?;
+            }
+        }
+        Ok(())
     }
 }
 

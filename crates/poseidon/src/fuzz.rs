@@ -37,13 +37,22 @@ pub struct UndoChainEntry {
 /// behind; after, only what survived to media.
 pub fn undo_chains(dev: &PmemDevice, layout: &HeapLayout) -> Vec<Option<Vec<UndoChainEntry>>> {
     let mut areas = vec![superblock::undo_area()];
-    for sub in 0..layout.num_subheaps {
+    for sub in 0..layout.num_subheaps() {
         areas.push(SubCtx { dev, layout, sub }.undo_area());
     }
-    if layout.huge_data_size > 0 {
+    if layout.huge_data_size() > 0 {
         areas.push(HugeCtx { dev, layout }.undo_area());
     }
     areas.into_iter().map(|area| decode_chain(dev, area)).collect()
+}
+
+/// Rewrites a closed, never-grown pool image into the version-1 byte
+/// format (pre-epoch-chain). Test support: integration tests downgrade
+/// a freshly created pool, save/reload the bytes, and reopen to pin the
+/// v1→v2 migration path. Errors on anything but a clean single-epoch
+/// v2 image.
+pub fn downgrade_to_v1(dev: &PmemDevice) -> crate::error::Result<()> {
+    superblock::downgrade_to_v1(dev)
 }
 
 fn decode_chain(dev: &PmemDevice, area: UndoArea) -> Option<Vec<UndoChainEntry>> {

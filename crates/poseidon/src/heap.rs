@@ -13,7 +13,7 @@ use crate::error::{OpKind, PoseidonError, Result};
 use crate::frontend::{CacheConfig, HeapCache};
 use crate::hashtable;
 use crate::hugeregion::{self, HugeAudit, HUGE_SUBHEAP};
-use crate::layout::HeapLayout;
+use crate::layout::{HeapLayout, Region, MAX_SUBHEAPS};
 use crate::nvmptr::NvmPtr;
 use crate::persist::{DirEntry, HugeCtx, SubCtx, SUPERBLOCK_MAGIC};
 use crate::recovery::{self, RecoveryReport};
@@ -84,6 +84,21 @@ pub(crate) struct SubSlot {
     pub(crate) quarantined: AtomicBool,
     /// Bitmap of micro-log slots claimed by open transactions.
     pub(crate) tx_slots: std::sync::atomic::AtomicU32,
+}
+
+/// What one successful [`PoseidonHeap::grow`] call changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowReport {
+    /// Pool capacity before the grow.
+    pub old_capacity: u64,
+    /// Pool capacity after the grow.
+    pub new_capacity: u64,
+    /// Index of the layout epoch the grow committed.
+    pub epoch: usize,
+    /// Sub-heaps materialised by the new epoch.
+    pub new_subheaps: u16,
+    /// Bytes added to the huge region's logical space.
+    pub huge_bytes_added: u64,
 }
 
 /// Cumulative operation counters of a heap (volatile; reset on open).
@@ -169,7 +184,7 @@ impl std::fmt::Debug for PoseidonHeap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PoseidonHeap")
             .field("heap_id", &self.heap_id)
-            .field("num_subheaps", &self.layout.num_subheaps)
+            .field("num_subheaps", &self.layout.num_subheaps())
             .field("user_size_per_subheap", &self.layout.user_size)
             .field("protected", &self.pkey.is_some())
             .finish_non_exhaustive()
@@ -232,13 +247,19 @@ impl PoseidonHeap {
     ///
     /// [`PoseidonError::Corrupted`] if no valid heap is present.
     pub fn load(dev: Arc<PmemDevice>, config: HeapConfig) -> Result<PoseidonHeap> {
+        // A grow's epoch commit rides the superblock undo log: replay it
+        // *before* the chain is parsed, so a torn grow resolves to the
+        // old layout instead of failing the open with a half-written
+        // record. Safe pre-protection: the previous owner's teardown
+        // reset the page tags, and the load below re-tags everything.
+        let sb_replayed = crate::undo::replay(&dev, superblock::undo_area())?;
         let (header, layout) = superblock::load(&dev)?;
         let pkey = Self::protect(&dev, &layout, config)?;
         let recovered = {
             let _guard = pkey.map(|k| dev.mpk().grant_write(k));
             recovery::recover(&dev, &layout)
         };
-        let (report, quarantined) = match recovered {
+        let (mut report, quarantined) = match recovered {
             Ok(v) => v,
             Err(e) => {
                 // A failed recovery (e.g. a crash mid-replay) must hand
@@ -246,17 +267,20 @@ impl PoseidonHeap {
                 // exhaust the 16-key space. Best-effort: the device may
                 // already be refusing operations.
                 if let Some(k) = pkey {
-                    let _ = dev.set_page_key(0, layout.meta_end(), ProtectionKey::DEFAULT);
+                    for (base, len) in layout.meta_ranges() {
+                        let _ = dev.set_page_key(base, len, ProtectionKey::DEFAULT);
+                    }
                     let _ = dev.mpk().pkey_free(k);
                 }
                 return Err(e);
             }
         };
+        report.superblock_undo_replayed |= sb_replayed;
         let heap = Self::assemble(dev, pkey, header.heap_id, layout, report, config);
         // Mark already-created sub-heaps from the directory. A sub-heap
         // condemned online (state DIR_QUARANTINED) was created too — its
         // slot keeps reporting SubheapQuarantined rather than InvalidFree.
-        for sub in 0..heap.layout.num_subheaps {
+        for sub in 0..heap.layout.num_subheaps() {
             let state = superblock::dir_entry(&heap.dev, sub)?.state;
             if state == 1 || state == superblock::DIR_QUARANTINED {
                 heap.slots[sub as usize].created.store(true, Ordering::Release);
@@ -280,7 +304,11 @@ impl PoseidonHeap {
         let pkey = dev.mpk().pkey_alloc(AccessRights::ReadOnly).map_err(|_| {
             PoseidonError::Corrupted("no free MPK protection keys (too many heaps open on this device)")
         })?;
-        dev.set_page_key(0, layout.meta_end(), pkey)?;
+        // An epoch chain has one metadata range per epoch (growth appends
+        // its new sub-heaps' metadata at the old capacity boundary).
+        for (base, len) in layout.meta_ranges() {
+            dev.set_page_key(base, len, pkey)?;
+        }
         Ok(Some(pkey))
     }
 
@@ -292,7 +320,10 @@ impl PoseidonHeap {
         recovery: RecoveryReport,
         config: HeapConfig,
     ) -> PoseidonHeap {
-        let slots = (0..layout.num_subheaps)
+        // Slots are pre-sized for the largest sub-heap set an epoch chain
+        // can reach: `grow` publishes new sub-heaps by bumping the layout's
+        // epoch count, with no reallocation racing the lock-free readers.
+        let slots = (0..MAX_SUBHEAPS)
             .map(|_| SubSlot {
                 lock: TrackedMutex::new(()),
                 created: AtomicBool::new(false),
@@ -351,7 +382,7 @@ impl PoseidonHeap {
     /// recovery (empty on a healthy heap). Their blocks are frozen until
     /// `pfsck --repair` rebuilds the damaged metadata.
     pub fn quarantined_subheaps(&self) -> Vec<u16> {
-        (0..self.layout.num_subheaps)
+        (0..self.layout.num_subheaps())
             .filter(|&sub| self.slots[sub as usize].quarantined.load(Ordering::Acquire))
             .collect()
     }
@@ -482,7 +513,7 @@ impl PoseidonHeap {
         // different sub-heap (the damaged one was just condemned) or
         // finds freshly quarantined blocks withdrawn, so n+1 attempts
         // suffice before conceding.
-        let mut attempts = self.layout.num_subheaps;
+        let mut attempts = self.layout.num_subheaps();
         loop {
             match self.alloc_attempt(size) {
                 Err(e @ PoseidonError::MediaError { .. }) => {
@@ -502,11 +533,36 @@ impl PoseidonHeap {
         if let Some(ptr) = self.cached_alloc(size)? {
             return Ok(ptr);
         }
-        let sub = self.healthy_sub(self.layout.subheap_for_cpu(numa::current_cpu()))?;
+        let home = self.healthy_sub(self.layout.subheap_for_cpu(numa::current_cpu()))?;
+        match self.alloc_with_eviction(home, size) {
+            Err(e @ PoseidonError::NoSpace { .. }) => {
+                // The home sub-heap is genuinely full: spill to the other
+                // sub-heaps in round-robin order. This is also how load
+                // reaches sub-heaps materialised by [`grow`](Self::grow)
+                // beyond the CPU count: a full old sub-heap spills into
+                // the fresh capacity instead of failing.
+                let n = self.layout.num_subheaps();
+                for i in 1..n {
+                    let sub = (home + i) % n;
+                    match self.alloc_with_eviction(sub, size) {
+                        Err(PoseidonError::NoSpace { .. } | PoseidonError::SubheapQuarantined { .. }) => {
+                            continue
+                        }
+                        other => return other,
+                    }
+                }
+                Err(e)
+            }
+            other => other,
+        }
+    }
+
+    /// One sub-heap's slow-path allocation, retried once after handing its
+    /// cached blocks back — the cache may be sitting on exactly the
+    /// withdrawn capacity this request needs.
+    fn alloc_with_eviction(&self, sub: u16, size: u64) -> Result<NvmPtr> {
         match self.alloc_on(sub, size, None) {
             Err(e @ PoseidonError::NoSpace { .. }) => {
-                // Last resort: the cache may be sitting on exactly the
-                // withdrawn capacity this request needs.
                 if self.evict_subheap_cache(sub)? == 0 {
                     return Err(e);
                 }
@@ -557,7 +613,7 @@ impl PoseidonHeap {
     /// attributed error — abort the transaction.
     pub fn tx_alloc(&self, size: u64, is_end: bool) -> Result<NvmPtr> {
         let pinned = TX_SUBHEAP.with(|tx| tx.borrow().contains_key(&self.heap_id));
-        let mut attempts = self.layout.num_subheaps;
+        let mut attempts = self.layout.num_subheaps();
         loop {
             match self.tx_alloc_attempt(size, is_end) {
                 Err(e @ PoseidonError::MediaError { .. }) => {
@@ -765,10 +821,10 @@ impl PoseidonHeap {
         if ptr.heap_id != self.heap_id {
             return Err(PoseidonError::WrongHeap { pointer_heap: ptr.heap_id, this_heap: self.heap_id });
         }
-        if ptr.subheap() >= self.layout.num_subheaps {
+        if ptr.subheap() >= self.layout.num_subheaps() {
             // The sentinel sub-heap id names the huge-object region — but
             // only on layouts that carve one.
-            if ptr.subheap() != HUGE_SUBHEAP || self.layout.huge_data_size == 0 {
+            if ptr.subheap() != HUGE_SUBHEAP || self.layout.huge_data_size() == 0 {
                 return Err(PoseidonError::BadSubheap { subheap: ptr.subheap() });
             }
         }
@@ -786,10 +842,14 @@ impl PoseidonHeap {
     pub fn raw_offset(&self, ptr: NvmPtr) -> Result<u64> {
         self.check_ptr(ptr)?;
         if ptr.subheap() == HUGE_SUBHEAP {
-            if ptr.offset() >= self.layout.huge_data_size {
-                return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
-            }
-            return Ok(self.layout.huge_data_base() + ptr.offset());
+            // Huge pointers carry *logical* huge-region offsets; the
+            // layout maps them into the containing physical band (extents
+            // never straddle band walls, so the whole block is contiguous
+            // at the returned device offset).
+            return self
+                .layout
+                .huge_phys_of(ptr.offset(), 1)
+                .ok_or(PoseidonError::InvalidFree { offset: ptr.offset() });
         }
         if ptr.offset() >= self.layout.user_size {
             return Err(PoseidonError::InvalidFree { offset: ptr.offset() });
@@ -805,23 +865,13 @@ impl PoseidonHeap {
     /// [`PoseidonError::InvalidFree`] if the offset is not inside any
     /// sub-heap's user region.
     pub fn nvmptr_of(&self, device_offset: u64) -> Result<NvmPtr> {
-        let huge_base = self.layout.huge_data_base();
-        if self.layout.huge_data_size > 0
-            && device_offset >= huge_base
-            && device_offset < huge_base + self.layout.huge_data_size
-        {
-            return Ok(NvmPtr::new(self.heap_id, HUGE_SUBHEAP, device_offset - huge_base));
+        match self.layout.locate(device_offset) {
+            Region::HugeData { logical } => Ok(NvmPtr::new(self.heap_id, HUGE_SUBHEAP, logical)),
+            Region::SubUser(sub) => {
+                Ok(NvmPtr::new(self.heap_id, sub, device_offset - self.layout.user_base(sub)))
+            }
+            _ => Err(PoseidonError::InvalidFree { offset: device_offset }),
         }
-        let user_start = self.layout.meta_end();
-        if device_offset < user_start {
-            return Err(PoseidonError::InvalidFree { offset: device_offset });
-        }
-        let rel = device_offset - user_start;
-        let sub = rel / self.layout.user_size;
-        if sub >= self.layout.num_subheaps as u64 {
-            return Err(PoseidonError::InvalidFree { offset: device_offset });
-        }
-        Ok(NvmPtr::new(self.heap_id, sub as u16, rel % self.layout.user_size))
     }
 
     /// Reads the heap's root pointer — the paper's `poseidon_get_root`.
@@ -901,7 +951,7 @@ impl PoseidonHeap {
     /// [`PoseidonError::Corrupted`] naming the first violated invariant.
     pub fn audit(&self) -> Result<Vec<(u16, SubheapAudit)>> {
         let mut out = Vec::new();
-        for sub in 0..self.layout.num_subheaps {
+        for sub in 0..self.layout.num_subheaps() {
             let slot = &self.slots[sub as usize];
             // Quarantined sub-heaps have untrustworthy metadata — auditing
             // them would report phantom corruption (or fail on poison).
@@ -929,7 +979,7 @@ impl PoseidonHeap {
     ///
     /// [`PoseidonError::Corrupted`] naming the violated invariant.
     pub fn huge_audit(&self) -> Result<Option<HugeAudit>> {
-        if self.layout.huge_data_size == 0 || self.huge_quarantined.load(Ordering::Acquire) {
+        if self.layout.huge_data_size() == 0 || self.huge_quarantined.load(Ordering::Acquire) {
             return Ok(None);
         }
         let op = self.begin_huge_read()?;
@@ -944,6 +994,7 @@ impl PoseidonHeap {
         let mut profile: Vec<LockProfile> = self
             .slots
             .iter()
+            .take(self.layout.num_subheaps() as usize)
             .enumerate()
             .map(|(i, slot)| {
                 let mut p = slot.lock.profile(format!("subheap[{i}]"));
@@ -982,7 +1033,7 @@ impl PoseidonHeap {
     /// Device errors.
     pub fn defragment(&self) -> Result<u64> {
         let mut merged = 0;
-        for sub in 0..self.layout.num_subheaps {
+        for sub in 0..self.layout.num_subheaps() {
             let slot = &self.slots[sub as usize];
             if !slot.created.load(Ordering::Acquire) || slot.quarantined.load(Ordering::Acquire) {
                 continue;
@@ -997,6 +1048,75 @@ impl PoseidonHeap {
         }
         self.ops.defrag_merges.fetch_add(merged, Ordering::Relaxed);
         Ok(merged)
+    }
+
+    /// Grows the pool online to `new_capacity` bytes — extends the
+    /// device, commits a new layout epoch in the superblock, and
+    /// materialises the added sub-heaps (and huge-region band) without
+    /// stopping concurrent allocations.
+    ///
+    /// The commit is a single two-fence undo scope covering the epoch
+    /// record and the header's epoch count: a crash at any instant leaves
+    /// the pool either entirely on the old layout or entirely on the new
+    /// one. Completion work after the commit point (huge-band bookkeeping)
+    /// is idempotent and re-run by load-time recovery, so a torn grow
+    /// finishes itself on the next open.
+    ///
+    /// New sub-heaps are created lazily on first allocation, exactly like
+    /// the originals, so growing an almost-empty pool touches only
+    /// metadata-sized state. CPU routing re-balances over the enlarged
+    /// sub-heap set immediately; full old sub-heaps also spill into the
+    /// new ones on `NoSpace`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoseidonError::BadGeometry`] when `new_capacity` does not grow
+    /// the pool (or the epoch chain / sub-heap directory is full), or
+    /// device errors — a failure before the commit leaves the heap on the
+    /// old layout.
+    pub fn grow(&self, new_capacity: u64) -> Result<GrowReport> {
+        let _sb = self.sb_lock.lock();
+        let old_capacity = self.layout.capacity();
+        let epoch = self.layout.plan_growth(new_capacity)?;
+        // Extend the device first — durable immediately, like ftruncate
+        // on a DAX file. A crash right after leaves a longer device under
+        // the old layout, which `superblock::load` accepts (the layout
+        // only has to fit); a re-issued grow then skips this call.
+        if new_capacity > self.dev.capacity() {
+            self.dev.grow(new_capacity).map_err(PoseidonError::from)?;
+        }
+        // Tag the new metadata pages before the epoch becomes visible, so
+        // there is no window where a published sub-heap's metadata is
+        // writable to everyone.
+        if let Some(pkey) = self.pkey {
+            if epoch.num_subheaps > 0 {
+                self.dev.set_page_key(epoch.base, epoch.num_subheaps as u64 * self.layout.meta_size, pkey)?;
+            }
+        }
+        let index = self.layout.epoch_count();
+        {
+            let _guard = self.write_guard();
+            superblock::commit_epoch(&self.dev, index, &epoch)?;
+        }
+        // THE commit point has passed; everything below is completion
+        // that recovery re-runs idempotently after a crash.
+        self.layout.push_epoch(epoch).expect("planned epoch extends the chain");
+        let mut huge_bytes_added = 0;
+        if epoch.huge_size > 0 && !self.huge_quarantined.load(Ordering::Acquire) {
+            let op = self.begin_huge()?;
+            huge_bytes_added = hugeregion::extend_to_layout(&op)?;
+        }
+        // Re-balance: hand cached blocks back so magazines re-home under
+        // the enlarged CPU→sub-heap routing instead of serving stale
+        // assignments.
+        self.drain_cache_for_rebalance()?;
+        Ok(GrowReport {
+            old_capacity,
+            new_capacity,
+            epoch: index,
+            new_subheaps: epoch.num_subheaps as u16,
+            huge_bytes_added,
+        })
     }
 
     /// Snapshot of this heap's operation counters.
@@ -1029,7 +1149,9 @@ impl PoseidonHeap {
 
     fn release_protection(&mut self) -> Result<()> {
         if let Some(pkey) = self.pkey.take() {
-            self.dev.set_page_key(0, self.layout.meta_end(), ProtectionKey::DEFAULT)?;
+            for (base, len) in self.layout.meta_ranges() {
+                self.dev.set_page_key(base, len, ProtectionKey::DEFAULT)?;
+            }
             let _ = self.dev.mpk().pkey_free(pkey);
         }
         Ok(())
@@ -1259,12 +1381,12 @@ mod tests {
         // Twice the user region exceeds the huge region too (it is a
         // quarter of the device); the error reports both effective caps.
         let req = h.layout().user_size * 2;
-        assert!(req > h.layout().huge_data_size);
+        assert!(req > h.layout().huge_data_size());
         match h.alloc(req) {
             Err(PoseidonError::TooLarge { requested, subheap_max, huge_remaining }) => {
                 assert_eq!(requested, req);
                 assert_eq!(subheap_max, h.layout().max_alloc());
-                assert_eq!(huge_remaining, h.layout().huge_data_size);
+                assert_eq!(huge_remaining, h.layout().huge_data_size());
             }
             other => panic!("expected TooLarge, got {other:?}"),
         }
@@ -1292,7 +1414,7 @@ mod tests {
         assert!(matches!(h.block_size(p), Err(PoseidonError::InvalidFree { .. })));
         let audit = h.huge_audit().unwrap().unwrap();
         assert_eq!(audit.alloc_extents, 0);
-        assert_eq!(audit.free_bytes, h.layout().huge_data_size);
+        assert_eq!(audit.free_bytes, h.layout().huge_data_size());
     }
 
     #[test]
@@ -1301,7 +1423,7 @@ mod tests {
         // sentinel sub-heap id is an ordinary BadSubheap there.
         let dev = Arc::new(PmemDevice::new(DeviceConfig::new(8 << 20)));
         let h = PoseidonHeap::open(dev, HeapConfig::new().with_subheaps(1)).unwrap();
-        assert_eq!(h.layout().huge_data_size, 0);
+        assert_eq!(h.layout().huge_data_size(), 0);
         match h.alloc(h.layout().max_alloc() + 1) {
             Err(PoseidonError::TooLarge { huge_remaining, .. }) => assert_eq!(huge_remaining, 0),
             other => panic!("expected TooLarge, got {other:?}"),
@@ -1331,8 +1453,8 @@ mod tests {
                     // Reset to the stage's pre-image (the previous crash
                     // may have left either the old or the new state).
                     let audit = h.huge_audit().unwrap().unwrap();
-                    let live =
-                        (audit.alloc_extents == 1).then(|| h.nvmptr_of(h.layout().huge_data_base()).unwrap());
+                    let live = (audit.alloc_extents == 1)
+                        .then(|| h.nvmptr_of(h.layout().huge_phys_of(0, 1).unwrap()).unwrap());
                     if stage == "alloc" {
                         if let Some(p) = live {
                             h.free(p).unwrap();
@@ -1351,7 +1473,7 @@ mod tests {
                     let audit = h.huge_audit().unwrap().unwrap();
                     assert_eq!(
                         audit.free_bytes + audit.alloc_bytes + audit.quarantined_bytes,
-                        h.layout().huge_data_size,
+                        h.layout().huge_data_size(),
                         "crash point {k} in {stage} tore the extent table"
                     );
                     assert_eq!(audit.quarantined_extents, 0);

@@ -82,7 +82,7 @@ impl<'a> HugeOp<'a> {
         lock: Option<TrackedGuard<'a, ()>>,
         pkru: Option<PkruGuard<'a>>,
     ) -> Result<HugeOp<'a>> {
-        debug_assert!(ctx.layout.huge_data_size > 0, "no huge region on this layout");
+        debug_assert!(ctx.layout.huge_data_size() > 0, "no huge region on this layout");
         let view = ctx.dev.map_meta(view_base, view_size, kind)?;
         Ok(HugeOp { ctx, view, staged: RefCell::new(Vec::new()), _lock: lock, _pkru: pkru })
     }
@@ -174,7 +174,7 @@ fn empty_slot() -> ExtentRecord {
 /// the heap's single last-published commit point: a crash mid-format
 /// leaves a device that is simply re-created next time.
 pub(crate) fn format(dev: &PmemDevice, layout: &HeapLayout) -> Result<()> {
-    if layout.huge_data_size == 0 {
+    if layout.huge_data_size() == 0 {
         return Ok(());
     }
     let ctx = HugeCtx { dev, layout };
@@ -184,19 +184,27 @@ pub(crate) fn format(dev: &PmemDevice, layout: &HeapLayout) -> Result<()> {
         version: FORMAT_VERSION,
         _pad: 0,
         undo_gen: 0,
-        data_size: layout.huge_data_size,
+        data_size: layout.huge_data_size(),
     };
     dev.write_pod(base, &header)?;
     dev.punch_hole(base + HUGE_UNDO_OFF, HUGE_UNDO_SIZE)?;
     dev.write(base + HUGE_TABLE_OFF, &vec![0u8; (HUGE_EXTENT_SLOTS as u64 * EXTENT_RECORD_SIZE) as usize])?;
-    dev.write_pod(ctx.slot_off(0), &extent(0, layout.huge_data_size, state::FREE))?;
+    // One FREE extent per band (a fresh heap has exactly one; the shape
+    // stays general for module tests that format grown layouts).
+    for (i, band) in layout.huge_bands().iter().enumerate() {
+        dev.write_pod(ctx.slot_off(i), &extent(band.logical, band.len, state::FREE))?;
+    }
     dev.persist(base, HUGE_META_SIZE)?;
     dev.write_pod(base, &HUGE_MAGIC)?;
     dev.persist(base, 8)?;
     Ok(())
 }
 
-/// Validates the huge-region header against the loaded geometry.
+/// Validates the huge-region header against the loaded geometry. The
+/// recorded `data_size` may *lag* the layout's logical total — a crash
+/// between an epoch commit and its band bookkeeping leaves exactly that
+/// — but must then land on a band boundary;
+/// [`extend_to_layout`] closes the gap idempotently during recovery.
 ///
 /// # Errors
 ///
@@ -206,10 +214,59 @@ pub(crate) fn validate(ctx: &HugeCtx<'_>) -> Result<()> {
     if header.magic != HUGE_MAGIC {
         return Err(PoseidonError::Corrupted("no huge-region header where the layout expects one"));
     }
-    if header.version != FORMAT_VERSION || header.data_size != ctx.layout.huge_data_size {
+    let boundary = ctx
+        .layout
+        .huge_bands()
+        .iter()
+        .any(|b| b.logical == header.data_size || b.logical + b.len == header.data_size);
+    if header.version != FORMAT_VERSION || !boundary {
         return Err(PoseidonError::Corrupted("huge-region header disagrees with the superblock"));
     }
     Ok(())
+}
+
+/// Device offset of the huge header's `data_size` field.
+fn data_size_off(ctx: &HugeCtx<'_>) -> u64 {
+    ctx.meta_base() + std::mem::offset_of!(HugeHeader, data_size) as u64
+}
+
+/// Brings the extent table up to the layout's logical total after a
+/// grow: every band starting at or past the recorded `data_size` gets a
+/// fresh `FREE` extent, and `data_size` is bumped to the total — all in
+/// one undo scope, so the bookkeeping is crash-atomic and **idempotent**
+/// (recovery re-runs it after a crash between the epoch commit and this
+/// completion). Returns the bytes added. A no-op when nothing lags.
+///
+/// # Errors
+///
+/// [`PoseidonError::TableFull`] when no vacant slot can hold a new
+/// band's extent.
+pub(crate) fn extend_to_layout(op: &HugeOp<'_>) -> Result<u64> {
+    let target = op.ctx.layout.huge_data_size();
+    let recorded = op.ctx.header()?.data_size;
+    if recorded >= target {
+        return Ok(0);
+    }
+    let mut vacant = Vec::new();
+    for i in 0..HUGE_EXTENT_SLOTS {
+        if op.slot(i)?.state == state::EMPTY {
+            vacant.push(i);
+        }
+    }
+    let mut spare = vacant.into_iter();
+    let mut scope = op.undo()?;
+    let mut added = 0u64;
+    for band in op.ctx.layout.huge_bands() {
+        if band.logical < recorded {
+            continue;
+        }
+        let slot = spare.next().ok_or(PoseidonError::TableFull)?;
+        scope.log_and_write_pod(op.ctx.slot_off(slot), &extent(band.logical, band.len, state::FREE))?;
+        added += band.len;
+    }
+    scope.log_and_write_pod(data_size_off(&op.ctx), &target)?;
+    scope.commit()?;
+    Ok(added)
 }
 
 /// What transactional huge allocation must append to the owning
@@ -328,7 +385,10 @@ pub(crate) fn free(op: &HugeOp<'_>, offset: u64) -> Result<u64> {
     let Some((slot, rec)) = target else {
         return Err(PoseidonError::InvalidFree { offset });
     };
-    let data = op.ctx.data_base() + rec.offset;
+    let data = op
+        .ctx
+        .data_phys(rec.offset, rec.len)
+        .ok_or(PoseidonError::Corrupted("huge extent straddles a band wall"))?;
     if op.ctx.dev.is_poisoned(data, rec.len) {
         let mut scope = op.undo()?;
         scope.log_and_write_pod(op.ctx.slot_off(slot), &extent(rec.offset, rec.len, state::QUARANTINED))?;
@@ -336,7 +396,14 @@ pub(crate) fn free(op: &HugeOp<'_>, offset: u64) -> Result<u64> {
         return Ok(rec.len);
     }
     // Coalesce with the free neighbours (at most one on each side — the
-    // tiling invariant plus eager coalescing guarantee it).
+    // tiling invariant plus eager coalescing guarantee it). Band walls
+    // are hard boundaries: logically adjacent extents in different bands
+    // are physically disjoint, so coalescing never crosses one.
+    let (band_lo, band_hi) = op
+        .ctx
+        .layout
+        .huge_band_bounds(rec.offset)
+        .ok_or(PoseidonError::Corrupted("huge extent outside every band"))?;
     let mut prev = None;
     let mut next = None;
     for i in 0..HUGE_EXTENT_SLOTS {
@@ -344,9 +411,9 @@ pub(crate) fn free(op: &HugeOp<'_>, offset: u64) -> Result<u64> {
         if r.state != state::FREE {
             continue;
         }
-        if r.offset + r.len == rec.offset {
+        if r.offset + r.len == rec.offset && r.offset >= band_lo {
             prev = Some((i, r));
-        } else if r.offset == rec.offset + rec.len {
+        } else if r.offset == rec.offset + rec.len && r.offset < band_hi {
             next = Some((i, r));
         }
     }
@@ -388,7 +455,7 @@ pub(crate) fn quarantine_poisoned(op: &HugeOp<'_>, poison: &[PoisonRange]) -> Re
     if poison.is_empty() {
         return Ok((0, 0));
     }
-    let data_base = op.ctx.data_base();
+    let phys_of = |rec: &ExtentRecord| op.ctx.data_phys(rec.offset, rec.len);
     let mut extents = 0u64;
     let mut bytes = 0u64;
     // One extent is carved per pass; re-scan until none overlap poison.
@@ -403,7 +470,7 @@ pub(crate) fn quarantine_poisoned(op: &HugeOp<'_>, poison: &[PoisonRange]) -> Re
             }
             if rec.state == state::FREE
                 && found.is_none()
-                && quarantine::overlaps_any(poison, data_base + rec.offset, rec.len)
+                && phys_of(&rec).is_some_and(|p| quarantine::overlaps_any(poison, p, rec.len))
             {
                 found = Some((i, rec));
             }
@@ -411,8 +478,11 @@ pub(crate) fn quarantine_poisoned(op: &HugeOp<'_>, poison: &[PoisonRange]) -> Re
         let Some((slot, rec)) = found else {
             return Ok((extents, bytes));
         };
-        // The page-rounded hull of all poison inside this extent.
-        let ext_start = data_base + rec.offset;
+        // The page-rounded hull of all poison inside this extent,
+        // computed in device space and mapped back through the extent's
+        // band (bands are page-aligned on both sides, so page rounding
+        // commutes with the translation).
+        let ext_start = phys_of(&rec).expect("overlap check above mapped this extent");
         let ext_end = ext_start + rec.len;
         let mut lo = ext_end;
         let mut hi = ext_start;
@@ -420,8 +490,8 @@ pub(crate) fn quarantine_poisoned(op: &HugeOp<'_>, poison: &[PoisonRange]) -> Re
             lo = lo.min(p.offset.max(ext_start));
             hi = hi.max((p.offset + p.len).min(ext_end));
         }
-        let lo = (lo - data_base) & !(PAGE_SIZE - 1);
-        let hi = (hi - data_base + PAGE_SIZE - 1) & !(PAGE_SIZE - 1);
+        let lo = rec.offset + ((lo - ext_start) & !(PAGE_SIZE - 1));
+        let hi = rec.offset + ((hi - ext_start + PAGE_SIZE - 1) & !(PAGE_SIZE - 1));
         let front = lo - rec.offset;
         let tail = rec.offset + rec.len - hi;
         let pieces = usize::from(front > 0) + usize::from(tail > 0);
@@ -500,6 +570,15 @@ pub(crate) fn audit(op: &HugeOp<'_>) -> Result<HugeAudit> {
     let mut cursor = 0u64;
     let mut prev_free = false;
     for rec in &live {
+        // Coalescing is eager only *within* a band: a free extent that
+        // starts a new band may legally follow a free tail of the
+        // previous one (they are physically disjoint).
+        if op.ctx.layout.huge_band_bounds(rec.offset).is_some_and(|(lo, _)| lo == rec.offset) {
+            prev_free = false;
+        }
+        if op.ctx.data_phys(rec.offset, rec.len).is_none() {
+            return Err(PoseidonError::Corrupted("huge extent straddles a band wall"));
+        }
         if rec.offset != cursor {
             return Err(PoseidonError::Corrupted(if rec.offset < cursor {
                 "huge extents overlap"
@@ -533,7 +612,10 @@ pub(crate) fn audit(op: &HugeOp<'_>) -> Result<HugeAudit> {
             }
         }
     }
-    if cursor != op.ctx.layout.huge_data_size {
+    // Tiling is checked against the *recorded* data size: between an
+    // epoch commit and its band bookkeeping the table legitimately
+    // covers only the old total (recovery closes the gap).
+    if cursor != op.ctx.header()?.data_size {
         return Err(PoseidonError::Corrupted("huge extents do not cover the data region"));
     }
     Ok(audit)
@@ -546,7 +628,7 @@ mod tests {
 
     fn setup() -> (PmemDevice, HeapLayout) {
         let layout = HeapLayout::compute(64 << 20, 2).unwrap();
-        assert!(layout.huge_data_size > 0);
+        assert!(layout.huge_data_size() > 0);
         let dev = PmemDevice::new(DeviceConfig::new(64 << 20));
         format(&dev, &layout).unwrap();
         (dev, layout)
@@ -560,8 +642,8 @@ mod tests {
         let op = HugeOp::unguarded(ctx).unwrap();
         let a = audit(&op).unwrap();
         assert_eq!(a.free_extents, 1);
-        assert_eq!(a.free_bytes, layout.huge_data_size);
-        assert_eq!(a.largest_free, layout.huge_data_size);
+        assert_eq!(a.free_bytes, layout.huge_data_size());
+        assert_eq!(a.largest_free, layout.huge_data_size());
         assert_eq!(a.alloc_extents + a.quarantined_extents, 0);
     }
 
@@ -582,7 +664,7 @@ mod tests {
         assert_eq!(free(&op, b).unwrap(), (1 << 20) + PAGE_SIZE);
         let end = audit(&op).unwrap();
         assert_eq!(end.free_extents, 1, "coalesced back to one extent");
-        assert_eq!(end.free_bytes, layout.huge_data_size);
+        assert_eq!(end.free_bytes, layout.huge_data_size());
     }
 
     #[test]
@@ -615,12 +697,12 @@ mod tests {
         let (dev, layout) = setup();
         let ctx = HugeCtx { dev: &dev, layout: &layout };
         let op = HugeOp::unguarded(ctx).unwrap();
-        let _a = alloc(&op, layout.huge_data_size / 2, None).unwrap();
+        let _a = alloc(&op, layout.huge_data_size() / 2, None).unwrap();
         let before = audit(&op).unwrap();
-        let err = alloc(&op, layout.huge_data_size, None).unwrap_err();
+        let err = alloc(&op, layout.huge_data_size(), None).unwrap_err();
         match err {
             PoseidonError::TooLarge { requested, subheap_max, huge_remaining } => {
-                assert_eq!(requested, layout.huge_data_size);
+                assert_eq!(requested, layout.huge_data_size());
                 assert_eq!(subheap_max, layout.max_alloc());
                 assert_eq!(huge_remaining, before.largest_free);
             }
@@ -685,7 +767,7 @@ mod tests {
                 let a = audit(&op).unwrap();
                 assert_eq!(
                     a.free_bytes + a.alloc_bytes + a.quarantined_bytes,
-                    layout.huge_data_size,
+                    layout.huge_data_size(),
                     "crash point {k} in {stage} left a torn table"
                 );
                 if result.is_ok() {
@@ -701,7 +783,7 @@ mod tests {
         free(&op, 0).unwrap();
         let a = audit(&op).unwrap();
         assert_eq!(a.free_extents, 1);
-        assert_eq!(a.free_bytes, layout.huge_data_size);
+        assert_eq!(a.free_bytes, layout.huge_data_size());
     }
 
     #[test]
@@ -713,7 +795,7 @@ mod tests {
         // single-page ALLOC extents is too slow; instead, synthesize a
         // full table directly (alternating ALLOC extents with one FREE
         // tail larger than a page, leaving zero vacant slots).
-        let pages = layout.huge_data_size / PAGE_SIZE;
+        let pages = layout.huge_data_size() / PAGE_SIZE;
         assert!(pages as usize > HUGE_EXTENT_SLOTS);
         for i in 0..HUGE_EXTENT_SLOTS - 1 {
             dev.write_pod(ctx.slot_off(i), &extent(i as u64 * PAGE_SIZE, PAGE_SIZE, state::ALLOC)).unwrap();
@@ -721,14 +803,14 @@ mod tests {
         let used = (HUGE_EXTENT_SLOTS as u64 - 1) * PAGE_SIZE;
         dev.write_pod(
             ctx.slot_off(HUGE_EXTENT_SLOTS - 1),
-            &extent(used, layout.huge_data_size - used, state::FREE),
+            &extent(used, layout.huge_data_size() - used, state::FREE),
         )
         .unwrap();
         audit(&op).unwrap();
         // A fitting request that needs a split has no slot for the rest.
         assert!(matches!(alloc(&op, PAGE_SIZE, None), Err(PoseidonError::TableFull)));
         // An exact-fit request for the whole tail still succeeds.
-        let off = alloc(&op, layout.huge_data_size - used, None).unwrap();
+        let off = alloc(&op, layout.huge_data_size() - used, None).unwrap();
         assert_eq!(off, used);
         audit(&op).unwrap();
     }
@@ -739,7 +821,7 @@ mod tests {
         let ctx = HugeCtx { dev: &dev, layout: &layout };
         let op = HugeOp::unguarded(ctx).unwrap();
         let a = alloc(&op, 1 << 20, None).unwrap();
-        dev.poison(layout.huge_data_base() + a + 64, 128).unwrap();
+        dev.poison(layout.huge_phys_of(a, 1 << 20).unwrap() + 64, 128).unwrap();
         assert_eq!(free(&op, a).unwrap(), 1 << 20);
         let aud = audit(&op).unwrap();
         assert_eq!(aud.quarantined_extents, 1);
@@ -756,7 +838,7 @@ mod tests {
         let ctx = HugeCtx { dev: &dev, layout: &layout };
         let op = HugeOp::unguarded(ctx).unwrap();
         // Poison one line in the middle of the (single, free) region.
-        let at = layout.huge_data_base() + 8 * PAGE_SIZE + 256;
+        let at = layout.huge_phys_of(8 * PAGE_SIZE, PAGE_SIZE).unwrap() + 256;
         dev.poison(at, 64).unwrap();
         let poison = dev.scrub();
         let (extents, bytes) = quarantine_poisoned(&op, &poison).unwrap();
@@ -765,11 +847,49 @@ mod tests {
         let aud = audit(&op).unwrap();
         assert_eq!(aud.quarantined_bytes, PAGE_SIZE);
         assert_eq!(aud.free_extents, 2, "front and tail remain free");
-        assert_eq!(aud.free_bytes, layout.huge_data_size - PAGE_SIZE);
+        assert_eq!(aud.free_bytes, layout.huge_data_size() - PAGE_SIZE);
         // Idempotent: a second pass finds nothing more to do.
         assert_eq!(quarantine_poisoned(&op, &poison).unwrap(), (0, 0));
         // Allocation steers around the quarantined page.
         let got = alloc(&op, 16 * PAGE_SIZE, None).unwrap();
         assert!(got > 8 * PAGE_SIZE, "hole before the poison is too small");
+    }
+
+    #[test]
+    fn extend_adds_a_band_and_walls_stop_coalescing() {
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        let dev = PmemDevice::new(DeviceConfig::new(64 << 20).growable_to(256 << 20));
+        format(&dev, &layout).unwrap();
+        let old_total = layout.huge_data_size();
+
+        // Grow: commit a second epoch in memory and on the device, then
+        // run the idempotent band bookkeeping.
+        let epoch = layout.plan_growth(128 << 20).unwrap();
+        assert!(epoch.huge_size > 0, "growth of this shape must carry a band");
+        dev.grow(128 << 20).unwrap();
+        layout.push_epoch(epoch).unwrap();
+        let ctx = HugeCtx { dev: &dev, layout: &layout };
+        {
+            let op = HugeOp::unguarded(ctx).unwrap();
+            assert_eq!(extend_to_layout(&op).unwrap(), epoch.huge_size);
+            assert_eq!(extend_to_layout(&op).unwrap(), 0, "second run is a no-op");
+        }
+        validate(&ctx).unwrap();
+        let op = HugeOp::unguarded(ctx).unwrap();
+        let a = audit(&op).unwrap();
+        assert_eq!(a.free_bytes, layout.huge_data_size());
+        assert_eq!(a.free_extents, 2, "band-wall neighbours stay uncoalesced");
+
+        // Fill band 0 exactly, then the next allocation must come from
+        // the new band (extents never straddle the wall).
+        assert_eq!(alloc(&op, old_total, None).unwrap(), 0);
+        let big = alloc(&op, epoch.huge_size, None).unwrap();
+        assert_eq!(big, old_total, "exact fit at the new band's start");
+        assert!(layout.huge_phys_of(big, epoch.huge_size).is_some());
+        assert_eq!(free(&op, big).unwrap(), epoch.huge_size);
+        assert_eq!(free(&op, 0).unwrap(), old_total);
+        let end = audit(&op).unwrap();
+        assert_eq!(end.free_extents, 2, "coalescing is confined to the band");
+        assert_eq!(end.free_bytes, layout.huge_data_size());
     }
 }

@@ -95,9 +95,11 @@ mod undo;
 
 pub use error::{OpKind, PoseidonError, Result};
 pub use frontend::CacheConfig;
-pub use heap::{HeapConfig, HeapOpStats, PoseidonHeap};
+pub use heap::{GrowReport, HeapConfig, HeapOpStats, PoseidonHeap};
 pub use hugeregion::HugeAudit;
-pub use layout::{class_for_size, class_size, HeapLayout, MIN_BLOCK, NUM_CLASSES};
+pub use layout::{
+    class_for_size, class_size, Epoch, HeapLayout, Region, MAX_EPOCHS, MAX_SUBHEAPS, MIN_BLOCK, NUM_CLASSES,
+};
 pub use nvmptr::{NvmPtr, MAX_OFFSET};
 pub use recovery::RecoveryReport;
 pub use repair::{repair, RepairReport};

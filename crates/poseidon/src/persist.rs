@@ -17,8 +17,13 @@ pub const SUPERBLOCK_MAGIC: u64 = 0x504F_5345_4944_4F4E;
 pub const SUBHEAP_MAGIC: u64 = 0x5355_4248_4541_5021;
 /// Magic value identifying an initialised huge-region header ("HUGEREGN").
 pub const HUGE_MAGIC: u64 = 0x4855_4745_5245_474E;
-/// On-device format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// On-device format version. Version 1 pools (single fixed layout, no
+/// epoch records) are migrated in place on open; see
+/// [`EpochRecord`] for what version 2 adds.
+pub const FORMAT_VERSION: u32 = 2;
+/// The pre-epoch on-device format, still accepted by `open` via an
+/// in-place migration that synthesises epoch 0 from the header geometry.
+pub const FORMAT_VERSION_V1: u32 = 1;
 
 pod_struct! {
     /// The heap superblock (device offset 0): identity, geometry, the
@@ -52,6 +57,85 @@ pod_struct! {
         pub undo_gen: u64,
         /// The heap's root pointer (§4.6).
         pub root: NvmPtr,
+        /// Number of committed layout epochs (format v2+). Version-1
+        /// images read 0 here — the sparse device returns zeros for bytes
+        /// never written — which is exactly what triggers migration.
+        pub epoch_count: u32,
+        /// Reserved.
+        pub _pad2: u32,
+    }
+}
+
+pod_struct! {
+    /// One persistent layout-epoch record (format v2). The array of these
+    /// lives at [`SB_EPOCHS_OFF`](crate::layout::SB_EPOCHS_OFF) in the
+    /// superblock region, one 64-byte slot per epoch, and is the durable
+    /// form of the in-memory [`Epoch`](crate::layout::Epoch) chain.
+    ///
+    /// A grow appends the record and bumps the header's `epoch_count`
+    /// inside one superblock undo transaction, so its two-fence commit is
+    /// the *single* commit point of the whole growth: a crash before it
+    /// reverts both together (the grow never happened), a crash after it
+    /// leaves a fully described epoch whose huge-band bookkeeping recovery
+    /// completes idempotently.
+    pub struct EpochRecord {
+        /// [`EPOCH_COMMITTED`], or [`EPOCH_EMPTY`] for an unused slot.
+        pub state: u32,
+        /// Reserved.
+        pub _pad: u32,
+        /// Device offset where the epoch's capacity range starts.
+        pub base: u64,
+        /// Total device capacity once this epoch is committed.
+        pub capacity: u64,
+        /// Global index of the first sub-heap this epoch hosts.
+        pub first_subheap: u32,
+        /// Number of sub-heaps this epoch hosts.
+        pub num_subheaps: u32,
+        /// Device offset of this epoch's huge-data band.
+        pub huge_base: u64,
+        /// Bytes of huge-data band in this epoch.
+        pub huge_size: u64,
+        /// Reserved (pads the record to 64 bytes).
+        pub _reserved: [u64; 2],
+    }
+}
+
+/// [`EpochRecord::state`]: slot never written.
+pub const EPOCH_EMPTY: u32 = 0;
+/// [`EpochRecord::state`]: the epoch is committed.
+pub const EPOCH_COMMITTED: u32 = 1;
+
+const _: () = assert!(std::mem::size_of::<EpochRecord>() == 64);
+const _: () = assert!(
+    crate::layout::SB_EPOCHS_OFF + crate::layout::MAX_EPOCHS as u64 * 64 <= crate::layout::SB_REGION_SIZE
+);
+
+impl EpochRecord {
+    /// The durable form of an in-memory epoch.
+    pub fn from_epoch(epoch: &crate::layout::Epoch) -> EpochRecord {
+        EpochRecord {
+            state: EPOCH_COMMITTED,
+            _pad: 0,
+            base: epoch.base,
+            capacity: epoch.capacity,
+            first_subheap: epoch.first_subheap,
+            num_subheaps: epoch.num_subheaps,
+            huge_base: epoch.huge_base,
+            huge_size: epoch.huge_size,
+            _reserved: [0; 2],
+        }
+    }
+
+    /// The in-memory form of a committed record.
+    pub fn to_epoch(self) -> crate::layout::Epoch {
+        crate::layout::Epoch {
+            base: self.base,
+            capacity: self.capacity,
+            first_subheap: self.first_subheap,
+            num_subheaps: self.num_subheaps,
+            huge_base: self.huge_base,
+            huge_size: self.huge_size,
+        }
     }
 }
 
@@ -194,10 +278,12 @@ impl<'a> HugeCtx<'a> {
         self.layout.huge_meta_base()
     }
 
-    /// Device offset of the huge-region data.
+    /// Maps the logical huge range `[logical, logical + len)` to its
+    /// device offset; `None` when out of bounds or straddling a band wall
+    /// (a corrupt extent).
     #[inline]
-    pub fn data_base(&self) -> u64 {
-        self.layout.huge_data_base()
+    pub fn data_phys(&self, logical: u64, len: u64) -> Option<u64> {
+        self.layout.huge_phys_of(logical, len)
     }
 
     /// Device offset of the header's undo-log generation field.
@@ -351,8 +437,10 @@ mod tests {
             huge_data_size: 16 << 20,
             undo_gen: 0,
             root: NvmPtr::new(0x1234, 3, 64),
+            epoch_count: 1,
             _pad0: 0,
             _pad1: 0,
+            _pad2: 0,
         };
         assert_eq!(SuperblockHeader::from_bytes(header.as_bytes()), header);
     }

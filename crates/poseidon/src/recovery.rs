@@ -68,6 +68,10 @@ pub struct RecoveryReport {
     pub huge_extents_quarantined: u64,
     /// Bytes covered by the quarantined huge extents.
     pub huge_bytes_quarantined: u64,
+    /// Huge-region bytes whose bookkeeping recovery completed because a
+    /// crash tore a [`grow`](crate::PoseidonHeap::grow) between its epoch
+    /// commit and the band's extent-table entry (0 on a clean open).
+    pub huge_bytes_materialised: u64,
 }
 
 impl RecoveryReport {
@@ -103,7 +107,7 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
     // (one atomic scope spanning extent table and micro slot), so that
     // replay must land before any sub-heap walks its micro logs.
     let mut huge_ok = false;
-    if layout.huge_data_size > 0 {
+    if layout.huge_data_size() > 0 {
         let hctx = HugeCtx { dev, layout };
         let salvage = if quarantine::overlaps_any(&poison, hctx.meta_base(), layout.huge_meta_size()) {
             // Same policy as a poisoned sub-heap: a half-readable extent
@@ -120,8 +124,13 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
         match salvage {
             Ok(()) => {
                 huge_ok = true;
+                let op = hugeregion::HugeOp::unguarded(HugeCtx { dev, layout })?;
+                // A crash between a grow's epoch commit and its huge-band
+                // bookkeeping leaves the committed layout ahead of the
+                // extent table; finish the (idempotent) completion here so
+                // the torn grow fully applies.
+                report.huge_bytes_materialised = hugeregion::extend_to_layout(&op)?;
                 if !poison.is_empty() {
-                    let op = hugeregion::HugeOp::unguarded(HugeCtx { dev, layout })?;
                     let (extents, bytes) = hugeregion::quarantine_poisoned(&op, &poison)?;
                     report.huge_extents_quarantined += extents;
                     report.huge_bytes_quarantined += bytes;
@@ -134,7 +143,7 @@ pub(crate) fn recover(dev: &PmemDevice, layout: &HeapLayout) -> Result<(Recovery
         }
     }
     let mut quarantined_subs = Vec::new();
-    for sub in 0..layout.num_subheaps {
+    for sub in 0..layout.num_subheaps() {
         let ctx = SubCtx { dev, layout, sub };
         let dir_state = superblock::dir_entry(dev, sub)?.state;
         if dir_state == superblock::DIR_QUARANTINED {
@@ -210,7 +219,7 @@ fn recover_sub(op: &OpSession<'_>, huge_ok: bool, report: &mut RecoveryReport) -
             continue;
         }
         for ptr in pending {
-            if ptr.subheap() == HUGE_SUBHEAP && op.ctx.layout.huge_data_size > 0 {
+            if ptr.subheap() == HUGE_SUBHEAP && op.ctx.layout.huge_data_size() > 0 {
                 // A huge extent allocated by the uncommitted transaction:
                 // revert it through the huge region. When that region is
                 // quarantined the extent is leaked (stays marked

@@ -66,8 +66,8 @@ use pmem::{PmemDevice, CACHE_LINE_SIZE, PAGE_SIZE};
 use crate::error::{PoseidonError, Result};
 use crate::layout::{
     class_for_size, HeapLayout, ENTRY_SIZE, HUGE_EXTENT_SLOTS, HUGE_UNDO_OFF, HUGE_UNDO_SIZE, MAX_LEVELS,
-    MICRO_SLOT_BYTES, NUM_CLASSES, SB_DIR_OFF, SB_REGION_SIZE, SB_UNDO_SIZE, SH_MICRO_OFF, SH_MICRO_SIZE,
-    SH_TABLE_OFF, SH_UNDO_OFF, SH_UNDO_SIZE,
+    MICRO_SLOT_BYTES, NUM_CLASSES, SB_DIR_OFF, SB_EPOCHS_OFF, SB_REGION_SIZE, SB_UNDO_SIZE, SH_MICRO_OFF,
+    SH_MICRO_SIZE, SH_TABLE_OFF, SH_UNDO_OFF, SH_UNDO_SIZE,
 };
 use crate::microlog;
 use crate::persist::{
@@ -125,6 +125,10 @@ pub struct RepairReport {
     /// Huge-region bytes newly quarantined: coverage holes left by
     /// dropped slots, plus free extents overlapping data poison.
     pub huge_bytes_quarantined: u64,
+    /// Trailing layout epochs dropped because their records were torn or
+    /// destroyed (a grow interrupted after its undo log was also lost);
+    /// the pool conservatively returns to the last committed geometry.
+    pub epochs_truncated: u32,
 }
 
 impl RepairReport {
@@ -139,6 +143,7 @@ impl RepairReport {
             || self.huge_header_rebuilt
             || self.huge_slots_dropped > 0
             || self.huge_bytes_quarantined > 0
+            || self.epochs_truncated > 0
     }
 }
 
@@ -153,10 +158,25 @@ impl RepairReport {
 /// [`PoseidonError::Corrupted`] if no valid heap is present; or device
 /// errors.
 pub fn repair(dev: &PmemDevice) -> Result<RepairReport> {
+    let mut report = RepairReport::default();
+    // The layout-epoch chain is parsed by `superblock::load` below, and a
+    // grow commits across it under the superblock undo log: scrub and
+    // replay that log *first* so a torn epoch commit rolls back cleanly,
+    // then conservatively truncate whatever tail a lost log left
+    // half-written (each dropped epoch's space simply leaves the pool).
+    let undo_scrubbed = scrub_range(dev, superblock::undo_area().base, SB_UNDO_SIZE)?;
+    if !undo_scrubbed.is_empty() {
+        report.undo_logs_truncated += 1;
+    }
+    report.lines_scrubbed += undo_scrubbed.len() as u64;
+    if undo::replay(dev, superblock::undo_area())? {
+        report.undo_logs_replayed += 1;
+    }
+    report.lines_scrubbed += scrub_range(dev, SB_EPOCHS_OFF, superblock::EPOCH_AREA_SIZE)?.len() as u64;
+    report.epochs_truncated = superblock::truncate_torn_epochs(dev)?;
     // A poisoned header line fails this read with the typed media error:
     // identity, geometry and the root pointer are gone, and so is the heap.
     let (_, layout) = superblock::load(dev)?;
-    let mut report = RepairReport::default();
 
     repair_directory(dev, &layout, &mut report)?;
 
@@ -174,7 +194,7 @@ pub fn repair(dev: &PmemDevice) -> Result<RepairReport> {
     }
     dev.persist(0, SB_REGION_SIZE)?;
 
-    for sub in 0..layout.num_subheaps {
+    for sub in 0..layout.num_subheaps() {
         let entry = superblock::dir_entry(dev, sub)?;
         if entry.state != 1 && entry.state != superblock::DIR_QUARANTINED {
             continue;
@@ -199,12 +219,12 @@ pub fn repair(dev: &PmemDevice) -> Result<RepairReport> {
 /// Scrubs poisoned directory lines and reconstructs the entries they
 /// held from the sub-heap headers.
 fn repair_directory(dev: &PmemDevice, layout: &HeapLayout, report: &mut RepairReport) -> Result<()> {
-    let dir_len = layout.num_subheaps as u64 * 8;
+    let dir_len = layout.num_subheaps() as u64 * 8;
     let cleared = scrub_range(dev, SB_DIR_OFF, dir_len)?;
     report.lines_scrubbed += cleared.len() as u64;
     for line in cleared {
         let first = (line - SB_DIR_OFF) / 8;
-        let last = (first + CACHE_LINE_SIZE / 8).min(layout.num_subheaps as u64);
+        let last = (first + CACHE_LINE_SIZE / 8).min(layout.num_subheaps() as u64);
         for sub in first..last {
             let sub = sub as u16;
             let meta = layout.meta_base(sub);
@@ -444,7 +464,7 @@ fn rebuild_lists(ctx: &SubCtx<'_>, active: usize, report: &mut RepairReport) -> 
 /// a live allocation whose record was destroyed), and quarantined
 /// extents are never auto-released.
 fn repair_huge(dev: &PmemDevice, layout: &HeapLayout, report: &mut RepairReport) -> Result<()> {
-    if layout.huge_data_size == 0 {
+    if layout.huge_data_size() == 0 {
         return Ok(());
     }
     let ctx = HugeCtx { dev, layout };
@@ -461,7 +481,7 @@ fn repair_huge(dev: &PmemDevice, layout: &HeapLayout, report: &mut RepairReport)
             version: FORMAT_VERSION,
             _pad: 0,
             undo_gen: 0,
-            data_size: layout.huge_data_size,
+            data_size: layout.huge_data_size(),
         };
         dev.write_pod(meta, &header)?;
         report.lines_scrubbed += scrub_range(dev, meta + HUGE_UNDO_OFF, HUGE_UNDO_SIZE)?.len() as u64;
@@ -493,7 +513,8 @@ fn repair_huge(dev: &PmemDevice, layout: &HeapLayout, report: &mut RepairReport)
             && rec.len > 0
             && rec.offset.is_multiple_of(PAGE_SIZE)
             && rec.len.is_multiple_of(PAGE_SIZE)
-            && rec.offset.checked_add(rec.len).is_some_and(|end| end <= layout.huge_data_size);
+            // In-bounds and inside one band (extents never straddle a wall).
+            && layout.huge_phys_of(rec.offset, rec.len).is_some();
         if plausible {
             kept.push(rec);
         } else {
@@ -519,38 +540,24 @@ fn repair_huge(dev: &PmemDevice, layout: &HeapLayout, report: &mut RepairReport)
     // Rebuild full coverage: holes become QUARANTINED, poisoned FREE
     // extents become QUARANTINED, everything else survives as-is.
     let poison = dev.scrub();
-    let data_base = ctx.data_base();
     let mut rebuilt: Vec<ExtentRecord> = Vec::new();
     let mut cursor = 0u64;
-    let push = |rebuilt: &mut Vec<ExtentRecord>, rec: ExtentRecord| {
-        match rebuilt.last_mut() {
-            // Coalesce eagerly: the audit rejects adjacent same-state
-            // FREE extents, and merging QUARANTINED runs saves slots.
-            Some(last)
-                if last.state == rec.state
-                    && rec.state != state::ALLOC
-                    && last.offset + last.len == rec.offset =>
-            {
-                last.len += rec.len;
-            }
-            _ => rebuilt.push(rec),
-        }
-    };
     for mut rec in kept {
         if rec.offset > cursor {
             report.huge_bytes_quarantined += rec.offset - cursor;
-            push(&mut rebuilt, extent_rec(cursor, rec.offset - cursor, state::QUARANTINED));
+            quarantine_hole(layout, &mut rebuilt, cursor, rec.offset);
         }
-        if rec.state == state::FREE && quarantine::overlaps_any(&poison, data_base + rec.offset, rec.len) {
+        let phys = layout.huge_phys_of(rec.offset, rec.len).expect("plausibility checked above");
+        if rec.state == state::FREE && quarantine::overlaps_any(&poison, phys, rec.len) {
             report.huge_bytes_quarantined += rec.len;
             rec.state = state::QUARANTINED;
         }
         cursor = rec.offset + rec.len;
-        push(&mut rebuilt, rec);
+        push_merged(layout, &mut rebuilt, rec);
     }
-    if cursor < layout.huge_data_size {
-        report.huge_bytes_quarantined += layout.huge_data_size - cursor;
-        push(&mut rebuilt, extent_rec(cursor, layout.huge_data_size - cursor, state::QUARANTINED));
+    if cursor < layout.huge_data_size() {
+        report.huge_bytes_quarantined += layout.huge_data_size() - cursor;
+        quarantine_hole(layout, &mut rebuilt, cursor, layout.huge_data_size());
     }
 
     // Pathological fallback: if the rebuilt tiling needs more slots than
@@ -572,7 +579,7 @@ fn repair_huge(dev: &PmemDevice, layout: &HeapLayout, report: &mut RepairReport)
         rebuilt[victim].state = state::QUARANTINED;
         let mut merged: Vec<ExtentRecord> = Vec::with_capacity(rebuilt.len());
         for rec in rebuilt {
-            push(&mut merged, rec);
+            push_merged(layout, &mut merged, rec);
         }
         rebuilt = merged;
     }
@@ -581,8 +588,44 @@ fn repair_huge(dev: &PmemDevice, layout: &HeapLayout, report: &mut RepairReport)
         let rec = rebuilt.get(slot).copied().unwrap_or(extent_rec(0, 0, state::EMPTY));
         dev.write_pod(ctx.slot_off(slot), &rec)?;
     }
+    // The rebuilt table tiles the full logical space; a `data_size`
+    // still lagging from a torn grow (crash between the epoch commit and
+    // its band bookkeeping) is brought up to the total to match.
+    let mut header = ctx.header()?;
+    if header.data_size != layout.huge_data_size() {
+        header.data_size = layout.huge_data_size();
+        dev.write_pod(meta, &header)?;
+    }
     dev.persist(meta, layout.huge_meta_size())?;
     Ok(())
+}
+
+/// Appends `rec` to the rebuilt tiling, eagerly coalescing same-state
+/// `FREE`/`QUARANTINED` neighbours — but never across a band wall,
+/// where logically adjacent extents are physically disjoint.
+fn push_merged(layout: &HeapLayout, rebuilt: &mut Vec<ExtentRecord>, rec: ExtentRecord) {
+    match rebuilt.last_mut() {
+        Some(last)
+            if last.state == rec.state
+                && rec.state != state::ALLOC
+                && last.offset + last.len == rec.offset
+                && layout.huge_band_bounds(last.offset).is_some_and(|(_, hi)| rec.offset < hi) =>
+        {
+            last.len += rec.len;
+        }
+        _ => rebuilt.push(rec),
+    }
+}
+
+/// Quarantines the uncovered logical range `[start, end)`, splitting it
+/// at band walls so no rebuilt extent straddles one.
+fn quarantine_hole(layout: &HeapLayout, rebuilt: &mut Vec<ExtentRecord>, mut start: u64, end: u64) {
+    while start < end {
+        let band_hi = layout.huge_band_bounds(start).map_or(end, |(_, hi)| hi);
+        let piece = end.min(band_hi) - start;
+        push_merged(layout, rebuilt, extent_rec(start, piece, state::QUARANTINED));
+        start += piece;
+    }
 }
 
 /// Shorthand for a live [`ExtentRecord`].
@@ -841,7 +884,7 @@ mod tests {
 
         let report = repair(&dev).unwrap();
         assert!(report.damage_found());
-        let hole = layout.huge_data_size - 2 * need;
+        let hole = layout.huge_data_size() - 2 * need;
         assert_eq!(report.huge_bytes_quarantined, hole);
 
         let heap = reload_and_audit(&dev);

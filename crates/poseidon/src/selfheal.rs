@@ -63,25 +63,17 @@ pub(crate) enum FaultUnit {
     Unknown,
 }
 
-/// Maps a device offset to the layout unit containing it.
+/// Maps a device offset to the layout unit containing it (epoch-aware:
+/// delegates to the layout's region classifier).
 pub(crate) fn fault_unit(layout: &HeapLayout, offset: u64) -> FaultUnit {
-    let n = layout.num_subheaps as u64;
-    if offset < layout.meta_base(0) {
-        return FaultUnit::Superblock;
+    match layout.locate(offset) {
+        crate::layout::Region::Superblock => FaultUnit::Superblock,
+        crate::layout::Region::SubMeta(sub) => FaultUnit::SubMeta(sub),
+        crate::layout::Region::SubUser(sub) => FaultUnit::SubUser(sub),
+        crate::layout::Region::HugeMeta => FaultUnit::HugeMeta,
+        crate::layout::Region::HugeData { .. } => FaultUnit::HugeData,
+        crate::layout::Region::Unused => FaultUnit::Unknown,
     }
-    if offset < layout.huge_meta_base() {
-        return FaultUnit::SubMeta(((offset - layout.meta_base(0)) / layout.meta_size) as u16);
-    }
-    if offset < layout.meta_end() {
-        return FaultUnit::HugeMeta;
-    }
-    if offset < layout.meta_end() + n * layout.user_size {
-        return FaultUnit::SubUser(((offset - layout.meta_end()) / layout.user_size) as u16);
-    }
-    if layout.huge_data_size > 0 && offset < layout.huge_data_base() + layout.huge_data_size {
-        return FaultUnit::HugeData;
-    }
-    FaultUnit::Unknown
 }
 
 /// Volatile self-healing counters of one heap (reset on open).
@@ -289,13 +281,13 @@ impl PoseidonHeap {
         self.health.media_counter(during).fetch_add(1, Ordering::Relaxed);
         let attributed = e.attribute(during);
         match fault_unit(&self.layout, offset) {
-            FaultUnit::SubMeta(sub) if sub < self.layout.num_subheaps => {
+            FaultUnit::SubMeta(sub) if sub < self.layout.num_subheaps() => {
                 // Whole-sub-heap condemnation; a persist failure still
                 // leaves the volatile flag set, so retrying is safe.
                 let _ = self.condemn_subheap(sub);
                 (attributed, true)
             }
-            FaultUnit::SubUser(sub) if sub < self.layout.num_subheaps => {
+            FaultUnit::SubUser(sub) if sub < self.layout.num_subheaps() => {
                 if !self.sub_usable(sub) {
                     // A racing condemnation (or an uncreated sub-heap):
                     // nothing to withdraw, and routing already skips it —
@@ -372,8 +364,8 @@ impl PoseidonHeap {
     /// Device errors other than media faults (those are absorbed into
     /// quarantine and reported in the step).
     pub fn scrub_step(&self, budget: usize) -> Result<ScrubStep> {
-        let n = self.layout.num_subheaps as u64;
-        let units = n + u64::from(self.layout.huge_data_size > 0);
+        let n = self.layout.num_subheaps() as u64;
+        let units = n + u64::from(self.layout.huge_data_size() > 0);
         let mut step = ScrubStep::default();
         let poison = self.dev.scrub();
         for _ in 0..budget.clamp(1, units as usize) {
@@ -432,7 +424,7 @@ impl PoseidonHeap {
     }
 
     fn scrub_huge_unit(&self, poison: &[pmem::PoisonRange], step: &mut ScrubStep) {
-        if self.layout.huge_data_size == 0 || self.huge_quarantined.load(Ordering::Acquire) {
+        if self.layout.huge_data_size() == 0 || self.huge_quarantined.load(Ordering::Acquire) {
             return;
         }
         if quarantine::overlaps_any(poison, self.layout.huge_meta_base(), self.layout.huge_meta_size()) {
@@ -441,7 +433,9 @@ impl PoseidonHeap {
             step.huge_region_quarantined = true;
             return;
         }
-        if !quarantine::overlaps_any(poison, self.layout.huge_data_base(), self.layout.huge_data_size) {
+        let any_band_hit =
+            self.layout.huge_bands().iter().any(|b| quarantine::overlaps_any(poison, b.phys, b.len));
+        if !any_band_hit {
             return;
         }
         match self.quarantine_poisoned_extents() {
@@ -501,16 +495,17 @@ mod tests {
         assert_eq!(fault_unit(&layout, layout.huge_meta_base()), FaultUnit::HugeMeta);
         assert_eq!(fault_unit(&layout, layout.user_base(0)), FaultUnit::SubUser(0));
         assert_eq!(fault_unit(&layout, layout.user_base(2) + 64), FaultUnit::SubUser(2));
-        assert_eq!(fault_unit(&layout, layout.huge_data_base()), FaultUnit::HugeData);
-        assert_eq!(fault_unit(&layout, layout.huge_data_base() + layout.huge_data_size), FaultUnit::Unknown);
+        let huge_base = layout.huge_phys_of(0, 1).unwrap();
+        assert_eq!(fault_unit(&layout, huge_base), FaultUnit::HugeData);
+        assert_eq!(fault_unit(&layout, huge_base + layout.huge_data_size()), FaultUnit::Unknown);
     }
 
     #[test]
     fn fault_units_without_a_huge_region() {
         let layout = HeapLayout::compute(8 << 20, 1).unwrap();
-        assert_eq!(layout.huge_data_size, 0);
+        assert_eq!(layout.huge_data_size(), 0);
         assert_eq!(fault_unit(&layout, layout.meta_base(0)), FaultUnit::SubMeta(0));
         assert_eq!(fault_unit(&layout, layout.user_base(0)), FaultUnit::SubUser(0));
-        assert_eq!(fault_unit(&layout, layout.capacity), FaultUnit::Unknown);
+        assert_eq!(fault_unit(&layout, layout.capacity()), FaultUnit::Unknown);
     }
 }

@@ -1,12 +1,20 @@
 //! Superblock creation, validation, and the root pointer (§2.2, §4.6).
 
-use pmem::PmemDevice;
+use pmem::{PmemDevice, PAGE_SIZE};
 
 use crate::error::{PoseidonError, Result};
-use crate::layout::{HeapLayout, SB_DIR_OFF, SB_UNDO_OFF, SB_UNDO_SIZE};
+use crate::layout::{
+    Epoch, HeapLayout, MAX_EPOCHS, MAX_SUBHEAPS, SB_DIR_OFF, SB_EPOCHS_OFF, SB_UNDO_OFF, SB_UNDO_SIZE,
+};
 use crate::nvmptr::NvmPtr;
-use crate::persist::{DirEntry, SuperblockHeader, FORMAT_VERSION, SUPERBLOCK_MAGIC};
+use crate::persist::{
+    DirEntry, EpochRecord, SuperblockHeader, EPOCH_COMMITTED, EPOCH_EMPTY, FORMAT_VERSION, FORMAT_VERSION_V1,
+    SUPERBLOCK_MAGIC,
+};
 use crate::undo::{self, UndoArea};
+
+/// Size of one on-device epoch record.
+const EPOCH_RECORD_SIZE: u64 = std::mem::size_of::<EpochRecord>() as u64;
 
 /// Device offset of the superblock's `undo_gen` field.
 fn undo_gen_off() -> u64 {
@@ -16,6 +24,40 @@ fn undo_gen_off() -> u64 {
 /// Device offset of the superblock's `root` field.
 fn root_off() -> u64 {
     std::mem::offset_of!(SuperblockHeader, root) as u64
+}
+
+/// Device offset of the superblock's `version` field.
+fn version_off() -> u64 {
+    std::mem::offset_of!(SuperblockHeader, version) as u64
+}
+
+/// Device offset of the superblock's `epoch_count` field.
+pub(crate) fn epoch_count_off() -> u64 {
+    std::mem::offset_of!(SuperblockHeader, epoch_count) as u64
+}
+
+/// Device offset of layout-epoch record `index`.
+pub(crate) fn epoch_record_off(index: usize) -> u64 {
+    debug_assert!(index < MAX_EPOCHS);
+    SB_EPOCHS_OFF + index as u64 * EPOCH_RECORD_SIZE
+}
+
+/// Reads layout-epoch record `index` (any state).
+pub(crate) fn epoch_record(dev: &PmemDevice, index: usize) -> Result<EpochRecord> {
+    Ok(dev.read_pod(epoch_record_off(index))?)
+}
+
+/// Durably commits epoch `index` of the chain: the record and the
+/// header's `epoch_count` are logged and written in **one** superblock
+/// undo transaction, whose two-fence commit is the single commit point
+/// of an online growth — a crash before it reverts both together, a
+/// crash after it leaves the epoch fully described. Caller holds the
+/// superblock lock and the MPK write guard.
+pub(crate) fn commit_epoch(dev: &PmemDevice, index: usize, epoch: &Epoch) -> Result<()> {
+    let mut session = undo::UndoSession::begin(dev, undo_area())?;
+    session.log_and_write_pod(epoch_record_off(index), &EpochRecord::from_epoch(epoch))?;
+    session.log_and_write_pod(epoch_count_off(), &(index as u32 + 1))?;
+    session.commit()
 }
 
 /// The superblock's undo-log area.
@@ -52,65 +94,185 @@ pub(crate) fn publish_subheap(dev: &PmemDevice, sub: u16, entry: DirEntry) -> Re
 /// header persisted), so a crash mid-creation leaves a device that does
 /// not claim to be a Poseidon heap and is simply re-created next time.
 pub(crate) fn create(dev: &PmemDevice, layout: &HeapLayout, heap_id: u64) -> Result<()> {
+    debug_assert_eq!(layout.epoch_count(), 1, "create formats a single-epoch layout");
     let header = SuperblockHeader {
         magic: 0, // published below
         version: FORMAT_VERSION,
         heap_id,
-        capacity: layout.capacity,
-        num_subheaps: layout.num_subheaps as u32,
+        capacity: layout.capacity(),
+        num_subheaps: layout.num_subheaps() as u32,
         meta_size: layout.meta_size,
         user_size: layout.user_size,
         c0: layout.c0,
-        huge_data_size: layout.huge_data_size,
+        huge_data_size: layout.huge_data_size(),
         undo_gen: 0,
         root: NvmPtr::NULL,
+        epoch_count: 1,
         _pad0: 0,
         _pad1: 0,
+        _pad2: 0,
     };
     dev.write_pod(0, &header)?;
-    // Zero the directory.
-    dev.write(SB_DIR_OFF, &vec![0u8; layout.num_subheaps as usize * 8])?;
-    dev.persist(0, SB_DIR_OFF + layout.num_subheaps as u64 * 8)?;
+    // Zero the whole directory page: sub-heaps materialised by a later
+    // grow must read state 0 too, not just the epoch-0 ones.
+    dev.write(SB_DIR_OFF, &vec![0u8; PAGE_SIZE as usize])?;
+    dev.write_pod(epoch_record_off(0), &EpochRecord::from_epoch(layout.epoch(0)))?;
+    dev.persist(0, SB_EPOCHS_OFF + EPOCH_RECORD_SIZE)?;
     dev.write_pod(0, &SUPERBLOCK_MAGIC)?;
     dev.persist(0, 8)?;
     Ok(())
 }
 
+/// Checks that a header's stored geometry fields match what this build
+/// computes for its creation-time capacity and sub-heap count, returning
+/// the recomputed single-epoch layout.
+fn check_creation_geometry(header: &SuperblockHeader) -> Result<HeapLayout> {
+    let recomputed = HeapLayout::compute(header.capacity, header.num_subheaps as u16)?;
+    if recomputed.meta_size != header.meta_size
+        || recomputed.user_size != header.user_size
+        || recomputed.c0 != header.c0
+        || recomputed.huge_data_size() != header.huge_data_size
+    {
+        return Err(PoseidonError::Corrupted("superblock geometry does not match this build"));
+    }
+    Ok(recomputed)
+}
+
+/// Migrates a version-1 image in place: synthesises the epoch-0 record
+/// from the creation-time geometry, publishes the count, then bumps the
+/// version — in that order, each persisted, so a crash at any point
+/// leaves either a still-valid v1 image (re-migrated next open) or a
+/// complete v2 image. Idempotent: every attempt writes the same bytes.
+fn migrate_v1(dev: &PmemDevice, header: &SuperblockHeader) -> Result<()> {
+    let layout = check_creation_geometry(header)?;
+    dev.write_pod(epoch_record_off(0), &EpochRecord::from_epoch(layout.epoch(0)))?;
+    dev.persist(epoch_record_off(0), EPOCH_RECORD_SIZE)?;
+    dev.write_pod(epoch_count_off(), &1u32)?;
+    dev.persist(epoch_count_off(), 4)?;
+    dev.write_pod(version_off(), &FORMAT_VERSION)?;
+    dev.persist(version_off(), 4)?;
+    Ok(())
+}
+
 /// Loads and validates an existing superblock, reconstructing the heap
-/// geometry it was created with.
+/// geometry — the full layout-epoch chain — it carries. Version-1
+/// images are migrated to version 2 in place first.
 ///
 /// # Errors
 ///
-/// [`PoseidonError::Corrupted`] if the header is missing, from a
-/// different format version, or inconsistent with the device.
+/// [`PoseidonError::FormatVersion`] when the stamped version is one this
+/// build cannot open; [`PoseidonError::Corrupted`] if the header is
+/// missing or inconsistent with the device.
 pub(crate) fn load(dev: &PmemDevice) -> Result<(SuperblockHeader, HeapLayout)> {
-    let header: SuperblockHeader = dev.read_pod(0)?;
+    let mut header: SuperblockHeader = dev.read_pod(0)?;
     if header.magic != SUPERBLOCK_MAGIC {
         return Err(PoseidonError::Corrupted("no Poseidon superblock on this device"));
     }
+    if header.version == FORMAT_VERSION_V1 {
+        migrate_v1(dev, &header)?;
+        header = dev.read_pod(0)?;
+    }
     if header.version != FORMAT_VERSION {
-        return Err(PoseidonError::Corrupted("unsupported format version"));
+        return Err(PoseidonError::FormatVersion { found: header.version, supported: FORMAT_VERSION });
     }
-    if header.capacity > dev.capacity() {
-        return Err(PoseidonError::Corrupted("heap larger than the device holding it"));
-    }
-    if header.heap_id == 0 || header.num_subheaps == 0 || header.num_subheaps > u16::MAX as u32 {
+    if header.heap_id == 0 || header.num_subheaps == 0 || header.num_subheaps > MAX_SUBHEAPS as u32 {
         return Err(PoseidonError::Corrupted("implausible superblock identity"));
     }
-    let layout = HeapLayout {
-        capacity: header.capacity,
-        num_subheaps: header.num_subheaps as u16,
-        meta_size: header.meta_size,
-        user_size: header.user_size,
-        c0: header.c0,
-        huge_data_size: header.huge_data_size,
-    };
-    // Geometry must be self-consistent.
-    let recomputed = HeapLayout::compute(header.capacity, layout.num_subheaps)?;
-    if recomputed != layout {
-        return Err(PoseidonError::Corrupted("superblock geometry does not match this build"));
+    if header.epoch_count == 0 || header.epoch_count as usize > MAX_EPOCHS {
+        return Err(PoseidonError::Corrupted("implausible layout-epoch count"));
+    }
+    // Epoch 0 must reproduce the creation-time geometry this build
+    // computes; growth epochs are validated structurally by the chain
+    // builder (contiguity, directory bound).
+    let recomputed = check_creation_geometry(&header)?;
+    let mut epochs = Vec::with_capacity(header.epoch_count as usize);
+    for i in 0..header.epoch_count as usize {
+        let rec = epoch_record(dev, i)?;
+        if rec.state != EPOCH_COMMITTED {
+            return Err(PoseidonError::Corrupted(if rec.state == EPOCH_EMPTY {
+                "layout-epoch chain shorter than its recorded count"
+            } else {
+                "uncommitted record inside the layout-epoch chain"
+            }));
+        }
+        epochs.push(rec.to_epoch());
+    }
+    if epochs[0] != *recomputed.epoch(0) {
+        return Err(PoseidonError::Corrupted("epoch-0 record disagrees with the superblock geometry"));
+    }
+    let layout = HeapLayout::from_epochs(header.meta_size, header.user_size, header.c0, &epochs)?;
+    if layout.capacity() > dev.capacity() {
+        return Err(PoseidonError::Corrupted("heap larger than the device holding it"));
     }
     Ok((header, layout))
+}
+
+/// Size of the on-device epoch-record area.
+pub(crate) const EPOCH_AREA_SIZE: u64 = MAX_EPOCHS as u64 * EPOCH_RECORD_SIZE;
+
+/// Conservatively truncates a torn tail of the layout-epoch chain — the
+/// `pfsck --repair` pass for images whose superblock undo log was lost
+/// to poison mid-grow (an intact log rolls the tear back instead; run
+/// the replay first). Keeps the longest structurally valid committed
+/// prefix of the recorded chain, rebuilding the epoch-0 record from the
+/// creation geometry if even that was zero-filled, and writes the
+/// reduced count back. Returns how many trailing epochs were dropped.
+pub(crate) fn truncate_torn_epochs(dev: &PmemDevice) -> Result<u32> {
+    let header: SuperblockHeader = dev.read_pod(0)?;
+    if header.magic != SUPERBLOCK_MAGIC || header.version != FORMAT_VERSION {
+        // Nothing to do: v1 images have no chain (load migrates them) and
+        // unknown versions fail the load with the typed error.
+        return Ok(0);
+    }
+    let recomputed = check_creation_geometry(&header)?;
+    let count = (header.epoch_count as usize).min(MAX_EPOCHS);
+    let mut epochs: Vec<Epoch> = Vec::with_capacity(count);
+    for i in 0..count {
+        let rec = epoch_record(dev, i)?;
+        if rec.state != EPOCH_COMMITTED {
+            break;
+        }
+        let epoch = rec.to_epoch();
+        if (i == 0 && epoch != *recomputed.epoch(0)) || epoch.capacity > dev.capacity() {
+            break;
+        }
+        let mut candidate = epochs.clone();
+        candidate.push(epoch);
+        if HeapLayout::from_epochs(header.meta_size, header.user_size, header.c0, &candidate).is_err() {
+            break;
+        }
+        epochs = candidate;
+    }
+    if epochs.is_empty() {
+        dev.write_pod(epoch_record_off(0), &EpochRecord::from_epoch(recomputed.epoch(0)))?;
+        dev.persist(epoch_record_off(0), EPOCH_RECORD_SIZE)?;
+        epochs.push(*recomputed.epoch(0));
+    }
+    let target = epochs.len() as u32;
+    if header.epoch_count != target {
+        dev.write_pod(epoch_count_off(), &target)?;
+        dev.persist(epoch_count_off(), 4)?;
+    }
+    Ok(header.epoch_count.saturating_sub(target))
+}
+
+/// Rewrites a closed single-epoch v2 image into the version-1 byte
+/// format — no epoch records, no count, version stamp rolled back — so
+/// tests can pin the read-old/write-new migration path without shipping
+/// a binary fixture. Refuses a grown (multi-epoch) image, which v1
+/// cannot express.
+pub(crate) fn downgrade_to_v1(dev: &PmemDevice) -> Result<()> {
+    let header: SuperblockHeader = dev.read_pod(0)?;
+    if header.magic != SUPERBLOCK_MAGIC || header.epoch_count != 1 {
+        return Err(PoseidonError::Corrupted("only a single-epoch image downgrades to v1"));
+    }
+    dev.write(SB_EPOCHS_OFF, &vec![0u8; EPOCH_AREA_SIZE as usize])?;
+    dev.persist(SB_EPOCHS_OFF, EPOCH_AREA_SIZE)?;
+    dev.write_pod(epoch_count_off(), &0u32)?;
+    dev.persist(epoch_count_off(), 4)?;
+    dev.write_pod(version_off(), &FORMAT_VERSION_V1)?;
+    dev.persist(version_off(), 4)?;
+    Ok(())
 }
 
 /// Reads the root pointer.
@@ -222,6 +384,103 @@ mod tests {
         undo::replay(&dev, undo_area()).unwrap();
         let e = dir_entry(&dev, 0).unwrap();
         assert!(e.state == 0 || e.state == DIR_QUARANTINED, "torn directory entry: {}", e.state);
+    }
+
+    /// Rewinds a freshly created v2 image to what a v1 build would have
+    /// written: version 1, no epoch count, a virgin epoch-record area.
+    fn downgrade_to_v1(dev: &PmemDevice) {
+        dev.write_pod(version_off(), &FORMAT_VERSION_V1).unwrap();
+        dev.write_pod(epoch_count_off(), &0u32).unwrap();
+        dev.write(epoch_record_off(0), &[0u8; 64]).unwrap();
+        dev.persist(0, SB_EPOCHS_OFF + EPOCH_RECORD_SIZE).unwrap();
+    }
+
+    #[test]
+    fn load_migrates_v1_images_in_place() {
+        let (dev, layout) = setup();
+        create(&dev, &layout, 0xABCD).unwrap();
+        downgrade_to_v1(&dev);
+        let (header, loaded) = load(&dev).unwrap();
+        assert_eq!(header.version, FORMAT_VERSION);
+        assert_eq!(header.epoch_count, 1);
+        assert_eq!(loaded, layout);
+        // The migration is durable: the on-device bytes are v2 now.
+        let reread: SuperblockHeader = dev.read_pod(0).unwrap();
+        assert_eq!(reread.version, FORMAT_VERSION);
+        assert_eq!(epoch_record(&dev, 0).unwrap().state, EPOCH_COMMITTED);
+        // And idempotent under a crash mid-migration: re-running from a
+        // half-migrated image converges to the same v2 state.
+        downgrade_to_v1(&dev);
+        dev.arm_crash_after(2);
+        let _ = load(&dev);
+        dev.simulate_crash(CrashMode::Strict, 0);
+        let (header, reloaded) = load(&dev).unwrap();
+        assert_eq!(header.version, FORMAT_VERSION);
+        assert_eq!(reloaded, layout);
+    }
+
+    #[test]
+    fn unknown_version_reports_typed_error() {
+        let (dev, layout) = setup();
+        create(&dev, &layout, 0xABCD).unwrap();
+        dev.write_pod(version_off(), &99u32).unwrap();
+        dev.persist(version_off(), 4).unwrap();
+        match load(&dev) {
+            Err(PoseidonError::FormatVersion { found, supported }) => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected FormatVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn committed_epoch_extends_the_loaded_chain() {
+        let dev = PmemDevice::new(DeviceConfig::new(64 << 20).growable_to(256 << 20));
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        create(&dev, &layout, 0xABCD).unwrap();
+        // Grow the device and commit a second epoch.
+        let epoch = layout.plan_growth(128 << 20).unwrap();
+        dev.grow(128 << 20).unwrap();
+        commit_epoch(&dev, 1, &epoch).unwrap();
+        let (header, loaded) = load(&dev).unwrap();
+        assert_eq!(header.epoch_count, 2);
+        assert_eq!(loaded.epoch_count(), 2);
+        assert_eq!(loaded.capacity(), 128 << 20);
+        assert!(loaded.num_subheaps() >= layout.num_subheaps());
+    }
+
+    #[test]
+    fn torn_trailing_epoch_is_truncated() {
+        let dev = PmemDevice::new(DeviceConfig::new(64 << 20).growable_to(256 << 20));
+        let layout = HeapLayout::compute(64 << 20, 2).unwrap();
+        create(&dev, &layout, 0xABCD).unwrap();
+        let epoch = layout.plan_growth(128 << 20).unwrap();
+        dev.grow(128 << 20).unwrap();
+        commit_epoch(&dev, 1, &epoch).unwrap();
+        layout.push_epoch(epoch).unwrap();
+
+        // Simulate a tear the undo log cannot fix (it was lost to
+        // poison): the count claims a third epoch whose record never
+        // reached media. The load refuses it; truncation drops it.
+        dev.write_pod(epoch_count_off(), &3u32).unwrap();
+        dev.persist(epoch_count_off(), 4).unwrap();
+        assert!(load(&dev).is_err());
+        assert_eq!(truncate_torn_epochs(&dev).unwrap(), 1);
+        let (header, loaded) = load(&dev).unwrap();
+        assert_eq!(header.epoch_count, 2);
+        assert_eq!(loaded.capacity(), 128 << 20);
+
+        // A zero-filled record area (poison scrubbed away) keeps no
+        // committed prefix at all: epoch 0 is rebuilt from the creation
+        // geometry and the growth epoch is dropped.
+        dev.write(SB_EPOCHS_OFF, &vec![0u8; EPOCH_AREA_SIZE as usize]).unwrap();
+        dev.persist(SB_EPOCHS_OFF, EPOCH_AREA_SIZE).unwrap();
+        assert_eq!(truncate_torn_epochs(&dev).unwrap(), 1);
+        let (header, loaded) = load(&dev).unwrap();
+        assert_eq!(header.epoch_count, 1);
+        assert_eq!(loaded.capacity(), 64 << 20);
+        assert_eq!(loaded.num_subheaps(), 2);
     }
 
     #[test]

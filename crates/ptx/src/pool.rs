@@ -648,7 +648,7 @@ mod tests {
         let heap = Arc::new(PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(16)).unwrap());
         let max = heap.layout().max_alloc();
         let size = 4 * max; // beyond every buddy class: extent-table path
-        assert!(3 * size <= heap.layout().huge_data_size, "huge region too small for the test geometry");
+        assert!(3 * size <= heap.layout().huge_data_size(), "huge region too small for the test geometry");
         let pool = PtxPool::create(heap.clone()).unwrap();
 
         // Commit: the extent survives and both ends of the payload are
@@ -686,7 +686,7 @@ mod tests {
         let huge = heap.huge_audit().unwrap().unwrap();
         assert_eq!(huge.alloc_extents, 0);
         assert_eq!(huge.free_extents, 1);
-        assert_eq!(huge.free_bytes, heap.layout().huge_data_size);
+        assert_eq!(huge.free_bytes, heap.layout().huge_data_size());
     }
 
     #[test]

@@ -289,16 +289,16 @@ mod tests {
         for (numerator, denominator, via_huge) in [(1u64, 2u64, false), (1, 1, false), (4, 1, true)] {
             let dev = Arc::new(PmemDevice::new(DeviceConfig::bench(256 << 20)));
             let heap = Arc::new(PoseidonHeap::create(dev, HeapConfig::new().with_subheaps(16)).unwrap());
-            let layout = *heap.layout();
+            let layout = heap.layout().clone();
             let max = layout.max_alloc();
             let value_size = max * numerator / denominator;
             assert_eq!(via_huge, value_size > max);
             if via_huge {
                 // Two live values plus one in-flight update copy.
                 assert!(
-                    3 * value_size <= layout.huge_data_size,
+                    3 * value_size <= layout.huge_data_size(),
                     "huge region {} too small for 3 x {value_size} values",
-                    layout.huge_data_size
+                    layout.huge_data_size()
                 );
             }
 
@@ -325,7 +325,7 @@ mod tests {
                 assert_eq!(huge.alloc_bytes, 2 * value_size);
             } else {
                 assert_eq!(huge.alloc_extents, 0, "<= max_alloc values must stay on the buddy path");
-                assert_eq!(huge.free_bytes, layout.huge_data_size);
+                assert_eq!(huge.free_bytes, layout.huge_data_size());
             }
 
             // Release every value through the same allocator surface
@@ -339,7 +339,7 @@ mod tests {
             let huge = heap.huge_audit().unwrap().unwrap();
             assert_eq!(huge.alloc_extents, 0);
             assert_eq!(huge.free_extents, 1, "freed extents must coalesce");
-            assert_eq!(huge.free_bytes, layout.huge_data_size);
+            assert_eq!(huge.free_bytes, layout.huge_data_size());
         }
     }
 

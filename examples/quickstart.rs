@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // poseidon_init: create (or load) the heap.
     let heap = PoseidonHeap::open(dev.clone(), HeapConfig::new().with_subheaps(4))?;
-    println!("created heap {:#x} with {} sub-heaps", heap.heap_id(), heap.layout().num_subheaps);
+    println!("created heap {:#x} with {} sub-heaps", heap.heap_id(), heap.layout().num_subheaps());
 
     // poseidon_alloc + get_rawptr: allocate and write user data.
     let greeting = heap.alloc(64)?;

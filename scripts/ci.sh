@@ -58,6 +58,20 @@ cargo run --release --bin crashfuzz -- --iters 40 --poison-live --seed 314159
 echo "== cargo test online_ (live self-healing integration)"
 cargo test -q --test robustness online_
 
+# Online-growth gates: the layout-epoch commit must be crash-atomic at
+# every mutation event (fixed-seed fuzz sweeps, with and without media
+# faults interleaved), and the growth integration tests cover the
+# 256 MiB -> 4 GiB concurrent-serving scenario, the post-grow TooLarge
+# regression, the v1 -> v2 reopen migration, and torn-epoch repair.
+echo "== crashfuzz --iters 50 --grow (fixed seed)"
+cargo run --release --bin crashfuzz -- --iters 50 --grow --seed 314159
+
+echo "== crashfuzz --iters 40 --grow --poison (fixed seed)"
+cargo run --release --bin crashfuzz -- --iters 40 --grow --poison --seed 271828
+
+echo "== cargo test --test growth (online-growth integration)"
+cargo test -q --test growth
+
 echo "== pfsck tool tests"
 cargo test -q --test pfsck_tool
 

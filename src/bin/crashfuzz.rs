@@ -23,8 +23,16 @@
 //! the cache purged of every condemned sub-heap's blocks, and the
 //! quarantine verdicts surviving a crash + reload.
 //!
+//! With `--grow`, online pool growths interleave with the workload on a
+//! growable device while the crash is armed: the layout-epoch commit is
+//! the atomicity point under test. After the power cycle the recovered
+//! epoch chain must contain every growth that reported success — plus
+//! at most the one in flight — the pool must audit clean on the
+//! recovered geometry, and it must keep serving *and keep growing*.
+//! Composes with `--poison`.
+//!
 //! ```text
-//! crashfuzz [--iters N] [--seed S] [--tx] [--poison] [--poison-live]
+//! crashfuzz [--iters N] [--seed S] [--tx] [--poison] [--poison-live] [--grow]
 //! ```
 
 use std::process::ExitCode;
@@ -54,6 +62,7 @@ fn main() -> ExitCode {
     let mut with_tx = false;
     let mut with_poison = false;
     let mut poison_live = false;
+    let mut with_grow = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,22 +71,31 @@ fn main() -> ExitCode {
             "--tx" => with_tx = true,
             "--poison" => with_poison = true,
             "--poison-live" => poison_live = true,
+            "--grow" => with_grow = true,
             other => {
                 eprintln!("crashfuzz: unknown argument {other}");
-                eprintln!("usage: crashfuzz [--iters N] [--seed S] [--tx] [--poison] [--poison-live]");
+                eprintln!(
+                    "usage: crashfuzz [--iters N] [--seed S] [--tx] [--poison] [--poison-live] [--grow]"
+                );
                 return ExitCode::from(2);
             }
         }
     }
     println!(
-        "crashfuzz: {iters} iterations, seed {seed}, tx={with_tx}, poison={with_poison}, live={poison_live}"
+        "crashfuzz: {iters} iterations, seed {seed}, tx={with_tx}, poison={with_poison}, \
+         live={poison_live}, grow={with_grow}"
     );
     let mut rng = Rng(seed | 1);
     let mut media_failures = 0u64;
     for iteration in 0..iters {
         let case_seed = rng.next();
-        let result =
-            if poison_live { run_live_case(case_seed) } else { run_case(case_seed, with_tx, with_poison) };
+        let result = if poison_live {
+            run_live_case(case_seed)
+        } else if with_grow {
+            run_grow_case(case_seed, with_poison)
+        } else {
+            run_case(case_seed, with_tx, with_poison)
+        };
         match result {
             Ok(outcome) => {
                 if matches!(outcome, CaseOutcome::TypedMediaFailure) {
@@ -95,6 +113,11 @@ fn main() -> ExitCode {
     }
     if poison_live {
         println!("crashfuzz: all {iters} live-poison cases self-healed cleanly");
+    } else if with_grow {
+        println!(
+            "crashfuzz: all {iters} grow cases recovered to a consistent epoch chain \
+             ({media_failures} ended in a typed media error)"
+        );
     } else if with_poison {
         println!(
             "crashfuzz: all {iters} cases handled cleanly ({media_failures} ended in a typed media error)"
@@ -222,7 +245,7 @@ fn run_live_case(case_seed: u64) -> Result<CaseOutcome, String> {
     }
 
     // A full scrub pass drains whatever poison the workload never touched.
-    let units = heap.layout().num_subheaps as usize + 1;
+    let units = heap.layout().num_subheaps() as usize + 1;
     heap.scrub_step(2 * units).map_err(|e| format!("final scrub: {e}"))?;
 
     // Invariant 1 — quarantine accounting balances: the health report's
@@ -265,7 +288,7 @@ fn run_live_case(case_seed: u64) -> Result<CaseOutcome, String> {
                 }
                 live.push(p);
             }
-            Err(PoseidonError::AllFailed { .. }) if frozen.len() == heap.layout().num_subheaps as usize => {
+            Err(PoseidonError::AllFailed { .. }) if frozen.len() == heap.layout().num_subheaps() as usize => {
                 break;
             }
             Err(PoseidonError::NoSpace { .. } | PoseidonError::MediaError { .. }) => {}
@@ -292,6 +315,176 @@ fn run_live_case(case_seed: u64) -> Result<CaseOutcome, String> {
         }
     }
     heap.audit().map_err(|e| format!("post-reload audit: {e}"))?;
+    Ok(CaseOutcome::Recovered)
+}
+
+/// One `--grow` case: online growths interleave with small, cached, and
+/// huge allocator traffic on a growable device while a crash is armed at
+/// a random mutation event. The single two-fence epoch commit is the
+/// atomicity point under test: after the power cycle the recovered chain
+/// must hold every growth that reported success plus at most the one in
+/// flight (rolled back by the superblock undo replay or completed by
+/// recovery, never half-applied), the pool must audit clean on whichever
+/// geometry it recovered to, and it must keep serving and keep growing.
+fn run_grow_case(case_seed: u64, with_poison: bool) -> Result<CaseOutcome, String> {
+    let mut rng = Rng(case_seed | 1);
+    let dev = Arc::new(PmemDevice::new(
+        DeviceConfig::new(24 << 20).growable_to(256 << 20).with_media_faults(with_poison),
+    ));
+    let heap = Arc::new(
+        PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(1 + rng.below(2) as u16))
+            .map_err(|e| format!("create: {e}"))?,
+    );
+    let max_alloc = heap.layout().max_alloc();
+
+    dev.arm_crash_after(rng.below(600));
+    if with_poison {
+        dev.arm_poison_after(1 + rng.below(400), rng.next());
+    }
+    // Growths that returned Ok: their epochs are durably committed and
+    // must survive the power cycle verbatim.
+    let mut grows_ok = 0usize;
+    let mut live: Vec<NvmPtr> = Vec::new();
+    'workload: for _ in 0..rng.below(100) + 20 {
+        match rng.below(12) {
+            0..=4 => match heap.alloc(1 + rng.below(8192)) {
+                Ok(p) => live.push(p),
+                Err(PoseidonError::Device(_)) => break 'workload,
+                Err(_) => {}
+            },
+            5..=6 => {
+                if !live.is_empty() {
+                    let index = rng.below(live.len() as u64) as usize;
+                    let p = live.swap_remove(index);
+                    if matches!(heap.free(p), Err(PoseidonError::Device(_))) {
+                        break 'workload;
+                    }
+                }
+            }
+            7..=8 => match heap.alloc(max_alloc + 1 + rng.below(4 << 20)) {
+                Ok(p) => live.push(p),
+                Err(PoseidonError::Device(_)) => break 'workload,
+                Err(_) => {}
+            },
+            9 => {
+                // Cached-path churn so magazines are mid-flight when a
+                // growth re-homes them.
+                let size = 1 + rng.below(4096);
+                for _ in 0..rng.below(12) + 1 {
+                    match heap.alloc(size) {
+                        Ok(p) => {
+                            if matches!(heap.free(p), Err(PoseidonError::Device(_))) {
+                                break 'workload;
+                            }
+                        }
+                        Err(PoseidonError::Device(_)) => break 'workload,
+                        Err(_) => break,
+                    }
+                }
+            }
+            _ => {
+                // Online growth: random MiB-granular step, clamped to the
+                // device ceiling. Small steps extend only the huge band;
+                // larger ones materialise whole sub-heaps.
+                let target = (heap.layout().capacity() + ((1 + rng.below(48)) << 20)).min(dev.max_capacity());
+                if target <= heap.layout().capacity() {
+                    continue; // already at the ceiling
+                }
+                match heap.grow(target) {
+                    Ok(report) => {
+                        if report.new_capacity != target {
+                            return Err(format!(
+                                "grow reported capacity {} for a grow to {target}",
+                                report.new_capacity
+                            ));
+                        }
+                        grows_ok += 1;
+                    }
+                    Err(PoseidonError::Device(_)) => break 'workload,
+                    Err(PoseidonError::BadGeometry(_)) => {} // step too small for a band page
+                    Err(PoseidonError::MediaError { .. }) if with_poison => {}
+                    Err(e) => return Err(format!("grow: {e}")),
+                }
+            }
+        }
+    }
+    dev.disarm_crash();
+    dev.disarm_poison();
+    let layout = heap.layout().clone();
+    drop(heap);
+
+    let logged_chains = poseidon::fuzz::undo_chains(&dev, &layout);
+    let mode = if rng.below(2) == 0 { CrashMode::Strict } else { CrashMode::Adversarial };
+    dev.simulate_crash(mode, rng.next());
+    check_undo_ordering(&dev, &layout, &logged_chains)?;
+
+    let heap = match PoseidonHeap::load(dev.clone(), HeapConfig::new()) {
+        Ok(heap) => Arc::new(heap),
+        Err(PoseidonError::MediaError { .. }) if with_poison => return Ok(CaseOutcome::TypedMediaFailure),
+        Err(e) => return Err(format!("load: {e}")),
+    };
+
+    // Epoch-chain consistency: every acknowledged growth survived, at
+    // most one unacknowledged growth (the one in flight at the crash)
+    // may have reached its commit point, and the recovered layout fits
+    // the device (which may be longer — growing the device is durable
+    // before the epoch commit, by design).
+    let chain = heap.layout().epoch_count();
+    let expected_min = 1 + grows_ok;
+    if chain < expected_min {
+        return Err(format!(
+            "epoch chain has {chain} epochs after recovery but {grows_ok} growths were acknowledged"
+        ));
+    }
+    if chain > expected_min + 1 {
+        return Err(format!(
+            "epoch chain has {chain} epochs after recovery, more than the {grows_ok} acknowledged \
+             growths plus one in flight"
+        ));
+    }
+    if heap.layout().capacity() > dev.capacity() {
+        return Err(format!(
+            "recovered layout claims {} bytes on a {}-byte device",
+            heap.layout().capacity(),
+            dev.capacity()
+        ));
+    }
+
+    // The recovered geometry must audit clean end to end, huge region
+    // included (a torn growth's band extension is completed by recovery,
+    // so the extent table must tile the *recovered* logical space).
+    heap.audit().map_err(|e| format!("post-recovery audit: {e}"))?;
+    let frozen = heap.quarantined_subheaps();
+    let recovery = heap.last_recovery();
+    let huge = heap.huge_audit().map_err(|e| format!("post-recovery huge audit: {e}"))?;
+    if heap.layout().huge_data_size() > 0 && !recovery.huge_region_quarantined && huge.is_none() {
+        return Err("huge region unavailable without being quarantined".into());
+    }
+
+    // Still serving on the recovered geometry.
+    match heap.alloc(64) {
+        Ok(p) => heap.free(p).map_err(|e| format!("post-recovery free: {e}"))?,
+        Err(PoseidonError::AllFailed { .. } | PoseidonError::SubheapQuarantined { .. })
+            if with_poison && frozen.len() == heap.layout().num_subheaps() as usize => {}
+        Err(e) => return Err(format!("post-recovery alloc: {e}")),
+    }
+    // And still growing: a recovered pool below the ceiling must accept
+    // a further growth and serve from it.
+    let target = heap.layout().capacity() + (8 << 20);
+    if target <= dev.max_capacity() {
+        match heap.grow(target) {
+            Ok(report) => {
+                if report.new_capacity != target || heap.layout().capacity() != target {
+                    return Err(format!(
+                        "post-recovery grow to {target} left capacity {}",
+                        heap.layout().capacity()
+                    ));
+                }
+            }
+            Err(PoseidonError::MediaError { .. }) if with_poison => {}
+            Err(e) => return Err(format!("post-recovery grow: {e}")),
+        }
+    }
     Ok(CaseOutcome::Recovered)
 }
 
@@ -393,7 +586,7 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
     }
     dev.disarm_crash();
     dev.disarm_poison();
-    let layout = *heap.layout();
+    let layout = heap.layout().clone();
     let heap_id = heap.heap_id();
     // Snapshot what the transient cache is holding at the moment of the
     // "power cut": magazine/pool residents and checked-out allocations
@@ -471,7 +664,7 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
     // the table and errors unless the non-empty slots form a sorted,
     // page-granular, eagerly-coalesced tiling of the whole data region.
     let huge = heap.huge_audit().map_err(|e| format!("huge audit: {e}"))?;
-    if layout.huge_data_size > 0 && !recovery.huge_region_quarantined && huge.is_none() {
+    if layout.huge_data_size() > 0 && !recovery.huge_region_quarantined && huge.is_none() {
         return Err("huge region unavailable without being quarantined".into());
     }
     if let Some(huge) = &huge {
@@ -514,7 +707,7 @@ fn run_case(case_seed: u64, with_tx: bool, with_poison: bool) -> Result<CaseOutc
         // Acceptable only when every sub-heap is frozen by poison (the
         // failover loop exhausts the sub-heap set and types it).
         Err(PoseidonError::AllFailed { .. } | PoseidonError::SubheapQuarantined { .. })
-            if with_poison && frozen.len() == heap.layout().num_subheaps as usize => {}
+            if with_poison && frozen.len() == heap.layout().num_subheaps() as usize => {}
         Err(e) => return Err(format!("post-recovery alloc: {e}")),
     }
     Ok(CaseOutcome::Recovered)

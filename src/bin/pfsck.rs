@@ -77,6 +77,13 @@ fn main() -> ExitCode {
                         report.bytes_quarantined >> 10,
                         report.blocks_released,
                     );
+                    if report.epochs_truncated > 0 {
+                        println!(
+                            "repair   : {} torn trailing layout epoch(s) truncated — pool reverts \
+                             to its last committed geometry",
+                            report.epochs_truncated
+                        );
+                    }
                     if report.level_sums_mismatched > 0 {
                         println!(
                             "repair   : {} hash-table levels had lost records (identity checksum mismatch)",
@@ -116,20 +123,34 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let layout = *heap.layout();
+    let layout = heap.layout().clone();
     println!("heap id  : {:#018x}", heap.heap_id());
     println!(
         "geometry : {} sub-heaps x ({} KiB metadata + {} MiB user), level-0 table {} entries",
-        layout.num_subheaps,
+        layout.num_subheaps(),
         layout.meta_size >> 10,
         layout.user_size >> 20,
         layout.c0
     );
-    if layout.huge_data_size > 0 {
+    if layout.huge_data_size() > 0 {
         println!(
             "geometry : huge region {} MiB (objects beyond the {} MiB sub-heap cap)",
-            layout.huge_data_size >> 20,
+            layout.huge_data_size() >> 20,
             layout.max_alloc() >> 20
+        );
+    }
+    println!("epochs   : {} committed layout epoch(s)", layout.epoch_count());
+    for (i, epoch) in layout.epochs().enumerate() {
+        let grown = if i == 0 { "creation" } else { "growth" };
+        println!(
+            "epoch {i:>3}: {grown:>8} @ {:#x}, +{} MiB (total {} MiB), sub-heaps {}..{}, \
+             huge band {} MiB",
+            epoch.base,
+            (epoch.capacity - epoch.base) >> 20,
+            epoch.capacity >> 20,
+            epoch.first_subheap,
+            epoch.first_subheap + epoch.num_subheaps,
+            epoch.huge_size >> 20,
         );
     }
     let report = heap.last_recovery();

@@ -68,7 +68,7 @@ fn poisoned_metadata_quarantines_subheap_and_alloc_fails_over() {
     let hostage;
     {
         let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(2)).unwrap();
-        layout = *heap.layout();
+        layout = heap.layout().clone();
         // Materialise both sub-heaps (pinning picks the serving sub-heap),
         // so failover has somewhere healthy to land after recovery.
         let mut probes = Vec::new();
@@ -127,7 +127,7 @@ fn repair_restores_a_quarantined_subheap_with_data_intact() {
     let keep_raw;
     {
         let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(1)).unwrap();
-        layout = *heap.layout();
+        layout = heap.layout().clone();
         keep = heap.alloc(128).unwrap();
         keep_raw = heap.raw_offset(keep).unwrap();
         dev.write(keep_raw, b"survives repair").unwrap();

@@ -62,7 +62,7 @@ fn repair_fixes_poisoned_pool_in_place() {
     // line before saving — the acceptance scenario for `--repair`.
     let dev = Arc::new(PmemDevice::new(DeviceConfig::new(64 << 20).with_media_faults(true)));
     let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(1)).unwrap();
-    let layout = *heap.layout();
+    let layout = heap.layout().clone();
     let keep = heap.alloc(256).unwrap();
     let gone = heap.alloc(4096).unwrap();
     let gone_raw = heap.raw_offset(gone).unwrap();
