@@ -32,12 +32,32 @@ impl Rng {
 
     /// Uniform value in `[0, bound)`.
     ///
+    /// Uses Lemire's multiply-shift method with rejection (Lemire 2019,
+    /// "Fast Random Integer Generation in an Interval"): the raw draw is
+    /// widened to `u128`, multiplied by `bound`, and the high 64 bits are
+    /// the result; draws landing in the short final partial interval are
+    /// rejected and redrawn, so every value in `[0, bound)` is exactly
+    /// equally likely. The previous `next_u64() % bound` carried modulo
+    /// bias (up to 2x over-representation of low values for bounds near
+    /// the top of the range), skewing every workload mix ratio and
+    /// shuffle built on it. The underlying xorshift64 stream is
+    /// unchanged; only the mapping from raw draws to bounded values
+    /// differs.
+    ///
     /// # Panics
     ///
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0);
-        self.next_u64() % bound
+        let mut m = self.next_u64() as u128 * bound as u128;
+        if (m as u64) < bound {
+            // 2^64 mod bound, computed without u128 division.
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                m = self.next_u64() as u128 * bound as u128;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform value in `[range.start, range.end)`.
@@ -165,6 +185,42 @@ mod tests {
             assert!((5..8).contains(&v));
             let u = rng.unit_f64();
             assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_is_free_of_modulo_bias() {
+        // bound = 3 * 2^62: under `next_u64() % bound`, raw draws in
+        // [0, 2^62) and [bound, bound + 2^62) both map below 2^62, so
+        // results < 2^62 carry probability 1/2 instead of 1/3. Lemire's
+        // method must put ~1/3 of the mass there.
+        let bound = 3u64 << 62;
+        let cut = 1u64 << 62;
+        let mut rng = Rng::new(0xB1A5);
+        let draws = 30_000;
+        let below_cut = (0..draws).filter(|_| rng.below(bound) < cut).count();
+        let frac = below_cut as f64 / draws as f64;
+        assert!(
+            (0.30..0.37).contains(&frac),
+            "fraction below bound/3 was {frac:.4}; ~0.333 expected, ~0.5 under modulo bias"
+        );
+    }
+
+    #[test]
+    fn below_is_uniform_on_small_bounds() {
+        // Non-power-of-two bound, chi-square-lite: every residue within
+        // 5% of the expected share.
+        let mut rng = Rng::new(0x5EED);
+        let bound = 10u64;
+        let draws = 200_000u64;
+        let mut counts = [0u64; 10];
+        for _ in 0..draws {
+            counts[rng.below(bound) as usize] += 1;
+        }
+        let expected = draws / bound;
+        for (v, &n) in counts.iter().enumerate() {
+            let dev = (n as f64 / expected as f64 - 1.0).abs();
+            assert!(dev < 0.05, "value {v} drawn {n} times (expected ~{expected}, deviation {dev:.3})");
         }
     }
 

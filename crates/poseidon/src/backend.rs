@@ -119,13 +119,21 @@ impl PoseidonHeap {
         }
         let op = self.begin_op(sub)?;
         match subheap::free_block(&op, ptr.offset()) {
-            Ok(_) => {
+            Ok(outcome) => {
                 // Frees drain table levels; probe (two view reads) and
                 // shrink here so the alloc hot path never pays for it.
                 if hashtable::shrink_would_release(&op)? {
                     hashtable::shrink(&op)?;
                 }
                 drop(op);
+                if outcome.quarantined {
+                    // The block went to quarantine, not a free list —
+                    // keep the live health ledger in step with the
+                    // durable record state so `health()` and the audit
+                    // agree (the scrubber never revisits it: it is no
+                    // longer FREE).
+                    self.health.blocks_quarantined.fetch_add(1, Ordering::Relaxed);
+                }
                 self.note_free();
                 Ok(())
             }

@@ -609,7 +609,8 @@ impl PoseidonHeap {
         cache.admit(sub, class, &offsets);
         let overflow = cache.stash(cpu, sub, sub == home, class, &offsets[1..]);
         if !overflow.is_empty() {
-            subheap::drain_blocks(&op, &overflow)?;
+            let quarantined = subheap::drain_blocks(&op, &overflow)?;
+            self.health.blocks_quarantined.fetch_add(quarantined, Ordering::Relaxed);
             cache.clear(sub, &overflow);
         }
         drop(op);
@@ -637,7 +638,8 @@ impl PoseidonHeap {
             }
             CachedFree::Drain(batch) => {
                 let op = self.begin_op(sub)?;
-                subheap::drain_blocks(&op, &batch)?;
+                let quarantined = subheap::drain_blocks(&op, &batch)?;
+                self.health.blocks_quarantined.fetch_add(quarantined, Ordering::Relaxed);
                 cache.clear(sub, &batch);
                 cache.note_drain(sub);
                 drop(op);
@@ -677,7 +679,8 @@ impl PoseidonHeap {
             return Ok(0);
         }
         let op = self.begin_op(sub)?;
-        subheap::drain_blocks(&op, &victims)?;
+        let quarantined = subheap::drain_blocks(&op, &victims)?;
+        self.health.blocks_quarantined.fetch_add(quarantined, Ordering::Relaxed);
         cache.clear(sub, &victims);
         cache.note_drain(sub);
         drop(op);
@@ -710,7 +713,8 @@ impl PoseidonHeap {
                 subheap::publish_blocks(&op, &checked_out)?;
             }
             if !resident.is_empty() {
-                subheap::drain_blocks(&op, &resident)?;
+                let quarantined = subheap::drain_blocks(&op, &resident)?;
+                self.health.blocks_quarantined.fetch_add(quarantined, Ordering::Relaxed);
                 cache.clear(sub, &resident);
                 cache.note_drain(sub);
             }

@@ -737,7 +737,12 @@ impl PoseidonHeap {
                 }
             }
             match subheap::free_block(&op, ptr.offset()) {
-                Ok(_) | Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
+                Ok(outcome) => {
+                    if outcome.quarantined {
+                        self.health.blocks_quarantined.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}
                 Err(e) => return Err(e),
             }
         }

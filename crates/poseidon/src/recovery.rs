@@ -243,7 +243,16 @@ fn recover_sub(op: &OpSession<'_>, huge_ok: bool, report: &mut RecoveryReport) -
                 return Err(PoseidonError::Corrupted("micro-log entry for a foreign sub-heap"));
             }
             match subheap::free_block(op, ptr.offset()) {
-                Ok(_) => report.tx_allocations_reverted += 1,
+                Ok(outcome) => {
+                    report.tx_allocations_reverted += 1;
+                    // A reverted allocation overlapping poison goes
+                    // straight to quarantine; fold it into the same
+                    // report fields the free-block scan feeds.
+                    if outcome.quarantined {
+                        report.blocks_quarantined += 1;
+                        report.bytes_quarantined += outcome.size;
+                    }
+                }
                 // Replay idempotence: a crash during a previous
                 // recovery may have freed this one already.
                 Err(PoseidonError::DoubleFree { .. }) | Err(PoseidonError::InvalidFree { .. }) => {}

@@ -248,17 +248,18 @@ impl PoseidonHeap {
             return Ok((0, 0));
         }
         let op = self.begin_op(sub)?;
+        let mut drained_quarantined = 0u64;
         if let Some(cache) = self.cache() {
             let victims = cache.evict_resident(sub);
             if !victims.is_empty() {
-                crate::subheap::drain_blocks(&op, &victims)?;
+                drained_quarantined = crate::subheap::drain_blocks(&op, &victims)?;
                 cache.clear(sub, &victims);
             }
         }
         let (blocks, bytes) = quarantine::isolate_poisoned_free_blocks(&op, &poison)?;
         drop(op);
-        self.health.blocks_quarantined.fetch_add(blocks, Ordering::Relaxed);
-        Ok((blocks, bytes))
+        self.health.blocks_quarantined.fetch_add(blocks + drained_quarantined, Ordering::Relaxed);
+        Ok((blocks + drained_quarantined, bytes))
     }
 
     /// Quarantines every free huge extent overlapping poisoned data pages.

@@ -335,14 +335,27 @@ pub(crate) fn reclaim_cached(op: &OpSession<'_>) -> Result<u64> {
     Ok(reclaimed)
 }
 
+/// What [`free_block`] did with the block, so callers can keep the
+/// heap-level quarantine accounting balanced (the hash-table record is
+/// the durable truth; the [`crate::selfheal`] counters are volatile and
+/// must be bumped by whoever drove the free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FreeOutcome {
+    /// The freed (or quarantined) block's size in bytes.
+    pub size: u64,
+    /// True when the block was routed to quarantine instead of its
+    /// free list because its user bytes overlap poisoned media.
+    pub quarantined: bool,
+}
+
 /// Frees the block at user-region offset `offset`, validating the request
 /// against the hash table first (§4.7): unknown offsets are invalid
 /// frees, already-free blocks are double frees — both rejected without
 /// touching metadata. A block whose user bytes overlap a poisoned line is
 /// quarantined instead of returned to its free list, so the media error
 /// can never be handed to a future allocation. Returns the freed block's
-/// size.
-pub(crate) fn free_block(op: &OpSession<'_>, offset: u64) -> Result<u64> {
+/// size and whether it was quarantined.
+pub(crate) fn free_block(op: &OpSession<'_>, offset: u64) -> Result<FreeOutcome> {
     let Some((rec_off, mut rec)) = hashtable::lookup(op, offset)? else {
         return Err(PoseidonError::InvalidFree { offset });
     };
@@ -352,7 +365,8 @@ pub(crate) fn free_block(op: &OpSession<'_>, offset: u64) -> Result<u64> {
         _ => return Err(PoseidonError::InvalidFree { offset }),
     }
     let mut scope = op.undo()?;
-    if op.ctx.dev.is_poisoned(op.ctx.user_base() + rec.offset, rec.size) {
+    let quarantined = op.ctx.dev.is_poisoned(op.ctx.user_base() + rec.offset, rec.size);
+    if quarantined {
         rec.state = state::QUARANTINED;
         rec.next_free = 0;
         rec.prev_free = 0;
@@ -362,7 +376,7 @@ pub(crate) fn free_block(op: &OpSession<'_>, offset: u64) -> Result<u64> {
         buddy::push_tail(op, &mut scope, rec_off, &mut rec)?;
     }
     scope.commit()?;
-    Ok(rec.size)
+    Ok(FreeOutcome { size: rec.size, quarantined })
 }
 
 /// A consistency report produced by the heap audit
@@ -639,7 +653,7 @@ mod tests {
         let mid = audit(&op).unwrap();
         assert_eq!(mid.alloc_bytes, 128);
         assert_eq!(mid.free_bytes + 128, before.free_bytes);
-        assert_eq!(free_block(&op, off).unwrap(), 128);
+        assert_eq!(free_block(&op, off).unwrap().size, 128);
         let after = audit(&op).unwrap();
         assert_eq!(after.alloc_bytes, 0);
         assert_eq!(after.free_bytes, before.free_bytes);
@@ -710,7 +724,7 @@ mod tests {
         dev.poison(op.ctx.user_base() + off, 1).unwrap();
         // The free "succeeds" — the block leaves the allocated population —
         // but lands in quarantine, not on a free list.
-        assert_eq!(free_block(&op, off).unwrap(), size);
+        assert_eq!(free_block(&op, off).unwrap().size, size);
         assert!(matches!(free_block(&op, off), Err(PoseidonError::InvalidFree { .. })));
         let report = audit(&op).unwrap();
         assert_eq!(report.quarantined_blocks, 1);
@@ -810,7 +824,7 @@ mod tests {
         assert_eq!(a.alloc_bytes, 4 * size);
         // Published blocks free (and double-free-check) like any other.
         for off in &offsets {
-            assert_eq!(free_block(&op, *off).unwrap(), size);
+            assert_eq!(free_block(&op, *off).unwrap().size, size);
         }
         assert!(matches!(free_block(&op, offsets[0]), Err(PoseidonError::DoubleFree { .. })));
         assert_eq!(audit(&op).unwrap().alloc_bytes, 0);

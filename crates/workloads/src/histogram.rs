@@ -1,0 +1,362 @@
+//! Lock-free log-bucketed latency histograms for the service harness.
+//!
+//! [`latency`](crate::latency) sorts a `Vec<u64>` of samples — fine for a
+//! bounded single-threaded sweep, unusable for a long-running service
+//! where millions of operations stream in from many threads and latency
+//! must be reportable *over time*. This module keeps an HDR-style
+//! histogram instead: values are bucketed by power-of-two magnitude with
+//! [`SUB_BUCKETS`] linear sub-buckets per octave (≤ 1/16 relative value
+//! error), every bucket is a relaxed atomic counter so recording is a
+//! single wait-free `fetch_add`, and snapshots are plain count vectors
+//! that merge across threads and subtract across time for per-interval
+//! percentiles.
+//!
+//! Percentile semantics match the nearest-rank convention of
+//! [`LatencyReport`](crate::latency::LatencyReport): the q-th percentile
+//! is the smallest recorded bucket with at least `ceil(q * count)`
+//! samples at or below its upper bound, so small-count tails are never
+//! biased low.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave (16: ≤ 6.25% value error).
+pub const SUB_BUCKETS: usize = 16;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros(); // 4
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB_BUCKETS + SUB_BUCKETS;
+
+/// Bucket index of `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let magnitude = 63 - value.leading_zeros(); // >= SUB_BITS
+    let group = (magnitude - SUB_BITS + 1) as usize;
+    let sub = ((value >> (magnitude - SUB_BITS)) as usize) - SUB_BUCKETS;
+    group * SUB_BUCKETS + sub
+}
+
+/// Largest value mapping to bucket `index` (what percentiles report, so
+/// bucketing error can only over-state a latency, never hide it).
+fn bucket_upper(index: usize) -> u64 {
+    let group = index / SUB_BUCKETS;
+    let sub = (index % SUB_BUCKETS) as u64;
+    if group == 0 {
+        return sub;
+    }
+    let shift = (group - 1) as u32;
+    let lower = (SUB_BUCKETS as u64 + sub) << shift;
+    lower + ((1u64 << shift) - 1)
+}
+
+/// A wait-free multi-writer latency histogram: one `record` is one
+/// relaxed `fetch_add` per counter touched, with no locks anywhere, so
+/// worker threads on the service fast path never serialise on
+/// measurement.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (typically nanoseconds).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the counters. Concurrent recorders may be
+    /// mid-update, so a snapshot is consistent to within the in-flight
+    /// operations of the moment — exactly the tolerance a live dashboard
+    /// has anyway.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience: the summary of everything recorded so far.
+    pub fn summary(&self) -> LatencySummary {
+        self.snapshot().summary()
+    }
+}
+
+/// Plain (non-atomic) histogram counters: mergeable across threads,
+/// subtractable across time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with nothing recorded.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot { counts: vec![0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Total samples in this snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds another snapshot's counts into this one (e.g. merging
+    /// per-thread histograms into a service-wide view).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The samples recorded between `earlier` and this snapshot of the
+    /// same histogram(s) — the per-interval view. The interval maximum is
+    /// reconstructed from the highest non-empty delta bucket, so it is
+    /// exact to bucket resolution rather than to the sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has more samples than `self` (snapshots out of
+    /// order).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        assert!(self.count >= earlier.count, "delta against a later snapshot");
+        let counts: Vec<u64> = self.counts.iter().zip(&earlier.counts).map(|(now, was)| now - was).collect();
+        let max = counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &n)| n > 0)
+            .map(|(i, _)| bucket_upper(i).min(self.max))
+            .unwrap_or(0);
+        HistogramSnapshot { counts, count: self.count - earlier.count, sum: self.sum - earlier.sum, max }
+    }
+
+    /// Nearest-rank percentile: the upper bound of the bucket holding the
+    /// `ceil(q * count)`-th smallest sample (0 when empty).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard service summary of this snapshot.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+            max: self.max,
+            mean: self.sum.checked_div(self.count).unwrap_or(0),
+        }
+    }
+}
+
+/// Percentile summary of one histogram (snapshot or interval), in the
+/// recorded unit (nanoseconds throughout the service harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Samples summarised.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Worst observed (exact for cumulative snapshots, bucket-resolution
+    /// for interval deltas).
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: u64,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} p999={} max={} mean={}",
+            self.count, self.p50, self.p90, self.p99, self.p999, self.max, self.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_bounds_every_value() {
+        let mut probe = vec![0u64, 1, 2, 15, 16, 17, 31, 32, 1000, u64::MAX];
+        let mut rng = platform::rng::Rng::new(7);
+        for _ in 0..10_000 {
+            probe.push(rng.next_u64() >> (rng.below(60) as u32));
+        }
+        for &v in &probe {
+            let i = bucket_index(v);
+            let upper = bucket_upper(i);
+            assert!(v <= upper, "value {v} above its bucket upper {upper}");
+            // Upper bound over-states by at most one sub-bucket width.
+            assert!(upper - v <= upper / SUB_BUCKETS as u64 + 1, "value {v} upper {upper}");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "value {v} not above previous bucket");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_track_a_sorted_reference() {
+        let hist = LatencyHistogram::new();
+        let mut rng = platform::rng::Rng::new(42);
+        let mut reference: Vec<u64> = (0..50_000).map(|_| 30 + rng.below(2_000_000)).collect();
+        for &v in &reference {
+            hist.record(v);
+        }
+        reference.sort_unstable();
+        let summary = hist.summary();
+        assert_eq!(summary.count, 50_000);
+        for (q, got) in [(0.50, summary.p50), (0.90, summary.p90), (0.99, summary.p99), (0.999, summary.p999)]
+        {
+            let rank = ((reference.len() as f64 * q).ceil() as usize).clamp(1, reference.len());
+            let want = reference[rank - 1];
+            // Log-bucketing reports the bucket upper bound: never below
+            // the true value, within one sub-bucket width above it.
+            assert!(got >= want, "p{q}: {got} < exact {want}");
+            assert!(got <= want + want / SUB_BUCKETS as u64 + 1, "p{q}: {got} too far above {want}");
+        }
+        assert_eq!(summary.max, *reference.last().unwrap());
+        let exact_mean = reference.iter().sum::<u64>() / reference.len() as u64;
+        assert_eq!(summary.mean, exact_mean);
+    }
+
+    #[test]
+    fn small_count_tail_is_nearest_rank() {
+        // The same regression the Vec-based report had: with 10 samples,
+        // p999 must land in the max's bucket, not the 9th-smallest's.
+        let hist = LatencyHistogram::new();
+        for v in 1..=10u64 {
+            hist.record(v);
+        }
+        let s = hist.summary();
+        assert_eq!(s.p999, 10);
+        assert_eq!(s.p99, 10);
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.max, 10);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let whole = LatencyHistogram::new();
+        let mut rng = platform::rng::Rng::new(9);
+        for i in 0..20_000u64 {
+            let v = rng.below(1 << 40);
+            if i % 2 == 0 { &a } else { &b }.record(v);
+            whole.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn interval_deltas_isolate_their_window() {
+        let hist = LatencyHistogram::new();
+        for _ in 0..100 {
+            hist.record(1_000);
+        }
+        let t1 = hist.snapshot();
+        for _ in 0..50 {
+            hist.record(8_000_000);
+        }
+        let t2 = hist.snapshot();
+        let interval = t2.delta(&t1);
+        assert_eq!(interval.count(), 50);
+        // Everything in the window is a slow op; the earlier fast ops
+        // must not dilute the interval percentiles.
+        assert!(interval.percentile(0.5) >= 8_000_000);
+        assert!(t1.percentile(0.999) <= 1_000 + 1_000 / SUB_BUCKETS as u64 + 1);
+        let s = interval.summary();
+        assert!(s.max >= 8_000_000);
+        assert_eq!(s.mean, 8_000_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let hist = LatencyHistogram::new();
+        platform::thread::scope(|s| {
+            for t in 0..4u64 {
+                let hist = &hist;
+                s.spawn(move || {
+                    let mut rng = platform::rng::Rng::new(t + 1);
+                    for _ in 0..25_000 {
+                        hist.record(rng.below(1 << 30));
+                    }
+                });
+            }
+        });
+        assert_eq!(hist.count(), 100_000);
+        let snap = hist.snapshot();
+        assert_eq!(snap.counts.iter().sum::<u64>(), 100_000);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = LatencyHistogram::new().summary();
+        assert_eq!(s, LatencySummary::default());
+        assert_eq!(HistogramSnapshot::empty().summary().count, 0);
+    }
+}

@@ -32,14 +32,24 @@ impl LatencyReport {
     fn from_samples(mut samples: Vec<u64>) -> LatencyReport {
         assert!(!samples.is_empty());
         samples.sort_unstable();
-        let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+        // Nearest-rank (ceil) percentiles: the q-th percentile is the
+        // smallest sample with at least ceil(q * len) samples at or below
+        // it. A truncating index ((len-1) * q) biases high quantiles low
+        // at small sample counts (10 samples: p999 would return the
+        // 9th-smallest instead of the max).
+        let at = |q: f64| {
+            let rank = ((samples.len() as f64 * q).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        // Sum in u128: len * u64-sized samples overflows a u64 sum.
+        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
         LatencyReport {
             p50: at(0.50),
             p90: at(0.90),
             p99: at(0.99),
             p999: at(0.999),
             max: *samples.last().expect("non-empty"),
-            mean: samples.iter().sum::<u64>() / samples.len() as u64,
+            mean: (sum / samples.len() as u128) as u64,
         }
     }
 }
@@ -142,6 +152,41 @@ mod tests {
         assert!(r.p50 <= r.p90 && r.p90 <= r.p99 && r.p99 <= r.p999 && r.p999 <= r.max);
         assert_eq!(r.max, 1000);
         assert_eq!(r.mean, 500);
+    }
+
+    #[test]
+    fn small_sample_percentiles_use_nearest_rank() {
+        // 10 samples: nearest-rank p99/p999 are the max. The old
+        // truncating index ((len-1) * q) returned the 9th-smallest for
+        // both, silently under-reporting the tail.
+        let r = LatencyReport::from_samples((1..=10).collect());
+        assert_eq!(r.p50, 5, "p50 of 1..=10 is the 5th-smallest (rank ceil(5.0))");
+        assert_eq!(r.p90, 9);
+        assert_eq!(r.p99, 10, "p99 of 10 samples must be the max");
+        assert_eq!(r.p999, 10, "p999 of 10 samples must be the max");
+        assert_eq!(r.max, 10);
+
+        // A single outlier must show up in every tail percentile of a
+        // small run, not get truncated away.
+        let mut spike = vec![100u64; 99];
+        spike.push(1_000_000);
+        let r = LatencyReport::from_samples(spike);
+        assert_eq!(r.p99, 100, "rank ceil(100 * 0.99) = 99 -> the 99th-smallest");
+        assert_eq!(r.p999, 1_000_000, "rank ceil(100 * 0.999) = 100 -> the max (old code: 99th)");
+
+        // Degenerate single sample: every percentile is that sample.
+        let r = LatencyReport::from_samples(vec![7]);
+        assert_eq!((r.p50, r.p90, r.p99, r.p999, r.max, r.mean), (7, 7, 7, 7, 7, 7));
+    }
+
+    #[test]
+    fn mean_survives_u64_sum_overflow() {
+        // Two near-max samples: the old u64 sum wrapped (or panicked in
+        // debug builds); the u128 sum reports the true mean.
+        let r = LatencyReport::from_samples(vec![u64::MAX, u64::MAX]);
+        assert_eq!(r.mean, u64::MAX);
+        let r = LatencyReport::from_samples(vec![u64::MAX - 1, u64::MAX]);
+        assert_eq!(r.mean, u64::MAX - 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`nqueens`] | §7.4 8-queens compute benchmark | Fig. 8 |
 //! | [`ycsb`] over [`fastfair`] | §7.5 key-value store | Fig. 9 |
 //! | [`latency`] | §4.7 constant-time claim | (extension) |
+//! | [`kvserve`] over [`histogram`] | traffic-shaped KV service soak | (extension) |
 
 #![warn(missing_docs)]
 
@@ -21,7 +22,9 @@ pub mod ackermann;
 pub mod alloc_api;
 pub mod driver;
 pub mod fastfair;
+pub mod histogram;
 pub mod kruskal;
+pub mod kvserve;
 pub mod larson;
 pub mod latency;
 pub mod micro;
@@ -30,3 +33,4 @@ pub mod ycsb;
 
 pub use alloc_api::{AllocError, AllocatorKind, PersistentAllocator};
 pub use driver::{run_threads, run_timed, RunResult, Xorshift};
+pub use histogram::{HistogramSnapshot, LatencyHistogram, LatencySummary};

@@ -5,6 +5,7 @@
 //! allocator-heavy part: allocate a new value buffer, persist it, swap
 //! the tree pointer, free the old buffer.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::alloc_api::PersistentAllocator;
@@ -36,7 +37,7 @@ impl YcsbConfig {
 }
 
 /// FNV-1a, spreading sequential ids over the key space.
-fn fnv(x: u64) -> u64 {
+pub(crate) fn fnv(x: u64) -> u64 {
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
     for byte in x.to_le_bytes() {
         hash ^= byte as u64;
@@ -77,6 +78,27 @@ impl Zipfian {
 
     fn zeta(n: u64, theta: f64) -> f64 {
         (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Ranks this generator draws from.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Grows the rank space to `items`, extending `zetan` incrementally
+    /// (O(delta), not O(items)) exactly as YCSB's `ZipfianGenerator`
+    /// does when records are inserted behind it. No-op if `items` does
+    /// not exceed the current space.
+    pub fn extend(&mut self, items: u64) {
+        if items <= self.items {
+            return;
+        }
+        for i in self.items + 1..=items {
+            self.zetan += 1.0 / (i as f64).powf(self.theta);
+        }
+        self.items = items;
+        let zeta2 = Self::zeta(2, self.theta);
+        self.eta = (1.0 - (2.0 / items as f64).powf(1.0 - self.theta)) / (1.0 - zeta2 / self.zetan);
     }
 
     /// Draws a rank in `[0, items)`; rank 0 is the most popular.
@@ -190,6 +212,14 @@ pub fn run_workload_c<A: PersistentAllocator + ?Sized>(
 /// YCSB Workload E: 95 % short range scans / 5 % inserts. Exercises the
 /// tree's leaf sibling chain; inserts are the only allocator work.
 ///
+/// Scan starts are zipfian over the keys that exist *now*, not just the
+/// load-phase population: threads publish a shared high-water mark of
+/// inserted ids and periodically extend their local generator's rank
+/// space to it (the YCSB `ZipfianGenerator` discipline). Sampling only
+/// `[0, load_keys)` would leave every key inserted during the run
+/// unscannable — the workload would silently stop exercising the
+/// freshly-split right edge of the tree.
+///
 /// # Panics
 ///
 /// Panics on allocator failure.
@@ -198,19 +228,29 @@ pub fn run_workload_e<A: PersistentAllocator + ?Sized>(
     config: YcsbConfig,
 ) -> RunResult {
     let zipf = Zipfian::new(config.load_keys, config.theta);
+    // Highest inserted id + 1, across all threads (ids are striped per
+    // thread, so gaps exist until every stripe catches up; scans only
+    // use ids as range starts, so gaps are harmless).
+    let watermark = AtomicU64::new(config.load_keys);
     run_threads(config.threads, |thread_index| {
         let mut rng = Xorshift::new(config.seed ^ (thread_index as u64 + 1).wrapping_mul(0xE5E5));
         let dev = tree_device(tree);
+        let mut zipf = zipf.clone();
         let mut scanned = 0u64;
         let mut next_insert = config.load_keys + thread_index as u64 * config.ops_per_thread;
-        for _ in 0..config.ops_per_thread {
+        for op in 0..config.ops_per_thread {
             if rng.below(100) < 5 {
                 // Insert a fresh key past the loaded range.
                 let key = fnv(next_insert);
                 next_insert += 1;
                 let value = allocate_value(tree, &dev, key, config.value_size);
                 tree.insert(key, value).expect("workload E insert");
+                watermark.fetch_max(next_insert, Ordering::Relaxed);
             } else {
+                if op % 64 == 0 {
+                    // Fold other threads' inserts into the sampled space.
+                    zipf.extend(watermark.load(Ordering::Relaxed));
+                }
                 let start = fnv(zipf.sample(&mut rng));
                 let len = 1 + rng.below(100) as usize;
                 scanned += tree.scan(start, len).len() as u64;
@@ -262,6 +302,41 @@ mod tests {
         }
         // With theta = 0.99, the top 1% of ranks draws a large share.
         assert!(top10 as f64 / samples as f64 > 0.2, "top10 share {top10}/{samples}");
+    }
+
+    #[test]
+    fn extend_matches_a_fresh_generator() {
+        // Incremental zetan accumulates terms in the same order a fresh
+        // generator sums them, so the two must agree bit-for-bit —
+        // including the sample stream they induce.
+        let mut grown = Zipfian::new(1000, 0.99);
+        grown.extend(5000);
+        assert_eq!(grown.items(), 5000);
+        let fresh = Zipfian::new(5000, 0.99);
+        let mut a = Xorshift::new(11);
+        let mut b = Xorshift::new(11);
+        for _ in 0..10_000 {
+            assert_eq!(grown.sample(&mut a), fresh.sample(&mut b));
+        }
+        // Shrinking or no-op extends leave the generator untouched.
+        let before = grown.clone();
+        grown.extend(5000);
+        grown.extend(10);
+        let mut a = Xorshift::new(3);
+        let mut b = Xorshift::new(3);
+        assert_eq!(grown.sample(&mut a), before.sample(&mut b));
+    }
+
+    #[test]
+    fn extended_generator_reaches_the_new_ranks() {
+        // The old Workload E sampled a generator frozen at `load_keys`:
+        // no scan could ever start at an inserted key. After extend(),
+        // ranks past the original space must actually get drawn.
+        let mut zipf = Zipfian::new(500, 0.5);
+        zipf.extend(1000);
+        let mut rng = Xorshift::new(42);
+        let past_load = (0..20_000).filter(|_| zipf.sample(&mut rng) >= 500).count();
+        assert!(past_load > 1000, "only {past_load}/20000 samples reached the extended ranks");
     }
 
     #[test]

@@ -75,4 +75,24 @@ cargo test -q --test growth
 echo "== pfsck tool tests"
 cargo test -q --test pfsck_tool
 
+# KV service soak gate: the traffic-shaped regression test. Mixed
+# zipfian traffic from 4 client threads over 4 FAST-FAIR shards on one
+# uncached heap, with a kill-and-resume (reopen must verify every
+# acknowledged key in O(metadata) time) and live media poison (service
+# must degrade, heal by rewrite, and keep the quarantine books
+# balanced) injected mid-run. The binary panics on any lost key,
+# corrupt value, out-of-order scan, failed recovery, or accounting
+# imbalance — fixed seed for determinism.
+echo "== kvserve soak gate (fixed seed, kill+poison)"
+cargo run --release -q -p bench --bin kvserve -- \
+    --threads 4 --shards 4 --keys 4000 --ops 4000 --seed 424242 \
+    --events kill,poison
+
+# The KV service contract suite: arbitrary-point kill-and-resume
+# (acknowledged inserts survive any crash point), reopen-latency
+# scaling (16x the data bytes at equal block count must leave reopen
+# flat), and a full soak riding out kill + poison + grow in one run.
+echo "== cargo test --test service (KV service contract)"
+cargo test -q --test service
+
 echo "CI gate passed."

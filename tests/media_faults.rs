@@ -60,6 +60,76 @@ fn poisoned_free_block_is_quarantined_and_never_reused() {
     assert_eq!(heap.root().unwrap(), keep);
 }
 
+/// Freeing a live block whose bytes picked up poison must quarantine it
+/// *and* say so in the live health ledger. The record-state side has
+/// always held; the `blocks_quarantined_live` counter silently stayed at
+/// zero on this path (the scrubber never revisits the block because it is
+/// no longer FREE), so a service watching `health()` saw a clean heap
+/// while the audit showed quarantined blocks.
+#[test]
+fn free_of_poisoned_live_block_bumps_live_quarantine_counter() {
+    let dev = faulty_device();
+    let config = HeapConfig::new().with_subheaps(1).without_cache();
+    let heap = PoseidonHeap::create(dev.clone(), config).unwrap();
+    let victim = heap.alloc(256).unwrap();
+    let victim_raw = heap.raw_offset(victim).unwrap();
+    dev.poison(line_of(victim_raw), CACHE_LINE_SIZE).unwrap();
+
+    assert_eq!(heap.health().blocks_quarantined_live, 0);
+    heap.free(victim).unwrap();
+    assert_eq!(
+        heap.health().blocks_quarantined_live,
+        1,
+        "free-time quarantine must be visible in the live health ledger, not just the audit"
+    );
+    let quarantined: u64 = heap.audit().unwrap().iter().map(|(_, a)| a.quarantined_blocks).sum();
+    assert_eq!(quarantined, 1, "the durable record state and the ledger must agree");
+
+    // A scrub pass finds nothing new — the block is QUARANTINED, not
+    // FREE — so the counter must not double-count.
+    heap.scrub_step(usize::MAX).unwrap();
+    assert_eq!(heap.health().blocks_quarantined_live, 1);
+
+    // And the block is never handed out again.
+    let mut live = Vec::new();
+    while let Ok(p) = heap.alloc(256) {
+        let raw = heap.raw_offset(p).unwrap();
+        assert!(
+            line_of(victim_raw) + CACHE_LINE_SIZE <= raw || raw + 256 <= line_of(victim_raw),
+            "poisoned block re-allocated at {raw:#x}"
+        );
+        live.push(p);
+        if live.len() > 100_000 {
+            break;
+        }
+    }
+}
+
+/// Same ledger contract for the magazine-cache path: a block sitting in
+/// the transient cache when its line is poisoned gets quarantined when
+/// the cache drains it back to the persistent free lists, and that
+/// drain-time quarantine must also land in `blocks_quarantined_live`.
+#[test]
+fn cache_drain_of_poisoned_block_bumps_live_quarantine_counter() {
+    let dev = faulty_device();
+    let heap = PoseidonHeap::create(dev.clone(), HeapConfig::new().with_subheaps(1)).unwrap();
+    let victim = heap.alloc(256).unwrap();
+    let victim_raw = heap.raw_offset(victim).unwrap();
+    heap.free(victim).unwrap(); // absorbed by the per-CPU magazine
+    dev.poison(line_of(victim_raw), CACHE_LINE_SIZE).unwrap();
+
+    // Scrubbing the sub-heap evicts cache residents through
+    // `drain_blocks`, which routes the poisoned block to quarantine.
+    heap.scrub_step(usize::MAX).unwrap();
+    assert_eq!(
+        heap.health().blocks_quarantined_live,
+        1,
+        "drain-time quarantine must be counted exactly once"
+    );
+    let quarantined: u64 = heap.audit().unwrap().iter().map(|(_, a)| a.quarantined_blocks).sum();
+    assert_eq!(quarantined, 1);
+}
+
 #[test]
 fn poisoned_metadata_quarantines_subheap_and_alloc_fails_over() {
     let dev = faulty_device();
