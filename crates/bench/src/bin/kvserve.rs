@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! kvserve [--threads N] [--shards S] [--keys K] [--ops O] [--seed X]
-//!         [--value-size B] [--events kill,poison,grow]
+//!         [--value-size B] [--events kill,poison,grow] [--maint N]
 //! ```
 //!
 //! Prints the per-interval latency table (p50/p99/p999 per op class),
@@ -24,6 +24,7 @@ fn main() {
     let mut seed = 0x5EA5_0A4Bu64;
     let mut value_size = 100u64;
     let mut events = vec![SoakEvent::Kill, SoakEvent::Poison, SoakEvent::Grow];
+    let mut maint_budget: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value =
@@ -35,6 +36,7 @@ fn main() {
             "--ops" => ops = parse(&value("--ops")),
             "--seed" => seed = parse(&value("--seed")),
             "--value-size" => value_size = parse(&value("--value-size")),
+            "--maint" => maint_budget = Some(parse(&value("--maint"))),
             "--events" => {
                 let list = value("--events");
                 events = list
@@ -50,10 +52,14 @@ fn main() {
     let mut config = KvServeConfig::new(threads, shards, keys, ops).with_events(events);
     config.seed = seed;
     config.value_size = value_size;
+    if let Some(budget) = maint_budget {
+        config = config.with_maint(budget);
+    }
     println!(
         "# kvserve soak: {threads} threads x {ops} ops over {shards} shards, {keys} loaded keys, \
-         events [{}], seed {seed:#x}",
-        config.events.iter().map(|e| e.name()).collect::<Vec<_>>().join(",")
+         events [{}], maint budget {}, seed {seed:#x}",
+        config.events.iter().map(|e| e.name()).collect::<Vec<_>>().join(","),
+        config.maint_budget
     );
 
     let report = run_soak(&config);
@@ -82,7 +88,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: kvserve [--threads N] [--shards S] [--keys K] [--ops O] [--seed X] \
-         [--value-size B] [--events kill,poison,grow]"
+         [--value-size B] [--events kill,poison,grow] [--maint N]"
     );
     std::process::exit(2)
 }
@@ -124,6 +130,28 @@ fn print_report(report: &SoakReport) {
             ),
         }
     }
+
+    println!("\n## fragmentation (coalescing debt over time)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>13} {:>14}",
+        "at op", "free KiB", "frag KiB", "largest", "huge largest"
+    );
+    for sample in &report.fragmentation {
+        println!(
+            "{:>10} {:>12} {:>12} {:>13} {:>14}",
+            sample.at_op,
+            sample.free_bytes >> 10,
+            sample.frag_bytes >> 10,
+            sample.largest_block,
+            sample.huge_largest_free.map_or_else(|| "-".into(), |v| v.to_string())
+        );
+    }
+    let h = &report.health;
+    println!(
+        "maintenance: {} steps, {} full passes, {} buddy merges, {} table levels shrunk, \
+         {} cached blocks trimmed",
+        h.maint_steps, h.maint_passes, h.maint_merges, h.maint_table_levels_shrunk, h.maint_blocks_trimmed
+    );
 
     println!("\n## totals");
     for (class, summary) in &report.totals {

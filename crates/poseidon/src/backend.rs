@@ -70,8 +70,8 @@ impl PoseidonHeap {
                 huge_remaining: 0,
             });
         }
-        let offset = match micro {
-            None => hugeregion::alloc(&self.begin_huge()?, size, None)?,
+        let result = match micro {
+            None => hugeregion::alloc(&self.begin_huge()?, size, None),
             Some((heap_id, slot)) => {
                 // The micro-log slot lives in the transaction's sub-heap;
                 // make sure it exists before mapping the spanning view.
@@ -85,7 +85,21 @@ impl PoseidonHeap {
                 let pkru = self.write_guard();
                 let lock = self.huge_lock.lock();
                 let op = hugeregion::HugeOp::spanning(self.huge_ctx(), sub, lock, pkru)?;
-                hugeregion::alloc(&op, size, Some(hugeregion::MicroHook { heap_id, sub, slot }))?
+                hugeregion::alloc(&op, size, Some(hugeregion::MicroHook { heap_id, sub, slot }))
+            }
+        };
+        let offset = match result {
+            Ok(offset) => offset,
+            Err(e) => {
+                if let PoseidonError::TooLarge { huge_remaining, .. } = e {
+                    // The scan just measured the largest free extent —
+                    // keep the continuously-exposed figure fresh and
+                    // signal pressure so maintenance (and growth
+                    // policies watching it) react before the next miss.
+                    self.note_huge_largest_free(huge_remaining);
+                    self.note_space_pressure();
+                }
+                return Err(e);
             }
         };
         self.ops.allocs.fetch_add(1, Ordering::Relaxed);

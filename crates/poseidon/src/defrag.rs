@@ -32,43 +32,52 @@ use crate::session::OpSession;
 /// application's hands via the cached fast path.
 pub(crate) fn merge_cascade(op: &OpSession<'_>, mut rec_off: u64) -> Result<u64> {
     let mut merged = 0;
-    loop {
-        let rec = op.entry(rec_off)?;
-        if rec.state != state::FREE || rec.flags & FLAG_CACHED != 0 {
-            return Ok(merged);
-        }
-        let buddy_key = rec.offset ^ rec.size;
-        let Some((buddy_off, buddy_rec)) = hashtable::lookup(op, buddy_key)? else {
-            return Ok(merged);
-        };
-        if buddy_rec.state != state::FREE || buddy_rec.flags & FLAG_CACHED != 0 || buddy_rec.size != rec.size
-        {
-            return Ok(merged);
-        }
-
-        // Survivor is the lower half; the upper half's record is deleted.
-        let (surv_off, mut surv, loser_off, loser) = if rec.offset < buddy_rec.offset {
-            (rec_off, rec, buddy_off, buddy_rec)
-        } else {
-            (buddy_off, buddy_rec, rec_off, rec)
-        };
-
-        let mut scope = op.undo()?;
-        buddy::unlink(op, &mut scope, surv_off, &surv)?;
-        // Unlinking the survivor may have rewritten the loser's links
-        // (they can be neighbours in the same class list): reload it.
-        let loser_now = op.entry(loser_off)?;
-        debug_assert_eq!(loser_now.offset, loser.offset);
-        buddy::unlink(op, &mut scope, loser_off, &loser_now)?;
-        hashtable::delete(op, &mut scope, loser_off)?;
-        surv.size *= 2;
-        surv.state = state::FREE;
-        buddy::push_tail(op, &mut scope, surv_off, &mut surv)?;
-        scope.commit()?;
-
+    while let Some((surv_off, _)) = merge_once(op, rec_off)? {
         merged += 1;
         rec_off = surv_off;
     }
+    Ok(merged)
+}
+
+/// One bounded unit of coalescing (one two-fence undo scope): merges the
+/// FREE block recorded at `rec_off` with its buddy if eligible. Returns
+/// the surviving record offset and the merged block's new size, or
+/// `None` when no merge is possible. [`merge_cascade`] is this in a
+/// loop; the maintenance engine calls it directly so every unit lands
+/// inside its budget.
+pub(crate) fn merge_once(op: &OpSession<'_>, rec_off: u64) -> Result<Option<(u64, u64)>> {
+    let rec = op.entry(rec_off)?;
+    if rec.state != state::FREE || rec.flags & FLAG_CACHED != 0 {
+        return Ok(None);
+    }
+    let buddy_key = rec.offset ^ rec.size;
+    let Some((buddy_off, buddy_rec)) = hashtable::lookup(op, buddy_key)? else {
+        return Ok(None);
+    };
+    if buddy_rec.state != state::FREE || buddy_rec.flags & FLAG_CACHED != 0 || buddy_rec.size != rec.size {
+        return Ok(None);
+    }
+
+    // Survivor is the lower half; the upper half's record is deleted.
+    let (surv_off, mut surv, loser_off, loser) = if rec.offset < buddy_rec.offset {
+        (rec_off, rec, buddy_off, buddy_rec)
+    } else {
+        (buddy_off, buddy_rec, rec_off, rec)
+    };
+
+    let mut scope = op.undo()?;
+    buddy::unlink(op, &mut scope, surv_off, &surv)?;
+    // Unlinking the survivor may have rewritten the loser's links
+    // (they can be neighbours in the same class list): reload it.
+    let loser_now = op.entry(loser_off)?;
+    debug_assert_eq!(loser_now.offset, loser.offset);
+    buddy::unlink(op, &mut scope, loser_off, &loser_now)?;
+    hashtable::delete(op, &mut scope, loser_off)?;
+    surv.size *= 2;
+    surv.state = state::FREE;
+    buddy::push_tail(op, &mut scope, surv_off, &mut surv)?;
+    scope.commit()?;
+    Ok(Some((surv_off, surv.size)))
 }
 
 /// Trigger 1 (§5.4): merges buddies in every class **below** `class`,

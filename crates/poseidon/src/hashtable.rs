@@ -242,26 +242,37 @@ pub(crate) fn shrink_would_release(op: &OpSession<'_>) -> Result<bool> {
 /// call whenever no scope is open on this sub-heap.
 pub(crate) fn shrink(op: &OpSession<'_>) -> Result<u64> {
     let mut released = 0;
-    loop {
-        let active = op.active_levels()? as usize;
-        if active <= 1 {
-            return Ok(released);
-        }
-        let top = active - 1;
-        let count: u64 = op.read_pod(op.ctx.level_count_off(top))?;
-        if count != 0 {
-            return Ok(released);
-        }
-        // Commit the deactivation first; only then punch. A crash in
-        // between wastes space but loses nothing.
-        let mut scope = op.undo()?;
-        scope.log_and_write_pod(op.ctx.active_levels_off(), &(top as u64))?;
-        scope.commit()?;
-        released += op.ctx.dev.punch_hole(
-            op.ctx.layout.level_base(op.ctx.sub, top),
-            op.ctx.layout.level_capacity(top) * ENTRY_SIZE,
-        )?;
+    while let Some(bytes) = shrink_one(op)? {
+        released += bytes;
     }
+    Ok(released)
+}
+
+/// Deactivates the top active level if (and only if) its live count is
+/// zero — one bounded unit of table shrinking: one two-fence commit plus
+/// one hole punch. Returns the bytes released, or `None` when the top
+/// level is still populated. [`shrink`] is this in a loop; the
+/// maintenance engine calls it directly so each level retired counts
+/// one unit against its budget.
+pub(crate) fn shrink_one(op: &OpSession<'_>) -> Result<Option<u64>> {
+    let active = op.active_levels()? as usize;
+    if active <= 1 {
+        return Ok(None);
+    }
+    let top = active - 1;
+    let count: u64 = op.read_pod(op.ctx.level_count_off(top))?;
+    if count != 0 {
+        return Ok(None);
+    }
+    // Commit the deactivation first; only then punch. A crash in
+    // between wastes space but loses nothing.
+    let mut scope = op.undo()?;
+    scope.log_and_write_pod(op.ctx.active_levels_off(), &(top as u64))?;
+    scope.commit()?;
+    Ok(Some(op.ctx.dev.punch_hole(
+        op.ctx.layout.level_base(op.ctx.sub, top),
+        op.ctx.layout.level_capacity(top) * ENTRY_SIZE,
+    )?))
 }
 
 #[cfg(test)]

@@ -11,7 +11,6 @@ use pmem::{numa, PmemDevice};
 
 use crate::error::{OpKind, PoseidonError, Result};
 use crate::frontend::{CacheConfig, HeapCache};
-use crate::hashtable;
 use crate::hugeregion::{self, HugeAudit, HUGE_SUBHEAP};
 use crate::layout::{HeapLayout, Region, MAX_SUBHEAPS};
 use crate::nvmptr::NvmPtr;
@@ -462,7 +461,7 @@ impl PoseidonHeap {
     }
 
     /// Opens a read-only session on the huge region.
-    fn begin_huge_read(&self) -> Result<hugeregion::HugeOp<'_>> {
+    pub(crate) fn begin_huge_read(&self) -> Result<hugeregion::HugeOp<'_>> {
         if self.huge_quarantined.load(Ordering::Acquire) {
             return Err(PoseidonError::SubheapQuarantined { subheap: HUGE_SUBHEAP });
         }
@@ -551,6 +550,9 @@ impl PoseidonHeap {
                         other => return other,
                     }
                 }
+                // Every sub-heap is full: pressure-feedback to the
+                // maintenance engine, mirroring the growth pressure flag.
+                self.note_space_pressure();
                 Err(e)
             }
             other => other,
@@ -1028,28 +1030,31 @@ impl PoseidonHeap {
         }
     }
 
-    /// Explicitly defragments every created sub-heap: merges all buddy
-    /// pairs in every class and hole-punches emptied hash-table levels
-    /// (§5.4's machinery, invoked proactively rather than on demand).
-    /// Returns the number of merges performed.
+    /// Explicitly defragments every created sub-heap to completion:
+    /// merges all buddy pairs in every class, hands cached blocks back
+    /// first (so defragmentation sees the true free population), and
+    /// hole-punches emptied hash-table levels. Returns the number of
+    /// merges performed.
+    ///
+    /// This is the maintenance engine run to quiescence: pressure is
+    /// raised (so the pass trims caches) and unbounded
+    /// [`maint_step`](Self::maint_step)s run until one observes a fully
+    /// clean cycle. For an incremental, serving-loop-safe version call
+    /// [`maint_step`](Self::maint_step) /
+    /// [`maint_tick`](Self::maint_tick) instead.
     ///
     /// # Errors
     ///
     /// Device errors.
     pub fn defragment(&self) -> Result<u64> {
+        self.note_space_pressure();
         let mut merged = 0;
-        for sub in 0..self.layout.num_subheaps() {
-            let slot = &self.slots[sub as usize];
-            if !slot.created.load(Ordering::Acquire) || slot.quarantined.load(Ordering::Acquire) {
-                continue;
+        loop {
+            let step = self.maint_step(usize::MAX)?;
+            merged += step.merges;
+            if step.fully_defragged {
+                break;
             }
-            // Cache-resident blocks are withdrawn from the free lists and
-            // ineligible to merge; hand them back first so defragmentation
-            // sees the true free population.
-            self.evict_subheap_cache(sub)?;
-            let op = self.begin_op(sub)?;
-            merged += crate::defrag::merge_all_below(&op, crate::layout::NUM_CLASSES)?;
-            hashtable::shrink(&op)?;
         }
         self.ops.defrag_merges.fetch_add(merged, Ordering::Relaxed);
         Ok(merged)

@@ -151,7 +151,7 @@ impl<'a> HugeOp<'a> {
     ///
     /// As for [`UndoScope::begin_raw`].
     pub fn undo(&self) -> Result<UndoScope<'_, 'a>> {
-        UndoScope::begin_raw(&self.view, &self.staged, self.ctx.undo_area())
+        UndoScope::begin_raw(&self.view, &self.staged, self.ctx.undo_area(), self._lock.is_some())
     }
 }
 

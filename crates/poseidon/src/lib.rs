@@ -81,6 +81,7 @@ mod hashtable;
 mod heap;
 mod hugeregion;
 mod layout;
+mod maintenance;
 mod microlog;
 mod nvmptr;
 mod persist;
@@ -100,6 +101,7 @@ pub use hugeregion::HugeAudit;
 pub use layout::{
     class_for_size, class_size, Epoch, HeapLayout, Region, MAX_EPOCHS, MAX_SUBHEAPS, MIN_BLOCK, NUM_CLASSES,
 };
+pub use maintenance::{ClassFrag, FragmentationReport, HugeFrag, MaintStep, SubheapFrag};
 pub use nvmptr::{NvmPtr, MAX_OFFSET};
 pub use recovery::RecoveryReport;
 pub use repair::{repair, RepairReport};

@@ -91,6 +91,26 @@ pub(crate) struct HealthCounters {
     pub(crate) scrub_steps: AtomicU64,
     pub(crate) scrub_passes: AtomicU64,
     pub(crate) scrub_cursor: AtomicU64,
+    // Maintenance engine (see [`crate::maintenance`]): its own cursor
+    // over the same unit partition the scrubber walks, plus the cached
+    // trigger inputs the fragmentation walk refreshes.
+    pub(crate) maint_steps: AtomicU64,
+    pub(crate) maint_passes: AtomicU64,
+    pub(crate) maint_cursor: AtomicU64,
+    pub(crate) maint_merges: AtomicU64,
+    pub(crate) maint_levels_shrunk: AtomicU64,
+    pub(crate) maint_blocks_trimmed: AtomicU64,
+    /// NoSpace/TooLarge pressure feedback — the alloc paths set it, a
+    /// fully-defragged maintenance pass clears it.
+    pub(crate) maint_pressure: AtomicBool,
+    /// Largest free huge extent from the last huge scan; meaningless
+    /// until `maint_huge_sampled` is set.
+    pub(crate) huge_largest_free: AtomicU64,
+    pub(crate) maint_huge_sampled: AtomicBool,
+    /// Fragmented / total free bytes from the last fragmentation walk
+    /// (the watermark inputs for [`PoseidonHeap::maint_needed`]).
+    pub(crate) maint_frag_bytes: AtomicU64,
+    pub(crate) maint_free_bytes: AtomicU64,
 }
 
 impl HealthCounters {
@@ -139,6 +159,17 @@ pub struct HeapHealth {
     pub scrub_steps: u64,
     /// Completed full passes over every unit (sub-heaps + huge region).
     pub scrub_passes: u64,
+    /// Completed [`maint_step`](PoseidonHeap::maint_step) calls.
+    pub maint_steps: u64,
+    /// Completed full maintenance passes over every unit.
+    pub maint_passes: u64,
+    /// Buddy merges committed by the maintenance engine this session.
+    pub maint_merges: u64,
+    /// Hash-table levels retired by the maintenance engine this session.
+    pub maint_table_levels_shrunk: u64,
+    /// Cold cached blocks handed back to the free lists by maintenance
+    /// trim units this session.
+    pub maint_blocks_trimmed: u64,
 }
 
 impl HeapHealth {
@@ -345,6 +376,11 @@ impl PoseidonHeap {
             cache_blocks_invalidated: c.cache_blocks_invalidated.load(Ordering::Relaxed),
             scrub_steps: c.scrub_steps.load(Ordering::Relaxed),
             scrub_passes: c.scrub_passes.load(Ordering::Relaxed),
+            maint_steps: c.maint_steps.load(Ordering::Relaxed),
+            maint_passes: c.maint_passes.load(Ordering::Relaxed),
+            maint_merges: c.maint_merges.load(Ordering::Relaxed),
+            maint_table_levels_shrunk: c.maint_levels_shrunk.load(Ordering::Relaxed),
+            maint_blocks_trimmed: c.maint_blocks_trimmed.load(Ordering::Relaxed),
         }
     }
 

@@ -163,21 +163,27 @@ pub(crate) struct UndoScope<'s, 'a> {
 }
 
 impl<'s, 'a> UndoScope<'s, 'a> {
-    /// Opens a scope on `op`'s sub-heap undo area.
+    /// Opens a scope on `op`'s sub-heap undo area. A guarded session
+    /// provably owns the sub-heap lock, so a live log can only be a
+    /// rollback that died mid-flight (e.g. interrupted by a transient
+    /// media fault) and is re-driven here; an unguarded session cannot
+    /// rule out a concurrent writer and stays strict.
     ///
     /// # Errors
     ///
     /// [`PoseidonError::Corrupted`](crate::PoseidonError::Corrupted) if
-    /// live entries from a crashed operation are present (recovery must
-    /// run first), or a device error.
+    /// live entries from a crashed operation are present and cannot be
+    /// re-driven (recovery must run first), or a device error.
     pub fn begin(op: &'s OpSession<'a>) -> Result<UndoScope<'s, 'a>> {
-        Self::begin_raw(&op.view, &op.staged, op.ctx.undo_area())
+        Self::begin_raw(&op.view, &op.staged, op.ctx.undo_area(), op._lock.is_some())
     }
 
     /// Opens a scope on an arbitrary undo `area` through `view`, with
     /// staged target writes accumulating in `staged` — the constructor
     /// shared by sub-heap sessions and the huge-region session
     /// (`hugeregion::HugeOp`), which carries its own view and overlay.
+    /// `holds_lock` asserts that the caller owns the area's lock, which
+    /// permits re-driving a rollback that died mid-flight.
     ///
     /// # Errors
     ///
@@ -186,9 +192,11 @@ impl<'s, 'a> UndoScope<'s, 'a> {
         view: &'s MetaView<'a>,
         staged: &'s RefCell<StagedWrites>,
         area: crate::undo::UndoArea,
+        holds_lock: bool,
     ) -> Result<UndoScope<'s, 'a>> {
         debug_assert!(staged.borrow().is_empty(), "one undo scope per session at a time");
-        let core = LogCore::begin(view, area)?;
+        let core =
+            if holds_lock { LogCore::begin_recovering(view, area)? } else { LogCore::begin(view, area)? };
         Ok(UndoScope { view, staged, core })
     }
 

@@ -54,7 +54,7 @@ pub(crate) fn epoch_record(dev: &PmemDevice, index: usize) -> Result<EpochRecord
 /// crash after it leaves the epoch fully described. Caller holds the
 /// superblock lock and the MPK write guard.
 pub(crate) fn commit_epoch(dev: &PmemDevice, index: usize, epoch: &Epoch) -> Result<()> {
-    let mut session = undo::UndoSession::begin(dev, undo_area())?;
+    let mut session = undo::UndoSession::begin_recovering(dev, undo_area())?;
     session.log_and_write_pod(epoch_record_off(index), &EpochRecord::from_epoch(epoch))?;
     session.log_and_write_pod(epoch_count_off(), &(index as u32 + 1))?;
     session.commit()
@@ -284,7 +284,7 @@ pub(crate) fn root(dev: &PmemDevice) -> Result<NvmPtr> {
 /// value cannot be stored atomically, §5.8 machinery covers it).
 /// Caller holds the superblock lock and the MPK write guard.
 pub(crate) fn set_root(dev: &PmemDevice, ptr: NvmPtr) -> Result<()> {
-    let mut session = undo::UndoSession::begin(dev, undo_area())?;
+    let mut session = undo::UndoSession::begin_recovering(dev, undo_area())?;
     session.log_and_write_pod(root_off(), &ptr)?;
     session.commit()
 }
@@ -299,7 +299,7 @@ pub(crate) fn quarantine_subheap(dev: &PmemDevice, sub: u16) -> Result<()> {
     if entry.state == DIR_QUARANTINED {
         return Ok(());
     }
-    let mut session = undo::UndoSession::begin(dev, undo_area())?;
+    let mut session = undo::UndoSession::begin_recovering(dev, undo_area())?;
     session.log_and_write_pod(dir_entry_off(sub), &DirEntry { state: DIR_QUARANTINED, node: entry.node })?;
     session.commit()
 }

@@ -197,12 +197,35 @@ pub(crate) struct LogCore {
 }
 
 impl LogCore {
-    /// Opens a log writer on `area`, rejecting a log that still holds
-    /// live entries from a crashed operation (recovery must run first).
+    /// Opens a log writer on `area`. A log still holding live entries is
+    /// rejected outright: without knowing who owns the area, the entries
+    /// may belong to a *concurrently open* scope (a locking bug), and
+    /// rolling them back underneath it would corrupt that operation.
     pub fn begin<A: LogAccess>(acc: &A, area: UndoArea) -> Result<LogCore> {
-        let gen: u64 = acc.read_pod(area.gen_field)?;
+        Self::begin_inner(acc, area, false)
+    }
+
+    /// As [`begin`](Self::begin), but a log still holding live entries is
+    /// first **re-driven**: the caller holds the area's lock, which rules
+    /// out a concurrent scope, so live entries can only be an earlier
+    /// rollback that died mid-flight (e.g. interrupted by a transient
+    /// media fault) — load-time replay run early. Only if that rollback
+    /// cannot complete does the area stay wedged.
+    pub fn begin_recovering<A: LogAccess>(acc: &A, area: UndoArea) -> Result<LogCore> {
+        Self::begin_inner(acc, area, true)
+    }
+
+    fn begin_inner<A: LogAccess>(acc: &A, area: UndoArea, recover: bool) -> Result<LogCore> {
+        let mut gen: u64 = acc.read_pod(area.gen_field)?;
         if read_entry(acc, area, gen, 0)?.is_some() {
-            return Err(PoseidonError::Corrupted("undo log non-empty at operation start"));
+            if !recover {
+                return Err(PoseidonError::Corrupted("undo log non-empty at operation start"));
+            }
+            apply_undo(acc, area, gen)?;
+            gen = acc.read_pod(area.gen_field)?;
+            if read_entry(acc, area, gen, 0)?.is_some() {
+                return Err(PoseidonError::Corrupted("undo log non-empty at operation start"));
+            }
         }
         Ok(LogCore {
             area,
@@ -346,8 +369,21 @@ impl<'a> UndoSession<'a> {
     /// [`PoseidonError::Corrupted`] if live entries from a crashed
     /// operation are present (recovery must run first), or a device
     /// error.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn begin(dev: &'a PmemDevice, area: UndoArea) -> Result<UndoSession<'a>> {
         Ok(UndoSession { dev, core: LogCore::begin(dev, area)?, staged: Vec::new() })
+    }
+
+    /// As [`begin`](Self::begin), but re-drives a rollback that died
+    /// mid-flight (see [`LogCore::begin_recovering`]). The caller must
+    /// hold the area's lock.
+    ///
+    /// # Errors
+    ///
+    /// As for [`begin`](Self::begin), plus any error from re-driving the
+    /// stale rollback.
+    pub fn begin_recovering(dev: &'a PmemDevice, area: UndoArea) -> Result<UndoSession<'a>> {
+        Ok(UndoSession { dev, core: LogCore::begin_recovering(dev, area)?, staged: Vec::new() })
     }
 
     /// Logs the current content of `[target, target + new.len())`, then
@@ -466,12 +502,27 @@ pub(crate) fn read_entry<A: LogAccess>(
 /// Restores all live entries of generation `gen` (newest first), persists
 /// the restorations with one deduplicated flush batch + fence, and
 /// invalidates the log.
+///
+/// The log is fenced durable *before* the first restoration store is
+/// issued — the same discipline as [`LogCore::commit`]'s fence #1, for
+/// the same reason: restores rewind through overlay-patched intermediate
+/// pre-images that never existed on media, so a crash that interrupts
+/// them is only recoverable if the complete chain survives for recovery
+/// to replay. (On an abort racing a crash the entries may exist only in
+/// cache; a rollback begun without this fence could persist a bogus
+/// intermediate value while the chain tears.)
 fn apply_undo<A: LogAccess>(acc: &A, area: UndoArea, gen: u64) -> Result<()> {
     let mut entries = Vec::new();
     let mut pos = 0u64;
     while let Some((target, len, old, entry_len)) = read_entry(acc, area, gen, pos)? {
         entries.push((target, len, old));
         pos += entry_len;
+    }
+    if pos > 0 {
+        let mut log_batch = FlushBatch::new();
+        log_batch.note(area.base, pos);
+        acc.flush_batch(&log_batch)?;
+        acc.sfence()?;
     }
     let mut batch = FlushBatch::new();
     for (target, len, old) in entries.iter().rev() {
@@ -742,6 +793,34 @@ mod tests {
         assert!(replay(&dev, area).unwrap());
         assert_eq!(dev.read_pod::<u64>(target).unwrap(), 1);
         assert_eq!(dev.read_pod::<u64>(target + 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn begin_redrives_a_rollback_interrupted_mid_flight() {
+        // A rollback that dies partway (here: device failure during the
+        // abort) leaves the log live. A lock-holding caller must be able
+        // to finish the rollback instead of wedging until a power cycle;
+        // plain begin (which cannot assume the lock) still rejects.
+        let (dev, area) = setup();
+        let target = 64 * 1024;
+        dev.write_pod(target, &1u64).unwrap();
+        dev.persist(target, 8).unwrap();
+        let mut s = UndoSession::begin(&dev, area).unwrap();
+        s.log_and_write_pod(target, &2u64).unwrap();
+        s.log_and_write_pod(target + 8, &9u64).unwrap();
+        dev.arm_crash_after(5);
+        assert!(s.commit().is_err()); // consumes s; drop_rollback fails too
+        dev.clear_crash();
+
+        // Plain begin stays strict about the live log...
+        assert!(matches!(UndoSession::begin(&dev, area), Err(PoseidonError::Corrupted(_))));
+
+        // ...but begin_recovering re-drives the rollback and opens
+        // cleanly on the bumped generation.
+        let s = UndoSession::begin_recovering(&dev, area).unwrap();
+        drop(s);
+        assert_eq!(dev.read_pod::<u64>(target).unwrap(), 1);
+        assert!(!replay(&dev, area).unwrap());
     }
 
     #[test]

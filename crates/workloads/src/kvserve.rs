@@ -154,6 +154,14 @@ pub struct KvServeConfig {
     /// Value allocation size in bytes (>= 16; only the first 16 carry
     /// the verified payload).
     pub value_size: u64,
+    /// Size-class drift of value allocations: sizes ramp from
+    /// `value_size` up through `value_size << spread` across the
+    /// expected allocation count, modelling values that grow over the
+    /// service's lifetime. Updates then free small-class blocks that
+    /// are never reallocated — the freed buddies pile up side by side,
+    /// which is exactly the coalescing debt the maintenance engine
+    /// retires. `0` (the default) keeps every value the same size.
+    pub value_spread: u64,
     /// Zipfian skew of the key popularity.
     pub theta: f64,
     /// Permille of operations that are updates.
@@ -184,6 +192,14 @@ pub struct KvServeConfig {
     pub poison_keys: u64,
     /// Units examined per coordinator scrub tick.
     pub scrub_budget: usize,
+    /// Work units per coordinator maintenance tick (`0` disables the
+    /// maintenance engine for the run — the comparison baseline).
+    pub maint_budget: usize,
+    /// Grow early when the continuously-tracked largest free huge extent
+    /// ([`PoseidonHeap::huge_largest_free`]) drops below this many bytes
+    /// (`0` disables the headroom trigger; `NoSpace` pressure still
+    /// grows). Requires [`SoakEvent::Grow`] in the event list.
+    pub huge_headroom: u64,
 }
 
 impl KvServeConfig {
@@ -197,6 +213,7 @@ impl KvServeConfig {
             load_keys,
             ops_per_thread,
             value_size: 100,
+            value_spread: 0,
             theta: 0.99,
             update_permille: 250,
             insert_permille: 100,
@@ -211,6 +228,8 @@ impl KvServeConfig {
             verify_sample: 0,
             poison_keys: 4,
             scrub_budget: 4,
+            maint_budget: 4,
+            huge_headroom: 0,
         }
     }
 
@@ -227,9 +246,47 @@ impl KvServeConfig {
         self
     }
 
+    /// Sets the per-tick maintenance budget (`0` = engine off).
+    pub fn with_maint(mut self, budget: usize) -> KvServeConfig {
+        self.maint_budget = budget;
+        self
+    }
+
+    /// Sets the huge-extent headroom below which the grow event fires
+    /// early (`0` = disabled).
+    pub fn with_huge_headroom(mut self, bytes: u64) -> KvServeConfig {
+        self.huge_headroom = bytes;
+        self
+    }
+
+    /// Sets the value size-class spread (`0` = every value equal-sized).
+    pub fn with_value_spread(mut self, spread: u64) -> KvServeConfig {
+        self.value_spread = spread;
+        self
+    }
+
     fn total_ops(&self) -> u64 {
         self.threads as u64 * self.ops_per_thread
     }
+}
+
+/// One point of the fragmentation-over-time series: the heap's
+/// [`fragmentation`](PoseidonHeap::fragmentation) totals sampled by the
+/// coordinator at an interval edge (plus one final sample after the run
+/// quiesces).
+#[derive(Debug, Clone, Copy)]
+pub struct FragSample {
+    /// Global op count when the sample was taken.
+    pub at_op: u64,
+    /// Total free bytes across sub-heaps and the huge region.
+    pub free_bytes: u64,
+    /// Free bytes outside the largest coalescable runs, summed per
+    /// class — the headline fragmentation figure.
+    pub frag_bytes: u64,
+    /// Largest single free buddy block across the sub-heaps.
+    pub largest_block: u64,
+    /// Largest free huge extent (`None`: no usable huge region).
+    pub huge_largest_free: Option<u64>,
 }
 
 /// Latency summaries of one snapshot interval.
@@ -316,6 +373,9 @@ pub struct SoakReport {
     pub totals: Vec<(OpClass, LatencySummary)>,
     /// One report per injected event, in firing order.
     pub events: Vec<EventReport>,
+    /// Fragmentation-over-time series (one sample per interval edge plus
+    /// a final post-quiesce sample).
+    pub fragmentation: Vec<FragSample>,
     /// Soft-failure accounting.
     pub counters: SoakCounters,
     /// Heap health at the end of the run.
@@ -342,6 +402,13 @@ impl SoakReport {
         assert_eq!(self.events.len(), config.events.len(), "an event failed to fire");
         let recorded: u64 = self.totals.iter().map(|(_, s)| s.count).sum();
         assert_eq!(recorded, self.ops, "histogram counts disagree with the op counter");
+        assert!(!self.fragmentation.is_empty(), "fragmentation series never sampled");
+        for sample in &self.fragmentation {
+            assert!(sample.frag_bytes <= sample.free_bytes, "fragmented bytes exceed free bytes");
+        }
+        if config.maint_budget > 0 {
+            assert!(self.health.maint_steps > 0, "maintenance engine enabled but never stepped");
+        }
         assert_eq!(self.population, self.loaded + self.inserted, "population drifted from the ack ledger");
         for (event, report) in config.events.iter().zip(&self.events) {
             let matches = matches!(
@@ -400,6 +467,8 @@ struct Soak {
     completed: Vec<AtomicU64>,
     /// Sum of `completed` (the zipfian key-space watermark).
     inserted_total: AtomicU64,
+    /// Global allocation sequence driving the `value_spread` size cycle.
+    alloc_seq: AtomicU64,
     ops_done: AtomicU64,
     workers_done: AtomicU64,
     /// Set by a worker that hit `NoSpace`; cleared by a grow.
@@ -464,12 +533,27 @@ impl Soak {
     /// riding out `NoSpace` (pressure + retry, resolved by an online
     /// grow) and already-poisoned fresh blocks (freed back — the
     /// scrubber will quarantine them — and retried on other capacity).
+    /// Size of the next value allocation: `value_size` ramped across
+    /// `value_spread + 1` buddy classes over the run's expected
+    /// allocation count (load + one per op is the upper bound; reads
+    /// and scans allocate nothing, so late steps may not be reached).
+    fn value_size(&self) -> u64 {
+        let spread = self.config.value_spread;
+        if spread == 0 {
+            return self.config.value_size;
+        }
+        let expected = self.config.load_keys + self.config.total_ops();
+        let ramp = (expected / (spread + 1)).max(1);
+        let step = (self.alloc_seq.fetch_add(1, Ordering::Relaxed) / ramp).min(spread);
+        self.config.value_size << step
+    }
+
     fn alloc_value(&self, heap: &PoseidonHeap, key: u64) -> u64 {
         let mut attempts = 0u64;
         loop {
             attempts += 1;
             assert!(attempts <= RETRY_LIMIT, "allocation retries exhausted for key {key:#x}");
-            match PersistentAllocator::alloc(heap, self.config.value_size) {
+            match PersistentAllocator::alloc(heap, self.value_size()) {
                 Ok(offset) => match self.write_payload(offset, key) {
                     Ok(()) => return offset,
                     Err(PmemError::Uncorrectable { .. }) => {
@@ -755,6 +839,21 @@ impl Soak {
         }
     }
 
+    /// Samples the heap's fragmentation totals (refreshing the trigger
+    /// watermarks and the cached huge headroom figure as a side effect).
+    fn frag_sample(&self, at_op: u64) -> Option<FragSample> {
+        let guard = self.state.read();
+        let st = guard.as_ref()?;
+        let report = st.heap.fragmentation().ok()?;
+        Some(FragSample {
+            at_op,
+            free_bytes: report.free_bytes(),
+            frag_bytes: report.frag_bytes(),
+            largest_block: report.subheaps.iter().map(|s| s.largest_block).max().unwrap_or(0),
+            huge_largest_free: st.heap.huge_largest_free(),
+        })
+    }
+
     /// Merges every worker's histogram for `class` into one snapshot.
     fn merged(&self, class: OpClass) -> HistogramSnapshot {
         let mut merged = self.hists[0][class.index()].snapshot();
@@ -767,7 +866,12 @@ impl Soak {
     /// The coordinator: fires events at progress thresholds, ticks the
     /// scrubber once poison is live, grows early under space pressure,
     /// and cuts interval snapshots.
-    fn coordinate(&self, events_out: &mut Vec<EventReport>, poisoned: &mut Vec<u64>) -> Vec<IntervalReport> {
+    fn coordinate(
+        &self,
+        events_out: &mut Vec<EventReport>,
+        poisoned: &mut Vec<u64>,
+        frag_out: &mut Vec<FragSample>,
+    ) -> Vec<IntervalReport> {
         let total = self.config.total_ops();
         let n_events = self.config.events.len() as u64;
         let event_at: Vec<u64> = (0..n_events).map(|i| total * (i + 1) / (n_events + 1)).collect();
@@ -813,10 +917,41 @@ impl Soak {
                 grown = true;
                 events_out.push(self.event_grow(done));
             }
+            if !grown
+                && self.config.huge_headroom > 0
+                && self.config.events.contains(&SoakEvent::Grow)
+                && self.dev.capacity() < self.config.max_capacity
+            {
+                // Headroom policy: the continuously-exposed largest free
+                // huge extent (refreshed by fragmentation sampling and by
+                // any TooLarge miss) fell below the configured floor —
+                // grow *before* a huge allocation actually fails, instead
+                // of waiting for NoSpace pressure.
+                let low = {
+                    let guard = self.state.read();
+                    guard
+                        .as_ref()
+                        .and_then(|st| st.heap.huge_largest_free())
+                        .is_some_and(|lf| lf < self.config.huge_headroom)
+                };
+                if low {
+                    grown = true;
+                    events_out.push(self.event_grow(done));
+                }
+            }
             if poison_live {
                 let guard = self.state.read();
                 if let Some(st) = guard.as_ref() {
                     let _ = st.heap.scrub_step(self.config.scrub_budget);
+                }
+            }
+            if self.config.maint_budget > 0 {
+                // Maintenance tick: the engine self-schedules off its
+                // trigger policy (pressure flag + fragmentation
+                // watermarks); a tick on a tidy heap is a no-op.
+                let guard = self.state.read();
+                if let Some(st) = guard.as_ref() {
+                    let _ = st.heap.maint_tick(self.config.maint_budget);
                 }
             }
             while done >= next_edge || (finished && prev_ops < done) {
@@ -837,6 +972,12 @@ impl Soak {
                 prev = current;
                 prev_instant = now;
                 prev_ops = done;
+                // Fragmentation time series: one sample per interval edge.
+                // The walk also refreshes the maintenance trigger
+                // watermarks and the cached huge-headroom figure.
+                if let Some(sample) = self.frag_sample(done) {
+                    frag_out.push(sample);
+                }
                 next_edge += (total / intervals).max(1);
                 if finished {
                     break;
@@ -876,6 +1017,7 @@ pub fn run_soak(config: &KvServeConfig) -> SoakReport {
         state: RwLock::new(None),
         completed: (0..config.threads).map(|_| AtomicU64::new(0)).collect(),
         inserted_total: AtomicU64::new(0),
+        alloc_seq: AtomicU64::new(0),
         ops_done: AtomicU64::new(0),
         workers_done: AtomicU64::new(0),
         pressure: AtomicBool::new(false),
@@ -915,6 +1057,7 @@ pub fn run_soak(config: &KvServeConfig) -> SoakReport {
     // Soak.
     let mut events = Vec::new();
     let mut poisoned = Vec::new();
+    let mut fragmentation = Vec::new();
     let mut intervals = Vec::new();
     let mut elapsed = Duration::ZERO;
     let barrier = Barrier::new(config.threads + 1);
@@ -941,7 +1084,7 @@ pub fn run_soak(config: &KvServeConfig) -> SoakReport {
         }
         barrier.wait();
         let start = Instant::now();
-        intervals = soak.coordinate(&mut events, &mut poisoned);
+        intervals = soak.coordinate(&mut events, &mut poisoned, &mut fragmentation);
         elapsed = start.elapsed();
     });
 
@@ -953,8 +1096,22 @@ pub fn run_soak(config: &KvServeConfig) -> SoakReport {
     for _ in 0..2 {
         let _ = st.heap.scrub_step(usize::MAX);
     }
+    if config.maint_budget > 0 {
+        // Quiesce the maintenance engine: the final fragmentation sample
+        // then reflects a fully-coalesced heap, which is what the
+        // engine-on/engine-off comparison measures.
+        loop {
+            let step = st.heap.maint_step(usize::MAX).expect("final maintenance pass");
+            if step.fully_defragged {
+                break;
+            }
+        }
+    }
     for &key in &poisoned {
         soak.do_read(st, key);
+    }
+    if let Some(sample) = soak.frag_sample(soak.ops_done.load(Ordering::Acquire)) {
+        fragmentation.push(sample);
     }
     let audit = st.heap.audit().expect("final audit");
     let quarantined_blocks: u64 = audit.iter().map(|(_, a)| a.quarantined_blocks).sum();
@@ -978,6 +1135,7 @@ pub fn run_soak(config: &KvServeConfig) -> SoakReport {
             read_races: soak.read_races.load(Ordering::Relaxed),
             free_errors: soak.free_errors.load(Ordering::Relaxed),
         },
+        fragmentation,
         health,
         quarantined_blocks,
         population,
@@ -1051,5 +1209,47 @@ mod tests {
             panic!("expected a grow report, got {:?}", report.events[0]);
         };
         assert_eq!(new_capacity, 2 * old_capacity);
+    }
+
+    #[test]
+    fn soak_maintenance_ticks_step_the_engine_and_sample_fragmentation() {
+        // Update-heavy traffic churns blocks so the trigger policy has
+        // fragmentation to react to; the engine must actually step and
+        // the report must carry a usable time series.
+        let mut config = small(vec![]).with_maint(4);
+        config.update_permille = 600;
+        let report = run_soak(&config);
+        assert!(report.health.maint_steps > 0, "no maintenance step ran: {:?}", report.health);
+        assert!(!report.fragmentation.is_empty(), "no fragmentation samples");
+        let last = report.fragmentation.last().unwrap();
+        assert_eq!(last.at_op, report.ops, "final sample must follow the last op");
+        // run_soak quiesced the engine before the final sample: anything
+        // still counted as fragmented is genuinely pinned by live blocks
+        // interleaving the free ones, not deferred coalescing work.
+        assert!(last.frag_bytes <= last.free_bytes);
+    }
+
+    #[test]
+    fn soak_headroom_policy_grows_before_huge_allocations_fail() {
+        // An unreachably high headroom floor means the very first
+        // coordinator pass after a fragmentation sample sees the largest
+        // free huge extent below the floor and fires the configured grow
+        // early — well before its op-count threshold (half the run).
+        let mut config = KvServeConfig::new(2, 2, 400, 5_000)
+            .with_events(vec![SoakEvent::Grow])
+            .with_capacity(64 << 20, 256 << 20)
+            .with_huge_headroom(u64::MAX);
+        config.intervals = 64;
+        let report = run_soak(&config);
+        assert_eq!(report.events.len(), 1, "exactly one grow must fire");
+        let EventReport::Grow { at_op, new_capacity, old_capacity, .. } = report.events[0] else {
+            panic!("expected a grow report, got {:?}", report.events[0]);
+        };
+        assert_eq!(new_capacity, 2 * old_capacity);
+        assert!(
+            at_op < report.ops / 2,
+            "headroom grow fired at op {at_op}, not before the threshold ({})",
+            report.ops / 2
+        );
     }
 }

@@ -95,4 +95,25 @@ cargo run --release -q -p bench --bin kvserve -- \
 echo "== cargo test --test service (KV service contract)"
 cargo test -q --test service
 
+# Maintenance-engine gates: the unit/integration tests for the budgeted
+# incremental defragmenter (budget ceilings, cursor persistence,
+# fragmentation accounting, trigger policy, engine-on-vs-off soak
+# comparison), then fixed-seed crash sweeps over a pre-fragmented heap
+# where the crash lands at maintenance-unit commit points — block
+# accounting and extent tiling must audit clean after every recovery,
+# and a post-recovery convergence loop must drive coalescing debt to
+# exactly zero. The grow arm exercises the superblock undo area's
+# re-driven rollback as well.
+echo "== cargo test --workspace maint (maintenance engine)"
+cargo test --workspace -q maint
+
+echo "== crashfuzz --iters 50 --maint (fixed seed)"
+cargo run --release --bin crashfuzz -- --iters 50 --maint --seed 314159
+
+echo "== crashfuzz --iters 40 --maint --poison (fixed seed)"
+cargo run --release --bin crashfuzz -- --iters 40 --maint --poison --seed 271828
+
+echo "== crashfuzz --iters 40 --maint --grow (fixed seed)"
+cargo run --release --bin crashfuzz -- --iters 40 --maint --grow --seed 161803
+
 echo "CI gate passed."

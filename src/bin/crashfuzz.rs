@@ -31,8 +31,17 @@
 //! recovered geometry, and it must keep serving *and keep growing*.
 //! Composes with `--poison`.
 //!
+//! With `--maint`, the heap is pre-fragmented and budgeted maintenance
+//! steps (`maint_step`) interleave with the traffic while the crash is
+//! armed, so the power cut lands at every maintenance-unit commit point
+//! — mid buddy merge, mid table shrink, mid cache trim. After recovery
+//! the block accounting and extent tiling must audit clean (no block
+//! both coalesced and live), and driving maintenance to convergence on
+//! the recovered heap must retire every remaining mergeable pair.
+//! Composes with `--poison` and `--grow`.
+//!
 //! ```text
-//! crashfuzz [--iters N] [--seed S] [--tx] [--poison] [--poison-live] [--grow]
+//! crashfuzz [--iters N] [--seed S] [--tx] [--poison] [--poison-live] [--grow] [--maint]
 //! ```
 
 use std::process::ExitCode;
@@ -63,6 +72,7 @@ fn main() -> ExitCode {
     let mut with_poison = false;
     let mut poison_live = false;
     let mut with_grow = false;
+    let mut with_maint = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -72,10 +82,12 @@ fn main() -> ExitCode {
             "--poison" => with_poison = true,
             "--poison-live" => poison_live = true,
             "--grow" => with_grow = true,
+            "--maint" => with_maint = true,
             other => {
                 eprintln!("crashfuzz: unknown argument {other}");
                 eprintln!(
-                    "usage: crashfuzz [--iters N] [--seed S] [--tx] [--poison] [--poison-live] [--grow]"
+                    "usage: crashfuzz [--iters N] [--seed S] [--tx] [--poison] [--poison-live] \
+                     [--grow] [--maint]"
                 );
                 return ExitCode::from(2);
             }
@@ -83,7 +95,7 @@ fn main() -> ExitCode {
     }
     println!(
         "crashfuzz: {iters} iterations, seed {seed}, tx={with_tx}, poison={with_poison}, \
-         live={poison_live}, grow={with_grow}"
+         live={poison_live}, grow={with_grow}, maint={with_maint}"
     );
     let mut rng = Rng(seed | 1);
     let mut media_failures = 0u64;
@@ -91,6 +103,8 @@ fn main() -> ExitCode {
         let case_seed = rng.next();
         let result = if poison_live {
             run_live_case(case_seed)
+        } else if with_maint {
+            run_maint_case(case_seed, with_poison, with_grow)
         } else if with_grow {
             run_grow_case(case_seed, with_poison)
         } else {
@@ -113,6 +127,11 @@ fn main() -> ExitCode {
     }
     if poison_live {
         println!("crashfuzz: all {iters} live-poison cases self-healed cleanly");
+    } else if with_maint {
+        println!(
+            "crashfuzz: all {iters} maintenance cases recovered cleanly \
+             ({media_failures} ended in a typed media error)"
+        );
     } else if with_grow {
         println!(
             "crashfuzz: all {iters} grow cases recovered to a consistent epoch chain \
@@ -484,6 +503,182 @@ fn run_grow_case(case_seed: u64, with_poison: bool) -> Result<CaseOutcome, Strin
             Err(PoseidonError::MediaError { .. }) if with_poison => {}
             Err(e) => return Err(format!("post-recovery grow: {e}")),
         }
+    }
+    Ok(CaseOutcome::Recovered)
+}
+
+/// One maintenance crash-consistency case: pre-fragment the heap so the
+/// engine has real debt to retire, then let budgeted `maint_step` calls
+/// dominate the armed window (interleaved with allocator traffic, and
+/// growths under `--grow`) so the power cut lands at maintenance-unit
+/// commit points — mid buddy merge, mid table shrink, mid cache trim.
+/// After the power cycle the heap must audit clean — block accounting
+/// and extent tiling both, so no block can be both coalesced into its
+/// buddy and still live — and driving maintenance to convergence on the
+/// recovered heap must retire every remaining mergeable pair.
+fn run_maint_case(case_seed: u64, with_poison: bool, with_grow: bool) -> Result<CaseOutcome, String> {
+    let mut rng = Rng(case_seed | 1);
+    let device_config = if with_grow {
+        DeviceConfig::new(24 << 20).growable_to(256 << 20).with_media_faults(with_poison)
+    } else {
+        DeviceConfig::new(64 << 20).with_media_faults(with_poison)
+    };
+    let dev = Arc::new(PmemDevice::new(device_config));
+    // Half the cases run uncached so freed buddies land straight on the
+    // persistent free lists (guaranteed coalescing debt); the other half
+    // keep magazines so the trim/evict unit is exercised too.
+    let uncached = rng.below(2) == 0;
+    let mut heap_config = HeapConfig::new().with_subheaps(1 + rng.below(2) as u16);
+    if uncached {
+        heap_config = heap_config.without_cache();
+    }
+    let heap = Arc::new(PoseidonHeap::create(dev.clone(), heap_config).map_err(|e| format!("create: {e}"))?);
+    let max_alloc = heap.layout().max_alloc();
+
+    // Build coalescing debt before arming: a mixed-class checkerboard
+    // whose odd half is freed leaves mergeable buddy pairs in several
+    // classes for the engine to chew through once the crash is armed.
+    let mut live: Vec<NvmPtr> = Vec::new();
+    for i in 0u64..192 {
+        let p = heap.alloc(32 + (i % 4) * 32).map_err(|e| format!("pre-fragment alloc: {e}"))?;
+        if i % 2 == 0 {
+            live.push(p);
+        } else {
+            heap.free(p).map_err(|e| format!("pre-fragment free: {e}"))?;
+        }
+    }
+
+    dev.arm_crash_after(rng.below(400));
+    if with_poison {
+        dev.arm_poison_after(1 + rng.below(300), rng.next());
+    }
+    'workload: for _ in 0..rng.below(120) + 30 {
+        match rng.below(10) {
+            // Maintenance dominates the armed window so the crash lands
+            // at a unit commit point more often than not.
+            0..=4 => match heap.maint_step(1 + rng.below(4) as usize) {
+                Ok(_) => {}
+                Err(PoseidonError::Device(_)) => break 'workload,
+                Err(PoseidonError::MediaError { .. }) if with_poison => {}
+                Err(e) => return Err(format!("maint_step: {e}")),
+            },
+            5..=6 => match heap.alloc(1 + rng.below(8192)) {
+                Ok(p) => live.push(p),
+                Err(PoseidonError::Device(_)) => break 'workload,
+                Err(_) => {}
+            },
+            7 => {
+                if !live.is_empty() {
+                    let index = rng.below(live.len() as u64) as usize;
+                    let p = live.swap_remove(index);
+                    if matches!(heap.free(p), Err(PoseidonError::Device(_))) {
+                        break 'workload;
+                    }
+                }
+            }
+            8 => match heap.alloc(max_alloc + 1 + rng.below(2 << 20)) {
+                Ok(p) => live.push(p),
+                Err(PoseidonError::Device(_)) => break 'workload,
+                Err(_) => {}
+            },
+            _ => {
+                if with_grow {
+                    let target =
+                        (heap.layout().capacity() + ((1 + rng.below(32)) << 20)).min(dev.max_capacity());
+                    if target <= heap.layout().capacity() {
+                        continue; // already at the ceiling
+                    }
+                    match heap.grow(target) {
+                        Ok(_) => {}
+                        Err(PoseidonError::Device(_)) => break 'workload,
+                        Err(PoseidonError::BadGeometry(_)) => {}
+                        Err(PoseidonError::MediaError { .. }) if with_poison => {}
+                        Err(e) => return Err(format!("grow: {e}")),
+                    }
+                } else {
+                    // Full convergence mid-traffic: marks pressure, so
+                    // subsequent maint_steps take the aggressive path.
+                    match heap.defragment() {
+                        Ok(_) => {}
+                        Err(PoseidonError::Device(_)) => break 'workload,
+                        Err(PoseidonError::MediaError { .. }) if with_poison => {}
+                        Err(e) => return Err(format!("defragment: {e}")),
+                    }
+                }
+            }
+        }
+    }
+    dev.disarm_crash();
+    dev.disarm_poison();
+    let layout = heap.layout().clone();
+    drop(heap);
+
+    let logged_chains = poseidon::fuzz::undo_chains(&dev, &layout);
+    let mode = if rng.below(2) == 0 { CrashMode::Strict } else { CrashMode::Adversarial };
+    dev.simulate_crash(mode, rng.next());
+    check_undo_ordering(&dev, &layout, &logged_chains)?;
+
+    let mut reload_config = HeapConfig::new();
+    if uncached {
+        reload_config = reload_config.without_cache();
+    }
+    let heap = match PoseidonHeap::load(dev.clone(), reload_config) {
+        Ok(heap) => Arc::new(heap),
+        Err(PoseidonError::MediaError { .. }) if with_poison => return Ok(CaseOutcome::TypedMediaFailure),
+        Err(e) => return Err(format!("load: {e}")),
+    };
+
+    // Block accounting and extent tiling must be clean: a block that was
+    // both coalesced into its buddy and still reachable would
+    // double-claim offsets and fail these audits.
+    heap.audit().map_err(|e| format!("post-recovery audit: {e}"))?;
+    let frozen = heap.quarantined_subheaps();
+    let recovery = heap.last_recovery();
+    let huge = heap.huge_audit().map_err(|e| format!("post-recovery huge audit: {e}"))?;
+    if heap.layout().huge_data_size() > 0 && !recovery.huge_region_quarantined && huge.is_none() {
+        return Err("huge region unavailable without being quarantined".into());
+    }
+
+    // Maintenance must converge on the recovered heap: repeated budgeted
+    // steps retire every remaining mergeable pair, however the crash
+    // interleaved with the engine.
+    let mut converged = false;
+    for _ in 0..10_000 {
+        match heap.maint_step(1 + rng.below(8) as usize) {
+            Ok(step) if step.fully_defragged => {
+                converged = true;
+                break;
+            }
+            Ok(_) => {}
+            Err(PoseidonError::MediaError { .. }) if with_poison => {
+                return Ok(CaseOutcome::TypedMediaFailure)
+            }
+            Err(e) => return Err(format!("post-recovery maint_step: {e}")),
+        }
+    }
+    if !converged {
+        return Err("maintenance failed to converge on the recovered heap".into());
+    }
+    match heap.fragmentation() {
+        Ok(report) => {
+            if report.frag_bytes() != 0 {
+                return Err(format!(
+                    "converged heap still owes {} bytes of coalescing debt",
+                    report.frag_bytes()
+                ));
+            }
+        }
+        Err(PoseidonError::MediaError { .. }) if with_poison => return Ok(CaseOutcome::TypedMediaFailure),
+        Err(e) => return Err(format!("post-recovery fragmentation: {e}")),
+    }
+    heap.audit().map_err(|e| format!("post-maintenance audit: {e}"))?;
+
+    // Still serving after convergence.
+    match heap.alloc(64) {
+        Ok(p) => heap.free(p).map_err(|e| format!("post-recovery free: {e}"))?,
+        Err(PoseidonError::AllFailed { .. } | PoseidonError::SubheapQuarantined { .. })
+            if with_poison && frozen.len() == heap.layout().num_subheaps() as usize => {}
+        Err(e) => return Err(format!("post-recovery alloc: {e}")),
     }
     Ok(CaseOutcome::Recovered)
 }

@@ -246,3 +246,63 @@ fn soak_survives_kill_poison_and_grow() {
     }
     assert!(saw_kill);
 }
+
+/// Maintenance-engine soak comparison: two identical update-heavy runs
+/// (same seed, same traffic), one with maintenance ticks in the
+/// coordinator loop and one without. The engine must leave the heap
+/// *measurably less fragmented* (free bytes outside each class's
+/// largest coalescable run, summed) without wrecking tail latency.
+/// Frees on this heap never coalesce inline — merging is exclusively
+/// maintenance work — so the off run accumulates unmerged buddy pairs
+/// that the on run retires.
+#[test]
+fn soak_maintenance_lowers_steady_state_fragmentation() {
+    let base = |maint: usize| {
+        // value_spread 2: value sizes ramp across three buddy classes
+        // over the run, so updates free blocks of classes the service
+        // has outgrown and never reallocates — the freed buddies pile
+        // up side by side as coalescing debt.
+        let mut config = KvServeConfig::new(2, 2, 600, 2_000)
+            .with_events(vec![])
+            .with_capacity(96 << 20, 96 << 20)
+            .with_value_spread(2)
+            .with_maint(maint);
+        config.update_permille = 600; // churn: every update frees the old value
+        config
+    };
+    let off = run_soak(&base(0));
+    let on = run_soak(&base(8));
+
+    // Equal throughput: same seed, same op budget, both runs completed.
+    assert_eq!(off.ops, on.ops, "runs diverged in completed ops");
+    assert_eq!(off.health.maint_steps, 0, "maint_budget=0 must disable the engine");
+    assert!(on.health.maint_steps > 0, "engine never stepped: {:?}", on.health);
+    assert!(on.health.maint_merges > 0, "engine stepped but never coalesced anything");
+
+    // The headline guarantee: final steady-state fragmentation strictly
+    // lower with the engine on. (The off run's churn leaves unmerged
+    // buddies behind, so its figure is necessarily positive.)
+    let frag_off = off.fragmentation.last().expect("off run sampled fragmentation").frag_bytes;
+    let frag_on = on.fragmentation.last().expect("on run sampled fragmentation").frag_bytes;
+    assert!(frag_off > 0, "maintenance-off run ended with nothing to coalesce");
+    assert!(frag_on < frag_off, "maintenance did not lower fragmentation: {frag_on} on vs {frag_off} off");
+
+    // Maintenance must not wreck the serving tail: per class, p999
+    // stays under 2x the maintenance-off run. Only classes with enough
+    // samples for p999 to be more than the single worst op qualify, and
+    // the absolute slack absorbs scheduler blips (an actual regression —
+    // a maintenance unit holding a sub-heap lock through a full defrag —
+    // costs tens of milliseconds and sails past it).
+    for ((class_on, sum_on), (class_off, sum_off)) in on.totals.iter().zip(&off.totals) {
+        assert_eq!(class_on, class_off);
+        if sum_on.count < 500 || sum_off.count < 500 {
+            continue;
+        }
+        assert!(
+            sum_on.p999 <= sum_off.p999 * 2 + 1_000_000,
+            "{class_on:?} p999 degraded past 2x with maintenance on: {}ns vs {}ns",
+            sum_on.p999,
+            sum_off.p999
+        );
+    }
+}
